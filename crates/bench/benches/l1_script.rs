@@ -1,0 +1,51 @@
+//! E6/L1 — the XML listing: test-script serialisation and parsing
+//! throughput as scripts grow, plus the paper fragment itself.
+
+use std::hint::black_box;
+
+use comptest::prelude::*;
+use comptest_bench::load_suite;
+use comptest_workload::{gen_script, ScriptShape, SplitMix64};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn paper_fragment(c: &mut Criterion) {
+    let suite = load_suite("interior_light");
+    let script = generate(&suite, "interior_illumination").unwrap();
+    let xml = script.to_xml();
+
+    c.bench_function("l1/write_t1_script", |b| {
+        b.iter(|| black_box(&script).to_xml())
+    });
+
+    c.bench_function("l1/parse_t1_script", |b| {
+        b.iter(|| TestScript::parse_xml(black_box(&xml)).unwrap())
+    });
+}
+
+fn script_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l1/size_scaling");
+    for steps in [10usize, 100, 1000] {
+        let mut rng = SplitMix64::new(21);
+        let script = gen_script(
+            &mut rng,
+            &ScriptShape {
+                signals: 16,
+                steps,
+                puts_per_step: 3,
+                concurrency: 4,
+            },
+        );
+        let xml = script.to_xml();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("write", steps), &script, |b, s| {
+            b.iter(|| black_box(s).to_xml())
+        });
+        group.bench_with_input(BenchmarkId::new("parse", steps), &xml, |b, xml| {
+            b.iter(|| TestScript::parse_xml(black_box(xml)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_fragment, script_size_scaling);
+criterion_main!(benches);

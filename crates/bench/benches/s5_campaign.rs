@@ -1,0 +1,58 @@
+//! E7/§5 — "successfully applied to two ECUs": the full library campaign on
+//! the supplier stand and the fault-injection coverage run.
+
+use std::hint::black_box;
+
+use comptest::core::faultcamp::run_fault_campaign;
+use comptest::prelude::*;
+use comptest_bench::{build_device, cfg_for, fault_set, load_stand, load_suite, ECUS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn suite_execution(c: &mut Criterion) {
+    let stand = load_stand("stand_b.stand");
+    let mut group = c.benchmark_group("s5/suite_on_stand_b");
+    group.sample_size(20);
+    for ecu in ECUS {
+        let suite = load_suite(ecu);
+        group.bench_with_input(BenchmarkId::from_parameter(ecu), &suite, |b, suite| {
+            b.iter(|| {
+                black_box(
+                    run_suite(
+                        suite,
+                        &stand,
+                        || build_device(ecu, cfg_for(&stand), None),
+                        &ExecOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fault_campaign(c: &mut Criterion) {
+    let stand = load_stand("stand_a.stand");
+    let suite = load_suite("interior_light");
+    let faults = fault_set("interior_light");
+    let mut group = c.benchmark_group("s5/fault_campaign");
+    group.sample_size(10);
+    group.bench_function("interior_light_12_faults", |b| {
+        b.iter(|| {
+            black_box(
+                run_fault_campaign(
+                    &suite,
+                    &stand,
+                    |f| build_device("interior_light", cfg_for(&stand), f),
+                    &faults,
+                    &ExecOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, suite_execution, fault_campaign);
+criterion_main!(benches);

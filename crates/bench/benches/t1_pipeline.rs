@@ -1,0 +1,66 @@
+//! E1/T1 — the test definition sheet: full front-end pipeline cost for the
+//! paper's 10-step interior-illumination test (parse workbook → validate →
+//! generate script → plan on stand A), plus scaling over synthetic
+//! workbooks.
+
+use std::hint::black_box;
+
+use comptest::prelude::*;
+use comptest_bench::{load_stand, load_suite};
+use comptest_workload::{gen_workbook_text, SplitMix64, WorkbookShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn paper_pipeline(c: &mut Criterion) {
+    let text = std::fs::read_to_string(comptest::asset("interior_light.cts")).unwrap();
+    let stand = load_stand("stand_a.stand");
+
+    c.bench_function("t1/parse_workbook", |b| {
+        b.iter(|| Workbook::parse_str("interior_light.cts", black_box(&text)).unwrap())
+    });
+
+    let suite = load_suite("interior_light");
+    c.bench_function("t1/validate", |b| {
+        let registry = MethodRegistry::builtin();
+        b.iter(|| black_box(&suite).validate(&registry))
+    });
+
+    c.bench_function("t1/generate_script", |b| {
+        b.iter(|| generate(black_box(&suite), "interior_illumination").unwrap())
+    });
+
+    let script = generate(&suite, "interior_illumination").unwrap();
+    c.bench_function("t1/plan_on_stand_a", |b| {
+        b.iter(|| plan(black_box(&script), &stand).unwrap())
+    });
+
+    c.bench_function("t1/full_pipeline", |b| {
+        b.iter(|| {
+            let wb = Workbook::parse_str("interior_light.cts", &text).unwrap();
+            let script = generate(&wb.suite, "interior_illumination").unwrap();
+            plan(&script, &stand).unwrap()
+        })
+    });
+}
+
+fn workbook_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1/workbook_scaling");
+    for steps in [10usize, 50, 200] {
+        let mut rng = SplitMix64::new(42);
+        let text = gen_workbook_text(
+            &mut rng,
+            &WorkbookShape {
+                signals: 8,
+                tests: 4,
+                steps,
+            },
+        );
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &text, |b, text| {
+            b.iter(|| Workbook::parse_str("gen.cts", black_box(text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_pipeline, workbook_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3/T3 — the resource table: stand description parsing and capability
+//! queries, the per-method "is there an appropriate resource" primitive.
+
+use std::hint::black_box;
+
+use comptest::prelude::*;
+use comptest_bench::load_stand;
+use comptest_model::MethodName;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn stand_parsing(c: &mut Criterion) {
+    for file in ["stand_a.stand", "stand_b.stand", "stand_minimal.stand"] {
+        let text = std::fs::read_to_string(comptest::asset(file)).unwrap();
+        c.bench_with_input(
+            BenchmarkId::new("t3/parse_stand", file),
+            &text,
+            |b, text| b.iter(|| TestStand::parse_str(file, black_box(text)).unwrap()),
+        );
+    }
+}
+
+fn capability_queries(c: &mut Criterion) {
+    let stand = load_stand("stand_b.stand");
+    let put_r = MethodName::new("put_r").unwrap();
+    let get_u = MethodName::new("get_u").unwrap();
+
+    c.bench_function("t3/resources_supporting", |b| {
+        b.iter(|| {
+            black_box(stand.resources_supporting(&put_r));
+            black_box(stand.resources_supporting(&get_u));
+        })
+    });
+
+    c.bench_function("t3/matrix_queries", |b| {
+        let pin = comptest_model::PinId::new("DS_FL").unwrap();
+        b.iter(|| black_box(stand.matrix().resources_for_pin(&pin)))
+    });
+}
+
+criterion_group!(benches, stand_parsing, capability_queries);
+criterion_main!(benches);

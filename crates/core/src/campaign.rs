@@ -1,0 +1,205 @@
+//! Campaigns: many suites × stands × devices in one run.
+//!
+//! Section 5 of the paper reports the method "successfully applied to two
+//! ECUs of the next S-class"; a campaign is that evaluation shape — every
+//! suite executed against its matching DUT on every stand, with a summary
+//! matrix.
+
+use std::fmt;
+
+use comptest_dut::Device;
+use comptest_model::TestSuite;
+use comptest_stand::TestStand;
+
+use crate::error::CoreError;
+use crate::exec::ExecOptions;
+use crate::pipeline::run_suite;
+use crate::verdict::{SuiteResult, Verdict};
+
+/// One campaign entry: a suite, the factory building its DUT, and a label.
+pub struct CampaignEntry<'a> {
+    /// The test suite.
+    pub suite: &'a TestSuite,
+    /// Builds a fresh DUT for each test.
+    pub device_factory: Box<dyn FnMut() -> Device + 'a>,
+}
+
+impl fmt::Debug for CampaignEntry<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignEntry")
+            .field("suite", &self.suite.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One cell of the campaign matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Suite name.
+    pub suite: String,
+    /// Stand name.
+    pub stand: String,
+    /// The suite result, or the planning error that prevented execution.
+    pub outcome: Result<SuiteResult, String>,
+}
+
+impl CampaignCell {
+    /// A short status string for tables.
+    pub fn status(&self) -> String {
+        match &self.outcome {
+            Ok(r) => {
+                let (p, f, e) = r.counts();
+                format!("{} ({p}P/{f}F/{e}E)", r.verdict())
+            }
+            Err(_) => "NOT RUNNABLE".to_owned(),
+        }
+    }
+}
+
+/// The campaign result matrix.
+#[derive(Debug, Default)]
+pub struct CampaignResult {
+    /// All cells, suites major, stands minor.
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignResult {
+    /// True if every runnable cell passed and every cell was runnable.
+    pub fn all_green(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| matches!(&c.outcome, Ok(r) if r.verdict() == Verdict::Pass))
+    }
+
+    /// Total `(passed, failed, errored, not_runnable)` across the matrix.
+    pub fn totals(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(r) => {
+                    let (p, f, e) = r.counts();
+                    t.0 += p;
+                    t.1 += f;
+                    t.2 += e;
+                }
+                Err(_) => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cell in &self.cells {
+            writeln!(
+                f,
+                "{:<20} on {:<12} {}",
+                cell.suite,
+                cell.stand,
+                cell.status()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every entry's suite on every stand.
+///
+/// Planning failures (a stand that cannot serve a suite) are recorded in
+/// the matrix, not raised — they are a result of the experiment.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] only for invalid suites, which no stand
+/// could ever run.
+pub fn run_campaign(
+    entries: &mut [CampaignEntry<'_>],
+    stands: &[&TestStand],
+    options: &ExecOptions,
+) -> Result<CampaignResult, CoreError> {
+    let mut result = CampaignResult::default();
+    for entry in entries.iter_mut() {
+        // Surface codegen errors early: they are suite bugs.
+        comptest_script::generate_all(entry.suite)?;
+        for stand in stands {
+            let outcome = match run_suite(entry.suite, stand, &mut entry.device_factory, options) {
+                Ok(r) => Ok(r),
+                Err(CoreError::Stand(e)) => Err(e.to_string()),
+                Err(other) => return Err(other),
+            };
+            result.cells.push(CampaignCell {
+                suite: entry.suite.name.clone(),
+                stand: stand.name().to_owned(),
+                outcome,
+            });
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light;
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test night_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+";
+
+    const BARE: &str = "\
+[stand]
+name = bare
+ubatt = 12.0
+
+[resources]
+id,   method, attribut, min, max, unit
+Dec1, put_r,  r,        0,   1E6, Ohm
+
+[matrix]
+point, resource, pin
+P1,    Dec1,     DS_FL
+";
+
+    #[test]
+    fn campaign_matrix() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let bare = TestStand::parse_str("bare.stand", BARE).unwrap();
+        let mut entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+        let result = run_campaign(&mut entries, &[&full, &bare], &ExecOptions::default()).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        assert!(matches!(&result.cells[0].outcome, Ok(r) if r.verdict() == Verdict::Pass));
+        assert!(result.cells[1].outcome.is_err(), "bare stand can't run it");
+        assert!(!result.all_green());
+        let (p, f, e, nr) = result.totals();
+        assert_eq!((p, f, e, nr), (1, 0, 0, 1));
+        assert!(result.cells[0].status().contains("PASS"));
+        assert_eq!(result.cells[1].status(), "NOT RUNNABLE");
+        assert!(result.to_string().contains("lamp"));
+    }
+}

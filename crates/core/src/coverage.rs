@@ -1,0 +1,139 @@
+//! Requirement-tag coverage.
+//!
+//! Remarks in test sheets double as requirement links (`REQ-IL-001 …`); a
+//! suite covers a requirement when a tagged test exists, and *verifies* it
+//! when that test passes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use comptest_model::TestSuite;
+
+use crate::verdict::{SuiteResult, Verdict};
+
+/// Requirement → tests mapping with pass/fail status.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequirementCoverage {
+    /// tag → (test name, passed) pairs.
+    pub map: BTreeMap<String, Vec<(String, Option<Verdict>)>>,
+}
+
+impl RequirementCoverage {
+    /// Builds the static mapping (no verdicts) from a suite.
+    pub fn from_suite(suite: &TestSuite) -> Self {
+        let mut map: BTreeMap<String, Vec<(String, Option<Verdict>)>> = BTreeMap::new();
+        for test in &suite.tests {
+            for tag in test.requirement_tags() {
+                map.entry(tag).or_default().push((test.name.clone(), None));
+            }
+        }
+        Self { map }
+    }
+
+    /// Annotates the mapping with execution verdicts.
+    pub fn with_results(mut self, results: &SuiteResult) -> Self {
+        for entries in self.map.values_mut() {
+            for (test, verdict) in entries.iter_mut() {
+                if let Some(r) = results.results.iter().find(|r| &r.test == test) {
+                    *verdict = Some(r.verdict());
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of distinct requirements referenced.
+    pub fn requirement_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Requirements whose every tagged test passed (ignoring unexecuted).
+    pub fn verified(&self) -> Vec<&str> {
+        self.map
+            .iter()
+            .filter(|(_, tests)| {
+                !tests.is_empty() && tests.iter().all(|(_, v)| matches!(v, Some(Verdict::Pass)))
+            })
+            .map(|(tag, _)| tag.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for RequirementCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (tag, tests) in &self.map {
+            write!(f, "{tag}:")?;
+            for (test, verdict) in tests {
+                match verdict {
+                    Some(v) => write!(f, " {test}={v}")?,
+                    None => write!(f, " {test}")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light;
+    use comptest_sheets::Workbook;
+    use comptest_stand::TestStand;
+
+    const WB: &str = "\
+[suite]
+name = demo
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test day]
+step, dt,  DS_FL, NIGHT, INT_ILL, remarks
+0,    0.5, Open,  0,     Lo,      REQ-IL-001 no day light
+
+[test night]
+step, dt,  DS_FL, NIGHT, INT_ILL, remarks
+0,    0.5, Open,  1,     Ho,      REQ-IL-002 night light REQ-IL-003
+";
+
+    #[test]
+    fn static_mapping() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let cov = RequirementCoverage::from_suite(&wb.suite);
+        assert_eq!(cov.requirement_count(), 3);
+        assert!(cov.map.contains_key("REQ-IL-001"));
+        assert!(cov.map.contains_key("REQ-IL-003"));
+        assert!(cov.verified().is_empty(), "nothing executed yet");
+    }
+
+    #[test]
+    fn with_execution_results() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let stand = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let results = crate::run_suite(
+            &wb.suite,
+            &stand,
+            || interior_light::device(Default::default()),
+            &crate::ExecOptions::default(),
+        )
+        .unwrap();
+        let cov = RequirementCoverage::from_suite(&wb.suite).with_results(&results);
+        assert_eq!(cov.verified().len(), 3);
+        let text = cov.to_string();
+        assert!(text.contains("REQ-IL-002: night=PASS"));
+    }
+}

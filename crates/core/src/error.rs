@@ -1,0 +1,77 @@
+//! Engine-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use comptest_script::CodegenError;
+use comptest_stand::StandError;
+
+/// Any error raised while assembling or running the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Script generation failed (invalid suite / unknown test).
+    Codegen(CodegenError),
+    /// Stand-side planning failed (allocation, statement resolution).
+    Stand(StandError),
+    /// The healthy reference run of a fault campaign did not pass, so fault
+    /// detection results would be meaningless.
+    UnhealthyReference {
+        /// The failing test.
+        test: String,
+        /// Its verdict summary.
+        summary: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Codegen(e) => e.fmt(f),
+            CoreError::Stand(e) => e.fmt(f),
+            CoreError::UnhealthyReference { test, summary } => write!(
+                f,
+                "reference (fault-free) run of {test} did not pass: {summary}"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Codegen(e) => Some(e),
+            CoreError::Stand(e) => Some(e),
+            CoreError::UnhealthyReference { .. } => None,
+        }
+    }
+}
+
+impl From<CodegenError> for CoreError {
+    fn from(e: CodegenError) -> Self {
+        CoreError::Codegen(e)
+    }
+}
+
+impl From<StandError> for CoreError {
+    fn from(e: StandError) -> Self {
+        CoreError::Stand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::UnhealthyReference {
+            test: "smoke".into(),
+            summary: "FAIL".into(),
+        };
+        assert!(e.to_string().contains("smoke"));
+        assert!(e.source().is_none());
+        let e: CoreError = StandError::UnknownSignal { signal: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,526 @@
+//! Executing a planned script against a simulated DUT.
+//!
+//! Timing semantics (DESIGN.md): all stimuli of a step are applied atomically
+//! at step start; the DUT then advances event-driven to step end; checks are
+//! sampled **at step end** ([`SampleMode::EndOfStep`], the default).
+//! [`SampleMode::Continuous`] additionally samples the whole step window —
+//! the stricter ablation discussed in DESIGN.md §7 (it catches glitch/delay
+//! faults that a single end-of-step sample misses, but rejects steps that
+//! legitimately contain a transition, like the paper's step 8).
+
+use comptest_dut::{Device, PinDrive};
+use comptest_model::{SignalKind, SimTime};
+use comptest_stand::{Action, AppliedValue, ExecutionPlan, GetCheck};
+
+use crate::trace::{Trace, TraceEvent};
+use crate::verdict::{CheckResult, Measured, StepResult, TestResult, Verdict};
+
+/// When expected-output checks are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Sample each check once, at step end (paper semantics).
+    EndOfStep,
+    /// Sample at step start + settle, then every `interval`, then at step
+    /// end; a check passes only if **every** sample is in bounds.
+    Continuous {
+        /// Sampling interval.
+        interval: SimTime,
+    },
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Sampling mode for checks.
+    pub sample: SampleMode,
+    /// Abort the test after the first non-passing step (long soak tests
+    /// then stop spending bench time on a component already known bad).
+    /// Aborted runs still report the steps executed so far.
+    pub stop_on_failure: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            sample: SampleMode::EndOfStep,
+            stop_on_failure: false,
+        }
+    }
+}
+
+/// Runs an execution plan against a device. Never panics on DUT behaviour;
+/// execution-level problems (unsupported methods, absent CAN frames) yield
+/// [`Verdict::Error`] checks or an error-carrying [`TestResult`].
+///
+/// # Example
+///
+/// ```
+/// use comptest_core::{execute, ExecOptions, PAPER_STAND_A};
+/// use comptest_dut::ecus::interior_light;
+/// use comptest_script::TestScript;
+/// use comptest_stand::{plan, TestStand};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let script = TestScript::parse_xml(r#"
+/// <testscript name="t" suite="s" version="1">
+///   <signals>
+///     <signal name="ds_fl" kind="pin:DS_FL" direction="input"/>
+///     <signal name="int_ill" kind="pin:INT_ILL_F/INT_ILL_R" direction="output"/>
+///   </signals>
+///   <step nr="0" dt="0.5">
+///     <signal name="ds_fl"><put_r r="0" r_min="0" r_max="2"/></signal>
+///     <signal name="int_ill"><get_u u_max="(0.3*ubatt)" u_min="0"/></signal>
+///   </step>
+/// </testscript>"#)?;
+/// let stand = TestStand::parse_str("a.stand", PAPER_STAND_A)?;
+/// let plan = plan(&script, &stand)?;
+/// let mut dut = interior_light::device(Default::default());
+/// let result = execute(&plan, &mut dut, &ExecOptions::default());
+/// assert!(result.passed()); // day: lamp stays dark
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(plan: &ExecutionPlan, device: &mut Device, options: &ExecOptions) -> TestResult {
+    let mut result = TestResult {
+        test: plan.script_name.clone(),
+        stand: plan.stand_name.clone(),
+        dut: device.behavior_name().to_owned(),
+        steps: Vec::new(),
+        error: None,
+        trace: Trace::new(),
+    };
+
+    let mut now = SimTime::ZERO;
+    device.reset(now);
+
+    for action in &plan.init {
+        if let Err(msg) = apply_action(device, action, now, &mut result.trace) {
+            result.error = Some(format!("init: {msg}"));
+            return result;
+        }
+    }
+
+    for step in &plan.steps {
+        let t_start = now;
+        let t_end = now.saturating_add(step.dt);
+
+        // Phase 1: all stimuli, atomically at step start.
+        for action in &step.actions {
+            if let Err(msg) = apply_action(device, action, t_start, &mut result.trace) {
+                result.error = Some(format!("step {}: {msg}", step.nr));
+                return result;
+            }
+        }
+
+        // Phase 2: collect the checks and their sample schedules.
+        let checks: Vec<&GetCheck> = step
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Check(c) => Some(c),
+                Action::Apply { .. } => None,
+            })
+            .collect();
+
+        let mut step_result = StepResult {
+            nr: step.nr,
+            t_end,
+            checks: Vec::new(),
+        };
+
+        match options.sample {
+            SampleMode::EndOfStep => {
+                device.advance_to(t_end);
+                for check in checks {
+                    step_result.checks.push(sample_check(
+                        device,
+                        check,
+                        step.nr,
+                        t_start,
+                        t_end,
+                        &mut result.trace,
+                    ));
+                }
+            }
+            SampleMode::Continuous { interval } => {
+                let interval = if interval.is_zero() {
+                    SimTime::from_millis(100)
+                } else {
+                    interval
+                };
+                // Worst result per check across all samples.
+                let mut worst: Vec<Option<CheckResult>> = vec![None; checks.len()];
+                let max_settle = checks
+                    .iter()
+                    .map(|c| c.settle)
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                let mut t = t_start;
+                let mut first = true;
+                loop {
+                    t = if first {
+                        first = false;
+                        // First sample: after the longest settle.
+                        t_start.saturating_add(max_settle)
+                    } else {
+                        t.saturating_add(interval)
+                    };
+                    if t >= t_end {
+                        t = t_end;
+                    }
+                    device.advance_to(t);
+                    for (i, check) in checks.iter().enumerate() {
+                        let sampled =
+                            sample_check(device, check, step.nr, t_start, t, &mut result.trace);
+                        let replace = match &worst[i] {
+                            None => true,
+                            Some(prev) => sampled.verdict > prev.verdict,
+                        };
+                        if replace {
+                            worst[i] = Some(sampled);
+                        }
+                    }
+                    if t == t_end {
+                        break;
+                    }
+                }
+                step_result.checks = worst.into_iter().flatten().collect();
+            }
+        }
+
+        result.trace.push(TraceEvent::StepEnd {
+            nr: step.nr,
+            at: t_end,
+        });
+        let failed = step_result.verdict() != Verdict::Pass;
+        result.steps.push(step_result);
+        now = t_end;
+        if failed && options.stop_on_failure {
+            break;
+        }
+    }
+
+    result
+}
+
+/// Applies a single stimulus action. Checks are ignored here.
+fn apply_action(
+    device: &mut Device,
+    action: &Action,
+    at: SimTime,
+    trace: &mut Trace,
+) -> Result<(), String> {
+    let Action::Apply {
+        signal,
+        kind,
+        resource,
+        method,
+        value,
+        ..
+    } = action
+    else {
+        return Ok(());
+    };
+    match (kind, value) {
+        (SignalKind::Pin { pins }, AppliedValue::Num(v)) => {
+            let drive = match method.key().as_str() {
+                "put_r" => PinDrive::ResistanceToGround(*v),
+                "put_u" => PinDrive::Voltage(*v),
+                other => {
+                    return Err(format!(
+                        "method {other} is not executable on this simulated stand"
+                    ))
+                }
+            };
+            // Stimuli drive the signal's first pin; a second pin, if any, is
+            // the return line.
+            let pin = pins
+                .first()
+                .ok_or_else(|| format!("signal {signal} has no pins"))?;
+            device.apply_pin(pin, drive, at);
+        }
+        (
+            SignalKind::Can {
+                frame,
+                start_bit,
+                width,
+            },
+            AppliedValue::Bits(bits),
+        ) => {
+            device.write_can_field(*frame, *start_bit, *width, bits.bits(), at);
+        }
+        (
+            SignalKind::Can {
+                frame,
+                start_bit,
+                width,
+            },
+            AppliedValue::Num(v),
+        ) => {
+            // A numeric put onto a CAN signal writes the rounded value.
+            device.write_can_field(*frame, *start_bit, *width, v.round() as u64, at);
+        }
+        (SignalKind::Pin { .. }, AppliedValue::Bits(_)) => {
+            return Err(format!(
+                "bit-pattern stimulus on electrical signal {signal}"
+            ));
+        }
+    }
+    trace.push(TraceEvent::Applied {
+        at,
+        signal: signal.clone(),
+        resource: resource.to_string(),
+        value: *value,
+    });
+    Ok(())
+}
+
+/// Samples one check at time `at` (the device must already be advanced).
+/// `step_start` bounds the observation window for rate measurements
+/// (`get_f` counts edges over `step_start..=at`).
+fn sample_check(
+    device: &Device,
+    check: &GetCheck,
+    step: u32,
+    step_start: SimTime,
+    at: SimTime,
+    trace: &mut Trace,
+) -> CheckResult {
+    let mut result = CheckResult {
+        step,
+        at,
+        signal: check.signal.clone(),
+        method: check.method.clone(),
+        bound: check.bound,
+        measured: Measured::None,
+        verdict: Verdict::Error,
+        message: String::new(),
+    };
+
+    match (&check.kind, check.method.key().as_str()) {
+        (SignalKind::Pin { pins }, "get_u") => {
+            let v = device.measure_pins(pins);
+            result.measured = Measured::Num(v);
+            if check.bound.accepts_num(v) {
+                result.verdict = Verdict::Pass;
+            } else {
+                result.verdict = Verdict::Fail;
+                result.message = format!("{v:.3} V outside bounds");
+            }
+        }
+        (SignalKind::Pin { pins }, "get_f") => {
+            // A frequency counter gates over the step window. The settle
+            // time excludes the initial transient from the count.
+            let window_start = step_start.saturating_add(check.settle);
+            let f = device.frequency(&pins[0], window_start, at);
+            result.measured = Measured::Num(f);
+            if check.bound.accepts_num(f) {
+                result.verdict = Verdict::Pass;
+            } else {
+                result.verdict = Verdict::Fail;
+                result.message = format!("{f:.3} Hz outside bounds");
+            }
+        }
+        (
+            SignalKind::Can {
+                frame,
+                start_bit,
+                width,
+            },
+            "get_can",
+        ) => match device.read_can_field(*frame, *start_bit, *width) {
+            Some(bits) => {
+                result.measured = Measured::Bits(bits);
+                if check.bound.accepts_bits(bits) {
+                    result.verdict = Verdict::Pass;
+                } else {
+                    result.verdict = Verdict::Fail;
+                    result.message = format!("field value {bits:#b} does not match");
+                }
+            }
+            None => {
+                result.verdict = Verdict::Fail;
+                result.message = format!("frame {frame} never transmitted");
+            }
+        },
+        (_, other) => {
+            result.message =
+                format!("method {other} cannot be measured on this signal kind in the simulation");
+        }
+    }
+
+    trace.push(TraceEvent::Measured {
+        at,
+        signal: check.signal.clone(),
+        resource: check.resource.to_string(),
+        value: result.measured,
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light;
+    use comptest_script::TestScript;
+    use comptest_stand::{plan, TestStand};
+
+    fn stand() -> TestStand {
+        TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap()
+    }
+
+    fn script(xml: &str) -> TestScript {
+        TestScript::parse_xml(xml).unwrap()
+    }
+
+    const NIGHT_SCRIPT: &str = r#"<?xml version="1.0"?>
+<testscript name="night" suite="demo" version="1">
+  <signals>
+    <signal name="ds_fl" kind="pin:DS_FL" direction="input"/>
+    <signal name="night" kind="can:0x2A0:0:1" direction="input"/>
+    <signal name="int_ill" kind="pin:INT_ILL_F/INT_ILL_R" direction="output"/>
+  </signals>
+  <step nr="0" dt="0.5">
+    <signal name="night"><put_can data="1B"/></signal>
+    <signal name="ds_fl"><put_r r="0" r_min="0" r_max="2"/></signal>
+    <signal name="int_ill"><get_u u_max="(1.1*ubatt)" u_min="(0.7*ubatt)"/></signal>
+  </step>
+  <step nr="1" dt="0.5">
+    <signal name="ds_fl"><put_r r="INF" r_min="5000" r_max="INF"/></signal>
+    <signal name="int_ill"><get_u u_max="(0.3*ubatt)" u_min="0"/></signal>
+  </step>
+</testscript>"#;
+
+    #[test]
+    fn healthy_dut_passes() {
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let mut dut = interior_light::device(Default::default());
+        let result = execute(&plan, &mut dut, &ExecOptions::default());
+        assert!(result.passed(), "{result}\n{}", result.trace);
+        assert_eq!(result.check_count(), 2);
+        assert_eq!(result.steps.len(), 2);
+        assert_eq!(result.steps[1].t_end, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn broken_dut_fails() {
+        use comptest_dut::ecus::interior_light::InteriorLight;
+        use comptest_dut::{FaultKind, FaultyBehavior, PortValue};
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let mut dut = interior_light::device_with(
+            Default::default(),
+            Box::new(FaultyBehavior::new(
+                Box::new(InteriorLight::new()),
+                vec![FaultKind::StuckOutput {
+                    port: "lamp",
+                    value: PortValue::Bool(false),
+                }],
+            )),
+        );
+        let result = execute(&plan, &mut dut, &ExecOptions::default());
+        assert_eq!(result.verdict(), Verdict::Fail);
+        let failures = result.failures();
+        assert_eq!(failures.len(), 1, "step 0's Ho check fails");
+        assert_eq!(failures[0].step, 0);
+    }
+
+    #[test]
+    fn trace_records_everything() {
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let mut dut = interior_light::device(Default::default());
+        let result = execute(&plan, &mut dut, &ExecOptions::default());
+        let applies = result
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Applied { .. }))
+            .count();
+        let measures = result
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Measured { .. }))
+            .count();
+        assert_eq!(applies, 3);
+        assert_eq!(measures, 2);
+    }
+
+    #[test]
+    fn get_can_round_trip() {
+        // The central lock reports its state on CAN; check it with get_can.
+        use comptest_dut::ecus::central_lock;
+        let xml = r#"<?xml version="1.0"?>
+<testscript name="lock" suite="demo" version="1">
+  <signals>
+    <signal name="lock_cmd" kind="can:0x2F0:0:1" direction="input"/>
+    <signal name="lock_status" kind="can:0x2F8:0:1" direction="output"/>
+  </signals>
+  <step nr="0" dt="0.1">
+    <signal name="lock_cmd"><put_can data="1B"/></signal>
+    <signal name="lock_status"><get_can data="1B"/></signal>
+  </step>
+</testscript>"#;
+        let stand = stand();
+        let plan = plan(&script(xml), &stand).unwrap();
+        let mut dut = central_lock::device(Default::default());
+        let result = execute(&plan, &mut dut, &ExecOptions::default());
+        assert!(result.passed(), "{result}\n{}", result.trace);
+    }
+
+    #[test]
+    fn missing_frame_is_a_failure_not_a_crash() {
+        let xml = r#"<?xml version="1.0"?>
+<testscript name="ghost" suite="demo" version="1">
+  <signals>
+    <signal name="nothing" kind="can:0x7FF:0:1" direction="output"/>
+  </signals>
+  <step nr="0" dt="0.1">
+    <signal name="nothing"><get_can data="1B"/></signal>
+  </step>
+</testscript>"#;
+        let stand = stand();
+        let plan = plan(&script(xml), &stand).unwrap();
+        let mut dut = interior_light::device(Default::default());
+        let result = execute(&plan, &mut dut, &ExecOptions::default());
+        assert_eq!(result.verdict(), Verdict::Fail);
+        assert!(result.failures()[0].message.contains("never transmitted"));
+    }
+
+    #[test]
+    fn continuous_sampling_catches_a_delay_fault() {
+        use comptest_dut::ecus::interior_light::InteriorLight;
+        use comptest_dut::{FaultKind, FaultyBehavior};
+        // The lamp reacts 0.3 s late. End-of-step sampling (0.5 s step)
+        // misses it; continuous sampling sees the dark interval.
+        let make_dut = || {
+            interior_light::device_with(
+                Default::default(),
+                Box::new(FaultyBehavior::new(
+                    Box::new(InteriorLight::new()),
+                    vec![FaultKind::OutputDelay {
+                        port: "lamp",
+                        delay: SimTime::from_millis(300),
+                    }],
+                )),
+            )
+        };
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+
+        let end_of_step = execute(&plan, &mut make_dut(), &ExecOptions::default());
+        assert!(end_of_step.passed(), "end-of-step misses the delay");
+
+        let continuous = execute(
+            &plan,
+            &mut make_dut(),
+            &ExecOptions {
+                sample: SampleMode::Continuous {
+                    interval: SimTime::from_millis(100),
+                },
+                ..ExecOptions::default()
+            },
+        );
+        assert_eq!(continuous.verdict(), Verdict::Fail, "continuous catches it");
+    }
+}

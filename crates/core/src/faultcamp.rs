@@ -1,0 +1,249 @@
+//! Fault-injection campaigns: does the reused test suite detect component
+//! bugs?
+//!
+//! The paper's motivation is knowledge preservation — test sheets encode
+//! "bugs that have occured in the past" so they are not reintroduced.  This
+//! module quantifies that: every fault model is injected into a fresh DUT,
+//! the full suite runs, and a fault counts as *detected* when at least one
+//! check fails.  The fault-free reference run must pass, otherwise results
+//! would be meaningless ([`CoreError::UnhealthyReference`]).
+
+use std::fmt;
+
+use comptest_dut::{Device, FaultKind};
+use comptest_model::TestSuite;
+use comptest_stand::TestStand;
+
+use crate::error::CoreError;
+use crate::exec::ExecOptions;
+use crate::pipeline::run_suite;
+use crate::verdict::Verdict;
+
+/// The outcome of one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRun {
+    /// The fault, rendered (`inverted_lamp`, `timer_x1.5`, …).
+    pub fault: String,
+    /// True if at least one check failed (the suite caught the bug).
+    pub detected: bool,
+    /// Number of failing checks across the suite.
+    pub failing_checks: usize,
+    /// Names of the tests that flagged the fault.
+    pub detected_by: Vec<String>,
+}
+
+/// The result of a fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaignResult {
+    /// Suite name.
+    pub suite: String,
+    /// Stand name.
+    pub stand: String,
+    /// One row per injected fault.
+    pub runs: Vec<FaultRun>,
+}
+
+impl FaultCampaignResult {
+    /// Fraction of faults detected, in `0.0..=1.0` (1.0 for an empty set).
+    pub fn coverage(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 1.0;
+        }
+        self.runs.iter().filter(|r| r.detected).count() as f64 / self.runs.len() as f64
+    }
+
+    /// The faults that escaped every test.
+    pub fn escapes(&self) -> Vec<&FaultRun> {
+        self.runs.iter().filter(|r| !r.detected).collect()
+    }
+}
+
+impl fmt::Display for FaultCampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault campaign: {} on {} — {}/{} detected ({:.0}%)",
+            self.suite,
+            self.stand,
+            self.runs.iter().filter(|r| r.detected).count(),
+            self.runs.len(),
+            self.coverage() * 100.0
+        )?;
+        for run in &self.runs {
+            writeln!(
+                f,
+                "  {:<28} {}",
+                run.fault,
+                if run.detected {
+                    format!("DETECTED ({} failing checks)", run.failing_checks)
+                } else {
+                    "escaped".to_owned()
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a fault campaign.
+///
+/// `device_factory` builds a DUT: `None` for the healthy reference,
+/// `Some(fault)` with that fault injected.  Keeping construction with the
+/// caller keeps this module agnostic of ECU wiring.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnhealthyReference`] when the fault-free run does
+/// not pass, and propagates generation/planning errors.
+pub fn run_fault_campaign(
+    suite: &TestSuite,
+    stand: &TestStand,
+    mut device_factory: impl FnMut(Option<&FaultKind>) -> Device,
+    faults: &[FaultKind],
+    options: &ExecOptions,
+) -> Result<FaultCampaignResult, CoreError> {
+    // Reference run: the healthy DUT must pass everything.
+    let reference = run_suite(suite, stand, || device_factory(None), options)?;
+    if reference.verdict() != Verdict::Pass {
+        let offender = reference
+            .results
+            .iter()
+            .find(|r| r.verdict() != Verdict::Pass)
+            .expect("non-pass suite has a non-pass test");
+        return Err(CoreError::UnhealthyReference {
+            test: offender.test.clone(),
+            summary: offender.to_string(),
+        });
+    }
+
+    let mut runs = Vec::new();
+    for fault in faults {
+        let result = run_suite(suite, stand, || device_factory(Some(fault)), options)?;
+        let mut failing_checks = 0;
+        let mut detected_by = Vec::new();
+        for test in &result.results {
+            let fails = test.failures().len();
+            if fails > 0 || test.verdict() != Verdict::Pass {
+                detected_by.push(test.test.clone());
+            }
+            failing_checks += fails;
+        }
+        runs.push(FaultRun {
+            fault: fault.to_string(),
+            detected: !detected_by.is_empty(),
+            failing_checks,
+            detected_by,
+        });
+    }
+
+    Ok(FaultCampaignResult {
+        suite: suite.name.clone(),
+        stand: stand.name().to_owned(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light::{self, InteriorLight};
+    use comptest_dut::{FaultyBehavior, PortValue};
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = lamp_suite
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test lamp_basics]
+step, dt,  DS_FL, NIGHT, INT_ILL, remarks
+0,    0.5, Open,  0,     Lo,      day off
+1,    0.5, Closed,1,     Lo,      night closed off
+2,    0.5, Open,  ,      Ho,      night open on
+3,    0.5, Closed,,      Lo,      closes again
+";
+
+    fn build(fault: Option<&FaultKind>) -> Device {
+        match fault {
+            None => interior_light::device(Default::default()),
+            Some(f) if f.is_device_level() => {
+                let mut d = interior_light::device(Default::default());
+                assert!(f.apply_to_device(&mut d));
+                d
+            }
+            Some(f) => interior_light::device_with(
+                Default::default(),
+                Box::new(FaultyBehavior::new(
+                    Box::new(InteriorLight::new()),
+                    vec![f.clone()],
+                )),
+            ),
+        }
+    }
+
+    #[test]
+    fn campaign_detects_and_reports() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let stand = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let faults = vec![
+            FaultKind::StuckOutput {
+                port: "lamp",
+                value: PortValue::Bool(true),
+            },
+            FaultKind::InvertedOutput { port: "lamp" },
+            FaultKind::IgnoredInput { port: "night" },
+            FaultKind::DropCanFrame {
+                frame: interior_light::NIGHT_FRAME,
+            },
+            // A 300s-timer drift is invisible to this short suite — an
+            // expected escape (the paper's T1 steps 7/8 exist to catch it).
+            FaultKind::TimerScale { factor: 1.5 },
+        ];
+        let result =
+            run_fault_campaign(&wb.suite, &stand, build, &faults, &ExecOptions::default()).unwrap();
+        assert_eq!(result.runs.len(), 5);
+        assert!(result.runs[0].detected, "stuck lamp detected");
+        assert!(result.runs[1].detected, "inverted lamp detected");
+        assert!(result.runs[2].detected, "dead night bit detected");
+        assert!(result.runs[3].detected, "dropped CAN frame detected");
+        assert!(
+            !result.runs[4].detected,
+            "timer drift escapes the short suite"
+        );
+        assert!((result.coverage() - 0.8).abs() < 1e-9);
+        assert_eq!(result.escapes().len(), 1);
+        let text = result.to_string();
+        assert!(text.contains("80%"));
+        assert!(text.contains("escaped"));
+    }
+
+    #[test]
+    fn unhealthy_reference_is_rejected() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let stand = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        // "Healthy" device that is actually broken.
+        let err = run_fault_campaign(
+            &wb.suite,
+            &stand,
+            |_| build(Some(&FaultKind::InvertedOutput { port: "lamp" })),
+            &[],
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::UnhealthyReference { .. }));
+    }
+}

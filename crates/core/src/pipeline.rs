@@ -1,0 +1,113 @@
+//! Convenience front end: suite → script → plan → execution in one call.
+
+use comptest_dut::Device;
+use comptest_model::TestSuite;
+use comptest_script::generate;
+use comptest_stand::{plan, TestStand};
+
+use crate::error::CoreError;
+use crate::exec::{execute, ExecOptions};
+use crate::verdict::{SuiteResult, TestResult};
+
+/// Runs one named test of a suite on a stand against a device.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when generation or planning fails; execution
+/// problems are reported inside the [`TestResult`], not as errors.
+pub fn run_test(
+    suite: &TestSuite,
+    test_name: &str,
+    stand: &TestStand,
+    device: &mut Device,
+    options: &ExecOptions,
+) -> Result<TestResult, CoreError> {
+    let script = generate(suite, test_name)?;
+    let plan = plan(&script, stand)?;
+    Ok(execute(&plan, device, options))
+}
+
+/// Runs every test of a suite on a stand, with a fresh device per test.
+///
+/// `device_factory` is called once per test so state never leaks between
+/// tests (the paper's stands power-cycle the DUT between runs).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when generation or planning fails for any test.
+pub fn run_suite(
+    suite: &TestSuite,
+    stand: &TestStand,
+    mut device_factory: impl FnMut() -> Device,
+    options: &ExecOptions,
+) -> Result<SuiteResult, CoreError> {
+    let mut results = Vec::new();
+    for test in &suite.tests {
+        let mut device = device_factory();
+        results.push(run_test(suite, &test.name, stand, &mut device, options)?);
+    }
+    Ok(SuiteResult {
+        suite: suite.name.clone(),
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light;
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = demo
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test lamp_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+
+[test lamp_off_day]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Lo
+";
+
+    #[test]
+    fn run_suite_end_to_end() {
+        let wb = Workbook::parse_str("demo.cts", WB).unwrap();
+        let stand = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let result = run_suite(
+            &wb.suite,
+            &stand,
+            || interior_light::device(Default::default()),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.results.len(), 2);
+        assert_eq!(result.counts(), (2, 0, 0), "{result:?}");
+    }
+
+    #[test]
+    fn unknown_test_surfaces_as_codegen_error() {
+        let wb = Workbook::parse_str("demo.cts", WB).unwrap();
+        let stand = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let mut dut = interior_light::device(Default::default());
+        let err =
+            run_test(&wb.suite, "nope", &stand, &mut dut, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Codegen(_)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-stand portability: which suites run on which stands.
+//!
+//! Planning alone (no execution) answers the paper's central question: a
+//! test defined once runs anywhere a stand offers appropriate, connectable
+//! resources — and where it does not, the interpreter's error message says
+//! exactly what is missing.
+
+use std::fmt;
+
+use comptest_model::TestSuite;
+use comptest_script::generate_all;
+use comptest_stand::{plan, TestStand};
+
+use crate::error::CoreError;
+
+/// One (test, stand) portability outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortabilityRow {
+    /// Test name.
+    pub test: String,
+    /// Stand name.
+    pub stand: String,
+    /// True if planning succeeded.
+    pub ok: bool,
+    /// The stand's error message when it did not.
+    pub error: Option<String>,
+}
+
+/// The full test × stand matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PortabilityReport {
+    /// All rows, tests major, stands minor.
+    pub rows: Vec<PortabilityRow>,
+}
+
+impl PortabilityReport {
+    /// Fraction of (test, stand) pairs that plan successfully.
+    pub fn portability(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        self.rows.iter().filter(|r| r.ok).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Rows for one stand.
+    pub fn for_stand<'a>(&'a self, stand: &'a str) -> impl Iterator<Item = &'a PortabilityRow> {
+        self.rows.iter().filter(move |r| r.stand == stand)
+    }
+
+    /// True if every test plans on every stand.
+    pub fn fully_portable(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+}
+
+impl fmt::Display for PortabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            write!(
+                f,
+                "{:<28} on {:<12} {}",
+                row.test,
+                row.stand,
+                if row.ok { "ok" } else { "NOT RUNNABLE" }
+            )?;
+            if let Some(e) = &row.error {
+                write!(f, "\n    {}", e.replace('\n', "\n    "))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "portability: {:.0}%", self.portability() * 100.0)
+    }
+}
+
+/// Plans every generated script of `suite` on every stand.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] if the suite itself is invalid; per-stand
+/// planning failures are *data* (rows with `ok = false`), not errors.
+pub fn check_portability(
+    suite: &TestSuite,
+    stands: &[&TestStand],
+) -> Result<PortabilityReport, CoreError> {
+    let scripts = generate_all(suite)?;
+    let mut report = PortabilityReport::default();
+    for script in &scripts {
+        for stand in stands {
+            match plan(script, stand) {
+                Ok(_) => report.rows.push(PortabilityRow {
+                    test: script.name.clone(),
+                    stand: stand.name().to_owned(),
+                    ok: true,
+                    error: None,
+                }),
+                Err(e) => report.rows.push(PortabilityRow {
+                    test: script.name.clone(),
+                    stand: stand.name().to_owned(),
+                    ok: false,
+                    error: Some(e.to_string()),
+                }),
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = demo
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test one]
+step, dt,  DS_FL, INT_ILL
+0,    0.5, Open,  Ho
+";
+
+    /// A stand with no voltmeter: the get_u statement cannot be served.
+    const STAND_NO_DVM: &str = "\
+[stand]
+name = bare
+ubatt = 12.0
+
+[resources]
+id,    method, attribut, min, max,  unit
+Dec1,  put_r,  r,        0,   1E6,  Ohm
+
+[matrix]
+point, resource, pin
+P1,    Dec1,     DS_FL
+";
+
+    #[test]
+    fn matrix_reports_per_stand() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let bare = TestStand::parse_str("bare.stand", STAND_NO_DVM).unwrap();
+        let report = check_portability(&wb.suite, &[&full, &bare]).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].ok, "full stand runs the test");
+        assert!(!report.rows[1].ok, "bare stand cannot");
+        assert!(!report.fully_portable());
+        assert!((report.portability() - 0.5).abs() < 1e-9);
+        let err = report.rows[1].error.as_ref().unwrap();
+        assert!(err.contains("no resource for get_u"), "{err}");
+        assert_eq!(report.for_stand("bare").count(), 1);
+        let text = report.to_string();
+        assert!(text.contains("NOT RUNNABLE"));
+        assert!(text.contains("portability: 50%"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Parameter sweeps: run a suite repeatedly while varying one stand
+//! environment variable, and find the operating window in which the DUT
+//! passes.
+//!
+//! This is the quantitative face of the paper's `var (x)` column: because
+//! every limit scales with the stand's variables, sweeping a variable
+//! against a *fixed* DUT maps out exactly how much supply mismatch the
+//! component tolerates before the sheets call it broken.
+
+use std::fmt;
+
+use comptest_dut::Device;
+use comptest_model::TestSuite;
+use comptest_stand::TestStand;
+
+use crate::error::CoreError;
+use crate::exec::ExecOptions;
+use crate::pipeline::run_suite;
+use crate::verdict::{SuiteResult, Verdict};
+
+/// One sweep point: the variable's value and the suite outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept variable's value at this point.
+    pub value: f64,
+    /// The suite result (or the planning error message).
+    pub outcome: Result<SuiteResult, String>,
+}
+
+impl SweepPoint {
+    /// True if the whole suite passed at this point.
+    pub fn passed(&self) -> bool {
+        matches!(&self.outcome, Ok(r) if r.verdict() == Verdict::Pass)
+    }
+}
+
+/// The result of [`sweep_variable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The swept environment variable (lowercased).
+    pub variable: String,
+    /// Points in the order given.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The values at which the suite passed.
+    pub fn passing_values(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.passed())
+            .map(|p| p.value)
+            .collect()
+    }
+
+    /// The contiguous `[min, max]` hull of passing values, if any passed.
+    /// (Callers sweeping a monotone parameter read this as the operating
+    /// window.)
+    pub fn passing_window(&self) -> Option<(f64, f64)> {
+        let passing = self.passing_values();
+        let lo = passing.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = passing.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if passing.is_empty() {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+}
+
+impl fmt::Display for SweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sweep of {}:", self.variable)?;
+        for p in &self.points {
+            let status = match &p.outcome {
+                Ok(r) => {
+                    let (pass, fail, err) = r.counts();
+                    format!("{} ({pass}P/{fail}F/{err}E)", r.verdict())
+                }
+                Err(e) => format!("NOT RUNNABLE ({e})"),
+            };
+            writeln!(
+                f,
+                "  {} = {:<8} {status}",
+                self.variable,
+                comptest_model::value::display_number(p.value)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `suite` once per value of `variable`, with the stand's environment
+/// updated each time. `device_factory` receives the current value so the
+/// DUT can either track the rail (matched sweep) or ignore it (mismatch
+/// sweep).
+///
+/// Planning failures at individual points are recorded as data; generation
+/// errors (an invalid suite) abort the sweep.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] for invalid suites.
+pub fn sweep_variable(
+    suite: &TestSuite,
+    stand: &TestStand,
+    variable: &str,
+    values: &[f64],
+    mut device_factory: impl FnMut(f64) -> Device,
+    options: &ExecOptions,
+) -> Result<SweepResult, CoreError> {
+    // Surface suite problems once, up front.
+    comptest_script::generate_all(suite)?;
+
+    let mut points = Vec::new();
+    for &value in values {
+        let mut stand = stand.clone();
+        stand.env_mut().set(variable, value);
+        let outcome = match run_suite(suite, &stand, || device_factory(value), options) {
+            Ok(r) => Ok(r),
+            Err(CoreError::Stand(e)) => Err(e.to_string()),
+            Err(other) => return Err(other),
+        };
+        points.push(SweepPoint { value, outcome });
+    }
+    Ok(SweepResult {
+        variable: variable.to_ascii_lowercase(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_dut::ecus::interior_light;
+    use comptest_dut::ElectricalConfig;
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test night_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+1,    0.5, Closed,,      Lo
+";
+
+    fn suite() -> TestSuite {
+        Workbook::parse_str("wb.cts", WB).unwrap().suite
+    }
+
+    fn stand() -> TestStand {
+        TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap()
+    }
+
+    #[test]
+    fn matched_sweep_passes_everywhere() {
+        // DUT supply tracks the stand's declared rail: every point passes.
+        let result = sweep_variable(
+            &suite(),
+            &stand(),
+            "ubatt",
+            &[9.0, 10.8, 12.0, 13.8, 14.4, 16.0],
+            |u| {
+                interior_light::device(ElectricalConfig {
+                    ubatt: u,
+                    ..Default::default()
+                })
+            },
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.passing_values().len(), 6, "{result}");
+        assert_eq!(result.passing_window(), Some((9.0, 16.0)));
+    }
+
+    #[test]
+    fn mismatch_sweep_finds_the_operating_window() {
+        // A fixed 12 V DUT against stands declaring different rails. The Ho
+        // status (0.7..1.1 × ubatt) bounds the window analytically:
+        // 12/1.1 ≈ 10.9 ≤ ubatt ≤ 12/0.7 ≈ 17.1.
+        let result = sweep_variable(
+            &suite(),
+            &stand(),
+            "ubatt",
+            &[8.0, 10.0, 11.0, 12.0, 14.0, 17.0, 18.0, 20.0],
+            |_| interior_light::device(ElectricalConfig::default()),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let window = result.passing_window().expect("some points pass");
+        assert_eq!(window, (11.0, 17.0), "{result}");
+        assert!(!result.points[0].passed(), "8 V stand rejects a 12 V DUT");
+        assert!(!result.points.last().unwrap().passed());
+        let text = result.to_string();
+        assert!(text.contains("ubatt = 12"));
+        assert!(text.contains("FAIL") || text.contains("1F"));
+    }
+
+    #[test]
+    fn no_passing_points_yields_no_window() {
+        let result = sweep_variable(
+            &suite(),
+            &stand(),
+            "ubatt",
+            &[40.0, 50.0],
+            |_| interior_light::device(ElectricalConfig::default()),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(result.passing_window().is_none());
+    }
+
+    #[test]
+    fn invalid_suite_aborts() {
+        let mut bad = suite();
+        bad.tests[0].steps.push(
+            comptest_model::TestStep::new(9, comptest_model::SimTime::from_secs(1)).assign(
+                comptest_model::SignalName::new("GHOST").unwrap(),
+                comptest_model::StatusName::new("Open").unwrap(),
+            ),
+        );
+        let err = sweep_variable(
+            &bad,
+            &stand(),
+            "ubatt",
+            &[12.0],
+            |_| interior_light::device(Default::default()),
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Codegen(_)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution traces: a time-ordered log of everything the engine did.
+
+use std::fmt;
+
+use comptest_model::{SignalName, SimTime};
+use comptest_stand::AppliedValue;
+
+use crate::verdict::Measured;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A stimulus was applied.
+    Applied {
+        /// When.
+        at: SimTime,
+        /// To which signal.
+        signal: SignalName,
+        /// Through which resource.
+        resource: String,
+        /// The concrete value.
+        value: AppliedValue,
+    },
+    /// A measurement was taken.
+    Measured {
+        /// When.
+        at: SimTime,
+        /// On which signal.
+        signal: SignalName,
+        /// Through which resource.
+        resource: String,
+        /// The value read.
+        value: Measured,
+    },
+    /// A step boundary.
+    StepEnd {
+        /// Step number.
+        nr: u32,
+        /// Step end time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Applied { at, .. }
+            | TraceEvent::Measured { at, .. }
+            | TraceEvent::StepEnd { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Applied {
+                at,
+                signal,
+                resource,
+                value,
+            } => write!(f, "{at:>12} apply   {signal} = {value} via {resource}"),
+            TraceEvent::Measured {
+                at,
+                signal,
+                resource,
+                value,
+            } => write!(f, "{at:>12} measure {signal} -> {value} via {resource}"),
+            TraceEvent::StepEnd { nr, at } => write!(f, "{at:>12} ---- end of step {nr} ----"),
+        }
+    }
+}
+
+/// The ordered event log of one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (events must be pushed in time order; the engine
+    /// does so by construction).
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_render() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Applied {
+            at: SimTime::ZERO,
+            signal: SignalName::new("ds_fl").unwrap(),
+            resource: "Ress2".into(),
+            value: AppliedValue::Num(0.0),
+        });
+        t.push(TraceEvent::Measured {
+            at: SimTime::from_millis(500),
+            signal: SignalName::new("int_ill").unwrap(),
+            resource: "Ress1".into(),
+            value: Measured::Num(12.0),
+        });
+        t.push(TraceEvent::StepEnd {
+            nr: 0,
+            at: SimTime::from_millis(500),
+        });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].at(), SimTime::ZERO);
+        let text = t.to_string();
+        assert!(text.contains("apply   ds_fl = 0 via Ress2"));
+        assert!(text.contains("measure int_ill -> 12 via Ress1"));
+        assert!(text.contains("end of step 0"));
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!((&t).into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! Verdicts and result containers.
+
+use std::fmt;
+
+use comptest_model::{MethodName, SignalName, SimTime, StatusBound};
+
+use crate::trace::Trace;
+
+/// The outcome of a check, step, test or suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Everything within bounds.
+    Pass,
+    /// A measured value violated its bound.
+    Fail,
+    /// The test could not be executed correctly (unsupported method,
+    /// missing CAN frame, …) — distinct from a DUT failure.
+    Error,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => f.write_str("PASS"),
+            Verdict::Fail => f.write_str("FAIL"),
+            Verdict::Error => f.write_str("ERROR"),
+        }
+    }
+}
+
+/// What a measurement produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measured {
+    /// A voltage/resistance/… in the method's unit.
+    Num(f64),
+    /// A CAN field value.
+    Bits(u64),
+    /// Nothing (frame never transmitted, method unsupported).
+    None,
+}
+
+impl fmt::Display for Measured {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Measured::Num(v) => f.write_str(&comptest_model::value::number_to_string(*v)),
+            Measured::Bits(v) => write!(f, "{v:#b}"),
+            Measured::None => f.write_str("-"),
+        }
+    }
+}
+
+/// One evaluated expected-output check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Step number.
+    pub step: u32,
+    /// Simulation time of the sample.
+    pub at: SimTime,
+    /// The checked signal.
+    pub signal: SignalName,
+    /// The measurement method.
+    pub method: MethodName,
+    /// The acceptance bound.
+    pub bound: StatusBound,
+    /// What was measured.
+    pub measured: Measured,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Explanation for non-passes.
+    pub message: String,
+}
+
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[step {} @ {}] {} {}: measured {} against {} -> {}",
+            self.step, self.at, self.signal, self.method, self.measured, self.bound, self.verdict
+        )?;
+        if !self.message.is_empty() {
+            write!(f, " ({})", self.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// All checks of one executed step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Step number.
+    pub nr: u32,
+    /// Step end time.
+    pub t_end: SimTime,
+    /// Check outcomes (empty for stimulus-only steps).
+    pub checks: Vec<CheckResult>,
+}
+
+impl StepResult {
+    /// Worst verdict of the step (`Pass` when there are no checks).
+    pub fn verdict(&self) -> Verdict {
+        self.checks
+            .iter()
+            .map(|c| c.verdict)
+            .max()
+            .unwrap_or(Verdict::Pass)
+    }
+}
+
+/// The outcome of one test execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test (script) name.
+    pub test: String,
+    /// Stand the plan was made for.
+    pub stand: String,
+    /// The DUT (behaviour) name.
+    pub dut: String,
+    /// Per-step outcomes.
+    pub steps: Vec<StepResult>,
+    /// A fatal execution error, if one aborted the run.
+    pub error: Option<String>,
+    /// The stimulus/measurement trace.
+    pub trace: Trace,
+}
+
+impl TestResult {
+    /// Worst verdict across all steps (or `Error` for aborted runs).
+    pub fn verdict(&self) -> Verdict {
+        if self.error.is_some() {
+            return Verdict::Error;
+        }
+        self.steps
+            .iter()
+            .map(|s| s.verdict())
+            .max()
+            .unwrap_or(Verdict::Pass)
+    }
+
+    /// True if every check passed and no error occurred.
+    pub fn passed(&self) -> bool {
+        self.verdict() == Verdict::Pass
+    }
+
+    /// All non-passing checks.
+    pub fn failures(&self) -> Vec<&CheckResult> {
+        self.steps
+            .iter()
+            .flat_map(|s| s.checks.iter())
+            .filter(|c| c.verdict != Verdict::Pass)
+            .collect()
+    }
+
+    /// Total number of checks executed.
+    pub fn check_count(&self) -> usize {
+        self.steps.iter().map(|s| s.checks.len()).sum()
+    }
+}
+
+impl fmt::Display for TestResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} against {}: {} ({} checks",
+            self.test,
+            self.stand,
+            self.dut,
+            self.verdict(),
+            self.check_count()
+        )?;
+        let fails = self.failures().len();
+        if fails > 0 {
+            write!(f, ", {fails} failing")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// The outcomes of a whole suite on one stand/DUT combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Suite name.
+    pub suite: String,
+    /// One result per test, in suite order.
+    pub results: Vec<TestResult>,
+}
+
+impl SuiteResult {
+    /// Worst verdict across all tests.
+    pub fn verdict(&self) -> Verdict {
+        self.results
+            .iter()
+            .map(|r| r.verdict())
+            .max()
+            .unwrap_or(Verdict::Pass)
+    }
+
+    /// `(passed, failed, errored)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for r in &self.results {
+            match r.verdict() {
+                Verdict::Pass => counts.0 += 1,
+                Verdict::Fail => counts.1 += 1,
+                Verdict::Error => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(verdict: Verdict) -> CheckResult {
+        CheckResult {
+            step: 0,
+            at: SimTime::from_millis(500),
+            signal: SignalName::new("int_ill").unwrap(),
+            method: MethodName::new("get_u").unwrap(),
+            bound: StatusBound::Numeric {
+                nominal: None,
+                lo: 8.4,
+                hi: 13.2,
+            },
+            measured: Measured::Num(12.0),
+            verdict,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn verdict_ordering_is_worst_wins() {
+        assert!(Verdict::Pass < Verdict::Fail);
+        assert!(Verdict::Fail < Verdict::Error);
+        let step = StepResult {
+            nr: 0,
+            t_end: SimTime::from_millis(500),
+            checks: vec![check(Verdict::Pass), check(Verdict::Fail)],
+        };
+        assert_eq!(step.verdict(), Verdict::Fail);
+        let empty = StepResult {
+            nr: 1,
+            t_end: SimTime::from_secs(1),
+            checks: vec![],
+        };
+        assert_eq!(empty.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn test_result_aggregation() {
+        let mut result = TestResult {
+            test: "t".into(),
+            stand: "s".into(),
+            dut: "d".into(),
+            steps: vec![StepResult {
+                nr: 0,
+                t_end: SimTime::from_millis(500),
+                checks: vec![check(Verdict::Pass)],
+            }],
+            error: None,
+            trace: Trace::default(),
+        };
+        assert!(result.passed());
+        assert_eq!(result.check_count(), 1);
+        result.steps[0].checks.push(check(Verdict::Fail));
+        assert_eq!(result.verdict(), Verdict::Fail);
+        assert_eq!(result.failures().len(), 1);
+        result.error = Some("boom".into());
+        assert_eq!(result.verdict(), Verdict::Error);
+    }
+
+    #[test]
+    fn suite_counts() {
+        let ok = TestResult {
+            test: "a".into(),
+            stand: "s".into(),
+            dut: "d".into(),
+            steps: vec![],
+            error: None,
+            trace: Trace::default(),
+        };
+        let mut fail = ok.clone();
+        fail.steps.push(StepResult {
+            nr: 0,
+            t_end: SimTime::ZERO,
+            checks: vec![check(Verdict::Fail)],
+        });
+        let mut err = ok.clone();
+        err.error = Some("x".into());
+        let suite = SuiteResult {
+            suite: "s".into(),
+            results: vec![ok, fail, err],
+        };
+        assert_eq!(suite.counts(), (1, 1, 1));
+        assert_eq!(suite.verdict(), Verdict::Error);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Verdict::Pass.to_string(), "PASS");
+        assert_eq!(Measured::Num(12.5).to_string(), "12.5");
+        assert_eq!(Measured::Bits(5).to_string(), "0b101");
+        assert_eq!(Measured::None.to_string(), "-");
+        let c = check(Verdict::Fail);
+        let text = c.to_string();
+        assert!(text.contains("step 0"));
+        assert!(text.contains("FAIL"));
+    }
+}

@@ -1,0 +1,97 @@
+//! The event-driven behaviour interface ECU models implement.
+//!
+//! Behaviours are sampled-state machines with scheduled internal events
+//! (timers).  The engine drives them with this contract:
+//!
+//! 1. [`Behavior::reset`] once at test start;
+//! 2. [`Behavior::advance`] *to the current time* before any input change or
+//!    output query — behaviours never see time move backwards;
+//! 3. [`Behavior::set_input`] whenever a bound port's value changes;
+//! 4. [`Behavior::next_event`] after every interaction: if `Some(t)`, the
+//!    engine guarantees an [`advance`](Behavior::advance) call at `t` (or
+//!    earlier).  Events in the past are processed immediately.
+
+use std::fmt;
+
+use comptest_model::SimTime;
+
+/// A value on a behaviour port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortValue {
+    /// A logic level (switch pressed, lamp on, …).
+    Bool(bool),
+    /// A multi-bit field (CAN-mapped values).
+    Bits(u64),
+}
+
+impl PortValue {
+    /// The boolean, coercing bits (`0` = false).
+    pub fn as_bool(self) -> bool {
+        match self {
+            PortValue::Bool(b) => b,
+            PortValue::Bits(v) => v != 0,
+        }
+    }
+
+    /// The raw bits (`true` = 1).
+    pub fn as_bits(self) -> u64 {
+        match self {
+            PortValue::Bool(b) => b as u64,
+            PortValue::Bits(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for PortValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortValue::Bool(b) => write!(f, "{b}"),
+            PortValue::Bits(v) => write!(f, "{v:#b}"),
+        }
+    }
+}
+
+/// An ECU model. See the [module docs](self) for the driving contract.
+pub trait Behavior: fmt::Debug {
+    /// Model name, for reports.
+    fn name(&self) -> &str;
+
+    /// Input port names.
+    fn inputs(&self) -> &[&'static str];
+
+    /// Output port names.
+    fn outputs(&self) -> &[&'static str];
+
+    /// Re-initialises all state at time `now`.
+    fn reset(&mut self, now: SimTime);
+
+    /// Applies an input-port change at time `now`. Unknown ports are
+    /// ignored (a wiring mistake shows up as a failed check, as on a real
+    /// bench, not as a crash).
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime);
+
+    /// Processes internal events up to and including `now`.
+    fn advance(&mut self, now: SimTime);
+
+    /// The next scheduled internal event, if any.
+    fn next_event(&self) -> Option<SimTime>;
+
+    /// Reads an output port. Unknown ports read `Bool(false)`.
+    fn output(&self, port: &str) -> PortValue;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_value_coercions() {
+        assert!(PortValue::Bool(true).as_bool());
+        assert!(!PortValue::Bits(0).as_bool());
+        assert!(PortValue::Bits(4).as_bool());
+        assert_eq!(PortValue::Bool(true).as_bits(), 1);
+        assert_eq!(PortValue::Bits(0b101).as_bits(), 5);
+        assert_eq!(PortValue::Bool(false).to_string(), "false");
+        assert_eq!(PortValue::Bits(5).to_string(), "0b101");
+    }
+}

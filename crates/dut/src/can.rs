@@ -1,0 +1,145 @@
+//! A CAN bus carrying bit-field mapped signals.
+//!
+//! Payloads are modelled as a 64-bit field space per frame id (classic CAN's
+//! 8 data bytes).  Both the test stand and the DUT read and write fields;
+//! signal packing follows the `can:<frame>:<start_bit>:<width>` notation of
+//! the signal sheets (LSB-first bit numbering).
+
+use std::collections::BTreeMap;
+
+use comptest_model::CanFrameId;
+
+/// The shared bus state: last-seen payload per frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CanBus {
+    frames: BTreeMap<CanFrameId, u64>,
+    tx_count: u64,
+}
+
+impl CanBus {
+    /// An empty bus (no frame seen yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a bit field, transmitting the updated frame. Creates the frame
+    /// with an all-zero payload if it was never seen.
+    ///
+    /// Bits outside the field are preserved — multiple signals share frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or `start_bit + width > 64` (signal kinds are
+    /// validated long before they reach the bus).
+    pub fn write_field(&mut self, frame: CanFrameId, start_bit: u8, width: u8, value: u64) {
+        assert!(
+            width > 0 && start_bit as u16 + width as u16 <= 64,
+            "field out of range"
+        );
+        let mask = field_mask(start_bit, width);
+        let payload = self.frames.entry(frame).or_insert(0);
+        *payload = (*payload & !mask) | ((value << start_bit) & mask);
+        self.tx_count += 1;
+    }
+
+    /// Reads a bit field. `None` if the frame was never transmitted.
+    pub fn read_field(&self, frame: CanFrameId, start_bit: u8, width: u8) -> Option<u64> {
+        assert!(
+            width > 0 && start_bit as u16 + width as u16 <= 64,
+            "field out of range"
+        );
+        self.frames
+            .get(&frame)
+            .map(|payload| (payload >> start_bit) & low_mask(width))
+    }
+
+    /// The raw payload of a frame, if ever transmitted.
+    pub fn frame(&self, frame: CanFrameId) -> Option<u64> {
+        self.frames.get(&frame).copied()
+    }
+
+    /// Number of transmissions since construction (stimuli + DUT traffic).
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Clears all frames (device reset).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.tx_count = 0;
+    }
+}
+
+fn low_mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn field_mask(start_bit: u8, width: u8) -> u64 {
+    low_mask(width) << start_bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: CanFrameId = CanFrameId(0x130);
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut bus = CanBus::new();
+        assert_eq!(bus.read_field(F, 0, 4), None);
+        bus.write_field(F, 0, 4, 0b0001);
+        assert_eq!(bus.read_field(F, 0, 4), Some(1));
+        assert_eq!(bus.frame(F), Some(1));
+    }
+
+    #[test]
+    fn fields_share_frames_without_clobbering() {
+        let mut bus = CanBus::new();
+        bus.write_field(F, 0, 4, 0b1111);
+        bus.write_field(F, 4, 2, 0b10);
+        assert_eq!(bus.read_field(F, 0, 4), Some(0b1111));
+        assert_eq!(bus.read_field(F, 4, 2), Some(0b10));
+        // Overwrite the first field; second stays.
+        bus.write_field(F, 0, 4, 0);
+        assert_eq!(bus.read_field(F, 0, 4), Some(0));
+        assert_eq!(bus.read_field(F, 4, 2), Some(0b10));
+    }
+
+    #[test]
+    fn value_is_masked_to_width() {
+        let mut bus = CanBus::new();
+        bus.write_field(F, 2, 2, 0b1111);
+        assert_eq!(bus.read_field(F, 2, 2), Some(0b11));
+        assert_eq!(bus.read_field(F, 0, 2), Some(0));
+    }
+
+    #[test]
+    fn full_width_field() {
+        let mut bus = CanBus::new();
+        bus.write_field(F, 0, 64, u64::MAX);
+        assert_eq!(bus.read_field(F, 0, 64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn tx_count_and_clear() {
+        let mut bus = CanBus::new();
+        bus.write_field(F, 0, 1, 1);
+        bus.write_field(F, 0, 1, 0);
+        assert_eq!(bus.tx_count(), 2);
+        bus.clear();
+        assert_eq!(bus.tx_count(), 0);
+        assert_eq!(bus.frame(F), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "field out of range")]
+    fn oversized_field_panics() {
+        let mut bus = CanBus::new();
+        bus.write_field(F, 60, 8, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! A central-locking controller: CAN lock/unlock commands, crash unlock,
+//! and comfort auto-relock.
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::{Device, PinBinding};
+use crate::elec::ElectricalConfig;
+
+/// The frame carrying the lock (`bit 0`) and unlock (`bit 1`) commands.
+pub const CMD_FRAME: CanFrameId = CanFrameId(0x2F0);
+/// The frame on which the controller reports its state (`bit 0` = locked).
+pub const STATUS_FRAME: CanFrameId = CanFrameId(0x2F8);
+/// Auto-relock delay: an unlocked, untouched car relocks after this time.
+pub const AUTO_RELOCK: SimTime = SimTime::from_secs(60);
+
+/// The central-locking behaviour.
+#[derive(Debug)]
+pub struct CentralLock {
+    locked: bool,
+    crash: bool,
+    lock_cmd: bool,
+    unlock_cmd: bool,
+    /// Auto-relock deadline, armed by an unlock command.
+    relock_at: Option<SimTime>,
+    now: SimTime,
+}
+
+impl CentralLock {
+    /// Creates the behaviour (unlocked, no crash).
+    pub fn new() -> Self {
+        Self {
+            locked: false,
+            crash: false,
+            lock_cmd: false,
+            unlock_cmd: false,
+            relock_at: None,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for CentralLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Behavior for CentralLock {
+    fn name(&self) -> &str {
+        "central_lock"
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        &["lock_cmd", "unlock_cmd", "crash"]
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        &["actuator", "locked"]
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        *self = CentralLock::new();
+        self.now = now;
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.advance(now);
+        match port {
+            "lock_cmd" => {
+                let cmd = value.as_bool();
+                if cmd && !self.lock_cmd && !self.crash {
+                    self.locked = true;
+                    self.relock_at = None;
+                }
+                self.lock_cmd = cmd;
+            }
+            "unlock_cmd" => {
+                let cmd = value.as_bool();
+                if cmd && !self.unlock_cmd {
+                    self.locked = false;
+                    self.relock_at = Some(now.saturating_add(AUTO_RELOCK));
+                }
+                self.unlock_cmd = cmd;
+            }
+            "crash" => {
+                let crash = value.as_bool();
+                if crash && !self.crash {
+                    // Crash: unlock immediately and stay unlocked.
+                    self.locked = false;
+                    self.relock_at = None;
+                }
+                self.crash = crash;
+            }
+            _ => {}
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.now = now;
+        if let Some(t) = self.relock_at {
+            if now >= t {
+                self.relock_at = None;
+                if !self.crash {
+                    self.locked = true;
+                }
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        self.relock_at.filter(|t| *t > self.now)
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        match port {
+            "actuator" => PortValue::Bool(self.locked),
+            "locked" => PortValue::Bits(self.locked as u64),
+            _ => PortValue::Bool(false),
+        }
+    }
+}
+
+/// Builds the central-lock DUT: `CRASH_SW` (active low), actuator output
+/// `LOCK_F`/`LOCK_R`, commands on CAN `0x2F0` and status report on `0x2F8`.
+pub fn device(cfg: ElectricalConfig) -> Device {
+    device_with(cfg, Box::new(CentralLock::new()))
+}
+
+/// Builds the device around a custom behaviour (fault injection).
+pub fn device_with(cfg: ElectricalConfig, behavior: Box<dyn Behavior + Send>) -> Device {
+    Device::builder(behavior)
+        .config(cfg)
+        .pin("CRASH_SW", PinBinding::InputActiveLow { port: "crash" })
+        .pin("LOCK_F", PinBinding::Output { port: "actuator" })
+        .pin("LOCK_R", PinBinding::Return)
+        .can_input(CMD_FRAME.0, 0, 1, "lock_cmd")
+        .can_input(CMD_FRAME.0, 1, 1, "unlock_cmd")
+        .can_output(STATUS_FRAME.0, 0, 1, "locked")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elec::PinDrive;
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn actuator(d: &Device) -> bool {
+        d.measure_pins(&[pid("LOCK_F"), pid("LOCK_R")]) > 6.0
+    }
+
+    fn status(d: &Device) -> u64 {
+        d.read_can_field(STATUS_FRAME, 0, 1).unwrap()
+    }
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let mut d = device(ElectricalConfig::default());
+        assert!(!actuator(&d));
+        assert_eq!(status(&d), 0);
+        d.write_can_field(CMD_FRAME, 0, 1, 1, SimTime::from_secs(1));
+        assert!(actuator(&d));
+        assert_eq!(status(&d), 1, "status frame reports locked");
+        // Command bits are edge-triggered; clear then unlock.
+        d.write_can_field(CMD_FRAME, 0, 1, 0, SimTime::from_secs(2));
+        d.write_can_field(CMD_FRAME, 1, 1, 1, SimTime::from_secs(3));
+        assert!(!actuator(&d));
+        assert_eq!(status(&d), 0);
+    }
+
+    #[test]
+    fn auto_relock_after_60s() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(CMD_FRAME, 0, 1, 1, SimTime::from_secs(1));
+        d.write_can_field(CMD_FRAME, 0, 1, 0, SimTime::from_secs(2));
+        d.write_can_field(CMD_FRAME, 1, 1, 1, SimTime::from_secs(10));
+        assert!(!actuator(&d));
+        // 59 s later: still unlocked.
+        d.advance_to(SimTime::from_secs(69));
+        assert!(!actuator(&d));
+        // 61 s later: relocked.
+        d.advance_to(SimTime::from_secs(71));
+        assert!(actuator(&d));
+        assert_eq!(status(&d), 1);
+    }
+
+    #[test]
+    fn crash_unlocks_and_inhibits() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(CMD_FRAME, 0, 1, 1, SimTime::from_secs(1));
+        assert!(actuator(&d));
+        // Crash!
+        d.apply_pin(
+            &pid("CRASH_SW"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(2),
+        );
+        assert!(!actuator(&d), "crash unlocks");
+        // Lock commands are ignored during a crash.
+        d.write_can_field(CMD_FRAME, 0, 1, 0, SimTime::from_secs(3));
+        d.write_can_field(CMD_FRAME, 0, 1, 1, SimTime::from_secs(4));
+        assert!(!actuator(&d));
+        // After the crash line clears, locking works again.
+        d.apply_pin(
+            &pid("CRASH_SW"),
+            PinDrive::ResistanceToGround(f64::INFINITY),
+            SimTime::from_secs(5),
+        );
+        d.write_can_field(CMD_FRAME, 0, 1, 0, SimTime::from_secs(6));
+        d.write_can_field(CMD_FRAME, 0, 1, 1, SimTime::from_secs(7));
+        assert!(actuator(&d));
+    }
+
+    #[test]
+    fn crash_cancels_auto_relock() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(CMD_FRAME, 1, 1, 1, SimTime::from_secs(1));
+        d.apply_pin(
+            &pid("CRASH_SW"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(2),
+        );
+        d.advance_to(SimTime::from_secs(120));
+        assert!(!actuator(&d), "no relock while crashed");
+    }
+}

@@ -1,0 +1,287 @@
+//! A turn-signal flasher: 1.5 Hz flashing, hazard mode, and the classic
+//! lamp-outage behaviour — a burnt-out bulb doubles the flash frequency so
+//! the driver notices. Exercises frequency measurement (`get_f`) end to end.
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::{Device, PinBinding};
+use crate::elec::ElectricalConfig;
+
+/// The frame carrying the 2-bit stalk position
+/// (0 = off, 1 = left, 2 = right, 3 = hazard).
+pub const STALK_FRAME: CanFrameId = CanFrameId(0x260);
+/// Nominal flash half-period (full period 666.6 ms ≈ 1.5 Hz).
+pub const HALF_PERIOD: SimTime = SimTime::from_micros(333_333);
+/// Outage flash half-period (3 Hz).
+pub const OUTAGE_HALF_PERIOD: SimTime = SimTime::from_micros(166_667);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stalk {
+    Off,
+    Left,
+    Right,
+    Hazard,
+}
+
+impl Stalk {
+    fn from_bits(v: u64) -> Stalk {
+        match v & 0b11 {
+            0 => Stalk::Off,
+            1 => Stalk::Left,
+            2 => Stalk::Right,
+            _ => Stalk::Hazard,
+        }
+    }
+}
+
+/// The flasher behaviour.
+#[derive(Debug)]
+pub struct Flasher {
+    stalk: Stalk,
+    outage: bool,
+    /// Flash phase: lamps currently lit?
+    lit: bool,
+    /// Next toggle time while flashing.
+    toggle_at: SimTime,
+    now: SimTime,
+}
+
+impl Flasher {
+    /// Creates the behaviour (stalk off).
+    pub fn new() -> Self {
+        Self {
+            stalk: Stalk::Off,
+            outage: false,
+            lit: false,
+            toggle_at: SimTime::MAX,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn half_period(&self) -> SimTime {
+        if self.outage {
+            OUTAGE_HALF_PERIOD
+        } else {
+            HALF_PERIOD
+        }
+    }
+
+    fn flashing(&self) -> bool {
+        self.stalk != Stalk::Off
+    }
+
+    fn start_flashing(&mut self, now: SimTime) {
+        self.lit = true;
+        self.toggle_at = now.saturating_add(self.half_period());
+    }
+
+    fn stop_flashing(&mut self) {
+        self.lit = false;
+        self.toggle_at = SimTime::MAX;
+    }
+}
+
+impl Default for Flasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Behavior for Flasher {
+    fn name(&self) -> &str {
+        "flasher"
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        &["stalk", "outage"]
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        &["lamp_l", "lamp_r"]
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        *self = Flasher::new();
+        self.now = now;
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.advance(now);
+        match port {
+            "stalk" => {
+                let stalk = Stalk::from_bits(value.as_bits());
+                if stalk != self.stalk {
+                    self.stalk = stalk;
+                    if self.flashing() {
+                        self.start_flashing(now);
+                    } else {
+                        self.stop_flashing();
+                    }
+                }
+            }
+            "outage" => {
+                let outage = value.as_bool();
+                if outage != self.outage {
+                    self.outage = outage;
+                    // Re-time the running cycle with the new period.
+                    if self.flashing() {
+                        self.toggle_at = now.saturating_add(self.half_period());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.now = now;
+        while self.flashing() && self.toggle_at <= now {
+            self.lit = !self.lit;
+            self.toggle_at = self.toggle_at.saturating_add(self.half_period());
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        if self.flashing() && self.toggle_at != SimTime::MAX {
+            Some(self.toggle_at).filter(|t| *t > self.now)
+        } else {
+            None
+        }
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        let lit = match (port, self.stalk) {
+            ("lamp_l", Stalk::Left | Stalk::Hazard) => self.lit,
+            ("lamp_r", Stalk::Right | Stalk::Hazard) => self.lit,
+            _ => false,
+        };
+        PortValue::Bool(lit)
+    }
+}
+
+/// Builds the flasher DUT: `OUTAGE_SW` (active low, from the lamp-current
+/// monitor), lamp outputs `LAMP_L_F`/`LAMP_L_R` and `LAMP_R_F`/`LAMP_R_R`,
+/// stalk on CAN `0x260:0:2`.
+pub fn device(cfg: ElectricalConfig) -> Device {
+    device_with(cfg, Box::new(Flasher::new()))
+}
+
+/// Builds the device around a custom behaviour (fault injection).
+pub fn device_with(cfg: ElectricalConfig, behavior: Box<dyn Behavior + Send>) -> Device {
+    Device::builder(behavior)
+        .config(cfg)
+        .pin("OUTAGE_SW", PinBinding::InputActiveLow { port: "outage" })
+        .pin("LAMP_L_F", PinBinding::Output { port: "lamp_l" })
+        .pin("LAMP_L_R", PinBinding::Return)
+        .pin("LAMP_R_F", PinBinding::Output { port: "lamp_r" })
+        .pin("LAMP_R_R", PinBinding::Return)
+        .can_input(STALK_FRAME.0, 0, 2, "stalk")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elec::PinDrive;
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn lamp_l(d: &Device) -> bool {
+        d.measure_pins(&[pid("LAMP_L_F"), pid("LAMP_L_R")]) > 6.0
+    }
+
+    fn lamp_r(d: &Device) -> bool {
+        d.measure_pins(&[pid("LAMP_R_F"), pid("LAMP_R_R")]) > 6.0
+    }
+
+    #[test]
+    fn left_flashes_right_stays_dark() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_secs(1));
+        assert!(lamp_l(&d), "lamp lights immediately");
+        assert!(!lamp_r(&d));
+        // Half a period later it is dark.
+        d.advance_to(SimTime::from_micros(1_400_000));
+        assert!(!lamp_l(&d));
+        // A full period later it is lit again.
+        d.advance_to(SimTime::from_micros(1_700_000));
+        assert!(lamp_l(&d));
+    }
+
+    #[test]
+    fn nominal_frequency_is_1_5_hz() {
+        let mut d = device(ElectricalConfig::default());
+        let t0 = SimTime::from_secs(1);
+        d.write_can_field(STALK_FRAME, 0, 2, 1, t0);
+        let t1 = t0 + SimTime::from_secs(4);
+        d.advance_to(t1);
+        let f = d.frequency(&pid("LAMP_L_F"), t0, t1);
+        assert!((1.2..=1.8).contains(&f), "measured {f} Hz");
+        // The right lamp never toggled.
+        assert_eq!(d.edge_count(&pid("LAMP_R_F"), t0, t1), 0);
+    }
+
+    #[test]
+    fn outage_doubles_the_frequency() {
+        let mut d = device(ElectricalConfig::default());
+        let t0 = SimTime::from_secs(1);
+        d.apply_pin(
+            &pid("OUTAGE_SW"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_millis(500),
+        );
+        d.write_can_field(STALK_FRAME, 0, 2, 2, t0);
+        let t1 = t0 + SimTime::from_secs(4);
+        d.advance_to(t1);
+        let f = d.frequency(&pid("LAMP_R_F"), t0, t1);
+        assert!((2.6..=3.4).contains(&f), "measured {f} Hz");
+    }
+
+    #[test]
+    fn hazard_flashes_both() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 3, SimTime::from_secs(1));
+        assert!(lamp_l(&d));
+        assert!(lamp_r(&d));
+        let t1 = SimTime::from_secs(5);
+        d.advance_to(t1);
+        let fl = d.frequency(&pid("LAMP_L_F"), SimTime::from_secs(1), t1);
+        let fr = d.frequency(&pid("LAMP_R_F"), SimTime::from_secs(1), t1);
+        assert!(
+            (fl - fr).abs() < 0.2,
+            "both lamps flash together: {fl} vs {fr}"
+        );
+    }
+
+    #[test]
+    fn stalk_off_stops_flashing() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_secs(1));
+        d.write_can_field(STALK_FRAME, 0, 2, 0, SimTime::from_secs(2));
+        assert!(!lamp_l(&d));
+        let before = d.edge_count(&pid("LAMP_L_F"), SimTime::ZERO, SimTime::from_secs(2));
+        d.advance_to(SimTime::from_secs(10));
+        let after = d.edge_count(&pid("LAMP_L_F"), SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(before, after, "no edges while off");
+    }
+
+    #[test]
+    fn mid_flash_outage_retimes() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_secs(1));
+        // Outage occurs two seconds into flashing.
+        d.apply_pin(
+            &pid("OUTAGE_SW"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(3),
+        );
+        let t1 = SimTime::from_secs(7);
+        d.advance_to(t1);
+        let f = d.frequency(&pid("LAMP_L_F"), SimTime::from_secs(3), t1);
+        assert!((2.6..=3.4).contains(&f), "post-outage frequency {f} Hz");
+    }
+}

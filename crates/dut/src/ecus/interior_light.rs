@@ -1,0 +1,290 @@
+//! The paper's running example: the interior illumination controller.
+//!
+//! "If the bit NIGHT is active, the interior illumination is lit for a
+//! maximum duration of 300s, if one of the doors is open, what is indicated
+//! by an 'Open' status of the door switch."
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::{Device, PinBinding};
+use crate::elec::ElectricalConfig;
+
+/// The frame carrying the 4-bit ignition status (`IGN_ST`).
+pub const IGN_FRAME: CanFrameId = CanFrameId(0x130);
+/// The frame carrying the light-sensor `NIGHT` bit.
+pub const NIGHT_FRAME: CanFrameId = CanFrameId(0x2A0);
+/// The illumination timeout: lamp off 300 s after the doors opened.
+pub const TIMEOUT: SimTime = SimTime::from_secs(300);
+
+const DOORS: [&str; 4] = ["door_fl", "door_fr", "door_rl", "door_rr"];
+
+/// The interior-light behaviour.
+#[derive(Debug)]
+pub struct InteriorLight {
+    timeout: SimTime,
+    doors: [bool; 4],
+    night: bool,
+    ign: u64,
+    /// Lamp-off deadline, armed on the rising edge of "any door open".
+    deadline: Option<SimTime>,
+    now: SimTime,
+}
+
+impl InteriorLight {
+    /// Creates the behaviour with the production 300 s timeout.
+    pub fn new() -> Self {
+        Self::with_timeout(TIMEOUT)
+    }
+
+    /// Creates the behaviour with a custom timeout (used by tests and the
+    /// fault-injection experiments).
+    pub fn with_timeout(timeout: SimTime) -> Self {
+        Self {
+            timeout,
+            doors: [false; 4],
+            night: false,
+            ign: 0,
+            deadline: None,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn any_door_open(&self) -> bool {
+        self.doors.iter().any(|d| *d)
+    }
+
+    fn lamp_on(&self) -> bool {
+        self.night && self.any_door_open() && self.deadline.is_some_and(|d| self.now < d)
+    }
+}
+
+impl Default for InteriorLight {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Behavior for InteriorLight {
+    fn name(&self) -> &str {
+        "interior_light"
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        &["door_fl", "door_fr", "door_rl", "door_rr", "night", "ign"]
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        &["lamp"]
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        self.doors = [false; 4];
+        self.night = false;
+        self.ign = 0;
+        self.deadline = None;
+        self.now = now;
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.now = now;
+        if let Some(idx) = DOORS.iter().position(|p| *p == port) {
+            let was_open = self.any_door_open();
+            self.doors[idx] = value.as_bool();
+            let is_open = self.any_door_open();
+            if !was_open && is_open {
+                self.deadline = Some(now.saturating_add(self.timeout));
+            } else if !is_open {
+                self.deadline = None;
+            }
+        } else if port == "night" {
+            self.night = value.as_bool();
+        } else if port == "ign" {
+            self.ign = value.as_bits();
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        // The only internal event is the lamp-off deadline, and only while
+        // the lamp is actually lit (otherwise nothing observable changes).
+        match self.deadline {
+            Some(d) if self.lamp_on() && d > self.now => Some(d),
+            _ => None,
+        }
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        match port {
+            "lamp" => PortValue::Bool(self.lamp_on()),
+            _ => PortValue::Bool(false),
+        }
+    }
+}
+
+/// Builds the interior-light DUT with the paper's pin-out:
+/// `DS_FL/DS_FR/DS_RL/DS_RR` door switches (active low), the
+/// `INT_ILL_F`/`INT_ILL_R` lamp pair, `IGN_ST` on CAN `0x130:0:4` and
+/// `NIGHT` on CAN `0x2A0:0:1`.
+pub fn device(cfg: ElectricalConfig) -> Device {
+    device_with(cfg, Box::new(InteriorLight::new()))
+}
+
+/// Builds the device around a custom behaviour (used for fault injection).
+pub fn device_with(cfg: ElectricalConfig, behavior: Box<dyn Behavior + Send>) -> Device {
+    Device::builder(behavior)
+        .config(cfg)
+        .pin("DS_FL", PinBinding::InputActiveLow { port: "door_fl" })
+        .pin("DS_FR", PinBinding::InputActiveLow { port: "door_fr" })
+        .pin("DS_RL", PinBinding::InputActiveLow { port: "door_rl" })
+        .pin("DS_RR", PinBinding::InputActiveLow { port: "door_rr" })
+        .pin("INT_ILL_F", PinBinding::Output { port: "lamp" })
+        .pin("INT_ILL_R", PinBinding::Return)
+        .can_input(IGN_FRAME.0, 0, 4, "ign")
+        .can_input(NIGHT_FRAME.0, 0, 1, "night")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elec::PinDrive;
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn lamp_voltage(d: &Device) -> f64 {
+        d.measure_pins(&[pid("INT_ILL_F"), pid("INT_ILL_R")])
+    }
+
+    #[test]
+    fn day_no_light() {
+        let mut d = device(ElectricalConfig::default());
+        let t = SimTime::from_millis(500);
+        d.apply_pin(&pid("DS_FL"), PinDrive::ResistanceToGround(0.0), t);
+        d.advance_to(SimTime::from_secs(1));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0, "day: lamp must stay off");
+    }
+
+    #[test]
+    fn night_door_open_lights_lamp() {
+        let mut d = device(ElectricalConfig::default());
+        let t = SimTime::from_millis(500);
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, t);
+        d.apply_pin(&pid("DS_FR"), PinDrive::ResistanceToGround(0.0), t);
+        d.advance_to(SimTime::from_secs(1));
+        assert!(lamp_voltage(&d) > 0.7 * 12.0);
+        // Door closes: lamp off.
+        d.apply_pin(
+            &pid("DS_FR"),
+            PinDrive::ResistanceToGround(f64::INFINITY),
+            SimTime::from_secs(2),
+        );
+        assert!(lamp_voltage(&d) < 0.3 * 12.0);
+    }
+
+    #[test]
+    fn timeout_after_300_seconds() {
+        let mut d = device(ElectricalConfig::default());
+        let t_open = SimTime::from_secs(3);
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_secs(2));
+        d.apply_pin(&pid("DS_FL"), PinDrive::ResistanceToGround(0.0), t_open);
+        // The paper's step 7 check: 280 s after opening, still on.
+        d.advance_to(t_open + SimTime::from_secs(280));
+        assert!(lamp_voltage(&d) > 0.7 * 12.0, "283 s: still lit");
+        // The paper's step 8 check: 305 s after opening, off.
+        d.advance_to(t_open + SimTime::from_secs(305));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0, "305 s: timed out");
+    }
+
+    #[test]
+    fn reopening_rearms_the_timer() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_millis(100));
+        // Open at t=1, close at t=2, reopen at t=3.
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(f64::INFINITY),
+            SimTime::from_secs(2),
+        );
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(3),
+        );
+        // 299 s after the reopen the lamp is still lit (timer restarted).
+        d.advance_to(SimTime::from_secs(3 + 299));
+        assert!(lamp_voltage(&d) > 0.7 * 12.0);
+        d.advance_to(SimTime::from_secs(3 + 301));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0);
+    }
+
+    #[test]
+    fn second_door_does_not_rearm() {
+        // The deadline arms on the rising edge of "any door open"; a second
+        // door opening while the first is still open must not extend it.
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_millis(100));
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+        d.apply_pin(
+            &pid("DS_FR"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(200),
+        );
+        d.advance_to(SimTime::from_secs(302));
+        assert!(
+            lamp_voltage(&d) < 0.3 * 12.0,
+            "timer counts from the first opening"
+        );
+    }
+
+    #[test]
+    fn night_toggle_mid_window() {
+        let mut d = device(ElectricalConfig::default());
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+        d.advance_to(SimTime::from_secs(5));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0, "day");
+        // Night falls while the door is open: the lamp lights, limited by
+        // the deadline armed at the opening.
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_secs(10));
+        assert!(lamp_voltage(&d) > 0.7 * 12.0);
+        d.advance_to(SimTime::from_secs(302));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0);
+    }
+
+    #[test]
+    fn custom_timeout_for_fault_experiments() {
+        let mut d = device_with(
+            ElectricalConfig::default(),
+            Box::new(InteriorLight::with_timeout(SimTime::from_secs(10))),
+        );
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_millis(100));
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+        d.advance_to(SimTime::from_secs(5));
+        assert!(lamp_voltage(&d) > 0.7 * 12.0);
+        d.advance_to(SimTime::from_secs(12));
+        assert!(lamp_voltage(&d) < 0.3 * 12.0);
+    }
+}

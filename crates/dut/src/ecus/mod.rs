@@ -1,0 +1,54 @@
+//! The ECU library.
+//!
+//! [`interior_light`] is the paper's running example (Section 3).  The
+//! others stand in for the "two ECUs of the next S-class" of Section 5 and
+//! give the fault-injection experiments a varied population: combinational
+//! logic, periodic timers, travel integration and command/response CAN
+//! traffic.
+
+pub mod central_lock;
+pub mod flasher;
+pub mod interior_light;
+pub mod power_window;
+pub mod wiper;
+
+use crate::device::Device;
+use crate::elec::ElectricalConfig;
+
+/// Instantiates every ECU in the library (used by campaign experiments).
+pub fn all_devices(cfg: ElectricalConfig) -> Vec<Device> {
+    vec![
+        interior_light::device(cfg),
+        wiper::device(cfg),
+        power_window::device(cfg),
+        central_lock::device(cfg),
+        flasher::device(cfg),
+    ]
+}
+
+/// Instantiates an ECU by its behaviour name.
+pub fn device_by_name(name: &str, cfg: ElectricalConfig) -> Option<Device> {
+    match name.to_ascii_lowercase().as_str() {
+        "interior_light" => Some(interior_light::device(cfg)),
+        "wiper" => Some(wiper::device(cfg)),
+        "power_window" => Some(power_window::device(cfg)),
+        "central_lock" => Some(central_lock::device(cfg)),
+        "flasher" => Some(flasher::device(cfg)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        let devices = all_devices(ElectricalConfig::default());
+        assert_eq!(devices.len(), 5);
+        for d in &devices {
+            assert!(device_by_name(d.behavior_name(), ElectricalConfig::default()).is_some());
+        }
+        assert!(device_by_name("toaster", ElectricalConfig::default()).is_none());
+    }
+}

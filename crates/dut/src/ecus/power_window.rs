@@ -1,0 +1,300 @@
+//! A power-window controller with anti-pinch reversal.
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::{Device, PinBinding};
+use crate::elec::ElectricalConfig;
+
+/// Full travel time bottom ↔ top.
+pub const TRAVEL: SimTime = SimTime::from_secs(3);
+/// Anti-pinch reversal duration.
+pub const REVERSE: SimTime = SimTime::from_millis(500);
+/// The frame on which the controller reports the window position (0..=100).
+pub const POSITION_FRAME: CanFrameId = CanFrameId(0x350);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    MovingUp,
+    MovingDown,
+    /// Anti-pinch emergency reversal (moves down), until the given time.
+    Reversing(SimTime),
+}
+
+/// The power-window behaviour. Position is tracked in `0.0..=1.0`
+/// (0 = fully open/bottom, 1 = fully closed/top) and integrated lazily.
+#[derive(Debug)]
+pub struct PowerWindow {
+    state: State,
+    position: f64,
+    /// Time of the last position integration.
+    last_update: SimTime,
+    btn_up: bool,
+    btn_down: bool,
+    pinch: bool,
+    now: SimTime,
+}
+
+impl PowerWindow {
+    /// Creates the behaviour with the window half open.
+    pub fn new() -> Self {
+        Self {
+            state: State::Idle,
+            position: 0.5,
+            last_update: SimTime::ZERO,
+            btn_up: false,
+            btn_down: false,
+            pinch: false,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current window position (0 = open, 1 = closed).
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    fn integrate(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_update).as_secs_f64();
+        let rate = 1.0 / TRAVEL.as_secs_f64();
+        match self.state {
+            State::MovingUp => self.position += rate * dt,
+            State::MovingDown | State::Reversing(_) => self.position -= rate * dt,
+            State::Idle => {}
+        }
+        self.position = self.position.clamp(0.0, 1.0);
+        self.last_update = now;
+    }
+
+    fn update_state(&mut self, now: SimTime) {
+        // Stops: terminal positions, dead-man release, reversal end.
+        match self.state {
+            State::MovingUp if self.position >= 1.0 || !self.btn_up => {
+                self.state = State::Idle;
+            }
+            State::MovingDown if self.position <= 0.0 || !self.btn_down => {
+                self.state = State::Idle;
+            }
+            State::Reversing(until) if now >= until || self.position <= 0.0 => {
+                self.state = State::Idle;
+            }
+            _ => {}
+        }
+        // Starts: only from idle, only on an unambiguous button state.
+        if self.state == State::Idle {
+            if self.btn_up && !self.btn_down && self.position < 1.0 && !self.pinch {
+                self.state = State::MovingUp;
+            } else if self.btn_down && !self.btn_up && self.position > 0.0 {
+                self.state = State::MovingDown;
+            }
+        }
+        // Pinch while closing: emergency reversal (overrides the buttons).
+        if self.pinch && self.state == State::MovingUp {
+            self.state = State::Reversing(now.saturating_add(REVERSE));
+        }
+    }
+}
+
+impl Default for PowerWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Behavior for PowerWindow {
+    fn name(&self) -> &str {
+        "power_window"
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        &["btn_up", "btn_down", "pinch"]
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        &["motor_up", "motor_down", "position"]
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        *self = PowerWindow::new();
+        self.now = now;
+        self.last_update = now;
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.advance(now);
+        match port {
+            "btn_up" => self.btn_up = value.as_bool(),
+            "btn_down" => self.btn_down = value.as_bool(),
+            "pinch" => self.pinch = value.as_bool(),
+            _ => {}
+        }
+        self.update_state(now);
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.integrate(now);
+        self.now = now;
+        self.update_state(now);
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        let rate = TRAVEL.as_secs_f64();
+        let event = match self.state {
+            State::Idle => return None,
+            State::MovingUp => {
+                let remaining = (1.0 - self.position) * rate;
+                self.now.saturating_add(SimTime::from_secs_f64(remaining))
+            }
+            State::MovingDown => {
+                let remaining = self.position * rate;
+                self.now.saturating_add(SimTime::from_secs_f64(remaining))
+            }
+            State::Reversing(until) => until,
+        };
+        Some(event).filter(|t| *t > self.now)
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        match port {
+            "motor_up" => PortValue::Bool(self.state == State::MovingUp),
+            "motor_down" => PortValue::Bool(matches!(
+                self.state,
+                State::MovingDown | State::Reversing(_)
+            )),
+            "position" => PortValue::Bits((self.position * 100.0).round() as u64),
+            _ => PortValue::Bool(false),
+        }
+    }
+}
+
+/// Builds the power-window DUT: buttons `BTN_UP`/`BTN_DOWN` and pinch sensor
+/// `PINCH_SW` (all active low), motor outputs `MOT_UP_F`/`MOT_DN_F` with a
+/// shared return `MOT_R`, position report on CAN `0x350:0:7`.
+pub fn device(cfg: ElectricalConfig) -> Device {
+    device_with(cfg, Box::new(PowerWindow::new()))
+}
+
+/// Builds the device around a custom behaviour (fault injection).
+pub fn device_with(cfg: ElectricalConfig, behavior: Box<dyn Behavior + Send>) -> Device {
+    Device::builder(behavior)
+        .config(cfg)
+        .pin("BTN_UP", PinBinding::InputActiveLow { port: "btn_up" })
+        .pin("BTN_DOWN", PinBinding::InputActiveLow { port: "btn_down" })
+        .pin("PINCH_SW", PinBinding::InputActiveLow { port: "pinch" })
+        .pin("MOT_UP_F", PinBinding::Output { port: "motor_up" })
+        .pin("MOT_DN_F", PinBinding::Output { port: "motor_down" })
+        .pin("MOT_R", PinBinding::Return)
+        .can_output(POSITION_FRAME.0, 0, 7, "position")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elec::PinDrive;
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn press(d: &mut Device, pin: &str, at: SimTime) {
+        d.apply_pin(&pid(pin), PinDrive::ResistanceToGround(0.0), at);
+    }
+
+    fn release(d: &mut Device, pin: &str, at: SimTime) {
+        d.apply_pin(&pid(pin), PinDrive::ResistanceToGround(f64::INFINITY), at);
+    }
+
+    fn motor_up(d: &Device) -> bool {
+        d.measure_pins(&[pid("MOT_UP_F"), pid("MOT_R")]) > 6.0
+    }
+
+    fn motor_down(d: &Device) -> bool {
+        d.measure_pins(&[pid("MOT_DN_F"), pid("MOT_R")]) > 6.0
+    }
+
+    fn position(d: &Device) -> u64 {
+        d.read_can_field(POSITION_FRAME, 0, 7).unwrap()
+    }
+
+    #[test]
+    fn closes_fully_and_stops() {
+        let mut d = device(ElectricalConfig::default());
+        assert_eq!(position(&d), 50, "starts half open");
+        press(&mut d, "BTN_UP", SimTime::from_secs(1));
+        assert!(motor_up(&d));
+        // Half travel = 1.5 s; hold the button well past that.
+        d.advance_to(SimTime::from_secs(4));
+        assert!(!motor_up(&d), "stops at the top");
+        assert_eq!(position(&d), 100);
+    }
+
+    #[test]
+    fn dead_man_control_stops_on_release() {
+        let mut d = device(ElectricalConfig::default());
+        press(&mut d, "BTN_UP", SimTime::from_secs(1));
+        release(&mut d, "BTN_UP", SimTime::from_millis(1_600));
+        assert!(!motor_up(&d));
+        // 0.6 s of travel from 0.5 -> 0.7.
+        assert_eq!(position(&d), 70);
+    }
+
+    #[test]
+    fn anti_pinch_reverses() {
+        let mut d = device(ElectricalConfig::default());
+        press(&mut d, "BTN_UP", SimTime::from_secs(1));
+        d.advance_to(SimTime::from_millis(1_300));
+        assert!(motor_up(&d));
+        // Obstacle!
+        press(&mut d, "PINCH_SW", SimTime::from_millis(1_300));
+        assert!(!motor_up(&d));
+        assert!(motor_down(&d), "reversing");
+        // Reversal lasts 0.5 s, then idle even though the button is held.
+        d.advance_to(SimTime::from_millis(1_900));
+        assert!(!motor_down(&d));
+        assert!(!motor_up(&d), "button held but pinch latched the stop");
+        let p = position(&d);
+        assert!(p < 60, "window backed off, got {p}");
+    }
+
+    #[test]
+    fn pinch_blocks_closing_while_active() {
+        let mut d = device(ElectricalConfig::default());
+        press(&mut d, "PINCH_SW", SimTime::from_millis(500));
+        press(&mut d, "BTN_UP", SimTime::from_secs(1));
+        assert!(!motor_up(&d), "cannot close onto an obstacle");
+        // Clear the obstacle; press again.
+        release(&mut d, "PINCH_SW", SimTime::from_secs(2));
+        release(&mut d, "BTN_UP", SimTime::from_secs(2));
+        press(&mut d, "BTN_UP", SimTime::from_secs(3));
+        assert!(motor_up(&d));
+    }
+
+    #[test]
+    fn opens_fully_and_stops() {
+        let mut d = device(ElectricalConfig::default());
+        press(&mut d, "BTN_DOWN", SimTime::from_secs(1));
+        assert!(motor_down(&d));
+        d.advance_to(SimTime::from_secs(4));
+        assert!(!motor_down(&d));
+        assert_eq!(position(&d), 0);
+    }
+
+    #[test]
+    fn conflicting_buttons() {
+        let mut d = device(ElectricalConfig::default());
+        // With both buttons held from idle, nothing starts.
+        press(&mut d, "BTN_DOWN", SimTime::from_secs(1));
+        press(&mut d, "BTN_UP", SimTime::from_millis(1_001));
+        d.advance_to(SimTime::from_millis(1_100));
+        assert!(motor_down(&d), "first (single) press wins until released");
+        release(&mut d, "BTN_DOWN", SimTime::from_millis(1_200));
+        // Only UP remains pressed: the window closes now.
+        assert!(motor_up(&d));
+        release(&mut d, "BTN_UP", SimTime::from_millis(1_300));
+        assert!(!motor_up(&d));
+        assert!(!motor_down(&d));
+    }
+}

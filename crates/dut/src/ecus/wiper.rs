@@ -1,0 +1,280 @@
+//! A windscreen-wiper controller: stalk modes, intermittent cycling and
+//! wash-wipe follow-up.
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::{Device, PinBinding};
+use crate::elec::ElectricalConfig;
+
+/// The frame carrying the 2-bit stalk position (`WIPER_ST`).
+pub const STALK_FRAME: CanFrameId = CanFrameId(0x240);
+/// Intermittent mode: wipe duration.
+pub const WIPE_ON: SimTime = SimTime::from_secs(1);
+/// Intermittent mode: pause duration.
+pub const WIPE_PAUSE: SimTime = SimTime::from_secs(3);
+/// Wash-wipe follow-up duration after the wash button is released.
+pub const WASH_FOLLOW_UP: SimTime = SimTime::from_secs(2);
+
+/// Stalk positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Intermittent,
+    Slow,
+    Fast,
+}
+
+impl Mode {
+    fn from_bits(v: u64) -> Mode {
+        match v & 0b11 {
+            0 => Mode::Off,
+            1 => Mode::Intermittent,
+            2 => Mode::Slow,
+            _ => Mode::Fast,
+        }
+    }
+}
+
+/// The wiper behaviour.
+#[derive(Debug)]
+pub struct Wiper {
+    mode: Mode,
+    wash: bool,
+    /// End of the wash follow-up window, if armed.
+    follow_until: Option<SimTime>,
+    /// Intermittent phase: currently wiping?
+    phase_on: bool,
+    /// End of the current intermittent phase.
+    phase_end: SimTime,
+    now: SimTime,
+}
+
+impl Wiper {
+    /// Creates the behaviour.
+    pub fn new() -> Self {
+        Self {
+            mode: Mode::Off,
+            wash: false,
+            follow_until: None,
+            phase_on: false,
+            phase_end: SimTime::MAX,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn motor_on(&self) -> bool {
+        match self.mode {
+            Mode::Slow | Mode::Fast => true,
+            Mode::Intermittent => self.phase_on || self.wash || self.follow_active(),
+            Mode::Off => self.wash || self.follow_active(),
+        }
+    }
+
+    fn follow_active(&self) -> bool {
+        self.follow_until.is_some_and(|t| self.now < t)
+    }
+
+    fn start_cycle(&mut self, now: SimTime) {
+        self.phase_on = true;
+        self.phase_end = now.saturating_add(WIPE_ON);
+    }
+}
+
+impl Default for Wiper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Behavior for Wiper {
+    fn name(&self) -> &str {
+        "wiper"
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        &["stalk", "wash"]
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        &["motor", "fast"]
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        *self = Wiper::new();
+        self.now = now;
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.advance(now);
+        match port {
+            "stalk" => {
+                let new_mode = Mode::from_bits(value.as_bits());
+                if new_mode != self.mode {
+                    self.mode = new_mode;
+                    if new_mode == Mode::Intermittent {
+                        self.start_cycle(now);
+                    } else {
+                        self.phase_end = SimTime::MAX;
+                        self.phase_on = false;
+                    }
+                }
+            }
+            "wash" => {
+                let pressed = value.as_bool();
+                if self.wash && !pressed {
+                    // Release: follow-up wipes.
+                    self.follow_until = Some(now.saturating_add(WASH_FOLLOW_UP));
+                }
+                self.wash = pressed;
+            }
+            _ => {}
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.now = now;
+        if self.mode == Mode::Intermittent {
+            while self.phase_end <= now {
+                self.phase_on = !self.phase_on;
+                let dur = if self.phase_on { WIPE_ON } else { WIPE_PAUSE };
+                self.phase_end = self.phase_end.saturating_add(dur);
+            }
+        }
+        if let Some(t) = self.follow_until {
+            if now >= t {
+                self.follow_until = None;
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        if self.mode == Mode::Intermittent && self.phase_end != SimTime::MAX {
+            next = Some(self.phase_end);
+        }
+        if let Some(t) = self.follow_until {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next.filter(|t| *t > self.now)
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        match port {
+            "motor" => PortValue::Bool(self.motor_on()),
+            "fast" => PortValue::Bool(self.mode == Mode::Fast),
+            _ => PortValue::Bool(false),
+        }
+    }
+}
+
+/// Builds the wiper DUT: `WASH_SW` (active low), motor outputs
+/// `MOTOR_F`/`MOTOR_R` and `FAST_F`, stalk on CAN `0x240:0:2`.
+pub fn device(cfg: ElectricalConfig) -> Device {
+    device_with(cfg, Box::new(Wiper::new()))
+}
+
+/// Builds the device around a custom behaviour (fault injection).
+pub fn device_with(cfg: ElectricalConfig, behavior: Box<dyn Behavior + Send>) -> Device {
+    Device::builder(behavior)
+        .config(cfg)
+        .pin("WASH_SW", PinBinding::InputActiveLow { port: "wash" })
+        .pin("MOTOR_F", PinBinding::Output { port: "motor" })
+        .pin("MOTOR_R", PinBinding::Return)
+        .pin("FAST_F", PinBinding::Output { port: "fast" })
+        .can_input(STALK_FRAME.0, 0, 2, "stalk")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elec::PinDrive;
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn motor(d: &Device) -> bool {
+        d.measure_pins(&[pid("MOTOR_F"), pid("MOTOR_R")]) > 6.0
+    }
+
+    #[test]
+    fn continuous_modes() {
+        let mut d = device(ElectricalConfig::default());
+        assert!(!motor(&d));
+        d.write_can_field(STALK_FRAME, 0, 2, 2, SimTime::from_secs(1)); // slow
+        assert!(motor(&d));
+        d.write_can_field(STALK_FRAME, 0, 2, 3, SimTime::from_secs(2)); // fast
+        assert!(motor(&d));
+        assert!(d.measure_pins(&[pid("FAST_F")]) > 6.0);
+        d.write_can_field(STALK_FRAME, 0, 2, 0, SimTime::from_secs(3)); // off
+        assert!(!motor(&d));
+    }
+
+    #[test]
+    fn intermittent_cycles_1s_on_3s_off() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_secs(10));
+        // Phase 1: wiping for 1 s.
+        d.advance_to(SimTime::from_millis(10_500));
+        assert!(motor(&d), "wiping at +0.5s");
+        // Pause: 1 s .. 4 s.
+        d.advance_to(SimTime::from_millis(12_000));
+        assert!(!motor(&d), "paused at +2s");
+        // Next wipe: 4 s .. 5 s.
+        d.advance_to(SimTime::from_millis(14_500));
+        assert!(motor(&d), "wiping again at +4.5s");
+        // And pausing again.
+        d.advance_to(SimTime::from_millis(16_000));
+        assert!(!motor(&d), "paused at +6s");
+    }
+
+    #[test]
+    fn wash_wipe_with_follow_up() {
+        let mut d = device(ElectricalConfig::default());
+        // Press wash at t=1 (active low).
+        d.apply_pin(
+            &pid("WASH_SW"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+        assert!(motor(&d), "washing wipes");
+        // Release at t=3: follow-up until t=5.
+        d.apply_pin(
+            &pid("WASH_SW"),
+            PinDrive::ResistanceToGround(f64::INFINITY),
+            SimTime::from_secs(3),
+        );
+        d.advance_to(SimTime::from_secs(4));
+        assert!(motor(&d), "follow-up wipe at +1s");
+        d.advance_to(SimTime::from_millis(5_100));
+        assert!(!motor(&d), "follow-up over");
+    }
+
+    #[test]
+    fn mode_change_resets_cycle() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_secs(0));
+        d.advance_to(SimTime::from_millis(2_000)); // in pause
+        assert!(!motor(&d));
+        // Switch to off and back to intermittent: a fresh wipe starts.
+        d.write_can_field(STALK_FRAME, 0, 2, 0, SimTime::from_millis(2_100));
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::from_millis(2_200));
+        d.advance_to(SimTime::from_millis(2_700));
+        assert!(motor(&d), "new cycle starts wiping immediately");
+    }
+
+    #[test]
+    fn long_advance_is_cheap_and_correct() {
+        let mut d = device(ElectricalConfig::default());
+        d.write_can_field(STALK_FRAME, 0, 2, 1, SimTime::ZERO);
+        // One hour later the 4-second cycle is still phase-aligned:
+        // t = 3600 s = 900 cycles exactly -> wiping phase just began.
+        d.advance_to(SimTime::from_secs(3600));
+        assert!(motor(&d));
+        d.advance_to(SimTime::from_millis(3_601_500));
+        assert!(!motor(&d));
+    }
+}

@@ -1,0 +1,283 @@
+//! The electrical pin model.
+//!
+//! Just enough circuit theory for component tests: every pin sees at most
+//! two Thévenin sources — the DUT side (internal pull-up or push-pull
+//! driver) and the stand side (resistor decade to ground, voltage source, or
+//! nothing).  The pin voltage is the parallel combination; digital inputs
+//! quantise it with hysteresis, so a marginal resistance (e.g. exactly at
+//! the divider midpoint) genuinely leaves the previous state latched — as on
+//! real hardware.
+
+use std::fmt;
+
+/// Electrical constants of a DUT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalConfig {
+    /// Supply voltage in volts (the stand variable `ubatt`).
+    pub ubatt: f64,
+    /// Internal pull-up on digital inputs, in ohms.
+    pub pull_up: f64,
+    /// Low threshold as a fraction of `ubatt` (input ≤ this reads low).
+    pub low_threshold: f64,
+    /// High threshold as a fraction of `ubatt` (input ≥ this reads high).
+    pub high_threshold: f64,
+    /// Output driver source resistance in ohms.
+    pub drive_resistance: f64,
+}
+
+impl Default for ElectricalConfig {
+    /// 12 V system, 10 kΩ pull-ups, 30 %/70 % thresholds, 1 Ω drivers.
+    fn default() -> Self {
+        Self {
+            ubatt: 12.0,
+            pull_up: 10_000.0,
+            low_threshold: 0.3,
+            high_threshold: 0.7,
+            drive_resistance: 1.0,
+        }
+    }
+}
+
+/// What the test stand applies to a pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PinDrive {
+    /// Nothing connected (or a measurement instrument: ideal high-Z).
+    HighZ,
+    /// A resistance to ground (resistor decade). `f64::INFINITY` is a true
+    /// open circuit.
+    ResistanceToGround(f64),
+    /// A stiff voltage source.
+    Voltage(f64),
+}
+
+impl fmt::Display for PinDrive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinDrive::HighZ => f.write_str("high-Z"),
+            PinDrive::ResistanceToGround(r) => {
+                write!(f, "{}Ω→GND", comptest_model::value::number_to_string(*r))
+            }
+            PinDrive::Voltage(v) => write!(f, "{v}V"),
+        }
+    }
+}
+
+/// What the DUT itself does on a pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DutPinMode {
+    /// Digital input with internal pull-up to `ubatt`.
+    InputPullUp,
+    /// Push-pull output driving `level × ubatt` (level in 0..=1).
+    OutputPushPull {
+        /// Drive level as a fraction of `ubatt`.
+        level: f64,
+    },
+    /// Ground return terminal (e.g. the lamp's second pin).
+    Ground,
+    /// Not driven by the DUT.
+    HighZ,
+}
+
+/// A Thévenin source: open-circuit voltage and series resistance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Source {
+    v: f64,
+    r: f64,
+}
+
+fn dut_source(cfg: &ElectricalConfig, mode: DutPinMode) -> Option<Source> {
+    match mode {
+        DutPinMode::InputPullUp => Some(Source {
+            v: cfg.ubatt,
+            r: cfg.pull_up,
+        }),
+        DutPinMode::OutputPushPull { level } => Some(Source {
+            v: level.clamp(0.0, 1.0) * cfg.ubatt,
+            r: cfg.drive_resistance,
+        }),
+        DutPinMode::Ground => Some(Source {
+            v: 0.0,
+            r: cfg.drive_resistance,
+        }),
+        DutPinMode::HighZ => None,
+    }
+}
+
+fn stand_source(drive: PinDrive) -> Option<Source> {
+    match drive {
+        PinDrive::HighZ => None,
+        PinDrive::ResistanceToGround(r) if r.is_infinite() => None,
+        PinDrive::ResistanceToGround(r) => Some(Source { v: 0.0, r }),
+        PinDrive::Voltage(v) => Some(Source { v, r: 0.1 }),
+    }
+}
+
+/// Computes the voltage at a pin given both sides.
+///
+/// A completely floating pin (both sides high-Z) reads 0 V, which is what a
+/// real DVM's input bias resistors would show.
+pub fn pin_voltage(cfg: &ElectricalConfig, mode: DutPinMode, drive: PinDrive) -> f64 {
+    const R_MIN: f64 = 1e-3;
+    let sources: Vec<Source> = [dut_source(cfg, mode), stand_source(drive)]
+        .into_iter()
+        .flatten()
+        .collect();
+    if sources.is_empty() {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in &sources {
+        let r = s.r.max(R_MIN);
+        num += s.v / r;
+        den += 1.0 / r;
+    }
+    num / den
+}
+
+/// A digital input with hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalInput {
+    /// Latched logic state (`true` = high).
+    high: bool,
+}
+
+impl DigitalInput {
+    /// Creates an input that initially reads high (pull-up, nothing
+    /// connected).
+    pub fn new() -> Self {
+        Self { high: true }
+    }
+
+    /// Feeds a new pin voltage; returns the (possibly unchanged) state.
+    pub fn update(&mut self, v: f64, cfg: &ElectricalConfig) -> bool {
+        if v <= cfg.low_threshold * cfg.ubatt {
+            self.high = false;
+        } else if v >= cfg.high_threshold * cfg.ubatt {
+            self.high = true;
+        }
+        self.high
+    }
+
+    /// The latched state.
+    pub fn is_high(&self) -> bool {
+        self.high
+    }
+}
+
+impl Default for DigitalInput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ElectricalConfig {
+        ElectricalConfig::default()
+    }
+
+    #[test]
+    fn door_switch_divider() {
+        // Decade at 0 Ω pulls the input to ground.
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(0.0),
+        );
+        assert!(v < 0.1, "grounded pin reads ~0, got {v}");
+        // Open circuit: the pull-up wins.
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(f64::INFINITY),
+        );
+        assert!((v - 12.0).abs() < 1e-9);
+        // 10 kΩ against the 10 kΩ pull-up: exactly half.
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(10_000.0),
+        );
+        assert!((v - 6.0).abs() < 1e-6);
+        // 1 MΩ: nearly ubatt.
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(1e6),
+        );
+        assert!(v > 0.9 * 12.0);
+    }
+
+    #[test]
+    fn output_driver_levels() {
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::OutputPushPull { level: 1.0 },
+            PinDrive::HighZ,
+        );
+        assert!((v - 12.0).abs() < 1e-9);
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::OutputPushPull { level: 0.0 },
+            PinDrive::HighZ,
+        );
+        assert!(v.abs() < 1e-9);
+        // A load barely budges the stiff driver.
+        let v = pin_voltage(
+            &cfg(),
+            DutPinMode::OutputPushPull { level: 1.0 },
+            PinDrive::ResistanceToGround(1000.0),
+        );
+        assert!(v > 11.9);
+    }
+
+    #[test]
+    fn voltage_source_dominates_pull_up() {
+        let v = pin_voltage(&cfg(), DutPinMode::InputPullUp, PinDrive::Voltage(3.3));
+        assert!((v - 3.3).abs() < 0.1, "stiff source wins, got {v}");
+    }
+
+    #[test]
+    fn floating_pin_reads_zero() {
+        assert_eq!(pin_voltage(&cfg(), DutPinMode::HighZ, PinDrive::HighZ), 0.0);
+    }
+
+    #[test]
+    fn ground_return_reads_zero() {
+        let v = pin_voltage(&cfg(), DutPinMode::Ground, PinDrive::HighZ);
+        assert!(v.abs() < 1e-9);
+    }
+
+    #[test]
+    fn hysteresis_latches_mid_band() {
+        let c = cfg();
+        let mut input = DigitalInput::new();
+        assert!(input.is_high());
+        // Mid-band voltage: stays high.
+        assert!(input.update(0.5 * c.ubatt, &c));
+        // Below low threshold: goes low.
+        assert!(!input.update(0.2 * c.ubatt, &c));
+        // Back to mid-band: stays low (hysteresis).
+        assert!(!input.update(0.5 * c.ubatt, &c));
+        // Above high threshold: goes high again.
+        assert!(input.update(0.8 * c.ubatt, &c));
+    }
+
+    #[test]
+    fn paper_closed_status_reads_high() {
+        // `Closed` realised as 200 kΩ (the small decade's maximum) must read
+        // as a released (high) input: 12·2e5/2.1e5 ≈ 11.4 V.
+        let c = cfg();
+        let v = pin_voltage(
+            &c,
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(2e5),
+        );
+        let mut input = DigitalInput::new();
+        assert!(input.update(v, &c));
+        assert!(v >= c.high_threshold * c.ubatt);
+    }
+}

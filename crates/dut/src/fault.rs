@@ -1,0 +1,443 @@
+//! Mutation-style fault injection.
+//!
+//! The paper motivates stand-independent tests as a way to "preserve the
+//! knowledge about requirements of components, including bugs, that have
+//! occured in the past".  To measure whether the reused sheets actually
+//! catch such bugs, this module mutates DUTs with realistic component
+//! faults; the fault-coverage campaign in `comptest-core` then reports which
+//! faults each suite detects.
+//!
+//! Behaviour-level faults wrap the ECU model ([`FaultyBehavior`]);
+//! electrical/bus faults mutate the [`Device`] ([`FaultKind::apply_to_device`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::behavior::{Behavior, PortValue};
+use crate::device::Device;
+
+/// Delayed-output bookkeeping: the currently visible value plus a pending
+/// change scheduled for a future time.
+type DelayedOutput = (PortValue, Option<(SimTime, PortValue)>);
+
+/// A component fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// An output port is stuck at a fixed value (e.g. lamp always on).
+    StuckOutput {
+        /// The port.
+        port: &'static str,
+        /// The stuck value.
+        value: PortValue,
+    },
+    /// A boolean output port is inverted (swapped driver polarity).
+    InvertedOutput {
+        /// The port.
+        port: &'static str,
+    },
+    /// An input port is ignored (broken input conditioning).
+    IgnoredInput {
+        /// The port.
+        port: &'static str,
+    },
+    /// All internal timers run scaled by `factor` (RC tolerance drift /
+    /// wrong clock divider). `factor > 1` makes timeouts expire early.
+    TimerScale {
+        /// The time-scale factor.
+        factor: f64,
+    },
+    /// An output port reacts late by `delay` (sluggish driver stage).
+    OutputDelay {
+        /// The port.
+        port: &'static str,
+        /// The reaction delay.
+        delay: SimTime,
+    },
+    /// Input thresholds shifted by `delta × ubatt` (comparator drift).
+    /// Device-level.
+    ThresholdShift {
+        /// Shift as a fraction of `ubatt`.
+        delta: f64,
+    },
+    /// The DUT no longer receives one CAN frame (transceiver / filter bug).
+    /// Device-level.
+    DropCanFrame {
+        /// The dropped frame.
+        frame: CanFrameId,
+    },
+}
+
+impl FaultKind {
+    /// True for faults applied to the [`Device`] rather than the behaviour.
+    pub fn is_device_level(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ThresholdShift { .. } | FaultKind::DropCanFrame { .. }
+        )
+    }
+
+    /// Applies a device-level fault. Returns `false` (and does nothing) for
+    /// behaviour-level faults — wrap the behaviour in [`FaultyBehavior`]
+    /// instead.
+    pub fn apply_to_device(&self, device: &mut Device) -> bool {
+        match self {
+            FaultKind::ThresholdShift { delta } => {
+                device.shift_thresholds(*delta);
+                true
+            }
+            FaultKind::DropCanFrame { frame } => {
+                device.drop_can_frame(*frame);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckOutput { port, value } => write!(f, "stuck_{port}={value}"),
+            FaultKind::InvertedOutput { port } => write!(f, "inverted_{port}"),
+            FaultKind::IgnoredInput { port } => write!(f, "ignored_{port}"),
+            FaultKind::TimerScale { factor } => write!(f, "timer_x{factor}"),
+            FaultKind::OutputDelay { port, delay } => write!(f, "delay_{port}_{delay}"),
+            FaultKind::ThresholdShift { delta } => write!(f, "threshold_shift_{delta}"),
+            FaultKind::DropCanFrame { frame } => write!(f, "drop_can_{frame}"),
+        }
+    }
+}
+
+/// A behaviour wrapped with one or more behaviour-level faults.
+#[derive(Debug)]
+pub struct FaultyBehavior {
+    inner: Box<dyn Behavior + Send>,
+    faults: Vec<FaultKind>,
+    name: String,
+    /// Reset time, origin for timer scaling.
+    t0: SimTime,
+    /// Real current time.
+    now: SimTime,
+    /// Delayed-output bookkeeping: port → (visible value, pending change).
+    delayed: BTreeMap<&'static str, DelayedOutput>,
+}
+
+impl FaultyBehavior {
+    /// Wraps a behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault is device-level (see
+    /// [`FaultKind::apply_to_device`]).
+    pub fn new(inner: Box<dyn Behavior + Send>, faults: Vec<FaultKind>) -> Self {
+        assert!(
+            faults.iter().all(|f| !f.is_device_level()),
+            "device-level faults cannot wrap a behaviour"
+        );
+        let name = format!(
+            "{}!{}",
+            inner.name(),
+            faults
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        Self {
+            inner,
+            faults,
+            name,
+            t0: SimTime::ZERO,
+            now: SimTime::ZERO,
+            delayed: BTreeMap::new(),
+        }
+    }
+
+    fn timer_factor(&self) -> f64 {
+        self.faults
+            .iter()
+            .find_map(|f| match f {
+                FaultKind::TimerScale { factor } => Some(*factor),
+                _ => None,
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Maps real time to the inner behaviour's (scaled) time.
+    fn virt(&self, real: SimTime) -> SimTime {
+        let factor = self.timer_factor();
+        if factor == 1.0 {
+            return real;
+        }
+        let dt = real.saturating_sub(self.t0).as_secs_f64() * factor;
+        self.t0.saturating_add(SimTime::from_secs_f64(dt))
+    }
+
+    /// Maps an inner event time back to real time.
+    fn real(&self, virt: SimTime) -> SimTime {
+        let factor = self.timer_factor();
+        if factor == 1.0 {
+            return virt;
+        }
+        let dt = virt.saturating_sub(self.t0).as_secs_f64() / factor;
+        self.t0.saturating_add(SimTime::from_secs_f64(dt))
+    }
+
+    /// The value of `port` after stuck/invert faults, before delays.
+    fn source_value(&self, port: &str) -> PortValue {
+        for fault in &self.faults {
+            if let FaultKind::StuckOutput { port: p, value } = fault {
+                if *p == port {
+                    return *value;
+                }
+            }
+        }
+        let mut v = self.inner.output(port);
+        for fault in &self.faults {
+            if let FaultKind::InvertedOutput { port: p } = fault {
+                if *p == port {
+                    v = PortValue::Bool(!v.as_bool());
+                }
+            }
+        }
+        v
+    }
+
+    /// Updates delayed-output bookkeeping at real time `now`.
+    fn refresh_delays(&mut self, now: SimTime) {
+        let delay_ports: Vec<(&'static str, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultKind::OutputDelay { port, delay } => Some((*port, *delay)),
+                _ => None,
+            })
+            .collect();
+        for (port, delay) in delay_ports {
+            let source = self.source_value(port);
+            let entry = self.delayed.entry(port).or_insert((source, None));
+            // Mature a pending change first.
+            if let Some((at, v)) = entry.1 {
+                if now >= at {
+                    entry.0 = v;
+                    entry.1 = None;
+                }
+            }
+            // Schedule a new change if the source moved away from both the
+            // visible value and any pending value.
+            match entry.1 {
+                Some((_, pending)) if pending == source => {}
+                _ if entry.0 == source => entry.1 = None,
+                _ => entry.1 = Some((now.saturating_add(delay), source)),
+            }
+        }
+    }
+}
+
+impl Behavior for FaultyBehavior {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> &[&'static str] {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> &[&'static str] {
+        self.inner.outputs()
+    }
+
+    fn reset(&mut self, now: SimTime) {
+        self.t0 = now;
+        self.now = now;
+        self.inner.reset(now);
+        self.delayed.clear();
+        self.refresh_delays(now);
+    }
+
+    fn set_input(&mut self, port: &str, value: PortValue, now: SimTime) {
+        self.now = now;
+        let ignored = self.faults.iter().any(|f| match f {
+            FaultKind::IgnoredInput { port: p } => *p == port,
+            _ => false,
+        });
+        if !ignored {
+            let virt = self.virt(now);
+            self.inner.set_input(port, value, virt);
+        }
+        self.refresh_delays(now);
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.now = now;
+        let virt = self.virt(now);
+        self.inner.advance(virt);
+        self.refresh_delays(now);
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        let mut next = self.inner.next_event().map(|t| self.real(t));
+        for (_, pending) in self.delayed.values() {
+            if let Some((at, _)) = pending {
+                next = Some(next.map_or(*at, |n| n.min(*at)));
+            }
+        }
+        next.filter(|t| *t > self.now)
+    }
+
+    fn output(&self, port: &str) -> PortValue {
+        if let Some((visible, _)) = self.delayed.get(port) {
+            return *visible;
+        }
+        self.source_value(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecus::interior_light::{self, InteriorLight, NIGHT_FRAME};
+    use crate::elec::{ElectricalConfig, PinDrive};
+    use comptest_model::PinId;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn faulty_device(faults: Vec<FaultKind>) -> Device {
+        interior_light::device_with(
+            ElectricalConfig::default(),
+            Box::new(FaultyBehavior::new(Box::new(InteriorLight::new()), faults)),
+        )
+    }
+
+    fn lamp(d: &Device) -> bool {
+        d.measure_pins(&[pid("INT_ILL_F"), pid("INT_ILL_R")]) > 6.0
+    }
+
+    fn night_and_open(d: &mut Device) {
+        d.write_can_field(NIGHT_FRAME, 0, 1, 1, SimTime::from_millis(100));
+        d.apply_pin(
+            &pid("DS_FL"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn stuck_output() {
+        let mut d = faulty_device(vec![FaultKind::StuckOutput {
+            port: "lamp",
+            value: PortValue::Bool(true),
+        }]);
+        assert!(lamp(&d), "lamp stuck on from the start");
+        night_and_open(&mut d);
+        d.advance_to(SimTime::from_secs(400));
+        assert!(lamp(&d), "still on after timeout — the fault is observable");
+    }
+
+    #[test]
+    fn inverted_output() {
+        let mut d = faulty_device(vec![FaultKind::InvertedOutput { port: "lamp" }]);
+        assert!(lamp(&d), "off becomes on");
+        night_and_open(&mut d);
+        assert!(!lamp(&d), "on becomes off");
+    }
+
+    #[test]
+    fn ignored_input() {
+        let mut d = faulty_device(vec![FaultKind::IgnoredInput { port: "door_fl" }]);
+        night_and_open(&mut d);
+        assert!(!lamp(&d), "door_fl is dead, lamp stays off");
+        // Another door still works.
+        d.apply_pin(
+            &pid("DS_FR"),
+            PinDrive::ResistanceToGround(0.0),
+            SimTime::from_secs(2),
+        );
+        assert!(lamp(&d));
+    }
+
+    #[test]
+    fn timer_scale_expires_early() {
+        // factor 1.5: the 300 s timeout expires after 200 real seconds.
+        let mut d = faulty_device(vec![FaultKind::TimerScale { factor: 1.5 }]);
+        night_and_open(&mut d);
+        d.advance_to(SimTime::from_secs(1 + 150));
+        assert!(lamp(&d), "150 s: still on");
+        d.advance_to(SimTime::from_secs(1 + 210));
+        assert!(!lamp(&d), "210 s: timed out early (healthy would be 300)");
+    }
+
+    #[test]
+    fn timer_scale_expires_late() {
+        let mut d = faulty_device(vec![FaultKind::TimerScale { factor: 0.5 }]);
+        night_and_open(&mut d);
+        d.advance_to(SimTime::from_secs(1 + 400));
+        assert!(lamp(&d), "400 s: doubled timeout still running");
+        d.advance_to(SimTime::from_secs(1 + 601));
+        assert!(!lamp(&d));
+    }
+
+    #[test]
+    fn output_delay() {
+        let mut d = faulty_device(vec![FaultKind::OutputDelay {
+            port: "lamp",
+            delay: SimTime::from_millis(800),
+        }]);
+        night_and_open(&mut d);
+        assert!(!lamp(&d), "immediately after the stimulus: still off");
+        d.advance_to(SimTime::from_millis(1_500));
+        assert!(!lamp(&d), "0.5 s later: still off");
+        d.advance_to(SimTime::from_millis(1_900));
+        assert!(lamp(&d), "after 0.8 s the lamp lights");
+    }
+
+    #[test]
+    fn device_level_faults() {
+        let mut d = interior_light::device(ElectricalConfig::default());
+        assert!(FaultKind::DropCanFrame { frame: NIGHT_FRAME }.apply_to_device(&mut d));
+        night_and_open(&mut d);
+        assert!(!lamp(&d), "NIGHT never arrives");
+
+        let mut d = interior_light::device(ElectricalConfig::default());
+        assert!(FaultKind::ThresholdShift { delta: -0.25 }.apply_to_device(&mut d));
+        // Thresholds now 5 % / 45 %: a legitimate `Closed` (200 kΩ → ~95 %)
+        // still reads high, but a marginal mid-band voltage misreads.
+        night_and_open(&mut d);
+        assert!(lamp(&d), "0 Ω still under the shifted low threshold");
+
+        // Behaviour faults are not device faults.
+        let f = FaultKind::IgnoredInput { port: "night" };
+        let mut d = interior_light::device(ElectricalConfig::default());
+        assert!(!f.apply_to_device(&mut d));
+    }
+
+    #[test]
+    #[should_panic(expected = "device-level")]
+    fn wrapping_device_fault_panics() {
+        let _ = FaultyBehavior::new(
+            Box::new(InteriorLight::new()),
+            vec![FaultKind::ThresholdShift { delta: 0.1 }],
+        );
+    }
+
+    #[test]
+    fn fault_names_are_descriptive() {
+        assert_eq!(
+            FaultKind::InvertedOutput { port: "lamp" }.to_string(),
+            "inverted_lamp"
+        );
+        assert_eq!(
+            FaultKind::TimerScale { factor: 1.5 }.to_string(),
+            "timer_x1.5"
+        );
+        let fb = FaultyBehavior::new(
+            Box::new(InteriorLight::new()),
+            vec![FaultKind::InvertedOutput { port: "lamp" }],
+        );
+        assert_eq!(fb.name(), "interior_light!inverted_lamp");
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulated devices under test (DUTs).
+//!
+//! The paper tests real ECUs on real lab hardware; this crate supplies the
+//! synthetic equivalent so the whole methodology can run on a laptop:
+//!
+//! * [`elec`] — a small electrical model: DUT pins with pull-ups or
+//!   push-pull drivers, stand-side drives (resistance to ground, voltage
+//!   source, high-Z), Thévenin combination, and digital inputs with
+//!   hysteresis;
+//! * [`can`] — a CAN bus carrying bit-field mapped signals;
+//! * [`behavior`] — the event-driven [`Behavior`] trait ECU models
+//!   implement (timers are simulation events, so a 300 s interior-light
+//!   timeout costs nothing to simulate);
+//! * [`device`] — [`Device`] binds a behaviour's ports to pins and CAN
+//!   fields; the execution engine talks to devices only;
+//! * [`ecus`] — the ECU library: the paper's interior-light controller plus
+//!   wiper, power-window and central-locking models;
+//! * [`fault`] — mutation-style fault injection (stuck/inverted outputs,
+//!   ignored inputs, scaled timers, delayed outputs, electrical threshold
+//!   shifts, dropped CAN frames) used to measure what the reused test sheets
+//!   actually detect.
+//!
+//! # Example
+//!
+//! ```
+//! use comptest_dut::ecus::interior_light;
+//! use comptest_dut::elec::PinDrive;
+//! use comptest_model::{PinId, SimTime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dut = interior_light::device(Default::default());
+//! let t0 = SimTime::ZERO;
+//! dut.reset(t0);
+//! // Night bit on, driver door open: lamp lights.
+//! dut.write_can_field(interior_light::NIGHT_FRAME, 0, 1, 1, t0);
+//! dut.apply_pin(&PinId::new("DS_FL")?, PinDrive::ResistanceToGround(0.0), t0);
+//! let t1 = SimTime::from_millis(500);
+//! dut.advance_to(t1);
+//! let v = dut.measure_pins(&[PinId::new("INT_ILL_F")?, PinId::new("INT_ILL_R")?]);
+//! assert!(v > 0.7 * 12.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod can;
+pub mod device;
+pub mod ecus;
+pub mod elec;
+pub mod fault;
+
+pub use behavior::{Behavior, PortValue};
+pub use can::CanBus;
+pub use device::{Device, DeviceBuilder, PinBinding};
+pub use elec::{DigitalInput, ElectricalConfig, PinDrive};
+pub use fault::{FaultKind, FaultyBehavior};

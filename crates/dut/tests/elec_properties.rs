@@ -1,0 +1,74 @@
+//! Property tests for the electrical substrate.
+
+use comptest_dut::elec::{pin_voltage, DigitalInput, DutPinMode, ElectricalConfig, PinDrive};
+use proptest::prelude::*;
+
+fn cfg() -> ElectricalConfig {
+    ElectricalConfig::default()
+}
+
+proptest! {
+    /// The pull-up divider is monotone: more resistance to ground, more
+    /// voltage at the pin.
+    #[test]
+    fn divider_is_monotone(r1 in 0.0..1e6f64, r2 in 0.0..1e6f64) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let v_lo = pin_voltage(&cfg(), DutPinMode::InputPullUp, PinDrive::ResistanceToGround(lo));
+        let v_hi = pin_voltage(&cfg(), DutPinMode::InputPullUp, PinDrive::ResistanceToGround(hi));
+        prop_assert!(v_lo <= v_hi + 1e-9, "v({lo})={v_lo} > v({hi})={v_hi}");
+    }
+
+    /// Pin voltages stay within the physical rails for any resistive load.
+    #[test]
+    fn voltage_within_rails(r in 0.0..1e9f64, level in 0.0..=1.0f64) {
+        let c = cfg();
+        for mode in [
+            DutPinMode::InputPullUp,
+            DutPinMode::OutputPushPull { level },
+            DutPinMode::Ground,
+            DutPinMode::HighZ,
+        ] {
+            let v = pin_voltage(&c, mode, PinDrive::ResistanceToGround(r));
+            prop_assert!((-1e-9..=c.ubatt + 1e-9).contains(&v), "{mode:?}: {v}");
+        }
+    }
+
+    /// The open-circuit limit: a very large resistance converges to the
+    /// true open-circuit voltage.
+    #[test]
+    fn open_circuit_limit(exp in 8u32..12) {
+        let r = 10f64.powi(exp as i32);
+        let v_big = pin_voltage(&cfg(), DutPinMode::InputPullUp, PinDrive::ResistanceToGround(r));
+        let v_open = pin_voltage(
+            &cfg(),
+            DutPinMode::InputPullUp,
+            PinDrive::ResistanceToGround(f64::INFINITY),
+        );
+        prop_assert!((v_big - v_open).abs() < 0.01, "r={r}: {v_big} vs {v_open}");
+    }
+
+    /// Hysteresis never produces an out-of-band flip: after an update the
+    /// state is high only if the voltage was above the low threshold, and
+    /// low only if it was below the high threshold.
+    #[test]
+    fn hysteresis_is_consistent(voltages in prop::collection::vec(0.0..12.0f64, 1..50)) {
+        let c = cfg();
+        let mut input = DigitalInput::new();
+        for v in voltages {
+            let high = input.update(v, &c);
+            if v <= c.low_threshold * c.ubatt {
+                prop_assert!(!high, "low drive must read low");
+            }
+            if v >= c.high_threshold * c.ubatt {
+                prop_assert!(high, "high drive must read high");
+            }
+        }
+    }
+
+    /// A stiff voltage source overrides the pull-up to within 5 %.
+    #[test]
+    fn voltage_source_dominates(v_src in 0.0..12.0f64) {
+        let v = pin_voltage(&cfg(), DutPinMode::InputPullUp, PinDrive::Voltage(v_src));
+        prop_assert!((v - v_src).abs() < 0.05 * 12.0 + 0.2, "applied {v_src}, saw {v}");
+    }
+}

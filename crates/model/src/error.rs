@@ -1,0 +1,133 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{EvalExprError, ParseExprError};
+use crate::name::InvalidNameError;
+use crate::signal::ParseSignalKindError;
+use crate::status::ResolveStatusError;
+use crate::time::ParseSimTimeError;
+use crate::units::ParseUnitError;
+use crate::value::ParseValueError;
+
+/// Any error produced by this crate, for callers that want a single type.
+///
+/// Individual functions return their specific error; `From` impls allow `?`
+/// to widen into `ModelError`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Invalid identifier.
+    InvalidName(InvalidNameError),
+    /// Invalid cell value / number / bit pattern.
+    ParseValue(ParseValueError),
+    /// Invalid duration cell.
+    ParseSimTime(ParseSimTimeError),
+    /// Invalid unit symbol.
+    ParseUnit(ParseUnitError),
+    /// Expression syntax error.
+    ParseExpr(ParseExprError),
+    /// Expression evaluation error.
+    EvalExpr(EvalExprError),
+    /// Invalid signal kind or direction.
+    ParseSignal(ParseSignalKindError),
+    /// Status could not be resolved against the stand environment.
+    ResolveStatus(ResolveStatusError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidName(e) => e.fmt(f),
+            ModelError::ParseValue(e) => e.fmt(f),
+            ModelError::ParseSimTime(e) => e.fmt(f),
+            ModelError::ParseUnit(e) => e.fmt(f),
+            ModelError::ParseExpr(e) => e.fmt(f),
+            ModelError::EvalExpr(e) => e.fmt(f),
+            ModelError::ParseSignal(e) => e.fmt(f),
+            ModelError::ResolveStatus(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::InvalidName(e) => Some(e),
+            ModelError::ParseValue(e) => Some(e),
+            ModelError::ParseSimTime(e) => Some(e),
+            ModelError::ParseUnit(e) => Some(e),
+            ModelError::ParseExpr(e) => Some(e),
+            ModelError::EvalExpr(e) => Some(e),
+            ModelError::ParseSignal(e) => Some(e),
+            ModelError::ResolveStatus(e) => Some(e),
+        }
+    }
+}
+
+impl From<InvalidNameError> for ModelError {
+    fn from(e: InvalidNameError) -> Self {
+        ModelError::InvalidName(e)
+    }
+}
+
+impl From<ParseValueError> for ModelError {
+    fn from(e: ParseValueError) -> Self {
+        ModelError::ParseValue(e)
+    }
+}
+
+impl From<ParseSimTimeError> for ModelError {
+    fn from(e: ParseSimTimeError) -> Self {
+        ModelError::ParseSimTime(e)
+    }
+}
+
+impl From<ParseUnitError> for ModelError {
+    fn from(e: ParseUnitError) -> Self {
+        ModelError::ParseUnit(e)
+    }
+}
+
+impl From<ParseExprError> for ModelError {
+    fn from(e: ParseExprError) -> Self {
+        ModelError::ParseExpr(e)
+    }
+}
+
+impl From<EvalExprError> for ModelError {
+    fn from(e: EvalExprError) -> Self {
+        ModelError::EvalExpr(e)
+    }
+}
+
+impl From<ParseSignalKindError> for ModelError {
+    fn from(e: ParseSignalKindError) -> Self {
+        ModelError::ParseSignal(e)
+    }
+}
+
+impl From<ResolveStatusError> for ModelError {
+    fn from(e: ResolveStatusError) -> Self {
+        ModelError::ResolveStatus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn widening_with_question_mark() {
+        fn parse_all() -> Result<(), ModelError> {
+            let _ = Expr::parse("1+")?; // syntax error
+            Ok(())
+        }
+        let err = parse_all().unwrap_err();
+        assert!(matches!(err, ModelError::ParseExpr(_)));
+        assert!(err.source().is_some());
+        assert!(!err.to_string().is_empty());
+    }
+}

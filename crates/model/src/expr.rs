@@ -1,0 +1,752 @@
+//! The parameter expression language of generated test scripts.
+//!
+//! The paper's XML listing uses attribute values such as `(1.1*ubatt)` so
+//! that acceptance limits scale with the DUT supply voltage known only to the
+//! test stand at run time.  This module implements a small, total arithmetic
+//! language over `f64` with variables, the four basic operators, unary minus,
+//! the functions `min`, `max`, `abs`, `clamp`, and the constant `INF`.
+//!
+//! # Example
+//!
+//! ```
+//! use comptest_model::{Env, Expr};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let e = Expr::parse("clamp(0.5 * ubatt + 1, 0, max(5, 6))")?;
+//! let mut env = Env::new();
+//! env.set("UBATT", 12.0);
+//! assert_eq!(e.eval(&env)?, 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::value::number_to_string;
+
+/// A binary arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    fn symbol(self) -> char {
+        match self {
+            BinOp::Add => '+',
+            BinOp::Sub => '-',
+            BinOp::Mul => '*',
+            BinOp::Div => '/',
+        }
+    }
+}
+
+/// A built-in function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// `min(a, b, …)` — smallest argument (at least one required).
+    Min,
+    /// `max(a, b, …)` — largest argument (at least one required).
+    Max,
+    /// `abs(x)`.
+    Abs,
+    /// `clamp(x, lo, hi)`.
+    Clamp,
+}
+
+impl Func {
+    fn name(self) -> &'static str {
+        match self {
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Abs => "abs",
+            Func::Clamp => "clamp",
+        }
+    }
+
+    fn lookup(name: &str) -> Option<Func> {
+        match name.to_ascii_lowercase().as_str() {
+            "min" => Some(Func::Min),
+            "max" => Some(Func::Max),
+            "abs" => Some(Func::Abs),
+            "clamp" => Some(Func::Clamp),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal number (may be ±infinity, spelled `INF`).
+    Num(f64),
+    /// A variable reference; names are normalised to lowercase.
+    Var(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A function call.
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// Parses an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] with a byte offset on syntax errors,
+    /// unknown functions, or trailing input.
+    pub fn parse(input: &str) -> Result<Expr, ParseExprError> {
+        let tokens = tokenize(input)?;
+        let mut p = Parser {
+            tokens: &tokens,
+            pos: 0,
+            input,
+        };
+        let e = p.expr()?;
+        if p.pos != tokens.len() {
+            return Err(ParseExprError::new(
+                input,
+                p.offset(),
+                "unexpected trailing input",
+            ));
+        }
+        Ok(e)
+    }
+
+    /// Shorthand for a literal.
+    pub fn num(n: f64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// Shorthand for a variable reference (name is lowercased).
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_ascii_lowercase())
+    }
+
+    /// Builds `lhs * rhs` (used by status → script code generation).
+    /// This is a plain constructor, not an operator impl — `Expr` values are
+    /// AST nodes, and `a * b` syntax would suggest evaluation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Evaluates the expression against an environment.
+    ///
+    /// Infinities propagate according to IEEE 754 (`INF` is a legitimate
+    /// bound meaning "unbounded").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalExprError`] for unknown variables, wrong argument
+    /// counts, or a NaN result (e.g. `0/0` or `INF - INF`).
+    pub fn eval(&self, env: &Env) -> Result<f64, EvalExprError> {
+        let v = self.eval_inner(env)?;
+        if v.is_nan() {
+            return Err(EvalExprError::NotANumber {
+                expr: self.to_string(),
+            });
+        }
+        Ok(v)
+    }
+
+    fn eval_inner(&self, env: &Env) -> Result<f64, EvalExprError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Var(name) => env
+                .get(name)
+                .ok_or_else(|| EvalExprError::UnknownVariable { name: name.clone() }),
+            Expr::Neg(e) => Ok(-e.eval_inner(env)?),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval_inner(env)?;
+                let b = b.eval_inner(env)?;
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                })
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|a| a.eval_inner(env))
+                    .collect::<Result<_, _>>()?;
+                match (f, vals.as_slice()) {
+                    (Func::Abs, [x]) => Ok(x.abs()),
+                    (Func::Clamp, [x, lo, hi]) => Ok(x.max(*lo).min(*hi)),
+                    (Func::Min, xs) if !xs.is_empty() => {
+                        Ok(xs.iter().copied().fold(f64::INFINITY, f64::min))
+                    }
+                    (Func::Max, xs) if !xs.is_empty() => {
+                        Ok(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                    }
+                    _ => Err(EvalExprError::BadArity {
+                        func: f.name(),
+                        got: vals.len(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// All variable names referenced by the expression, lowercased and
+    /// deduplicated.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Neg(e) => e.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// True if the expression contains no variables (so it can be folded).
+    pub fn is_constant(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Canonical, fully-parenthesised form, matching the paper's style:
+    /// `(1.1*ubatt)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => f.write_str(&number_to_string(*n)),
+            Expr::Var(v) => f.write_str(v),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a}{}{b})", op.symbol()),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Expr {
+    type Err = ParseExprError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Expr::parse(s)
+    }
+}
+
+/// The variable environment an expression is evaluated against.
+///
+/// Variable names are case-insensitive (stored lowercased); the paper writes
+/// `UBATT` in sheets and `ubatt` in XML.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    vars: BTreeMap<String, f64>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Convenience: an environment with only `ubatt` set — the variable every
+    /// stand provides (the DUT supply voltage).
+    pub fn with_ubatt(ubatt: f64) -> Env {
+        let mut env = Env::new();
+        env.set("ubatt", ubatt);
+        env
+    }
+
+    /// Sets a variable (name is lowercased). Returns the previous value.
+    pub fn set(&mut self, name: &str, value: f64) -> Option<f64> {
+        self.vars.insert(name.to_ascii_lowercase(), value)
+    }
+
+    /// Looks a variable up case-insensitively.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.vars.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseExprError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'+' => toks.push(Spanned {
+                tok: Tok::Plus,
+                offset: start,
+            }),
+            b'-' => toks.push(Spanned {
+                tok: Tok::Minus,
+                offset: start,
+            }),
+            b'*' => toks.push(Spanned {
+                tok: Tok::Star,
+                offset: start,
+            }),
+            b'/' => toks.push(Spanned {
+                tok: Tok::Slash,
+                offset: start,
+            }),
+            b'(' => toks.push(Spanned {
+                tok: Tok::LParen,
+                offset: start,
+            }),
+            b')' => toks.push(Spanned {
+                tok: Tok::RParen,
+                offset: start,
+            }),
+            b',' => toks.push(Spanned {
+                tok: Tok::Comma,
+                offset: start,
+            }),
+            b'0'..=b'9' | b'.' => {
+                let mut j = i;
+                let mut seen_e = false;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    let is_num = b.is_ascii_digit() || b == b'.';
+                    let is_exp = (b == b'e' || b == b'E') && !seen_e;
+                    let is_exp_sign = (b == b'+' || b == b'-')
+                        && j > i
+                        && (bytes[j - 1] == b'e' || bytes[j - 1] == b'E');
+                    if is_num || is_exp || is_exp_sign {
+                        if is_exp {
+                            seen_e = true;
+                        }
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseExprError::new(input, start, "malformed number literal"))?;
+                toks.push(Spanned {
+                    tok: Tok::Num(n),
+                    offset: start,
+                });
+                i = j;
+                continue;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let ident = &input[i..j];
+                if ident.eq_ignore_ascii_case("inf") {
+                    toks.push(Spanned {
+                        tok: Tok::Num(f64::INFINITY),
+                        offset: start,
+                    });
+                } else {
+                    toks.push(Spanned {
+                        tok: Tok::Ident(ident.to_ascii_lowercase()),
+                        offset: start,
+                    });
+                }
+                i = j;
+                continue;
+            }
+            _ => return Err(ParseExprError::new(input, start, "unexpected character")),
+        }
+        i += 1;
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.input.len())
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos).map(|s| &s.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &'static str) -> Result<(), ParseExprError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseExprError::new(self.input, self.offset(), what))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseExprError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            let inner = self.factor()?;
+            // Fold unary minus into literals so `-3` parses as Num(-3.0) and
+            // Display/parse roundtrips structurally.
+            return Ok(match inner {
+                Expr::Num(n) => Expr::Num(-n),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseExprError> {
+        let offset = self.offset();
+        match self.bump().cloned() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let func = Func::lookup(&name).ok_or_else(|| {
+                        ParseExprError::new(self.input, offset, "unknown function")
+                    })?;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "expected `)` to close call")?;
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "expected `)`")?;
+                Ok(e)
+            }
+            _ => Err(ParseExprError::new(
+                self.input,
+                offset,
+                "expected number, variable or `(`",
+            )),
+        }
+    }
+}
+
+/// Error parsing an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    input: String,
+    offset: usize,
+    message: &'static str,
+}
+
+impl ParseExprError {
+    fn new(input: &str, offset: usize, message: &'static str) -> Self {
+        Self {
+            input: input.to_owned(),
+            offset,
+            message,
+        }
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error in expression {:?} at byte {}: {}",
+            self.input, self.offset, self.message
+        )
+    }
+}
+
+impl Error for ParseExprError {}
+
+/// Error evaluating an [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalExprError {
+    /// A referenced variable is not present in the [`Env`].
+    UnknownVariable {
+        /// The missing variable (lowercased).
+        name: String,
+    },
+    /// A function was called with the wrong number of arguments.
+    BadArity {
+        /// Function name.
+        func: &'static str,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// Evaluation produced NaN (e.g. `0/0`, `INF-INF`).
+    NotANumber {
+        /// Canonical form of the offending expression.
+        expr: String,
+    },
+}
+
+impl fmt::Display for EvalExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalExprError::UnknownVariable { name } => {
+                write!(
+                    f,
+                    "unknown variable `{name}` (not provided by the test stand)"
+                )
+            }
+            EvalExprError::BadArity { func, got } => {
+                write!(f, "wrong number of arguments for `{func}` (got {got})")
+            }
+            EvalExprError::NotANumber { expr } => {
+                write!(f, "expression {expr} evaluated to NaN")
+            }
+        }
+    }
+}
+
+impl Error for EvalExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: &str, ubatt: f64) -> f64 {
+        Expr::parse(src)
+            .unwrap()
+            .eval(&Env::with_ubatt(ubatt))
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_expressions() {
+        assert!((ev("(1.1*ubatt)", 12.0) - 13.2).abs() < 1e-12);
+        assert!((ev("(0.7*ubatt)", 12.0) - 8.4).abs() < 1e-12);
+        // Case-insensitive variables.
+        assert!((ev("(0.7*UBATT)", 10.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(ev("1+2*3", 0.0), 7.0);
+        assert_eq!(ev("(1+2)*3", 0.0), 9.0);
+        assert_eq!(ev("2-3-4", 0.0), -5.0);
+        assert_eq!(ev("24/4/2", 0.0), 3.0);
+        assert_eq!(ev("-2*3", 0.0), -6.0);
+        assert_eq!(ev("--2", 0.0), 2.0);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(ev("min(3,1,2)", 0.0), 1.0);
+        assert_eq!(ev("max(3,1,2)", 0.0), 3.0);
+        assert_eq!(ev("abs(-4)", 0.0), 4.0);
+        assert_eq!(ev("clamp(10,0,5)", 0.0), 5.0);
+        assert_eq!(ev("clamp(-1,0,5)", 0.0), 0.0);
+        assert_eq!(ev("clamp(3,0,5)", 0.0), 3.0);
+    }
+
+    #[test]
+    fn infinity() {
+        assert_eq!(ev("INF", 0.0), f64::INFINITY);
+        assert_eq!(ev("-INF", 0.0), f64::NEG_INFINITY);
+        assert_eq!(ev("inf/2", 0.0), f64::INFINITY);
+        // INF - INF is NaN -> error.
+        assert!(matches!(
+            Expr::parse("INF-INF").unwrap().eval(&Env::new()),
+            Err(EvalExprError::NotANumber { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_errors() {
+        assert!(matches!(
+            Expr::parse("nosuchvar").unwrap().eval(&Env::new()),
+            Err(EvalExprError::UnknownVariable { name }) if name == "nosuchvar"
+        ));
+        assert!(matches!(
+            Expr::parse("abs(1,2)").unwrap().eval(&Env::new()),
+            Err(EvalExprError::BadArity {
+                func: "abs",
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            Expr::parse("min()").unwrap().eval(&Env::new()),
+            Err(EvalExprError::BadArity {
+                func: "min",
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_have_offsets() {
+        let err = Expr::parse("1 + §").unwrap_err();
+        assert_eq!(err.offset(), 4);
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("foo(1)").is_err(), "unknown function must fail");
+        assert!(Expr::parse("(1").is_err());
+        assert!(Expr::parse("1 2").is_err(), "trailing input must fail");
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let e = Expr::mul(Expr::num(1.1), Expr::var("UBATT"));
+        assert_eq!(e.to_string(), "(1.1*ubatt)");
+        let e = Expr::parse("min(1, 2*x)").unwrap();
+        assert_eq!(e.to_string(), "min(1,(2*x))");
+    }
+
+    #[test]
+    fn display_parse_roundtrip_structural() {
+        for src in [
+            "(1.1*ubatt)",
+            "min(1,(2*x))",
+            "clamp(x,0,5)",
+            "-3",
+            "(-x)",
+            "((1+2)-(3/4))",
+            "INF",
+            "-INF",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let round = Expr::parse(&e.to_string()).unwrap();
+            assert_eq!(e, round, "roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn variables_are_collected() {
+        let e = Expr::parse("a + min(B, c*a)").unwrap();
+        assert_eq!(e.variables(), vec!["a".to_string(), "b".into(), "c".into()]);
+        assert!(!e.is_constant());
+        assert!(Expr::parse("1+2").unwrap().is_constant());
+    }
+
+    #[test]
+    fn env_basics() {
+        let mut env = Env::new();
+        assert_eq!(env.set("UBATT", 12.0), None);
+        assert_eq!(env.set("ubatt", 13.8), Some(12.0));
+        assert_eq!(env.get("Ubatt"), Some(13.8));
+        let pairs: Vec<_> = env.iter().collect();
+        assert_eq!(pairs, vec![("ubatt", 13.8)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Case-insensitive identifier newtypes.
+//!
+//! The paper's sheets mix spellings freely (`INT_ILL` in the test sheet,
+//! `int_ill` in the generated XML, `UBATT`/`ubatt` in expressions).  All name
+//! types in this crate therefore preserve the original spelling for display
+//! but compare, hash and order **ASCII-case-insensitively**.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a name type from an invalid string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidNameError {
+    kind: &'static str,
+    offending: String,
+}
+
+impl InvalidNameError {
+    pub(crate) fn new(kind: &'static str, offending: impl Into<String>) -> Self {
+        Self {
+            kind,
+            offending: offending.into(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn offending(&self) -> &str {
+        &self.offending
+    }
+}
+
+impl fmt::Display for InvalidNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} name {:?}: must be non-empty ASCII of [A-Za-z0-9_.-]",
+            self.kind, self.offending
+        )
+    }
+}
+
+impl Error for InvalidNameError {}
+
+pub(crate) fn validate_name(kind: &'static str, s: &str) -> Result<(), InvalidNameError> {
+    let ok = !s.is_empty()
+        && s.is_ascii()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(InvalidNameError::new(kind, s))
+    }
+}
+
+/// Compares two strings ASCII-case-insensitively, byte-wise.
+pub(crate) fn cmp_ignore_case(a: &str, b: &str) -> std::cmp::Ordering {
+    let la = a.bytes().map(|b| b.to_ascii_lowercase());
+    let lb = b.bytes().map(|b| b.to_ascii_lowercase());
+    la.cmp(lb)
+}
+
+/// Defines a validated, case-insensitive identifier newtype.
+macro_rules! define_name {
+    ($(#[$meta:meta])* $T:ident, $kind:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $T(String);
+
+        impl $T {
+            /// Creates a new name, validating the character set.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::InvalidNameError`] if the string is empty or
+            /// contains characters outside `[A-Za-z0-9_.-]`.
+            pub fn new(s: impl Into<String>) -> Result<Self, $crate::name::InvalidNameError> {
+                let s = s.into();
+                $crate::name::validate_name($kind, &s)?;
+                Ok(Self(s))
+            }
+
+            /// The name exactly as written in the source sheet.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Canonical lowercase key (used for map lookups and XML output).
+            pub fn key(&self) -> String {
+                self.0.to_ascii_lowercase()
+            }
+        }
+
+        impl std::fmt::Display for $T {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl PartialEq for $T {
+            fn eq(&self, other: &Self) -> bool {
+                self.0.eq_ignore_ascii_case(&other.0)
+            }
+        }
+
+        impl Eq for $T {}
+
+        impl PartialEq<str> for $T {
+            fn eq(&self, other: &str) -> bool {
+                self.0.eq_ignore_ascii_case(other)
+            }
+        }
+
+        impl PartialEq<&str> for $T {
+            fn eq(&self, other: &&str) -> bool {
+                self.0.eq_ignore_ascii_case(other)
+            }
+        }
+
+        impl std::hash::Hash for $T {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                for b in self.0.bytes() {
+                    state.write_u8(b.to_ascii_lowercase());
+                }
+            }
+        }
+
+        impl PartialOrd for $T {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $T {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                $crate::name::cmp_ignore_case(&self.0, &other.0)
+            }
+        }
+
+        impl std::str::FromStr for $T {
+            type Err = $crate::name::InvalidNameError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Self::new(s)
+            }
+        }
+
+        impl AsRef<str> for $T {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // The macro generates the full API; the test type only exercises parts
+    // of it, so allow the rest to go unused here.
+    #![allow(dead_code)]
+
+    define_name!(
+        /// Test-only name type.
+        TestName,
+        "test"
+    );
+
+    #[test]
+    fn accepts_typical_names() {
+        for s in [
+            "INT_ILL",
+            "ds_fl",
+            "Sw1.1",
+            "Mx4.2",
+            "0",
+            "1",
+            "Lo",
+            "REQ-IL-001",
+        ] {
+            assert!(TestName::new(s).is_ok(), "{s} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        for s in ["", "has space", "umläut", "semi;colon", "tab\t"] {
+            assert!(TestName::new(s).is_err(), "{s:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_eq_hash_ord() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = TestName::new("INT_ILL").unwrap();
+        let b = TestName::new("int_ill").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // Display preserves the original spelling.
+        assert_eq!(a.to_string(), "INT_ILL");
+        assert_eq!(a.key(), "int_ill");
+    }
+
+    #[test]
+    fn compares_to_str() {
+        let a = TestName::new("Night").unwrap();
+        assert_eq!(a, "NIGHT");
+        assert_eq!(a, "night");
+    }
+}

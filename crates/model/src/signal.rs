@@ -1,0 +1,399 @@
+//! Signal definitions: the DUT's interface as declared in the signal sheet.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::status::StatusName;
+use crate::value::ParseValueError;
+
+define_name!(
+    /// The name of a DUT signal (`INT_ILL`, `DS_FL`, `NIGHT`, …).
+    SignalName,
+    "signal"
+);
+
+define_name!(
+    /// The name of a physical DUT pin as it appears in the connection matrix
+    /// (`INT_ILL_F`, `DS_FL`, `CAN0`, …). A [`SignalName`] maps to one or two
+    /// pins.
+    PinId,
+    "pin"
+);
+
+/// A CAN frame identifier (11- or 29-bit; stored as the raw id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanFrameId(pub u32);
+
+impl fmt::Display for CanFrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:X}", self.0)
+    }
+}
+
+/// Direction of a signal from the DUT's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDirection {
+    /// Stimulus applied by the test stand (DUT input).
+    Input,
+    /// Observed response (DUT output).
+    Output,
+}
+
+impl SignalDirection {
+    /// Parses `input`/`in` or `output`/`out`, case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSignalKindError`] on anything else.
+    pub fn parse(s: &str) -> Result<Self, ParseSignalKindError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "input" | "in" | "i" => Ok(SignalDirection::Input),
+            "output" | "out" | "o" => Ok(SignalDirection::Output),
+            other => Err(ParseSignalKindError::new(format!(
+                "unknown direction {other:?} (expected input/output)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for SignalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalDirection::Input => f.write_str("input"),
+            SignalDirection::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// How a signal is physically realised.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// One or two electrical pins. Two pins model differential connections
+    /// such as the paper's `INT_ILL_F`/`INT_ILL_R` lamp measurement; a
+    /// resource must be connectable to *all* pins of the signal.
+    Pin {
+        /// The pins, in `forward, return` order.
+        pins: Vec<PinId>,
+    },
+    /// A bit field inside a CAN frame on the stand's CAN bus attachment.
+    Can {
+        /// The frame carrying the signal.
+        frame: CanFrameId,
+        /// Bit offset of the least significant bit within the frame payload.
+        start_bit: u8,
+        /// Field width in bits (1..=64).
+        width: u8,
+    },
+}
+
+impl SignalKind {
+    /// Creates a single-pin electrical signal.
+    pub fn pin(pin: PinId) -> SignalKind {
+        SignalKind::Pin { pins: vec![pin] }
+    }
+
+    /// Creates a differential (two-pin) electrical signal.
+    pub fn pin_pair(forward: PinId, ret: PinId) -> SignalKind {
+        SignalKind::Pin {
+            pins: vec![forward, ret],
+        }
+    }
+
+    /// Creates a CAN-mapped signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSignalKindError`] for a zero or >64 bit width, or when
+    /// the field crosses the 64-byte CAN-FD payload boundary.
+    pub fn can(
+        frame: CanFrameId,
+        start_bit: u8,
+        width: u8,
+    ) -> Result<SignalKind, ParseSignalKindError> {
+        if width == 0 || width > 64 {
+            return Err(ParseSignalKindError::new(format!(
+                "CAN field width {width} out of range 1..=64"
+            )));
+        }
+        if start_bit as u16 + width as u16 > 512 {
+            return Err(ParseSignalKindError::new(format!(
+                "CAN field {start_bit}+{width} exceeds a 64-byte payload"
+            )));
+        }
+        Ok(SignalKind::Can {
+            frame,
+            start_bit,
+            width,
+        })
+    }
+
+    /// Parses the compact sheet notation:
+    ///
+    /// * `pin:INT_ILL_F` — one pin;
+    /// * `pin:INT_ILL_F/INT_ILL_R` — differential pair;
+    /// * `can:0x130:4:2` — frame 0x130, start bit 4, width 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSignalKindError`] on malformed notation.
+    pub fn parse(s: &str) -> Result<SignalKind, ParseSignalKindError> {
+        let t = s.trim();
+        if let Some(rest) = prefix(t, "pin:") {
+            let mut pins = Vec::new();
+            for part in rest.split('/') {
+                let pin = PinId::new(part.trim())
+                    .map_err(|e| ParseSignalKindError::new(e.to_string()))?;
+                pins.push(pin);
+            }
+            if pins.is_empty() || pins.len() > 2 {
+                return Err(ParseSignalKindError::new(format!(
+                    "pin signal must have 1 or 2 pins, got {}",
+                    pins.len()
+                )));
+            }
+            return Ok(SignalKind::Pin { pins });
+        }
+        if let Some(rest) = prefix(t, "can:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return Err(ParseSignalKindError::new(format!(
+                    "CAN signal must be can:<frame>:<start_bit>:<width>, got {t:?}"
+                )));
+            }
+            let frame = parse_frame_id(parts[0])?;
+            let start_bit: u8 = parts[1]
+                .trim()
+                .parse()
+                .map_err(|_| ParseSignalKindError::new(format!("bad start bit {:?}", parts[1])))?;
+            let width: u8 = parts[2]
+                .trim()
+                .parse()
+                .map_err(|_| ParseSignalKindError::new(format!("bad width {:?}", parts[2])))?;
+            return SignalKind::can(frame, start_bit, width);
+        }
+        Err(ParseSignalKindError::new(format!(
+            "unknown signal kind {t:?} (expected pin:… or can:…)"
+        )))
+    }
+
+    /// The electrical pins of the signal (empty for CAN signals).
+    pub fn pins(&self) -> &[PinId] {
+        match self {
+            SignalKind::Pin { pins } => pins,
+            SignalKind::Can { .. } => &[],
+        }
+    }
+
+    /// True if the signal is CAN-mapped.
+    pub fn is_can(&self) -> bool {
+        matches!(self, SignalKind::Can { .. })
+    }
+}
+
+fn prefix<'a>(s: &'a str, p: &str) -> Option<&'a str> {
+    // `get` (not slicing) so a multi-byte character straddling the prefix
+    // length cannot panic — found by the mutation fuzz tests.
+    let head = s.get(..p.len())?;
+    if head.eq_ignore_ascii_case(p) {
+        Some(&s[p.len()..])
+    } else {
+        None
+    }
+}
+
+fn parse_frame_id(s: &str) -> Result<CanFrameId, ParseSignalKindError> {
+    let t = s.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    parsed
+        .map(CanFrameId)
+        .map_err(|_| ParseSignalKindError::new(format!("bad CAN frame id {t:?}")))
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::Pin { pins } => {
+                f.write_str("pin:")?;
+                for (i, p) in pins.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            SignalKind::Can {
+                frame,
+                start_bit,
+                width,
+            } => write!(f, "can:{frame}:{start_bit}:{width}"),
+        }
+    }
+}
+
+/// A row of the signal definition sheet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalDef {
+    /// The signal's name, referenced by test sheets.
+    pub name: SignalName,
+    /// Physical realisation.
+    pub kind: SignalKind,
+    /// Stimulus or observation.
+    pub direction: SignalDirection,
+    /// Status applied before the test starts (column "status before start").
+    /// `None` for outputs or don't-care inputs.
+    pub init: Option<StatusName>,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl SignalDef {
+    /// Creates a signal definition without an initial status or description.
+    pub fn new(name: SignalName, kind: SignalKind, direction: SignalDirection) -> Self {
+        Self {
+            name,
+            kind,
+            direction,
+            init: None,
+            description: String::new(),
+        }
+    }
+
+    /// Sets the initial status (builder style).
+    pub fn with_init(mut self, init: StatusName) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Sets the description (builder style).
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+}
+
+/// Error parsing a [`SignalKind`] or [`SignalDirection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSignalKindError {
+    message: String,
+}
+
+impl ParseSignalKindError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSignalKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid signal: {}", self.message)
+    }
+}
+
+impl Error for ParseSignalKindError {}
+
+impl From<ParseSignalKindError> for ParseValueError {
+    fn from(e: ParseSignalKindError) -> Self {
+        ParseValueError::new(e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pin_kinds() {
+        let k = SignalKind::parse("pin:DS_FL").unwrap();
+        assert_eq!(k.pins().len(), 1);
+        assert_eq!(k.to_string(), "pin:DS_FL");
+
+        let k = SignalKind::parse("pin:INT_ILL_F/INT_ILL_R").unwrap();
+        assert_eq!(k.pins().len(), 2);
+        assert!(!k.is_can());
+        assert_eq!(k.to_string(), "pin:INT_ILL_F/INT_ILL_R");
+    }
+
+    #[test]
+    fn parse_can_kinds() {
+        let k = SignalKind::parse("can:0x130:4:2").unwrap();
+        assert_eq!(
+            k,
+            SignalKind::Can {
+                frame: CanFrameId(0x130),
+                start_bit: 4,
+                width: 2
+            }
+        );
+        assert!(k.is_can());
+        assert!(k.pins().is_empty());
+        assert_eq!(k.to_string(), "can:0x130:4:2");
+        // Decimal frame id also works.
+        let k = SignalKind::parse("can:304:0:1").unwrap();
+        assert_eq!(
+            k,
+            SignalKind::Can {
+                frame: CanFrameId(304),
+                start_bit: 0,
+                width: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in [
+            "pin:",
+            "pin:A/B/C",
+            "can:0x130:4",
+            "can:zz:0:1",
+            "can:0x130:0:0",
+            "can:0x130:0:65",
+            "spi:0",
+            "",
+            // Multi-byte characters near the prefix boundary must not panic.
+            "pí:x",
+            "cañ:0:0:1",
+            "ö",
+        ] {
+            assert!(SignalKind::parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn direction_parse() {
+        assert_eq!(
+            SignalDirection::parse("Input").unwrap(),
+            SignalDirection::Input
+        );
+        assert_eq!(
+            SignalDirection::parse("out").unwrap(),
+            SignalDirection::Output
+        );
+        assert!(SignalDirection::parse("sideways").is_err());
+    }
+
+    #[test]
+    fn signal_def_builder() {
+        let s = SignalDef::new(
+            SignalName::new("DS_FL").unwrap(),
+            SignalKind::parse("pin:DS_FL").unwrap(),
+            SignalDirection::Input,
+        )
+        .with_init(StatusName::new("Closed").unwrap())
+        .with_description("door switch front left");
+        assert_eq!(s.init.as_ref().unwrap(), &"closed");
+        assert_eq!(s.description, "door switch front left");
+    }
+
+    #[test]
+    fn frame_id_display() {
+        assert_eq!(CanFrameId(0x130).to_string(), "0x130");
+    }
+}

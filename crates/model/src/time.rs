@@ -1,0 +1,278 @@
+//! Fixed-point simulation time.
+//!
+//! Step durations in the paper's sheets are seconds with a decimal comma
+//! (`0,5`, `280`, `25`).  Accumulating such durations in `f64` would make the
+//! 300 s interior-light timeout comparison fragile, so simulation time is an
+//! integer number of **microseconds**.  The same type is used both for
+//! instants (time since test start) and for durations.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulation time with microsecond resolution.
+///
+/// # Example
+///
+/// ```
+/// use comptest_model::SimTime;
+///
+/// let step = SimTime::from_secs_f64(0.5);
+/// let total = step * 7;
+/// assert_eq!(total.to_string(), "3.5s");
+/// assert!(total < SimTime::from_secs(300));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as "never" for event scheduling).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// Whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (exact for times below ~2^53 µs).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// True if this is [`SimTime::ZERO`].
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses a duration in seconds as written in a sheet cell: decimal
+    /// point **or** decimal comma (`0,5`), optional trailing `s` unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSimTimeError`] for empty, negative or non-numeric input.
+    ///
+    /// ```
+    /// use comptest_model::SimTime;
+    /// assert_eq!("0,5".parse::<SimTime>()?, SimTime::from_millis(500));
+    /// assert_eq!("280".parse::<SimTime>()?, SimTime::from_secs(280));
+    /// # Ok::<(), comptest_model::time::ParseSimTimeError>(())
+    /// ```
+    pub fn parse_secs(s: &str) -> Result<SimTime, ParseSimTimeError> {
+        let raw = s.trim();
+        let raw = raw.strip_suffix(['s', 'S']).unwrap_or(raw).trim();
+        if raw.is_empty() {
+            return Err(ParseSimTimeError::new(s));
+        }
+        let normalized = raw.replace(',', ".");
+        let secs: f64 = normalized.parse().map_err(|_| ParseSimTimeError::new(s))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(ParseSimTimeError::new(s));
+        }
+        Ok(SimTime::from_secs_f64(secs))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimTime::MAX {
+            return f.write_str("∞");
+        }
+        let secs = self.0 / 1_000_000;
+        let frac = self.0 % 1_000_000;
+        if frac == 0 {
+            write!(f, "{secs}s")
+        } else {
+            let mut frac_str = format!("{frac:06}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            write!(f, "{secs}.{frac_str}s")
+        }
+    }
+}
+
+impl std::str::FromStr for SimTime {
+    type Err = ParseSimTimeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SimTime::parse_secs(s)
+    }
+}
+
+/// Error parsing a [`SimTime`] from a sheet cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSimTimeError {
+    offending: String,
+}
+
+impl ParseSimTimeError {
+    fn new(s: &str) -> Self {
+        Self {
+            offending: s.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSimTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid duration {:?}: expected non-negative seconds such as \"0,5\" or \"280\"",
+            self.offending
+        )
+    }
+}
+
+impl Error for ParseSimTimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_decimal_comma_and_point() {
+        assert_eq!(
+            SimTime::parse_secs("0,5").unwrap(),
+            SimTime::from_millis(500)
+        );
+        assert_eq!(
+            SimTime::parse_secs("0.5").unwrap(),
+            SimTime::from_millis(500)
+        );
+        assert_eq!(SimTime::parse_secs("280").unwrap(), SimTime::from_secs(280));
+        assert_eq!(
+            SimTime::parse_secs(" 25 s ").unwrap(),
+            SimTime::from_secs(25)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "-1", "abc", "1,2,3", "inf", "NaN"] {
+            assert!(SimTime::parse_secs(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn paper_step_arithmetic_is_exact() {
+        // Steps 0..=6 of the paper's table are 0.5 s each; the door opens at
+        // the start of step 6 (t = 3.0 s).  End of step 7 = 283.5 s; the lamp
+        // timer (300 s) must not yet have expired.  End of step 8 = 308.5 s.
+        let half = SimTime::parse_secs("0,5").unwrap();
+        let mut t = SimTime::ZERO;
+        for _ in 0..7 {
+            t += half;
+        }
+        assert_eq!(t, SimTime::from_millis(3_500));
+        let door_open_at = SimTime::from_secs(3);
+        let end_step7 = t + SimTime::from_secs(280);
+        let end_step8 = end_step7 + SimTime::from_secs(25);
+        let timeout = SimTime::from_secs(300);
+        assert!(end_step7 - door_open_at < timeout);
+        assert!(end_step8 - door_open_at > timeout);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime::from_secs(283).to_string(), "283s");
+        assert_eq!(SimTime::from_millis(3_500).to_string(), "3.5s");
+        assert_eq!(SimTime::from_micros(1).to_string(), "0.000001s");
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(1)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_edge_cases() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.0000005), SimTime::from_micros(1)); // rounds
+    }
+}

@@ -1,0 +1,134 @@
+//! Physical units for method attributes and resource parameter ranges.
+
+use std::error::Error;
+use std::fmt;
+
+/// The unit of a numeric method attribute (`u` is volts, `r` is ohms, …).
+///
+/// Units are informational plus a consistency check: a status can only be
+/// realised by a resource whose parameter range is declared in the same unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Unit {
+    /// Volts (`V`).
+    Volt,
+    /// Ohms (`Ohm` / `Ω`).
+    Ohm,
+    /// Amperes (`A`).
+    Ampere,
+    /// Hertz (`Hz`).
+    Hertz,
+    /// Seconds (`s`).
+    Second,
+    /// Percent (`%`), e.g. PWM duty cycle.
+    Percent,
+    /// Dimensionless (ratios, counts, bit values).
+    #[default]
+    Dimensionless,
+}
+
+impl Unit {
+    /// The canonical symbol (`V`, `Ohm`, `A`, `Hz`, `s`, `%`, or empty).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Unit::Volt => "V",
+            Unit::Ohm => "Ohm",
+            Unit::Ampere => "A",
+            Unit::Hertz => "Hz",
+            Unit::Second => "s",
+            Unit::Percent => "%",
+            Unit::Dimensionless => "",
+        }
+    }
+
+    /// Parses a unit symbol as written in a resource table.
+    ///
+    /// Accepts the usual spellings case-insensitively, including the Greek
+    /// `Ω` the paper uses for the resistor decades. An empty string is
+    /// [`Unit::Dimensionless`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUnitError`] for unknown symbols.
+    pub fn parse(s: &str) -> Result<Unit, ParseUnitError> {
+        let t = s.trim();
+        match t.to_ascii_lowercase().as_str() {
+            "v" | "volt" | "volts" => Ok(Unit::Volt),
+            "ohm" | "ohms" | "r" => Ok(Unit::Ohm),
+            "a" | "amp" | "ampere" | "amperes" => Ok(Unit::Ampere),
+            "hz" | "hertz" => Ok(Unit::Hertz),
+            "s" | "sec" | "second" | "seconds" => Ok(Unit::Second),
+            "%" | "percent" => Ok(Unit::Percent),
+            "" | "-" => Ok(Unit::Dimensionless),
+            _ if t == "Ω" || t == "ω" => Ok(Unit::Ohm),
+            _ => Err(ParseUnitError {
+                offending: t.to_owned(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl std::str::FromStr for Unit {
+    type Err = ParseUnitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Unit::parse(s)
+    }
+}
+
+/// Error parsing a [`Unit`] symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUnitError {
+    offending: String,
+}
+
+impl fmt::Display for ParseUnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown unit {:?}: expected one of V, Ohm, A, Hz, s, %",
+            self.offending
+        )
+    }
+}
+
+impl Error for ParseUnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_units() {
+        assert_eq!(Unit::parse("V").unwrap(), Unit::Volt);
+        assert_eq!(Unit::parse("Ω").unwrap(), Unit::Ohm);
+        assert_eq!(Unit::parse("ohm").unwrap(), Unit::Ohm);
+        assert_eq!(Unit::parse("").unwrap(), Unit::Dimensionless);
+        assert_eq!(Unit::parse("Hz").unwrap(), Unit::Hertz);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(Unit::parse("parsec").is_err());
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for u in [
+            Unit::Volt,
+            Unit::Ohm,
+            Unit::Ampere,
+            Unit::Hertz,
+            Unit::Second,
+            Unit::Percent,
+            Unit::Dimensionless,
+        ] {
+            assert_eq!(Unit::parse(u.symbol()).unwrap(), u);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Cell values: numbers (including `INF`), bit patterns (`0001B`) and text.
+
+use std::error::Error;
+use std::fmt;
+
+/// A bit pattern literal as used by `put_can` / `get_can` statuses,
+/// e.g. `0001B` (width 4, value 1) or `1B` (width 1, value 1).
+///
+/// The most significant bit is written first, exactly as in the paper's
+/// status table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitPattern {
+    bits: u64,
+    width: u8,
+}
+
+impl BitPattern {
+    /// Maximum supported width in bits.
+    pub const MAX_WIDTH: u8 = 64;
+
+    /// Creates a pattern from a value and a width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseValueError`] if `width` is zero, exceeds
+    /// [`BitPattern::MAX_WIDTH`], or cannot hold `bits`.
+    pub fn new(bits: u64, width: u8) -> Result<Self, ParseValueError> {
+        if width == 0 || width > Self::MAX_WIDTH {
+            return Err(ParseValueError::new(format!(
+                "bit width {width} out of range 1..=64"
+            )));
+        }
+        if width < 64 && bits >> width != 0 {
+            return Err(ParseValueError::new(format!(
+                "value {bits:#b} does not fit in {width} bits"
+            )));
+        }
+        Ok(Self { bits, width })
+    }
+
+    /// Parses a literal such as `0001B` or `1b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseValueError`] if the string is not a binary literal with
+    /// a `B` suffix.
+    pub fn parse(s: &str) -> Result<Self, ParseValueError> {
+        let t = s.trim();
+        let body = t
+            .strip_suffix(['B', 'b'])
+            .ok_or_else(|| ParseValueError::new(format!("{t:?}: missing B suffix")))?;
+        if body.is_empty() || body.len() > Self::MAX_WIDTH as usize {
+            return Err(ParseValueError::new(format!(
+                "{t:?}: bad bit pattern length"
+            )));
+        }
+        let mut bits = 0u64;
+        for c in body.chars() {
+            bits <<= 1;
+            match c {
+                '0' => {}
+                '1' => bits |= 1,
+                _ => return Err(ParseValueError::new(format!("{t:?}: invalid bit {c:?}"))),
+            }
+        }
+        Ok(Self {
+            bits,
+            width: body.len() as u8,
+        })
+    }
+
+    /// The numeric value of the pattern.
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The declared width in bits.
+    pub const fn width(self) -> u8 {
+        self.width
+    }
+
+    /// True if `value`'s low `width` bits equal this pattern.
+    pub fn matches(self, value: u64) -> bool {
+        let mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        value & mask == self.bits
+    }
+}
+
+impl fmt::Display for BitPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            let bit = (self.bits >> i) & 1;
+            write!(f, "{bit}")?;
+        }
+        f.write_str("B")
+    }
+}
+
+impl std::str::FromStr for BitPattern {
+    type Err = ParseValueError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BitPattern::parse(s)
+    }
+}
+
+/// A parsed sheet cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A (possibly infinite) number. `INF` in a sheet maps to
+    /// [`f64::INFINITY`] and means "open circuit" / "unbounded".
+    Num(f64),
+    /// A bit pattern such as `0001B`.
+    Bits(BitPattern),
+    /// Free text (anything that is neither a number nor a bit pattern).
+    Text(String),
+}
+
+impl Value {
+    /// Parses a cell: bit pattern first (`[01]+B`), then number (accepting
+    /// decimal comma and `INF`), falling back to text.
+    pub fn parse_cell(s: &str) -> Value {
+        let t = s.trim();
+        if let Ok(b) = BitPattern::parse(t) {
+            return Value::Bits(b);
+        }
+        if let Ok(n) = parse_number(t) {
+            return Value::Num(n);
+        }
+        Value::Text(t.to_owned())
+    }
+
+    /// The numeric value, if this is [`Value::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bit pattern, if this is [`Value::Bits`].
+    pub fn as_bits(&self) -> Option<BitPattern> {
+        match self {
+            Value::Bits(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => fmt_number(*n, f),
+            Value::Bits(b) => b.fmt(f),
+            Value::Text(t) => f.write_str(t),
+        }
+    }
+}
+
+/// Formats a number the way sheets and scripts expect: `INF` / `-INF` for
+/// infinities, shortest-roundtrip decimal otherwise.
+pub fn fmt_number(n: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if n == f64::INFINITY {
+        f.write_str("INF")
+    } else if n == f64::NEG_INFINITY {
+        f.write_str("-INF")
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+/// Formats a number for human-facing tables: like [`number_to_string`] but
+/// rounded to 9 decimals so float artefacts (`13.200000000000001`) do not
+/// leak into reports. Never use this for scripts or sheets — those need the
+/// exact shortest-roundtrip form.
+pub fn display_number(n: f64) -> String {
+    if !n.is_finite() {
+        return number_to_string(n);
+    }
+    let rounded = (n * 1e9).round() / 1e9;
+    number_to_string(rounded)
+}
+
+/// Formats a number into a `String` (see [`fmt_number`]).
+pub fn number_to_string(n: f64) -> String {
+    struct W(f64);
+    impl fmt::Display for W {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt_number(self.0, f)
+        }
+    }
+    W(n).to_string()
+}
+
+/// Parses a number from a sheet cell.
+///
+/// Accepts decimal comma (`0,5`) or point, scientific notation (`1,00E+06`),
+/// and the special spellings `INF` / `-INF` (any case).
+///
+/// # Errors
+///
+/// Returns [`ParseValueError`] if the cell is empty or not numeric.
+pub fn parse_number(s: &str) -> Result<f64, ParseValueError> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Err(ParseValueError::new(
+            "empty cell where a number was expected",
+        ));
+    }
+    match t.to_ascii_uppercase().as_str() {
+        "INF" | "+INF" => return Ok(f64::INFINITY),
+        "-INF" => return Ok(f64::NEG_INFINITY),
+        _ => {}
+    }
+    // Decimal comma: only replace when there is exactly one comma and no
+    // point, to avoid silently accepting thousands separators.
+    let normalized = if t.contains(',') {
+        if t.matches(',').count() == 1 && !t.contains('.') {
+            t.replace(',', ".")
+        } else {
+            return Err(ParseValueError::new(format!("ambiguous number {t:?}")));
+        }
+    } else {
+        t.to_owned()
+    };
+    let n: f64 = normalized
+        .parse()
+        .map_err(|_| ParseValueError::new(format!("not a number: {t:?}")))?;
+    if n.is_nan() {
+        return Err(ParseValueError::new("NaN is not a valid sheet value"));
+    }
+    Ok(n)
+}
+
+/// Error parsing a [`Value`], [`BitPattern`] or number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    message: String,
+}
+
+impl ParseValueError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid value: {}", self.message)
+    }
+}
+
+impl Error for ParseValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_pattern_parse_display_roundtrip() {
+        for s in ["0001B", "1B", "0B", "1010B", "0000000011111111B"] {
+            let p = BitPattern::parse(s).unwrap();
+            assert_eq!(p.to_string(), s, "roundtrip of {s}");
+        }
+        assert_eq!(BitPattern::parse("0001B").unwrap().bits(), 1);
+        assert_eq!(BitPattern::parse("0001B").unwrap().width(), 4);
+        assert_eq!(BitPattern::parse("1010b").unwrap().bits(), 0b1010);
+    }
+
+    #[test]
+    fn bit_pattern_rejects_bad_input() {
+        for s in ["", "B", "2B", "01", "0x1B1B", "0102B"] {
+            assert!(BitPattern::parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn bit_pattern_matches() {
+        let p = BitPattern::parse("0001B").unwrap();
+        assert!(p.matches(1));
+        assert!(p.matches(0b10001)); // only the low 4 bits are compared
+        assert!(!p.matches(0));
+        assert!(!p.matches(3));
+    }
+
+    #[test]
+    fn bit_pattern_new_validates() {
+        assert!(BitPattern::new(1, 0).is_err());
+        assert!(BitPattern::new(4, 2).is_err());
+        assert!(BitPattern::new(3, 2).is_ok());
+        assert!(BitPattern::new(u64::MAX, 64).is_ok());
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(parse_number("0,5").unwrap(), 0.5);
+        assert_eq!(parse_number("0.5").unwrap(), 0.5);
+        assert_eq!(parse_number("1,00E+06").unwrap(), 1.0e6);
+        assert_eq!(parse_number("2,00E+05").unwrap(), 2.0e5);
+        assert_eq!(parse_number("INF").unwrap(), f64::INFINITY);
+        assert_eq!(parse_number("-inf").unwrap(), f64::NEG_INFINITY);
+        assert_eq!(parse_number("-60").unwrap(), -60.0);
+    }
+
+    #[test]
+    fn parse_number_rejects() {
+        for s in ["", "1,2,3", "1.5,2", "abc", "NaN"] {
+            assert!(parse_number(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn cell_dispatch() {
+        assert_eq!(
+            Value::parse_cell("0001B"),
+            Value::Bits(BitPattern::new(1, 4).unwrap())
+        );
+        assert_eq!(Value::parse_cell("0,5"), Value::Num(0.5));
+        assert_eq!(Value::parse_cell("INF"), Value::Num(f64::INFINITY));
+        assert_eq!(Value::parse_cell("hello"), Value::Text("hello".into()));
+        // "0B" and "1B" are bit patterns, not text.
+        assert_eq!(
+            Value::parse_cell("0B"),
+            Value::Bits(BitPattern::new(0, 1).unwrap())
+        );
+    }
+
+    #[test]
+    fn display_numbers() {
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "INF");
+        assert_eq!(Value::Num(0.5).to_string(), "0.5");
+        assert_eq!(Value::Num(1e6).to_string(), "1000000");
+        assert_eq!(number_to_string(f64::NEG_INFINITY), "-INF");
+    }
+}

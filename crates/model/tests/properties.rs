@@ -1,0 +1,115 @@
+//! Property-based tests for the model crate's core invariants.
+
+use comptest_model::{BitPattern, Env, Expr, SimTime};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary expressions over variables `a`, `b`, `u`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Finite literals formatted with `{}` roundtrip exactly.
+        any::<f64>()
+            .prop_filter("finite", |n| n.is_finite())
+            .prop_map(Expr::Num),
+        Just(Expr::Num(f64::INFINITY)),
+        prop_oneof![Just("a"), Just("b"), Just("u")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Bin(
+                comptest_model::expr::BinOp::Add,
+                Box::new(x),
+                Box::new(y)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Bin(
+                comptest_model::expr::BinOp::Mul,
+                Box::new(x),
+                Box::new(y)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Bin(
+                comptest_model::expr::BinOp::Sub,
+                Box::new(x),
+                Box::new(y)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Bin(
+                comptest_model::expr::BinOp::Div,
+                Box::new(x),
+                Box::new(y)
+            )),
+            inner.clone().prop_map(|x| match x {
+                // Mirror the parser's literal folding so roundtrips stay structural.
+                Expr::Num(n) => Expr::Num(-n),
+                other => Expr::Neg(Box::new(other)),
+            }),
+            prop::collection::vec(inner.clone(), 1..4)
+                .prop_map(|args| Expr::Call(comptest_model::expr::Func::Min, args)),
+            prop::collection::vec(inner, 1..4)
+                .prop_map(|args| Expr::Call(comptest_model::expr::Func::Max, args)),
+        ]
+    })
+}
+
+proptest! {
+    /// `parse(display(e))` reproduces the expression structurally.
+    #[test]
+    fn expr_display_parse_roundtrip(e in arb_expr()) {
+        let text = e.to_string();
+        let reparsed = Expr::parse(&text)
+            .unwrap_or_else(|err| panic!("display produced unparseable {text:?}: {err}"));
+        prop_assert_eq!(&reparsed, &e, "roundtrip of {}", text);
+    }
+
+    /// Structural roundtrip implies evaluation equivalence.
+    #[test]
+    fn expr_roundtrip_preserves_value(e in arb_expr(), a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let mut env = Env::new();
+        env.set("a", a);
+        env.set("b", b);
+        env.set("u", 12.0);
+        let reparsed = Expr::parse(&e.to_string()).unwrap();
+        match (e.eval(&env), reparsed.eval(&env)) {
+            (Ok(x), Ok(y)) => prop_assert!(
+                x == y || (x - y).abs() < 1e-9,
+                "values diverged: {x} vs {y}"
+            ),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "eval outcome diverged: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Bit patterns roundtrip through their display form.
+    #[test]
+    fn bit_pattern_roundtrip(bits in any::<u64>(), width in 1u8..=64) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let p = BitPattern::new(bits & mask, width).unwrap();
+        let back = BitPattern::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(back, p);
+        prop_assert!(p.matches(bits & mask));
+    }
+
+    /// SimTime: parse of a formatted value is exact; ordering matches µs.
+    #[test]
+    fn simtime_roundtrip(us in 0u64..=10_000_000_000) {
+        let t = SimTime::from_micros(us);
+        let back: SimTime = t.to_string().trim_end_matches('s').parse::<SimTime>().unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// SimTime arithmetic is associative and monotone.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000, c in 0u64..1_000_000_000) {
+        let (ta, tb, tc) = (SimTime::from_micros(a), SimTime::from_micros(b), SimTime::from_micros(c));
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert!(ta + tb >= ta);
+        prop_assert_eq!((ta + tb) - tb, ta);
+    }
+
+    /// Number parsing accepts both decimal separators identically.
+    #[test]
+    fn decimal_comma_equivalence(int_part in 0u32..100_000, frac in 0u32..1000) {
+        let with_dot = format!("{int_part}.{frac:03}");
+        let with_comma = format!("{int_part},{frac:03}");
+        let a = comptest_model::value::parse_number(&with_dot).unwrap();
+        let b = comptest_model::value::parse_number(&with_comma).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

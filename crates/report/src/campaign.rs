@@ -1,0 +1,144 @@
+//! Rendering campaign and portability matrices.
+
+use std::collections::BTreeSet;
+
+use comptest_core::campaign::CampaignResult;
+use comptest_core::portability::PortabilityReport;
+
+use crate::table::TextTable;
+
+/// Renders a campaign result as a suites × stands matrix (text).
+pub fn campaign_table(result: &CampaignResult) -> TextTable {
+    let stands: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        result
+            .cells
+            .iter()
+            .filter(|c| seen.insert(c.stand.clone()))
+            .map(|c| c.stand.clone())
+            .collect()
+    };
+    let mut headers = vec!["suite".to_owned()];
+    headers.extend(stands.iter().cloned());
+    let mut table = TextTable::new(headers);
+
+    let mut suites_seen = BTreeSet::new();
+    for cell in &result.cells {
+        if !suites_seen.insert(cell.suite.clone()) {
+            continue;
+        }
+        let mut row = vec![cell.suite.clone()];
+        for stand in &stands {
+            let status = result
+                .cells
+                .iter()
+                .find(|c| c.suite == cell.suite && &c.stand == stand)
+                .map(|c| c.status())
+                .unwrap_or_else(|| "-".to_owned());
+            row.push(status);
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Renders a campaign result as markdown.
+pub fn campaign_markdown(result: &CampaignResult) -> String {
+    campaign_table(result).to_markdown()
+}
+
+/// Renders a portability report as a tests × stands matrix (text), with
+/// `ok` / `✗` cells.
+pub fn portability_table(report: &PortabilityReport) -> TextTable {
+    let stands: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        report
+            .rows
+            .iter()
+            .filter(|r| seen.insert(r.stand.clone()))
+            .map(|r| r.stand.clone())
+            .collect()
+    };
+    let mut headers = vec!["test".to_owned()];
+    headers.extend(stands.iter().cloned());
+    let mut table = TextTable::new(headers);
+
+    let mut tests_seen = BTreeSet::new();
+    for row in &report.rows {
+        if !tests_seen.insert(row.test.clone()) {
+            continue;
+        }
+        let mut cells = vec![row.test.clone()];
+        for stand in &stands {
+            let mark = report
+                .rows
+                .iter()
+                .find(|r| r.test == row.test && &r.stand == stand)
+                .map(|r| if r.ok { "ok" } else { "✗" })
+                .unwrap_or("-");
+            cells.push(mark.to_owned());
+        }
+        table.row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_core::campaign::CampaignCell;
+    use comptest_core::portability::PortabilityRow;
+    use comptest_core::SuiteResult;
+
+    #[test]
+    fn campaign_matrix_layout() {
+        let result = CampaignResult {
+            cells: vec![
+                CampaignCell {
+                    suite: "lamp".into(),
+                    stand: "A".into(),
+                    outcome: Ok(SuiteResult {
+                        suite: "lamp".into(),
+                        results: vec![],
+                    }),
+                },
+                CampaignCell {
+                    suite: "lamp".into(),
+                    stand: "B".into(),
+                    outcome: Err("no dvm".into()),
+                },
+            ],
+        };
+        let table = campaign_table(&result);
+        let text = table.to_string();
+        assert!(text.contains("suite"));
+        assert!(text.contains("lamp"));
+        assert!(text.contains("NOT RUNNABLE"));
+        let md = campaign_markdown(&result);
+        assert!(md.starts_with("| suite"));
+    }
+
+    #[test]
+    fn portability_matrix_layout() {
+        let report = PortabilityReport {
+            rows: vec![
+                PortabilityRow {
+                    test: "t1".into(),
+                    stand: "A".into(),
+                    ok: true,
+                    error: None,
+                },
+                PortabilityRow {
+                    test: "t1".into(),
+                    stand: "B".into(),
+                    ok: false,
+                    error: Some("boom".into()),
+                },
+            ],
+        };
+        let text = portability_table(&report).to_string();
+        assert!(text.contains("t1"));
+        assert!(text.contains("ok"));
+        assert!(text.contains('✗'));
+    }
+}

@@ -1,0 +1,108 @@
+//! JUnit-style XML output for CI systems.
+
+use comptest_core::{SuiteResult, Verdict};
+use comptest_script::xml::{write_document, Element};
+
+/// Renders a suite result as JUnit XML (`<testsuite>`/`<testcase>`).
+///
+/// Check failures become `<failure>` elements (one per failing check);
+/// execution errors become `<error>` elements.
+pub fn junit_xml(result: &SuiteResult) -> String {
+    let (_, failed, errored) = result.counts();
+    let mut suite = Element::new("testsuite")
+        .with_attr("name", result.suite.clone())
+        .with_attr("tests", result.results.len().to_string())
+        .with_attr("failures", failed.to_string())
+        .with_attr("errors", errored.to_string());
+
+    for test in &result.results {
+        let mut case = Element::new("testcase")
+            .with_attr("name", test.test.clone())
+            .with_attr("classname", format!("{}.{}", result.suite, test.dut));
+        match test.verdict() {
+            Verdict::Pass => {}
+            Verdict::Fail => {
+                for check in test.failures() {
+                    case = case.with_child(
+                        Element::new("failure")
+                            .with_attr("message", check.to_string())
+                            .with_attr("type", "CheckFailure"),
+                    );
+                }
+            }
+            Verdict::Error => {
+                let message = test
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| "execution error".to_owned());
+                case = case.with_child(
+                    Element::new("error")
+                        .with_attr("message", message)
+                        .with_attr("type", "ExecutionError"),
+                );
+            }
+        }
+        suite = suite.with_child(case);
+    }
+    write_document(&suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_core::{CheckResult, Measured, StepResult, TestResult, Trace};
+    use comptest_model::{MethodName, SignalName, SimTime, StatusBound};
+
+    fn result(verdict: Verdict) -> TestResult {
+        let mut r = TestResult {
+            test: "t1".into(),
+            stand: "HIL-A".into(),
+            dut: "interior_light".into(),
+            steps: vec![],
+            error: None,
+            trace: Trace::default(),
+        };
+        match verdict {
+            Verdict::Pass => {}
+            Verdict::Fail => r.steps.push(StepResult {
+                nr: 0,
+                t_end: SimTime::from_millis(500),
+                checks: vec![CheckResult {
+                    step: 0,
+                    at: SimTime::from_millis(500),
+                    signal: SignalName::new("int_ill").unwrap(),
+                    method: MethodName::new("get_u").unwrap(),
+                    bound: StatusBound::Numeric {
+                        nominal: None,
+                        lo: 8.4,
+                        hi: 13.2,
+                    },
+                    measured: Measured::Num(0.0),
+                    verdict: Verdict::Fail,
+                    message: "lamp dark".into(),
+                }],
+            }),
+            Verdict::Error => r.error = Some("no such method".into()),
+        }
+        r
+    }
+
+    #[test]
+    fn junit_structure() {
+        let suite = SuiteResult {
+            suite: "lamp".into(),
+            results: vec![
+                result(Verdict::Pass),
+                result(Verdict::Fail),
+                result(Verdict::Error),
+            ],
+        };
+        let xml = junit_xml(&suite);
+        assert!(xml.contains("<testsuite name=\"lamp\" tests=\"3\" failures=\"1\" errors=\"1\">"));
+        assert!(xml.contains("<failure message="));
+        assert!(xml.contains("<error message=\"no such method\""));
+        // It must parse with our own XML engine.
+        let parsed = comptest_script::xml::parse(&xml).unwrap();
+        assert_eq!(parsed.elements_named("testcase").count(), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Reporting: turning execution results into human- and CI-readable output.
+//!
+//! * [`TextTable`] — aligned plain-text tables (the `repro` harness prints
+//!   every paper table through this);
+//! * [`step_table`] — a test result rendered like the paper's test
+//!   definition sheet, one row per step with measured values and verdicts;
+//! * [`suite_text`] / [`suite_markdown`] — suite summaries;
+//! * [`junit_xml`] — JUnit-style XML for CI systems, written with the same
+//!   XML engine that writes test scripts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod junit;
+pub mod table;
+pub mod text;
+
+pub use campaign::{campaign_markdown, campaign_table, portability_table};
+pub use junit::junit_xml;
+pub use table::TextTable;
+pub use text::{step_table, suite_markdown, suite_text};

@@ -1,0 +1,152 @@
+//! Text and markdown renderings of execution results.
+
+use comptest_core::{SuiteResult, TestResult, Verdict};
+
+use crate::table::TextTable;
+
+/// Renders a test result as a per-step table in the spirit of the paper's
+/// test definition sheet: step, end time, each check's signal, measured
+/// value, bound and verdict.
+pub fn step_table(result: &TestResult) -> String {
+    let mut table = TextTable::new(vec![
+        "step", "t_end", "signal", "measured", "expected", "verdict",
+    ]);
+    for step in &result.steps {
+        if step.checks.is_empty() {
+            table.row(vec![
+                step.nr.to_string(),
+                step.t_end.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "PASS".into(),
+            ]);
+        }
+        for check in &step.checks {
+            table.row(vec![
+                step.nr.to_string(),
+                step.t_end.to_string(),
+                check.signal.to_string(),
+                check.measured.to_string(),
+                check.bound.to_string(),
+                check.verdict.to_string(),
+            ]);
+        }
+    }
+    let mut out = format!(
+        "test {} on {} against {} -> {}\n",
+        result.test,
+        result.stand,
+        result.dut,
+        result.verdict()
+    );
+    if let Some(e) = &result.error {
+        out.push_str(&format!("execution error: {e}\n"));
+    }
+    out.push_str(&table.to_string());
+    out
+}
+
+/// Renders a whole suite result as text.
+pub fn suite_text(result: &SuiteResult) -> String {
+    let mut table = TextTable::new(vec!["test", "verdict", "checks", "failures"]);
+    for r in &result.results {
+        table.row(vec![
+            r.test.clone(),
+            r.verdict().to_string(),
+            r.check_count().to_string(),
+            r.failures().len().to_string(),
+        ]);
+    }
+    let (p, f, e) = result.counts();
+    format!(
+        "suite {}: {} — {p} passed, {f} failed, {e} errored\n{table}",
+        result.suite,
+        result.verdict()
+    )
+}
+
+/// Renders a whole suite result as a markdown section.
+pub fn suite_markdown(result: &SuiteResult) -> String {
+    let mut table = TextTable::new(vec!["test", "verdict", "checks", "failures"]);
+    for r in &result.results {
+        let verdict = match r.verdict() {
+            Verdict::Pass => "✅ PASS",
+            Verdict::Fail => "❌ FAIL",
+            Verdict::Error => "💥 ERROR",
+        };
+        table.row(vec![
+            format!("`{}`", r.test),
+            verdict.to_string(),
+            r.check_count().to_string(),
+            r.failures().len().to_string(),
+        ]);
+    }
+    format!("## Suite `{}`\n\n{}", result.suite, table.to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_core::{CheckResult, Measured, StepResult, Trace};
+    use comptest_model::{MethodName, SignalName, SimTime, StatusBound};
+
+    fn sample_result() -> TestResult {
+        TestResult {
+            test: "interior_illumination".into(),
+            stand: "HIL-A".into(),
+            dut: "interior_light".into(),
+            steps: vec![
+                StepResult {
+                    nr: 0,
+                    t_end: SimTime::from_millis(500),
+                    checks: vec![CheckResult {
+                        step: 0,
+                        at: SimTime::from_millis(500),
+                        signal: SignalName::new("INT_ILL").unwrap(),
+                        method: MethodName::new("get_u").unwrap(),
+                        bound: StatusBound::Numeric {
+                            nominal: None,
+                            lo: 0.0,
+                            hi: 3.6,
+                        },
+                        measured: Measured::Num(0.01),
+                        verdict: Verdict::Pass,
+                        message: String::new(),
+                    }],
+                },
+                StepResult {
+                    nr: 1,
+                    t_end: SimTime::from_secs(1),
+                    checks: vec![],
+                },
+            ],
+            error: None,
+            trace: Trace::default(),
+        }
+    }
+
+    #[test]
+    fn step_table_renders_paper_style() {
+        let text = step_table(&sample_result());
+        assert!(text.contains("interior_illumination"), "{text}");
+        assert!(text.contains("INT_ILL"));
+        assert!(text.contains("0.5s"));
+        assert!(text.contains("PASS"));
+        // The check-less step still appears.
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn suite_renderings() {
+        let suite = SuiteResult {
+            suite: "interior_light".into(),
+            results: vec![sample_result()],
+        };
+        let text = suite_text(&suite);
+        assert!(text.contains("1 passed, 0 failed"));
+        let md = suite_markdown(&suite);
+        assert!(md.contains("## Suite `interior_light`"));
+        assert!(md.contains("✅ PASS"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The test-script model and its XML (de)serialisation.
+
+use std::error::Error;
+use std::fmt;
+
+use comptest_model::value::number_to_string;
+use comptest_model::{
+    BitPattern, Expr, MethodName, SignalDef, SignalDirection, SignalKind, SignalName, SimTime,
+};
+
+use crate::xml::{parse, write_document, Element, XmlError};
+
+/// A method-statement attribute value: an expression (numbers, `INF`,
+/// `(1.1*ubatt)`) or a bit pattern (`0001B`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Arithmetic expression evaluated by the test stand.
+    Expr(Expr),
+    /// Exact bit pattern.
+    Bits(BitPattern),
+}
+
+impl AttrValue {
+    /// Parses an attribute string: bit pattern first, then expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseScriptError`] when neither form applies.
+    pub fn parse(s: &str) -> Result<AttrValue, ParseScriptError> {
+        if let Ok(b) = BitPattern::parse(s) {
+            return Ok(AttrValue::Bits(b));
+        }
+        Expr::parse(s)
+            .map(AttrValue::Expr)
+            .map_err(|e| ParseScriptError::new(format!("bad attribute value {s:?}: {e}")))
+    }
+
+    /// The expression, if this is [`AttrValue::Expr`].
+    pub fn as_expr(&self) -> Option<&Expr> {
+        match self {
+            AttrValue::Expr(e) => Some(e),
+            AttrValue::Bits(_) => None,
+        }
+    }
+
+    /// The bit pattern, if this is [`AttrValue::Bits`].
+    pub fn as_bits(&self) -> Option<BitPattern> {
+        match self {
+            AttrValue::Bits(b) => Some(*b),
+            AttrValue::Expr(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Expr(e) => e.fmt(f),
+            AttrValue::Bits(b) => b.fmt(f),
+        }
+    }
+}
+
+/// One signal statement: a method applied to a named signal.
+///
+/// Serialises to the paper's shape:
+/// `<signal name="int_ill"><get_u u_max="…" u_min="…"/></signal>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The target signal.
+    pub signal: SignalName,
+    /// The method to execute.
+    pub method: MethodName,
+    /// Method attributes in serialisation order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl Statement {
+    /// Creates a statement without attributes.
+    pub fn new(signal: SignalName, method: MethodName) -> Statement {
+        Statement {
+            signal,
+            method,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: AttrValue) -> Statement {
+        self.attrs.push((name.into(), value));
+        self
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v)
+    }
+
+    /// Converts to the `<signal>` XML element.
+    pub fn to_element(&self) -> Element {
+        let mut method = Element::new(self.method.key());
+        for (k, v) in &self.attrs {
+            method.set_attr(k.clone(), v.to_string());
+        }
+        Element::new("signal")
+            .with_attr("name", self.signal.key())
+            .with_child(method)
+    }
+
+    /// Parses a `<signal>` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseScriptError`] if the element is missing its `name`
+    /// attribute or does not contain exactly one method child.
+    pub fn from_element(e: &Element) -> Result<Statement, ParseScriptError> {
+        let name = e
+            .attr("name")
+            .ok_or_else(|| ParseScriptError::new("<signal> is missing the name attribute"))?;
+        let signal = SignalName::new(name).map_err(|err| ParseScriptError::new(err.to_string()))?;
+        let methods: Vec<&Element> = e.elements().collect();
+        if methods.len() != 1 {
+            return Err(ParseScriptError::new(format!(
+                "<signal name=\"{name}\"> must contain exactly one method element, found {}",
+                methods.len()
+            )));
+        }
+        let m = methods[0];
+        let method =
+            MethodName::new(&m.name).map_err(|err| ParseScriptError::new(err.to_string()))?;
+        let mut stmt = Statement::new(signal, method);
+        for (k, v) in &m.attrs {
+            stmt.attrs.push((k.clone(), AttrValue::parse(v)?));
+        }
+        Ok(stmt)
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_element().to_string().trim_end())
+    }
+}
+
+/// One timed step of a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptStep {
+    /// Step number.
+    pub nr: u32,
+    /// Step duration.
+    pub dt: SimTime,
+    /// Statements, puts and gets mixed in sheet column order.
+    pub statements: Vec<Statement>,
+}
+
+/// A complete, self-contained test script.
+///
+/// Besides the steps the script embeds the signal table (name → pins / CAN
+/// mapping) so that a test stand needs nothing but this file plus its own
+/// resource description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestScript {
+    /// Test case name.
+    pub name: String,
+    /// Originating suite name.
+    pub suite: String,
+    /// Embedded signal table.
+    pub signals: Vec<SignalDef>,
+    /// Statements applied before step 0 (initial statuses).
+    pub init: Vec<Statement>,
+    /// The timed steps.
+    pub steps: Vec<ScriptStep>,
+}
+
+impl TestScript {
+    /// Format version written into generated scripts.
+    pub const VERSION: &'static str = "1";
+
+    /// Serialises to an XML document string.
+    pub fn to_xml(&self) -> String {
+        write_document(&self.to_element())
+    }
+
+    /// Converts to the root `<testscript>` element.
+    pub fn to_element(&self) -> Element {
+        let mut root = Element::new("testscript")
+            .with_attr("name", self.name.clone())
+            .with_attr("suite", self.suite.clone())
+            .with_attr("version", Self::VERSION);
+
+        let mut signals = Element::new("signals");
+        for def in &self.signals {
+            let mut e = Element::new("signal")
+                .with_attr("name", def.name.key())
+                .with_attr("kind", def.kind.to_string())
+                .with_attr("direction", def.direction.to_string());
+            if let Some(init) = &def.init {
+                e.set_attr("init", init.to_string());
+            }
+            if !def.description.is_empty() {
+                e.set_attr("description", def.description.clone());
+            }
+            signals.children.push(crate::xml::Node::Element(e));
+        }
+        root.children.push(crate::xml::Node::Element(signals));
+
+        if !self.init.is_empty() {
+            let mut init = Element::new("init");
+            for stmt in &self.init {
+                init.children
+                    .push(crate::xml::Node::Element(stmt.to_element()));
+            }
+            root.children.push(crate::xml::Node::Element(init));
+        }
+
+        for step in &self.steps {
+            let mut e = Element::new("step")
+                .with_attr("nr", step.nr.to_string())
+                .with_attr("dt", number_to_string(step.dt.as_secs_f64()));
+            for stmt in &step.statements {
+                e.children
+                    .push(crate::xml::Node::Element(stmt.to_element()));
+            }
+            root.children.push(crate::xml::Node::Element(e));
+        }
+        root
+    }
+
+    /// Parses a script from XML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseScriptError`] on XML syntax errors or schema
+    /// violations (wrong root, missing attributes, bad values).
+    pub fn parse_xml(text: &str) -> Result<TestScript, ParseScriptError> {
+        let root = parse(text)?;
+        Self::from_element(&root)
+    }
+
+    /// Converts from a parsed `<testscript>` element.
+    ///
+    /// # Errors
+    ///
+    /// See [`TestScript::parse_xml`].
+    pub fn from_element(root: &Element) -> Result<TestScript, ParseScriptError> {
+        if root.name != "testscript" {
+            return Err(ParseScriptError::new(format!(
+                "expected <testscript> root, found <{}>",
+                root.name
+            )));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| ParseScriptError::new("<testscript> is missing name"))?
+            .to_owned();
+        let suite = root.attr("suite").unwrap_or("").to_owned();
+
+        let mut signals = Vec::new();
+        if let Some(sig_section) = root.first("signals") {
+            for e in sig_section.elements_named("signal") {
+                let sig_name = e
+                    .attr("name")
+                    .ok_or_else(|| ParseScriptError::new("<signal> without name in <signals>"))?;
+                let kind = e.attr("kind").ok_or_else(|| {
+                    ParseScriptError::new(format!("signal {sig_name}: missing kind"))
+                })?;
+                let direction = e.attr("direction").ok_or_else(|| {
+                    ParseScriptError::new(format!("signal {sig_name}: missing direction"))
+                })?;
+                let mut def = SignalDef::new(
+                    SignalName::new(sig_name).map_err(|e| ParseScriptError::new(e.to_string()))?,
+                    SignalKind::parse(kind).map_err(|e| ParseScriptError::new(e.to_string()))?,
+                    SignalDirection::parse(direction)
+                        .map_err(|e| ParseScriptError::new(e.to_string()))?,
+                );
+                if let Some(init) = e.attr("init") {
+                    let status = comptest_model::StatusName::new(init)
+                        .map_err(|e| ParseScriptError::new(e.to_string()))?;
+                    def = def.with_init(status);
+                }
+                if let Some(d) = e.attr("description") {
+                    def = def.with_description(d);
+                }
+                signals.push(def);
+            }
+        }
+
+        let mut init = Vec::new();
+        if let Some(init_section) = root.first("init") {
+            for e in init_section.elements_named("signal") {
+                init.push(Statement::from_element(e)?);
+            }
+        }
+
+        let mut steps = Vec::new();
+        for e in root.elements_named("step") {
+            let nr: u32 = e
+                .attr("nr")
+                .ok_or_else(|| ParseScriptError::new("<step> is missing nr"))?
+                .parse()
+                .map_err(|_| ParseScriptError::new("bad <step> nr"))?;
+            let dt = e
+                .attr("dt")
+                .ok_or_else(|| ParseScriptError::new(format!("step {nr}: missing dt")))?;
+            let dt = SimTime::parse_secs(dt)
+                .map_err(|err| ParseScriptError::new(format!("step {nr}: {err}")))?;
+            let mut statements = Vec::new();
+            for s in e.elements_named("signal") {
+                statements.push(Statement::from_element(s)?);
+            }
+            steps.push(ScriptStep { nr, dt, statements });
+        }
+
+        Ok(TestScript {
+            name,
+            suite,
+            signals,
+            init,
+            steps,
+        })
+    }
+
+    /// Total scripted duration.
+    pub fn duration(&self) -> SimTime {
+        self.steps
+            .iter()
+            .fold(SimTime::ZERO, |acc, s| acc.saturating_add(s.dt))
+    }
+
+    /// The embedded definition of a signal, if present.
+    pub fn signal(&self, name: &SignalName) -> Option<&SignalDef> {
+        self.signals.iter().find(|s| &s.name == name)
+    }
+}
+
+/// Error parsing a [`TestScript`] or [`AttrValue`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseScriptError {
+    message: String,
+}
+
+impl ParseScriptError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid test script: {}", self.message)
+    }
+}
+
+impl Error for ParseScriptError {}
+
+impl From<XmlError> for ParseScriptError {
+    fn from(e: XmlError) -> Self {
+        ParseScriptError::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(s: &str) -> SignalName {
+        SignalName::new(s).unwrap()
+    }
+
+    fn met(s: &str) -> MethodName {
+        MethodName::new(s).unwrap()
+    }
+
+    fn sample_script() -> TestScript {
+        TestScript {
+            name: "interior_illumination".into(),
+            suite: "interior_light".into(),
+            signals: vec![
+                SignalDef::new(
+                    sig("ds_fl"),
+                    SignalKind::parse("pin:DS_FL").unwrap(),
+                    SignalDirection::Input,
+                ),
+                SignalDef::new(
+                    sig("int_ill"),
+                    SignalKind::parse("pin:INT_ILL_F/INT_ILL_R").unwrap(),
+                    SignalDirection::Output,
+                )
+                .with_description("interior illumination"),
+            ],
+            init: vec![Statement::new(sig("ds_fl"), met("put_r"))
+                .with_attr("r", AttrValue::parse("INF").unwrap())],
+            steps: vec![ScriptStep {
+                nr: 0,
+                dt: SimTime::from_millis(500),
+                statements: vec![
+                    Statement::new(sig("ds_fl"), met("put_r"))
+                        .with_attr("r", AttrValue::parse("0").unwrap()),
+                    Statement::new(sig("int_ill"), met("get_u"))
+                        .with_attr("u_max", AttrValue::parse("(1.1*ubatt)").unwrap())
+                        .with_attr("u_min", AttrValue::parse("(0.7*ubatt)").unwrap()),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn serialises_paper_statement() {
+        let xml = sample_script().to_xml();
+        assert!(
+            xml.contains("<signal name=\"int_ill\">"),
+            "signal statement missing:\n{xml}"
+        );
+        assert!(xml.contains("<get_u u_max=\"(1.1*ubatt)\" u_min=\"(0.7*ubatt)\"/>"));
+        assert!(xml.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let script = sample_script();
+        let xml = script.to_xml();
+        let back = TestScript::parse_xml(&xml).unwrap();
+        assert_eq!(back, script);
+    }
+
+    #[test]
+    fn attr_value_dispatch() {
+        assert_eq!(
+            AttrValue::parse("0001B")
+                .unwrap()
+                .as_bits()
+                .unwrap()
+                .to_string(),
+            "0001B"
+        );
+        assert!(AttrValue::parse("(1.1*ubatt)").unwrap().as_expr().is_some());
+        assert!(AttrValue::parse("?!").is_err());
+    }
+
+    #[test]
+    fn statement_accessors() {
+        let s = Statement::new(sig("x"), met("get_u"))
+            .with_attr("u_max", AttrValue::parse("1").unwrap());
+        assert!(s.attr("U_MAX").is_some(), "attr lookup is case-insensitive");
+        assert!(s.attr("u_min").is_none());
+        assert!(s.to_string().starts_with("<signal name=\"x\">"));
+    }
+
+    #[test]
+    fn schema_errors() {
+        assert!(TestScript::parse_xml("<nope/>").is_err());
+        assert!(
+            TestScript::parse_xml("<testscript/>").is_err(),
+            "missing name"
+        );
+        let bad_step = r#"<testscript name="t"><step dt="1"/></testscript>"#;
+        assert!(TestScript::parse_xml(bad_step).is_err(), "missing nr");
+        let bad_dt = r#"<testscript name="t"><step nr="0" dt="fast"/></testscript>"#;
+        assert!(TestScript::parse_xml(bad_dt).is_err());
+        let two_methods = r#"<testscript name="t"><step nr="0" dt="1"><signal name="a"><put_r r="1"/><put_u u="1"/></signal></step></testscript>"#;
+        assert!(TestScript::parse_xml(two_methods).is_err());
+    }
+
+    #[test]
+    fn duration_and_lookup() {
+        let script = sample_script();
+        assert_eq!(script.duration(), SimTime::from_millis(500));
+        assert!(script.signal(&sig("INT_ILL")).is_some());
+        assert!(script.signal(&sig("ghost")).is_none());
+    }
+
+    #[test]
+    fn dt_formats_cleanly() {
+        let mut script = sample_script();
+        script.steps[0].dt = SimTime::from_secs(280);
+        assert!(script.to_xml().contains("dt=\"280\""));
+        script.steps[0].dt = SimTime::from_millis(500);
+        assert!(script.to_xml().contains("dt=\"0.5\""));
+    }
+}

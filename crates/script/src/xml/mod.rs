@@ -1,0 +1,18 @@
+//! A minimal, self-contained XML engine.
+//!
+//! Test scripts need only a small XML subset: elements, attributes, text,
+//! comments and the XML declaration.  Implementing it here keeps the
+//! toolchain dependency-free and the scripts auditable (test stands in the
+//! paper's setting are safety-relevant lab equipment).
+//!
+//! Unsupported on purpose: DOCTYPE, CDATA, processing instructions other
+//! than the declaration, namespaces-as-semantics (colons are allowed in
+//! names but uninterpreted).
+
+mod parser;
+mod tree;
+mod writer;
+
+pub use parser::{parse, XmlError};
+pub use tree::{Element, Node};
+pub use writer::{escape_attr, escape_text, write_document};

@@ -1,0 +1,399 @@
+//! A recursive-descent parser for the supported XML subset.
+
+use std::error::Error;
+use std::fmt;
+
+use super::tree::{Element, Node};
+
+/// An XML syntax error with line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xml error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl Error for XmlError {}
+
+/// Parses a document (or fragment) into its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input, mismatched tags, DOCTYPE/CDATA
+/// (unsupported), duplicate attributes, or trailing content after the root.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.chars().count();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        let mut line = 1;
+        let mut col = 1;
+        for &c in self.chars.iter().take(self.pos) {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                while !self.at_end() && !self.eat("?>") {
+                    self.pos += 1;
+                }
+            } else if self.starts_with("<!--") {
+                self.pos += 4;
+                let mut closed = false;
+                while !self.at_end() {
+                    if self.eat("-->") {
+                        closed = true;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if !closed {
+                    return Err(self.err("unterminated comment"));
+                }
+            } else if self.starts_with("<!") {
+                return Err(self.err("DOCTYPE/CDATA are not supported in test scripts"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {
+                out.push(c);
+                self.pos += 1;
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '-' | '.') {
+                out.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        if self.bump() != Some('<') {
+            return Err(self.err("expected `<`"));
+        }
+        let name = self.name()?;
+        let mut element = Element::new(name);
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('/') => {
+                    self.pos += 1;
+                    if self.bump() != Some('>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    return Ok(element);
+                }
+                Some('>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    if self.bump() != Some('=') {
+                        return Err(self.err(format!("expected `=` after attribute {attr_name}")));
+                    }
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ ('"' | '\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    let mut raw = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(c) if c == quote => break,
+                            Some('<') => return Err(self.err("`<` in attribute value")),
+                            Some(c) => raw.push(c),
+                            None => return Err(self.err("unterminated attribute value")),
+                        }
+                    }
+                    let value = decode_entities(&raw).map_err(|m| self.err(m))?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(self.err(format!("duplicate attribute {attr_name}")));
+                    }
+                    element.attrs.push((attr_name, value));
+                }
+                _ => return Err(self.err("malformed start tag")),
+            }
+        }
+
+        // Content until the matching end tag.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("</") {
+                flush_text(&mut text, &mut element).map_err(|m| self.err(m))?;
+                self.pos += 2;
+                let end_name = self.name()?;
+                if end_name != element.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag </{end_name}> (expected </{}>)",
+                        element.name
+                    )));
+                }
+                self.skip_ws();
+                if self.bump() != Some('>') {
+                    return Err(self.err("expected `>` in end tag"));
+                }
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                flush_text(&mut text, &mut element).map_err(|m| self.err(m))?;
+                self.pos += 4;
+                let mut closed = false;
+                while !self.at_end() {
+                    if self.eat("-->") {
+                        closed = true;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if !closed {
+                    return Err(self.err("unterminated comment"));
+                }
+            } else if self.starts_with("<!") || self.starts_with("<?") {
+                return Err(self.err("unsupported markup inside element"));
+            } else if self.peek() == Some('<') {
+                flush_text(&mut text, &mut element).map_err(|m| self.err(m))?;
+                let child = self.element()?;
+                element.children.push(Node::Element(child));
+            } else if self.at_end() {
+                return Err(self.err(format!("unexpected end of input inside <{}>", element.name)));
+            } else {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+    }
+}
+
+fn flush_text(text: &mut String, element: &mut Element) -> Result<(), String> {
+    if !text.trim().is_empty() {
+        let decoded = decode_entities(text)?;
+        element.children.push(Node::Text(decoded));
+    }
+    text.clear();
+    Ok(())
+}
+
+fn decode_entities(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let mut entity = String::new();
+        loop {
+            match chars.next() {
+                Some(';') => break,
+                Some(c) if entity.len() < 10 => entity.push(c),
+                _ => return Err(format!("malformed entity &{entity}")),
+            }
+        }
+        match entity.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let code = if let Some(hex) = entity
+                    .strip_prefix("#x")
+                    .or_else(|| entity.strip_prefix("#X"))
+                {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse().ok()
+                } else {
+                    None
+                };
+                match code.and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => return Err(format!("unknown entity &{entity};")),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::writer::write_document;
+    use super::*;
+
+    #[test]
+    fn parses_paper_fragment() {
+        let xml = r#"<signal name="int_ill">
+       <get_u   u_max="(1.1*ubatt)" u_min="(0.7*ubatt)" />
+ </signal>"#;
+        let e = parse(xml).unwrap();
+        assert_eq!(e.name, "signal");
+        assert_eq!(e.attr("name"), Some("int_ill"));
+        let get_u = e.first("get_u").unwrap();
+        assert_eq!(get_u.attr("u_max"), Some("(1.1*ubatt)"));
+        assert_eq!(get_u.attr("u_min"), Some("(0.7*ubatt)"));
+    }
+
+    #[test]
+    fn declaration_and_comments_are_skipped() {
+        let xml = "<?xml version=\"1.0\"?>\n<!-- header -->\n<a><!-- inside --><b/></a>\n<!-- trailer -->";
+        let e = parse(xml).unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let e = parse(r#"<a t="a&amp;b&lt;c&quot;d&#10;e">x &gt; y &#x41;</a>"#).unwrap();
+        assert_eq!(e.attr("t"), Some("a&b<c\"d\ne"));
+        assert_eq!(e.text(), "x > y A");
+    }
+
+    #[test]
+    fn errors_with_positions() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.message.contains("mismatched"));
+
+        for bad in [
+            "<a",
+            "<a b=c/>",
+            "<a b=\"1\" b=\"2\"/>",
+            "<a>&bogus;</a>",
+            "<!DOCTYPE html><a/>",
+            "<a/><b/>",
+            "< a/>",
+            "<a>text",
+            "",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse("<a x='1' y=\"2\"/>").unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn writer_parser_roundtrip() {
+        let original = Element::new("testscript")
+            .with_attr("name", "t1 & co")
+            .with_child(
+                Element::new("step")
+                    .with_attr("nr", "0")
+                    .with_attr("dt", "0.5")
+                    .with_child(
+                        Element::new("signal")
+                            .with_attr("name", "int_ill")
+                            .with_child(
+                                Element::new("get_u")
+                                    .with_attr("u_max", "(1.1*ubatt)")
+                                    .with_attr("u_min", "(0.7*ubatt)"),
+                            ),
+                    ),
+            )
+            .with_child(Element::new("remark").with_text("doors \"open\" & <shut>"));
+        let doc = write_document(&original);
+        let reparsed = parse(&doc).unwrap();
+        assert_eq!(reparsed, original);
+    }
+}

@@ -1,0 +1,159 @@
+//! The XML element tree.
+
+use std::fmt;
+
+/// A node in an XML document: an element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entity-decoded).
+    Text(String),
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+///
+/// Attribute order is preserved so generated scripts are byte-stable (the
+/// paper's listing writes `u_max` before `u_min`; we reproduce that).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Children in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style). Replaces an existing attribute of
+    /// the same name.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Sets an attribute, replacing any previous value; returns the old one.
+    pub fn set_attr(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Option<String> {
+        let name = name.into();
+        let value = value.into();
+        for (k, v) in &mut self.attrs {
+            if *k == name {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.attrs.push((name, value));
+        None
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over child elements (skipping text).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Child elements with a given name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// The first child element with a given name.
+    pub fn first(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_owned()
+    }
+}
+
+impl fmt::Display for Element {
+    /// Renders as a document fragment (no XML declaration).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&super::writer::write_fragment(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_access() {
+        let e = Element::new("signal")
+            .with_attr("name", "int_ill")
+            .with_child(
+                Element::new("get_u")
+                    .with_attr("u_max", "(1.1*ubatt)")
+                    .with_attr("u_min", "(0.7*ubatt)"),
+            );
+        assert_eq!(e.attr("name"), Some("int_ill"));
+        assert_eq!(e.attr("missing"), None);
+        let get_u = e.first("get_u").unwrap();
+        assert_eq!(get_u.attr("u_max"), Some("(1.1*ubatt)"));
+        assert_eq!(e.elements().count(), 1);
+        assert_eq!(e.elements_named("get_u").count(), 1);
+        assert_eq!(e.elements_named("put_r").count(), 0);
+    }
+
+    #[test]
+    fn set_attr_replaces_in_place() {
+        let mut e = Element::new("x").with_attr("a", "1").with_attr("b", "2");
+        assert_eq!(e.set_attr("a", "3"), Some("1".to_owned()));
+        // Order unchanged.
+        assert_eq!(e.attrs[0], ("a".to_owned(), "3".to_owned()));
+        assert_eq!(e.set_attr("c", "4"), None);
+        assert_eq!(e.attrs.len(), 3);
+    }
+
+    #[test]
+    fn text_content() {
+        let e = Element::new("remark")
+            .with_text("day: ")
+            .with_child(Element::new("b"))
+            .with_text("no interior ");
+        assert_eq!(e.text(), "day: no interior");
+    }
+}

@@ -1,0 +1,154 @@
+//! Serialisation of element trees with stable formatting.
+
+use super::tree::{Element, Node};
+
+/// Escapes character data for text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes character data for a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a full document: XML declaration plus the pretty-printed root.
+pub fn write_document(root: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element(root, 0, &mut out);
+    out
+}
+
+/// Writes an element without a declaration (used by `Display`).
+pub(super) fn write_fragment(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, 0, &mut out);
+    out
+}
+
+fn write_element(e: &Element, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Elements with only text children are written inline.
+    let only_text = e.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if only_text {
+        out.push('>');
+        for n in &e.children {
+            if let Node::Text(t) = n {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for n in &e.children {
+        match n {
+            Node::Element(child) => write_element(child, indent + 1, out),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    for _ in 0..=indent {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&escape_text(t));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_statement_shape() {
+        let e = Element::new("signal")
+            .with_attr("name", "int_ill")
+            .with_child(
+                Element::new("get_u")
+                    .with_attr("u_max", "(1.1*ubatt)")
+                    .with_attr("u_min", "(0.7*ubatt)"),
+            );
+        let xml = write_fragment(&e);
+        assert_eq!(
+            xml,
+            "<signal name=\"int_ill\">\n  <get_u u_max=\"(1.1*ubatt)\" u_min=\"(0.7*ubatt)\"/>\n</signal>\n"
+        );
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = write_document(&Element::new("testscript"));
+        assert!(doc.starts_with("<?xml version=\"1.0\""));
+        assert!(doc.ends_with("<testscript/>\n"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+        assert_eq!(escape_attr("line\nbreak\ttab"), "line&#10;break&#9;tab");
+    }
+
+    #[test]
+    fn inline_text_elements() {
+        let e = Element::new("remark").with_text("doors are open");
+        assert_eq!(write_fragment(&e), "<remark>doors are open</remark>\n");
+    }
+
+    #[test]
+    fn mixed_content_is_indented() {
+        let e = Element::new("a")
+            .with_text("t1")
+            .with_child(Element::new("b"))
+            .with_text("  ");
+        let xml = write_fragment(&e);
+        assert_eq!(xml, "<a>\n  t1\n  <b/>\n</a>\n");
+    }
+}

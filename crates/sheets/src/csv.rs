@@ -1,0 +1,231 @@
+//! A small CSV reader tailored to sheet cells.
+//!
+//! Supports double-quoted fields (with `""` escapes), `#` comment lines,
+//! whitespace-trimmed unquoted cells, and per-record line numbers for
+//! diagnostics.  Quoted fields must close on the same line — sheet rows are
+//! line-oriented by construction.
+
+use crate::diagnostics::SheetError;
+
+/// One parsed CSV record (a sheet row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// 1-based line number in the source file.
+    pub line: usize,
+    /// Cell contents, unquoted and trimmed.
+    pub fields: Vec<String>,
+}
+
+impl Record {
+    /// The cell at `idx`, or `""` when the row is shorter.
+    pub fn field(&self, idx: usize) -> &str {
+        self.fields.get(idx).map(String::as_str).unwrap_or("")
+    }
+
+    /// True if every cell is empty (rows of only separators are skipped).
+    pub fn is_blank(&self) -> bool {
+        self.fields.iter().all(|f| f.is_empty())
+    }
+}
+
+/// Parses CSV text into records.
+///
+/// * `file` is used for diagnostics only.
+/// * `first_line` is the 1-based line number of `text`'s first line within
+///   the enclosing file (sections of a workbook start mid-file).
+///
+/// Blank lines and `#` comment lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`SheetError`] on an unterminated quote or text after a closing
+/// quote.
+pub fn parse_csv(file: &str, first_line: usize, text: &str) -> Result<Vec<Record>, SheetError> {
+    let mut records = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = first_line + i;
+        let trimmed = raw_line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(file, line_no, raw_line)?;
+        let record = Record {
+            line: line_no,
+            fields,
+        };
+        if !record.is_blank() {
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+/// Splits one line into trimmed, unquoted cells.
+fn split_line(file: &str, line_no: usize, line: &str) -> Result<Vec<String>, SheetError> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+
+    loop {
+        // Skip leading whitespace of the cell.
+        while matches!(chars.peek(), Some(c) if *c == ' ' || *c == '\t') {
+            chars.next();
+        }
+        let mut cell = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        closed = true;
+                        break;
+                    }
+                } else {
+                    cell.push(c);
+                }
+            }
+            if !closed {
+                return Err(SheetError::new(file, line_no, "unterminated quoted cell"));
+            }
+            // After the closing quote only whitespace may precede the comma.
+            while matches!(chars.peek(), Some(c) if *c == ' ' || *c == '\t') {
+                chars.next();
+            }
+            match chars.peek() {
+                None | Some(',') => {}
+                Some(_) => {
+                    return Err(SheetError::new(
+                        file,
+                        line_no,
+                        "unexpected text after closing quote",
+                    ))
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                cell.push(c);
+                chars.next();
+            }
+            cell = cell.trim().to_owned();
+        }
+        fields.push(cell);
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(_) => unreachable!("only `,` or end can follow a cell"),
+        }
+    }
+    Ok(fields)
+}
+
+/// Quotes a cell for CSV output when necessary (used by report writers and
+/// the workbook formatter).
+pub fn quote_cell(cell: &str) -> String {
+    let needs_quotes = cell.contains(',')
+        || cell.contains('"')
+        || cell.starts_with(' ')
+        || cell.ends_with(' ')
+        || cell.starts_with('#');
+    if needs_quotes {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Vec<Record> {
+        parse_csv("t.cts", 1, text).unwrap()
+    }
+
+    #[test]
+    fn basic_rows_and_trimming() {
+        let rows = parse("a, b , c\n1,2,3\n");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].fields, vec!["a", "b", "c"]);
+        assert_eq!(rows[1].fields, vec!["1", "2", "3"]);
+        assert_eq!(rows[0].line, 1);
+        assert_eq!(rows[1].line, 2);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let rows = parse("a,b\n\n# comment line\n  \n1,2\n");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].line, 5, "line numbers account for skipped lines");
+    }
+
+    #[test]
+    fn empty_cells_are_preserved() {
+        let rows = parse("a,,c\n,,\nx,y,z");
+        // The all-empty row `,,` is dropped, the partial one kept.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].fields, vec!["a", "", "c"]);
+        assert_eq!(rows[0].field(1), "");
+        assert_eq!(rows[0].field(99), "", "out-of-range reads as empty");
+    }
+
+    #[test]
+    fn quoted_cells() {
+        let rows = parse(r#""hello, world", "say ""hi""", plain"#);
+        assert_eq!(rows[0].fields, vec!["hello, world", r#"say "hi""#, "plain"]);
+        // Decimal comma survives quoting.
+        let rows = parse(r#"0,"0,5",x"#);
+        assert_eq!(rows[0].fields, vec!["0", "0,5", "x"]);
+    }
+
+    #[test]
+    fn quote_errors() {
+        assert!(parse_csv("t", 1, "\"unterminated").is_err());
+        assert!(parse_csv("t", 1, "\"closed\" junk, b").is_err());
+        let err = parse_csv("f.cts", 7, "\"oops").unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.to_string().contains("f.cts"));
+    }
+
+    #[test]
+    fn quote_cell_roundtrip() {
+        for s in [
+            "plain",
+            "with, comma",
+            "with \"quotes\"",
+            " leading",
+            "#hash",
+            "",
+        ] {
+            let quoted = quote_cell(s);
+            let rows = parse_csv("t", 1, &format!("{quoted},end")).unwrap();
+            if s.is_empty() {
+                // An all-empty first cell still parses; row is (,end).
+                assert_eq!(rows[0].fields, vec!["", "end"]);
+            } else {
+                assert_eq!(rows[0].fields[0], s, "roundtrip of {s:?} via {quoted:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_line_numbers() {
+        let rows = parse_csv("t", 100, "a\nb").unwrap();
+        assert_eq!(rows[0].line, 100);
+        assert_eq!(rows[1].line, 101);
+    }
+}

@@ -1,0 +1,90 @@
+//! Diagnostics carrying file/line positions for every sheet problem.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal problem in a workbook, pinpointed to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SheetError {
+    /// Workbook file name (or pseudo-name for in-memory parses).
+    pub file: String,
+    /// 1-based line number; 0 when the problem is file-wide.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SheetError {
+    /// Creates an error at a specific line.
+    pub fn new(file: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a file-wide error (no line).
+    pub fn file_wide(file: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::new(file, 0, message)
+    }
+}
+
+impl fmt::Display for SheetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        }
+    }
+}
+
+impl Error for SheetError {}
+
+/// A non-fatal observation (e.g. a redefined status, an unused column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SheetWarning {
+    /// Workbook file name.
+    pub file: String,
+    /// 1-based line number; 0 when file-wide.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SheetWarning {
+    /// Creates a warning at a specific line.
+    pub fn new(file: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SheetWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "warning: {}: {}", self.file, self.message)
+        } else {
+            write!(f, "warning: {}:{}: {}", self.file, self.line, self.message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let e = SheetError::new("wb.cts", 12, "bad cell");
+        assert_eq!(e.to_string(), "wb.cts:12: bad cell");
+        let e = SheetError::file_wide("wb.cts", "missing [status] section");
+        assert_eq!(e.to_string(), "wb.cts: missing [status] section");
+        let w = SheetWarning::new("wb.cts", 3, "status Ho redefined");
+        assert!(w.to_string().starts_with("warning: wb.cts:3"));
+    }
+}

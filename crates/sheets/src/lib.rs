@@ -1,0 +1,76 @@
+//! Plain-text workbook front end for component-test definitions.
+//!
+//! The paper uses Microsoft Excel purely for familiarity: "we choose Excel as
+//! input tool for the test definition … in order to allow usage of the tool
+//! chain to all involved engineers without specific training."  This crate
+//! substitutes a plain-text workbook format, **`.cts`** (component test
+//! sheet), that reproduces the three sheet types one-to-one:
+//!
+//! ```text
+//! [suite]
+//! name = interior_light
+//!
+//! [signals]
+//! name,    kind,                    direction, init,   description
+//! DS_FL,   pin:DS_FL,               input,     Closed, door switch front left
+//! INT_ILL, pin:INT_ILL_F/INT_ILL_R, output,    ,       interior illumination
+//!
+//! [status]
+//! status, method, attribut, var,   nom, min, max, d1
+//! Open,   put_r,  r,        ,      0,   0,   2,   0.01
+//! Ho,     get_u,  u,        UBATT, 1,   0.7, 1.1,
+//!
+//! [test interior_illumination]
+//! step, dt,  DS_FL, INT_ILL, remarks
+//! 0,    0,5, Open,  Ho,      night light on
+//! ```
+//!
+//! Cells follow the paper's conventions: decimal comma or point, `INF`,
+//! bit patterns such as `0001B`.  Lines starting with `#` are comments.
+//! Note that a decimal comma inside an unquoted cell would split the cell, so
+//! numeric cells with fractions are either quoted (`"0,5"`) or — as the
+//! examples in this repository do — written with a decimal point; both are
+//! accepted (see [`comptest_model::value::parse_number`]).
+//!
+//! # Example
+//!
+//! ```
+//! use comptest_sheets::Workbook;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "\
+//! [signals]
+//! name, kind, direction
+//! D1, pin:D1, input
+//!
+//! [status]
+//! status, method, attribut, nom, min, max
+//! On, put_u, u, 12, 11, 13
+//!
+//! [test smoke]
+//! step, dt, D1
+//! 0, 0.5, On
+//! ";
+//! let parsed = Workbook::parse_str("smoke.cts", text)?;
+//! assert_eq!(parsed.suite.tests.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod diagnostics;
+pub mod sections;
+pub mod signal_sheet;
+pub mod status_sheet;
+pub mod table;
+pub mod test_sheet;
+pub mod workbook;
+pub mod writer;
+
+pub use diagnostics::{SheetError, SheetWarning};
+pub use table::Table;
+pub use workbook::{ParsedWorkbook, Workbook};
+pub use writer::write_workbook;

@@ -1,0 +1,135 @@
+//! Splitting a sectioned text file (`[header]` + body lines) into sections.
+//!
+//! Shared by the `.cts` workbook loader and the `.stand` test-stand
+//! descriptions in `comptest-stand`.
+
+use crate::diagnostics::SheetError;
+
+/// One `[header]` section with its body text and source positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// The text between the brackets, trimmed.
+    pub header: String,
+    /// 1-based line of the `[header]` line.
+    pub header_line: usize,
+    /// 1-based line of the first body line.
+    pub body_first_line: usize,
+    /// The body text (everything until the next section), with newlines.
+    pub body: String,
+}
+
+/// Splits sectioned text. Comments (`#`) and blank lines may precede the
+/// first section; any other leading content is an error.
+///
+/// # Errors
+///
+/// Returns [`SheetError`] on unterminated headers, stray leading content, or
+/// a file without any section.
+pub fn split_sections(file: &str, text: &str) -> Result<Vec<Section>, SheetError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let t = line.trim();
+        if let Some(header) = t.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(SheetError::new(
+                    file,
+                    line_no,
+                    "unterminated [section] header",
+                ));
+            };
+            sections.push(Section {
+                header: header.trim().to_owned(),
+                header_line: line_no,
+                body_first_line: line_no + 1,
+                body: String::new(),
+            });
+        } else if let Some(current) = sections.last_mut() {
+            current.body.push_str(line);
+            current.body.push('\n');
+        } else if !t.is_empty() && !t.starts_with('#') {
+            return Err(SheetError::new(
+                file,
+                line_no,
+                "content before the first [section] header",
+            ));
+        }
+    }
+    if sections.is_empty() {
+        return Err(SheetError::file_wide(file, "no [section] headers found"));
+    }
+    Ok(sections)
+}
+
+/// Parses a `key = value` body (used by `[suite]` / `[stand]` sections),
+/// calling `visit(line_no, key, value)` for every pair.
+///
+/// # Errors
+///
+/// Returns [`SheetError`] for lines without `=`, or whatever `visit`
+/// returns.
+pub fn parse_key_values<F>(file: &str, section: &Section, mut visit: F) -> Result<(), SheetError>
+where
+    F: FnMut(usize, &str, &str) -> Result<(), SheetError>,
+{
+    for (i, line) in section.body.lines().enumerate() {
+        let line_no = section.body_first_line + i;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = t.split_once('=') else {
+            return Err(SheetError::new(
+                file,
+                line_no,
+                format!("expected `key = value` in [{}]", section.header),
+            ));
+        };
+        visit(line_no, key.trim(), value.trim())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_with_positions() {
+        let text = "# intro\n\n[a]\nrow1\n\n[b c]\nrow2\nrow3\n";
+        let sections = split_sections("f", text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].header, "a");
+        assert_eq!(sections[0].header_line, 3);
+        assert_eq!(sections[0].body, "row1\n\n");
+        assert_eq!(sections[1].header, "b c");
+        assert_eq!(sections[1].body_first_line, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(split_sections("f", "stray\n[a]\n").is_err());
+        assert!(split_sections("f", "[unterminated\n").is_err());
+        assert!(split_sections("f", "").is_err());
+    }
+
+    #[test]
+    fn key_values() {
+        let sections = split_sections("f", "[s]\nname = x\n# note\nubatt = 12\n").unwrap();
+        let mut pairs = Vec::new();
+        parse_key_values("f", &sections[0], |line, k, v| {
+            pairs.push((line, k.to_owned(), v.to_owned()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                (2, "name".to_owned(), "x".to_owned()),
+                (4, "ubatt".to_owned(), "12".to_owned())
+            ]
+        );
+        let bad = split_sections("f", "[s]\nnope\n").unwrap();
+        assert!(parse_key_values("f", &bad[0], |_, _, _| Ok(())).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Parser for the `[signals]` section (the paper's signal definition sheet).
+
+use comptest_model::{SignalDef, SignalDirection, SignalKind, SignalName, StatusName};
+
+use crate::diagnostics::{SheetError, SheetWarning};
+use crate::table::Table;
+
+/// Converts a `[signals]` table into signal definitions.
+///
+/// Columns: `name`, `kind`, `direction` (required); `init`, `description`
+/// (optional).  Duplicate signal names produce a warning; the later row wins,
+/// mirroring how a later Excel row would overwrite reader expectations.
+///
+/// # Errors
+///
+/// Returns [`SheetError`] at the offending row for malformed names, kinds or
+/// directions.
+pub fn parse_signals(
+    file: &str,
+    table: &Table,
+    warnings: &mut Vec<SheetWarning>,
+) -> Result<Vec<SignalDef>, SheetError> {
+    for required in ["name", "kind", "direction"] {
+        if table.col(required).is_none() {
+            return Err(SheetError::file_wide(
+                file,
+                format!("[signals] is missing the `{required}` column"),
+            ));
+        }
+    }
+
+    let mut signals: Vec<SignalDef> = Vec::new();
+    for row in &table.rows {
+        let name_cell = table.require(file, row, "name")?;
+        let name = SignalName::new(name_cell)
+            .map_err(|e| SheetError::new(file, row.line, e.to_string()))?;
+        let kind = SignalKind::parse(table.require(file, row, "kind")?)
+            .map_err(|e| SheetError::new(file, row.line, e.to_string()))?;
+        let direction = SignalDirection::parse(table.require(file, row, "direction")?)
+            .map_err(|e| SheetError::new(file, row.line, e.to_string()))?;
+
+        let mut def = SignalDef::new(name.clone(), kind, direction);
+        let init = table.cell(row, "init");
+        if !init.is_empty() {
+            let status = StatusName::new(init)
+                .map_err(|e| SheetError::new(file, row.line, e.to_string()))?;
+            def = def.with_init(status);
+        }
+        let desc = table.cell(row, "description");
+        if !desc.is_empty() {
+            def = def.with_description(desc);
+        }
+
+        if let Some(pos) = signals.iter().position(|s| s.name == name) {
+            warnings.push(SheetWarning::new(
+                file,
+                row.line,
+                format!("signal {name} redefined; the later row wins"),
+            ));
+            signals[pos] = def;
+        } else {
+            signals.push(def);
+        }
+    }
+    Ok(signals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_csv;
+
+    fn table(text: &str) -> Table {
+        let recs = parse_csv("t.cts", 1, text).unwrap();
+        Table::from_records("t.cts", "signals", recs).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_signal_sheet() {
+        let t = table(
+            "name, kind, direction, init, description\n\
+             IGN_ST,  can:0x130:0:4, input,  Off,    ignition status\n\
+             DS_FL,   pin:DS_FL,     input,  Closed, door switch front left\n\
+             NIGHT,   can:0x2A0:0:1, input,  0,      light sensor night bit\n\
+             INT_ILL, pin:INT_ILL_F/INT_ILL_R, output, , interior illumination",
+        );
+        let mut warnings = Vec::new();
+        let sigs = parse_signals("t.cts", &t, &mut warnings).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(sigs.len(), 4);
+        assert_eq!(sigs[0].name, "ign_st");
+        assert!(sigs[0].kind.is_can());
+        assert_eq!(sigs[0].init.as_ref().unwrap(), &"off");
+        assert_eq!(sigs[3].direction, SignalDirection::Output);
+        assert_eq!(sigs[3].kind.pins().len(), 2);
+        assert!(sigs[3].init.is_none());
+    }
+
+    #[test]
+    fn missing_column_is_file_wide_error() {
+        let t = table("name, direction\nA, input");
+        let err = parse_signals("t.cts", &t, &mut Vec::new()).unwrap_err();
+        assert!(err.message.contains("`kind`"));
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn bad_row_reports_line() {
+        let t = table("name, kind, direction\nA, pin:A, sideways");
+        let err = parse_signals("t.cts", &t, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("direction"));
+    }
+
+    #[test]
+    fn duplicate_signal_warns_and_replaces() {
+        let t = table("name, kind, direction\nA, pin:A, input\na, pin:A2, output");
+        let mut warnings = Vec::new();
+        let sigs = parse_signals("t.cts", &t, &mut warnings).unwrap();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(sigs[0].direction, SignalDirection::Output);
+    }
+}

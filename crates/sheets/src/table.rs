@@ -1,0 +1,195 @@
+//! A parsed sheet section: header row + data rows with named-column access.
+
+use std::collections::BTreeMap;
+
+use crate::csv::Record;
+use crate::diagnostics::SheetError;
+
+/// A rectangular table with a header row, as parsed from a workbook section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Section name (`signals`, `status`, `test foo`).
+    pub name: String,
+    /// Header cells as written.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Record>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Table {
+    /// Builds a table from the records of a section; the first record is the
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError`] if the section has no rows at all or the header
+    /// contains a duplicate column name.
+    pub fn from_records(
+        file: &str,
+        name: impl Into<String>,
+        mut records: Vec<Record>,
+    ) -> Result<Table, SheetError> {
+        let name = name.into();
+        if records.is_empty() {
+            return Err(SheetError::file_wide(
+                file,
+                format!("section [{name}] is empty (missing header row)"),
+            ));
+        }
+        let header_rec = records.remove(0);
+        let mut index = BTreeMap::new();
+        for (i, h) in header_rec.fields.iter().enumerate() {
+            let key = normalize_header(h);
+            if key.is_empty() {
+                continue;
+            }
+            if index.insert(key, i).is_some() {
+                return Err(SheetError::new(
+                    file,
+                    header_rec.line,
+                    format!("duplicate column {h:?} in section [{name}]"),
+                ));
+            }
+        }
+        Ok(Table {
+            name,
+            header: header_rec.fields,
+            rows: records,
+            index,
+        })
+    }
+
+    /// Index of a column, looked up case-insensitively.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.index.get(&normalize_header(name)).copied()
+    }
+
+    /// The cell of `row` in the column named `name` (empty if the column or
+    /// cell is absent).
+    pub fn cell<'a>(&self, row: &'a Record, name: &str) -> &'a str {
+        match self.col(name) {
+            Some(i) => row.field(i),
+            None => "",
+        }
+    }
+
+    /// Like [`Table::cell`] but errors when the cell is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError`] naming the file, row line and column.
+    pub fn require<'a>(
+        &self,
+        file: &str,
+        row: &'a Record,
+        name: &str,
+    ) -> Result<&'a str, SheetError> {
+        let v = self.cell(row, name);
+        if v.is_empty() {
+            Err(SheetError::new(
+                file,
+                row.line,
+                format!("missing required cell `{name}` in section [{}]", self.name),
+            ))
+        } else {
+            Ok(v)
+        }
+    }
+
+    /// Header names that are not in `known`, in column order. Used by the
+    /// test sheet, where unknown columns are signal names.
+    pub fn extra_columns(&self, known: &[&str]) -> Vec<(usize, String)> {
+        self.header
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| {
+                let k = normalize_header(h);
+                !k.is_empty() && !known.iter().any(|n| normalize_header(n) == k)
+            })
+            .map(|(i, h)| (i, h.clone()))
+            .collect()
+    }
+}
+
+/// Normalises a header cell for lookup: trim, lowercase, collapse internal
+/// whitespace to `_`.
+pub fn normalize_header(h: &str) -> String {
+    let mut out = String::with_capacity(h.len());
+    let mut last_was_sep = false;
+    for c in h.trim().chars() {
+        if c.is_whitespace() {
+            if !last_was_sep && !out.is_empty() {
+                out.push('_');
+            }
+            last_was_sep = true;
+        } else {
+            out.extend(c.to_lowercase());
+            last_was_sep = false;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_csv;
+
+    fn table(text: &str) -> Table {
+        let recs = parse_csv("t.cts", 1, text).unwrap();
+        Table::from_records("t.cts", "test demo", recs).unwrap()
+    }
+
+    #[test]
+    fn named_column_access() {
+        let t = table("Step, dt, DS_FL, remarks\n0, 0.5, Open, hi\n1, 1, ,");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.cell(&t.rows[0], "step"), "0");
+        assert_eq!(t.cell(&t.rows[0], "STEP"), "0", "case-insensitive");
+        assert_eq!(t.cell(&t.rows[0], "ds_fl"), "Open");
+        assert_eq!(t.cell(&t.rows[1], "remarks"), "");
+        assert_eq!(t.cell(&t.rows[0], "absent"), "");
+    }
+
+    #[test]
+    fn require_reports_position() {
+        let t = table("a,b\n1,\n");
+        let err = t.require("t.cts", &t.rows[0], "b").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("`b`"));
+        assert_eq!(t.require("t.cts", &t.rows[0], "a").unwrap(), "1");
+    }
+
+    #[test]
+    fn header_normalization() {
+        assert_eq!(normalize_header("  Test Step "), "test_step");
+        assert_eq!(normalize_header("DS_FL"), "ds_fl");
+        assert_eq!(normalize_header("Δt"), "δt");
+        assert_eq!(normalize_header(""), "");
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let recs = parse_csv("t", 1, "a, A\n1,2").unwrap();
+        let err = Table::from_records("t", "x", recs).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_section_rejected() {
+        let err = Table::from_records("t", "x", Vec::new()).unwrap_err();
+        assert!(err.message.contains("empty"));
+    }
+
+    #[test]
+    fn extra_columns_finds_signal_headers() {
+        let t = table("step, dt, DS_FL, NIGHT, remarks\n0,1,,,");
+        let extra = t.extra_columns(&["step", "dt", "remarks"]);
+        let names: Vec<&str> = extra.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["DS_FL", "NIGHT"]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Parser for `[test …]` sections (the paper's test definition sheets).
+//!
+//! Every column that is not `step`, `dt` or `remarks` names a signal; a
+//! non-empty cell assigns that signal a status for the step, exactly like the
+//! paper's table for the interior illumination.
+
+use comptest_model::{SignalName, StatusName, TestCase, TestStep};
+
+use crate::diagnostics::SheetError;
+use crate::table::{normalize_header, Table};
+
+const STEP_ALIASES: [&str; 3] = ["step", "test_step", "nr"];
+const DT_ALIASES: [&str; 4] = ["dt", "δt", "delta_t", "deltat"];
+const REMARK_ALIASES: [&str; 3] = ["remarks", "remark", "comment"];
+
+fn is_alias(header: &str, aliases: &[&str]) -> bool {
+    let k = normalize_header(header);
+    aliases.iter().any(|a| *a == k)
+}
+
+/// Converts a `[test name]` table into a [`TestCase`].
+///
+/// # Errors
+///
+/// Returns [`SheetError`] when the `dt` column is missing, a duration cell
+/// is malformed, a step number does not parse, or a signal column header /
+/// status cell is not a valid name.
+pub fn parse_test(file: &str, table: &Table, name: &str) -> Result<TestCase, SheetError> {
+    let dt_col = table
+        .header
+        .iter()
+        .position(|h| is_alias(h, &DT_ALIASES))
+        .ok_or_else(|| {
+            SheetError::file_wide(file, format!("[test {name}] is missing the `dt` column"))
+        })?;
+    let step_col = table.header.iter().position(|h| is_alias(h, &STEP_ALIASES));
+    let remark_col = table
+        .header
+        .iter()
+        .position(|h| is_alias(h, &REMARK_ALIASES));
+
+    // Everything else is a signal column.
+    let mut signal_cols: Vec<(usize, SignalName)> = Vec::new();
+    for (i, h) in table.header.iter().enumerate() {
+        if i == dt_col || Some(i) == step_col || Some(i) == remark_col {
+            continue;
+        }
+        if h.trim().is_empty() {
+            continue;
+        }
+        let sig = SignalName::new(h.trim()).map_err(|e| {
+            SheetError::file_wide(file, format!("[test {name}] bad signal column header: {e}"))
+        })?;
+        signal_cols.push((i, sig));
+    }
+    if signal_cols.is_empty() {
+        return Err(SheetError::file_wide(
+            file,
+            format!("[test {name}] has no signal columns"),
+        ));
+    }
+
+    let mut case = TestCase::new(name);
+    for (row_idx, row) in table.rows.iter().enumerate() {
+        let nr = match step_col {
+            Some(c) if !row.field(c).is_empty() => {
+                row.field(c).trim().parse::<u32>().map_err(|_| {
+                    SheetError::new(
+                        file,
+                        row.line,
+                        format!("bad step number {:?}", row.field(c)),
+                    )
+                })?
+            }
+            _ => row_idx as u32,
+        };
+        let dt_cell = row.field(dt_col);
+        if dt_cell.is_empty() {
+            return Err(SheetError::new(
+                file,
+                row.line,
+                format!("[test {name}] step {nr}: missing dt"),
+            ));
+        }
+        let dt = dt_cell
+            .parse()
+            .map_err(|e| SheetError::new(file, row.line, format!("step {nr}: {e}")))?;
+
+        let mut step = TestStep::new(nr, dt);
+        for (col, sig) in &signal_cols {
+            let cell = row.field(*col);
+            if cell.is_empty() {
+                continue;
+            }
+            let status = StatusName::new(cell)
+                .map_err(|e| SheetError::new(file, row.line, e.to_string()))?;
+            step = step.assign(sig.clone(), status);
+        }
+        if let Some(c) = remark_col {
+            step = step.with_remark(row.field(c));
+        }
+        case.steps.push(step);
+    }
+    Ok(case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_csv;
+    use comptest_model::SimTime;
+
+    fn table(text: &str) -> Table {
+        let recs = parse_csv("t.cts", 1, text).unwrap();
+        Table::from_records("t.cts", "test t", recs).unwrap()
+    }
+
+    /// The paper's 10-step interior-illumination test table.
+    fn paper_test() -> Table {
+        table(
+            "test step, dt, IGN_ST, DS_FL, DS_FR, NIGHT, INT_ILL, remarks\n\
+             0, 0.5, Off, Closed, Closed, 0, Lo, day: no interior\n\
+             1, 0.5, , Open,   ,      ,  Lo, \"illumination, if\"\n\
+             2, 0.5, , Closed, Open,  ,  Lo, doors are open\n\
+             3, 0.5, , ,       Closed,,  Lo,\n\
+             4, 0.5, , Open,   ,      1, Ho, night: interior\n\
+             5, 0.5, , Closed, ,      ,  Lo, \"illumination on,\"\n\
+             6, 0.5, , ,       Open,  ,  Ho, if doors are open\n\
+             7, 280, , ,       ,      ,  Ho,\n\
+             8, 25,  , ,       ,      ,  Lo, illumination\n\
+             9, 0.5, , ,       Closed,,  Lo, off after 300s",
+        )
+    }
+
+    #[test]
+    fn parses_paper_test_sheet() {
+        let tc = parse_test("t.cts", &paper_test(), "interior_illumination").unwrap();
+        assert_eq!(tc.steps.len(), 10);
+        assert_eq!(tc.steps[0].assignments.len(), 5);
+        assert_eq!(tc.steps[7].nr, 7);
+        assert_eq!(tc.steps[7].dt, SimTime::from_secs(280));
+        assert_eq!(tc.steps[7].assignments.len(), 1);
+        assert_eq!(tc.steps[7].assignments[0].signal, "int_ill");
+        assert_eq!(tc.steps[7].assignments[0].status, "Ho");
+        // Full test duration: 7×0.5 + 280 + 25 + 0.5 = 309 s.
+        assert_eq!(tc.duration(), SimTime::from_secs(309));
+    }
+
+    #[test]
+    fn step_numbers_default_to_row_index() {
+        let t = table("dt, SIG\n1, On\n2, Off");
+        let tc = parse_test("t.cts", &t, "x").unwrap();
+        assert_eq!(tc.steps[0].nr, 0);
+        assert_eq!(tc.steps[1].nr, 1);
+    }
+
+    #[test]
+    fn missing_dt_column_rejected() {
+        let t = table("step, SIG\n0, On");
+        let err = parse_test("t.cts", &t, "x").unwrap_err();
+        assert!(err.message.contains("`dt`"));
+    }
+
+    #[test]
+    fn missing_dt_cell_rejected() {
+        let t = table("dt, SIG\n, On");
+        let err = parse_test("t.cts", &t, "x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("missing dt"));
+    }
+
+    #[test]
+    fn bad_duration_and_step_number() {
+        let t = table("step, dt, SIG\nzero, 1, On");
+        assert!(parse_test("t.cts", &t, "x")
+            .unwrap_err()
+            .message
+            .contains("step number"));
+        let t = table("step, dt, SIG\n0, fast, On");
+        assert!(parse_test("t.cts", &t, "x").is_err());
+    }
+
+    #[test]
+    fn no_signal_columns_rejected() {
+        let t = table("step, dt, remarks\n0, 1, hi");
+        let err = parse_test("t.cts", &t, "x").unwrap_err();
+        assert!(err.message.contains("no signal columns"));
+    }
+
+    #[test]
+    fn delta_t_alias() {
+        let t = table("Δt, SIG\n0.5, On");
+        let tc = parse_test("t.cts", &t, "x").unwrap();
+        assert_eq!(tc.steps[0].dt, SimTime::from_millis(500));
+    }
+}

@@ -1,0 +1,292 @@
+//! Workbook loading: sections → sheets → a validated [`TestSuite`].
+
+use std::fs;
+use std::path::Path;
+
+use comptest_model::TestSuite;
+
+use crate::csv::parse_csv;
+use crate::diagnostics::{SheetError, SheetWarning};
+use crate::sections::{split_sections, Section};
+use crate::signal_sheet::parse_signals;
+use crate::status_sheet::parse_statuses;
+use crate::table::Table;
+use crate::test_sheet::parse_test;
+
+/// The result of parsing a workbook: the suite plus non-fatal warnings.
+#[derive(Debug, Clone)]
+pub struct ParsedWorkbook {
+    /// The assembled test suite.
+    pub suite: TestSuite,
+    /// Non-fatal observations (redefinitions etc.).
+    pub warnings: Vec<SheetWarning>,
+}
+
+/// Loader for `.cts` component-test workbooks.
+///
+/// A workbook is a text file with `[section]` headers:
+/// `[suite]` (key = value metadata), `[signals]`, `[status]`, and any number
+/// of `[test <name>]` sections. See the [crate docs](crate) for the format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Workbook;
+
+impl Workbook {
+    /// Loads and parses a workbook from disk. The suite name defaults to the
+    /// file stem unless `[suite] name = …` overrides it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError`] for I/O problems (reported file-wide) and any
+    /// parse error.
+    pub fn load(path: impl AsRef<Path>) -> Result<ParsedWorkbook, SheetError> {
+        let path = path.as_ref();
+        let file = path.display().to_string();
+        let text = fs::read_to_string(path)
+            .map_err(|e| SheetError::file_wide(&file, format!("cannot read workbook: {e}")))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "workbook".to_owned());
+        let mut parsed = Self::parse_str(&file, &text)?;
+        if parsed.suite.name.is_empty() {
+            parsed.suite.name = stem;
+        }
+        Ok(parsed)
+    }
+
+    /// Parses workbook text. `file` is used in diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError`] when required sections are missing, sections
+    /// are malformed, or any sheet row fails to parse.
+    pub fn parse_str(file: &str, text: &str) -> Result<ParsedWorkbook, SheetError> {
+        let sections = split_sections(file, text)?;
+        let mut warnings = Vec::new();
+        let mut suite = TestSuite::new("");
+        let mut saw_signals = false;
+        let mut saw_status = false;
+
+        for section in &sections {
+            let header = section.header.trim();
+            let lower = header.to_ascii_lowercase();
+            if lower == "suite" {
+                parse_suite_meta(file, section, &mut suite)?;
+            } else if lower == "signals" {
+                let table = section_table(file, section)?;
+                suite.signals = parse_signals(file, &table, &mut warnings)?;
+                saw_signals = true;
+            } else if lower == "status" {
+                let table = section_table(file, section)?;
+                suite.statuses = parse_statuses(file, &table, &mut warnings)?;
+                saw_status = true;
+            } else if let Some(test_name) = lower.strip_prefix("test") {
+                let test_name = header[header.len() - test_name.len()..].trim();
+                if test_name.is_empty() {
+                    return Err(SheetError::new(
+                        file,
+                        section.header_line,
+                        "[test] sections need a name: [test my_case]",
+                    ));
+                }
+                if suite.test(test_name).is_some() {
+                    return Err(SheetError::new(
+                        file,
+                        section.header_line,
+                        format!("duplicate test section [test {test_name}]"),
+                    ));
+                }
+                let table = section_table(file, section)?;
+                suite.tests.push(parse_test(file, &table, test_name)?);
+            } else {
+                return Err(SheetError::new(
+                    file,
+                    section.header_line,
+                    format!("unknown section [{header}]"),
+                ));
+            }
+        }
+
+        if !saw_signals {
+            return Err(SheetError::file_wide(file, "missing [signals] section"));
+        }
+        if !saw_status {
+            return Err(SheetError::file_wide(file, "missing [status] section"));
+        }
+        if suite.tests.is_empty() {
+            warnings.push(SheetWarning::new(
+                file,
+                0,
+                "workbook defines no [test …] sections",
+            ));
+        }
+        Ok(ParsedWorkbook { suite, warnings })
+    }
+}
+
+fn section_table(file: &str, section: &Section) -> Result<Table, SheetError> {
+    let records = parse_csv(file, section.body_first_line, &section.body)?;
+    Table::from_records(file, section.header.clone(), records)
+}
+
+fn parse_suite_meta(
+    file: &str,
+    section: &Section,
+    suite: &mut TestSuite,
+) -> Result<(), SheetError> {
+    for (i, line) in section.body.lines().enumerate() {
+        let line_no = section.body_first_line + i;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = t.split_once('=') else {
+            return Err(SheetError::new(
+                file,
+                line_no,
+                "expected `key = value` in [suite]",
+            ));
+        };
+        match key.trim().to_ascii_lowercase().as_str() {
+            "name" => suite.name = value.trim().to_owned(),
+            "description" => {} // informational; not stored in the model
+            other => {
+                return Err(SheetError::new(
+                    file,
+                    line_no,
+                    format!("unknown [suite] key `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_model::MethodRegistry;
+
+    const MINI: &str = "\
+# A miniature workbook.
+[suite]
+name = mini
+
+[signals]
+name, kind, direction, init
+D1,   pin:D1, input, Off2
+LAMP, pin:LAMP_F/LAMP_R, output,
+
+[status]
+status, method, attribut, var, nom, min, max
+Off2,   put_r,  r,        ,    INF, 5000, INF
+On2,    put_r,  r,        ,    0,   0,    2
+Lit,    get_u,  u,        UBATT, 1, 0.7,  1.1
+
+[test smoke]
+step, dt, D1, LAMP, remarks
+0, 0.5, On2, Lit, REQ-X-1
+1, 0.5, Off2, ,
+";
+
+    #[test]
+    fn parses_minimal_workbook() {
+        let parsed = Workbook::parse_str("mini.cts", MINI).unwrap();
+        assert_eq!(parsed.suite.name, "mini");
+        assert_eq!(parsed.suite.signals.len(), 2);
+        assert_eq!(parsed.suite.statuses.len(), 3);
+        assert_eq!(parsed.suite.tests.len(), 1);
+        assert!(parsed.warnings.is_empty());
+        // The parsed suite passes model validation.
+        let issues = parsed.suite.validate(&MethodRegistry::builtin());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        let err = Workbook::parse_str("x.cts", "[signals]\nname,kind,direction\nA,pin:A,input\n")
+            .unwrap_err();
+        assert!(err.message.contains("[status]"));
+        let err = Workbook::parse_str("x.cts", "[status]\nstatus,method,attribut\n").unwrap_err();
+        // The empty status table errors first (no data rows is fine, but the
+        // missing [signals] section must be reported).
+        assert!(
+            err.message.contains("[signals]") || err.message.contains("status"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = Workbook::parse_str("x.cts", "[wibble]\na,b\n").unwrap_err();
+        assert!(err.message.contains("unknown section"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn content_before_sections_rejected() {
+        let err = Workbook::parse_str("x.cts", "stray text\n[signals]\n").unwrap_err();
+        assert!(err.message.contains("before the first"));
+    }
+
+    #[test]
+    fn duplicate_test_sections_rejected() {
+        let text = format!("{MINI}\n[test smoke]\nstep, dt, D1\n0, 1, On2\n");
+        let err = Workbook::parse_str("x.cts", &text).unwrap_err();
+        assert!(err.message.contains("duplicate test"));
+    }
+
+    #[test]
+    fn unnamed_test_section_rejected() {
+        let text = format!("{MINI}\n[test]\nstep, dt, D1\n0, 1, On2\n");
+        let err = Workbook::parse_str("x.cts", &text).unwrap_err();
+        assert!(err.message.contains("need a name"));
+    }
+
+    #[test]
+    fn suite_meta_errors() {
+        let err = Workbook::parse_str("x.cts", "[suite]\nnonsense\n").unwrap_err();
+        assert!(err.message.contains("key = value"));
+        let err = Workbook::parse_str("x.cts", "[suite]\ncolor = red\n").unwrap_err();
+        assert!(err.message.contains("unknown [suite] key"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(Workbook::parse_str("x.cts", "").is_err());
+        assert!(Workbook::parse_str("x.cts", "# only comments\n").is_err());
+    }
+
+    #[test]
+    fn no_tests_is_a_warning_not_error() {
+        let text = "\
+[signals]
+name, kind, direction
+A, pin:A, input
+
+[status]
+status, method, attribut, nom, min, max
+On2, put_u, u, 12, 11, 13
+";
+        let parsed = Workbook::parse_str("x.cts", text).unwrap();
+        assert_eq!(parsed.warnings.len(), 1);
+        assert!(parsed.warnings[0].message.contains("no [test"));
+    }
+
+    #[test]
+    fn load_from_disk() {
+        let dir = std::env::temp_dir().join("comptest_sheets_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.cts");
+        std::fs::write(&path, MINI).unwrap();
+        let parsed = Workbook::load(&path).unwrap();
+        assert_eq!(parsed.suite.name, "mini");
+        // Name falls back to the file stem when [suite] has no name.
+        let path2 = dir.join("unnamed.cts");
+        std::fs::write(&path2, MINI.replace("name = mini", "")).unwrap();
+        let parsed = Workbook::load(&path2).unwrap();
+        assert_eq!(parsed.suite.name, "unnamed");
+        let missing = Workbook::load(dir.join("nope.cts")).unwrap_err();
+        assert!(missing.message.contains("cannot read"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Writing suites back to `.cts` text.
+//!
+//! The paper's goal is a *living knowledge base*: suites get extended with
+//! every newly found bug and shared between OEM and suppliers.  That needs
+//! the reverse direction too — programmatically merged or generated suites
+//! serialised back into the exchange format.  `parse(write(suite))`
+//! reproduces the suite exactly (asserted by property tests).
+
+use comptest_model::value::number_to_string;
+use comptest_model::{SignalName, TestSuite};
+
+use crate::csv::quote_cell;
+
+/// Serialises a suite into `.cts` workbook text.
+///
+/// Numbers are written in canonical form (decimal point, `INF`); remarks
+/// and other free-text cells are quoted when needed.
+///
+/// # Example
+///
+/// ```
+/// use comptest_sheets::{write_workbook, Workbook};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let parsed = Workbook::parse_str("kb.cts", "\
+/// [signals]
+/// name, kind, direction
+/// D1, pin:D1, input
+///
+/// [status]
+/// status, method, attribut, nom, min, max
+/// On, put_u, u, 12, 11, 13
+///
+/// [test smoke]
+/// step, dt, D1
+/// 0, 0.5, On
+/// ")?;
+/// let text = write_workbook(&parsed.suite);
+/// let reparsed = Workbook::parse_str("rewritten.cts", &text)?;
+/// assert_eq!(reparsed.suite.tests.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_workbook(suite: &TestSuite) -> String {
+    let mut out = String::new();
+
+    if !suite.name.is_empty() {
+        out.push_str("[suite]\n");
+        out.push_str(&format!("name = {}\n\n", suite.name));
+    }
+
+    out.push_str("[signals]\n");
+    out.push_str("name, kind, direction, init, description\n");
+    for sig in &suite.signals {
+        out.push_str(&format!(
+            "{}, {}, {}, {}, {}\n",
+            quote_cell(sig.name.as_str()),
+            quote_cell(&sig.kind.to_string()),
+            sig.direction,
+            sig.init.as_ref().map(|s| s.to_string()).unwrap_or_default(),
+            quote_cell(&sig.description),
+        ));
+    }
+
+    out.push_str("\n[status]\n");
+    out.push_str("status, method, attribut, var, nom, min, max, d1, d2, d3\n");
+    for def in suite.statuses.iter() {
+        let nom = match (def.bits, def.nom) {
+            (Some(bits), _) => bits.to_string(),
+            (None, Some(n)) => number_to_string(n),
+            (None, None) => String::new(),
+        };
+        let opt = |v: Option<f64>| v.map(number_to_string).unwrap_or_default();
+        out.push_str(&format!(
+            "{}, {}, {}, {}, {}, {}, {}, {}, {}, {}\n",
+            quote_cell(def.name.as_str()),
+            def.method,
+            def.attribut,
+            def.var.as_deref().unwrap_or(""),
+            nom,
+            opt(def.min),
+            opt(def.max),
+            opt(def.d1),
+            opt(def.d2),
+            opt(def.d3),
+        ));
+    }
+
+    for test in &suite.tests {
+        out.push_str(&format!("\n[test {}]\n", test.name));
+        // Column order: first appearance across the steps.
+        let mut columns: Vec<SignalName> = Vec::new();
+        for step in &test.steps {
+            for a in &step.assignments {
+                if !columns.contains(&a.signal) {
+                    columns.push(a.signal.clone());
+                }
+            }
+        }
+        out.push_str("step, dt");
+        for c in &columns {
+            out.push_str(&format!(", {c}"));
+        }
+        out.push_str(", remarks\n");
+        for step in &test.steps {
+            out.push_str(&format!(
+                "{}, {}",
+                step.nr,
+                number_to_string(step.dt.as_secs_f64())
+            ));
+            for c in &columns {
+                let status = step
+                    .assignments
+                    .iter()
+                    .find(|a| &a.signal == c)
+                    .map(|a| a.status.to_string())
+                    .unwrap_or_default();
+                out.push_str(&format!(", {status}"));
+            }
+            out.push_str(&format!(", {}\n", quote_cell(&step.remark)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workbook::Workbook;
+
+    /// Equality modulo per-step assignment order: parsing a written
+    /// workbook yields assignments in the writer's column order, which may
+    /// permute the original order (the sheets' semantics are order-free
+    /// within a step — all stimuli apply atomically).
+    fn semantically_equal(a: &TestSuite, b: &TestSuite) -> bool {
+        let normalize = |s: &TestSuite| {
+            let mut s = s.clone();
+            for t in &mut s.tests {
+                for step in &mut t.steps {
+                    step.assignments.sort_by_key(|a| a.signal.key());
+                }
+            }
+            s
+        };
+        normalize(a) == normalize(b)
+    }
+
+    #[test]
+    fn paper_workbook_roundtrips() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../assets/interior_light.cts");
+        let text = std::fs::read_to_string(dir).unwrap();
+        let original = Workbook::parse_str("interior_light.cts", &text)
+            .unwrap()
+            .suite;
+        let written = write_workbook(&original);
+        let reparsed = Workbook::parse_str("rewritten.cts", &written)
+            .unwrap_or_else(|e| panic!("rewritten workbook must parse: {e}\n{written}"))
+            .suite;
+        assert!(
+            semantically_equal(&reparsed, &original),
+            "roundtrip changed the suite:\n{written}"
+        );
+        // Writing is a fixpoint: the second generation is byte-identical.
+        assert_eq!(write_workbook(&reparsed), written);
+    }
+
+    #[test]
+    fn merged_suites_serialise() {
+        // The knowledge-base workflow: take the paper's suite, graft a test
+        // from another project, write the merged workbook.
+        let asset = |name: &str| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../assets")
+                .join(name)
+        };
+        let mut base = Workbook::parse_str(
+            "a.cts",
+            &std::fs::read_to_string(asset("interior_light.cts")).unwrap(),
+        )
+        .unwrap()
+        .suite;
+        let donor = Workbook::parse_str(
+            "b.cts",
+            &std::fs::read_to_string(asset("central_lock.cts")).unwrap(),
+        )
+        .unwrap()
+        .suite;
+        for sig in donor.signals {
+            if base.signal(&sig.name).is_none() {
+                base.signals.push(sig);
+            }
+        }
+        for def in donor.statuses.iter() {
+            base.statuses.insert(def.clone());
+        }
+        base.tests.extend(donor.tests);
+
+        let written = write_workbook(&base);
+        let reparsed = Workbook::parse_str("merged.cts", &written).unwrap().suite;
+        assert_eq!(reparsed.tests.len(), 6);
+        assert!(semantically_equal(&reparsed, &base), "\n{written}");
+        // The merged suite still validates.
+        let issues = reparsed.validate(&comptest_model::MethodRegistry::builtin());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn empty_suite_writes_minimal_sections() {
+        let suite = TestSuite::new("empty");
+        let text = write_workbook(&suite);
+        assert!(text.contains("[signals]"));
+        assert!(text.contains("[status]"));
+        // An empty suite is *not* a valid workbook (no status rows), and
+        // that is intentional: the writer is for real suites.
+    }
+}

@@ -1,0 +1,108 @@
+//! Stand-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::alloc::AllocFailure;
+
+/// Any error raised while loading a stand or interpreting a script on it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StandError {
+    /// A `.stand` description failed to parse.
+    Config {
+        /// File name.
+        file: String,
+        /// 1-based line (0 = file-wide).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A script statement could not be resolved against this stand
+    /// (expression referenced a variable the stand does not provide, or the
+    /// statement is malformed for its method).
+    Statement {
+        /// Step number (`None` for the init block).
+        step: Option<u32>,
+        /// The offending signal statement, rendered.
+        statement: String,
+        /// Description.
+        message: String,
+    },
+    /// No appropriate, connectable resource exists — the paper's
+    /// "error message".
+    Allocation(AllocFailure),
+    /// The script references a signal without an embedded definition.
+    UnknownSignal {
+        /// The signal name as written in the script.
+        signal: String,
+    },
+}
+
+impl StandError {
+    pub(crate) fn config(file: &str, line: usize, message: impl Into<String>) -> Self {
+        StandError::Config {
+            file: file.to_owned(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StandError::Config {
+                file,
+                line,
+                message,
+            } => {
+                if *line == 0 {
+                    write!(f, "{file}: {message}")
+                } else {
+                    write!(f, "{file}:{line}: {message}")
+                }
+            }
+            StandError::Statement {
+                step,
+                statement,
+                message,
+            } => match step {
+                Some(nr) => write!(f, "step {nr}: {message} in {statement}"),
+                None => write!(f, "init: {message} in {statement}"),
+            },
+            StandError::Allocation(failure) => failure.fmt(f),
+            StandError::UnknownSignal { signal } => {
+                write!(
+                    f,
+                    "script uses signal {signal} but embeds no definition for it"
+                )
+            }
+        }
+    }
+}
+
+impl Error for StandError {}
+
+impl From<AllocFailure> for StandError {
+    fn from(f: AllocFailure) -> Self {
+        StandError::Allocation(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StandError::config("a.stand", 3, "bad row");
+        assert_eq!(e.to_string(), "a.stand:3: bad row");
+        let e = StandError::config("a.stand", 0, "empty");
+        assert_eq!(e.to_string(), "a.stand: empty");
+        let e = StandError::UnknownSignal {
+            signal: "ghost".into(),
+        };
+        assert!(e.to_string().contains("ghost"));
+    }
+}

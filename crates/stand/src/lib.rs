@@ -1,0 +1,73 @@
+//! Simulated test stands and the test-script interpreter.
+//!
+//! Section 4 of the paper: "Besides the test script, the test stand needs
+//! information about its own ressources and in which way these ressources
+//! can be connected to the DUT. Ressources in this context are described by
+//! the methods that are supported by them and the valid range for all
+//! parameters. … For each method to be carried out, the test stand searches
+//! an approriate ressource, that can be connected to the signal pin. If this
+//! is not possible an error message is generated."
+//!
+//! This crate implements exactly that:
+//!
+//! * [`Resource`] — an instrument described by method capabilities with
+//!   parameter ranges (the paper's resource table);
+//! * [`ConnectionMatrix`] — switch (`Sw i.j`) and multiplexer (`Mx i.j`)
+//!   crosspoints between resources and DUT pins (the paper's matrix table);
+//! * [`TestStand`] — resources + matrix + environment (`ubatt`, …), loadable
+//!   from a `.stand` description file;
+//! * [`Allocator`] — the "searches an appropriate resource" step, as
+//!   incremental bipartite matching with optional rerouting of held
+//!   assignments;
+//! * [`plan`] — the interpreter front half: a parsed
+//!   [`TestScript`](comptest_script::TestScript) becomes an
+//!   [`ExecutionPlan`] of concrete per-step instrument actions, or a
+//!   diagnostic explaining per resource why the script cannot run here.
+//!
+//! # Example
+//!
+//! ```
+//! use comptest_stand::TestStand;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stand = TestStand::parse_str("a.stand", "\
+//! [stand]
+//! name = demo
+//! ubatt = 12.0
+//!
+//! [resources]
+//! id,    method, attribut, min, max, unit
+//! Dvm1,  get_u,  u,        -60, 60,  V
+//!
+//! [matrix]
+//! point, resource, pin
+//! Sw1.1, Dvm1,     LAMP_F
+//! Sw1.2, Dvm1,     LAMP_R
+//! ")?;
+//! assert_eq!(stand.resources().len(), 1);
+//! assert_eq!(stand.env().get("ubatt"), Some(12.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod config;
+pub mod error;
+pub mod interpreter;
+pub mod matrix;
+pub mod resource;
+pub mod stand;
+pub mod writer;
+
+pub use alloc::{AllocFailure, AllocOptions, Allocator, RejectReason, PARK_RESOURCE};
+pub use error::StandError;
+pub use interpreter::{
+    plan, plan_with, Action, AppliedValue, ExecutionPlan, GetCheck, PlannedStep,
+};
+pub use matrix::{ConnectionMatrix, PointId};
+pub use resource::{Capability, Resource, ResourceId};
+pub use stand::TestStand;
+pub use writer::write_stand;

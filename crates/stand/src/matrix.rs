@@ -1,0 +1,188 @@
+//! The connection matrix: which resource can reach which DUT pin, and
+//! through which switch or multiplexer crosspoint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use comptest_model::PinId;
+
+use crate::resource::ResourceId;
+
+/// The identifier of a connection point: a switch (`Sw1.1`) or a
+/// multiplexer crosspoint (`Mx3.2`). The name is uninterpreted — exclusivity
+/// comes from resource capacities, exactly as in the paper's figure where
+/// each decade owns one mux column.
+pub type PointId = comptest_model::PinId;
+
+/// One crosspoint: closing `point` connects `resource` to `pin`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// The switch/mux crosspoint.
+    pub point: PointId,
+    /// The resource side.
+    pub resource: ResourceId,
+    /// The DUT pin side.
+    pub pin: PinId,
+}
+
+/// The full matrix (the paper's second Section-4 table).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConnectionMatrix {
+    connections: Vec<Connection>,
+    by_pin: BTreeMap<PinId, Vec<usize>>,
+    by_resource: BTreeMap<ResourceId, Vec<usize>>,
+}
+
+impl ConnectionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crosspoint. Duplicate (resource, pin) pairs are allowed and
+    /// treated as alternative paths; the first is used.
+    pub fn add(&mut self, point: PointId, resource: ResourceId, pin: PinId) {
+        let idx = self.connections.len();
+        self.by_pin.entry(pin.clone()).or_default().push(idx);
+        self.by_resource
+            .entry(resource.clone())
+            .or_default()
+            .push(idx);
+        self.connections.push(Connection {
+            point,
+            resource,
+            pin,
+        });
+    }
+
+    /// All crosspoints.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// The resources that can reach a pin.
+    pub fn resources_for_pin(&self, pin: &PinId) -> Vec<&ResourceId> {
+        self.by_pin
+            .get(pin)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| &self.connections[i].resource)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The pins a resource can reach.
+    pub fn pins_for_resource(&self, resource: &ResourceId) -> Vec<&PinId> {
+        self.by_resource
+            .get(resource)
+            .map(|idxs| idxs.iter().map(|&i| &self.connections[i].pin).collect())
+            .unwrap_or_default()
+    }
+
+    /// The crosspoint connecting `resource` to `pin`, if any.
+    pub fn connection(&self, resource: &ResourceId, pin: &PinId) -> Option<&Connection> {
+        self.by_resource.get(resource).and_then(|idxs| {
+            idxs.iter()
+                .map(|&i| &self.connections[i])
+                .find(|c| &c.pin == pin)
+        })
+    }
+
+    /// True if `resource` can reach **all** of `pins` (e.g. both terminals
+    /// of a differential measurement).
+    pub fn connects_all(&self, resource: &ResourceId, pins: &[PinId]) -> bool {
+        pins.iter().all(|p| self.connection(resource, p).is_some())
+    }
+
+    /// Number of crosspoints.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True if the matrix has no crosspoints.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+}
+
+impl fmt::Display for ConnectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.connections {
+            writeln!(f, "{} : {} -> {}", c.point, c.resource, c.pin)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn rid(s: &str) -> ResourceId {
+        ResourceId::new(s).unwrap()
+    }
+
+    /// The paper's matrix: DVM on switches, two decades on mux columns.
+    pub(crate) fn paper_matrix() -> ConnectionMatrix {
+        let mut m = ConnectionMatrix::new();
+        m.add(pid("Sw1.1"), rid("Ress1"), pid("INT_ILL_F"));
+        m.add(pid("Sw1.2"), rid("Ress1"), pid("INT_ILL_R"));
+        for (i, pin) in ["DS_FL", "DS_FR", "DS_RL", "DS_RR"].iter().enumerate() {
+            m.add(pid(&format!("Mx{}.2", i + 1)), rid("Ress2"), pid(pin));
+            m.add(pid(&format!("Mx{}.1", i + 1)), rid("Ress3"), pid(pin));
+        }
+        m
+    }
+
+    #[test]
+    fn paper_matrix_queries() {
+        let m = paper_matrix();
+        assert_eq!(m.len(), 10);
+        let rs = m.resources_for_pin(&pid("DS_FL"));
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().any(|r| **r == "Ress2"));
+        assert!(rs.iter().any(|r| **r == "Ress3"));
+        assert_eq!(m.resources_for_pin(&pid("INT_ILL_F")), vec![&rid("Ress1")]);
+        assert!(m.resources_for_pin(&pid("GHOST")).is_empty());
+        assert_eq!(m.pins_for_resource(&rid("Ress2")).len(), 4);
+    }
+
+    #[test]
+    fn differential_connection() {
+        let m = paper_matrix();
+        // The DVM reaches both lamp terminals…
+        assert!(m.connects_all(&rid("Ress1"), &[pid("INT_ILL_F"), pid("INT_ILL_R")]));
+        // …but the decades don't reach the lamp at all.
+        assert!(!m.connects_all(&rid("Ress2"), &[pid("INT_ILL_F")]));
+        // Empty pin set is trivially connected.
+        assert!(m.connects_all(&rid("Ress1"), &[]));
+    }
+
+    #[test]
+    fn connection_lookup_returns_point() {
+        let m = paper_matrix();
+        let c = m.connection(&rid("Ress3"), &pid("DS_RR")).unwrap();
+        assert_eq!(c.point, pid("Mx4.1"));
+        assert!(m.connection(&rid("Ress1"), &pid("DS_FL")).is_none());
+    }
+
+    #[test]
+    fn case_insensitive_lookups() {
+        let m = paper_matrix();
+        assert!(!m.resources_for_pin(&pid("ds_fl")).is_empty());
+        assert!(!m.pins_for_resource(&rid("RESS2")).is_empty());
+    }
+
+    #[test]
+    fn display_lists_crosspoints() {
+        let m = paper_matrix();
+        let text = m.to_string();
+        assert!(text.contains("Sw1.1 : Ress1 -> INT_ILL_F"));
+        assert_eq!(text.lines().count(), 10);
+    }
+}

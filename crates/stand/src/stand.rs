@@ -1,0 +1,196 @@
+//! The test stand: resources + matrix + environment.
+
+use std::fmt;
+
+use comptest_model::{Env, MethodName, PinId};
+
+use crate::matrix::ConnectionMatrix;
+use crate::resource::{Resource, ResourceId};
+
+/// A complete test stand description.
+///
+/// Build one programmatically with the [`TestStand::with_resource`] /
+/// [`TestStand::with_connection`] setters, or load a `.stand` file via
+/// [`TestStand::load`] / [`TestStand::parse_str`] (see
+/// [`crate::config`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestStand {
+    name: String,
+    env: Env,
+    resources: Vec<Resource>,
+    matrix: ConnectionMatrix,
+}
+
+impl TestStand {
+    /// Creates an empty stand with the given name and environment.
+    ///
+    /// The environment must contain every variable generated scripts use;
+    /// in practice that is at least `ubatt`.
+    pub fn new(name: impl Into<String>, env: Env) -> TestStand {
+        TestStand {
+            name: name.into(),
+            env,
+            resources: Vec::new(),
+            matrix: ConnectionMatrix::new(),
+        }
+    }
+
+    /// Adds a resource (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resource with the same id already exists — stand
+    /// descriptions merge capability rows per id before construction.
+    pub fn with_resource(mut self, resource: Resource) -> TestStand {
+        assert!(
+            self.resource(&resource.id).is_none(),
+            "duplicate resource id {}",
+            resource.id
+        );
+        self.resources.push(resource);
+        self
+    }
+
+    /// Adds a matrix crosspoint (builder style).
+    pub fn with_connection(mut self, point: PinId, resource: ResourceId, pin: PinId) -> TestStand {
+        self.matrix.add(point, resource, pin);
+        self
+    }
+
+    /// The stand's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stand's expression environment (`ubatt`, …).
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Mutable access to the environment (e.g. sweep `ubatt` in a bench).
+    pub fn env_mut(&mut self) -> &mut Env {
+        &mut self.env
+    }
+
+    /// All resources.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Looks a resource up by id.
+    pub fn resource(&self, id: &ResourceId) -> Option<&Resource> {
+        self.resources.iter().find(|r| &r.id == id)
+    }
+
+    /// The connection matrix.
+    pub fn matrix(&self) -> &ConnectionMatrix {
+        &self.matrix
+    }
+
+    /// Mutable matrix access (used by the config parser).
+    pub(crate) fn matrix_mut(&mut self) -> &mut ConnectionMatrix {
+        &mut self.matrix
+    }
+
+    /// Pushes a resource (used by the config parser).
+    pub(crate) fn push_resource(&mut self, resource: Resource) {
+        self.resources.push(resource);
+    }
+
+    /// All resources that support `method` at all (before range/connection
+    /// filtering) — handy for diagnostics.
+    pub fn resources_supporting(&self, method: &MethodName) -> Vec<&Resource> {
+        self.resources
+            .iter()
+            .filter(|r| r.supports(method))
+            .collect()
+    }
+}
+
+impl fmt::Display for TestStand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stand {} ({} resources, {} crosspoints)",
+            self.name,
+            self.resources.len(),
+            self.matrix.len()
+        )?;
+        for r in &self.resources {
+            write!(f, "  {}", r.id)?;
+            if r.capacity != 1 {
+                write!(f, " (capacity {})", r.capacity)?;
+            }
+            for c in &r.capabilities {
+                write!(f, " {c}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Capability;
+    use comptest_model::Unit;
+
+    fn rid(s: &str) -> ResourceId {
+        ResourceId::new(s).unwrap()
+    }
+
+    fn pid(s: &str) -> PinId {
+        PinId::new(s).unwrap()
+    }
+
+    fn m(s: &str) -> MethodName {
+        MethodName::new(s).unwrap()
+    }
+
+    fn demo_stand() -> TestStand {
+        TestStand::new("demo", Env::with_ubatt(12.0))
+            .with_resource(Resource::new(rid("Dvm1")).with_capability(Capability::new(
+                m("get_u"),
+                "u",
+                -60.0,
+                60.0,
+                Unit::Volt,
+            )))
+            .with_resource(Resource::new(rid("Dec1")).with_capability(Capability::new(
+                m("put_r"),
+                "r",
+                0.0,
+                1e6,
+                Unit::Ohm,
+            )))
+            .with_connection(pid("Sw1.1"), rid("Dvm1"), pid("LAMP_F"))
+            .with_connection(pid("Mx1.1"), rid("Dec1"), pid("DS_FL"))
+    }
+
+    #[test]
+    fn lookups() {
+        let s = demo_stand();
+        assert_eq!(s.name(), "demo");
+        assert_eq!(s.env().get("UBATT"), Some(12.0));
+        assert!(s.resource(&rid("dvm1")).is_some());
+        assert!(s.resource(&rid("nope")).is_none());
+        assert_eq!(s.resources_supporting(&m("put_r")).len(), 1);
+        assert_eq!(s.resources_supporting(&m("put_u")).len(), 0);
+        assert_eq!(s.matrix().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate resource id")]
+    fn duplicate_resource_panics() {
+        let s = demo_stand();
+        let _ = s.with_resource(Resource::new(rid("DVM1")));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let text = demo_stand().to_string();
+        assert!(text.contains("stand demo"));
+        assert!(text.contains("get_u"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Writing stand descriptions back to `.stand` text.
+//!
+//! Stands evolve (a supplier adds an instrument to run an OEM suite);
+//! programmatic edits need serialisation back into the exchange format.
+
+use comptest_model::value::number_to_string;
+
+use crate::stand::TestStand;
+
+/// Serialises a stand into `.stand` description text.
+///
+/// `parse(write(stand))` reproduces the stand exactly (environment,
+/// resources with merged capabilities and capacities, matrix order).
+pub fn write_stand(stand: &TestStand) -> String {
+    let mut out = String::from("[stand]\n");
+    if !stand.name().is_empty() {
+        out.push_str(&format!("name = {}\n", stand.name()));
+    }
+    for (var, value) in stand.env().iter() {
+        out.push_str(&format!("{var} = {}\n", number_to_string(value)));
+    }
+
+    out.push_str("\n[resources]\n");
+    out.push_str("id, method, attribut, min, max, unit, capacity\n");
+    for resource in stand.resources() {
+        for (i, cap) in resource.capabilities.iter().enumerate() {
+            // Capacity is a per-resource property; write it on the first row.
+            let capacity = if i == 0 && resource.capacity != 1 {
+                resource.capacity.to_string()
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{}, {}, {}, {}, {}, {}, {}\n",
+                resource.id,
+                cap.method,
+                cap.attribut,
+                number_to_string(cap.min),
+                number_to_string(cap.max),
+                cap.unit,
+                capacity,
+            ));
+        }
+    }
+
+    out.push_str("\n[matrix]\n");
+    out.push_str("point, resource, pin\n");
+    for c in stand.matrix().connections() {
+        out.push_str(&format!("{}, {}, {}\n", c.point, c.resource, c.pin));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asset(name: &str) -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../assets")
+            .join(name)
+    }
+
+    #[test]
+    fn bundled_stands_roundtrip() {
+        for file in ["stand_a.stand", "stand_b.stand", "stand_minimal.stand"] {
+            let original = TestStand::load(asset(file)).unwrap();
+            let written = write_stand(&original);
+            let reparsed = TestStand::parse_str(file, &written)
+                .unwrap_or_else(|e| panic!("{file} rewrite must parse: {e}\n{written}"));
+            assert_eq!(reparsed, original, "{file} roundtrip:\n{written}");
+        }
+    }
+
+    #[test]
+    fn programmatic_upgrade_roundtrips() {
+        // The supplier-extends-their-stand workflow: add a DVM crosspoint so
+        // an OEM suite becomes runnable, then save the description.
+        use crate::resource::{Capability, Resource, ResourceId};
+        use comptest_model::{PinId, Unit};
+
+        let original = TestStand::load(asset("stand_minimal.stand")).unwrap();
+        let upgraded = original
+            .with_resource(
+                Resource::new(ResourceId::new("NewDvm").unwrap()).with_capability(Capability::new(
+                    comptest_model::MethodName::new("get_u").unwrap(),
+                    "u",
+                    -60.0,
+                    60.0,
+                    Unit::Volt,
+                )),
+            )
+            .with_connection(
+                PinId::new("N1").unwrap(),
+                ResourceId::new("NewDvm").unwrap(),
+                PinId::new("INT_ILL_F").unwrap(),
+            );
+        let written = write_stand(&upgraded);
+        let reparsed = TestStand::parse_str("upgraded.stand", &written).unwrap();
+        assert_eq!(reparsed, upgraded);
+        assert_eq!(reparsed.resources().len(), 2);
+    }
+}

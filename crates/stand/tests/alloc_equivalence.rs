@@ -1,0 +1,137 @@
+//! Property test: the incremental allocator (Kuhn-style augmenting paths)
+//! finds an assignment **iff** one exists — verified against a brute-force
+//! oracle on small random instances.
+
+use comptest_model::{Env, MethodName, PinId, SignalName, Unit};
+use comptest_stand::alloc::{AppliedValue, PutRequirement};
+use comptest_stand::{AllocOptions, Allocator, Capability, Resource, ResourceId, TestStand};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    /// resource ranges (min, max) — all put_r.
+    resources: Vec<(f64, f64)>,
+    /// connection\[signal]\[resource]
+    connected: Vec<Vec<bool>>,
+    /// per-signal requirement window (lo, hi); nominal = midpoint.
+    windows: Vec<(f64, f64)>,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=5, 1usize..=4).prop_flat_map(|(n_signals, n_resources)| {
+        let resources = prop::collection::vec((0.0..500.0f64, 500.0..2000.0f64), n_resources);
+        let connected =
+            prop::collection::vec(prop::collection::vec(any::<bool>(), n_resources), n_signals);
+        let windows = prop::collection::vec(
+            (0.0..1500.0f64).prop_flat_map(|lo| (Just(lo), lo..(lo + 600.0))),
+            n_signals,
+        );
+        (resources, connected, windows).prop_map(|(resources, connected, windows)| Instance {
+            resources,
+            connected,
+            windows,
+        })
+    })
+}
+
+fn build_stand(inst: &Instance) -> TestStand {
+    let put_r = MethodName::new("put_r").unwrap();
+    let mut stand = TestStand::new("prop", Env::with_ubatt(12.0));
+    for (i, (lo, hi)) in inst.resources.iter().enumerate() {
+        stand = stand.with_resource(
+            Resource::new(ResourceId::new(format!("R{i}")).unwrap())
+                .with_capability(Capability::new(put_r.clone(), "r", *lo, *hi, Unit::Ohm)),
+        );
+    }
+    let mut point = 0;
+    for (s, row) in inst.connected.iter().enumerate() {
+        for (r, is_connected) in row.iter().enumerate() {
+            if *is_connected {
+                stand = stand.with_connection(
+                    PinId::new(format!("X{point}")).unwrap(),
+                    ResourceId::new(format!("R{r}")).unwrap(),
+                    PinId::new(format!("P{s}")).unwrap(),
+                );
+                point += 1;
+            }
+        }
+    }
+    stand
+}
+
+/// A signal can use resource `r` iff connected and the window intersects the
+/// resource range. (No park here: windows are finite, so park never helps.)
+fn edge(inst: &Instance, s: usize, r: usize) -> bool {
+    inst.connected[s][r]
+        && inst.windows[s].0.max(inst.resources[r].0) <= inst.windows[s].1.min(inst.resources[r].1)
+}
+
+/// Brute-force: try every injective signal→resource mapping.
+fn feasible_brute_force(inst: &Instance) -> bool {
+    fn rec(inst: &Instance, s: usize, used: &mut Vec<bool>) -> bool {
+        if s == inst.windows.len() {
+            return true;
+        }
+        for r in 0..inst.resources.len() {
+            if !used[r] && edge(inst, s, r) {
+                used[r] = true;
+                if rec(inst, s + 1, used) {
+                    used[r] = false;
+                    return true;
+                }
+                used[r] = false;
+            }
+        }
+        false
+    }
+    let mut used = vec![false; inst.resources.len()];
+    rec(inst, 0, &mut used)
+}
+
+fn allocator_feasible(inst: &Instance, reroute: bool) -> bool {
+    let stand = build_stand(inst);
+    let mut alloc = Allocator::with_options(&stand, AllocOptions { reroute });
+    let put_r = MethodName::new("put_r").unwrap();
+    for (s, (lo, hi)) in inst.windows.iter().enumerate() {
+        let req = PutRequirement {
+            method: put_r.clone(),
+            nominal: AppliedValue::Num((lo + hi) / 2.0),
+            window: (*lo, *hi),
+            pins: vec![PinId::new(format!("P{s}")).unwrap()],
+        };
+        if alloc
+            .assign_put(&SignalName::new(format!("S{s}")).unwrap(), Some(0), req)
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With rerouting, the incremental allocator is a maximum-matching
+    /// algorithm: it succeeds exactly when the brute-force oracle does.
+    #[test]
+    fn allocator_matches_brute_force(inst in arb_instance()) {
+        let oracle = feasible_brute_force(&inst);
+        let incremental = allocator_feasible(&inst, true);
+        prop_assert_eq!(
+            incremental,
+            oracle,
+            "allocator and oracle disagree on {:?}",
+            inst
+        );
+    }
+
+    /// Greedy (no reroute) is sound but incomplete: it never succeeds where
+    /// the oracle says infeasible.
+    #[test]
+    fn greedy_is_sound(inst in arb_instance()) {
+        if allocator_feasible(&inst, false) {
+            prop_assert!(feasible_brute_force(&inst), "greedy found an impossible assignment");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Deterministic synthetic workloads for benches and stress tests.
+//!
+//! The paper has no quantitative tables, so the reproduction characterises
+//! the algorithms with scaling sweeps; these generators produce the inputs.
+//! Everything is seeded ([`SplitMix64`]) — identical seeds give identical
+//! workloads on every platform, keeping bench runs comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod stands;
+pub mod suites;
+
+pub use rng::SplitMix64;
+pub use stands::{gen_stand, StandShape};
+pub use suites::{gen_script, gen_workbook_text, ScriptShape, WorkbookShape};

@@ -1,0 +1,145 @@
+//! Synthetic test-stand generation for allocation-scaling benches.
+
+use comptest_model::{Env, MethodName, PinId, Unit};
+use comptest_stand::{Capability, Resource, ResourceId, TestStand};
+
+use crate::rng::SplitMix64;
+
+/// Parameters for [`gen_stand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandShape {
+    /// Number of DUT pins (`P0`, `P1`, …).
+    pub pins: usize,
+    /// Number of `put_r` resources (`Dec0`, …), each 0..1 MΩ.
+    pub put_resources: usize,
+    /// Number of `get_u` resources (`Dvm0`, …), each −60..60 V.
+    pub get_resources: usize,
+    /// Probability that a given (resource, pin) crosspoint exists.
+    pub density: f64,
+}
+
+impl Default for StandShape {
+    fn default() -> Self {
+        Self {
+            pins: 16,
+            put_resources: 4,
+            get_resources: 2,
+            density: 0.5,
+        }
+    }
+}
+
+/// The pin name used by generated stands and scripts.
+pub fn pin_name(i: usize) -> String {
+    format!("P{i}")
+}
+
+/// Generates a stand. Every pin is guaranteed at least one crosspoint to a
+/// put resource and one to a get resource (plus random extras per
+/// `density`), so workloads are never trivially infeasible.
+pub fn gen_stand(rng: &mut SplitMix64, shape: &StandShape) -> TestStand {
+    let mut stand = TestStand::new(
+        format!("synth-{}p-{}r", shape.pins, shape.put_resources),
+        Env::with_ubatt(12.0),
+    );
+    let put_r = MethodName::new("put_r").expect("valid");
+    let get_u = MethodName::new("get_u").expect("valid");
+
+    let mut put_ids = Vec::new();
+    for i in 0..shape.put_resources {
+        let id = ResourceId::new(format!("Dec{i}")).expect("valid");
+        put_ids.push(id.clone());
+        stand = stand.with_resource(Resource::new(id).with_capability(Capability::new(
+            put_r.clone(),
+            "r",
+            0.0,
+            1e6,
+            Unit::Ohm,
+        )));
+    }
+    let mut get_ids = Vec::new();
+    for i in 0..shape.get_resources {
+        let id = ResourceId::new(format!("Dvm{i}")).expect("valid");
+        get_ids.push(id.clone());
+        stand = stand.with_resource(Resource::new(id).with_capability(Capability::new(
+            get_u.clone(),
+            "u",
+            -60.0,
+            60.0,
+            Unit::Volt,
+        )));
+    }
+
+    let mut point = 0usize;
+    for p in 0..shape.pins {
+        let pin = PinId::new(pin_name(p)).expect("valid");
+        // One forced crosspoint per resource class guarantees coverage.
+        let forced_put = (!put_ids.is_empty()).then(|| rng.index(put_ids.len()));
+        let forced_get = (!get_ids.is_empty()).then(|| rng.index(get_ids.len()));
+        for (ids, forced) in [(&put_ids, forced_put), (&get_ids, forced_get)] {
+            for (i, id) in ids.iter().enumerate() {
+                if Some(i) == forced || rng.chance(shape.density) {
+                    let pt = PinId::new(format!("X{point}")).expect("valid");
+                    point += 1;
+                    stand = stand.with_connection(pt, id.clone(), pin.clone());
+                }
+            }
+        }
+    }
+    stand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_stand_has_guaranteed_coverage() {
+        let mut rng = SplitMix64::new(1);
+        let shape = StandShape {
+            pins: 12,
+            put_resources: 3,
+            get_resources: 2,
+            density: 0.0, // only the forced crosspoints
+        };
+        let stand = gen_stand(&mut rng, &shape);
+        assert_eq!(stand.resources().len(), 5);
+        for p in 0..shape.pins {
+            let pin = PinId::new(pin_name(p)).unwrap();
+            let resources = stand.matrix().resources_for_pin(&pin);
+            assert!(
+                resources.len() >= 2,
+                "pin {pin} must reach a decade and a DVM, got {resources:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_adds_crosspoints() {
+        let mut rng = SplitMix64::new(2);
+        let sparse = gen_stand(
+            &mut rng,
+            &StandShape {
+                density: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut rng = SplitMix64::new(2);
+        let dense = gen_stand(
+            &mut rng,
+            &StandShape {
+                density: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(dense.matrix().len() > sparse.matrix().len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_stand(&mut SplitMix64::new(3), &StandShape::default());
+        let b = gen_stand(&mut SplitMix64::new(3), &StandShape::default());
+        assert_eq!(a.matrix().len(), b.matrix().len());
+        assert_eq!(a.name(), b.name());
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic scripts and workbooks.
+
+use comptest_model::{SignalDef, SignalDirection, SignalKind, SignalName, SimTime};
+use comptest_script::{AttrValue, ScriptStep, Statement, TestScript};
+
+use crate::rng::SplitMix64;
+use crate::stands::pin_name;
+
+/// Parameters for [`gen_script`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptShape {
+    /// Number of input signals (bound to pins `P0`, `P1`, …).
+    pub signals: usize,
+    /// Number of steps.
+    pub steps: usize,
+    /// Stimulus statements per step.
+    pub puts_per_step: usize,
+    /// Maximum number of signals stimulated at the same time — keep at or
+    /// below the stand's put-resource count for feasible workloads.
+    pub concurrency: usize,
+}
+
+impl Default for ScriptShape {
+    fn default() -> Self {
+        Self {
+            signals: 16,
+            steps: 50,
+            puts_per_step: 2,
+            concurrency: 4,
+        }
+    }
+}
+
+/// The signal name bound to generated pin `i`.
+pub fn signal_name(i: usize) -> SignalName {
+    SignalName::new(format!("s{i}")).expect("valid")
+}
+
+/// Generates a `put_r`-heavy script against the pins of
+/// [`gen_stand`](crate::stands::gen_stand).
+///
+/// Stimuli persist across steps, so the generator tracks an *active set* of
+/// at most `concurrency` signals holding finite resistances.  Each step
+/// retires a signal now and then (an explicit open-circuit statement that
+/// the allocator serves with its Park pseudo-resource), admits a fresh one,
+/// and reassigns `puts_per_step` values within the set — the persist /
+/// release / reroute access pattern the incremental allocator is built for.
+/// With `concurrency ≤` the stand's put-resource count and a dense matrix,
+/// the workload is always feasible.
+pub fn gen_script(rng: &mut SplitMix64, shape: &ScriptShape) -> TestScript {
+    let signals: Vec<SignalDef> = (0..shape.signals)
+        .map(|i| {
+            SignalDef::new(
+                signal_name(i),
+                SignalKind::Pin {
+                    pins: vec![comptest_model::PinId::new(pin_name(i)).expect("valid")],
+                },
+                SignalDirection::Input,
+            )
+        })
+        .collect();
+
+    let put_r = comptest_model::MethodName::new("put_r").expect("valid");
+    let finite_put = |rng: &mut SplitMix64, idx: usize| {
+        let nominal = rng.range_f64(0.0, 1e5);
+        let lo = (nominal * 0.9).max(0.0);
+        let hi = nominal * 1.1 + 1.0;
+        Statement::new(signal_name(idx), put_r.clone())
+            .with_attr("r", AttrValue::Expr(comptest_model::Expr::num(nominal)))
+            .with_attr("r_min", AttrValue::Expr(comptest_model::Expr::num(lo)))
+            .with_attr("r_max", AttrValue::Expr(comptest_model::Expr::num(hi)))
+    };
+    let release_put = |idx: usize| {
+        Statement::new(signal_name(idx), put_r.clone())
+            .with_attr(
+                "r",
+                AttrValue::Expr(comptest_model::Expr::num(f64::INFINITY)),
+            )
+            .with_attr("r_min", AttrValue::Expr(comptest_model::Expr::num(0.0)))
+            .with_attr(
+                "r_max",
+                AttrValue::Expr(comptest_model::Expr::num(f64::INFINITY)),
+            )
+    };
+
+    let concurrency = shape.concurrency.max(1).min(shape.signals.max(1));
+    let mut active: Vec<usize> = Vec::new();
+    let mut next_fresh = 0usize;
+    let mut steps = Vec::new();
+    for nr in 0..shape.steps {
+        let mut statements = Vec::new();
+        // Occasionally retire the oldest active signal back to open circuit.
+        if !active.is_empty() && (active.len() == concurrency || rng.chance(0.3)) {
+            let retired = active.remove(0);
+            statements.push(release_put(retired));
+        }
+        // Admit a fresh signal while capacity remains.
+        if active.len() < concurrency {
+            let idx = next_fresh % shape.signals.max(1);
+            next_fresh += 1;
+            if !active.contains(&idx) {
+                active.push(idx);
+                statements.push(finite_put(rng, idx));
+            }
+        }
+        // Reassign values within the active set.
+        for _ in 0..shape.puts_per_step.saturating_sub(statements.len()) {
+            if active.is_empty() {
+                break;
+            }
+            let idx = active[rng.index(active.len())];
+            statements.push(finite_put(rng, idx));
+        }
+        steps.push(ScriptStep {
+            nr: nr as u32,
+            dt: SimTime::from_millis(100),
+            statements,
+        });
+    }
+
+    TestScript {
+        name: format!("synth_{}x{}", shape.signals, shape.steps),
+        suite: "synthetic".into(),
+        signals,
+        init: Vec::new(),
+        steps,
+    }
+}
+
+/// Parameters for [`gen_workbook_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkbookShape {
+    /// Number of input signals.
+    pub signals: usize,
+    /// Number of test sections.
+    pub tests: usize,
+    /// Steps per test.
+    pub steps: usize,
+}
+
+impl Default for WorkbookShape {
+    fn default() -> Self {
+        Self {
+            signals: 8,
+            tests: 4,
+            steps: 20,
+        }
+    }
+}
+
+/// Generates `.cts` workbook text (for parser / codegen throughput benches).
+/// The workbook always validates: statuses `On`/`Off2` on every input, a
+/// `Lit`/`Dark` check column on the output signal.
+pub fn gen_workbook_text(rng: &mut SplitMix64, shape: &WorkbookShape) -> String {
+    let mut out =
+        String::from("[suite]\nname = synthetic\n\n[signals]\nname, kind, direction, init\n");
+    for i in 0..shape.signals {
+        out.push_str(&format!("IN{i}, pin:P{i}, input, Off2\n"));
+    }
+    out.push_str("OUT0, pin:OUT_F/OUT_R, output,\n");
+    out.push_str(
+        "\n[status]\nstatus, method, attribut, var, nom, min, max\n\
+         On,   put_r, r, ,      0,   0,    2\n\
+         Off2, put_r, r, ,      INF, 5000, INF\n\
+         Lit,  get_u, u, UBATT, 1,   0.7,  1.1\n\
+         Dark, get_u, u, UBATT, 0,   0,    0.3\n",
+    );
+    for t in 0..shape.tests {
+        out.push_str(&format!("\n[test case_{t}]\nstep, dt, "));
+        for i in 0..shape.signals {
+            out.push_str(&format!("IN{i}, "));
+        }
+        out.push_str("OUT0, remarks\n");
+        for s in 0..shape.steps {
+            out.push_str(&format!("{s}, 0.1, "));
+            for _ in 0..shape.signals {
+                let cell = match rng.index(4) {
+                    0 => "On",
+                    1 => "Off2",
+                    _ => "",
+                };
+                out.push_str(&format!("{cell}, "));
+            }
+            out.push_str(if rng.chance(0.5) { "Dark" } else { "" });
+            out.push_str(&format!(", REQ-SYN-{:03}\n", rng.index(50)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_model::MethodRegistry;
+
+    #[test]
+    fn generated_script_is_well_formed() {
+        let mut rng = SplitMix64::new(5);
+        let script = gen_script(&mut rng, &ScriptShape::default());
+        assert_eq!(script.steps.len(), 50);
+        assert_eq!(script.signals.len(), 16);
+        // Roundtrips through XML.
+        let xml = script.to_xml();
+        let back = comptest_script::TestScript::parse_xml(&xml).unwrap();
+        assert_eq!(back, script);
+    }
+
+    #[test]
+    fn generated_workbook_parses_and_validates() {
+        let mut rng = SplitMix64::new(6);
+        let text = gen_workbook_text(&mut rng, &WorkbookShape::default());
+        let parsed = comptest_sheets::Workbook::parse_str("synthetic.cts", &text)
+            .unwrap_or_else(|e| panic!("generated workbook must parse: {e}\n{text}"));
+        let issues = parsed.suite.validate(&MethodRegistry::builtin());
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(parsed.suite.tests.len(), 4);
+        assert_eq!(parsed.suite.signals.len(), 9);
+    }
+
+    #[test]
+    fn script_windows_slide() {
+        let mut rng = SplitMix64::new(7);
+        let shape = ScriptShape {
+            signals: 8,
+            steps: 16,
+            puts_per_step: 1,
+            concurrency: 2,
+        };
+        let script = gen_script(&mut rng, &shape);
+        // Across the run, more than `concurrency` distinct signals appear.
+        let mut used = std::collections::BTreeSet::new();
+        for step in &script.steps {
+            for stmt in &step.statements {
+                used.insert(stmt.signal.key());
+            }
+        }
+        assert!(
+            used.len() > 2,
+            "sliding window touched {} signals",
+            used.len()
+        );
+    }
+}

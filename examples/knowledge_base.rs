@@ -1,0 +1,129 @@
+//! The knowledge-base workflow the paper's introduction argues for:
+//!
+//! "a method is needed, to preserve the knowledge about requirements of
+//! components, including bugs, that have occured in the past … test cases
+//! that are specfied in a way, so that a high percentage of them can be
+//! reused in order to perserve the experience for future projects."
+//!
+//! This example plays one project cycle:
+//!
+//! 1. a fault campaign finds an *escape* (a bug the current sheets miss);
+//! 2. the test engineer adds a new test row encoding that bug;
+//! 3. the merged workbook is serialised back to `.cts` (the shared format);
+//! 4. the supplier extends their stand description and re-runs everything;
+//! 5. the new suite now catches the bug, and a JUnit report goes to CI.
+//!
+//! ```sh
+//! cargo run --example knowledge_base
+//! ```
+
+use comptest::core::faultcamp::run_fault_campaign;
+use comptest::dut::ecus::interior_light::{self, InteriorLight};
+use comptest::dut::{Device, ElectricalConfig, PortValue};
+use comptest::model::{SignalName, SimTime, StatusName, TestCase, TestStep};
+use comptest::prelude::*;
+
+fn device(fault: Option<&FaultKind>) -> Device {
+    match fault {
+        None => interior_light::device(ElectricalConfig::default()),
+        Some(f) if f.is_device_level() => {
+            let mut d = interior_light::device(ElectricalConfig::default());
+            f.apply_to_device(&mut d);
+            d
+        }
+        Some(f) => interior_light::device_with(
+            ElectricalConfig::default(),
+            Box::new(FaultyBehavior::new(
+                Box::new(InteriorLight::new()),
+                vec![f.clone()],
+            )),
+        ),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+    let mut suite = Workbook::load(comptest::asset("interior_light.cts"))?.suite;
+
+    // 1. The paper's steps 7/8 bracket the 300 s timeout between 280.5 s
+    //    (still lit) and 305.5 s (out). A field batch shipped with a timer
+    //    ~4 % fast — it goes dark after ~288 s, comfortably *inside* the
+    //    bracket, so today's knowledge base misses it:
+    let subtle = FaultKind::TimerScale { factor: 1.04 };
+    let before = run_fault_campaign(
+        &suite,
+        &stand,
+        device,
+        std::slice::from_ref(&subtle),
+        &ExecOptions::default(),
+    )?;
+    println!("before: {}", before);
+    assert!(
+        !before.runs[0].detected,
+        "a 288 s timeout slips through the 280.5..305.5 s bracket — an escape"
+    );
+
+    // 2. Encode the new knowledge: a test that tightens the lower edge of
+    //    the bracket to 294.5 s. (In the original setting an engineer adds
+    //    an Excel row; here we build it programmatically and serialise it.)
+    let sig = |s: &str| SignalName::new(s).unwrap();
+    let st = |s: &str| StatusName::new(s).unwrap();
+    let mut regression = TestCase::new("bug_2026_fast_timer");
+    regression.steps.push(
+        TestStep::new(0, SimTime::from_millis(500))
+            .assign(sig("NIGHT"), st("1"))
+            .assign(sig("DS_FL"), st("Open"))
+            .assign(sig("INT_ILL"), st("Ho"))
+            .with_remark("REQ-IL-003 lamp lights"),
+    );
+    regression.steps.push(
+        TestStep::new(1, SimTime::from_millis(294_500))
+            .assign(sig("INT_ILL"), st("Ho"))
+            .with_remark("REQ-IL-003 still lit just before 295s (field bug 2026-02)"),
+    );
+    regression.steps.push(
+        TestStep::new(2, SimTime::from_secs(7))
+            .assign(sig("INT_ILL"), st("Lo"))
+            .with_remark("REQ-IL-003 and out after 300s"),
+    );
+    suite.tests.push(regression);
+
+    // 3. Share the merged knowledge base.
+    let merged = comptest::sheets::write_workbook(&suite);
+    let out = std::env::temp_dir().join("interior_light_v2.cts");
+    std::fs::write(&out, &merged)?;
+    println!("wrote merged workbook to {}", out.display());
+
+    // 4. Any stand with the right resources runs the new suite unchanged.
+    let reloaded = Workbook::load(&out)?.suite;
+    let after = run_fault_campaign(
+        &reloaded,
+        &stand,
+        device,
+        std::slice::from_ref(&subtle),
+        &ExecOptions::default(),
+    )?;
+    println!("after: {}", after);
+    assert!(after.runs[0].detected, "the new row catches the slow timer");
+
+    // 5. CI artefact.
+    let results = run_suite(&reloaded, &stand, || device(None), &ExecOptions::default())?;
+    let junit = comptest::report::junit_xml(&results);
+    println!("junit summary: {}", junit.lines().nth(1).unwrap_or(""));
+
+    // Bonus: prove the stuck-on lamp from the anecdote is also caught.
+    let stuck = FaultKind::StuckOutput {
+        port: "lamp",
+        value: PortValue::Bool(true),
+    };
+    let check = run_fault_campaign(
+        &reloaded,
+        &stand,
+        device,
+        std::slice::from_ref(&stuck),
+        &ExecOptions::default(),
+    )?;
+    assert!(check.runs[0].detected);
+    println!("knowledge preserved: future projects inherit both regressions.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: define a tiny component test inline, run it on the paper's
+//! stand against the simulated interior-light ECU, and print the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use comptest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workbook: signal sheet, status sheet, one test sheet.
+    //    (Normally loaded from a .cts file; see assets/.)
+    let workbook = Workbook::parse_str(
+        "quickstart.cts",
+        "\
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test lamp]
+step, dt,  DS_FL,  NIGHT, INT_ILL, remarks
+0,    0.5, Open,   1,     Ho,      night + door open -> light
+1,    0.5, Closed, ,      Lo,      door closed -> dark
+",
+    )?;
+
+    // 2. Generate the portable XML test script (what travels between
+    //    OEM and supplier).
+    let script = generate(&workbook.suite, "lamp")?;
+    println!("--- generated test script ---\n{}", script.to_xml());
+
+    // 3. A test stand: resources + connection matrix (the paper's stand A).
+    let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+
+    // 4. Plan the script on the stand and execute it against the DUT.
+    let plan = plan(&script, &stand)?;
+    let mut dut = comptest::device_for_stand("interior_light", &stand).expect("known ECU");
+    let result = execute(&plan, &mut dut, &ExecOptions::default());
+
+    println!("--- execution ---");
+    println!("{}", comptest::report::step_table(&result));
+    println!("verdict: {}", result.verdict());
+    assert!(result.passed());
+    Ok(())
+}

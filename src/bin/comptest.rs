@@ -1,0 +1,236 @@
+//! `comptest` — command-line front end for the component-test toolchain.
+//!
+//! ```text
+//! comptest validate <workbook.cts>
+//! comptest gen <workbook.cts> <test> [out.xml]
+//! comptest run <workbook.cts> <test> <stand.stand> <ecu>
+//! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
+//! comptest portability <workbook.cts> <stand.stand>...
+//! comptest stands <stand.stand>...
+//! ```
+
+use std::process::ExitCode;
+
+use comptest::core::portability::check_portability;
+use comptest::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("validate") => {
+            let wb = need(it.next(), "workbook path")?;
+            cmd_validate(wb)
+        }
+        Some("gen") => {
+            let wb = need(it.next(), "workbook path")?;
+            let test = need(it.next(), "test name")?;
+            cmd_gen(wb, test, it.next())
+        }
+        Some("run") => {
+            let wb = need(it.next(), "workbook path")?;
+            let test = need(it.next(), "test name")?;
+            let stand = need(it.next(), "stand path")?;
+            let ecu = need(it.next(), "ecu name")?;
+            cmd_run(wb, test, stand, ecu)
+        }
+        Some("suite") => {
+            let wb = need(it.next(), "workbook path")?;
+            let stand = need(it.next(), "stand path")?;
+            let ecu = need(it.next(), "ecu name")?;
+            let rest: Vec<&str> = it.collect();
+            let junit = match rest.as_slice() {
+                [] => None,
+                ["--junit", path] => Some(*path),
+                other => return Err(format!("unexpected arguments {other:?}").into()),
+            };
+            cmd_suite(wb, stand, ecu, junit)
+        }
+        Some("lint") => {
+            let wb = need(it.next(), "workbook path")?;
+            cmd_lint(wb)
+        }
+        Some("portability") => {
+            let wb = need(it.next(), "workbook path")?;
+            let stands: Vec<&str> = it.collect();
+            if stands.is_empty() {
+                return Err("portability needs at least one stand".into());
+            }
+            cmd_portability(wb, &stands)
+        }
+        Some("stands") => {
+            for path in it {
+                let stand = TestStand::load(path)?;
+                print!("{stand}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command {other:?}").into()),
+        None => {
+            eprintln!("usage: comptest <validate|lint|gen|run|suite|portability|stands> …");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn need<'a>(value: Option<&'a str>, what: &str) -> Result<&'a str, Box<dyn std::error::Error>> {
+    value.ok_or_else(|| format!("missing argument: {what}").into())
+}
+
+fn cmd_validate(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(path)?;
+    for w in &parsed.warnings {
+        eprintln!("{w}");
+    }
+    let issues = parsed.suite.validate(&MethodRegistry::builtin());
+    if issues.is_empty() {
+        println!(
+            "{}: ok ({} signals, {} statuses, {} tests)",
+            parsed.suite.name,
+            parsed.suite.signals.len(),
+            parsed.suite.statuses.len(),
+            parsed.suite.tests.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for issue in &issues {
+            eprintln!("{issue}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_lint(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(path)?;
+    let scripts = generate_all(&parsed.suite)?;
+    let mut warnings = 0usize;
+    for script in &scripts {
+        let findings = comptest::script::lint(script);
+        let vars = comptest::script::required_variables(script);
+        println!(
+            "{}: {} finding(s); requires stand variables: {}",
+            script.name,
+            findings.len(),
+            if vars.is_empty() {
+                "-".to_owned()
+            } else {
+                vars.join(", ")
+            }
+        );
+        for f in &findings {
+            println!("  {f}");
+            if f.level == comptest::script::LintLevel::Warning {
+                warnings += 1;
+            }
+        }
+    }
+    Ok(if warnings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_gen(
+    path: &str,
+    test: &str,
+    out: Option<&str>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(path)?;
+    let script = generate(&parsed.suite, test)?;
+    let xml = script.to_xml();
+    match out {
+        Some(out) => {
+            std::fs::write(out, &xml)?;
+            println!("wrote {out}");
+        }
+        None => print!("{xml}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load_dut(
+    ecu: &str,
+    stand: &TestStand,
+) -> Result<comptest::dut::Device, Box<dyn std::error::Error>> {
+    comptest::device_for_stand(ecu, stand)
+        .ok_or_else(|| format!("unknown ecu {ecu:?}; known: interior_light, wiper, power_window, central_lock, flasher").into())
+}
+
+fn cmd_run(
+    wb: &str,
+    test: &str,
+    stand_path: &str,
+    ecu: &str,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(wb)?;
+    let stand = TestStand::load(stand_path)?;
+    let mut dut = load_dut(ecu, &stand)?;
+    let result = run_test(
+        &parsed.suite,
+        test,
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )?;
+    print!("{}", comptest::report::step_table(&result));
+    Ok(if result.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_suite(
+    wb: &str,
+    stand_path: &str,
+    ecu: &str,
+    junit: Option<&str>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(wb)?;
+    let stand = TestStand::load(stand_path)?;
+    // Validate the ECU name with a friendly message before running.
+    load_dut(ecu, &stand)?;
+    let result = run_suite(
+        &parsed.suite,
+        &stand,
+        || comptest::device_for_stand(ecu, &stand).expect("validated above"),
+        &ExecOptions::default(),
+    )?;
+    print!("{}", comptest::report::suite_text(&result));
+    if let Some(path) = junit {
+        std::fs::write(path, comptest::report::junit_xml(&result))?;
+        println!("wrote {path}");
+    }
+    Ok(if result.verdict() == Verdict::Pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_portability(wb: &str, stands: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let parsed = Workbook::load(wb)?;
+    let loaded: Vec<TestStand> = stands
+        .iter()
+        .map(TestStand::load)
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&TestStand> = loaded.iter().collect();
+    let report = check_portability(&parsed.suite, &refs)?;
+    print!("{report}");
+    Ok(if report.fully_portable() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,120 @@
+//! `comptest` — test-stand-independent component testing.
+//!
+//! A complete, laptop-scale reproduction of Horst Brinkmeyer's *A New
+//! Approach to Component Testing* (DATE 2005): define component tests once
+//! in plain-text sheets, generate portable XML test scripts, and run them on
+//! any (simulated) test stand that can allocate appropriate resources —
+//! against simulated automotive ECUs.
+//!
+//! This crate is a façade: it re-exports the subsystem crates and adds the
+//! small amount of glue (asset paths, DUT-per-stand construction) that
+//! examples, integration tests and benches share.
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`model`] | `comptest-model` | signals, statuses, methods, expressions |
+//! | [`sheets`] | `comptest-sheets` | `.cts` workbook parsing |
+//! | [`script`] | `comptest-script` | XML test scripts + codegen |
+//! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
+//! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
+//! | [`core`] | `comptest-core` | execution, campaigns, fault coverage |
+//! | [`report`] | `comptest-report` | tables, markdown, JUnit |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use comptest::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! let mut dut = comptest::device_for_stand("interior_light", &stand)
+//!     .expect("known ECU");
+//! let result = run_test(
+//!     &workbook.suite,
+//!     "day_stays_dark",
+//!     &stand,
+//!     &mut dut,
+//!     &ExecOptions::default(),
+//! )?;
+//! assert!(result.passed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+pub use comptest_core as core;
+pub use comptest_dut as dut;
+pub use comptest_model as model;
+pub use comptest_report as report;
+pub use comptest_script as script;
+pub use comptest_sheets as sheets;
+pub use comptest_stand as stand;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use comptest_core::{
+        execute, run_suite, run_test, ExecOptions, SampleMode, SuiteResult, TestResult, Verdict,
+    };
+    pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
+    pub use comptest_model::{Env, MethodRegistry, TestSuite};
+    pub use comptest_script::{generate, generate_all, TestScript};
+    pub use comptest_sheets::Workbook;
+    pub use comptest_stand::{plan, TestStand};
+}
+
+/// The repository's `assets/` directory (paper sheets and stands).
+pub fn assets_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("assets")
+}
+
+/// Path of one asset file, e.g. `asset("interior_light.cts")`.
+pub fn asset(name: &str) -> PathBuf {
+    assets_dir().join(name)
+}
+
+/// Builds the simulated DUT for an ECU name, electrically matched to a
+/// stand: the DUT's supply voltage is taken from the stand's `ubatt`
+/// variable so `UBATT`-scaled bounds measure against the same rail.
+///
+/// Known ECUs: `interior_light`, `wiper`, `power_window`, `central_lock`
+/// (suite names of the bundled workbooks match these).
+pub fn device_for_stand(ecu: &str, stand: &stand::TestStand) -> Option<dut::Device> {
+    let mut cfg = dut::ElectricalConfig::default();
+    if let Some(ubatt) = stand.env().get("ubatt") {
+        cfg.ubatt = ubatt;
+    }
+    dut::ecus::device_by_name(ecu, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assets_exist() {
+        for name in [
+            "interior_light.cts",
+            "wiper.cts",
+            "power_window.cts",
+            "central_lock.cts",
+            "stand_a.stand",
+            "stand_b.stand",
+            "stand_minimal.stand",
+        ] {
+            assert!(asset(name).exists(), "missing asset {name}");
+        }
+    }
+
+    #[test]
+    fn device_matches_stand_supply() {
+        let stand = stand::TestStand::load(asset("stand_b.stand")).unwrap();
+        let dut = device_for_stand("interior_light", &stand).unwrap();
+        assert_eq!(dut.config().ubatt, 13.8);
+        assert!(device_for_stand("toaster", &stand).is_none());
+    }
+}

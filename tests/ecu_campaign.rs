@@ -1,0 +1,118 @@
+//! Experiment E7/§5: the campaign across the full ECU library on the
+//! supplier stand — the reproduction's stand-in for "successfully applied
+//! to two ECUs of the next S-class".
+
+use comptest::core::campaign::{run_campaign, CampaignEntry};
+use comptest::prelude::*;
+
+const ECUS: [&str; 5] = [
+    "interior_light",
+    "wiper",
+    "power_window",
+    "central_lock",
+    "flasher",
+];
+
+fn load_suite(name: &str) -> TestSuite {
+    Workbook::load(comptest::asset(&format!("{name}.cts")))
+        .unwrap_or_else(|e| panic!("workbook {name}: {e}"))
+        .suite
+}
+
+#[test]
+fn every_workbook_validates() {
+    let registry = MethodRegistry::builtin();
+    for ecu in ECUS {
+        let suite = load_suite(ecu);
+        let issues = suite.validate(&registry);
+        assert!(issues.is_empty(), "{ecu}: {issues:?}");
+        assert!(!suite.tests.is_empty(), "{ecu} has tests");
+    }
+}
+
+#[test]
+fn all_ecus_pass_on_supplier_stand() {
+    let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    for ecu in ECUS {
+        let suite = load_suite(ecu);
+        let result = run_suite(
+            &suite,
+            &stand,
+            || comptest::device_for_stand(ecu, &stand).unwrap(),
+            &ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{ecu} must plan on stand B: {e}"));
+        let (passed, failed, errored) = result.counts();
+        assert_eq!(
+            (failed, errored),
+            (0, 0),
+            "{ecu}: {}",
+            comptest::report::suite_text(&result)
+        );
+        assert_eq!(passed, suite.tests.len());
+    }
+}
+
+#[test]
+fn campaign_matrix_shape() {
+    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let suites: Vec<TestSuite> = ECUS.iter().map(|e| load_suite(e)).collect();
+    let mut entries: Vec<CampaignEntry> = suites
+        .iter()
+        .zip(ECUS)
+        .map(|(suite, ecu)| CampaignEntry {
+            suite,
+            device_factory: Box::new(move || {
+                // The campaign runs each suite on several stands; build for
+                // 12 V — both stands' bounds tolerate either rail because
+                // the limits scale with the stand's own ubatt and the
+                // lamp's drive level is relative.
+                comptest::dut::ecus::device_by_name(ecu, Default::default()).unwrap()
+            }),
+        })
+        .collect();
+    let result =
+        run_campaign(&mut entries, &[&stand_a, &stand_b], &ExecOptions::default()).unwrap();
+    assert_eq!(result.cells.len(), 10);
+    // Stand B runs everything.
+    let on_b: Vec<_> = result
+        .cells
+        .iter()
+        .filter(|c| c.stand == "SUPPLIER-B")
+        .collect();
+    assert!(on_b.iter().all(|c| c.outcome.is_ok()), "{result}");
+    // Stand A runs only the interior light (the paper's own wiring).
+    let on_a: Vec<_> = result.cells.iter().filter(|c| c.stand == "HIL-A").collect();
+    let runnable_on_a = on_a.iter().filter(|c| c.outcome.is_ok()).count();
+    assert_eq!(runnable_on_a, 1, "{result}");
+    assert!(!result.all_green());
+    let (_, _, _, not_runnable) = result.totals();
+    assert_eq!(not_runnable, 4);
+}
+
+#[test]
+fn requirement_coverage_across_the_library() {
+    use comptest::core::coverage::RequirementCoverage;
+    let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    for ecu in ECUS {
+        let suite = load_suite(ecu);
+        let results = run_suite(
+            &suite,
+            &stand,
+            || comptest::device_for_stand(ecu, &stand).unwrap(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let cov = RequirementCoverage::from_suite(&suite).with_results(&results);
+        assert!(
+            cov.requirement_count() >= 3,
+            "{ecu} should tag at least 3 requirements"
+        );
+        assert_eq!(
+            cov.verified().len(),
+            cov.requirement_count(),
+            "{ecu}: all requirements verified\n{cov}"
+        );
+    }
+}

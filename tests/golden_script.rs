@@ -1,0 +1,49 @@
+//! Golden-file regression anchor: the generated XML for the paper's test is
+//! a frozen exchange artifact. Any byte change to codegen or the XML writer
+//! is a compatibility event for every stand interpreter in the field and
+//! must be made deliberately (regenerate with
+//! `cargo run --bin comptest -- gen assets/interior_light.cts interior_illumination assets/golden/interior_illumination.xml`).
+
+use comptest::prelude::*;
+
+#[test]
+fn generated_script_matches_golden_file() {
+    let suite = Workbook::load(comptest::asset("interior_light.cts"))
+        .unwrap()
+        .suite;
+    let generated = generate(&suite, "interior_illumination").unwrap().to_xml();
+    let golden = std::fs::read_to_string(comptest::asset("golden/interior_illumination.xml"))
+        .expect("golden file exists");
+    assert_eq!(
+        generated, golden,
+        "codegen output changed; see this test's header for how to re-bless"
+    );
+}
+
+#[test]
+fn golden_file_itself_plans_and_runs_everywhere() {
+    // The frozen artifact — not a freshly generated script — must stay
+    // executable: that is what "portable exchange format" means.
+    let xml = std::fs::read_to_string(comptest::asset("golden/interior_illumination.xml")).unwrap();
+    let script = TestScript::parse_xml(&xml).unwrap();
+    for stand_file in ["stand_a.stand", "stand_b.stand"] {
+        let stand = TestStand::load(comptest::asset(stand_file)).unwrap();
+        let plan = plan(&script, &stand)
+            .unwrap_or_else(|e| panic!("golden script must plan on {stand_file}: {e}"));
+        let mut dut = comptest::device_for_stand("interior_light", &stand).unwrap();
+        let result = comptest::core::execute(&plan, &mut dut, &ExecOptions::default());
+        assert!(result.passed(), "on {stand_file}: {result}");
+    }
+}
+
+#[test]
+fn golden_file_lints_clean() {
+    let xml = std::fs::read_to_string(comptest::asset("golden/interior_illumination.xml")).unwrap();
+    let script = TestScript::parse_xml(&xml).unwrap();
+    let findings = comptest::script::lint(&script);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(
+        comptest::script::required_variables(&script),
+        vec!["ubatt".to_string()]
+    );
+}

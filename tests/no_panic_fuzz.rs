@@ -1,0 +1,62 @@
+//! Fuzz-style robustness: the three text parsers must never panic, whatever
+//! bytes arrive — they either produce a value or a diagnostic. Inputs are
+//! random strings plus mutated versions of the valid bundled artifacts
+//! (mutations keep the input "almost right", where panics usually hide).
+
+use comptest::prelude::*;
+use proptest::prelude::*;
+
+fn mutate(base: &str, position: usize, replacement: &str) -> String {
+    let mut chars: Vec<char> = base.chars().collect();
+    let pos = position % chars.len().max(1);
+    let rep: Vec<char> = replacement.chars().collect();
+    chars.splice(pos..(pos + rep.len().min(chars.len() - pos)), rep);
+    chars.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn workbook_parser_never_panics(input in ".{0,300}") {
+        let _ = Workbook::parse_str("fuzz.cts", &input);
+    }
+
+    #[test]
+    fn stand_parser_never_panics(input in ".{0,300}") {
+        let _ = TestStand::parse_str("fuzz.stand", &input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,300}") {
+        let _ = TestScript::parse_xml(&input);
+        let _ = comptest::script::xml::parse(&input);
+    }
+
+    #[test]
+    fn mutated_workbook_never_panics(position in 0usize..4096, junk in "[\\x00-\\xff]{1,8}") {
+        let base = std::fs::read_to_string(comptest::asset("interior_light.cts")).unwrap();
+        let mutated = mutate(&base, position, &junk);
+        let _ = Workbook::parse_str("mut.cts", &mutated);
+    }
+
+    #[test]
+    fn mutated_stand_never_panics(position in 0usize..2048, junk in "[\\x00-\\xff]{1,8}") {
+        let base = std::fs::read_to_string(comptest::asset("stand_b.stand")).unwrap();
+        let mutated = mutate(&base, position, &junk);
+        let _ = TestStand::parse_str("mut.stand", &mutated);
+    }
+
+    #[test]
+    fn mutated_script_never_panics(position in 0usize..8192, junk in "[\\x00-\\xff]{1,8}") {
+        let suite = Workbook::load(comptest::asset("interior_light.cts")).unwrap().suite;
+        let base = generate(&suite, "interior_illumination").unwrap().to_xml();
+        let mutated = mutate(&base, position, &junk);
+        let _ = TestScript::parse_xml(&mutated);
+    }
+
+    #[test]
+    fn expression_parser_never_panics(input in ".{0,64}") {
+        let _ = comptest::model::Expr::parse(&input);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end reproduction of the paper's running example (experiments
+//! E1/T1, E2/T2, E5/F1): the interior-illumination workbook, compiled to an
+//! XML script, planned on the paper's stand A, executed against the
+//! simulated interior-light ECU.
+
+use comptest::prelude::*;
+use comptest_model::SimTime;
+use comptest_stand::{Action, PARK_RESOURCE};
+
+fn workbook() -> comptest_sheets::ParsedWorkbook {
+    Workbook::load(comptest::asset("interior_light.cts")).expect("workbook parses")
+}
+
+fn stand_a() -> TestStand {
+    TestStand::load(comptest::asset("stand_a.stand")).expect("stand parses")
+}
+
+#[test]
+fn workbook_is_valid_and_warning_free() {
+    let wb = workbook();
+    assert!(wb.warnings.is_empty(), "{:?}", wb.warnings);
+    let issues = wb.suite.validate(&MethodRegistry::builtin());
+    assert!(issues.is_empty(), "{issues:?}");
+    assert_eq!(wb.suite.tests.len(), 3);
+    let t1 = wb.suite.test("interior_illumination").unwrap();
+    assert_eq!(t1.steps.len(), 10, "all ten paper steps");
+    assert_eq!(t1.duration(), SimTime::from_secs(309));
+}
+
+#[test]
+fn paper_test_passes_on_stand_a() {
+    let wb = workbook();
+    let stand = stand_a();
+    let mut dut = comptest::device_for_stand("interior_light", &stand).unwrap();
+    let result = run_test(
+        &wb.suite,
+        "interior_illumination",
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )
+    .expect("plans on stand A");
+    assert!(result.passed(), "{result}\n{}", result.trace);
+    // Every row with an INT_ILL cell produced exactly one check.
+    assert_eq!(result.check_count(), 10);
+    // The long rows land where the paper says: step 7 ends at 283.5 s.
+    assert_eq!(result.steps[7].t_end, SimTime::from_millis(283_500));
+    assert_eq!(result.steps[8].t_end, SimTime::from_millis(308_500));
+}
+
+#[test]
+fn whole_suite_passes_on_both_stands() {
+    let wb = workbook();
+    for stand_file in ["stand_a.stand", "stand_b.stand"] {
+        let stand = TestStand::load(comptest::asset(stand_file)).unwrap();
+        let result = run_suite(
+            &wb.suite,
+            &stand,
+            || comptest::device_for_stand("interior_light", &stand).unwrap(),
+            &ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("suite must plan on {stand_file}: {e}"));
+        assert_eq!(
+            result.counts(),
+            (3, 0, 0),
+            "on {stand_file}: {}",
+            comptest_report::suite_text(&result)
+        );
+    }
+}
+
+#[test]
+fn generated_xml_matches_the_papers_listing() {
+    // E6/L1: the signal statement for checking Ho on int_ill must carry the
+    // exact expression attributes printed in the paper.
+    let wb = workbook();
+    let script = generate(&wb.suite, "interior_illumination").unwrap();
+    let xml = script.to_xml();
+    assert!(
+        xml.contains(r#"<signal name="int_ill">"#),
+        "missing signal statement:\n{xml}"
+    );
+    assert!(
+        xml.contains(r#"<get_u u_max="(1.1*ubatt)" u_min="(0.7*ubatt)"/>"#),
+        "missing paper-exact method statement:\n{xml}"
+    );
+    // And the script round-trips.
+    let back = TestScript::parse_xml(&xml).unwrap();
+    assert_eq!(back, script);
+}
+
+#[test]
+fn init_parks_all_doors_and_uses_can_for_ignition() {
+    // The signal sheet inits all four doors `Closed` although stand A has
+    // only two decades: closed doors are realised by leaving pins open.
+    let wb = workbook();
+    let script = generate(&wb.suite, "interior_illumination").unwrap();
+    let stand = stand_a();
+    let plan = plan(&script, &stand).unwrap();
+    let parked = plan
+        .init
+        .iter()
+        .filter(|a| matches!(a, Action::Apply { resource, .. } if *resource == PARK_RESOURCE))
+        .count();
+    assert_eq!(parked, 4, "all four door switches park");
+    let can_inits = plan
+        .init
+        .iter()
+        .filter(|a| matches!(a, Action::Apply { resource, .. } if *resource == "Can1"))
+        .count();
+    assert_eq!(can_inits, 2, "IGN_ST and NIGHT ride the CAN interface");
+}
+
+#[test]
+fn step_timing_matches_the_timeout_semantics() {
+    // Move the door-opening earlier/later and the verdict flips: this pins
+    // the 300 s timer to the *rising edge* of "any door open".
+    let wb = workbook();
+    let stand = stand_a();
+    let mut suite = wb.suite.clone();
+    // Stretch step 7 from 280 s to 301 s: its check moves to t = 304.5 s,
+    // 301.5 s after the step-6 opening at t = 3.0 s -> beyond the 300 s
+    // window -> Ho must fail. (At 280 s the elapsed time is 280.5 s and it
+    // passes; the margin pins the timer to the rising edge.)
+    let t1 = suite
+        .tests
+        .iter_mut()
+        .find(|t| t.name == "interior_illumination")
+        .unwrap();
+    t1.steps[7].dt = SimTime::from_secs(301);
+    let mut dut = comptest::device_for_stand("interior_light", &stand).unwrap();
+    let result = run_test(
+        &suite,
+        "interior_illumination",
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.verdict(), Verdict::Fail);
+    let failures = result.failures();
+    assert_eq!(
+        failures[0].step, 7,
+        "the stretched Ho row is the one that fails"
+    );
+}
+
+#[test]
+fn tampered_timeout_is_caught_by_the_paper_suite() {
+    // A DUT with a mis-calibrated 300 s timer fails exactly the rows the
+    // paper added to catch it (steps 7/8).
+    use comptest::dut::ecus::interior_light::{self, InteriorLight};
+    let wb = workbook();
+    let stand = stand_a();
+    let mut dut = interior_light::device_with(
+        comptest::dut::ElectricalConfig::default(),
+        Box::new(InteriorLight::with_timeout(SimTime::from_secs(250))),
+    );
+    let result = run_test(
+        &wb.suite,
+        "interior_illumination",
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.verdict(), Verdict::Fail);
+    let steps: Vec<u32> = result.failures().iter().map(|c| c.step).collect();
+    assert_eq!(steps, vec![7], "250 s timer: lamp already off at 283.5 s");
+
+    let mut dut = interior_light::device_with(
+        comptest::dut::ElectricalConfig::default(),
+        Box::new(InteriorLight::with_timeout(SimTime::from_secs(400))),
+    );
+    let result = run_test(
+        &wb.suite,
+        "interior_illumination",
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    let steps: Vec<u32> = result.failures().iter().map(|c| c.step).collect();
+    assert_eq!(steps, vec![8], "400 s timer: lamp still on at 308.5 s");
+}

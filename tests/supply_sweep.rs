@@ -1,0 +1,120 @@
+//! Supply-voltage robustness: the same scripts must judge correctly at any
+//! rail the stand declares, because every limit scales with `UBATT` — the
+//! exact purpose of the paper's `var (x)` status column.
+
+use comptest::prelude::*;
+use comptest_core::exec::ExecOptions;
+
+fn suite() -> TestSuite {
+    Workbook::load(comptest::asset("interior_light.cts"))
+        .unwrap()
+        .suite
+}
+
+#[test]
+fn suite_passes_across_the_automotive_voltage_range() {
+    let suite = suite();
+    // 10.8 V (weak battery) … 14.4 V (charging).
+    for ubatt in [10.8, 12.0, 13.8, 14.4] {
+        let mut stand = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+        stand.env_mut().set("ubatt", ubatt);
+        let result = run_suite(
+            &suite,
+            &stand,
+            || comptest::device_for_stand("interior_light", &stand).unwrap(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            result.counts(),
+            (3, 0, 0),
+            "at ubatt = {ubatt}: {}",
+            comptest::report::suite_text(&result)
+        );
+    }
+}
+
+#[test]
+fn supply_mismatch_is_detected() {
+    // A DUT fed from a sagging 9 V rail measured against a stand that
+    // believes in 14.4 V: the lamp's 9 V "on" level is below 0.7 × 14.4 V,
+    // so the Ho checks correctly fail — the bound scaling is load-bearing.
+    let suite = suite();
+    let mut stand = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    stand.env_mut().set("ubatt", 14.4);
+
+    let cfg = comptest::dut::ElectricalConfig {
+        ubatt: 9.0,
+        ..Default::default()
+    };
+    let mut dut = comptest::dut::ecus::interior_light::device(cfg);
+    let result = run_test(
+        &suite,
+        "interior_illumination",
+        &stand,
+        &mut dut,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.verdict(), Verdict::Fail);
+    // Every failing check is an Ho expectation (the Lo ones still hold).
+    for check in result.failures() {
+        match check.bound {
+            comptest::model::StatusBound::Numeric { lo, .. } => {
+                assert!(lo > 9.0, "only the scaled Ho lower bounds fail: {check}");
+            }
+            _ => panic!("unexpected bound {check}"),
+        }
+    }
+}
+
+#[test]
+fn stop_on_failure_aborts_early() {
+    // With a dead lamp, the 309 s test fails at step 4 already; the abort
+    // option saves the remaining 306.5 simulated seconds.
+    use comptest::dut::ecus::interior_light::{self, InteriorLight};
+    use comptest::dut::{FaultKind, FaultyBehavior, PortValue};
+    let suite = suite();
+    let stand = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    let make_dut = || {
+        interior_light::device_with(
+            Default::default(),
+            Box::new(FaultyBehavior::new(
+                Box::new(InteriorLight::new()),
+                vec![FaultKind::StuckOutput {
+                    port: "lamp",
+                    value: PortValue::Bool(false),
+                }],
+            )),
+        )
+    };
+
+    let full = run_test(
+        &suite,
+        "interior_illumination",
+        &stand,
+        &mut make_dut(),
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(full.steps.len(), 10, "default mode runs everything");
+
+    let aborted = run_test(
+        &suite,
+        "interior_illumination",
+        &stand,
+        &mut make_dut(),
+        &ExecOptions {
+            stop_on_failure: true,
+            ..ExecOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(aborted.verdict(), Verdict::Fail);
+    assert_eq!(
+        aborted.steps.len(),
+        5,
+        "stops right after the first Ho failure"
+    );
+    assert_eq!(aborted.steps.last().unwrap().nr, 4);
+}
