@@ -1,0 +1,48 @@
+# Central-locking controller: edge-triggered CAN lock/unlock commands, the
+# crash line, comfort auto-relock after 60 s, and the status report frame.
+[suite]
+name = central_lock
+description = central locking controller
+
+[signals]
+name,       kind,              direction, init,     description
+LOCK_CMD,   can:0x2F0:0:1,     input,     0,        lock command bit
+UNLOCK_CMD, can:0x2F0:1:1,     input,     0,        unlock command bit
+CRASH,      pin:CRASH_SW,      input,     Released, crash sensor line (active low)
+ACT,        pin:LOCK_F/LOCK_R, output,    ,         lock actuator
+LOCKED,     can:0x2F8:0:1,     output,    ,         status report bit
+
+[status]
+status,   method,  attribut, var,   nom, min,  max
+0,        put_can, data,     ,      0B,  ,
+1,        put_can, data,     ,      1B,  ,
+Pressed,  put_r,   r,        ,      0,   0,    2
+Released, put_r,   r,        ,      INF, 5000, INF
+Lo,       get_u,   u,        UBATT, 0,   0,    0.3
+Ho,       get_u,   u,        UBATT, 1,   0.7,  1.1
+L0,       get_can, data,     ,      0B,  ,
+L1,       get_can, data,     ,      1B,  ,
+
+[test lock_unlock]
+step, dt,  LOCK_CMD, UNLOCK_CMD, ACT, LOCKED, remarks
+0,    0.5, 1,        ,           Ho,  L1,     REQ-CL-001 lock command locks
+1,    0.5, 0,        ,           Ho,  L1,     REQ-CL-001 commands are edge-triggered
+2,    0.5, ,         1,          Lo,  L0,     REQ-CL-001 unlock command unlocks
+3,    0.5, ,         0,          Lo,  L0,     REQ-CL-001 stays unlocked
+
+[test crash_unlock]
+step, dt,  LOCK_CMD, CRASH,    ACT, remarks
+0,    0.5, 1,        ,         Ho,  REQ-CL-002 locked
+1,    0.5, ,         Pressed,  Lo,  REQ-CL-002 crash unlocks at once
+2,    0.5, 0,        ,         Lo,  REQ-CL-002 command bit cleared
+3,    0.5, 1,        ,         Lo,  REQ-CL-002 locking inhibited in a crash
+4,    0.5, ,         Released, Lo,  REQ-CL-002 still unlocked after the crash
+
+# The comfort auto-relock legitimately transitions mid-step (t = 60.5 s),
+# which is why continuous-sampling experiments exclude this test.
+[test auto_relock]
+step, dt,  LOCK_CMD, UNLOCK_CMD, ACT, LOCKED, remarks
+0,    0.5, 1,        ,           Ho,  ,       REQ-CL-003 locked
+1,    0.5, 0,        1,          Lo,  ,       REQ-CL-003 unlocked; 60s relock armed
+2,    59,  ,         0,          Lo,  ,       REQ-CL-003 still unlocked before 60s
+3,    1.5, ,         ,           Ho,  L1,     REQ-CL-003 auto-relocked after 60s

@@ -1,0 +1,44 @@
+# Turn-signal flasher: 1.5 Hz flashing, hazard mode, and the classic
+# lamp-outage behaviour (a burnt-out bulb doubles the frequency). The
+# frequency statuses exercise get_f end to end.
+[suite]
+name = flasher
+description = turn signal flasher with outage detection
+
+[signals]
+name,   kind,                  direction, init,     description
+STALK,  can:0x260:0:2,         input,     F_Off,    stalk position
+OUTAGE, pin:OUTAGE_SW,         input,     Released, lamp-outage monitor (active low)
+LAMP_L, pin:LAMP_L_F/LAMP_L_R, output,    ,         left indicator lamps
+LAMP_R, pin:LAMP_R_F/LAMP_R_R, output,    ,         right indicator lamps
+
+[status]
+status,   method,  attribut, var,   nom, min,  max
+F_Off,    put_can, data,     ,      00B, ,
+F_Left,   put_can, data,     ,      01B, ,
+F_Right,  put_can, data,     ,      10B, ,
+F_Haz,    put_can, data,     ,      11B, ,
+Pressed,  put_r,   r,        ,      0,   0,    2
+Released, put_r,   r,        ,      INF, 5000, INF
+Lo,       get_u,   u,        UBATT, 0,   0,    0.3
+Ho,       get_u,   u,        UBATT, 1,   0.7,  1.1
+F1_5,     get_f,   f,        ,      1.5, 1.2,  1.8
+F3_0,     get_f,   f,        ,      3,   2.6,  3.4
+F_Dark,   get_f,   f,        ,      0,   0,    0.2
+
+[test left_indicator]
+step, dt,  STALK,  LAMP_L, LAMP_R, remarks
+0,    0.5, F_Off,  Lo,     Lo,     REQ-FL-001 dark at rest
+1,    4,   F_Left, F1_5,   F_Dark, REQ-FL-001 left flashes near 1.5 Hz
+2,    0.5, F_Off,  Lo,     Lo,     REQ-FL-001 dark again
+
+[test hazard]
+step, dt,  STALK, LAMP_L, LAMP_R, remarks
+0,    4,   F_Haz, F1_5,   F1_5,   REQ-FL-002 both sides flash together
+1,    0.5, F_Off, Lo,     Lo,     REQ-FL-002 off
+
+[test lamp_outage]
+step, dt,  OUTAGE,   STALK,   LAMP_R, LAMP_L, remarks
+0,    0.5, Pressed,  ,        Lo,     Lo,     REQ-FL-003 outage alone stays dark
+1,    4,   ,         F_Right, F3_0,   F_Dark, REQ-FL-003 outage doubles the frequency
+2,    0.5, Released, F_Off,   Lo,     Lo,     REQ-FL-003 off

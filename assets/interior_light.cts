@@ -1,0 +1,63 @@
+# The paper's running example: the interior-illumination controller.
+# Section 3's three sheets — signals, statuses, and the ten-step test
+# definition sheet — plus two regression tests encoding the door-or and
+# night-gating requirements.
+[suite]
+name = interior_light
+description = interior illumination controller (paper Section 3)
+
+[signals]
+name,    kind,                     direction, init,   description
+IGN_ST,  can:0x130:0:4,            input,     Off,    ignition status
+DS_FL,   pin:DS_FL,                input,     Closed, door switch front left
+DS_FR,   pin:DS_FR,                input,     Closed, door switch front right
+DS_RL,   pin:DS_RL,                input,     Closed, door switch rear left
+DS_RR,   pin:DS_RR,                input,     Closed, door switch rear right
+NIGHT,   can:0x2A0:0:1,            input,     0,      light sensor night bit
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,    ,       interior illumination
+
+[status]
+status, method,  attribut, var,   nom,   min,  max
+Off,    put_can, data,     ,      0001B, ,
+Open,   put_r,   r,        ,      0,     0,    2
+Closed, put_r,   r,        ,      INF,   5000, INF
+0,      put_can, data,     ,      0B,    ,
+1,      put_can, data,     ,      1B,    ,
+Lo,     get_u,   u,        UBATT, 0,     0,    0.3
+Ho,     get_u,   u,        UBATT, 1,     0.7,  1.1
+
+# The paper's test table, verbatim: steps 7/8 bracket the 300 s timeout
+# between 280.5 s (still lit) and 305.5 s (out).
+[test interior_illumination]
+step, dt,  IGN_ST, DS_FL,  DS_FR,  NIGHT, INT_ILL, remarks
+0,    0.5, Off,    Closed, Closed, 0,     Lo,      REQ-IL-001 day: no interior
+1,    0.5, ,       Open,   ,       ,      Lo,      "illumination, if"
+2,    0.5, ,       Closed, Open,   ,      Lo,      doors are open
+3,    0.5, ,       ,       Closed, ,      Lo,
+4,    0.5, ,       Open,   ,       1,     Ho,      REQ-IL-002 night: interior
+5,    0.5, ,       Closed, ,       ,      Lo,      "illumination on,"
+6,    0.5, ,       ,       Open,   ,      Ho,      if doors are open
+7,    280, ,       ,       ,       ,      Ho,      REQ-IL-003 still lit at 283.5s
+8,    25,  ,       ,       ,       ,      Lo,      REQ-IL-003 illumination
+9,    0.5, ,       ,       Closed, ,      Lo,      off after 300s
+
+# Any single door lights the lamp at night (the door-OR).
+[test each_door_lights_the_lamp]
+step, dt,  DS_FL,  DS_FR,  DS_RL,  DS_RR,  NIGHT, INT_ILL, remarks
+0,    0.5, ,       ,       ,       ,       1,     Lo,      REQ-IL-002 all doors closed
+1,    0.5, Open,   ,       ,       ,       ,      Ho,      REQ-IL-002 front left
+2,    0.5, Closed, ,       ,       ,       ,      Lo,
+3,    0.5, ,       Open,   ,       ,       ,      Ho,      REQ-IL-002 front right
+4,    0.5, ,       Closed, ,       ,       ,      Lo,
+5,    0.5, ,       ,       Open,   ,       ,      Ho,      REQ-IL-002 rear left
+6,    0.5, ,       ,       Closed, ,       ,      Lo,
+7,    0.5, ,       ,       ,       Open,   ,      Ho,      REQ-IL-002 rear right
+8,    0.5, ,       ,       ,       Closed, ,      Lo,
+
+# The night bit gates the lamp while a door stays open.
+[test day_stays_dark]
+step, dt,  DS_FL,  NIGHT, INT_ILL, remarks
+0,    0.5, Open,   0,     Lo,      REQ-IL-001 open door by day stays dark
+1,    0.5, ,       1,     Ho,      REQ-IL-002 night falls: lamp on
+2,    0.5, ,       0,     Lo,      REQ-IL-001 day again: lamp off
+3,    0.5, Closed, ,      Lo,      closed and dark

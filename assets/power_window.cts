@@ -1,0 +1,42 @@
+# Power-window controller: dead-man buttons, terminal stops, anti-pinch
+# reversal, and the position report on CAN 0x350.
+[suite]
+name = power_window
+description = power window controller with anti-pinch
+
+[signals]
+name,     kind,                direction, init,     description
+BTN_UP,   pin:BTN_UP,          input,     Released, close button (active low)
+BTN_DOWN, pin:BTN_DOWN,        input,     Released, open button (active low)
+PINCH,    pin:PINCH_SW,        input,     Released, anti-pinch sensor
+MOT_UP,   pin:MOT_UP_F/MOT_R,  output,    ,         close motor
+MOT_DN,   pin:MOT_DN_F/MOT_R,  output,    ,         open motor
+POS,      can:0x350:0:7,       output,    ,         window position 0..100
+
+[status]
+status,   method,  attribut, var,   nom,      min,  max
+Pressed,  put_r,   r,        ,      0,        0,    2
+Released, put_r,   r,        ,      INF,      5000, INF
+Lo,       get_u,   u,        UBATT, 0,        0,    0.3
+Ho,       get_u,   u,        UBATT, 1,        0.7,  1.1
+P_Top,    get_can, data,     ,      1100100B, ,
+P_Bot,    get_can, data,     ,      0000000B, ,
+
+[test close_fully]
+step, dt,  BTN_UP,   MOT_UP, MOT_DN, POS,   remarks
+0,    0.5, Pressed,  Ho,     Lo,     ,      REQ-PW-001 closing
+1,    2.0, ,         Lo,     Lo,     P_Top, REQ-PW-001 stops at the top
+2,    0.5, Released, Lo,     Lo,     ,      REQ-PW-001 idle after release
+
+[test open_dead_man]
+step, dt,  BTN_DOWN, MOT_DN, POS,   remarks
+0,    0.5, Pressed,  Ho,     ,      REQ-PW-002 opening
+1,    0.5, Released, Lo,     ,      REQ-PW-002 dead-man stop on release
+2,    3.0, Pressed,  Lo,     P_Bot, REQ-PW-002 reaches the bottom and stops
+
+[test anti_pinch]
+step, dt,  BTN_UP,   PINCH,    MOT_UP, MOT_DN, remarks
+0,    0.5, Pressed,  ,         Ho,     Lo,     REQ-PW-003 closing
+1,    0.3, ,         Pressed,  Lo,     Ho,     REQ-PW-003 obstacle reverses
+2,    0.7, ,         ,         Lo,     Lo,     REQ-PW-003 pinch latches the stop
+3,    0.5, Released, Released, Lo,     Lo,     REQ-PW-003 everything released

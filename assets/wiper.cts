@@ -1,0 +1,43 @@
+# Windscreen-wiper controller: stalk modes over CAN, intermittent cycling
+# (1 s wipe / 3 s pause) and wash-wipe with a 2 s follow-up.
+[suite]
+name = wiper
+description = windscreen wiper controller
+
+[signals]
+name,  kind,                direction, init,     description
+STALK, can:0x240:0:2,       input,     S_Off,    stalk position
+WASH,  pin:WASH_SW,         input,     Released, wash button (active low)
+MOTOR, pin:MOTOR_F/MOTOR_R, output,    ,         wiper motor
+FAST,  pin:FAST_F,          output,    ,         fast-speed relay
+
+[status]
+status,   method,  attribut, var,   nom, min,  max
+S_Off,    put_can, data,     ,      00B, ,
+S_Int,    put_can, data,     ,      01B, ,
+S_Slow,   put_can, data,     ,      10B, ,
+S_Fast,   put_can, data,     ,      11B, ,
+Pressed,  put_r,   r,        ,      0,   0,    2
+Released, put_r,   r,        ,      INF, 5000, INF
+Lo,       get_u,   u,        UBATT, 0,   0,    0.3
+Ho,       get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test stalk_modes]
+step, dt,  STALK,  MOTOR, FAST, remarks
+0,    0.5, S_Off,  Lo,    Lo,   REQ-WP-001 motor off at rest
+1,    0.5, S_Slow, Ho,    Lo,   REQ-WP-001 slow wipe
+2,    0.5, S_Fast, Ho,    Ho,   REQ-WP-001 fast wipe
+3,    0.5, S_Off,  Lo,    Lo,   REQ-WP-001 back to rest
+
+[test intermittent_cycle]
+step, dt,  STALK, MOTOR, remarks
+0,    0.5, S_Int, Ho,    REQ-WP-002 first wipe starts at once
+1,    1.5, ,      Lo,    REQ-WP-002 pause phase
+2,    2.5, ,      Ho,    REQ-WP-002 next wipe after 3s pause
+3,    1.5, ,      Lo,    REQ-WP-002 pausing again
+
+[test wash_wipe]
+step, dt,  WASH,     MOTOR, remarks
+0,    0.5, Pressed,  Ho,    REQ-WP-003 washing wipes
+1,    0.5, Released, Ho,    REQ-WP-003 follow-up wipe after release
+2,    2.0, ,         Lo,    REQ-WP-003 follow-up over after 2s

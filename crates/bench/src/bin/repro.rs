@@ -285,7 +285,7 @@ fn exp_s5() {
     let stand_b = load_stand("stand_b.stand");
     let suites: Vec<TestSuite> = ECUS.iter().map(|e| load_suite(e)).collect();
 
-    let mut entries: Vec<CampaignEntry> = suites
+    let entries: Vec<CampaignEntry> = suites
         .iter()
         .zip(ECUS)
         .map(|(suite, ecu)| CampaignEntry {
@@ -295,7 +295,7 @@ fn exp_s5() {
             }),
         })
         .collect();
-    let campaign = run_campaign(&mut entries, &[&stand_a, &stand_b], &ExecOptions::default())
+    let campaign = run_campaign(&entries, &[&stand_a, &stand_b], &ExecOptions::default())
         .expect("valid suites");
     println!("{campaign}");
 

@@ -13,13 +13,7 @@ use comptest::prelude::*;
 use comptest_model::SimTime;
 
 /// The bundled ECU names (suite files `assets/<name>.cts`).
-pub const ECUS: [&str; 5] = [
-    "interior_light",
-    "wiper",
-    "power_window",
-    "central_lock",
-    "flasher",
-];
+pub const ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
 
 /// Loads a bundled workbook's suite by ECU name.
 ///

@@ -4,6 +4,14 @@
 //! ECUs of the next S-class"; a campaign is that evaluation shape — every
 //! suite executed against its matching DUT on every stand, with a summary
 //! matrix.
+//!
+//! Campaign cells are independent of each other (a suite's verdict on one
+//! stand never feeds into another cell), which makes the matrix
+//! embarrassingly parallel. This module owns the *planning* half — the
+//! deterministic cell ordering ([`plan_cells`]), the per-cell runner
+//! ([`run_cell`]) and the serial driver ([`run_campaign`]) — while the
+//! `comptest-engine` crate adds the sharded worker pool that executes the
+//! same job list concurrently.
 
 use std::fmt;
 
@@ -16,12 +24,32 @@ use crate::exec::ExecOptions;
 use crate::pipeline::run_suite;
 use crate::verdict::{SuiteResult, Verdict};
 
-/// One campaign entry: a suite, the factory building its DUT, and a label.
+/// Builds a fresh DUT per test execution.
+///
+/// `Send + Sync` so campaign cells can execute on worker threads; the
+/// blanket impl keeps closure call sites terse
+/// (`Box::new(|| interior_light::device(Default::default()))`).
+pub trait DeviceFactory: Send + Sync {
+    /// Builds a fresh device (the paper's stands power-cycle the DUT
+    /// between runs, so state never leaks between tests).
+    fn build(&self) -> Device;
+}
+
+impl<F> DeviceFactory for F
+where
+    F: Fn() -> Device + Send + Sync,
+{
+    fn build(&self) -> Device {
+        self()
+    }
+}
+
+/// One campaign entry: a suite and the factory building its DUT.
 pub struct CampaignEntry<'a> {
     /// The test suite.
     pub suite: &'a TestSuite,
     /// Builds a fresh DUT for each test.
-    pub device_factory: Box<dyn FnMut() -> Device + 'a>,
+    pub device_factory: Box<dyn DeviceFactory + 'a>,
 }
 
 impl fmt::Debug for CampaignEntry<'_> {
@@ -44,31 +72,49 @@ pub struct CampaignCell {
 }
 
 impl CampaignCell {
-    /// A short status string for tables.
+    /// A short status string for tables. Planning failures surface the
+    /// first line of the error (truncated) so a matrix printout says *why*
+    /// a cell could not run, not just that it could not.
     pub fn status(&self) -> String {
         match &self.outcome {
             Ok(r) => {
                 let (p, f, e) = r.counts();
                 format!("{} ({p}P/{f}F/{e}E)", r.verdict())
             }
-            Err(_) => "NOT RUNNABLE".to_owned(),
+            Err(reason) => {
+                let first = reason.lines().next().unwrap_or("").trim();
+                if first.is_empty() {
+                    return "NOT RUNNABLE".to_owned();
+                }
+                const LIMIT: usize = 60;
+                let mut short: String = first.chars().take(LIMIT).collect();
+                if first.chars().count() > LIMIT {
+                    short.push('…');
+                }
+                format!("NOT RUNNABLE ({short})")
+            }
         }
+    }
+
+    /// True when the cell executed and every check passed.
+    pub fn passed(&self) -> bool {
+        matches!(&self.outcome, Ok(r) if r.verdict() == Verdict::Pass)
     }
 }
 
 /// The campaign result matrix.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct CampaignResult {
     /// All cells, suites major, stands minor.
     pub cells: Vec<CampaignCell>,
 }
 
 impl CampaignResult {
-    /// True if every runnable cell passed and every cell was runnable.
+    /// True if the matrix is non-empty, every cell was runnable and every
+    /// runnable cell passed. An empty matrix is *not* green: a campaign
+    /// that ran nothing has verified nothing.
     pub fn all_green(&self) -> bool {
-        self.cells
-            .iter()
-            .all(|c| matches!(&c.outcome, Ok(r) if r.verdict() == Verdict::Pass))
+        !self.cells.is_empty() && self.cells.iter().all(CampaignCell::passed)
     }
 
     /// Total `(passed, failed, errored, not_runnable)` across the matrix.
@@ -104,36 +150,96 @@ impl fmt::Display for CampaignResult {
     }
 }
 
-/// Runs every entry's suite on every stand.
+/// One schedulable unit of a campaign: a (suite, stand) pair together with
+/// its position in the deterministic result matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellJob {
+    /// Index into the result matrix (entry-major, stand-minor).
+    pub cell: usize,
+    /// Index of the [`CampaignEntry`].
+    pub entry: usize,
+    /// Index into the stand list.
+    pub stand: usize,
+}
+
+/// Shards the suite × stand matrix into independent jobs in the canonical
+/// cell order (entries major, stands minor). Both the serial driver and the
+/// parallel engine schedule from this list, so results merge back into the
+/// same [`CampaignResult`] ordering regardless of completion order.
+pub fn plan_cells(entries: usize, stands: usize) -> Vec<CellJob> {
+    let mut jobs = Vec::with_capacity(entries * stands);
+    for entry in 0..entries {
+        for stand in 0..stands {
+            jobs.push(CellJob {
+                cell: entry * stands + stand,
+                entry,
+                stand,
+            });
+        }
+    }
+    jobs
+}
+
+/// Surfaces codegen errors early: they are suite bugs no stand could ever
+/// run, so they abort the campaign rather than filling the matrix.
 ///
-/// Planning failures (a stand that cannot serve a suite) are recorded in
-/// the matrix, not raised — they are a result of the experiment.
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] for the first invalid suite.
+pub fn precheck_entries(entries: &[CampaignEntry<'_>]) -> Result<(), CoreError> {
+    for entry in entries {
+        comptest_script::generate_all(entry.suite)?;
+    }
+    Ok(())
+}
+
+/// Executes one campaign cell: the entry's full suite on one stand.
+///
+/// Planning failures (a stand that cannot serve the suite) are recorded in
+/// the cell, not raised — they are a result of the experiment.
+///
+/// # Errors
+///
+/// Propagates non-planning [`CoreError`]s (e.g. codegen failures that
+/// slipped past [`precheck_entries`]).
+pub fn run_cell(
+    entry: &CampaignEntry<'_>,
+    stand: &TestStand,
+    options: &ExecOptions,
+) -> Result<CampaignCell, CoreError> {
+    let outcome = match run_suite(entry.suite, stand, || entry.device_factory.build(), options) {
+        Ok(r) => Ok(r),
+        Err(CoreError::Stand(e)) => Err(e.to_string()),
+        Err(other) => return Err(other),
+    };
+    Ok(CampaignCell {
+        suite: entry.suite.name.clone(),
+        stand: stand.name().to_owned(),
+        outcome,
+    })
+}
+
+/// Runs every entry's suite on every stand, serially, in cell order — a
+/// thin wrapper over [`plan_cells`]/[`run_cell`]. For multi-worker
+/// execution with live progress events use
+/// `comptest_engine::run_campaign_parallel`, which produces a cell-for-cell
+/// identical matrix.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Codegen`] only for invalid suites, which no stand
 /// could ever run.
 pub fn run_campaign(
-    entries: &mut [CampaignEntry<'_>],
+    entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
     options: &ExecOptions,
 ) -> Result<CampaignResult, CoreError> {
+    precheck_entries(entries)?;
     let mut result = CampaignResult::default();
-    for entry in entries.iter_mut() {
-        // Surface codegen errors early: they are suite bugs.
-        comptest_script::generate_all(entry.suite)?;
-        for stand in stands {
-            let outcome = match run_suite(entry.suite, stand, &mut entry.device_factory, options) {
-                Ok(r) => Ok(r),
-                Err(CoreError::Stand(e)) => Err(e.to_string()),
-                Err(other) => return Err(other),
-            };
-            result.cells.push(CampaignCell {
-                suite: entry.suite.name.clone(),
-                stand: stand.name().to_owned(),
-                outcome,
-            });
-        }
+    for job in plan_cells(entries.len(), stands.len()) {
+        result
+            .cells
+            .push(run_cell(&entries[job.entry], stands[job.stand], options)?);
     }
     Ok(result)
 }
@@ -187,11 +293,11 @@ P1,    Dec1,     DS_FL
         let wb = Workbook::parse_str("wb.cts", WB).unwrap();
         let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
         let bare = TestStand::parse_str("bare.stand", BARE).unwrap();
-        let mut entries = vec![CampaignEntry {
+        let entries = vec![CampaignEntry {
             suite: &wb.suite,
             device_factory: Box::new(|| interior_light::device(Default::default())),
         }];
-        let result = run_campaign(&mut entries, &[&full, &bare], &ExecOptions::default()).unwrap();
+        let result = run_campaign(&entries, &[&full, &bare], &ExecOptions::default()).unwrap();
         assert_eq!(result.cells.len(), 2);
         assert!(matches!(&result.cells[0].outcome, Ok(r) if r.verdict() == Verdict::Pass));
         assert!(result.cells[1].outcome.is_err(), "bare stand can't run it");
@@ -199,7 +305,69 @@ P1,    Dec1,     DS_FL
         let (p, f, e, nr) = result.totals();
         assert_eq!((p, f, e, nr), (1, 0, 0, 1));
         assert!(result.cells[0].status().contains("PASS"));
-        assert_eq!(result.cells[1].status(), "NOT RUNNABLE");
+        assert!(result.cells[1].status().starts_with("NOT RUNNABLE ("));
         assert!(result.to_string().contains("lamp"));
+    }
+
+    #[test]
+    fn empty_matrix_is_not_green() {
+        let result = CampaignResult::default();
+        assert!(
+            !result.all_green(),
+            "a campaign that ran nothing proved nothing"
+        );
+    }
+
+    #[test]
+    fn status_surfaces_truncated_error_reason() {
+        let cell = CampaignCell {
+            suite: "s".into(),
+            stand: "x".into(),
+            outcome: Err(format!("{}\nsecond line", "e".repeat(100))),
+        };
+        let status = cell.status();
+        assert!(status.starts_with("NOT RUNNABLE (eee"));
+        assert!(status.ends_with("…)"), "{status}");
+        assert!(!status.contains("second line"));
+        // 60 chars + ellipsis, not the whole 100.
+        assert!(status.len() < 80, "{status}");
+
+        let empty = CampaignCell {
+            suite: "s".into(),
+            stand: "x".into(),
+            outcome: Err(String::new()),
+        };
+        assert_eq!(empty.status(), "NOT RUNNABLE");
+    }
+
+    #[test]
+    fn plan_cells_is_entry_major() {
+        let jobs = plan_cells(2, 3);
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(
+            jobs[0],
+            CellJob {
+                cell: 0,
+                entry: 0,
+                stand: 0
+            }
+        );
+        assert_eq!(
+            jobs[4],
+            CellJob {
+                cell: 4,
+                entry: 1,
+                stand: 1
+            }
+        );
+        let cells: Vec<usize> = jobs.iter().map(|j| j.cell).collect();
+        assert_eq!(cells, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn device_factory_blanket_impl_builds() {
+        let factory: Box<dyn DeviceFactory> =
+            Box::new(|| interior_light::device(Default::default()));
+        assert_eq!(factory.build().behavior_name(), "interior_light");
     }
 }

@@ -15,6 +15,17 @@ pub mod wiper;
 use crate::device::Device;
 use crate::elec::ElectricalConfig;
 
+/// The behaviour names of every ECU in the library, in catalog order —
+/// the single source of truth for "all bundled ECUs" (suite files are
+/// `assets/<name>.cts`, behaviours resolve via [`device_by_name`]).
+pub const NAMES: [&str; 5] = [
+    "interior_light",
+    "wiper",
+    "power_window",
+    "central_lock",
+    "flasher",
+];
+
 /// Instantiates every ECU in the library (used by campaign experiments).
 pub fn all_devices(cfg: ElectricalConfig) -> Vec<Device> {
     vec![
@@ -45,8 +56,9 @@ mod tests {
     #[test]
     fn catalog_is_complete() {
         let devices = all_devices(ElectricalConfig::default());
-        assert_eq!(devices.len(), 5);
-        for d in &devices {
+        assert_eq!(devices.len(), NAMES.len());
+        for (d, name) in devices.iter().zip(NAMES) {
+            assert_eq!(d.behavior_name(), name, "NAMES order matches catalog");
             assert!(device_by_name(d.behavior_name(), ElectricalConfig::default()).is_some());
         }
         assert!(device_by_name("toaster", ElectricalConfig::default()).is_none());

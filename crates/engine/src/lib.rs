@@ -1,0 +1,488 @@
+//! `comptest-engine` — parallel campaign execution.
+//!
+//! The campaign matrix (every suite × every stand × its DUT) is the paper's
+//! Section-5 evaluation shape, and its cells are independent: component
+//! verdicts compose without cross-talk, so the matrix is embarrassingly
+//! parallel. This crate turns `comptest-core`'s deterministic job plan
+//! ([`plan_cells`]) into wall-clock speedup:
+//!
+//! * the suite×stand matrix is sharded into [`CellJob`]s,
+//! * a scoped worker pool (`std::thread::scope`) drains one shared queue,
+//! * workers stream [`EngineEvent`]s over an `mpsc` channel for live
+//!   progress,
+//! * finished cells merge back **in deterministic cell order** regardless
+//!   of completion order, so an N-worker run is cell-for-cell identical to
+//!   the serial [`run_campaign`](comptest_core::campaign::run_campaign).
+//!
+//! # Example
+//!
+//! ```
+//! use comptest_core::campaign::CampaignEntry;
+//! use comptest_core::ExecOptions;
+//! use comptest_engine::{run_campaign_parallel, EngineOptions};
+//! use comptest_sheets::Workbook;
+//! use comptest_stand::TestStand;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wb = Workbook::parse_str("wb.cts", "\
+//! [signals]
+//! name,    kind,                     direction, init
+//! DS_FL,   pin:DS_FL,                input,     Closed
+//! NIGHT,   can:0x2A0:0:1,            input,     0
+//! INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+//!
+//! [status]
+//! status, method,  attribut, var,   nom, min,  max
+//! Open,   put_r,   r,        ,      0,   0,    2
+//! Closed, put_r,   r,        ,      INF, 5000, INF
+//! 0,      put_can, data,     ,      0B,  ,
+//! 1,      put_can, data,     ,      1B,  ,
+//! Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+//! Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+//!
+//! [test night_on]
+//! step, dt,  DS_FL, NIGHT, INT_ILL
+//! 0,    0.5, Open,  1,     Ho
+//! ")?;
+//! let stand = TestStand::parse_str("a.stand", comptest_core::PAPER_STAND_A)?;
+//! let entries = vec![CampaignEntry {
+//!     suite: &wb.suite,
+//!     device_factory: Box::new(|| {
+//!         comptest_dut::ecus::interior_light::device(Default::default())
+//!     }),
+//! }];
+//! let result = run_campaign_parallel(
+//!     &entries,
+//!     &[&stand],
+//!     &EngineOptions::with_workers(4),
+//!     &ExecOptions::default(),
+//!     None,
+//! )?;
+//! assert!(result.all_green());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use comptest_core::campaign::{
+    precheck_entries, run_cell, CampaignCell, CampaignEntry, CampaignResult,
+};
+use comptest_core::error::CoreError;
+use comptest_core::exec::ExecOptions;
+use comptest_stand::TestStand;
+
+pub use comptest_core::campaign::{plan_cells, CellJob};
+
+/// Engine configuration (`ExecOptions`-style: plain data, `Default` +
+/// builders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads draining the job queue. `1` forces strictly serial,
+    /// in-order execution — the reference mode for determinism checks.
+    pub workers: usize,
+    /// Cancel remaining jobs as soon as one cell fails (or is not
+    /// runnable). The result then contains only the cells that finished,
+    /// still in deterministic order.
+    pub stop_on_first_fail: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            stop_on_first_fail: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options with an explicit worker count (`0` is clamped to `1`).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Enables early cancellation (builder style).
+    pub fn stop_on_first_fail(mut self, stop: bool) -> Self {
+        self.stop_on_first_fail = stop;
+        self
+    }
+}
+
+/// Live progress events emitted while a campaign runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A worker picked up a cell.
+    JobStarted {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+    },
+    /// A cell finished (executed or found not runnable).
+    JobFinished {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// The cell's short status line (`PASS (3P/0F/0E)`, `NOT RUNNABLE
+        /// (…)`).
+        status: String,
+        /// True when the cell did not fully pass.
+        failed: bool,
+    },
+    /// The campaign is complete.
+    CampaignDone {
+        /// Tests passed across the matrix.
+        passed: usize,
+        /// Tests failed across the matrix.
+        failed: usize,
+        /// Tests errored across the matrix.
+        errored: usize,
+        /// Cells that could not be planned.
+        not_runnable: usize,
+        /// Cells cancelled by `stop_on_first_fail` before they ran.
+        cancelled: usize,
+    },
+}
+
+/// Shared scheduler state: one atomic cursor over the deterministic job
+/// list (the "shared queue" — every worker steals the next un-taken job),
+/// a cancellation latch, and the merge slots.
+struct Shared<'a, 'b> {
+    entries: &'a [CampaignEntry<'b>],
+    stands: &'a [&'a TestStand],
+    jobs: Vec<CellJob>,
+    next: AtomicUsize,
+    cancel: AtomicBool,
+    slots: Mutex<Vec<Option<CampaignCell>>>,
+    fatal: Mutex<Option<CoreError>>,
+    options: EngineOptions,
+    exec: &'a ExecOptions,
+}
+
+impl Shared<'_, '_> {
+    /// One worker: steal jobs off the shared cursor until the queue drains
+    /// or the campaign is cancelled.
+    fn work(&self, events: Option<&Sender<EngineEvent>>) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(job) = self.jobs.get(i) else {
+                return;
+            };
+            if self.cancel.load(Ordering::SeqCst) {
+                return;
+            }
+            let entry = &self.entries[job.entry];
+            let stand = self.stands[job.stand];
+            emit(
+                events,
+                EngineEvent::JobStarted {
+                    cell: job.cell,
+                    suite: entry.suite.name.clone(),
+                    stand: stand.name().to_owned(),
+                },
+            );
+            match run_cell(entry, stand, self.exec) {
+                Ok(cell) => {
+                    let failed = !cell.passed();
+                    emit(
+                        events,
+                        EngineEvent::JobFinished {
+                            cell: job.cell,
+                            suite: cell.suite.clone(),
+                            stand: cell.stand.clone(),
+                            status: cell.status(),
+                            failed,
+                        },
+                    );
+                    self.slots.lock().expect("slot lock")[job.cell] = Some(cell);
+                    if failed && self.options.stop_on_first_fail {
+                        self.cancel.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                Err(e) => {
+                    *self.fatal.lock().expect("fatal lock") = Some(e);
+                    self.cancel.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn emit(events: Option<&Sender<EngineEvent>>, event: EngineEvent) {
+    if let Some(tx) = events {
+        // A dropped receiver must never fail the campaign.
+        let _ = tx.send(event);
+    }
+}
+
+/// Runs the campaign matrix on a worker pool.
+///
+/// With `workers == 1` the jobs run strictly in order on the calling
+/// thread; with more workers they are sharded over a scoped thread pool.
+/// Either way the returned [`CampaignResult`] lists cells in the canonical
+/// deterministic order of [`plan_cells`] — byte-identical to the serial
+/// [`run_campaign`](comptest_core::campaign::run_campaign) (modulo cells
+/// skipped by `stop_on_first_fail`).
+///
+/// `events`, when given, receives [`EngineEvent`]s as jobs start and
+/// finish, plus a final [`EngineEvent::CampaignDone`] when the campaign
+/// completes. No `CampaignDone` is sent when a fatal error aborts the run
+/// (the `Err` return carries the outcome instead), so a started job may
+/// have no matching `JobFinished`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] for invalid suites (checked up front) and
+/// propagates any non-planning error raised inside a cell.
+pub fn run_campaign_parallel(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+    options: &EngineOptions,
+    exec: &ExecOptions,
+    events: Option<&Sender<EngineEvent>>,
+) -> Result<CampaignResult, CoreError> {
+    precheck_entries(entries)?;
+    let jobs = plan_cells(entries.len(), stands.len());
+    let n_jobs = jobs.len();
+    let shared = Shared {
+        entries,
+        stands,
+        jobs,
+        next: AtomicUsize::new(0),
+        cancel: AtomicBool::new(false),
+        slots: Mutex::new((0..n_jobs).map(|_| None).collect()),
+        fatal: Mutex::new(None),
+        options: *options,
+        exec,
+    };
+
+    let workers = options.workers.clamp(1, n_jobs.max(1));
+    if workers <= 1 {
+        shared.work(events);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let shared = &shared;
+                let events = events.cloned();
+                scope.spawn(move || shared.work(events.as_ref()));
+            }
+        });
+    }
+
+    if let Some(e) = shared.fatal.lock().expect("fatal lock").take() {
+        return Err(e);
+    }
+
+    let slots = shared.slots.into_inner().expect("slot lock");
+    let mut result = CampaignResult::default();
+    let mut cancelled = 0usize;
+    for slot in slots {
+        match slot {
+            Some(cell) => result.cells.push(cell),
+            None => cancelled += 1,
+        }
+    }
+    let (passed, failed, errored, not_runnable) = result.totals();
+    emit(
+        events,
+        EngineEvent::CampaignDone {
+            passed,
+            failed,
+            errored,
+            not_runnable,
+            cancelled,
+        },
+    );
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_core::campaign::run_campaign;
+    use comptest_dut::ecus::interior_light;
+    use comptest_sheets::Workbook;
+    use std::sync::mpsc;
+
+    const WB_PASS: &str = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test night_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+
+[test day_off]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Lo
+";
+
+    /// Same shape but expecting the lamp ON during the day: always fails.
+    const WB_FAIL: &str = "\
+[suite]
+name = broken
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test impossible]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Ho
+";
+
+    fn stand() -> TestStand {
+        TestStand::parse_str("a.stand", comptest_core::PAPER_STAND_A).unwrap()
+    }
+
+    fn entries(suites: &[comptest_model::TestSuite]) -> Vec<CampaignEntry<'_>> {
+        suites
+            .iter()
+            .map(|suite| CampaignEntry {
+                suite,
+                device_factory: Box::new(|| interior_light::device(Default::default())),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_cell_for_cell() {
+        let suites = vec![
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+        ];
+        let stand = stand();
+        let stands = [&stand, &stand];
+        let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let parallel = run_campaign_parallel(
+                &entries(&suites),
+                &stands,
+                &EngineOptions::with_workers(workers),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn events_stream_start_finish_done() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let stand = stand();
+        let (tx, rx) = mpsc::channel();
+        let result = run_campaign_parallel(
+            &entries(&suites),
+            &[&stand],
+            &EngineOptions::with_workers(2),
+            &ExecOptions::default(),
+            Some(&tx),
+        )
+        .unwrap();
+        drop(tx);
+        let events: Vec<EngineEvent> = rx.into_iter().collect();
+        assert!(result.all_green());
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::JobStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::JobFinished { failed: false, .. }))
+            .count();
+        assert_eq!(starts, 1);
+        assert_eq!(finishes, 1);
+        match events.last() {
+            Some(EngineEvent::CampaignDone {
+                passed,
+                failed,
+                cancelled,
+                ..
+            }) => {
+                assert_eq!((*passed, *failed, *cancelled), (2, 0, 0));
+            }
+            other => panic!("expected CampaignDone last, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stop_on_first_fail_cancels_remaining_jobs() {
+        // Failing suite first: with one worker, the first cell fails and
+        // every later cell is cancelled.
+        let suites = vec![
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+        ];
+        let stand = stand();
+        let stands = [&stand, &stand];
+        let result = run_campaign_parallel(
+            &entries(&suites),
+            &stands,
+            &EngineOptions::with_workers(1).stop_on_first_fail(true),
+            &ExecOptions::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(result.cells.len(), 1, "{result}");
+        assert!(!result.cells[0].passed());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_jobs() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let stand = stand();
+        let result = run_campaign_parallel(
+            &entries(&suites),
+            &[&stand],
+            &EngineOptions::with_workers(64),
+            &ExecOptions::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(result.cells.len(), 1);
+        assert!(result.all_green());
+    }
+}

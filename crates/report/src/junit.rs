@@ -1,16 +1,16 @@
 //! JUnit-style XML output for CI systems.
 
+use comptest_core::campaign::CampaignResult;
 use comptest_core::{SuiteResult, Verdict};
 use comptest_script::xml::{write_document, Element};
 
-/// Renders a suite result as JUnit XML (`<testsuite>`/`<testcase>`).
-///
-/// Check failures become `<failure>` elements (one per failing check);
-/// execution errors become `<error>` elements.
-pub fn junit_xml(result: &SuiteResult) -> String {
+/// Builds one `<testsuite>` element for a suite result. `name` is the
+/// rendered suite name (plain suite, or `suite@stand` in campaign reports);
+/// `classname_suite` keeps `classname` stable across both renderers.
+fn suite_element(name: &str, classname_suite: &str, result: &SuiteResult) -> Element {
     let (_, failed, errored) = result.counts();
     let mut suite = Element::new("testsuite")
-        .with_attr("name", result.suite.clone())
+        .with_attr("name", name)
         .with_attr("tests", result.results.len().to_string())
         .with_attr("failures", failed.to_string())
         .with_attr("errors", errored.to_string());
@@ -18,7 +18,7 @@ pub fn junit_xml(result: &SuiteResult) -> String {
     for test in &result.results {
         let mut case = Element::new("testcase")
             .with_attr("name", test.test.clone())
-            .with_attr("classname", format!("{}.{}", result.suite, test.dut));
+            .with_attr("classname", format!("{}.{}", classname_suite, test.dut));
         match test.verdict() {
             Verdict::Pass => {}
             Verdict::Fail => {
@@ -44,7 +44,63 @@ pub fn junit_xml(result: &SuiteResult) -> String {
         }
         suite = suite.with_child(case);
     }
-    write_document(&suite)
+    suite
+}
+
+/// Renders a suite result as JUnit XML (`<testsuite>`/`<testcase>`).
+///
+/// Check failures become `<failure>` elements (one per failing check);
+/// execution errors become `<error>` elements.
+pub fn junit_xml(result: &SuiteResult) -> String {
+    write_document(&suite_element(&result.suite, &result.suite, result))
+}
+
+/// Renders a whole campaign matrix as JUnit XML: a `<testsuites>` root with
+/// one `<testsuite>` per cell, named `suite@stand`. Cells that could not be
+/// planned become a suite with a single errored `<testcase>` carrying the
+/// stand's error message, so CI surfaces *why* a stand cannot serve a suite;
+/// those synthetic testcases are included in the root totals so the root
+/// attributes always equal the sum of the child `<testsuite>` attributes.
+pub fn campaign_junit_xml(result: &CampaignResult) -> String {
+    let (passed, failed, errored, not_runnable) = result.totals();
+    let mut root = Element::new("testsuites")
+        .with_attr(
+            "tests",
+            (passed + failed + errored + not_runnable).to_string(),
+        )
+        .with_attr("failures", failed.to_string())
+        .with_attr("errors", (errored + not_runnable).to_string());
+
+    for cell in &result.cells {
+        let name = format!("{}@{}", cell.suite, cell.stand);
+        match &cell.outcome {
+            Ok(suite_result) => {
+                // The cell name doubles as the classname so CI consumers
+                // that key test identity on classname+name can tell the
+                // same suite apart across stands.
+                root = root.with_child(suite_element(&name, &name, suite_result));
+            }
+            Err(reason) => {
+                let case = Element::new("testcase")
+                    .with_attr("name", "planning")
+                    .with_attr("classname", name.clone())
+                    .with_child(
+                        Element::new("error")
+                            .with_attr("message", reason.clone())
+                            .with_attr("type", "NotRunnable"),
+                    );
+                root = root.with_child(
+                    Element::new("testsuite")
+                        .with_attr("name", name)
+                        .with_attr("tests", "1")
+                        .with_attr("failures", "0")
+                        .with_attr("errors", "1")
+                        .with_child(case),
+                );
+            }
+        }
+    }
+    write_document(&root)
 }
 
 #[cfg(test)]
@@ -85,6 +141,43 @@ mod tests {
             Verdict::Error => r.error = Some("no such method".into()),
         }
         r
+    }
+
+    #[test]
+    fn campaign_junit_structure() {
+        use comptest_core::campaign::{CampaignCell, CampaignResult};
+        let ran = SuiteResult {
+            suite: "lamp".into(),
+            results: vec![result(Verdict::Pass), result(Verdict::Fail)],
+        };
+        let campaign = CampaignResult {
+            cells: vec![
+                CampaignCell {
+                    suite: "lamp".into(),
+                    stand: "HIL-A".into(),
+                    outcome: Ok(ran),
+                },
+                CampaignCell {
+                    suite: "lamp".into(),
+                    stand: "MINI".into(),
+                    outcome: Err("init: no resource for put_can on signal ign_st".into()),
+                },
+            ],
+        };
+        let xml = campaign_junit_xml(&campaign);
+        assert!(xml.contains("<testsuite name=\"lamp@HIL-A\""));
+        assert!(xml.contains("<testsuite name=\"lamp@MINI\""));
+        assert!(xml.contains("type=\"NotRunnable\""));
+        // Root totals include the synthetic not-runnable testcase, matching
+        // the sum of the child <testsuite> attributes (2 + 1 tests, 1 + 0
+        // failures, 0 + 1 errors).
+        assert!(
+            xml.contains("<testsuites tests=\"3\" failures=\"1\" errors=\"1\">"),
+            "{xml}"
+        );
+        let parsed = comptest_script::xml::parse(&xml).unwrap();
+        assert_eq!(parsed.name, "testsuites");
+        assert_eq!(parsed.elements_named("testsuite").count(), 2);
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod table;
 pub mod text;
 
 pub use campaign::{campaign_markdown, campaign_table, portability_table};
-pub use junit::junit_xml;
+pub use junit::{campaign_junit_xml, junit_xml};
 pub use table::TextTable;
 pub use text::{step_table, suite_markdown, suite_text};

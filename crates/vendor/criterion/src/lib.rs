@@ -1,0 +1,302 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness, implementing exactly the API surface this workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build container has no registry access, so the real crate cannot be
+//! fetched; this stub keeps `cargo bench` working offline. Measurements are
+//! real wall-clock timings (warm-up + N samples, median/mean/min reported),
+//! just without criterion's statistical machinery, HTML reports or
+//! command-line filtering. Swap the workspace `criterion` path dependency
+//! for the registry crate to get the full harness back — the bench sources
+//! need no changes.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (recorded, echoed in the
+/// header line, but not used to normalise results in this stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Anything that can label a benchmark: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Times `routine`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches and lazy statics).
+        let _ = routine();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn report(&self) -> String {
+        if self.samples.is_empty() {
+            return "no samples".to_owned();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        format!(
+            "median {:>12?}   mean {:>12?}   min {:>12?}   ({} samples)",
+            median,
+            mean,
+            min,
+            sorted.len()
+        )
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the group's throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher::with_sample_size(self.sample_size);
+        f(&mut bencher);
+        println!("{}/{:<28} {}", self.name, label, bencher.report());
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher::with_sample_size(self.sample_size);
+        f(&mut bencher, input);
+        println!("{}/{:<28} {}", self.name, label, bencher.report());
+        self
+    }
+
+    /// Ends the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        let mut bencher = Bencher::with_sample_size(sample_size);
+        f(&mut bencher);
+        println!("{:<36} {}", name, bencher.report());
+        self
+    }
+
+    /// Runs one standalone benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        let label = id.into_label();
+        let mut bencher = Bencher::with_sample_size(sample_size);
+        f(&mut bencher, input);
+        println!("{:<36} {}", label, bencher.report());
+        self
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::with_sample_size(5);
+        b.iter(|| 40 + 2);
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.report().contains("5 samples"));
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(1));
+        let mut ran = 0;
+        group.bench_function("a", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("b", 7), &3, |b, x| b.iter(|| *x + 1));
+        group.finish();
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] property-testing
+//! crate, implementing exactly the API surface this workspace's tests use.
+//!
+//! The build container has no registry access, so the real crate cannot be
+//! fetched. This stub is a *real* (if small) property-testing engine: every
+//! `proptest!` test runs its body against freshly generated random inputs
+//! from the same strategy combinators (`prop_map`, `prop_filter`,
+//! `prop_flat_map`, `prop_recursive`, `prop_oneof!`, ranges, tuples,
+//! collections, and a tiny regex subset for string strategies). What it does
+//! *not* do is shrink failing cases — on failure it reports the case number
+//! and panics. Generation is deterministic per test name, so failures
+//! reproduce. Swap the workspace `proptest` path dependency for the registry
+//! crate to get shrinking back; the test sources need no changes.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The conventional `proptest::prelude` — everything tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module: the strategy toolbox
+    /// under its conventional name (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_filters_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seeded(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::generate(&(-2.0..2.0f64), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let w = Strategy::generate(&(1u8..=64), &mut rng);
+            assert!((1..=64).contains(&w));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::test_runner::TestRng::seeded(2);
+        let strat = (0usize..5)
+            .prop_flat_map(|n| crate::collection::vec(any::<bool>(), n))
+            .prop_map(|v| v.len())
+            .prop_filter("whatever", |n| *n < 5);
+        for _ in 0..50 {
+            assert!(Strategy::generate(&strat, &mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => (*n == u64::MAX) as usize,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::seeded(3);
+        for _ in 0..100 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate() {
+        let mut rng = crate::test_runner::TestRng::seeded(4);
+        for _ in 0..50 {
+            let s = Strategy::generate(&".{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            let b = Strategy::generate(&"[\\x00-\\xff]{1,8}", &mut rng);
+            let n = b.chars().count();
+            assert!((1..=8).contains(&n));
+            assert!(b.chars().all(|c| (c as u32) <= 0xff));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a, "commutativity of {} and {}", a, b);
+            prop_assert_ne!(a + b + 1, a + b);
+        }
+    }
+}

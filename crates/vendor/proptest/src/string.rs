@@ -1,0 +1,164 @@
+//! String generation from the tiny regex subset the workspace's tests use:
+//! a single atom (`.` or a `[...]` character class with `\xNN` escapes and
+//! ranges) followed by a `{lo,hi}` repetition. Anything else generates the
+//! pattern text literally.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// `.` — any char except newline.
+    Dot,
+    /// `[...]` — inclusive codepoint ranges.
+    Class(Vec<(u32, u32)>),
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some((atom, lo, hi)) => {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| gen_char(&atom, rng)).collect()
+        }
+        None => pattern.to_owned(),
+    }
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => {
+            // Mostly printable ASCII, sometimes raw bytes / wide chars —
+            // good fuzzing material, never '\n' (regex `.` excludes it).
+            loop {
+                let c = match rng.below(10) {
+                    0..=6 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+                    7 => (rng.below(0x100) as u8) as char,
+                    _ => char::from_u32(rng.below(0xD800) as u32).unwrap_or('?'),
+                };
+                if c != '\n' {
+                    return c;
+                }
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| u64::from(hi - lo) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = u64::from(hi - lo) + 1;
+                if pick < span {
+                    return char::from_u32(lo + pick as u32).unwrap_or('?');
+                }
+                pick -= span;
+            }
+            unreachable!("pick is within total")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Option<(Atom, usize, usize)> {
+    let (atom_src, rep) = split_repetition(pattern)?;
+    let atom = if atom_src == "." {
+        Atom::Dot
+    } else {
+        Atom::Class(parse_class(atom_src)?)
+    };
+    let (lo, hi) = parse_counts(rep)?;
+    Some((atom, lo, hi))
+}
+
+/// Splits `X{lo,hi}` into (`X`, `lo,hi`).
+fn split_repetition(pattern: &str) -> Option<(&str, &str)> {
+    let open = pattern.rfind('{')?;
+    let inner = pattern.strip_suffix('}')?.get(open + 1..)?;
+    Some((&pattern[..open], inner))
+}
+
+fn parse_counts(rep: &str) -> Option<(usize, usize)> {
+    let (lo, hi) = rep.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Parses `[...]` class contents into codepoint ranges.
+fn parse_class(src: &str) -> Option<Vec<(u32, u32)>> {
+    let inner = src.strip_prefix('[')?.strip_suffix(']')?;
+    let mut chars = inner.chars().peekable();
+    let mut singles: Vec<u32> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let start = if c == '\\' {
+            parse_escape(&mut chars)?
+        } else {
+            c as u32
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let e = chars.next()?;
+            let end = if e == '\\' {
+                parse_escape(&mut chars)?
+            } else {
+                e as u32
+            };
+            (start <= end).then_some(())?;
+            ranges.push((start, end));
+        } else {
+            singles.push(start);
+        }
+    }
+    ranges.extend(singles.into_iter().map(|c| (c, c)));
+    (!ranges.is_empty()).then_some(ranges)
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<u32> {
+    match chars.next()? {
+        'x' => {
+            let h1 = chars.next()?.to_digit(16)?;
+            let h2 = chars.next()?.to_digit(16)?;
+            Some(h1 * 16 + h2)
+        }
+        'n' => Some('\n' as u32),
+        'r' => Some('\r' as u32),
+        't' => Some('\t' as u32),
+        '0' => Some(0),
+        other => Some(other as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_dot_repetition() {
+        let (atom, lo, hi) = parse(".{0,300}").unwrap();
+        assert!(matches!(atom, Atom::Dot));
+        assert_eq!((lo, hi), (0, 300));
+    }
+
+    #[test]
+    fn parses_byte_class() {
+        let (atom, lo, hi) = parse("[\\x00-\\xff]{1,8}").unwrap();
+        match atom {
+            Atom::Class(ranges) => assert_eq!(ranges, vec![(0, 0xff)]),
+            Atom::Dot => panic!("expected class"),
+        }
+        assert_eq!((lo, hi), (1, 8));
+    }
+
+    #[test]
+    fn unknown_patterns_fall_back_to_literal() {
+        let mut rng = TestRng::seeded(9);
+        assert_eq!(generate_from_pattern("hello", &mut rng), "hello");
+    }
+
+    #[test]
+    fn generated_lengths_respect_bounds() {
+        let mut rng = TestRng::seeded(10);
+        for _ in 0..100 {
+            let s = generate_from_pattern(".{2,5}", &mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "{n}");
+            assert!(!s.contains('\n'));
+        }
+    }
+}

@@ -5,9 +5,15 @@
 //! comptest gen <workbook.cts> <test> [out.xml]
 //! comptest run <workbook.cts> <test> <stand.stand> <ecu>
 //! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
+//! comptest campaign <stand.stand>... [--workers N] [--junit out.xml]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
+//!
+//! `campaign` runs every bundled ECU suite against every given stand on the
+//! parallel execution engine (`--workers N` shards the suite×stand matrix
+//! over N worker threads; default 1 = serial reference order), streaming
+//! live progress per cell and optionally writing a campaign JUnit report.
 
 use std::process::ExitCode;
 
@@ -60,6 +66,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let wb = need(it.next(), "workbook path")?;
             cmd_lint(wb)
         }
+        Some("campaign") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_campaign(&rest)
+        }
         Some("portability") => {
             let wb = need(it.next(), "workbook path")?;
             let stands: Vec<&str> = it.collect();
@@ -77,7 +87,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
         Some(other) => Err(format!("unknown command {other:?}").into()),
         None => {
-            eprintln!("usage: comptest <validate|lint|gen|run|suite|portability|stands> …");
+            eprintln!(
+                "usage: comptest <validate|lint|gen|run|suite|campaign|portability|stands> …"
+            );
             Ok(ExitCode::from(2))
         }
     }
@@ -213,6 +225,115 @@ fn cmd_suite(
         println!("wrote {path}");
     }
     Ok(if result.verdict() == Verdict::Pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The bundled ECU library: suite files `assets/<ecu>.cts`, behaviours in
+/// `comptest::dut::ecus`.
+const CAMPAIGN_ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
+
+fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::core::campaign::CampaignEntry;
+
+    let mut stand_paths: Vec<&str> = Vec::new();
+    let mut workers = 1usize;
+    let mut junit: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--workers" => {
+                let n = need(it.next().copied(), "--workers count")?;
+                workers = n.parse().map_err(|_| format!("bad worker count {n:?}"))?;
+            }
+            "--junit" => junit = Some(need(it.next().copied(), "--junit path")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown campaign flag {other:?}").into())
+            }
+            stand => stand_paths.push(stand),
+        }
+    }
+    if stand_paths.is_empty() {
+        return Err("campaign needs at least one stand".into());
+    }
+
+    let stands: Vec<TestStand> = stand_paths
+        .iter()
+        .map(TestStand::load)
+        .collect::<Result<_, _>>()?;
+    let stand_refs: Vec<&TestStand> = stands.iter().collect();
+    let suites: Vec<TestSuite> = CAMPAIGN_ECUS
+        .iter()
+        .map(|ecu| {
+            Ok::<_, Box<dyn std::error::Error>>(
+                Workbook::load(comptest::asset(&format!("{ecu}.cts")))?.suite,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let entries: Vec<CampaignEntry> = suites
+        .iter()
+        .zip(CAMPAIGN_ECUS)
+        .map(|(suite, ecu)| CampaignEntry {
+            suite,
+            device_factory: Box::new(move || {
+                comptest::dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
+            }),
+        })
+        .collect();
+
+    // Live progress: a printer thread drains the event channel while the
+    // engine runs.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let printer = std::thread::spawn(move || {
+        for event in rx {
+            match event {
+                EngineEvent::JobStarted { cell, suite, stand } => {
+                    eprintln!("[{cell:>2}] {suite} on {stand} …");
+                }
+                EngineEvent::JobFinished {
+                    cell,
+                    suite,
+                    stand,
+                    status,
+                    ..
+                } => {
+                    eprintln!("[{cell:>2}] {suite} on {stand}: {status}");
+                }
+                EngineEvent::CampaignDone {
+                    passed,
+                    failed,
+                    errored,
+                    not_runnable,
+                    cancelled,
+                } => {
+                    eprintln!(
+                        "done: {passed} passed, {failed} failed, {errored} errored, \
+                         {not_runnable} not runnable, {cancelled} cancelled"
+                    );
+                }
+            }
+        }
+    });
+
+    let result = run_campaign_parallel(
+        &entries,
+        &stand_refs,
+        &EngineOptions::with_workers(workers),
+        &ExecOptions::default(),
+        Some(&tx),
+    );
+    drop(tx);
+    printer.join().expect("printer thread");
+    let result = result?;
+
+    print!("{result}");
+    if let Some(path) = junit {
+        std::fs::write(path, comptest::report::campaign_junit_xml(&result))?;
+        println!("wrote {path}");
+    }
+    Ok(if result.all_green() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -18,6 +18,7 @@
 //! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
 //! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
 //! | [`core`] | `comptest-core` | execution, campaigns, fault coverage |
+//! | [`engine`] | `comptest-engine` | parallel campaign execution (worker pool + events) |
 //! | [`report`] | `comptest-report` | tables, markdown, JUnit |
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@ use std::path::{Path, PathBuf};
 
 pub use comptest_core as core;
 pub use comptest_dut as dut;
+pub use comptest_engine as engine;
 pub use comptest_model as model;
 pub use comptest_report as report;
 pub use comptest_script as script;
@@ -61,6 +63,7 @@ pub mod prelude {
         execute, run_suite, run_test, ExecOptions, SampleMode, SuiteResult, TestResult, Verdict,
     };
     pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
+    pub use comptest_engine::{run_campaign_parallel, EngineEvent, EngineOptions};
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};
     pub use comptest_sheets::Workbook;

@@ -58,7 +58,7 @@ fn campaign_matrix_shape() {
     let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
     let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
     let suites: Vec<TestSuite> = ECUS.iter().map(|e| load_suite(e)).collect();
-    let mut entries: Vec<CampaignEntry> = suites
+    let entries: Vec<CampaignEntry> = suites
         .iter()
         .zip(ECUS)
         .map(|(suite, ecu)| CampaignEntry {
@@ -72,8 +72,7 @@ fn campaign_matrix_shape() {
             }),
         })
         .collect();
-    let result =
-        run_campaign(&mut entries, &[&stand_a, &stand_b], &ExecOptions::default()).unwrap();
+    let result = run_campaign(&entries, &[&stand_a, &stand_b], &ExecOptions::default()).unwrap();
     assert_eq!(result.cells.len(), 10);
     // Stand B runs everything.
     let on_b: Vec<_> = result

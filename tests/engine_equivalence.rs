@@ -1,0 +1,171 @@
+//! The parallel engine's core guarantee: an N-worker campaign produces a
+//! cell-for-cell identical `CampaignResult` to serial execution, regardless
+//! of completion order — plus the `stop_on_first_fail` early-cancel path.
+
+use std::sync::mpsc;
+
+use comptest::core::campaign::{run_campaign, CampaignEntry};
+use comptest::prelude::*;
+
+const ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
+
+fn load_suites() -> Vec<TestSuite> {
+    ECUS.iter()
+        .map(|ecu| {
+            Workbook::load(comptest::asset(&format!("{ecu}.cts")))
+                .unwrap_or_else(|e| panic!("workbook {ecu}: {e}"))
+                .suite
+        })
+        .collect()
+}
+
+fn entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
+    suites
+        .iter()
+        .zip(ECUS)
+        .map(|(suite, ecu)| CampaignEntry {
+            suite,
+            device_factory: Box::new(move || {
+                comptest::dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
+            }),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_campaign_is_cell_for_cell_identical_to_serial() {
+    let suites = load_suites();
+    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let stands = [&stand_a, &stand_b];
+
+    let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
+    assert_eq!(serial.cells.len(), 10);
+
+    for workers in [2usize, 4, 8] {
+        let parallel = run_campaign_parallel(
+            &entries(&suites),
+            &stands,
+            &EngineOptions::with_workers(workers),
+            &ExecOptions::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            parallel, serial,
+            "workers = {workers}: ordering or outcomes diverged"
+        );
+    }
+}
+
+#[test]
+fn engine_events_cover_every_cell_exactly_once() {
+    let suites = load_suites();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let (tx, rx) = mpsc::channel();
+    let result = run_campaign_parallel(
+        &entries(&suites),
+        &[&stand_b],
+        &EngineOptions::with_workers(4),
+        &ExecOptions::default(),
+        Some(&tx),
+    )
+    .unwrap();
+    drop(tx);
+    let events: Vec<EngineEvent> = rx.into_iter().collect();
+
+    let mut started: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::JobStarted { cell, .. } => Some(*cell),
+            _ => None,
+        })
+        .collect();
+    started.sort_unstable();
+    assert_eq!(started, (0..5).collect::<Vec<_>>());
+    let finished = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::JobFinished { .. }))
+        .count();
+    assert_eq!(finished, 5);
+    assert!(matches!(
+        events.last(),
+        Some(EngineEvent::CampaignDone { cancelled: 0, .. })
+    ));
+    assert!(result.all_green(), "{result}");
+}
+
+#[test]
+fn stop_on_first_fail_cancels_the_tail() {
+    // Stand MINI cannot run anything: with one worker and early-cancel the
+    // very first cell comes back NOT RUNNABLE and the other nine never run.
+    let suites = load_suites();
+    let mini = TestStand::load(comptest::asset("stand_minimal.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let stands = [&mini, &stand_b];
+
+    let (tx, rx) = mpsc::channel();
+    let result = run_campaign_parallel(
+        &entries(&suites),
+        &stands,
+        &EngineOptions::with_workers(1).stop_on_first_fail(true),
+        &ExecOptions::default(),
+        Some(&tx),
+    )
+    .unwrap();
+    drop(tx);
+
+    assert_eq!(
+        result.cells.len(),
+        1,
+        "only the failing cell ran:\n{result}"
+    );
+    assert!(result.cells[0].outcome.is_err());
+    assert!(!result.all_green());
+    match rx.into_iter().last() {
+        Some(EngineEvent::CampaignDone {
+            cancelled,
+            not_runnable,
+            ..
+        }) => {
+            assert_eq!(not_runnable, 1);
+            assert_eq!(cancelled, 9, "the rest of the matrix was cancelled");
+        }
+        other => panic!("expected CampaignDone, got {other:?}"),
+    }
+
+    // Without the flag, the same matrix runs to completion.
+    let full = run_campaign_parallel(
+        &entries(&suites),
+        &stands,
+        &EngineOptions::with_workers(4),
+        &ExecOptions::default(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(full.cells.len(), 10);
+}
+
+#[test]
+fn campaign_junit_covers_the_matrix() {
+    let suites = load_suites();
+    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let result = run_campaign_parallel(
+        &entries(&suites),
+        &[&stand_a, &stand_b],
+        &EngineOptions::with_workers(4),
+        &ExecOptions::default(),
+        None,
+    )
+    .unwrap();
+    let xml = comptest::report::campaign_junit_xml(&result);
+    let parsed = comptest::script::xml::parse(&xml).unwrap();
+    assert_eq!(parsed.name, "testsuites");
+    assert_eq!(parsed.elements_named("testsuite").count(), 10);
+    assert!(xml.contains("interior_light@HIL-A"));
+    assert!(
+        xml.contains("type=\"NotRunnable\""),
+        "stand A misses 4 ECUs"
+    );
+}
