@@ -113,5 +113,84 @@ fn parallel_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, suite_execution, fault_campaign, parallel_campaign);
+/// A skewed matrix — one large workbook (the interior-light suite with its
+/// tests replicated 8×) plus the four small ECU suites — on 4 workers at
+/// both scheduling granularities.
+///
+/// This is the shape where per-test sharding is the only way to win:
+/// cell-granular scheduling pins the whole large suite to one worker, so
+/// wall-clock is bounded by that single cell no matter how many workers
+/// exist; test-granular jobs spread the large suite's tests over the pool.
+/// (As with `parallel_campaign`, the gap only shows on multi-core hosts.)
+fn skewed_granularity(c: &mut Criterion) {
+    let stand = load_stand("stand_b.stand");
+    let stands = [&stand];
+
+    let mut large = load_suite("interior_light");
+    let base = large.tests.clone();
+    for rep in 1..8 {
+        for test in &base {
+            let mut test = test.clone();
+            test.name = format!("{}_{rep}", test.name);
+            large.tests.push(test);
+        }
+    }
+    let mut suites = vec![large];
+    suites.extend(
+        ["wiper", "power_window", "central_lock", "flasher"]
+            .iter()
+            .map(|e| load_suite(e)),
+    );
+    let entries: Vec<CampaignEntry> = suites
+        .iter()
+        .map(|suite| {
+            let ecu: &'static str = ECUS
+                .iter()
+                .find(|e| suite.name.starts_with(*e))
+                .expect("suite name matches a bundled ECU");
+            CampaignEntry {
+                suite,
+                device_factory: Box::new(move || build_device(ecu, Default::default(), None)),
+            }
+        })
+        .collect();
+    let soak = ExecOptions {
+        sample: SampleMode::Continuous {
+            interval: comptest_model::SimTime::from_millis(20),
+        },
+        ..ExecOptions::default()
+    };
+
+    let mut group = c.benchmark_group("s5/skewed_granularity");
+    group.sample_size(10);
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(granularity),
+            &granularity,
+            |b, &granularity| {
+                b.iter(|| {
+                    black_box(
+                        run_campaign_parallel(
+                            &entries,
+                            &stands,
+                            &EngineOptions::with_workers(4).granularity(granularity),
+                            &soak,
+                            None,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    suite_execution,
+    fault_campaign,
+    parallel_campaign,
+    skewed_granularity
+);
 criterion_main!(benches);

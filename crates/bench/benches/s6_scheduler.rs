@@ -1,0 +1,156 @@
+//! S6 — scheduler stress: cell-count scaling on synthetic ECU variants.
+//!
+//! The `s5/parallel_campaign` bench only shows speedup on multi-core
+//! hosts; on the single-core CI container every worker count degenerates
+//! to serial time plus scheduling overhead. This sweep measures exactly
+//! that overhead: many *tiny* generated workbooks (ECU variants from
+//! `comptest-workload`, deterministic seeds) against one synthetic stand,
+//! so per-cell work is small and the scheduler — job planning, queue
+//! stealing, event-free merge — dominates. Doubling the variant count
+//! should roughly double wall-clock at every granularity; a superlinear
+//! curve is a scheduler regression, visible even on one core.
+
+use std::hint::black_box;
+
+use comptest::core::campaign::CampaignEntry;
+use comptest::prelude::*;
+use comptest_bench::build_device;
+use comptest_model::PinId;
+use comptest_stand::ResourceId;
+use comptest_workload::{gen_stand, gen_workbook_text, SplitMix64, StandShape, WorkbookShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A variant workbook is intentionally tiny: the cell's execution cost is
+/// negligible next to the cost of scheduling it.
+const SHAPE: WorkbookShape = WorkbookShape {
+    signals: 4,
+    tests: 2,
+    steps: 5,
+};
+
+/// Generates `n` distinct ECU-variant suites (one seed each).
+fn variant_suites(n: usize) -> Vec<TestSuite> {
+    (0..n)
+        .map(|seed| {
+            let mut rng = SplitMix64::new(0xECu64 + seed as u64);
+            let text = gen_workbook_text(&mut rng, &SHAPE);
+            let mut wb = Workbook::parse_str(&format!("variant_{seed}.cts"), &text)
+                .expect("generated workbook parses");
+            wb.suite.name = format!("variant_{seed}");
+            wb.suite
+        })
+        .collect()
+}
+
+/// A stand serving the generated workbooks: full-density crosspoints for
+/// the input pins plus a DVM route to the output pin pair.
+fn variant_stand() -> TestStand {
+    let mut rng = SplitMix64::new(7);
+    let shape = StandShape {
+        pins: SHAPE.signals,
+        put_resources: SHAPE.signals,
+        get_resources: 1,
+        density: 1.0,
+    };
+    let dvm = ResourceId::new("Dvm0").expect("valid");
+    gen_stand(&mut rng, &shape)
+        .with_connection(
+            PinId::new("XO1").expect("valid"),
+            dvm.clone(),
+            PinId::new("OUT_F").expect("valid"),
+        )
+        .with_connection(
+            PinId::new("XO2").expect("valid"),
+            dvm,
+            PinId::new("OUT_R").expect("valid"),
+        )
+}
+
+fn cell_count_scaling(c: &mut Criterion) {
+    let stand = variant_stand();
+    let stands = [&stand];
+
+    let mut group = c.benchmark_group("s6/cell_count_scaling");
+    group.sample_size(10);
+    for n_variants in [8usize, 32, 128] {
+        let suites = variant_suites(n_variants);
+        let entries: Vec<CampaignEntry> = suites
+            .iter()
+            .map(|suite| CampaignEntry {
+                suite,
+                device_factory: Box::new(|| {
+                    build_device("interior_light", Default::default(), None)
+                }),
+            })
+            .collect();
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            group.bench_with_input(
+                BenchmarkId::new(granularity.to_string(), n_variants),
+                &granularity,
+                |b, &granularity| {
+                    b.iter(|| {
+                        black_box(
+                            run_campaign_parallel(
+                                &entries,
+                                &stands,
+                                &EngineOptions::with_workers(4).granularity(granularity),
+                                &ExecOptions::default(),
+                                None,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Pool construction amortisation: the same 32-variant campaign run on a
+/// per-call pool vs a persistent pool reused across iterations — the
+/// watch-mode / replay scenario the persistent [`WorkerPool`] exists for.
+fn pool_reuse(c: &mut Criterion) {
+    let stand = variant_stand();
+    let stands = [&stand];
+    let suites = variant_suites(32);
+    let entries: Vec<CampaignEntry> = suites
+        .iter()
+        .map(|suite| CampaignEntry {
+            suite,
+            device_factory: Box::new(|| build_device("interior_light", Default::default(), None)),
+        })
+        .collect();
+    let options = EngineOptions::with_workers(4).granularity(Granularity::Test);
+
+    let mut group = c.benchmark_group("s6/pool_reuse");
+    group.sample_size(10);
+    group.bench_function("fresh_pool_per_campaign", |b| {
+        b.iter(|| {
+            black_box(
+                run_campaign_parallel(&entries, &stands, &options, &ExecOptions::default(), None)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("persistent_pool", |b| {
+        let pool = WorkerPool::new(4);
+        b.iter(|| {
+            black_box(
+                run_campaign_with_pool(
+                    &pool,
+                    &entries,
+                    &stands,
+                    &options,
+                    &ExecOptions::default(),
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cell_count_scaling, pool_reuse);
+criterion_main!(benches);

@@ -7,11 +7,20 @@
 //!
 //! Campaign cells are independent of each other (a suite's verdict on one
 //! stand never feeds into another cell), which makes the matrix
-//! embarrassingly parallel. This module owns the *planning* half — the
-//! deterministic cell ordering ([`plan_cells`]), the per-cell runner
-//! ([`run_cell`]) and the serial driver ([`run_campaign`]) — while the
-//! `comptest-engine` crate adds the sharded worker pool that executes the
-//! same job list concurrently.
+//! embarrassingly parallel — and because every *test* runs against a fresh
+//! power-cycled DUT, the tests inside a cell are independent too. This
+//! module owns the *planning* half at both granularities:
+//!
+//! * cell-granular: the deterministic cell ordering ([`plan_cells`]), the
+//!   per-cell runner ([`run_cell`]) and the serial driver
+//!   ([`run_campaign`]);
+//! * test-granular: the (entry, stand, test) job list
+//!   ([`plan_test_jobs`]), the single-test runner ([`run_test_job`]) and
+//!   the pure merge ([`merge_test_outcomes`]) that folds per-test outcomes
+//!   back into the same [`CampaignResult`] a serial run produces.
+//!
+//! The `comptest-engine` crate adds the worker pool that executes either
+//! job list concurrently.
 
 use std::fmt;
 
@@ -22,7 +31,7 @@ use comptest_stand::TestStand;
 use crate::error::CoreError;
 use crate::exec::ExecOptions;
 use crate::pipeline::run_suite;
-use crate::verdict::{SuiteResult, Verdict};
+use crate::verdict::{SuiteResult, TestResult, Verdict};
 
 /// Builds a fresh DUT per test execution.
 ///
@@ -219,6 +228,165 @@ pub fn run_cell(
     })
 }
 
+/// One schedulable unit of a *test-granular* campaign: a single test of one
+/// entry's suite on one stand, together with its position in the
+/// deterministic result matrix.
+///
+/// Test-granular jobs are the finer sharding of [`CellJob`]: a cell with
+/// `k` tests contributes `k` jobs, so one large workbook no longer bounds
+/// campaign wall-clock — its tests spread over all workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestJob {
+    /// Index into the deterministic job list (cell-major, test-minor).
+    pub job: usize,
+    /// Index into the result matrix (entry-major, stand-minor).
+    pub cell: usize,
+    /// Index of the [`CampaignEntry`].
+    pub entry: usize,
+    /// Index into the stand list.
+    pub stand: usize,
+    /// Index into the entry's `suite.tests`.
+    pub test: usize,
+}
+
+/// The outcome of one test job: the executed test, or the stand planning
+/// error that made it not runnable (a result of the experiment, mirroring
+/// [`CampaignCell::outcome`] at test granularity).
+pub type TestJobOutcome = Result<TestResult, String>;
+
+/// Shards the suite × stand matrix into per-test jobs. `test_counts[i]` is
+/// the number of tests of entry `i`'s suite. The order is canonical:
+/// entries major, stands next, tests minor — exactly the order in which the
+/// serial [`run_campaign`] executes tests — so [`merge_test_outcomes`] can
+/// fold completion-order results back into a byte-identical
+/// [`CampaignResult`].
+pub fn plan_test_jobs(test_counts: &[usize], stands: usize) -> Vec<TestJob> {
+    let total: usize = test_counts.iter().sum::<usize>() * stands;
+    let mut jobs = Vec::with_capacity(total);
+    for (entry, &tests) in test_counts.iter().enumerate() {
+        for stand in 0..stands {
+            for test in 0..tests {
+                jobs.push(TestJob {
+                    job: jobs.len(),
+                    cell: entry * stands + stand,
+                    entry,
+                    stand,
+                    test,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Plans and executes one already-generated script against a device — the
+/// single-test step shared by [`run_test_job`] and the engine's worker
+/// pool, so both paths map stand planning failures to the exact same
+/// outcome string and the byte-identity guarantee has one implementation.
+pub fn execute_script_job(
+    script: &comptest_script::TestScript,
+    stand: &TestStand,
+    device: &mut Device,
+    options: &ExecOptions,
+) -> TestJobOutcome {
+    match comptest_stand::plan(script, stand) {
+        Ok(plan) => Ok(crate::exec::execute(&plan, device, options)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Executes one test job: test `test` of the entry's suite on one stand,
+/// against a freshly built device (the paper's stands power-cycle the DUT
+/// between runs, so per-test jobs see exactly the device state a serial
+/// suite run would).
+///
+/// Stand planning failures are recorded in the outcome, not raised — the
+/// same split as [`run_cell`].
+///
+/// # Errors
+///
+/// Propagates non-planning [`CoreError`]s (e.g. codegen failures that
+/// slipped past [`precheck_entries`]).
+///
+/// # Panics
+///
+/// Panics when `test` is out of range for the entry's suite; job lists from
+/// [`plan_test_jobs`] are always in range.
+pub fn run_test_job(
+    entry: &CampaignEntry<'_>,
+    stand: &TestStand,
+    test: usize,
+    options: &ExecOptions,
+) -> Result<TestJobOutcome, CoreError> {
+    let script = comptest_script::generate(entry.suite, &entry.suite.tests[test].name)?;
+    let mut device = entry.device_factory.build();
+    Ok(execute_script_job(&script, stand, &mut device, options))
+}
+
+/// Folds per-test outcomes back into the deterministic [`CampaignResult`].
+///
+/// `outcomes` is indexed by [`TestJob::job`] (the [`plan_test_jobs`] order);
+/// `None` marks a job that never ran (cancelled). The fold walks cells in
+/// canonical order and, within each cell, tests in suite order:
+///
+/// * a complete run of `Ok` tests reproduces [`run_cell`]'s
+///   `Ok(SuiteResult)` byte-for-byte;
+/// * the first planning error ends the cell as `Err(reason)`, exactly where
+///   the serial [`run_suite`] would have stopped — later outcomes of that
+///   cell (which a parallel run may have produced anyway) are discarded;
+/// * a missing outcome truncates the cell: its finished prefix of tests is
+///   kept (so a `stop_on_first_fail` run still shows the failing test), and
+///   a cell with *no* finished tests is omitted entirely.
+///
+/// Returns the result plus the number of jobs that produced no outcome.
+/// With every outcome present the result is identical to serial
+/// [`run_campaign`].
+pub fn merge_test_outcomes(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+    outcomes: Vec<Option<TestJobOutcome>>,
+) -> (CampaignResult, usize) {
+    let cancelled = outcomes.iter().filter(|o| o.is_none()).count();
+    let mut it = outcomes.into_iter();
+    let mut result = CampaignResult::default();
+    for entry in entries {
+        for stand in stands {
+            let per_cell: Vec<Option<TestJobOutcome>> =
+                (&mut it).take(entry.suite.tests.len()).collect();
+            let mut results = Vec::new();
+            let mut outcome = None;
+            let mut complete = true;
+            for slot in per_cell {
+                match slot {
+                    Some(Ok(r)) => results.push(r),
+                    Some(Err(reason)) => {
+                        outcome = Some(Err(reason));
+                        break;
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            let outcome = match outcome {
+                Some(err) => err,
+                None if complete || !results.is_empty() => Ok(SuiteResult {
+                    suite: entry.suite.name.clone(),
+                    results,
+                }),
+                None => continue, // nothing of this cell ran
+            };
+            result.cells.push(CampaignCell {
+                suite: entry.suite.name.clone(),
+                stand: stand.name().to_owned(),
+                outcome,
+            });
+        }
+    }
+    (result, cancelled)
+}
+
 /// Runs every entry's suite on every stand, serially, in cell order — a
 /// thin wrapper over [`plan_cells`]/[`run_cell`]. For multi-worker
 /// execution with live progress events use
@@ -362,6 +530,95 @@ P1,    Dec1,     DS_FL
         );
         let cells: Vec<usize> = jobs.iter().map(|j| j.cell).collect();
         assert_eq!(cells, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_test_jobs_is_cell_major_test_minor() {
+        // Two entries (2 and 1 tests) on 2 stands: 6 jobs.
+        let jobs = plan_test_jobs(&[2, 1], 2);
+        assert_eq!(jobs.len(), 6);
+        let triples: Vec<(usize, usize, usize, usize)> = jobs
+            .iter()
+            .map(|j| (j.cell, j.entry, j.stand, j.test))
+            .collect();
+        assert_eq!(
+            triples,
+            vec![
+                (0, 0, 0, 0),
+                (0, 0, 0, 1),
+                (1, 0, 1, 0),
+                (1, 0, 1, 1),
+                (2, 1, 0, 0),
+                (3, 1, 1, 0),
+            ]
+        );
+        let ids: Vec<usize> = jobs.iter().map(|j| j.job).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn test_jobs_merge_back_to_the_serial_campaign() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let bare = TestStand::parse_str("bare.stand", BARE).unwrap();
+        let entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+        let stands = [&full, &bare];
+        let serial = run_campaign(&entries, &stands, &ExecOptions::default()).unwrap();
+
+        let jobs = plan_test_jobs(&[wb.suite.tests.len()], stands.len());
+        // Execute in reverse completion order to prove the merge re-sorts.
+        let mut outcomes: Vec<Option<TestJobOutcome>> = vec![None; jobs.len()];
+        for job in jobs.iter().rev() {
+            outcomes[job.job] = Some(
+                run_test_job(
+                    &entries[job.entry],
+                    stands[job.stand],
+                    job.test,
+                    &ExecOptions::default(),
+                )
+                .unwrap(),
+            );
+        }
+        let (merged, cancelled) = merge_test_outcomes(&entries, &stands, outcomes);
+        assert_eq!(cancelled, 0);
+        assert_eq!(merged, serial, "merge must reproduce serial byte-for-byte");
+    }
+
+    #[test]
+    fn merge_truncates_cancelled_cells_to_their_finished_prefix() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+        let stands = [&full, &full];
+        // Cell 0 finished its (single) test, cell 1 never ran.
+        let outcome = run_test_job(&entries[0], stands[0], 0, &ExecOptions::default()).unwrap();
+        let (merged, cancelled) = merge_test_outcomes(&entries, &stands, vec![Some(outcome), None]);
+        assert_eq!(cancelled, 1);
+        assert_eq!(merged.cells.len(), 1, "{merged}");
+        assert!(merged.cells[0].passed());
+    }
+
+    #[test]
+    fn merge_reports_the_first_planning_error_like_serial() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let bare = TestStand::parse_str("bare.stand", BARE).unwrap();
+        let entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+        let stands = [&bare];
+        let outcome = run_test_job(&entries[0], stands[0], 0, &ExecOptions::default()).unwrap();
+        assert!(outcome.is_err(), "bare stand cannot plan the test");
+        let serial = run_campaign(&entries, &stands, &ExecOptions::default()).unwrap();
+        let (merged, cancelled) = merge_test_outcomes(&entries, &stands, vec![Some(outcome)]);
+        assert_eq!(cancelled, 0);
+        assert_eq!(merged, serial);
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum CoreError {
         /// Its verdict summary.
         summary: String,
     },
+    /// Scheduled jobs produced no outcome although no cancellation was
+    /// requested — a worker died mid-job (e.g. a panic in the DUT model).
+    /// Raised instead of returning a silently truncated result.
+    JobsLost {
+        /// Number of jobs with no outcome.
+        lost: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +40,11 @@ impl fmt::Display for CoreError {
                 f,
                 "reference (fault-free) run of {test} did not pass: {summary}"
             ),
+            CoreError::JobsLost { lost } => write!(
+                f,
+                "{lost} campaign job(s) produced no outcome without cancellation \
+                 (worker died mid-job?)"
+            ),
         }
     }
 }
@@ -42,7 +54,7 @@ impl Error for CoreError {
         match self {
             CoreError::Codegen(e) => Some(e),
             CoreError::Stand(e) => Some(e),
-            CoreError::UnhealthyReference { .. } => None,
+            CoreError::UnhealthyReference { .. } | CoreError::JobsLost { .. } => None,
         }
     }
 }
@@ -73,5 +85,8 @@ mod tests {
         assert!(e.source().is_none());
         let e: CoreError = StandError::UnknownSignal { signal: "x".into() }.into();
         assert!(e.source().is_some());
+        let e = CoreError::JobsLost { lost: 3 };
+        assert!(e.to_string().contains("3 campaign job(s)"));
+        assert!(e.source().is_none());
     }
 }

@@ -154,6 +154,15 @@ impl TestResult {
     pub fn check_count(&self) -> usize {
         self.steps.iter().map(|s| s.checks.len()).sum()
     }
+
+    /// Simulated duration of the run: the end time of the last executed
+    /// step ([`SimTime::ZERO`] when nothing ran). Deterministic — unlike
+    /// wall-clock, it is identical across serial and parallel execution, so
+    /// reports can carry per-test timing without breaking the engine's
+    /// byte-identity guarantee.
+    pub fn sim_duration(&self) -> SimTime {
+        self.steps.last().map_or(SimTime::ZERO, |s| s.t_end)
+    }
 }
 
 impl fmt::Display for TestResult {
@@ -192,6 +201,13 @@ impl SuiteResult {
             .map(|r| r.verdict())
             .max()
             .unwrap_or(Verdict::Pass)
+    }
+
+    /// Total simulated duration across all tests.
+    pub fn sim_duration(&self) -> SimTime {
+        self.results
+            .iter()
+            .fold(SimTime::ZERO, |acc, r| acc.saturating_add(r.sim_duration()))
     }
 
     /// `(passed, failed, errored)` counts.
@@ -294,6 +310,32 @@ mod tests {
         };
         assert_eq!(suite.counts(), (1, 1, 1));
         assert_eq!(suite.verdict(), Verdict::Error);
+    }
+
+    #[test]
+    fn sim_duration_is_last_step_end() {
+        let mut r = TestResult {
+            test: "t".into(),
+            stand: "s".into(),
+            dut: "d".into(),
+            steps: vec![],
+            error: None,
+            trace: Trace::default(),
+        };
+        assert_eq!(r.sim_duration(), SimTime::ZERO);
+        for t_end in [500, 1500] {
+            r.steps.push(StepResult {
+                nr: 0,
+                t_end: SimTime::from_millis(t_end),
+                checks: vec![],
+            });
+        }
+        assert_eq!(r.sim_duration(), SimTime::from_millis(1500));
+        let suite = SuiteResult {
+            suite: "s".into(),
+            results: vec![r.clone(), r],
+        };
+        assert_eq!(suite.sim_duration(), SimTime::from_secs(3));
     }
 
     #[test]

@@ -3,16 +3,25 @@
 //! The campaign matrix (every suite × every stand × its DUT) is the paper's
 //! Section-5 evaluation shape, and its cells are independent: component
 //! verdicts compose without cross-talk, so the matrix is embarrassingly
-//! parallel. This crate turns `comptest-core`'s deterministic job plan
-//! ([`plan_cells`]) into wall-clock speedup:
+//! parallel — and because every test runs against a fresh power-cycled
+//! DUT, so are the tests *inside* a cell. This crate turns
+//! `comptest-core`'s deterministic job plans into wall-clock speedup at two
+//! granularities ([`Granularity`]):
 //!
-//! * the suite×stand matrix is sharded into [`CellJob`]s,
-//! * a scoped worker pool (`std::thread::scope`) drains one shared queue,
+//! * **cell-granular** ([`Granularity::Cell`]): the suite×stand matrix is
+//!   sharded into [`CellJob`]s and drained by a scoped pool — the coarse
+//!   mode of PR 1, still the default;
+//! * **test-granular** ([`Granularity::Test`]): the matrix is sharded into
+//!   [`TestJob`]s (one per (entry, stand, test) triple) and drained by a
+//!   persistent [`WorkerPool`] that outlives the campaign and can be
+//!   reused across successive runs ([`run_campaign_with_pool`]) — the mode
+//!   that wins when one large workbook would otherwise bound wall-clock;
 //! * workers stream [`EngineEvent`]s over an `mpsc` channel for live
-//!   progress,
-//! * finished cells merge back **in deterministic cell order** regardless
-//!   of completion order, so an N-worker run is cell-for-cell identical to
-//!   the serial [`run_campaign`](comptest_core::campaign::run_campaign).
+//!   progress (per cell, and per test at test granularity),
+//! * finished jobs merge back **in deterministic (cell, test) order**
+//!   regardless of completion order, so an N-worker run at either
+//!   granularity is cell-for-cell and test-for-test identical to the
+//!   serial [`run_campaign`](comptest_core::campaign::run_campaign).
 //!
 //! # Example
 //!
@@ -66,18 +75,59 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::Mutex;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use comptest_core::campaign::{
-    precheck_entries, run_cell, CampaignCell, CampaignEntry, CampaignResult,
+    execute_script_job, merge_test_outcomes, precheck_entries, run_cell, CampaignCell,
+    CampaignEntry, CampaignResult, TestJobOutcome,
 };
 use comptest_core::error::CoreError;
 use comptest_core::exec::ExecOptions;
+use comptest_dut::Device;
+use comptest_script::TestScript;
 use comptest_stand::TestStand;
 
-pub use comptest_core::campaign::{plan_cells, CellJob};
+pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};
+
+/// Scheduling granularity of a parallel campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// One job per (suite, stand) cell: a worker runs the whole suite.
+    /// Lowest overhead, but one large workbook bounds wall-clock.
+    #[default]
+    Cell,
+    /// One job per (suite, stand, test) triple: a large workbook's tests
+    /// spread over all workers, and `stop_on_first_fail` cancels at test
+    /// granularity.
+    Test,
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::Cell => "cell",
+            Granularity::Test => "test",
+        })
+    }
+}
+
+impl FromStr for Granularity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cell" => Ok(Granularity::Cell),
+            "test" => Ok(Granularity::Test),
+            other => Err(format!("unknown granularity {other:?} (cell|test)")),
+        }
+    }
+}
 
 /// Engine configuration (`ExecOptions`-style: plain data, `Default` +
 /// builders).
@@ -85,11 +135,16 @@ pub use comptest_core::campaign::{plan_cells, CellJob};
 pub struct EngineOptions {
     /// Worker threads draining the job queue. `1` forces strictly serial,
     /// in-order execution — the reference mode for determinism checks.
+    /// `0` is treated as `1` everywhere (see [`EngineOptions::effective_workers`]).
     pub workers: usize,
-    /// Cancel remaining jobs as soon as one cell fails (or is not
-    /// runnable). The result then contains only the cells that finished,
-    /// still in deterministic order.
+    /// Cancel remaining jobs as soon as one fails (or is not runnable).
+    /// At [`Granularity::Cell`] a whole cell is the unit of cancellation;
+    /// at [`Granularity::Test`] a single failing test cancels the rest,
+    /// and the interrupted cell keeps its finished prefix of tests. Either
+    /// way the result stays in deterministic order.
     pub stop_on_first_fail: bool,
+    /// Scheduling granularity (default: [`Granularity::Cell`]).
+    pub granularity: Granularity,
 }
 
 impl Default for EngineOptions {
@@ -97,6 +152,7 @@ impl Default for EngineOptions {
         Self {
             workers: 1,
             stop_on_first_fail: false,
+            granularity: Granularity::default(),
         }
     }
 }
@@ -114,6 +170,19 @@ impl EngineOptions {
     pub fn stop_on_first_fail(mut self, stop: bool) -> Self {
         self.stop_on_first_fail = stop;
         self
+    }
+
+    /// Sets the scheduling granularity (builder style).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// The worker count the engine will actually use: `workers`, but never
+    /// `0` — a hand-built `EngineOptions { workers: 0, .. }` must not
+    /// deadlock a pool with no threads.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
     }
 }
 
@@ -143,6 +212,39 @@ pub enum EngineEvent {
         /// True when the cell did not fully pass.
         failed: bool,
     },
+    /// A worker picked up one test of a cell ([`Granularity::Test`] only).
+    TestStarted {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Index of the test within its suite.
+        test: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// Test name.
+        name: String,
+    },
+    /// One test finished ([`Granularity::Test`] only).
+    TestFinished {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Index of the test within its suite.
+        test: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// Test name.
+        name: String,
+        /// Short status: the verdict (`PASS`, `FAIL`, `ERROR`) or
+        /// `NOT RUNNABLE` for per-test planning failures.
+        status: String,
+        /// True when the test did not pass.
+        failed: bool,
+        /// Wall-clock execution time of this test on its worker.
+        duration: Duration,
+    },
     /// The campaign is complete.
     CampaignDone {
         /// Tests passed across the matrix.
@@ -153,7 +255,9 @@ pub enum EngineEvent {
         errored: usize,
         /// Cells that could not be planned.
         not_runnable: usize,
-        /// Cells cancelled by `stop_on_first_fail` before they ran.
+        /// Jobs cancelled by `stop_on_first_fail` before they ran: whole
+        /// cells at [`Granularity::Cell`], single tests at
+        /// [`Granularity::Test`].
         cancelled: usize,
     },
 }
@@ -231,20 +335,300 @@ fn emit(events: Option<&Sender<EngineEvent>>, event: EngineEvent) {
     }
 }
 
-/// Runs the campaign matrix on a worker pool.
+/// A boxed unit of work for the [`WorkerPool`].
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool: `workers` threads constructed once, parked on
+/// a shared queue, reusable across successive campaigns (replay / watch
+/// mode pays thread start-up exactly once). Threads exit when the pool is
+/// dropped.
 ///
-/// With `workers == 1` the jobs run strictly in order on the calling
-/// thread; with more workers they are sharded over a scoped thread pool.
+/// The pool executes `'static` tasks, so campaign state is packaged per
+/// job (generated script, stand, freshly built device) rather than
+/// borrowed — that is what lets the pool outlive any single
+/// [`run_campaign_with_pool`] call without `unsafe`.
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Option<Sender<PoolTask>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (`0` is clamped to `1`).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<PoolTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while stealing, not while running.
+                    let task = match rx.lock().expect("pool queue lock").recv() {
+                        Ok(task) => task,
+                        Err(_) => return, // pool dropped
+                    };
+                    // A panicking task must not kill the thread: the pool is
+                    // persistent, and a dead worker would silently shrink
+                    // every later campaign (a 1-worker pool would run none of
+                    // its jobs at all). The panicked job's outcome is simply
+                    // missing, which the merge already reports as cancelled.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                })
+            })
+            .collect();
+        Self {
+            queue: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues one task. Tasks run in submission order (each idle worker
+    /// steals the oldest queued task).
+    fn submit(&self, task: PoolTask) {
+        self.queue
+            .as_ref()
+            .expect("pool queue open while pool is alive")
+            .send(task)
+            .expect("pool workers alive while pool is alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the queue wakes every worker with `Err(Disconnected)`.
+        self.queue.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One packaged test job: everything a pool worker needs, owned.
+struct PackagedJob {
+    job: usize,
+    cell: usize,
+    test: usize,
+    suite: String,
+    stand_name: String,
+    name: String,
+    script: Arc<TestScript>,
+    stand: Arc<TestStand>,
+    device: Device,
+}
+
+/// What a packaged job reports back to the collector.
+enum JobMsg {
+    Done(usize, TestJobOutcome),
+    Cancelled,
+}
+
+/// Executes one packaged job (worker side): plan against the stand, run
+/// against the fresh device, stream per-test events.
+fn run_packaged(
+    job: PackagedJob,
+    exec: &ExecOptions,
+    cancel: &AtomicBool,
+    stop_on_first_fail: bool,
+    events: Option<&Sender<EngineEvent>>,
+    results: &Sender<JobMsg>,
+) {
+    let PackagedJob {
+        job,
+        cell,
+        test,
+        suite,
+        stand_name,
+        name,
+        script,
+        stand,
+        mut device,
+    } = job;
+    if cancel.load(Ordering::SeqCst) {
+        let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    emit(
+        events,
+        EngineEvent::TestStarted {
+            cell,
+            test,
+            suite: suite.clone(),
+            stand: stand_name.clone(),
+            name: name.clone(),
+        },
+    );
+    let started = Instant::now();
+    let outcome = execute_script_job(&script, &stand, &mut device, exec);
+    let status = match &outcome {
+        Ok(result) => result.verdict().to_string(),
+        Err(_) => "NOT RUNNABLE".to_owned(),
+    };
+    let failed = !matches!(&outcome, Ok(r) if r.passed());
+    emit(
+        events,
+        EngineEvent::TestFinished {
+            cell,
+            test,
+            suite,
+            stand: stand_name,
+            name,
+            status,
+            failed,
+            duration: started.elapsed(),
+        },
+    );
+    if failed && stop_on_first_fail {
+        cancel.store(true, Ordering::SeqCst);
+    }
+    let _ = results.send(JobMsg::Done(job, outcome));
+}
+
+/// Packages the deterministic test-job list: scripts are generated once per
+/// (entry, test) and shared across stands, stands are cloned once, and
+/// every job gets its own freshly built device (the serial pipeline
+/// power-cycles the DUT per test; building up front keeps worker tasks
+/// `'static`). The trade-off is deliberate: all devices are live until
+/// their jobs run, which is cheap for simulated ECUs — revisit if device
+/// construction ever becomes heavy.
+fn package_jobs(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+) -> Result<Vec<PackagedJob>, CoreError> {
+    let scripts: Vec<Vec<Arc<TestScript>>> = entries
+        .iter()
+        .map(|e| {
+            Ok(comptest_script::generate_all(e.suite)?
+                .into_iter()
+                .map(Arc::new)
+                .collect())
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
+
+    let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
+    Ok(plan_test_jobs(&counts, stands.len())
+        .into_iter()
+        .map(|j| PackagedJob {
+            job: j.job,
+            cell: j.cell,
+            test: j.test,
+            suite: entries[j.entry].suite.name.clone(),
+            stand_name: stands[j.stand].name().to_owned(),
+            name: entries[j.entry].suite.tests[j.test].name.clone(),
+            script: Arc::clone(&scripts[j.entry][j.test]),
+            stand: Arc::clone(&stands_owned[j.stand]),
+            device: entries[j.entry].device_factory.build(),
+        })
+        .collect())
+}
+
+/// Runs a campaign at [`Granularity::Test`] on a caller-provided persistent
+/// [`WorkerPool`], so successive campaigns (replay, watch mode) reuse the
+/// same threads. The pool's size — not `options.workers` — decides the
+/// parallelism; `options.granularity` is ignored (this entry point *is* the
+/// test-granular engine).
+///
+/// The returned [`CampaignResult`] is merged in deterministic (cell, test)
+/// order via
+/// [`merge_test_outcomes`](comptest_core::campaign::merge_test_outcomes):
+/// without cancellation it is byte-identical to the serial
+/// [`run_campaign`](comptest_core::campaign::run_campaign).
+///
+/// `events` receives [`EngineEvent::TestStarted`] /
+/// [`EngineEvent::TestFinished`] per test and a final
+/// [`EngineEvent::CampaignDone`]; there are no per-cell `JobStarted` /
+/// `JobFinished` events at this granularity.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codegen`] for invalid suites (checked up front),
+/// and [`CoreError::JobsLost`] when jobs vanish without cancellation (a
+/// worker died mid-job) — never a silently truncated result.
+pub fn run_campaign_with_pool(
+    pool: &WorkerPool,
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+    options: &EngineOptions,
+    exec: &ExecOptions,
+    events: Option<&Sender<EngineEvent>>,
+) -> Result<CampaignResult, CoreError> {
+    // No separate precheck: packaging generates every script up front and
+    // surfaces the same first codegen error before any job is submitted.
+    let jobs = package_jobs(entries, stands)?;
+    let n_jobs = jobs.len();
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let stop = options.stop_on_first_fail;
+    let exec = *exec;
+    let (results_tx, results_rx): (Sender<JobMsg>, Receiver<JobMsg>) = mpsc::channel();
+    for job in jobs {
+        let cancel = Arc::clone(&cancel);
+        let events = events.cloned();
+        let results = results_tx.clone();
+        pool.submit(Box::new(move || {
+            run_packaged(job, &exec, &cancel, stop, events.as_ref(), &results);
+        }));
+    }
+    drop(results_tx);
+
+    let mut slots: Vec<Option<TestJobOutcome>> = (0..n_jobs).map(|_| None).collect();
+    let mut acknowledged_cancels = 0usize;
+    for msg in results_rx.iter().take(n_jobs) {
+        match msg {
+            JobMsg::Done(job, outcome) => slots[job] = Some(outcome),
+            JobMsg::Cancelled => acknowledged_cancels += 1,
+        }
+    }
+
+    let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
+    // Every job either reports an outcome or acknowledges cancellation; a
+    // slot that is missing *without* an acknowledgement means a worker died
+    // mid-job (a panic caught by the pool). Surface it instead of returning
+    // a silently truncated — possibly all-green — result, even when
+    // `stop_on_first_fail` makes genuine cancellations expected.
+    let lost = cancelled.saturating_sub(acknowledged_cancels);
+    if lost > 0 {
+        return Err(CoreError::JobsLost { lost });
+    }
+    let (passed, failed, errored, not_runnable) = result.totals();
+    emit(
+        events,
+        EngineEvent::CampaignDone {
+            passed,
+            failed,
+            errored,
+            not_runnable,
+            cancelled,
+        },
+    );
+    Ok(result)
+}
+
+/// Runs the campaign matrix on a worker pool at the granularity selected
+/// in [`EngineOptions::granularity`].
+///
+/// At [`Granularity::Cell`] with `workers == 1` the jobs run strictly in
+/// order on the calling thread; with more workers they are sharded over a
+/// scoped thread pool. At [`Granularity::Test`] a fresh [`WorkerPool`] is
+/// built for the run — construct one yourself and call
+/// [`run_campaign_with_pool`] to amortise thread start-up across campaigns.
 /// Either way the returned [`CampaignResult`] lists cells in the canonical
 /// deterministic order of [`plan_cells`] — byte-identical to the serial
-/// [`run_campaign`](comptest_core::campaign::run_campaign) (modulo cells
+/// [`run_campaign`](comptest_core::campaign::run_campaign) (modulo jobs
 /// skipped by `stop_on_first_fail`).
 ///
 /// `events`, when given, receives [`EngineEvent`]s as jobs start and
-/// finish, plus a final [`EngineEvent::CampaignDone`] when the campaign
-/// completes. No `CampaignDone` is sent when a fatal error aborts the run
-/// (the `Err` return carries the outcome instead), so a started job may
-/// have no matching `JobFinished`.
+/// finish (per cell at cell granularity, per test at test granularity),
+/// plus a final [`EngineEvent::CampaignDone`] when the campaign completes.
+/// No `CampaignDone` is sent when a fatal error aborts the run (the `Err`
+/// return carries the outcome instead), so a started job may have no
+/// matching `JobFinished`.
 ///
 /// # Errors
 ///
@@ -257,6 +641,10 @@ pub fn run_campaign_parallel(
     exec: &ExecOptions,
     events: Option<&Sender<EngineEvent>>,
 ) -> Result<CampaignResult, CoreError> {
+    if options.granularity == Granularity::Test {
+        let pool = WorkerPool::new(options.effective_workers());
+        return run_campaign_with_pool(&pool, entries, stands, options, exec, events);
+    }
     precheck_entries(entries)?;
     let jobs = plan_cells(entries.len(), stands.len());
     let n_jobs = jobs.len();
@@ -272,7 +660,7 @@ pub fn run_campaign_parallel(
         exec,
     };
 
-    let workers = options.workers.clamp(1, n_jobs.max(1));
+    let workers = options.effective_workers().min(n_jobs.max(1));
     if workers <= 1 {
         shared.work(events);
     } else {
@@ -468,6 +856,215 @@ step, dt,  DS_FL, NIGHT, INT_ILL
         .unwrap();
         assert_eq!(result.cells.len(), 1, "{result}");
         assert!(!result.cells[0].passed());
+    }
+
+    /// Pass, fail, pass — exercises per-test cancellation mid-cell.
+    const WB_MIXED: &str = "\
+[suite]
+name = mixed
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test ok_first]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+
+[test fails_second]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Ho
+
+[test never_runs]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Lo
+";
+
+    #[test]
+    fn granularity_parses_and_displays() {
+        assert_eq!("cell".parse::<Granularity>().unwrap(), Granularity::Cell);
+        assert_eq!("test".parse::<Granularity>().unwrap(), Granularity::Test);
+        assert!("suite".parse::<Granularity>().is_err());
+        assert_eq!(Granularity::Test.to_string(), "test");
+        assert_eq!(Granularity::default(), Granularity::Cell);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_everywhere() {
+        assert_eq!(EngineOptions::with_workers(0).workers, 1);
+        // A hand-built options struct must not deadlock the engine either.
+        let options = EngineOptions {
+            workers: 0,
+            ..EngineOptions::default()
+        };
+        assert_eq!(options.effective_workers(), 1);
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let stand = stand();
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            let result = run_campaign_parallel(
+                &entries(&suites),
+                &[&stand],
+                &options.granularity(granularity),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert!(result.all_green(), "granularity {granularity}");
+        }
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let pool = WorkerPool::new(1);
+        pool.submit(Box::new(|| panic!("task bug")));
+        // The single worker must still be alive to run the next task.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || tx.send(42u8).expect("receiver alive")));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Ok(42),
+            "worker thread died on the panicking task"
+        );
+    }
+
+    #[test]
+    fn test_granular_matches_serial_and_cell_granular() {
+        let suites = vec![
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+        ];
+        let stand = stand();
+        let stands = [&stand, &stand];
+        let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let parallel = run_campaign_parallel(
+                &entries(&suites),
+                &stands,
+                &EngineOptions::with_workers(workers).granularity(Granularity::Test),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "test granular, workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_is_reusable_across_campaigns() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let stand = stand();
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let serial = run_campaign(&entries(&suites), &[&stand], &ExecOptions::default()).unwrap();
+        // Two successive campaigns on the same threads (replay mode).
+        for round in 0..2 {
+            let result = run_campaign_with_pool(
+                &pool,
+                &entries(&suites),
+                &[&stand],
+                &EngineOptions::default(),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(result, serial, "round {round}");
+        }
+    }
+
+    #[test]
+    fn test_granular_events_cover_every_test() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let stand = stand();
+        let (tx, rx) = mpsc::channel();
+        let result = run_campaign_parallel(
+            &entries(&suites),
+            &[&stand],
+            &EngineOptions::with_workers(2).granularity(Granularity::Test),
+            &ExecOptions::default(),
+            Some(&tx),
+        )
+        .unwrap();
+        drop(tx);
+        assert!(result.all_green());
+        let events: Vec<EngineEvent> = rx.into_iter().collect();
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::TestStarted { .. }))
+            .count();
+        let mut names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::TestFinished {
+                    name,
+                    failed: false,
+                    ..
+                } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        names.sort_unstable();
+        assert_eq!(started, 2);
+        assert_eq!(names, ["day_off", "night_on"]);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, EngineEvent::JobStarted { .. })),
+            "no per-cell events at test granularity"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(EngineEvent::CampaignDone {
+                passed: 2,
+                failed: 0,
+                cancelled: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stop_on_first_fail_cancels_at_test_granularity() {
+        let suites = vec![Workbook::parse_str("m.cts", WB_MIXED).unwrap().suite];
+        let stand = stand();
+        let (tx, rx) = mpsc::channel();
+        let result = run_campaign_parallel(
+            &entries(&suites),
+            &[&stand],
+            &EngineOptions::with_workers(1)
+                .granularity(Granularity::Test)
+                .stop_on_first_fail(true),
+            &ExecOptions::default(),
+            Some(&tx),
+        )
+        .unwrap();
+        drop(tx);
+        // The interrupted cell keeps its finished prefix: the passing test
+        // and the failing one, but not the cancelled third.
+        assert_eq!(result.cells.len(), 1);
+        let suite_result = result.cells[0].outcome.as_ref().unwrap();
+        assert_eq!(suite_result.results.len(), 2, "{result}");
+        assert_eq!(suite_result.results[1].test, "fails_second");
+        match rx.into_iter().last() {
+            Some(EngineEvent::CampaignDone {
+                passed,
+                failed,
+                cancelled,
+                ..
+            }) => assert_eq!((passed, failed, cancelled), (1, 1, 1)),
+            other => panic!("expected CampaignDone, got {other:?}"),
+        }
     }
 
     #[test]

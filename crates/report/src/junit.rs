@@ -4,6 +4,13 @@ use comptest_core::campaign::CampaignResult;
 use comptest_core::{SuiteResult, Verdict};
 use comptest_script::xml::{write_document, Element};
 
+/// Formats a simulated duration as a JUnit `time` attribute (seconds).
+/// Simulated time is deterministic — identical across serial and parallel
+/// runs — so timed reports keep the engine's byte-identity guarantee.
+fn time_attr(t: comptest_model::SimTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
 /// Builds one `<testsuite>` element for a suite result. `name` is the
 /// rendered suite name (plain suite, or `suite@stand` in campaign reports);
 /// `classname_suite` keeps `classname` stable across both renderers.
@@ -13,12 +20,14 @@ fn suite_element(name: &str, classname_suite: &str, result: &SuiteResult) -> Ele
         .with_attr("name", name)
         .with_attr("tests", result.results.len().to_string())
         .with_attr("failures", failed.to_string())
-        .with_attr("errors", errored.to_string());
+        .with_attr("errors", errored.to_string())
+        .with_attr("time", time_attr(result.sim_duration()));
 
     for test in &result.results {
         let mut case = Element::new("testcase")
             .with_attr("name", test.test.clone())
-            .with_attr("classname", format!("{}.{}", classname_suite, test.dut));
+            .with_attr("classname", format!("{}.{}", classname_suite, test.dut))
+            .with_attr("time", time_attr(test.sim_duration()));
         match test.verdict() {
             Verdict::Pass => {}
             Verdict::Fail => {
@@ -191,7 +200,14 @@ mod tests {
             ],
         };
         let xml = junit_xml(&suite);
-        assert!(xml.contains("<testsuite name=\"lamp\" tests=\"3\" failures=\"1\" errors=\"1\">"));
+        assert!(
+            xml.contains(
+                "<testsuite name=\"lamp\" tests=\"3\" failures=\"1\" errors=\"1\" time=\"0.500\">"
+            ),
+            "{xml}"
+        );
+        // Per-test simulated timing: the failing test ran one 0.5 s step.
+        assert!(xml.contains("time=\"0.000\""));
         assert!(xml.contains("<failure message="));
         assert!(xml.contains("<error message=\"no such method\""));
         // It must parse with our own XML engine.

@@ -47,22 +47,25 @@ pub fn step_table(result: &TestResult) -> String {
     out
 }
 
-/// Renders a whole suite result as text.
+/// Renders a whole suite result as text, with per-test simulated timing
+/// (deterministic across serial and parallel execution).
 pub fn suite_text(result: &SuiteResult) -> String {
-    let mut table = TextTable::new(vec!["test", "verdict", "checks", "failures"]);
+    let mut table = TextTable::new(vec!["test", "verdict", "checks", "failures", "sim time"]);
     for r in &result.results {
         table.row(vec![
             r.test.clone(),
             r.verdict().to_string(),
             r.check_count().to_string(),
             r.failures().len().to_string(),
+            r.sim_duration().to_string(),
         ]);
     }
     let (p, f, e) = result.counts();
     format!(
-        "suite {}: {} — {p} passed, {f} failed, {e} errored\n{table}",
+        "suite {}: {} — {p} passed, {f} failed, {e} errored in {} simulated\n{table}",
         result.suite,
-        result.verdict()
+        result.verdict(),
+        result.sim_duration(),
     )
 }
 
@@ -145,6 +148,9 @@ mod tests {
         };
         let text = suite_text(&suite);
         assert!(text.contains("1 passed, 0 failed"));
+        // The per-test sim-time column shows the last step's end time.
+        assert!(text.contains("sim time"), "{text}");
+        assert!(text.contains("1s"), "{text}");
         let md = suite_markdown(&suite);
         assert!(md.contains("## Suite `interior_light`"));
         assert!(md.contains("✅ PASS"));

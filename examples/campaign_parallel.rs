@@ -1,7 +1,9 @@
 //! The Section-5 campaign matrix on the parallel execution engine: every
 //! bundled ECU suite × both full stands, sharded over a worker pool, with
 //! live progress streamed over the engine's event channel — then the same
-//! matrix serially, to show the results are cell-for-cell identical.
+//! matrix serially and test-granularly, to show the results are
+//! cell-for-cell identical at every granularity, and finally a second
+//! test-granular run on the *same* persistent pool (replay mode).
 //!
 //! ```sh
 //! cargo run --example campaign_parallel
@@ -28,6 +30,39 @@ fn load_entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
         .collect()
 }
 
+fn spawn_printer(rx: mpsc::Receiver<EngineEvent>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for event in rx {
+            match event {
+                EngineEvent::JobStarted { cell, suite, stand } => {
+                    println!("  [{cell}] {suite} on {stand} started");
+                }
+                EngineEvent::JobFinished { cell, status, .. } => {
+                    println!("  [{cell}] finished: {status}");
+                }
+                EngineEvent::TestStarted {
+                    cell, suite, name, ..
+                } => {
+                    println!("  [{cell}] {suite}::{name} started");
+                }
+                EngineEvent::TestFinished {
+                    cell,
+                    suite,
+                    name,
+                    status,
+                    duration,
+                    ..
+                } => {
+                    println!("  [{cell}] {suite}::{name}: {status} ({duration:.2?})");
+                }
+                EngineEvent::CampaignDone { passed, failed, .. } => {
+                    println!("  campaign done: {passed} passed, {failed} failed");
+                }
+            }
+        }
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stand_a = TestStand::load(comptest::asset("stand_a.stand"))?;
     let stand_b = TestStand::load(comptest::asset("stand_b.stand"))?;
@@ -41,23 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Result<_, _>>()?;
 
-    // Parallel run with live events.
+    // Cell-granular parallel run with live per-cell events.
+    println!("cell-granular, 4 workers:");
     let (tx, rx) = mpsc::channel();
-    let printer = std::thread::spawn(move || {
-        for event in rx {
-            match event {
-                EngineEvent::JobStarted { cell, suite, stand } => {
-                    println!("  [{cell}] {suite} on {stand} started");
-                }
-                EngineEvent::JobFinished { cell, status, .. } => {
-                    println!("  [{cell}] finished: {status}");
-                }
-                EngineEvent::CampaignDone { passed, failed, .. } => {
-                    println!("  campaign done: {passed} passed, {failed} failed");
-                }
-            }
-        }
-    });
+    let printer = spawn_printer(rx);
     let entries = load_entries(&suites);
     let t = Instant::now();
     let parallel = run_campaign_parallel(
@@ -71,6 +93,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     printer.join().expect("printer thread");
     let parallel_time = t.elapsed();
 
+    // Test-granular run on a persistent pool, with per-test events — and a
+    // second campaign on the same pool to show the threads are reusable.
+    println!("\ntest-granular, persistent 4-worker pool:");
+    let pool = WorkerPool::new(4);
+    let (tx, rx) = mpsc::channel();
+    let printer = spawn_printer(rx);
+    let entries = load_entries(&suites);
+    let t = Instant::now();
+    let test_granular = run_campaign_with_pool(
+        &pool,
+        &entries,
+        &stands,
+        &EngineOptions::default(),
+        &ExecOptions::default(),
+        Some(&tx),
+    )?;
+    drop(tx);
+    printer.join().expect("printer thread");
+    let test_time = t.elapsed();
+
+    let entries = load_entries(&suites);
+    let t = Instant::now();
+    let replay = run_campaign_with_pool(
+        &pool,
+        &entries,
+        &stands,
+        &EngineOptions::default(),
+        &ExecOptions::default(),
+        None,
+    )?;
+    let replay_time = t.elapsed();
+
     // Serial reference.
     let entries = load_entries(&suites);
     let t = Instant::now();
@@ -78,12 +132,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serial_time = t.elapsed();
 
     println!("\n{parallel}");
-    println!("serial   {serial_time:>10.2?}");
-    println!("4 workers{parallel_time:>10.2?}");
+    println!("serial          {serial_time:>10.2?}");
+    println!("4 workers/cell  {parallel_time:>10.2?}");
+    println!("4 workers/test  {test_time:>10.2?}");
+    println!("replay on pool  {replay_time:>10.2?}");
     assert_eq!(
         parallel, serial,
         "the engine merges cells in deterministic order"
     );
-    println!("parallel result is cell-for-cell identical to serial ✓");
+    assert_eq!(
+        test_granular, serial,
+        "test-granular jobs merge back test-for-test identical"
+    );
+    assert_eq!(replay, serial, "pool reuse changes nothing");
+    println!("parallel results are cell-for-cell identical to serial at both granularities ✓");
     Ok(())
 }

@@ -5,15 +5,19 @@
 //! comptest gen <workbook.cts> <test> [out.xml]
 //! comptest run <workbook.cts> <test> <stand.stand> <ecu>
 //! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
-//! comptest campaign <stand.stand>... [--workers N] [--junit out.xml]
+//! comptest campaign <stand.stand>... [--workers N] [--granularity cell|test] [--junit out.xml]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
 //!
 //! `campaign` runs every bundled ECU suite against every given stand on the
-//! parallel execution engine (`--workers N` shards the suite×stand matrix
-//! over N worker threads; default 1 = serial reference order), streaming
-//! live progress per cell and optionally writing a campaign JUnit report.
+//! parallel execution engine (`--workers N` shards the matrix over N worker
+//! threads; default 1 = serial reference order), streaming live progress
+//! and optionally writing a campaign JUnit report. `--granularity cell`
+//! (default) schedules one job per suite×stand cell; `--granularity test`
+//! shards down to single tests on a persistent worker pool — progress is
+//! then streamed per test, and a large workbook no longer bounds
+//! wall-clock.
 
 use std::process::ExitCode;
 
@@ -240,6 +244,7 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
     let mut stand_paths: Vec<&str> = Vec::new();
     let mut workers = 1usize;
+    let mut granularity = Granularity::Cell;
     let mut junit: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -247,6 +252,10 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "--workers" => {
                 let n = need(it.next().copied(), "--workers count")?;
                 workers = n.parse().map_err(|_| format!("bad worker count {n:?}"))?;
+            }
+            "--granularity" => {
+                let g = need(it.next().copied(), "--granularity (cell|test)")?;
+                granularity = g.parse()?;
             }
             "--junit" => junit = Some(need(it.next().copied(), "--junit path")?),
             other if other.starts_with("--") => {
@@ -301,6 +310,26 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 } => {
                     eprintln!("[{cell:>2}] {suite} on {stand}: {status}");
                 }
+                EngineEvent::TestStarted {
+                    cell,
+                    suite,
+                    stand,
+                    name,
+                    ..
+                } => {
+                    eprintln!("[{cell:>2}] {suite}::{name} on {stand} …");
+                }
+                EngineEvent::TestFinished {
+                    cell,
+                    suite,
+                    stand,
+                    name,
+                    status,
+                    duration,
+                    ..
+                } => {
+                    eprintln!("[{cell:>2}] {suite}::{name} on {stand}: {status} ({duration:.2?})");
+                }
                 EngineEvent::CampaignDone {
                     passed,
                     failed,
@@ -320,7 +349,7 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let result = run_campaign_parallel(
         &entries,
         &stand_refs,
-        &EngineOptions::with_workers(workers),
+        &EngineOptions::with_workers(workers).granularity(granularity),
         &ExecOptions::default(),
         Some(&tx),
     );

@@ -18,7 +18,7 @@
 //! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
 //! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
 //! | [`core`] | `comptest-core` | execution, campaigns, fault coverage |
-//! | [`engine`] | `comptest-engine` | parallel campaign execution (worker pool + events) |
+//! | [`engine`] | `comptest-engine` | parallel campaign execution (cell- or test-granular jobs on a persistent worker pool, live events) |
 //! | [`report`] | `comptest-report` | tables, markdown, JUnit |
 //!
 //! # Quickstart
@@ -63,7 +63,10 @@ pub mod prelude {
         execute, run_suite, run_test, ExecOptions, SampleMode, SuiteResult, TestResult, Verdict,
     };
     pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
-    pub use comptest_engine::{run_campaign_parallel, EngineEvent, EngineOptions};
+    pub use comptest_engine::{
+        run_campaign_parallel, run_campaign_with_pool, EngineEvent, EngineOptions, Granularity,
+        WorkerPool,
+    };
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};
     pub use comptest_sheets::Workbook;

@@ -1,6 +1,8 @@
 //! The parallel engine's core guarantee: an N-worker campaign produces a
 //! cell-for-cell identical `CampaignResult` to serial execution, regardless
-//! of completion order — plus the `stop_on_first_fail` early-cancel path.
+//! of completion order and scheduling granularity (whole cells or single
+//! tests on the persistent worker pool) — plus the `stop_on_first_fail`
+//! early-cancel path at both granularities.
 
 use std::sync::mpsc;
 
@@ -42,19 +44,47 @@ fn parallel_campaign_is_cell_for_cell_identical_to_serial() {
     let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
     assert_eq!(serial.cells.len(), 10);
 
-    for workers in [2usize, 4, 8] {
-        let parallel = run_campaign_parallel(
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for workers in [2usize, 4, 8] {
+            let parallel = run_campaign_parallel(
+                &entries(&suites),
+                &stands,
+                &EngineOptions::with_workers(workers).granularity(granularity),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(
+                parallel, serial,
+                "granularity {granularity}, workers = {workers}: \
+                 ordering or outcomes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn persistent_pool_reuse_is_identical_to_serial() {
+    let suites = load_suites();
+    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let stands = [&stand_a, &stand_b];
+    let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
+
+    // One pool, three campaigns (replay / watch mode): the worker threads
+    // are constructed once and reused; every run merges byte-identically.
+    let pool = WorkerPool::new(4);
+    for round in 0..3 {
+        let result = run_campaign_with_pool(
+            &pool,
             &entries(&suites),
             &stands,
-            &EngineOptions::with_workers(workers),
+            &EngineOptions::default(),
             &ExecOptions::default(),
             None,
         )
         .unwrap();
-        assert_eq!(
-            parallel, serial,
-            "workers = {workers}: ordering or outcomes diverged"
-        );
+        assert_eq!(result, serial, "round {round} diverged");
     }
 }
 
@@ -93,6 +123,100 @@ fn engine_events_cover_every_cell_exactly_once() {
         Some(EngineEvent::CampaignDone { cancelled: 0, .. })
     ));
     assert!(result.all_green(), "{result}");
+}
+
+#[test]
+fn test_granular_events_cover_every_test_exactly_once() {
+    let suites = load_suites();
+    let total_tests: usize = suites.iter().map(|s| s.tests.len()).sum();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let (tx, rx) = mpsc::channel();
+    let result = run_campaign_parallel(
+        &entries(&suites),
+        &[&stand_b],
+        &EngineOptions::with_workers(4).granularity(Granularity::Test),
+        &ExecOptions::default(),
+        Some(&tx),
+    )
+    .unwrap();
+    drop(tx);
+    let events: Vec<EngineEvent> = rx.into_iter().collect();
+
+    let mut started: Vec<(usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::TestStarted { cell, test, .. } => Some((*cell, *test)),
+            _ => None,
+        })
+        .collect();
+    started.sort_unstable();
+    started.dedup();
+    assert_eq!(started.len(), total_tests, "every (cell, test) starts once");
+    let finished = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::TestFinished { .. }))
+        .count();
+    assert_eq!(finished, total_tests);
+    assert!(
+        !events.iter().any(|e| matches!(
+            e,
+            EngineEvent::JobStarted { .. } | EngineEvent::JobFinished { .. }
+        )),
+        "per-cell events are a cell-granularity concept"
+    );
+    assert!(matches!(
+        events.last(),
+        Some(EngineEvent::CampaignDone { cancelled: 0, .. })
+    ));
+    assert!(result.all_green(), "{result}");
+}
+
+#[test]
+fn stop_on_first_fail_cancels_the_tail_at_test_granularity() {
+    // Stand MINI cannot run anything: with one worker and early-cancel the
+    // very first *test* comes back NOT RUNNABLE, the first cell is merged
+    // as not-runnable (exactly what serial reports for that cell), and
+    // every remaining test job is cancelled.
+    let suites = load_suites();
+    let total_tests: usize = suites.iter().map(|s| s.tests.len()).sum();
+    let mini = TestStand::load(comptest::asset("stand_minimal.stand")).unwrap();
+    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let stands = [&mini, &stand_b];
+
+    let (tx, rx) = mpsc::channel();
+    let result = run_campaign_parallel(
+        &entries(&suites),
+        &stands,
+        &EngineOptions::with_workers(1)
+            .granularity(Granularity::Test)
+            .stop_on_first_fail(true),
+        &ExecOptions::default(),
+        Some(&tx),
+    )
+    .unwrap();
+    drop(tx);
+
+    assert_eq!(
+        result.cells.len(),
+        1,
+        "only the failing cell merged:\n{result}"
+    );
+    assert!(result.cells[0].outcome.is_err());
+    match rx.into_iter().last() {
+        Some(EngineEvent::CampaignDone {
+            cancelled,
+            not_runnable,
+            ..
+        }) => {
+            assert_eq!(not_runnable, 1);
+            assert_eq!(
+                cancelled,
+                total_tests * 2 - 1,
+                "all test jobs after the first were cancelled"
+            );
+        }
+        other => panic!("expected CampaignDone, got {other:?}"),
+    }
 }
 
 #[test]
