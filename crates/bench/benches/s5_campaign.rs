@@ -55,9 +55,12 @@ fn fault_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-/// The full 5-ECU × 2-stand matrix on the parallel engine, sharded over
-/// 1/2/4/8 workers. The serial (1-worker) row is the baseline; the others
-/// demonstrate the wall-clock speedup of independent campaign cells.
+/// The full 5-ECU × 2-stand matrix through the `Campaign` builder on a
+/// pooled executor, sharded over 1/2/4/8 workers. The serial (1-worker)
+/// row is the baseline; the others demonstrate the wall-clock speedup of
+/// independent campaign cells. The executor is constructed inside the
+/// timed closure, matching the per-call thread start-up the PR-1 engine
+/// paid (the s6 `pool_reuse` bench isolates that cost).
 ///
 /// Cells run under continuous sampling (DESIGN.md §7's monitoring mode,
 /// ~100× the samples of end-of-step checking) — the soak regime where a
@@ -88,6 +91,7 @@ fn parallel_campaign(c: &mut Criterion) {
         ..ExecOptions::default()
     };
 
+    let campaign = Campaign::new(&entries, &stands).exec_options(soak);
     let mut group = c.benchmark_group("s5/parallel_campaign");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
@@ -95,18 +99,7 @@ fn parallel_campaign(c: &mut Criterion) {
             BenchmarkId::from_parameter(workers),
             &workers,
             |b, &workers| {
-                b.iter(|| {
-                    black_box(
-                        run_campaign_parallel(
-                            &entries,
-                            &stands,
-                            &EngineOptions::with_workers(workers),
-                            &soak,
-                            None,
-                        )
-                        .unwrap(),
-                    )
-                })
+                b.iter(|| black_box(campaign.run(&PooledExecutor::new(workers)).unwrap()))
             },
         );
     }
@@ -164,23 +157,13 @@ fn skewed_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("s5/skewed_granularity");
     group.sample_size(10);
     for granularity in [Granularity::Cell, Granularity::Test] {
+        let campaign = Campaign::new(&entries, &stands)
+            .exec_options(soak)
+            .granularity(granularity);
         group.bench_with_input(
             BenchmarkId::from_parameter(granularity),
             &granularity,
-            |b, &granularity| {
-                b.iter(|| {
-                    black_box(
-                        run_campaign_parallel(
-                            &entries,
-                            &stands,
-                            &EngineOptions::with_workers(4).granularity(granularity),
-                            &soak,
-                            None,
-                        )
-                        .unwrap(),
-                    )
-                })
-            },
+            |b, _| b.iter(|| black_box(campaign.run(&PooledExecutor::new(4)).unwrap())),
         );
     }
     group.finish();

@@ -84,23 +84,11 @@ fn cell_count_scaling(c: &mut Criterion) {
             })
             .collect();
         for granularity in [Granularity::Cell, Granularity::Test] {
+            let campaign = Campaign::new(&entries, &stands).granularity(granularity);
             group.bench_with_input(
                 BenchmarkId::new(granularity.to_string(), n_variants),
                 &granularity,
-                |b, &granularity| {
-                    b.iter(|| {
-                        black_box(
-                            run_campaign_parallel(
-                                &entries,
-                                &stands,
-                                &EngineOptions::with_workers(4).granularity(granularity),
-                                &ExecOptions::default(),
-                                None,
-                            )
-                            .unwrap(),
-                        )
-                    })
-                },
+                |b, _| b.iter(|| black_box(campaign.run(&PooledExecutor::new(4)).unwrap())),
             );
         }
     }
@@ -108,8 +96,9 @@ fn cell_count_scaling(c: &mut Criterion) {
 }
 
 /// Pool construction amortisation: the same 32-variant campaign run on a
-/// per-call pool vs a persistent pool reused across iterations — the
-/// watch-mode / replay scenario the persistent [`WorkerPool`] exists for.
+/// per-call executor vs a persistent executor reused across iterations —
+/// the watch-mode / replay scenario the persistent pool behind
+/// [`PooledExecutor`] exists for.
 fn pool_reuse(c: &mut Criterion) {
     let stand = variant_stand();
     let stands = [&stand];
@@ -121,33 +110,16 @@ fn pool_reuse(c: &mut Criterion) {
             device_factory: Box::new(|| build_device("interior_light", Default::default(), None)),
         })
         .collect();
-    let options = EngineOptions::with_workers(4).granularity(Granularity::Test);
+    let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
 
     let mut group = c.benchmark_group("s6/pool_reuse");
     group.sample_size(10);
     group.bench_function("fresh_pool_per_campaign", |b| {
-        b.iter(|| {
-            black_box(
-                run_campaign_parallel(&entries, &stands, &options, &ExecOptions::default(), None)
-                    .unwrap(),
-            )
-        })
+        b.iter(|| black_box(campaign.run(&PooledExecutor::new(4)).unwrap()))
     });
     group.bench_function("persistent_pool", |b| {
-        let pool = WorkerPool::new(4);
-        b.iter(|| {
-            black_box(
-                run_campaign_with_pool(
-                    &pool,
-                    &entries,
-                    &stands,
-                    &options,
-                    &ExecOptions::default(),
-                    None,
-                )
-                .unwrap(),
-            )
-        })
+        let executor = PooledExecutor::new(4);
+        b.iter(|| black_box(campaign.run(&executor).unwrap()))
     });
     group.finish();
 }

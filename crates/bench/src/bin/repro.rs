@@ -10,7 +10,7 @@
 //! circuit execution trace, `l1` XML listing, `s5` campaign + portability +
 //! fault coverage.
 
-use comptest::core::campaign::{run_campaign, CampaignEntry};
+use comptest::core::campaign::CampaignEntry;
 use comptest::core::coverage::RequirementCoverage;
 use comptest::core::faultcamp::run_fault_campaign;
 use comptest::core::portability::check_portability;
@@ -295,7 +295,9 @@ fn exp_s5() {
             }),
         })
         .collect();
-    let campaign = run_campaign(&entries, &[&stand_a, &stand_b], &ExecOptions::default())
+    let stands = [&stand_a, &stand_b];
+    let campaign = Campaign::new(&entries, &stands)
+        .run(&SerialExecutor)
         .expect("valid suites");
     println!("{campaign}");
 

@@ -11,17 +11,22 @@
 //! power-cycled DUT, the tests inside a cell are independent too. This
 //! module owns the *planning* half at both granularities:
 //!
-//! * cell-granular: the deterministic cell ordering ([`plan_cells`]), the
-//!   per-cell runner ([`run_cell`]) and the serial driver
-//!   ([`run_campaign`]);
+//! * cell-granular: the deterministic cell ordering ([`plan_cells`]) and
+//!   the per-cell runner ([`run_cell`]);
 //! * test-granular: the (entry, stand, test) job list
 //!   ([`plan_test_jobs`]), the single-test runner ([`run_test_job`]) and
 //!   the pure merge ([`merge_test_outcomes`]) that folds per-test outcomes
-//!   back into the same [`CampaignResult`] a serial run produces.
+//!   back into the same [`CampaignResult`] a serial run produces;
+//! * validation ([`validate_campaign`]): the structural checks behind the
+//!   engine's `Campaign` builder.
 //!
-//! The `comptest-engine` crate adds the worker pool that executes either
-//! job list concurrently.
+//! The `comptest-engine` crate owns *execution*: its `Campaign` builder
+//! launches these plans on pluggable executors (serial or pooled). The
+//! historical serial driver [`run_campaign`] survives as a deprecated
+//! shim-level reference.
 
+use std::collections::HashSet;
+use std::error::Error;
 use std::fmt;
 
 use comptest_dut::Device;
@@ -90,18 +95,7 @@ impl CampaignCell {
                 let (p, f, e) = r.counts();
                 format!("{} ({p}P/{f}F/{e}E)", r.verdict())
             }
-            Err(reason) => {
-                let first = reason.lines().next().unwrap_or("").trim();
-                if first.is_empty() {
-                    return "NOT RUNNABLE".to_owned();
-                }
-                const LIMIT: usize = 60;
-                let mut short: String = first.chars().take(LIMIT).collect();
-                if first.chars().count() > LIMIT {
-                    short.push('…');
-                }
-                format!("NOT RUNNABLE ({short})")
-            }
+            Err(reason) => not_runnable_status(reason),
         }
     }
 
@@ -109,6 +103,24 @@ impl CampaignCell {
     pub fn passed(&self) -> bool {
         matches!(&self.outcome, Ok(r) if r.verdict() == Verdict::Pass)
     }
+}
+
+/// Renders a planning-failure reason as a short status: `NOT RUNNABLE
+/// (<first line, truncated>)`, so tables and live progress say *why*
+/// something could not run, not just that it could not. One
+/// implementation shared by [`CampaignCell::status`] and the engine's
+/// per-test events.
+pub fn not_runnable_status(reason: &str) -> String {
+    let first = reason.lines().next().unwrap_or("").trim();
+    if first.is_empty() {
+        return "NOT RUNNABLE".to_owned();
+    }
+    const LIMIT: usize = 60;
+    let mut short: String = first.chars().take(LIMIT).collect();
+    if first.chars().count() > LIMIT {
+        short.push('…');
+    }
+    format!("NOT RUNNABLE ({short})")
 }
 
 /// The campaign result matrix.
@@ -187,6 +199,71 @@ pub fn plan_cells(entries: usize, stands: usize) -> Vec<CellJob> {
         }
     }
     jobs
+}
+
+/// Why a campaign description can never launch — structural problems caught
+/// by [`validate_campaign`] before any job is planned or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignSpecError {
+    /// The campaign has no entries: nothing to run, nothing to verify.
+    NoEntries,
+    /// The campaign has no stands: nowhere to run.
+    NoStands,
+    /// Two stands share one name. Stand names key the result matrix rows
+    /// and the JUnit `suite@stand` ids, so duplicates would make the
+    /// report ambiguous.
+    DuplicateStand {
+        /// The repeated stand name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CampaignSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignSpecError::NoEntries => f.write_str("campaign has no entries (nothing to run)"),
+            CampaignSpecError::NoStands => f.write_str("campaign has no stands (nowhere to run)"),
+            CampaignSpecError::DuplicateStand { name } => write!(
+                f,
+                "duplicate stand {name:?} in campaign (stand names key result rows and reports)"
+            ),
+        }
+    }
+}
+
+impl Error for CampaignSpecError {}
+
+/// Validates the campaign shape: at least one entry, at least one stand,
+/// and no two stands sharing a name. The execution engines call this behind
+/// their campaign builder; codegen prechecks are separate (every executor
+/// generates all scripts up front and surfaces the first
+/// [`CoreError::Codegen`] before running a job).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCampaign`] describing the first structural
+/// problem found.
+pub fn validate_campaign(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+) -> Result<(), CoreError> {
+    if entries.is_empty() {
+        return Err(CampaignSpecError::NoEntries.into());
+    }
+    if stands.is_empty() {
+        return Err(CampaignSpecError::NoStands.into());
+    }
+    let mut seen = HashSet::new();
+    for stand in stands {
+        if !seen.insert(stand.name()) {
+            return Err(CampaignSpecError::DuplicateStand {
+                name: stand.name().to_owned(),
+            }
+            .into());
+        }
+    }
+    Ok(())
 }
 
 /// Surfaces codegen errors early: they are suite bugs no stand could ever
@@ -341,11 +418,25 @@ pub fn run_test_job(
 /// Returns the result plus the number of jobs that produced no outcome.
 /// With every outcome present the result is identical to serial
 /// [`run_campaign`].
+///
+/// # Panics
+///
+/// Panics when `outcomes` does not cover the full [`plan_test_jobs`] list
+/// (one slot per (entry, stand, test) triple): a shorter vector is
+/// indistinguishable from "every remaining suite ran zero tests" and would
+/// silently merge never-ran cells as empty, *passing* suites — the exact
+/// silent-green outcome [`CoreError::JobsLost`] exists to prevent.
 pub fn merge_test_outcomes(
     entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
     outcomes: Vec<Option<TestJobOutcome>>,
 ) -> (CampaignResult, usize) {
+    let expected: usize = entries.iter().map(|e| e.suite.tests.len()).sum::<usize>() * stands.len();
+    assert_eq!(
+        outcomes.len(),
+        expected,
+        "outcomes must cover every planned test job"
+    );
     let cancelled = outcomes.iter().filter(|o| o.is_none()).count();
     let mut it = outcomes.into_iter();
     let mut result = CampaignResult::default();
@@ -388,15 +479,22 @@ pub fn merge_test_outcomes(
 }
 
 /// Runs every entry's suite on every stand, serially, in cell order — a
-/// thin wrapper over [`plan_cells`]/[`run_cell`]. For multi-worker
-/// execution with live progress events use
-/// `comptest_engine::run_campaign_parallel`, which produces a cell-for-cell
-/// identical matrix.
+/// thin wrapper over [`plan_cells`]/[`run_cell`].
+///
+/// Deprecated: the campaign-running surface lives behind
+/// `comptest_engine::Campaign` now; `Campaign::new(entries, stands)`
+/// launched on a `SerialExecutor` produces a byte-identical result (and a
+/// `PooledExecutor` a cell-for-cell identical one, with live events and
+/// cancellation on top).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Codegen`] only for invalid suites, which no stand
 /// could ever run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use comptest_engine::Campaign with a SerialExecutor (or PooledExecutor) instead"
+)]
 pub fn run_campaign(
     entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
@@ -412,6 +510,10 @@ pub fn run_campaign(
     Ok(result)
 }
 
+// The serial `run_campaign` is deprecated in favour of the engine's
+// `Campaign` builder, but it stays the in-crate byte-identity reference the
+// merge tests anchor to.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,5 +728,57 @@ P1,    Dec1,     DS_FL
         let factory: Box<dyn DeviceFactory> =
             Box::new(|| interior_light::device(Default::default()));
         assert_eq!(factory.build().behavior_name(), "interior_light");
+    }
+
+    #[test]
+    #[should_panic(expected = "outcomes must cover every planned test job")]
+    fn merge_rejects_an_undersized_outcome_vector() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+        // One job is planned (1 suite × 1 test × 1 stand); an empty vector
+        // must not merge into an all-green nothing-ran result.
+        let _ = merge_test_outcomes(&entries, &[&full], vec![]);
+    }
+
+    #[test]
+    fn not_runnable_status_truncates_to_the_first_line() {
+        assert_eq!(not_runnable_status(""), "NOT RUNNABLE");
+        assert_eq!(not_runnable_status("no dvm"), "NOT RUNNABLE (no dvm)");
+        let long = not_runnable_status(&format!("{}\nsecond", "e".repeat(100)));
+        assert!(long.ends_with("…)"), "{long}");
+        assert!(long.len() < 80, "{long}");
+    }
+
+    #[test]
+    fn validate_campaign_rejects_structural_problems() {
+        let wb = Workbook::parse_str("wb.cts", WB).unwrap();
+        let full = TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap();
+        let entries = vec![CampaignEntry {
+            suite: &wb.suite,
+            device_factory: Box::new(|| interior_light::device(Default::default())),
+        }];
+
+        assert_eq!(
+            validate_campaign(&[], &[&full]).unwrap_err(),
+            CampaignSpecError::NoEntries.into()
+        );
+        assert_eq!(
+            validate_campaign(&entries, &[]).unwrap_err(),
+            CampaignSpecError::NoStands.into()
+        );
+        let dup = validate_campaign(&entries, &[&full, &full]).unwrap_err();
+        assert_eq!(
+            dup,
+            CampaignSpecError::DuplicateStand {
+                name: "HIL-A".into()
+            }
+            .into()
+        );
+        assert!(dup.to_string().contains("duplicate stand \"HIL-A\""));
+        validate_campaign(&entries, &[&full]).expect("one entry on one stand is a campaign");
     }
 }

@@ -6,12 +6,17 @@ use std::fmt;
 use comptest_script::CodegenError;
 use comptest_stand::StandError;
 
+use crate::campaign::CampaignSpecError;
+
 /// Any error raised while assembling or running the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CoreError {
     /// Script generation failed (invalid suite / unknown test).
     Codegen(CodegenError),
+    /// The campaign description itself is invalid (no entries, no stands,
+    /// duplicate stand names) — rejected by validation before any job runs.
+    InvalidCampaign(CampaignSpecError),
     /// Stand-side planning failed (allocation, statement resolution).
     Stand(StandError),
     /// The healthy reference run of a fault campaign did not pass, so fault
@@ -35,6 +40,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Codegen(e) => e.fmt(f),
+            CoreError::InvalidCampaign(e) => e.fmt(f),
             CoreError::Stand(e) => e.fmt(f),
             CoreError::UnhealthyReference { test, summary } => write!(
                 f,
@@ -53,6 +59,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Codegen(e) => Some(e),
+            CoreError::InvalidCampaign(e) => Some(e),
             CoreError::Stand(e) => Some(e),
             CoreError::UnhealthyReference { .. } | CoreError::JobsLost { .. } => None,
         }
@@ -68,6 +75,12 @@ impl From<CodegenError> for CoreError {
 impl From<StandError> for CoreError {
     fn from(e: StandError) -> Self {
         CoreError::Stand(e)
+    }
+}
+
+impl From<CampaignSpecError> for CoreError {
+    fn from(e: CampaignSpecError) -> Self {
+        CoreError::InvalidCampaign(e)
     }
 }
 
@@ -88,5 +101,8 @@ mod tests {
         let e = CoreError::JobsLost { lost: 3 };
         assert!(e.to_string().contains("3 campaign job(s)"));
         assert!(e.source().is_none());
+        let e: CoreError = CampaignSpecError::NoEntries.into();
+        assert!(e.to_string().contains("no entries"));
+        assert!(e.source().is_some());
     }
 }

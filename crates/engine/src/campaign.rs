@@ -1,0 +1,214 @@
+//! The [`Campaign`] builder: one validated description of a campaign run,
+//! launchable on any [`CampaignExecutor`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use comptest_core::campaign::{validate_campaign, CampaignEntry, CampaignResult};
+use comptest_core::error::CoreError;
+use comptest_core::exec::ExecOptions;
+use comptest_stand::TestStand;
+
+use crate::executor::CampaignExecutor;
+use crate::handle::{CampaignHandle, CancelToken};
+
+/// Scheduling granularity of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// One job per (suite, stand) cell: a worker runs the whole suite.
+    /// Lowest overhead, but one large workbook bounds wall-clock.
+    #[default]
+    Cell,
+    /// One job per (suite, stand, test) triple: a large workbook's tests
+    /// spread over all workers, and cancellation cuts in at test
+    /// granularity.
+    Test,
+}
+
+impl Granularity {
+    /// The accepted `FromStr` spellings, for CLI error messages.
+    pub const ACCEPTED: [&'static str; 2] = ["cell", "test"];
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::Cell => "cell",
+            Granularity::Test => "test",
+        })
+    }
+}
+
+impl FromStr for Granularity {
+    type Err = String;
+
+    /// Parses a granularity name, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cell" => Ok(Granularity::Cell),
+            "test" => Ok(Granularity::Test),
+            _ => Err(format!(
+                "unknown granularity {s:?}: expected one of {}",
+                Granularity::ACCEPTED.join(", ")
+            )),
+        }
+    }
+}
+
+/// One campaign, described once and launchable on any executor: the
+/// entries × stands matrix plus execution options, scheduling granularity
+/// and cancellation policy.
+///
+/// The builder owns *validation*: [`Campaign::launch`] rejects empty
+/// matrices and duplicate stand names before any executor sees the
+/// campaign ([`CoreError::InvalidCampaign`]), and every executor surfaces
+/// the first codegen error before running a job. Fields are public so
+/// executor implementations (including out-of-crate ones) can read the
+/// whole description; the chainable methods are the intended way to set
+/// them.
+///
+/// # Example
+///
+/// ```no_run
+/// use comptest_core::campaign::CampaignEntry;
+/// use comptest_engine::{Campaign, Granularity, PooledExecutor};
+/// # fn demo(entries: &[CampaignEntry<'_>], stands: &[&comptest_stand::TestStand])
+/// # -> Result<(), comptest_core::CoreError> {
+/// let executor = PooledExecutor::new(4);
+/// let mut handle = Campaign::new(entries, stands)
+///     .granularity(Granularity::Test)
+///     .stop_on_first_fail(true)
+///     .launch(&executor)?;
+/// for event in handle.events() {
+///     eprintln!("{event:?}");
+/// }
+/// let outcome = handle.join()?;
+/// println!("{}", outcome.result);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Campaign<'a, 'b> {
+    /// Campaign entries (suite + device factory); major axis of the
+    /// result matrix.
+    pub entries: &'a [CampaignEntry<'b>],
+    /// Stands; minor axis of the result matrix.
+    pub stands: &'a [&'a TestStand],
+    /// Per-test execution options.
+    pub exec: ExecOptions,
+    /// Scheduling granularity (default: [`Granularity::Cell`]).
+    pub granularity: Granularity,
+    /// Cancel remaining jobs as soon as one fails (or is not runnable).
+    /// At [`Granularity::Cell`] a whole cell is the unit of cancellation;
+    /// at [`Granularity::Test`] a single failing test cancels the rest,
+    /// and the interrupted cell keeps its finished prefix of tests. Either
+    /// way the result stays in deterministic order.
+    pub stop_on_first_fail: bool,
+    /// External cancellation signal, shared across every launch of this
+    /// campaign. `stop_on_first_fail` trips a *per-run* latch instead, so
+    /// one failed run never poisons a relaunch.
+    pub cancel: CancelToken,
+}
+
+impl<'a, 'b> Campaign<'a, 'b> {
+    /// A campaign over `entries` × `stands` with default options: default
+    /// [`ExecOptions`], cell granularity, no early cancellation.
+    pub fn new(entries: &'a [CampaignEntry<'b>], stands: &'a [&'a TestStand]) -> Self {
+        Self {
+            entries,
+            stands,
+            exec: ExecOptions::default(),
+            granularity: Granularity::default(),
+            stop_on_first_fail: false,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Sets the per-test execution options (builder style).
+    pub fn exec_options(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the scheduling granularity (builder style).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Enables early cancellation on the first failed job (builder style).
+    pub fn stop_on_first_fail(mut self, stop: bool) -> Self {
+        self.stop_on_first_fail = stop;
+        self
+    }
+
+    /// Installs an external cancellation token (builder style) — e.g. one
+    /// shared with a ctrl-c handler. Cancelling it skips every job not yet
+    /// started, in this and any later launch of the campaign.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Number of schedulable jobs at the configured granularity: whole
+    /// suite×stand cells at [`Granularity::Cell`], single (entry, stand,
+    /// test) triples at [`Granularity::Test`]. This is what a fresh
+    /// per-campaign pool should be sized to (`workers.min(job_count)`) —
+    /// one home for the computation, so callers and executors cannot
+    /// drift.
+    pub fn job_count(&self) -> usize {
+        match self.granularity {
+            Granularity::Cell => self.entries.len() * self.stands.len(),
+            Granularity::Test => {
+                self.entries
+                    .iter()
+                    .map(|e| e.suite.tests.len())
+                    .sum::<usize>()
+                    * self.stands.len()
+            }
+        }
+    }
+
+    /// Validates the campaign shape: at least one entry, at least one
+    /// stand, no duplicate stand names. Called by [`Campaign::launch`];
+    /// exposed for callers that want to fail fast before building an
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCampaign`] for the first structural
+    /// problem.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        validate_campaign(self.entries, self.stands)
+    }
+
+    /// Validates the campaign and launches it on `executor`, returning a
+    /// [`CampaignHandle`] that streams typed events, supports cooperative
+    /// cancellation and joins into the deterministic result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCampaign`] for structural problems and
+    /// [`CoreError::Codegen`] for invalid suites — both before any job
+    /// runs.
+    pub fn launch<E: CampaignExecutor + ?Sized>(
+        &self,
+        executor: &E,
+    ) -> Result<CampaignHandle<'a>, CoreError> {
+        self.validate()?;
+        executor.launch(self)
+    }
+
+    /// Convenience: launch on `executor`, discard events, join, and return
+    /// the bare result matrix.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Campaign::launch`] and [`CampaignHandle::join`] raise.
+    pub fn run<E: CampaignExecutor + ?Sized>(
+        &self,
+        executor: &E,
+    ) -> Result<CampaignResult, CoreError> {
+        Ok(self.launch(executor)?.join()?.result)
+    }
+}

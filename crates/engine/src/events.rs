@@ -1,0 +1,102 @@
+//! Live progress events streamed while a campaign runs.
+
+use std::sync::mpsc::Sender;
+use std::time::Duration;
+
+/// Live progress events emitted while a campaign runs.
+///
+/// The variant set depends on the scheduling granularity: cell-granular
+/// runs emit [`EngineEvent::JobStarted`] / [`EngineEvent::JobFinished`] per
+/// suite×stand cell, test-granular runs emit [`EngineEvent::TestStarted`] /
+/// [`EngineEvent::TestFinished`] per single test.
+///
+/// Marked `#[non_exhaustive]`: future executors (the planned async
+/// event-loop engine, campaign caching) will add event kinds, so matches
+/// outside this crate need a wildcard arm —
+/// `comptest_report::progress::progress_line` renders every variant and is
+/// the recommended way to print these.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A worker picked up a cell.
+    JobStarted {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+    },
+    /// A cell finished (executed or found not runnable).
+    JobFinished {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// The cell's short status line (`PASS (3P/0F/0E)`, `NOT RUNNABLE
+        /// (…)`).
+        status: String,
+        /// True when the cell did not fully pass.
+        failed: bool,
+    },
+    /// A worker picked up one test of a cell (test granularity only).
+    TestStarted {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Index of the test within its suite.
+        test: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// Test name.
+        name: String,
+    },
+    /// One test finished (test granularity only).
+    TestFinished {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Index of the test within its suite.
+        test: usize,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// Test name.
+        name: String,
+        /// Short status: the verdict (`PASS`, `FAIL`, `ERROR`) or
+        /// `NOT RUNNABLE` for per-test planning failures.
+        status: String,
+        /// True when the test did not pass.
+        failed: bool,
+        /// Wall-clock execution time of this test on its worker.
+        duration: Duration,
+    },
+    /// The campaign is complete.
+    ///
+    /// Only the deprecated shim entry points emit this terminal marker; in
+    /// the builder API the event stream simply ends and
+    /// [`CampaignHandle::join`](crate::CampaignHandle::join) returns the
+    /// totals as a [`CampaignOutcome`](crate::CampaignOutcome).
+    CampaignDone {
+        /// Tests passed across the matrix.
+        passed: usize,
+        /// Tests failed across the matrix.
+        failed: usize,
+        /// Tests errored across the matrix.
+        errored: usize,
+        /// Cells that could not be planned.
+        not_runnable: usize,
+        /// Jobs cancelled before they ran: whole cells at cell
+        /// granularity, single tests at test granularity.
+        cancelled: usize,
+    },
+}
+
+/// Sends one event, ignoring a dropped receiver: an abandoned event stream
+/// must never fail the campaign.
+pub(crate) fn emit(events: &Sender<EngineEvent>, event: EngineEvent) {
+    let _ = events.send(event);
+}

@@ -1,0 +1,624 @@
+//! Pluggable campaign executors: the [`CampaignExecutor`] trait, the
+//! in-order [`SerialExecutor`] reference and the [`PooledExecutor`] backed
+//! by a persistent [`WorkerPool`].
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use comptest_core::campaign::{
+    execute_script_job, merge_test_outcomes, plan_cells, plan_test_jobs, CampaignCell,
+    CampaignEntry, CampaignResult, TestJobOutcome,
+};
+use comptest_core::error::CoreError;
+use comptest_core::exec::ExecOptions;
+use comptest_core::SuiteResult;
+use comptest_dut::Device;
+use comptest_script::TestScript;
+use comptest_stand::TestStand;
+
+use crate::campaign::{Campaign, Granularity};
+use crate::events::{emit, EngineEvent};
+use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
+use crate::pool::WorkerPool;
+
+/// A strategy for executing an already-validated [`Campaign`].
+///
+/// The contract every implementation (and the planned `AsyncExecutor`)
+/// must keep, so executors stay swappable without touching callers:
+///
+/// * jobs come from the deterministic plans ([`plan_cells`] /
+///   [`plan_test_jobs`]) and outcomes merge back in that canonical order,
+///   so the joined [`CampaignResult`] is byte-identical across executors
+///   and worker counts;
+/// * the first codegen error surfaces from `launch` before any job runs;
+/// * cancellation is cooperative: the campaign's [`CancelToken`]
+///   (`campaign.cancel`) and the per-run latch behind
+///   `stop_on_first_fail` are checked before each job starts, skipped
+///   jobs count into [`CampaignOutcome::cancelled`], and a started job
+///   always finishes — yielding the same prefix-truncation semantics at
+///   every worker count;
+/// * events stream per cell at [`Granularity::Cell`] and per test at
+///   [`Granularity::Test`], and the stream ends when the last job reports.
+///
+/// [`CancelToken`]: crate::CancelToken
+pub trait CampaignExecutor {
+    /// Launches the campaign, returning a handle to its events, its
+    /// cancellation token and its eventual result. Called via
+    /// [`Campaign::launch`], which validates first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Codegen`] for invalid suites; implementations
+    /// must not start jobs in that case.
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError>;
+}
+
+impl<E: CampaignExecutor + ?Sized> CampaignExecutor for &E {
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
+        (**self).launch(campaign)
+    }
+}
+
+/// Runs every job in plan order on the calling thread — the reference
+/// executor for determinism checks, byte-identical to the historical
+/// serial `run_campaign`.
+///
+/// `launch` executes the whole campaign before returning: the handle's
+/// event stream replays the buffered events and `join` is instant.
+/// Cancellation still works — `stop_on_first_fail` and the campaign's
+/// [`CancelToken`](crate::CancelToken) (cancellable from another thread
+/// while `launch` runs) skip every job not yet started.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl CampaignExecutor for SerialExecutor {
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
+        let cancel = RunCancel::new(campaign.cancel.clone());
+        let (tx, rx) = mpsc::channel();
+        let outcome = match campaign.granularity {
+            Granularity::Cell => serial_cells(campaign, &cancel, &tx),
+            Granularity::Test => serial_tests(campaign, &cancel, &tx),
+        }?;
+        drop(tx);
+        Ok(CampaignHandle::new(
+            EventStream::new(rx),
+            cancel.run_token(),
+            Box::new(move || Ok(outcome)),
+        ))
+    }
+}
+
+/// Serial cell-granular execution: one cell at a time, in plan order, from
+/// scripts generated exactly once per entry.
+fn serial_cells(
+    campaign: &Campaign<'_, '_>,
+    cancel: &RunCancel,
+    events: &Sender<EngineEvent>,
+) -> Result<CampaignOutcome, CoreError> {
+    // Generating all scripts up front is the codegen precheck.
+    let scripts = shared_scripts(campaign.entries)?;
+    let mut result = CampaignResult::default();
+    let mut cancelled = 0usize;
+    for job in plan_cells(campaign.entries.len(), campaign.stands.len()) {
+        if cancel.is_cancelled() {
+            cancelled += 1;
+            continue;
+        }
+        let entry = &campaign.entries[job.entry];
+        let stand = campaign.stands[job.stand];
+        emit(
+            events,
+            EngineEvent::JobStarted {
+                cell: job.cell,
+                suite: entry.suite.name.clone(),
+                stand: stand.name().to_owned(),
+            },
+        );
+        let cell = execute_cell(
+            entry.suite.name.clone(),
+            stand.name().to_owned(),
+            stand,
+            scripts[job.entry]
+                .iter()
+                .map(|s| (Arc::clone(s), entry.device_factory.build())),
+            &campaign.exec,
+        );
+        let failed = !cell.passed();
+        emit(
+            events,
+            EngineEvent::JobFinished {
+                cell: job.cell,
+                suite: cell.suite.clone(),
+                stand: cell.stand.clone(),
+                status: cell.status(),
+                failed,
+            },
+        );
+        result.cells.push(cell);
+        if failed && campaign.stop_on_first_fail {
+            cancel.trip();
+        }
+    }
+    Ok(CampaignOutcome { result, cancelled })
+}
+
+/// Serial test-granular execution: one generated script per test, a fresh
+/// device per job, merged through [`merge_test_outcomes`].
+fn serial_tests(
+    campaign: &Campaign<'_, '_>,
+    cancel: &RunCancel,
+    events: &Sender<EngineEvent>,
+) -> Result<CampaignOutcome, CoreError> {
+    let scripts: Vec<Vec<TestScript>> = campaign
+        .entries
+        .iter()
+        .map(|e| Ok(comptest_script::generate_all(e.suite)?))
+        .collect::<Result<_, CoreError>>()?;
+    let counts: Vec<usize> = campaign
+        .entries
+        .iter()
+        .map(|e| e.suite.tests.len())
+        .collect();
+    let jobs = plan_test_jobs(&counts, campaign.stands.len());
+    let mut slots: Vec<Option<TestJobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+    for job in &jobs {
+        if cancel.is_cancelled() {
+            continue;
+        }
+        let entry = &campaign.entries[job.entry];
+        let stand = campaign.stands[job.stand];
+        let name = entry.suite.tests[job.test].name.clone();
+        emit(
+            events,
+            EngineEvent::TestStarted {
+                cell: job.cell,
+                test: job.test,
+                suite: entry.suite.name.clone(),
+                stand: stand.name().to_owned(),
+                name: name.clone(),
+            },
+        );
+        let started = Instant::now();
+        let mut device = entry.device_factory.build();
+        let outcome = execute_script_job(
+            &scripts[job.entry][job.test],
+            stand,
+            &mut device,
+            &campaign.exec,
+        );
+        let (status, failed) = outcome_status(&outcome);
+        emit(
+            events,
+            EngineEvent::TestFinished {
+                cell: job.cell,
+                test: job.test,
+                suite: entry.suite.name.clone(),
+                stand: stand.name().to_owned(),
+                name,
+                status,
+                failed,
+                duration: started.elapsed(),
+            },
+        );
+        if failed && campaign.stop_on_first_fail {
+            cancel.trip();
+        }
+        slots[job.job] = Some(outcome);
+    }
+    let (result, cancelled) = merge_test_outcomes(campaign.entries, campaign.stands, slots);
+    Ok(CampaignOutcome { result, cancelled })
+}
+
+/// Short status line and failed flag of one test outcome — one
+/// implementation for every executor, so events agree byte-for-byte. The
+/// planning-failure reason is rendered the same way cell status lines
+/// render it (`NOT RUNNABLE (<first line, truncated>)`), so live per-test
+/// progress says *why* a test could not run.
+fn outcome_status(outcome: &TestJobOutcome) -> (String, bool) {
+    let status = match outcome {
+        Ok(result) => result.verdict().to_string(),
+        Err(reason) => comptest_core::campaign::not_runnable_status(reason),
+    };
+    let failed = !matches!(outcome, Ok(r) if r.passed());
+    (status, failed)
+}
+
+/// Executes one cell: the suite's tests in order, each against its own
+/// fresh device, stopping at the first planning error — the historical
+/// `run_cell` outcome byte for byte, from pre-generated scripts. The one
+/// cell-execution implementation shared by the serial and pooled paths.
+fn execute_cell(
+    suite: String,
+    stand_name: String,
+    stand: &TestStand,
+    tests: impl IntoIterator<Item = (Arc<TestScript>, Device)>,
+    exec: &ExecOptions,
+) -> CampaignCell {
+    let mut results = Vec::new();
+    let mut planning_error = None;
+    for (script, mut device) in tests {
+        match execute_script_job(&script, stand, &mut device, exec) {
+            Ok(result) => results.push(result),
+            Err(reason) => {
+                planning_error = Some(reason);
+                break;
+            }
+        }
+    }
+    let outcome = match planning_error {
+        Some(reason) => Err(reason),
+        None => Ok(SuiteResult {
+            suite: suite.clone(),
+            results,
+        }),
+    };
+    CampaignCell {
+        suite,
+        stand: stand_name,
+        outcome,
+    }
+}
+
+/// Executes campaigns on an owned persistent [`WorkerPool`]: jobs are
+/// packaged (`'static`) and drained by the pool's threads, events stream
+/// live, and the same executor is reusable across successive campaigns
+/// (replay / watch mode pays thread start-up once).
+///
+/// A bare [`WorkerPool`] is also a [`CampaignExecutor`]; this wrapper owns
+/// its pool so the common case needs no extra plumbing.
+#[derive(Debug)]
+pub struct PooledExecutor {
+    pool: WorkerPool,
+}
+
+impl PooledExecutor {
+    /// An executor with a fresh pool of `workers` threads (`0` is clamped
+    /// to `1`).
+    ///
+    /// Exactly `workers` threads are spawned for the executor's lifetime —
+    /// a persistent executor serving many campaigns is sized by its owner.
+    /// When building a fresh executor for one campaign, size it to
+    /// [`Campaign::job_count`] (`workers.min(campaign.job_count())`, as
+    /// the CLI and the deprecated shims do) so excess threads are not
+    /// constructed only to park on the queue.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(workers),
+        }
+    }
+
+    /// Wraps an existing pool.
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        Self { pool }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The backing pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+impl CampaignExecutor for PooledExecutor {
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
+        self.pool.launch(campaign)
+    }
+}
+
+impl CampaignExecutor for WorkerPool {
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
+        match campaign.granularity {
+            Granularity::Cell => launch_pooled_cells(self, campaign),
+            Granularity::Test => launch_pooled_tests(self, campaign),
+        }
+    }
+}
+
+/// What a packaged job reports back to the joining collector.
+enum JobMsg<T> {
+    /// Outcome of slot `usize`.
+    Done(usize, T),
+    /// The job observed cancellation and never ran.
+    Cancelled,
+}
+
+/// Drains exactly `jobs` collector messages into merge slots, counting
+/// acknowledged cancellations.
+fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Option<T>>, usize) {
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut acknowledged = 0usize;
+    for msg in results.iter().take(jobs) {
+        match msg {
+            JobMsg::Done(slot, outcome) => slots[slot] = Some(outcome),
+            JobMsg::Cancelled => acknowledged += 1,
+        }
+    }
+    (slots, acknowledged)
+}
+
+/// Every job either reports an outcome or acknowledges cancellation; a
+/// slot missing *without* an acknowledgement means a worker died mid-job
+/// (a panic caught by the pool). Surface it instead of returning a
+/// silently truncated — possibly all-green — result.
+fn check_lost(cancelled: usize, acknowledged: usize) -> Result<(), CoreError> {
+    let lost = cancelled.saturating_sub(acknowledged);
+    if lost > 0 {
+        return Err(CoreError::JobsLost { lost });
+    }
+    Ok(())
+}
+
+/// One packaged test job: everything a pool worker needs, owned.
+struct PackagedJob {
+    job: usize,
+    cell: usize,
+    test: usize,
+    suite: String,
+    stand_name: String,
+    name: String,
+    script: Arc<TestScript>,
+    stand: Arc<TestStand>,
+    device: Device,
+}
+
+/// Packages the deterministic test-job list: scripts are generated once per
+/// (entry, test) and shared across stands, stands are cloned once, and
+/// every job gets its own freshly built device (the serial pipeline
+/// power-cycles the DUT per test; building up front keeps worker tasks
+/// `'static`). The trade-off is deliberate: all devices are live until
+/// their jobs run, which is cheap for simulated ECUs — revisit if device
+/// construction ever becomes heavy.
+fn package_jobs(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+) -> Result<Vec<PackagedJob>, CoreError> {
+    let scripts = shared_scripts(entries)?;
+    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
+
+    let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
+    Ok(plan_test_jobs(&counts, stands.len())
+        .into_iter()
+        .map(|j| PackagedJob {
+            job: j.job,
+            cell: j.cell,
+            test: j.test,
+            suite: entries[j.entry].suite.name.clone(),
+            stand_name: stands[j.stand].name().to_owned(),
+            name: entries[j.entry].suite.tests[j.test].name.clone(),
+            script: Arc::clone(&scripts[j.entry][j.test]),
+            stand: Arc::clone(&stands_owned[j.stand]),
+            device: entries[j.entry].device_factory.build(),
+        })
+        .collect())
+}
+
+/// All scripts of all entries, generated up front (the codegen precheck)
+/// and `Arc`-shared across jobs.
+fn shared_scripts(entries: &[CampaignEntry<'_>]) -> Result<Vec<Vec<Arc<TestScript>>>, CoreError> {
+    entries
+        .iter()
+        .map(|e| {
+            Ok(comptest_script::generate_all(e.suite)?
+                .into_iter()
+                .map(Arc::new)
+                .collect())
+        })
+        .collect()
+}
+
+/// Executes one packaged test job (worker side): plan against the stand,
+/// run against the fresh device, stream per-test events.
+fn run_packaged_test(
+    job: PackagedJob,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop_on_first_fail: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<TestJobOutcome>>,
+) {
+    let PackagedJob {
+        job,
+        cell,
+        test,
+        suite,
+        stand_name,
+        name,
+        script,
+        stand,
+        mut device,
+    } = job;
+    if cancel.is_cancelled() {
+        let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    emit(
+        events,
+        EngineEvent::TestStarted {
+            cell,
+            test,
+            suite: suite.clone(),
+            stand: stand_name.clone(),
+            name: name.clone(),
+        },
+    );
+    let started = Instant::now();
+    let outcome = execute_script_job(&script, &stand, &mut device, exec);
+    let (status, failed) = outcome_status(&outcome);
+    emit(
+        events,
+        EngineEvent::TestFinished {
+            cell,
+            test,
+            suite,
+            stand: stand_name,
+            name,
+            status,
+            failed,
+            duration: started.elapsed(),
+        },
+    );
+    if failed && stop_on_first_fail {
+        cancel.trip();
+    }
+    let _ = results.send(JobMsg::Done(job, outcome));
+}
+
+/// Test-granular pooled launch: package every (entry, stand, test) triple,
+/// submit, and join by merging through [`merge_test_outcomes`].
+fn launch_pooled_tests<'a>(
+    pool: &WorkerPool,
+    campaign: &Campaign<'a, '_>,
+) -> Result<CampaignHandle<'a>, CoreError> {
+    let jobs = package_jobs(campaign.entries, campaign.stands)?;
+    let n_jobs = jobs.len();
+    let cancel = RunCancel::new(campaign.cancel.clone());
+    let stop = campaign.stop_on_first_fail;
+    let exec = campaign.exec;
+    let (events_tx, events_rx) = mpsc::channel();
+    let (results_tx, results_rx) = mpsc::channel();
+    for job in jobs {
+        let cancel = cancel.clone();
+        let events = events_tx.clone();
+        let results = results_tx.clone();
+        pool.submit(Box::new(move || {
+            run_packaged_test(job, &exec, &cancel, stop, &events, &results);
+        }));
+    }
+    // Drop the launch-side senders so both streams end with the last job.
+    drop(events_tx);
+    drop(results_tx);
+
+    let entries = campaign.entries;
+    let stands = campaign.stands;
+    let run_token = cancel.run_token();
+    Ok(CampaignHandle::new(
+        EventStream::new(events_rx),
+        run_token,
+        Box::new(move || {
+            let (slots, acknowledged) = collect(results_rx, n_jobs);
+            let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
+            check_lost(cancelled, acknowledged)?;
+            Ok(CampaignOutcome { result, cancelled })
+        }),
+    ))
+}
+
+/// One packaged cell job: the whole suite×stand cell, owned — scripts,
+/// stand, and one fresh device per test.
+struct PackagedCell {
+    cell: usize,
+    suite: String,
+    stand_name: String,
+    stand: Arc<TestStand>,
+    tests: Vec<(Arc<TestScript>, Device)>,
+}
+
+/// Packages the deterministic cell list for pooled cell-granular runs.
+fn package_cells(
+    entries: &[CampaignEntry<'_>],
+    stands: &[&TestStand],
+) -> Result<Vec<PackagedCell>, CoreError> {
+    let scripts = shared_scripts(entries)?;
+    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
+    Ok(plan_cells(entries.len(), stands.len())
+        .into_iter()
+        .map(|j| PackagedCell {
+            cell: j.cell,
+            suite: entries[j.entry].suite.name.clone(),
+            stand_name: stands[j.stand].name().to_owned(),
+            stand: Arc::clone(&stands_owned[j.stand]),
+            tests: scripts[j.entry]
+                .iter()
+                .map(|s| (Arc::clone(s), entries[j.entry].device_factory.build()))
+                .collect(),
+        })
+        .collect())
+}
+
+/// Executes one packaged cell (worker side) through [`execute_cell`],
+/// streaming per-cell events and honouring cancellation.
+fn run_packaged_cell(
+    cell: PackagedCell,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop_on_first_fail: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<CampaignCell>>,
+) {
+    if cancel.is_cancelled() {
+        let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    emit(
+        events,
+        EngineEvent::JobStarted {
+            cell: cell.cell,
+            suite: cell.suite.clone(),
+            stand: cell.stand_name.clone(),
+        },
+    );
+    let campaign_cell = execute_cell(cell.suite, cell.stand_name, &cell.stand, cell.tests, exec);
+    let failed = !campaign_cell.passed();
+    emit(
+        events,
+        EngineEvent::JobFinished {
+            cell: cell.cell,
+            suite: campaign_cell.suite.clone(),
+            stand: campaign_cell.stand.clone(),
+            status: campaign_cell.status(),
+            failed,
+        },
+    );
+    if failed && stop_on_first_fail {
+        cancel.trip();
+    }
+    let _ = results.send(JobMsg::Done(cell.cell, campaign_cell));
+}
+
+/// Cell-granular pooled launch: one packaged job per suite×stand cell.
+fn launch_pooled_cells<'a>(
+    pool: &WorkerPool,
+    campaign: &Campaign<'a, '_>,
+) -> Result<CampaignHandle<'a>, CoreError> {
+    let cells = package_cells(campaign.entries, campaign.stands)?;
+    let n_cells = cells.len();
+    let cancel = RunCancel::new(campaign.cancel.clone());
+    let stop = campaign.stop_on_first_fail;
+    let exec = campaign.exec;
+    let (events_tx, events_rx) = mpsc::channel();
+    let (results_tx, results_rx) = mpsc::channel();
+    for cell in cells {
+        let cancel = cancel.clone();
+        let events = events_tx.clone();
+        let results = results_tx.clone();
+        pool.submit(Box::new(move || {
+            run_packaged_cell(cell, &exec, &cancel, stop, &events, &results);
+        }));
+    }
+    drop(events_tx);
+    drop(results_tx);
+
+    let run_token = cancel.run_token();
+    Ok(CampaignHandle::new(
+        EventStream::new(events_rx),
+        run_token,
+        Box::new(move || {
+            let (slots, acknowledged) = collect(results_rx, n_cells);
+            let mut result = CampaignResult::default();
+            let mut cancelled = 0usize;
+            for slot in slots {
+                match slot {
+                    Some(cell) => result.cells.push(cell),
+                    None => cancelled += 1,
+                }
+            }
+            check_lost(cancelled, acknowledged)?;
+            Ok(CampaignOutcome { result, cancelled })
+        }),
+    ))
+}

@@ -1,34 +1,40 @@
-//! `comptest-engine` — parallel campaign execution.
+//! `comptest-engine` — campaign execution behind one composable API.
 //!
 //! The campaign matrix (every suite × every stand × its DUT) is the paper's
 //! Section-5 evaluation shape, and its cells are independent: component
 //! verdicts compose without cross-talk, so the matrix is embarrassingly
 //! parallel — and because every test runs against a fresh power-cycled
 //! DUT, so are the tests *inside* a cell. This crate turns
-//! `comptest-core`'s deterministic job plans into wall-clock speedup at two
-//! granularities ([`Granularity`]):
+//! `comptest-core`'s deterministic job plans into wall-clock speedup
+//! through three pieces:
 //!
-//! * **cell-granular** ([`Granularity::Cell`]): the suite×stand matrix is
-//!   sharded into [`CellJob`]s and drained by a scoped pool — the coarse
-//!   mode of PR 1, still the default;
-//! * **test-granular** ([`Granularity::Test`]): the matrix is sharded into
-//!   [`TestJob`]s (one per (entry, stand, test) triple) and drained by a
-//!   persistent [`WorkerPool`] that outlives the campaign and can be
-//!   reused across successive runs ([`run_campaign_with_pool`]) — the mode
-//!   that wins when one large workbook would otherwise bound wall-clock;
-//! * workers stream [`EngineEvent`]s over an `mpsc` channel for live
-//!   progress (per cell, and per test at test granularity),
-//! * finished jobs merge back **in deterministic (cell, test) order**
-//!   regardless of completion order, so an N-worker run at either
-//!   granularity is cell-for-cell and test-for-test identical to the
-//!   serial [`run_campaign`](comptest_core::campaign::run_campaign).
+//! * a [`Campaign`] builder describing one run — entries × stands,
+//!   [`ExecOptions`], scheduling [`Granularity`], `stop_on_first_fail` and
+//!   an optional external [`CancelToken`] — which owns validation (empty
+//!   matrices and duplicate stand names are rejected before anything
+//!   runs);
+//! * a [`CampaignExecutor`] trait with two implementations —
+//!   [`SerialExecutor`] (in-order on the calling thread, the determinism
+//!   reference) and [`PooledExecutor`] (a persistent [`WorkerPool`] that
+//!   outlives campaigns and amortises thread start-up across replays) —
+//!   and a contract written so a future `AsyncExecutor` slots in without
+//!   touching callers;
+//! * a [`CampaignHandle`] returned by [`Campaign::launch`]: a typed
+//!   [`EventStream`] of [`EngineEvent`]s, cooperative cancellation via
+//!   [`CancelToken`], and a [`CampaignHandle::join`] folding every
+//!   worker's outcome back **in deterministic (cell, test) order**, so an
+//!   N-worker run at either granularity is byte-identical to serial
+//!   execution.
+//!
+//! The PR-1/PR-2 free functions ([`run_campaign_parallel`],
+//! [`run_campaign_with_pool`], and `comptest_core`'s serial
+//! `run_campaign`) survive as deprecated shims over this API.
 //!
 //! # Example
 //!
 //! ```
 //! use comptest_core::campaign::CampaignEntry;
-//! use comptest_core::ExecOptions;
-//! use comptest_engine::{run_campaign_parallel, EngineOptions};
+//! use comptest_engine::{Campaign, Granularity, PooledExecutor};
 //! use comptest_sheets::Workbook;
 //! use comptest_stand::TestStand;
 //!
@@ -60,14 +66,18 @@
 //!         comptest_dut::ecus::interior_light::device(Default::default())
 //!     }),
 //! }];
-//! let result = run_campaign_parallel(
-//!     &entries,
-//!     &[&stand],
-//!     &EngineOptions::with_workers(4),
-//!     &ExecOptions::default(),
-//!     None,
-//! )?;
-//! assert!(result.all_green());
+//! let stands = [&stand];
+//! let executor = PooledExecutor::new(4);
+//! let mut handle = Campaign::new(&entries, &stands)
+//!     .granularity(Granularity::Test)
+//!     .launch(&executor)?;
+//! for event in handle.events() {
+//!     // live progress — see comptest_report::progress for rendering
+//!     let _ = event;
+//! }
+//! let outcome = handle.join()?;
+//! assert!(outcome.result.all_green());
+//! assert_eq!(outcome.cancelled, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -75,62 +85,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt;
-use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+mod campaign;
+mod events;
+mod executor;
+mod handle;
+mod pool;
 
-use comptest_core::campaign::{
-    execute_script_job, merge_test_outcomes, precheck_entries, run_cell, CampaignCell,
-    CampaignEntry, CampaignResult, TestJobOutcome,
-};
-use comptest_core::error::CoreError;
-use comptest_core::exec::ExecOptions;
-use comptest_dut::Device;
-use comptest_script::TestScript;
-use comptest_stand::TestStand;
+pub use campaign::{Campaign, Granularity};
+pub use events::EngineEvent;
+pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};
+pub use handle::{CampaignHandle, CampaignOutcome, CancelToken, EventStream};
+pub use pool::WorkerPool;
 
 pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};
 
-/// Scheduling granularity of a parallel campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Granularity {
-    /// One job per (suite, stand) cell: a worker runs the whole suite.
-    /// Lowest overhead, but one large workbook bounds wall-clock.
-    #[default]
-    Cell,
-    /// One job per (suite, stand, test) triple: a large workbook's tests
-    /// spread over all workers, and `stop_on_first_fail` cancels at test
-    /// granularity.
-    Test,
-}
+use std::sync::mpsc::Sender;
 
-impl fmt::Display for Granularity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Granularity::Cell => "cell",
-            Granularity::Test => "test",
-        })
-    }
-}
+use comptest_core::campaign::{CampaignEntry, CampaignResult};
+use comptest_core::error::CoreError;
+use comptest_core::exec::ExecOptions;
+use comptest_stand::TestStand;
 
-impl FromStr for Granularity {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "cell" => Ok(Granularity::Cell),
-            "test" => Ok(Granularity::Test),
-            other => Err(format!("unknown granularity {other:?} (cell|test)")),
-        }
-    }
-}
-
-/// Engine configuration (`ExecOptions`-style: plain data, `Default` +
-/// builders).
+/// Engine configuration for the **deprecated** free-function entry points
+/// (`ExecOptions`-style: plain data, `Default` + builders). The builder
+/// API spreads these across [`Campaign`] (granularity, stop-on-first-fail)
+/// and the executor (worker count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Worker threads draining the job queue. `1` forces strictly serial,
@@ -138,10 +117,7 @@ pub struct EngineOptions {
     /// `0` is treated as `1` everywhere (see [`EngineOptions::effective_workers`]).
     pub workers: usize,
     /// Cancel remaining jobs as soon as one fails (or is not runnable).
-    /// At [`Granularity::Cell`] a whole cell is the unit of cancellation;
-    /// at [`Granularity::Test`] a single failing test cancels the rest,
-    /// and the interrupted cell keeps its finished prefix of tests. Either
-    /// way the result stays in deterministic order.
+    /// See [`Campaign::stop_on_first_fail`] for the semantics.
     pub stop_on_first_fail: bool,
     /// Scheduling granularity (default: [`Granularity::Cell`]).
     pub granularity: Granularity,
@@ -186,370 +162,59 @@ impl EngineOptions {
     }
 }
 
-/// Live progress events emitted while a campaign runs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineEvent {
-    /// A worker picked up a cell.
-    JobStarted {
-        /// Deterministic cell index.
-        cell: usize,
-        /// Suite name.
-        suite: String,
-        /// Stand name.
-        stand: String,
-    },
-    /// A cell finished (executed or found not runnable).
-    JobFinished {
-        /// Deterministic cell index.
-        cell: usize,
-        /// Suite name.
-        suite: String,
-        /// Stand name.
-        stand: String,
-        /// The cell's short status line (`PASS (3P/0F/0E)`, `NOT RUNNABLE
-        /// (…)`).
-        status: String,
-        /// True when the cell did not fully pass.
-        failed: bool,
-    },
-    /// A worker picked up one test of a cell ([`Granularity::Test`] only).
-    TestStarted {
-        /// Deterministic cell index.
-        cell: usize,
-        /// Index of the test within its suite.
-        test: usize,
-        /// Suite name.
-        suite: String,
-        /// Stand name.
-        stand: String,
-        /// Test name.
-        name: String,
-    },
-    /// One test finished ([`Granularity::Test`] only).
-    TestFinished {
-        /// Deterministic cell index.
-        cell: usize,
-        /// Index of the test within its suite.
-        test: usize,
-        /// Suite name.
-        suite: String,
-        /// Stand name.
-        stand: String,
-        /// Test name.
-        name: String,
-        /// Short status: the verdict (`PASS`, `FAIL`, `ERROR`) or
-        /// `NOT RUNNABLE` for per-test planning failures.
-        status: String,
-        /// True when the test did not pass.
-        failed: bool,
-        /// Wall-clock execution time of this test on its worker.
-        duration: Duration,
-    },
-    /// The campaign is complete.
-    CampaignDone {
-        /// Tests passed across the matrix.
-        passed: usize,
-        /// Tests failed across the matrix.
-        failed: usize,
-        /// Tests errored across the matrix.
-        errored: usize,
-        /// Cells that could not be planned.
-        not_runnable: usize,
-        /// Jobs cancelled by `stop_on_first_fail` before they ran: whole
-        /// cells at [`Granularity::Cell`], single tests at
-        /// [`Granularity::Test`].
-        cancelled: usize,
-    },
-}
-
-/// Shared scheduler state: one atomic cursor over the deterministic job
-/// list (the "shared queue" — every worker steals the next un-taken job),
-/// a cancellation latch, and the merge slots.
-struct Shared<'a, 'b> {
-    entries: &'a [CampaignEntry<'b>],
-    stands: &'a [&'a TestStand],
-    jobs: Vec<CellJob>,
-    next: AtomicUsize,
-    cancel: AtomicBool,
-    slots: Mutex<Vec<Option<CampaignCell>>>,
-    fatal: Mutex<Option<CoreError>>,
-    options: EngineOptions,
-    exec: &'a ExecOptions,
-}
-
-impl Shared<'_, '_> {
-    /// One worker: steal jobs off the shared cursor until the queue drains
-    /// or the campaign is cancelled.
-    fn work(&self, events: Option<&Sender<EngineEvent>>) {
-        loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            let Some(job) = self.jobs.get(i) else {
-                return;
-            };
-            if self.cancel.load(Ordering::SeqCst) {
-                return;
-            }
-            let entry = &self.entries[job.entry];
-            let stand = self.stands[job.stand];
-            emit(
-                events,
-                EngineEvent::JobStarted {
-                    cell: job.cell,
-                    suite: entry.suite.name.clone(),
-                    stand: stand.name().to_owned(),
-                },
-            );
-            match run_cell(entry, stand, self.exec) {
-                Ok(cell) => {
-                    let failed = !cell.passed();
-                    emit(
-                        events,
-                        EngineEvent::JobFinished {
-                            cell: job.cell,
-                            suite: cell.suite.clone(),
-                            stand: cell.stand.clone(),
-                            status: cell.status(),
-                            failed,
-                        },
-                    );
-                    self.slots.lock().expect("slot lock")[job.cell] = Some(cell);
-                    if failed && self.options.stop_on_first_fail {
-                        self.cancel.store(true, Ordering::SeqCst);
-                        return;
-                    }
-                }
-                Err(e) => {
-                    *self.fatal.lock().expect("fatal lock") = Some(e);
-                    self.cancel.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-        }
-    }
-}
-
-fn emit(events: Option<&Sender<EngineEvent>>, event: EngineEvent) {
-    if let Some(tx) = events {
-        // A dropped receiver must never fail the campaign.
-        let _ = tx.send(event);
-    }
-}
-
-/// A boxed unit of work for the [`WorkerPool`].
-type PoolTask = Box<dyn FnOnce() + Send + 'static>;
-
-/// A persistent worker pool: `workers` threads constructed once, parked on
-/// a shared queue, reusable across successive campaigns (replay / watch
-/// mode pays thread start-up exactly once). Threads exit when the pool is
-/// dropped.
-///
-/// The pool executes `'static` tasks, so campaign state is packaged per
-/// job (generated script, stand, freshly built device) rather than
-/// borrowed — that is what lets the pool outlive any single
-/// [`run_campaign_with_pool`] call without `unsafe`.
-#[derive(Debug)]
-pub struct WorkerPool {
-    queue: Option<Sender<PoolTask>>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawns a pool of `workers` threads (`0` is clamped to `1`).
-    pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (tx, rx) = mpsc::channel::<PoolTask>();
-        let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // Hold the lock only while stealing, not while running.
-                    let task = match rx.lock().expect("pool queue lock").recv() {
-                        Ok(task) => task,
-                        Err(_) => return, // pool dropped
-                    };
-                    // A panicking task must not kill the thread: the pool is
-                    // persistent, and a dead worker would silently shrink
-                    // every later campaign (a 1-worker pool would run none of
-                    // its jobs at all). The panicked job's outcome is simply
-                    // missing, which the merge already reports as cancelled.
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                })
-            })
-            .collect();
-        Self {
-            queue: Some(tx),
-            handles,
-        }
-    }
-
-    /// Number of worker threads.
-    pub fn workers(&self) -> usize {
-        self.handles.len()
-    }
-
-    /// Enqueues one task. Tasks run in submission order (each idle worker
-    /// steals the oldest queued task).
-    fn submit(&self, task: PoolTask) {
-        self.queue
-            .as_ref()
-            .expect("pool queue open while pool is alive")
-            .send(task)
-            .expect("pool workers alive while pool is alive");
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the queue wakes every worker with `Err(Disconnected)`.
-        self.queue.take();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// One packaged test job: everything a pool worker needs, owned.
-struct PackagedJob {
-    job: usize,
-    cell: usize,
-    test: usize,
-    suite: String,
-    stand_name: String,
-    name: String,
-    script: Arc<TestScript>,
-    stand: Arc<TestStand>,
-    device: Device,
-}
-
-/// What a packaged job reports back to the collector.
-enum JobMsg {
-    Done(usize, TestJobOutcome),
-    Cancelled,
-}
-
-/// Executes one packaged job (worker side): plan against the stand, run
-/// against the fresh device, stream per-test events.
-fn run_packaged(
-    job: PackagedJob,
-    exec: &ExecOptions,
-    cancel: &AtomicBool,
-    stop_on_first_fail: bool,
+/// Shim body shared by the deprecated entry points: launch on the new API,
+/// forward events to the caller's bare channel, synthesize the historical
+/// terminal [`EngineEvent::CampaignDone`].
+fn shim_run(
+    campaign: &Campaign<'_, '_>,
+    executor: &dyn CampaignExecutor,
     events: Option<&Sender<EngineEvent>>,
-    results: &Sender<JobMsg>,
-) {
-    let PackagedJob {
-        job,
-        cell,
-        test,
-        suite,
-        stand_name,
-        name,
-        script,
-        stand,
-        mut device,
-    } = job;
-    if cancel.load(Ordering::SeqCst) {
-        let _ = results.send(JobMsg::Cancelled);
-        return;
+) -> Result<CampaignResult, CoreError> {
+    let mut handle = campaign.launch(executor)?;
+    let forwarder = events.map(|tx| {
+        let stream = handle.events();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for event in stream {
+                if tx.send(event).is_err() {
+                    break;
+                }
+            }
+        })
+    });
+    let outcome = handle.join();
+    if let Some(thread) = forwarder {
+        let _ = thread.join();
     }
-    emit(
-        events,
-        EngineEvent::TestStarted {
-            cell,
-            test,
-            suite: suite.clone(),
-            stand: stand_name.clone(),
-            name: name.clone(),
-        },
-    );
-    let started = Instant::now();
-    let outcome = execute_script_job(&script, &stand, &mut device, exec);
-    let status = match &outcome {
-        Ok(result) => result.verdict().to_string(),
-        Err(_) => "NOT RUNNABLE".to_owned(),
-    };
-    let failed = !matches!(&outcome, Ok(r) if r.passed());
-    emit(
-        events,
-        EngineEvent::TestFinished {
-            cell,
-            test,
-            suite,
-            stand: stand_name,
-            name,
-            status,
+    let outcome = outcome?;
+    if let Some(tx) = events {
+        let (passed, failed, errored, not_runnable) = outcome.result.totals();
+        let _ = tx.send(EngineEvent::CampaignDone {
+            passed,
             failed,
-            duration: started.elapsed(),
-        },
-    );
-    if failed && stop_on_first_fail {
-        cancel.store(true, Ordering::SeqCst);
+            errored,
+            not_runnable,
+            cancelled: outcome.cancelled,
+        });
     }
-    let _ = results.send(JobMsg::Done(job, outcome));
-}
-
-/// Packages the deterministic test-job list: scripts are generated once per
-/// (entry, test) and shared across stands, stands are cloned once, and
-/// every job gets its own freshly built device (the serial pipeline
-/// power-cycles the DUT per test; building up front keeps worker tasks
-/// `'static`). The trade-off is deliberate: all devices are live until
-/// their jobs run, which is cheap for simulated ECUs — revisit if device
-/// construction ever becomes heavy.
-fn package_jobs(
-    entries: &[CampaignEntry<'_>],
-    stands: &[&TestStand],
-) -> Result<Vec<PackagedJob>, CoreError> {
-    let scripts: Vec<Vec<Arc<TestScript>>> = entries
-        .iter()
-        .map(|e| {
-            Ok(comptest_script::generate_all(e.suite)?
-                .into_iter()
-                .map(Arc::new)
-                .collect())
-        })
-        .collect::<Result<_, CoreError>>()?;
-    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
-
-    let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
-    Ok(plan_test_jobs(&counts, stands.len())
-        .into_iter()
-        .map(|j| PackagedJob {
-            job: j.job,
-            cell: j.cell,
-            test: j.test,
-            suite: entries[j.entry].suite.name.clone(),
-            stand_name: stands[j.stand].name().to_owned(),
-            name: entries[j.entry].suite.tests[j.test].name.clone(),
-            script: Arc::clone(&scripts[j.entry][j.test]),
-            stand: Arc::clone(&stands_owned[j.stand]),
-            device: entries[j.entry].device_factory.build(),
-        })
-        .collect())
+    Ok(outcome.result)
 }
 
 /// Runs a campaign at [`Granularity::Test`] on a caller-provided persistent
-/// [`WorkerPool`], so successive campaigns (replay, watch mode) reuse the
-/// same threads. The pool's size — not `options.workers` — decides the
-/// parallelism; `options.granularity` is ignored (this entry point *is* the
-/// test-granular engine).
+/// [`WorkerPool`].
 ///
-/// The returned [`CampaignResult`] is merged in deterministic (cell, test)
-/// order via
-/// [`merge_test_outcomes`](comptest_core::campaign::merge_test_outcomes):
-/// without cancellation it is byte-identical to the serial
-/// [`run_campaign`](comptest_core::campaign::run_campaign).
-///
-/// `events` receives [`EngineEvent::TestStarted`] /
-/// [`EngineEvent::TestFinished`] per test and a final
-/// [`EngineEvent::CampaignDone`]; there are no per-cell `JobStarted` /
-/// `JobFinished` events at this granularity.
+/// Deprecated shim over the builder API — and stricter than the PR-2
+/// original: the campaign is validated first, so empty matrices and
+/// duplicate stand names now error instead of running vacuously.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Codegen`] for invalid suites (checked up front),
-/// and [`CoreError::JobsLost`] when jobs vanish without cancellation (a
-/// worker died mid-job) — never a silently truncated result.
+/// Everything [`Campaign::launch`] and [`CampaignHandle::join`] raise.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Campaign::new(entries, stands).granularity(Granularity::Test).launch(&pool) — \
+            WorkerPool implements CampaignExecutor"
+)]
 pub fn run_campaign_with_pool(
     pool: &WorkerPool,
     entries: &[CampaignEntry<'_>],
@@ -558,82 +223,29 @@ pub fn run_campaign_with_pool(
     exec: &ExecOptions,
     events: Option<&Sender<EngineEvent>>,
 ) -> Result<CampaignResult, CoreError> {
-    // No separate precheck: packaging generates every script up front and
-    // surfaces the same first codegen error before any job is submitted.
-    let jobs = package_jobs(entries, stands)?;
-    let n_jobs = jobs.len();
-
-    let cancel = Arc::new(AtomicBool::new(false));
-    let stop = options.stop_on_first_fail;
-    let exec = *exec;
-    let (results_tx, results_rx): (Sender<JobMsg>, Receiver<JobMsg>) = mpsc::channel();
-    for job in jobs {
-        let cancel = Arc::clone(&cancel);
-        let events = events.cloned();
-        let results = results_tx.clone();
-        pool.submit(Box::new(move || {
-            run_packaged(job, &exec, &cancel, stop, events.as_ref(), &results);
-        }));
-    }
-    drop(results_tx);
-
-    let mut slots: Vec<Option<TestJobOutcome>> = (0..n_jobs).map(|_| None).collect();
-    let mut acknowledged_cancels = 0usize;
-    for msg in results_rx.iter().take(n_jobs) {
-        match msg {
-            JobMsg::Done(job, outcome) => slots[job] = Some(outcome),
-            JobMsg::Cancelled => acknowledged_cancels += 1,
-        }
-    }
-
-    let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
-    // Every job either reports an outcome or acknowledges cancellation; a
-    // slot that is missing *without* an acknowledgement means a worker died
-    // mid-job (a panic caught by the pool). Surface it instead of returning
-    // a silently truncated — possibly all-green — result, even when
-    // `stop_on_first_fail` makes genuine cancellations expected.
-    let lost = cancelled.saturating_sub(acknowledged_cancels);
-    if lost > 0 {
-        return Err(CoreError::JobsLost { lost });
-    }
-    let (passed, failed, errored, not_runnable) = result.totals();
-    emit(
-        events,
-        EngineEvent::CampaignDone {
-            passed,
-            failed,
-            errored,
-            not_runnable,
-            cancelled,
-        },
-    );
-    Ok(result)
+    // As in PR 2: this entry point *is* the test-granular engine, and the
+    // pool's size — not `options.workers` — decides the parallelism.
+    let campaign = Campaign::new(entries, stands)
+        .exec_options(*exec)
+        .granularity(Granularity::Test)
+        .stop_on_first_fail(options.stop_on_first_fail);
+    shim_run(&campaign, pool, events)
 }
 
-/// Runs the campaign matrix on a worker pool at the granularity selected
-/// in [`EngineOptions::granularity`].
+/// Runs the campaign matrix on a fresh worker pool at the granularity
+/// selected in [`EngineOptions::granularity`].
 ///
-/// At [`Granularity::Cell`] with `workers == 1` the jobs run strictly in
-/// order on the calling thread; with more workers they are sharded over a
-/// scoped thread pool. At [`Granularity::Test`] a fresh [`WorkerPool`] is
-/// built for the run — construct one yourself and call
-/// [`run_campaign_with_pool`] to amortise thread start-up across campaigns.
-/// Either way the returned [`CampaignResult`] lists cells in the canonical
-/// deterministic order of [`plan_cells`] — byte-identical to the serial
-/// [`run_campaign`](comptest_core::campaign::run_campaign) (modulo jobs
-/// skipped by `stop_on_first_fail`).
-///
-/// `events`, when given, receives [`EngineEvent`]s as jobs start and
-/// finish (per cell at cell granularity, per test at test granularity),
-/// plus a final [`EngineEvent::CampaignDone`] when the campaign completes.
-/// No `CampaignDone` is sent when a fatal error aborts the run (the `Err`
-/// return carries the outcome instead), so a started job may have no
-/// matching `JobFinished`.
+/// Deprecated shim over the builder API — and stricter than the PR-1
+/// original: the campaign is validated first, so empty matrices and
+/// duplicate stand names now error instead of running vacuously.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Codegen`] for invalid suites (checked up front) and
-/// propagates any non-planning error raised inside a cell.
+/// Everything [`Campaign::launch`] and [`CampaignHandle::join`] raise.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Campaign::new(entries, stands).launch(&PooledExecutor::new(workers)) instead"
+)]
 pub fn run_campaign_parallel(
     entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
@@ -641,70 +253,18 @@ pub fn run_campaign_parallel(
     exec: &ExecOptions,
     events: Option<&Sender<EngineEvent>>,
 ) -> Result<CampaignResult, CoreError> {
-    if options.granularity == Granularity::Test {
-        let pool = WorkerPool::new(options.effective_workers());
-        return run_campaign_with_pool(&pool, entries, stands, options, exec, events);
-    }
-    precheck_entries(entries)?;
-    let jobs = plan_cells(entries.len(), stands.len());
-    let n_jobs = jobs.len();
-    let shared = Shared {
-        entries,
-        stands,
-        jobs,
-        next: AtomicUsize::new(0),
-        cancel: AtomicBool::new(false),
-        slots: Mutex::new((0..n_jobs).map(|_| None).collect()),
-        fatal: Mutex::new(None),
-        options: *options,
-        exec,
-    };
-
-    let workers = options.effective_workers().min(n_jobs.max(1));
-    if workers <= 1 {
-        shared.work(events);
-    } else {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let shared = &shared;
-                let events = events.cloned();
-                scope.spawn(move || shared.work(events.as_ref()));
-            }
-        });
-    }
-
-    if let Some(e) = shared.fatal.lock().expect("fatal lock").take() {
-        return Err(e);
-    }
-
-    let slots = shared.slots.into_inner().expect("slot lock");
-    let mut result = CampaignResult::default();
-    let mut cancelled = 0usize;
-    for slot in slots {
-        match slot {
-            Some(cell) => result.cells.push(cell),
-            None => cancelled += 1,
-        }
-    }
-    let (passed, failed, errored, not_runnable) = result.totals();
-    emit(
-        events,
-        EngineEvent::CampaignDone {
-            passed,
-            failed,
-            errored,
-            not_runnable,
-            cancelled,
-        },
-    );
-    Ok(result)
+    let campaign = Campaign::new(entries, stands)
+        .exec_options(*exec)
+        .granularity(options.granularity)
+        .stop_on_first_fail(options.stop_on_first_fail);
+    // As in PR 1: never spawn more threads than there are jobs to drain.
+    let workers = options.effective_workers().min(campaign.job_count().max(1));
+    shim_run(&campaign, &PooledExecutor::new(workers), events)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comptest_core::campaign::run_campaign;
-    use comptest_dut::ecus::interior_light;
     use comptest_sheets::Workbook;
     use std::sync::mpsc;
 
@@ -761,103 +321,6 @@ step, dt,  DS_FL, NIGHT, INT_ILL
 0,    0.5, Open,  0,     Ho
 ";
 
-    fn stand() -> TestStand {
-        TestStand::parse_str("a.stand", comptest_core::PAPER_STAND_A).unwrap()
-    }
-
-    fn entries(suites: &[comptest_model::TestSuite]) -> Vec<CampaignEntry<'_>> {
-        suites
-            .iter()
-            .map(|suite| CampaignEntry {
-                suite,
-                device_factory: Box::new(|| interior_light::device(Default::default())),
-            })
-            .collect()
-    }
-
-    #[test]
-    fn parallel_matches_serial_cell_for_cell() {
-        let suites = vec![
-            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
-            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
-        ];
-        let stand = stand();
-        let stands = [&stand, &stand];
-        let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
-        for workers in [1, 2, 4, 8] {
-            let parallel = run_campaign_parallel(
-                &entries(&suites),
-                &stands,
-                &EngineOptions::with_workers(workers),
-                &ExecOptions::default(),
-                None,
-            )
-            .unwrap();
-            assert_eq!(parallel, serial, "workers = {workers}");
-        }
-    }
-
-    #[test]
-    fn events_stream_start_finish_done() {
-        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
-        let stand = stand();
-        let (tx, rx) = mpsc::channel();
-        let result = run_campaign_parallel(
-            &entries(&suites),
-            &[&stand],
-            &EngineOptions::with_workers(2),
-            &ExecOptions::default(),
-            Some(&tx),
-        )
-        .unwrap();
-        drop(tx);
-        let events: Vec<EngineEvent> = rx.into_iter().collect();
-        assert!(result.all_green());
-        let starts = events
-            .iter()
-            .filter(|e| matches!(e, EngineEvent::JobStarted { .. }))
-            .count();
-        let finishes = events
-            .iter()
-            .filter(|e| matches!(e, EngineEvent::JobFinished { failed: false, .. }))
-            .count();
-        assert_eq!(starts, 1);
-        assert_eq!(finishes, 1);
-        match events.last() {
-            Some(EngineEvent::CampaignDone {
-                passed,
-                failed,
-                cancelled,
-                ..
-            }) => {
-                assert_eq!((*passed, *failed, *cancelled), (2, 0, 0));
-            }
-            other => panic!("expected CampaignDone last, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn stop_on_first_fail_cancels_remaining_jobs() {
-        // Failing suite first: with one worker, the first cell fails and
-        // every later cell is cancelled.
-        let suites = vec![
-            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
-            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
-        ];
-        let stand = stand();
-        let stands = [&stand, &stand];
-        let result = run_campaign_parallel(
-            &entries(&suites),
-            &stands,
-            &EngineOptions::with_workers(1).stop_on_first_fail(true),
-            &ExecOptions::default(),
-            None,
-        )
-        .unwrap();
-        assert_eq!(result.cells.len(), 1, "{result}");
-        assert!(!result.cells[0].passed());
-    }
-
     /// Pass, fail, pass — exercises per-test cancellation mid-cell.
     const WB_MIXED: &str = "\
 [suite]
@@ -891,13 +354,264 @@ step, dt,  DS_FL, NIGHT, INT_ILL
 0,    0.5, Open,  0,     Lo
 ";
 
+    /// A stand named `name` with the paper's stand-A resources (distinct
+    /// names because campaigns reject duplicate stand ids).
+    fn stand_named(name: &str) -> TestStand {
+        let text = comptest_core::PAPER_STAND_A.replace("HIL-A", name);
+        TestStand::parse_str("a.stand", &text).unwrap()
+    }
+
+    fn stand() -> TestStand {
+        stand_named("HIL-A")
+    }
+
+    fn entries(suites: &[comptest_model::TestSuite]) -> Vec<CampaignEntry<'_>> {
+        suites
+            .iter()
+            .map(|suite| CampaignEntry {
+                suite,
+                device_factory: Box::new(|| {
+                    comptest_dut::ecus::interior_light::device(Default::default())
+                }),
+            })
+            .collect()
+    }
+
+    fn suites_pass_fail() -> Vec<comptest_model::TestSuite> {
+        vec![
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+        ]
+    }
+
     #[test]
     fn granularity_parses_and_displays() {
+        // Valid names.
         assert_eq!("cell".parse::<Granularity>().unwrap(), Granularity::Cell);
         assert_eq!("test".parse::<Granularity>().unwrap(), Granularity::Test);
-        assert!("suite".parse::<Granularity>().is_err());
+        // Case handling: parsing is case-insensitive.
+        assert_eq!("Cell".parse::<Granularity>().unwrap(), Granularity::Cell);
+        assert_eq!("TEST".parse::<Granularity>().unwrap(), Granularity::Test);
+        // Invalid names report the accepted set.
+        let err = "suite".parse::<Granularity>().unwrap_err();
+        assert!(err.contains("\"suite\""), "{err}");
+        assert!(err.contains("cell, test"), "{err}");
         assert_eq!(Granularity::Test.to_string(), "test");
         assert_eq!(Granularity::default(), Granularity::Cell);
+    }
+
+    #[test]
+    fn builder_validation_rejects_bad_campaigns() {
+        use comptest_core::campaign::CampaignSpecError;
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let executor = SerialExecutor;
+
+        let no_entries = Campaign::new(&[], &[&stand]).launch(&executor).unwrap_err();
+        assert_eq!(no_entries, CampaignSpecError::NoEntries.into());
+
+        let no_stands = Campaign::new(&entries, &[]).launch(&executor).unwrap_err();
+        assert_eq!(no_stands, CampaignSpecError::NoStands.into());
+
+        let dup = Campaign::new(&entries, &[&stand, &stand])
+            .launch(&executor)
+            .unwrap_err();
+        assert_eq!(
+            dup,
+            CampaignSpecError::DuplicateStand {
+                name: "HIL-A".into()
+            }
+            .into()
+        );
+
+        // validate() alone catches the same problems without an executor.
+        assert!(Campaign::new(&entries, &[]).validate().is_err());
+        assert!(Campaign::new(&entries, &[&stand]).validate().is_ok());
+    }
+
+    #[test]
+    fn serial_and_pooled_executors_agree_cell_for_cell() {
+        let suites = suites_pass_fail();
+        let entries = entries(&suites);
+        let stand_a = stand();
+        let stand_b = stand_named("HIL-A2");
+        let stands = [&stand_a, &stand_b];
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            let campaign = Campaign::new(&entries, &stands).granularity(granularity);
+            let serial = campaign.run(&SerialExecutor).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let pooled = campaign.run(&PooledExecutor::new(workers)).unwrap();
+                assert_eq!(
+                    pooled, serial,
+                    "granularity {granularity}, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handle_streams_cell_events_and_joins() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let executor = PooledExecutor::new(2);
+        let mut handle = Campaign::new(&entries, &stands).launch(&executor).unwrap();
+        let stream = handle.events();
+        let collector = std::thread::spawn(move || stream.collect::<Vec<EngineEvent>>());
+        let outcome = handle.join().unwrap();
+        let events = collector.join().unwrap();
+        assert!(outcome.result.all_green());
+        assert_eq!(outcome.cancelled, 0);
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::JobStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::JobFinished { failed: false, .. }))
+            .count();
+        assert_eq!((starts, finishes), (1, 1));
+        // The builder API has no terminal event; join() carries the totals.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CampaignDone { .. })));
+    }
+
+    #[test]
+    fn serial_executor_buffers_events_for_later_draining() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let mut handle = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .launch(&SerialExecutor)
+            .unwrap();
+        // Single-threaded: drain events first, then join — no deadlock.
+        let events: Vec<EngineEvent> = handle.events().collect();
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::TestStarted { .. }))
+            .count();
+        assert_eq!(started, 2);
+        // A second take yields the empty stream.
+        assert_eq!(handle.events().count(), 0);
+        assert!(handle.join().unwrap().result.all_green());
+    }
+
+    #[test]
+    fn stop_on_first_fail_truncates_to_the_same_prefix_everywhere() {
+        // Failing suite first: the first cell fails and every later cell is
+        // cancelled — identically for the serial executor and a 1-worker
+        // pool, at cell granularity.
+        let suites = vec![
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+        ];
+        let entries = entries(&suites);
+        let stand_a = stand();
+        let stand_b = stand_named("HIL-A2");
+        let stands = [&stand_a, &stand_b];
+        let campaign = Campaign::new(&entries, &stands).stop_on_first_fail(true);
+
+        let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+        assert_eq!(serial.result.cells.len(), 1, "{}", serial.result);
+        assert!(!serial.result.cells[0].passed());
+        assert_eq!(serial.cancelled, 3);
+
+        let pooled = campaign
+            .launch(&PooledExecutor::new(1))
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(pooled, serial, "1-worker pool must match serial truncation");
+    }
+
+    #[test]
+    fn stop_on_first_fail_cancels_at_test_granularity() {
+        let suites = vec![Workbook::parse_str("m.cts", WB_MIXED).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let campaign = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .stop_on_first_fail(true);
+        for (label, outcome) in [
+            ("serial", campaign.run(&SerialExecutor)),
+            ("pooled", campaign.run(&PooledExecutor::new(1))),
+        ] {
+            // The interrupted cell keeps its finished prefix: the passing
+            // test and the failing one, but not the cancelled third.
+            let result = outcome.unwrap();
+            assert_eq!(result.cells.len(), 1, "{label}");
+            let suite_result = result.cells[0].outcome.as_ref().unwrap();
+            assert_eq!(suite_result.results.len(), 2, "{label}: {result}");
+            assert_eq!(suite_result.results[1].test, "fails_second", "{label}");
+        }
+    }
+
+    #[test]
+    fn failed_run_does_not_poison_a_relaunch() {
+        // stop_on_first_fail trips a per-run latch, not the campaign's
+        // external token: launching the same Campaign again runs everything.
+        let suites = vec![Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let campaign = Campaign::new(&entries, &stands).stop_on_first_fail(true);
+        let first = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+        assert_eq!(first.result.cells.len(), 1);
+        let second = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+        assert_eq!(second, first, "second launch must re-run, not drain");
+    }
+
+    #[test]
+    fn external_cancel_token_skips_every_job() {
+        let suites = suites_pass_fail();
+        let entries = entries(&suites);
+        let stand = stand();
+        let token = CancelToken::new();
+        let stands = [&stand];
+        let campaign = Campaign::new(&entries, &stands).cancel_token(token.clone());
+        token.cancel();
+        for (label, outcome) in [
+            ("serial", campaign.launch(&SerialExecutor).unwrap().join()),
+            (
+                "pooled",
+                campaign.launch(&PooledExecutor::new(2)).unwrap().join(),
+            ),
+        ] {
+            let outcome = outcome.unwrap();
+            assert_eq!(outcome.result.cells.len(), 0, "{label}");
+            assert_eq!(outcome.cancelled, 2, "{label}");
+        }
+    }
+
+    #[test]
+    fn handle_cancel_skips_queued_jobs() {
+        // Cancel through the handle before the single worker can drain the
+        // queue: the outcome must account for every job either way.
+        let suites = suites_pass_fail();
+        let entries = entries(&suites);
+        let stand = stand();
+        let executor = PooledExecutor::new(1);
+        let stands = [&stand];
+        let handle = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .launch(&executor)
+            .unwrap();
+        handle.cancel();
+        assert!(handle.cancel_token().is_cancelled());
+        let outcome = handle.join().unwrap();
+        let finished: usize = outcome
+            .result
+            .cells
+            .iter()
+            .map(|c| c.outcome.as_ref().map_or(1, |r| r.results.len()))
+            .sum();
+        assert_eq!(finished + outcome.cancelled, 3, "{}", outcome.result);
     }
 
     #[test]
@@ -909,20 +623,15 @@ step, dt,  DS_FL, NIGHT, INT_ILL
             ..EngineOptions::default()
         };
         assert_eq!(options.effective_workers(), 1);
-        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
-        let stand = stand();
-        for granularity in [Granularity::Cell, Granularity::Test] {
-            let result = run_campaign_parallel(
-                &entries(&suites),
-                &[&stand],
-                &options.granularity(granularity),
-                &ExecOptions::default(),
-                None,
-            )
-            .unwrap();
-            assert!(result.all_green(), "granularity {granularity}");
-        }
         assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert_eq!(PooledExecutor::new(0).workers(), 1);
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let result = Campaign::new(&entries, &[&stand])
+            .run(&PooledExecutor::new(0))
+            .unwrap();
+        assert!(result.all_green());
     }
 
     #[test]
@@ -940,65 +649,41 @@ step, dt,  DS_FL, NIGHT, INT_ILL
     }
 
     #[test]
-    fn test_granular_matches_serial_and_cell_granular() {
-        let suites = vec![
-            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
-            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
-        ];
-        let stand = stand();
-        let stands = [&stand, &stand];
-        let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
-        for workers in [1, 2, 4, 8] {
-            let parallel = run_campaign_parallel(
-                &entries(&suites),
-                &stands,
-                &EngineOptions::with_workers(workers).granularity(Granularity::Test),
-                &ExecOptions::default(),
-                None,
-            )
-            .unwrap();
-            assert_eq!(parallel, serial, "test granular, workers = {workers}");
-        }
-    }
-
-    #[test]
-    fn worker_pool_is_reusable_across_campaigns() {
+    fn executors_are_reusable_across_campaigns() {
         let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
         let stand = stand();
-        let pool = WorkerPool::new(3);
-        assert_eq!(pool.workers(), 3);
-        let serial = run_campaign(&entries(&suites), &[&stand], &ExecOptions::default()).unwrap();
-        // Two successive campaigns on the same threads (replay mode).
+        let stands = [&stand];
+        let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+        let serial = campaign.run(&SerialExecutor).unwrap();
+        // Successive campaigns on the same threads (replay mode) — both on
+        // the owning executor and on a bare pool.
+        let executor = PooledExecutor::with_pool(WorkerPool::new(3));
+        assert_eq!(executor.workers(), 3);
+        assert_eq!(executor.pool().workers(), 3);
         for round in 0..2 {
-            let result = run_campaign_with_pool(
-                &pool,
-                &entries(&suites),
-                &[&stand],
-                &EngineOptions::default(),
-                &ExecOptions::default(),
-                None,
-            )
-            .unwrap();
-            assert_eq!(result, serial, "round {round}");
+            assert_eq!(campaign.run(&executor).unwrap(), serial, "round {round}");
         }
+        let pool = WorkerPool::new(2);
+        assert_eq!(campaign.run(&pool).unwrap(), serial, "bare pool");
     }
 
     #[test]
     fn test_granular_events_cover_every_test() {
         let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
         let stand = stand();
-        let (tx, rx) = mpsc::channel();
-        let result = run_campaign_parallel(
-            &entries(&suites),
-            &[&stand],
-            &EngineOptions::with_workers(2).granularity(Granularity::Test),
-            &ExecOptions::default(),
-            Some(&tx),
-        )
-        .unwrap();
-        drop(tx);
-        assert!(result.all_green());
-        let events: Vec<EngineEvent> = rx.into_iter().collect();
+        let stands = [&stand];
+        let executor = PooledExecutor::new(2);
+        let mut handle = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .launch(&executor)
+            .unwrap();
+        let stream = handle.events();
+        let collector = std::thread::spawn(move || stream.collect::<Vec<EngineEvent>>());
+        let outcome = handle.join().unwrap();
+        let events = collector.join().unwrap();
+        assert!(outcome.result.all_green());
         let started = events
             .iter()
             .filter(|e| matches!(e, EngineEvent::TestStarted { .. }))
@@ -1023,63 +708,109 @@ step, dt,  DS_FL, NIGHT, INT_ILL
                 .any(|e| matches!(e, EngineEvent::JobStarted { .. })),
             "no per-cell events at test granularity"
         );
-        assert!(matches!(
-            events.last(),
-            Some(EngineEvent::CampaignDone {
-                passed: 2,
-                failed: 0,
-                cancelled: 0,
-                ..
-            })
-        ));
     }
 
-    #[test]
-    fn stop_on_first_fail_cancels_at_test_granularity() {
-        let suites = vec![Workbook::parse_str("m.cts", WB_MIXED).unwrap().suite];
-        let stand = stand();
-        let (tx, rx) = mpsc::channel();
-        let result = run_campaign_parallel(
-            &entries(&suites),
-            &[&stand],
-            &EngineOptions::with_workers(1)
-                .granularity(Granularity::Test)
-                .stop_on_first_fail(true),
-            &ExecOptions::default(),
-            Some(&tx),
-        )
-        .unwrap();
-        drop(tx);
-        // The interrupted cell keeps its finished prefix: the passing test
-        // and the failing one, but not the cancelled third.
-        assert_eq!(result.cells.len(), 1);
-        let suite_result = result.cells[0].outcome.as_ref().unwrap();
-        assert_eq!(suite_result.results.len(), 2, "{result}");
-        assert_eq!(suite_result.results[1].test, "fails_second");
-        match rx.into_iter().last() {
-            Some(EngineEvent::CampaignDone {
-                passed,
-                failed,
-                cancelled,
-                ..
-            }) => assert_eq!((passed, failed, cancelled), (1, 1, 1)),
-            other => panic!("expected CampaignDone, got {other:?}"),
+    /// The deprecated entry points are shims over the builder API: same
+    /// results, plus the historical synthesized `CampaignDone` event.
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        #[test]
+        fn run_campaign_parallel_matches_the_builder_api() {
+            let suites = suites_pass_fail();
+            let entries = entries(&suites);
+            let stand_a = stand();
+            let stand_b = stand_named("HIL-A2");
+            let stands = [&stand_a, &stand_b];
+            let reference = Campaign::new(&entries, &stands)
+                .run(&SerialExecutor)
+                .unwrap();
+            for granularity in [Granularity::Cell, Granularity::Test] {
+                for workers in [1usize, 4] {
+                    let shim = run_campaign_parallel(
+                        &entries,
+                        &stands,
+                        &EngineOptions::with_workers(workers).granularity(granularity),
+                        &ExecOptions::default(),
+                        None,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        shim, reference,
+                        "granularity {granularity}, {workers} workers"
+                    );
+                }
+            }
         }
-    }
 
-    #[test]
-    fn worker_count_is_clamped_to_jobs() {
-        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
-        let stand = stand();
-        let result = run_campaign_parallel(
-            &entries(&suites),
-            &[&stand],
-            &EngineOptions::with_workers(64),
-            &ExecOptions::default(),
-            None,
-        )
-        .unwrap();
-        assert_eq!(result.cells.len(), 1);
-        assert!(result.all_green());
+        #[test]
+        fn run_campaign_with_pool_matches_and_reuses_the_pool() {
+            let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+            let entries = entries(&suites);
+            let stand = stand();
+            let reference = Campaign::new(&entries, &[&stand])
+                .run(&SerialExecutor)
+                .unwrap();
+            let pool = WorkerPool::new(3);
+            for round in 0..2 {
+                let shim = run_campaign_with_pool(
+                    &pool,
+                    &entries,
+                    &[&stand],
+                    &EngineOptions::default(),
+                    &ExecOptions::default(),
+                    None,
+                )
+                .unwrap();
+                assert_eq!(shim, reference, "round {round}");
+            }
+        }
+
+        #[test]
+        fn shims_still_emit_the_terminal_campaign_done_event() {
+            let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+            let entries = entries(&suites);
+            let stand = stand();
+            let (tx, rx) = mpsc::channel();
+            let result = run_campaign_parallel(
+                &entries,
+                &[&stand],
+                &EngineOptions::with_workers(2),
+                &ExecOptions::default(),
+                Some(&tx),
+            )
+            .unwrap();
+            drop(tx);
+            assert!(result.all_green());
+            let events: Vec<EngineEvent> = rx.into_iter().collect();
+            match events.last() {
+                Some(EngineEvent::CampaignDone {
+                    passed,
+                    failed,
+                    cancelled,
+                    ..
+                }) => assert_eq!((*passed, *failed, *cancelled), (2, 0, 0)),
+                other => panic!("expected CampaignDone last, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn shims_validate_like_the_builder() {
+            let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+            let entries = entries(&suites);
+            let stand = stand();
+            // Duplicate stands were silently accepted by the PR-1 engine;
+            // the shims now inherit the builder's validation.
+            let err = run_campaign_parallel(
+                &entries,
+                &[&stand, &stand],
+                &EngineOptions::default(),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidCampaign(_)));
+        }
     }
 }

@@ -1,0 +1,81 @@
+//! The persistent worker pool backing [`PooledExecutor`](crate::PooledExecutor).
+
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A boxed unit of work for the [`WorkerPool`].
+pub(crate) type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool: `workers` threads constructed once, parked on
+/// a shared queue, reusable across successive campaigns (replay / watch
+/// mode pays thread start-up exactly once). Threads exit when the pool is
+/// dropped.
+///
+/// The pool executes `'static` tasks, so campaign state is packaged per
+/// job (generated script, stand, freshly built device) rather than
+/// borrowed — that is what lets the pool outlive any single campaign
+/// launch without `unsafe`. A bare pool implements
+/// [`CampaignExecutor`](crate::CampaignExecutor) directly and is the
+/// backing of [`PooledExecutor`](crate::PooledExecutor).
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Option<Sender<PoolTask>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (`0` is clamped to `1`).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<PoolTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while stealing, not while running.
+                    let task = match rx.lock().expect("pool queue lock").recv() {
+                        Ok(task) => task,
+                        Err(_) => return, // pool dropped
+                    };
+                    // A panicking task must not kill the thread: the pool is
+                    // persistent, and a dead worker would silently shrink
+                    // every later campaign (a 1-worker pool would run none of
+                    // its jobs at all). The panicked job's outcome is simply
+                    // missing, which the join reports as `JobsLost`.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                })
+            })
+            .collect();
+        Self {
+            queue: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues one task. Tasks run in submission order (each idle worker
+    /// steals the oldest queued task).
+    pub(crate) fn submit(&self, task: PoolTask) {
+        self.queue
+            .as_ref()
+            .expect("pool queue open while pool is alive")
+            .send(task)
+            .expect("pool workers alive while pool is alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the queue wakes every worker with `Err(Disconnected)`.
+        self.queue.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -6,17 +6,21 @@
 //!   definition sheet, one row per step with measured values and verdicts;
 //! * [`suite_text`] / [`suite_markdown`] — suite summaries;
 //! * [`junit_xml`] — JUnit-style XML for CI systems, written with the same
-//!   XML engine that writes test scripts.
+//!   XML engine that writes test scripts;
+//! * [`progress`] — shared rendering of live campaign
+//!   [`EngineEvent`](comptest_engine::EngineEvent)s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod junit;
+pub mod progress;
 pub mod table;
 pub mod text;
 
 pub use campaign::{campaign_markdown, campaign_table, portability_table};
 pub use junit::{campaign_junit_xml, junit_xml};
+pub use progress::{progress_line, summary_line};
 pub use table::TextTable;
 pub use text::{step_table, suite_markdown, suite_text};

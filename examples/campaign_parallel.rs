@@ -1,64 +1,23 @@
-//! The Section-5 campaign matrix on the parallel execution engine: every
-//! bundled ECU suite × both full stands, sharded over a worker pool, with
-//! live progress streamed over the engine's event channel — then the same
-//! matrix serially and test-granularly, to show the results are
-//! cell-for-cell identical at every granularity, and finally a second
-//! test-granular run on the *same* persistent pool (replay mode).
+//! The Section-5 campaign matrix through the `Campaign` builder: every
+//! bundled ECU suite × both full stands, described once and launched on a
+//! pooled executor with live progress from the typed event stream — then
+//! the same campaign on the serial executor and at test granularity (with
+//! a replay on the same persistent pool), to show the results are
+//! cell-for-cell identical whatever executes them, and finally a
+//! cancelled run via `stop_on_first_fail`.
 //!
 //! ```sh
 //! cargo run --example campaign_parallel
 //! ```
 
-use std::sync::mpsc;
 use std::time::Instant;
 
-use comptest::core::campaign::{run_campaign, CampaignEntry};
 use comptest::prelude::*;
 
-const ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
-
-fn load_entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
-    suites
-        .iter()
-        .zip(ECUS)
-        .map(|(suite, ecu)| CampaignEntry {
-            suite,
-            device_factory: Box::new(move || {
-                comptest::dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
-            }),
-        })
-        .collect()
-}
-
-fn spawn_printer(rx: mpsc::Receiver<EngineEvent>) -> std::thread::JoinHandle<()> {
+fn spawn_printer(stream: EventStream) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
-        for event in rx {
-            match event {
-                EngineEvent::JobStarted { cell, suite, stand } => {
-                    println!("  [{cell}] {suite} on {stand} started");
-                }
-                EngineEvent::JobFinished { cell, status, .. } => {
-                    println!("  [{cell}] finished: {status}");
-                }
-                EngineEvent::TestStarted {
-                    cell, suite, name, ..
-                } => {
-                    println!("  [{cell}] {suite}::{name} started");
-                }
-                EngineEvent::TestFinished {
-                    cell,
-                    suite,
-                    name,
-                    status,
-                    duration,
-                    ..
-                } => {
-                    println!("  [{cell}] {suite}::{name}: {status} ({duration:.2?})");
-                }
-                EngineEvent::CampaignDone { passed, failed, .. } => {
-                    println!("  campaign done: {passed} passed, {failed} failed");
-                }
-            }
+        for event in stream {
+            println!("  {}", comptest::report::progress_line(&event));
         }
     })
 }
@@ -67,84 +26,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stand_a = TestStand::load(comptest::asset("stand_a.stand"))?;
     let stand_b = TestStand::load(comptest::asset("stand_b.stand"))?;
     let stands = [&stand_a, &stand_b];
-    let suites: Vec<TestSuite> = ECUS
-        .iter()
-        .map(|ecu| {
-            Ok::<_, Box<dyn std::error::Error>>(
-                Workbook::load(comptest::asset(&format!("{ecu}.cts")))?.suite,
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    let suites = comptest::load_bundled_suites()?;
+    let entries = comptest::bundled_entries(&suites);
 
-    // Cell-granular parallel run with live per-cell events.
+    // One campaign description; every run below launches this same value.
+    let campaign = Campaign::new(&entries, &stands);
+    let pool = PooledExecutor::new(4);
+
+    // Cell-granular pooled run with live per-cell events.
     println!("cell-granular, 4 workers:");
-    let (tx, rx) = mpsc::channel();
-    let printer = spawn_printer(rx);
-    let entries = load_entries(&suites);
     let t = Instant::now();
-    let parallel = run_campaign_parallel(
-        &entries,
-        &stands,
-        &EngineOptions::with_workers(4),
-        &ExecOptions::default(),
-        Some(&tx),
-    )?;
-    drop(tx);
+    let mut handle = campaign.launch(&pool)?;
+    let printer = spawn_printer(handle.events());
+    let parallel = handle.join()?;
     printer.join().expect("printer thread");
     let parallel_time = t.elapsed();
 
-    // Test-granular run on a persistent pool, with per-test events — and a
-    // second campaign on the same pool to show the threads are reusable.
-    println!("\ntest-granular, persistent 4-worker pool:");
-    let pool = WorkerPool::new(4);
-    let (tx, rx) = mpsc::channel();
-    let printer = spawn_printer(rx);
-    let entries = load_entries(&suites);
+    // Test-granular run on the same persistent pool, with per-test events —
+    // and a second launch on the same threads to show replay costs no
+    // thread start-up.
+    println!("\ntest-granular, same persistent 4-worker pool:");
+    let test_campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
     let t = Instant::now();
-    let test_granular = run_campaign_with_pool(
-        &pool,
-        &entries,
-        &stands,
-        &EngineOptions::default(),
-        &ExecOptions::default(),
-        Some(&tx),
-    )?;
-    drop(tx);
+    let mut handle = test_campaign.launch(&pool)?;
+    let printer = spawn_printer(handle.events());
+    let test_granular = handle.join()?;
     printer.join().expect("printer thread");
     let test_time = t.elapsed();
 
-    let entries = load_entries(&suites);
     let t = Instant::now();
-    let replay = run_campaign_with_pool(
-        &pool,
-        &entries,
-        &stands,
-        &EngineOptions::default(),
-        &ExecOptions::default(),
-        None,
-    )?;
+    let replay = test_campaign.run(&pool)?;
     let replay_time = t.elapsed();
 
-    // Serial reference.
-    let entries = load_entries(&suites);
+    // Serial reference: same campaign, different executor.
     let t = Instant::now();
-    let serial = run_campaign(&entries, &stands, &ExecOptions::default())?;
+    let serial = campaign.run(&SerialExecutor)?;
     let serial_time = t.elapsed();
 
-    println!("\n{parallel}");
+    println!("\n{}", parallel.result);
     println!("serial          {serial_time:>10.2?}");
     println!("4 workers/cell  {parallel_time:>10.2?}");
     println!("4 workers/test  {test_time:>10.2?}");
     println!("replay on pool  {replay_time:>10.2?}");
     assert_eq!(
-        parallel, serial,
-        "the engine merges cells in deterministic order"
+        parallel.result, serial,
+        "the executor merges cells in deterministic order"
     );
     assert_eq!(
-        test_granular, serial,
+        test_granular.result, serial,
         "test-granular jobs merge back test-for-test identical"
     );
     assert_eq!(replay, serial, "pool reuse changes nothing");
-    println!("parallel results are cell-for-cell identical to serial at both granularities ✓");
+    println!("executors are interchangeable: results are cell-for-cell identical ✓");
+
+    // Cancellation: stand A can only run the interior light, so with
+    // stop-on-first-fail the first failing cell cancels the tail and the
+    // result keeps its deterministic finished prefix.
+    let solo = [&stand_a];
+    let cancelling = Campaign::new(&entries, &solo)
+        .granularity(Granularity::Test)
+        .stop_on_first_fail(true);
+    let outcome = cancelling.launch(&pool)?.join()?;
+    println!(
+        "\nstop-on-first-fail on stand A alone: {}",
+        comptest::report::summary_line(&outcome)
+    );
+    assert!(outcome.cancelled > 0, "the failing matrix cancels its tail");
     Ok(())
 }

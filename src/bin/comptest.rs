@@ -5,19 +5,22 @@
 //! comptest gen <workbook.cts> <test> [out.xml]
 //! comptest run <workbook.cts> <test> <stand.stand> <ecu>
 //! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
-//! comptest campaign <stand.stand>... [--workers N] [--granularity cell|test] [--junit out.xml]
+//! comptest campaign <stand.stand>... [--workers N] [--granularity cell|test]
+//!                   [--stop-on-first-fail] [--junit out.xml]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
 //!
-//! `campaign` runs every bundled ECU suite against every given stand on the
-//! parallel execution engine (`--workers N` shards the matrix over N worker
-//! threads; default 1 = serial reference order), streaming live progress
-//! and optionally writing a campaign JUnit report. `--granularity cell`
-//! (default) schedules one job per suite×stand cell; `--granularity test`
-//! shards down to single tests on a persistent worker pool — progress is
-//! then streamed per test, and a large workbook no longer bounds
-//! wall-clock.
+//! `campaign` runs every bundled ECU suite against every given stand
+//! through the engine's `Campaign` builder on a pooled executor
+//! (`--workers N` shards the matrix over N worker threads; default 1 =
+//! serial reference order), streaming live progress from the campaign
+//! handle and optionally writing a campaign JUnit report. `--granularity
+//! cell` (default) schedules one job per suite×stand cell; `--granularity
+//! test` shards down to single tests — progress is then streamed per test,
+//! and a large workbook no longer bounds wall-clock.
+//! `--stop-on-first-fail` cancels the remaining jobs as soon as one fails,
+//! keeping the deterministic finished prefix in the report.
 
 use std::process::ExitCode;
 
@@ -235,16 +238,11 @@ fn cmd_suite(
     })
 }
 
-/// The bundled ECU library: suite files `assets/<ecu>.cts`, behaviours in
-/// `comptest::dut::ecus`.
-const CAMPAIGN_ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
-
 fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    use comptest::core::campaign::CampaignEntry;
-
     let mut stand_paths: Vec<&str> = Vec::new();
     let mut workers = 1usize;
     let mut granularity = Granularity::Cell;
+    let mut stop_on_first_fail = false;
     let mut junit: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -252,11 +250,19 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "--workers" => {
                 let n = need(it.next().copied(), "--workers count")?;
                 workers = n.parse().map_err(|_| format!("bad worker count {n:?}"))?;
+                if workers == 0 {
+                    return Err(
+                        "--workers must be at least 1 (0 would leave the campaign with no \
+                         worker threads)"
+                            .into(),
+                    );
+                }
             }
             "--granularity" => {
                 let g = need(it.next().copied(), "--granularity (cell|test)")?;
                 granularity = g.parse()?;
             }
+            "--stop-on-first-fail" => stop_on_first_fail = true,
             "--junit" => junit = Some(need(it.next().copied(), "--junit path")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign flag {other:?}").into())
@@ -273,96 +279,37 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         .map(TestStand::load)
         .collect::<Result<_, _>>()?;
     let stand_refs: Vec<&TestStand> = stands.iter().collect();
-    let suites: Vec<TestSuite> = CAMPAIGN_ECUS
-        .iter()
-        .map(|ecu| {
-            Ok::<_, Box<dyn std::error::Error>>(
-                Workbook::load(comptest::asset(&format!("{ecu}.cts")))?.suite,
-            )
-        })
-        .collect::<Result<_, _>>()?;
-    let entries: Vec<CampaignEntry> = suites
-        .iter()
-        .zip(CAMPAIGN_ECUS)
-        .map(|(suite, ecu)| CampaignEntry {
-            suite,
-            device_factory: Box::new(move || {
-                comptest::dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
-            }),
-        })
-        .collect();
+    // The bundled ECU library: suite files `assets/<ecu>.cts`, behaviours
+    // in `comptest::dut::ecus`.
+    let suites = comptest::load_bundled_suites()?;
+    let entries = comptest::bundled_entries(&suites);
 
-    // Live progress: a printer thread drains the event channel while the
-    // engine runs.
-    let (tx, rx) = std::sync::mpsc::channel();
+    // The builder API: one campaign description, launched on a pooled
+    // executor; a printer thread drains the typed event stream while the
+    // workers run, and join() folds the deterministic result. The pool is
+    // sized to the matrix — no point spawning threads no job will reach.
+    let campaign = Campaign::new(&entries, &stand_refs)
+        .granularity(granularity)
+        .stop_on_first_fail(stop_on_first_fail);
+    let executor = PooledExecutor::new(workers.min(campaign.job_count().max(1)));
+    let mut handle = campaign.launch(&executor)?;
+    let stream = handle.events();
     let printer = std::thread::spawn(move || {
-        for event in rx {
-            match event {
-                EngineEvent::JobStarted { cell, suite, stand } => {
-                    eprintln!("[{cell:>2}] {suite} on {stand} …");
-                }
-                EngineEvent::JobFinished {
-                    cell,
-                    suite,
-                    stand,
-                    status,
-                    ..
-                } => {
-                    eprintln!("[{cell:>2}] {suite} on {stand}: {status}");
-                }
-                EngineEvent::TestStarted {
-                    cell,
-                    suite,
-                    stand,
-                    name,
-                    ..
-                } => {
-                    eprintln!("[{cell:>2}] {suite}::{name} on {stand} …");
-                }
-                EngineEvent::TestFinished {
-                    cell,
-                    suite,
-                    stand,
-                    name,
-                    status,
-                    duration,
-                    ..
-                } => {
-                    eprintln!("[{cell:>2}] {suite}::{name} on {stand}: {status} ({duration:.2?})");
-                }
-                EngineEvent::CampaignDone {
-                    passed,
-                    failed,
-                    errored,
-                    not_runnable,
-                    cancelled,
-                } => {
-                    eprintln!(
-                        "done: {passed} passed, {failed} failed, {errored} errored, \
-                         {not_runnable} not runnable, {cancelled} cancelled"
-                    );
-                }
-            }
+        for event in stream {
+            eprintln!("{}", comptest::report::progress_line(&event));
         }
     });
-
-    let result = run_campaign_parallel(
-        &entries,
-        &stand_refs,
-        &EngineOptions::with_workers(workers).granularity(granularity),
-        &ExecOptions::default(),
-        Some(&tx),
-    );
-    drop(tx);
+    let outcome = handle.join();
     printer.join().expect("printer thread");
-    let result = result?;
+    let outcome = outcome?;
+    eprintln!("{}", comptest::report::summary_line(&outcome));
 
-    print!("{result}");
+    print!("{}", outcome.result);
     if let Some(path) = junit {
-        std::fs::write(path, comptest::report::campaign_junit_xml(&result))?;
+        std::fs::write(path, comptest::report::campaign_junit_xml(&outcome.result))?;
         println!("wrote {path}");
     }
-    Ok(if result.all_green() {
+    Ok(if outcome.result.all_green() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -17,11 +17,11 @@
 //! | [`script`] | `comptest-script` | XML test scripts + codegen |
 //! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
 //! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
-//! | [`core`] | `comptest-core` | execution, campaigns, fault coverage |
-//! | [`engine`] | `comptest-engine` | parallel campaign execution (cell- or test-granular jobs on a persistent worker pool, live events) |
-//! | [`report`] | `comptest-report` | tables, markdown, JUnit |
+//! | [`core`] | `comptest-core` | execution, campaign planning/merge, fault coverage |
+//! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled), cancellable handles with typed event streams |
+//! | [`report`] | `comptest-report` | tables, markdown, JUnit, live-progress lines |
 //!
-//! # Quickstart
+//! # Quickstart — one test
 //!
 //! ```
 //! use comptest::prelude::*;
@@ -42,6 +42,48 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Quickstart — a campaign
+//!
+//! One test definition, every stand that can allocate the resources: a
+//! [`Campaign`](prelude::Campaign) describes the suites × stands matrix
+//! once and launches on any executor — [`SerialExecutor`](prelude::SerialExecutor)
+//! for the deterministic reference, [`PooledExecutor`](prelude::PooledExecutor)
+//! for wall-clock speedup; the results are byte-identical. The returned
+//! [`CampaignHandle`](prelude::CampaignHandle) streams typed events and
+//! supports cooperative cancellation ([`CancelToken`](prelude::CancelToken)
+//! or `stop_on_first_fail`).
+//!
+//! ```
+//! use comptest::prelude::*;
+//! use comptest::core::campaign::CampaignEntry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! let entries = vec![CampaignEntry {
+//!     suite: &workbook.suite,
+//!     device_factory: Box::new(|| {
+//!         comptest::device_for_stand("interior_light", &stand).expect("known ECU")
+//!     }),
+//! }];
+//! let stands = [&stand];
+//! let executor = PooledExecutor::new(2);
+//! let mut handle = Campaign::new(&entries, &stands)
+//!     .granularity(Granularity::Test)
+//!     .launch(&executor)?;
+//! for event in handle.events() {
+//!     eprintln!("{}", comptest::report::progress_line(&event));
+//! }
+//! let outcome = handle.join()?;
+//! assert!(outcome.result.all_green());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The PR-1/PR-2 free functions (`run_campaign`, `run_campaign_parallel`,
+//! `run_campaign_with_pool`) still compile as `#[deprecated]` shims over
+//! this API, reachable through [`core`] and [`engine`] (not the prelude).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,8 +106,8 @@ pub mod prelude {
     };
     pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
     pub use comptest_engine::{
-        run_campaign_parallel, run_campaign_with_pool, EngineEvent, EngineOptions, Granularity,
-        WorkerPool,
+        Campaign, CampaignExecutor, CampaignHandle, CampaignOutcome, CancelToken, EngineEvent,
+        EventStream, Granularity, PooledExecutor, SerialExecutor, WorkerPool,
     };
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};
@@ -95,6 +137,38 @@ pub fn device_for_stand(ecu: &str, stand: &stand::TestStand) -> Option<dut::Devi
         cfg.ubatt = ubatt;
     }
     dut::ecus::device_by_name(ecu, cfg)
+}
+
+/// Loads every bundled ECU suite (`assets/<ecu>.cts`), in
+/// [`dut::ecus::NAMES`] order — the suite set the `comptest campaign` CLI,
+/// the campaign example and the integration tests all run.
+///
+/// # Errors
+///
+/// Returns the first [`sheets::SheetError`] raised while loading a
+/// workbook.
+pub fn load_bundled_suites() -> Result<Vec<model::TestSuite>, sheets::SheetError> {
+    dut::ecus::NAMES
+        .iter()
+        .map(|ecu| Ok(sheets::Workbook::load(asset(&format!("{ecu}.cts")))?.suite))
+        .collect()
+}
+
+/// Campaign entries pairing the bundled suites (in [`load_bundled_suites`]
+/// order) with factories building their simulated DUTs at the default
+/// 12 V electrical config — both full stands' bounds tolerate either rail
+/// because limits scale with the stand's own `ubatt`.
+pub fn bundled_entries(suites: &[model::TestSuite]) -> Vec<core::campaign::CampaignEntry<'_>> {
+    suites
+        .iter()
+        .zip(dut::ecus::NAMES)
+        .map(|(suite, ecu)| core::campaign::CampaignEntry {
+            suite,
+            device_factory: Box::new(move || {
+                dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
+            }),
+        })
+        .collect()
 }
 
 #[cfg(test)]

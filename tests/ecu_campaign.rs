@@ -2,7 +2,6 @@
 //! supplier stand — the reproduction's stand-in for "successfully applied
 //! to two ECUs of the next S-class".
 
-use comptest::core::campaign::{run_campaign, CampaignEntry};
 use comptest::prelude::*;
 
 const ECUS: [&str; 5] = [
@@ -57,22 +56,12 @@ fn all_ecus_pass_on_supplier_stand() {
 fn campaign_matrix_shape() {
     let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
     let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
-    let suites: Vec<TestSuite> = ECUS.iter().map(|e| load_suite(e)).collect();
-    let entries: Vec<CampaignEntry> = suites
-        .iter()
-        .zip(ECUS)
-        .map(|(suite, ecu)| CampaignEntry {
-            suite,
-            device_factory: Box::new(move || {
-                // The campaign runs each suite on several stands; build for
-                // 12 V — both stands' bounds tolerate either rail because
-                // the limits scale with the stand's own ubatt and the
-                // lamp's drive level is relative.
-                comptest::dut::ecus::device_by_name(ecu, Default::default()).unwrap()
-            }),
-        })
-        .collect();
-    let result = run_campaign(&entries, &[&stand_a, &stand_b], &ExecOptions::default()).unwrap();
+    let suites = comptest::load_bundled_suites().unwrap();
+    let entries = comptest::bundled_entries(&suites);
+    let stands = [&stand_a, &stand_b];
+    let result = Campaign::new(&entries, &stands)
+        .run(&SerialExecutor)
+        .unwrap();
     assert_eq!(result.cells.len(), 10);
     // Stand B runs everything.
     let on_b: Vec<_> = result

@@ -1,61 +1,46 @@
-//! The parallel engine's core guarantee: an N-worker campaign produces a
-//! cell-for-cell identical `CampaignResult` to serial execution, regardless
-//! of completion order and scheduling granularity (whole cells or single
-//! tests on the persistent worker pool) — plus the `stop_on_first_fail`
-//! early-cancel path at both granularities.
+//! The executor abstraction's core guarantee: `SerialExecutor` and
+//! `PooledExecutor` (any worker count, both scheduling granularities)
+//! produce byte-identical `CampaignResult`s for the same `Campaign`, and a
+//! cancelled run yields the same deterministic prefix-truncation semantics
+//! at every executor — plus the deprecated shim entry points, which must
+//! keep matching the builder API they now wrap.
 
-use std::sync::mpsc;
-
-use comptest::core::campaign::{run_campaign, CampaignEntry};
+use comptest::core::campaign::CampaignEntry;
 use comptest::prelude::*;
 
-const ECUS: [&str; 5] = comptest::dut::ecus::NAMES;
-
 fn load_suites() -> Vec<TestSuite> {
-    ECUS.iter()
-        .map(|ecu| {
-            Workbook::load(comptest::asset(&format!("{ecu}.cts")))
-                .unwrap_or_else(|e| panic!("workbook {ecu}: {e}"))
-                .suite
-        })
-        .collect()
+    comptest::load_bundled_suites().expect("bundled workbooks load")
 }
 
 fn entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
-    suites
-        .iter()
-        .zip(ECUS)
-        .map(|(suite, ecu)| CampaignEntry {
-            suite,
-            device_factory: Box::new(move || {
-                comptest::dut::ecus::device_by_name(ecu, Default::default()).expect("bundled ECU")
-            }),
-        })
-        .collect()
+    comptest::bundled_entries(suites)
+}
+
+fn load_stand(name: &str) -> TestStand {
+    TestStand::load(comptest::asset(name)).unwrap()
 }
 
 #[test]
-fn parallel_campaign_is_cell_for_cell_identical_to_serial() {
+fn serial_and_pooled_executors_are_byte_identical() {
     let suites = load_suites();
-    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
     let stands = [&stand_a, &stand_b];
 
-    let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
-    assert_eq!(serial.cells.len(), 10);
-
     for granularity in [Granularity::Cell, Granularity::Test] {
-        for workers in [2usize, 4, 8] {
-            let parallel = run_campaign_parallel(
-                &entries(&suites),
-                &stands,
-                &EngineOptions::with_workers(workers).granularity(granularity),
-                &ExecOptions::default(),
-                None,
-            )
-            .unwrap();
+        let campaign = Campaign::new(&entries, &stands).granularity(granularity);
+        let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+        assert_eq!(serial.result.cells.len(), 10);
+        assert_eq!(serial.cancelled, 0);
+        for workers in [1usize, 2, 4, 8] {
+            let pooled = campaign
+                .launch(&PooledExecutor::new(workers))
+                .unwrap()
+                .join()
+                .unwrap();
             assert_eq!(
-                parallel, serial,
+                pooled, serial,
                 "granularity {granularity}, workers = {workers}: \
                  ordering or outcomes diverged"
             );
@@ -64,26 +49,21 @@ fn parallel_campaign_is_cell_for_cell_identical_to_serial() {
 }
 
 #[test]
-fn persistent_pool_reuse_is_identical_to_serial() {
+fn one_executor_is_reusable_across_campaigns() {
     let suites = load_suites();
-    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
     let stands = [&stand_a, &stand_b];
-    let serial = run_campaign(&entries(&suites), &stands, &ExecOptions::default()).unwrap();
+    let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+    let serial = campaign.run(&SerialExecutor).unwrap();
 
-    // One pool, three campaigns (replay / watch mode): the worker threads
-    // are constructed once and reused; every run merges byte-identically.
-    let pool = WorkerPool::new(4);
+    // One pooled executor, three campaigns (replay / watch mode): the
+    // worker threads are constructed once and reused; every run merges
+    // byte-identically.
+    let executor = PooledExecutor::new(4);
     for round in 0..3 {
-        let result = run_campaign_with_pool(
-            &pool,
-            &entries(&suites),
-            &stands,
-            &EngineOptions::default(),
-            &ExecOptions::default(),
-            None,
-        )
-        .unwrap();
+        let result = campaign.run(&executor).unwrap();
         assert_eq!(result, serial, "round {round} diverged");
     }
 }
@@ -91,18 +71,15 @@ fn persistent_pool_reuse_is_identical_to_serial() {
 #[test]
 fn engine_events_cover_every_cell_exactly_once() {
     let suites = load_suites();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
-    let (tx, rx) = mpsc::channel();
-    let result = run_campaign_parallel(
-        &entries(&suites),
-        &[&stand_b],
-        &EngineOptions::with_workers(4),
-        &ExecOptions::default(),
-        Some(&tx),
-    )
-    .unwrap();
-    drop(tx);
-    let events: Vec<EngineEvent> = rx.into_iter().collect();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+    let executor = PooledExecutor::new(4);
+    let mut handle = Campaign::new(&entries, &stands).launch(&executor).unwrap();
+    let stream = handle.events();
+    let collector = std::thread::spawn(move || stream.collect::<Vec<EngineEvent>>());
+    let outcome = handle.join().unwrap();
+    let events = collector.join().unwrap();
 
     let mut started: Vec<usize> = events
         .iter()
@@ -118,29 +95,26 @@ fn engine_events_cover_every_cell_exactly_once() {
         .filter(|e| matches!(e, EngineEvent::JobFinished { .. }))
         .count();
     assert_eq!(finished, 5);
-    assert!(matches!(
-        events.last(),
-        Some(EngineEvent::CampaignDone { cancelled: 0, .. })
-    ));
-    assert!(result.all_green(), "{result}");
+    assert_eq!(outcome.cancelled, 0);
+    assert!(outcome.result.all_green(), "{}", outcome.result);
 }
 
 #[test]
 fn test_granular_events_cover_every_test_exactly_once() {
     let suites = load_suites();
     let total_tests: usize = suites.iter().map(|s| s.tests.len()).sum();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
-    let (tx, rx) = mpsc::channel();
-    let result = run_campaign_parallel(
-        &entries(&suites),
-        &[&stand_b],
-        &EngineOptions::with_workers(4).granularity(Granularity::Test),
-        &ExecOptions::default(),
-        Some(&tx),
-    )
-    .unwrap();
-    drop(tx);
-    let events: Vec<EngineEvent> = rx.into_iter().collect();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+    let executor = PooledExecutor::new(4);
+    let mut handle = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .launch(&executor)
+        .unwrap();
+    let stream = handle.events();
+    let collector = std::thread::spawn(move || stream.collect::<Vec<EngineEvent>>());
+    let outcome = handle.join().unwrap();
+    let events = collector.join().unwrap();
 
     let mut started: Vec<(usize, usize)> = events
         .iter()
@@ -164,125 +138,98 @@ fn test_granular_events_cover_every_test_exactly_once() {
         )),
         "per-cell events are a cell-granularity concept"
     );
-    assert!(matches!(
-        events.last(),
-        Some(EngineEvent::CampaignDone { cancelled: 0, .. })
-    ));
-    assert!(result.all_green(), "{result}");
+    assert!(outcome.result.all_green(), "{}", outcome.result);
 }
 
+/// Cancellation-path determinism at cell granularity: stand MINI cannot
+/// run anything, so with a 1-worker pool and `stop_on_first_fail` the very
+/// first cell comes back NOT RUNNABLE and the other nine never run — and
+/// the serial executor truncates to the exact same prefix.
 #[test]
-fn stop_on_first_fail_cancels_the_tail_at_test_granularity() {
-    // Stand MINI cannot run anything: with one worker and early-cancel the
-    // very first *test* comes back NOT RUNNABLE, the first cell is merged
-    // as not-runnable (exactly what serial reports for that cell), and
-    // every remaining test job is cancelled.
+fn cancelled_runs_truncate_deterministically_at_cell_granularity() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let mini = load_stand("stand_minimal.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&mini, &stand_b];
+    let campaign = Campaign::new(&entries, &stands).stop_on_first_fail(true);
+
+    let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+    let pooled = campaign
+        .launch(&PooledExecutor::new(1))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(pooled, serial, "cancellation must truncate identically");
+
+    assert_eq!(
+        serial.result.cells.len(),
+        1,
+        "only the failing cell ran:\n{}",
+        serial.result
+    );
+    assert!(serial.result.cells[0].outcome.is_err());
+    assert!(!serial.result.all_green());
+    assert_eq!(serial.cancelled, 9, "the rest of the matrix was cancelled");
+
+    // Without the flag, the same campaign runs to completion.
+    let full = Campaign::new(&entries, &stands)
+        .run(&PooledExecutor::new(4))
+        .unwrap();
+    assert_eq!(full.cells.len(), 10);
+}
+
+/// Cancellation-path determinism at test granularity: the first *test* on
+/// stand MINI is NOT RUNNABLE, the first cell is merged as not-runnable
+/// (exactly what a full run reports for that cell), and every remaining
+/// test job is cancelled — identically on the serial executor and a
+/// 1-worker pool.
+#[test]
+fn cancelled_runs_truncate_deterministically_at_test_granularity() {
     let suites = load_suites();
     let total_tests: usize = suites.iter().map(|s| s.tests.len()).sum();
-    let mini = TestStand::load(comptest::asset("stand_minimal.stand")).unwrap();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let entries = entries(&suites);
+    let mini = load_stand("stand_minimal.stand");
+    let stand_b = load_stand("stand_b.stand");
     let stands = [&mini, &stand_b];
+    let campaign = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .stop_on_first_fail(true);
 
-    let (tx, rx) = mpsc::channel();
-    let result = run_campaign_parallel(
-        &entries(&suites),
-        &stands,
-        &EngineOptions::with_workers(1)
-            .granularity(Granularity::Test)
-            .stop_on_first_fail(true),
-        &ExecOptions::default(),
-        Some(&tx),
-    )
-    .unwrap();
-    drop(tx);
+    let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+    let pooled = campaign
+        .launch(&PooledExecutor::new(1))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(pooled, serial, "cancellation must truncate identically");
 
     assert_eq!(
-        result.cells.len(),
+        serial.result.cells.len(),
         1,
-        "only the failing cell merged:\n{result}"
+        "only the failing cell merged:\n{}",
+        serial.result
     );
-    assert!(result.cells[0].outcome.is_err());
-    match rx.into_iter().last() {
-        Some(EngineEvent::CampaignDone {
-            cancelled,
-            not_runnable,
-            ..
-        }) => {
-            assert_eq!(not_runnable, 1);
-            assert_eq!(
-                cancelled,
-                total_tests * 2 - 1,
-                "all test jobs after the first were cancelled"
-            );
-        }
-        other => panic!("expected CampaignDone, got {other:?}"),
-    }
-}
-
-#[test]
-fn stop_on_first_fail_cancels_the_tail() {
-    // Stand MINI cannot run anything: with one worker and early-cancel the
-    // very first cell comes back NOT RUNNABLE and the other nine never run.
-    let suites = load_suites();
-    let mini = TestStand::load(comptest::asset("stand_minimal.stand")).unwrap();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
-    let stands = [&mini, &stand_b];
-
-    let (tx, rx) = mpsc::channel();
-    let result = run_campaign_parallel(
-        &entries(&suites),
-        &stands,
-        &EngineOptions::with_workers(1).stop_on_first_fail(true),
-        &ExecOptions::default(),
-        Some(&tx),
-    )
-    .unwrap();
-    drop(tx);
-
+    assert!(serial.result.cells[0].outcome.is_err());
+    let (_, _, _, not_runnable) = serial.result.totals();
+    assert_eq!(not_runnable, 1);
     assert_eq!(
-        result.cells.len(),
-        1,
-        "only the failing cell ran:\n{result}"
+        serial.cancelled,
+        total_tests * 2 - 1,
+        "all test jobs after the first were cancelled"
     );
-    assert!(result.cells[0].outcome.is_err());
-    assert!(!result.all_green());
-    match rx.into_iter().last() {
-        Some(EngineEvent::CampaignDone {
-            cancelled,
-            not_runnable,
-            ..
-        }) => {
-            assert_eq!(not_runnable, 1);
-            assert_eq!(cancelled, 9, "the rest of the matrix was cancelled");
-        }
-        other => panic!("expected CampaignDone, got {other:?}"),
-    }
-
-    // Without the flag, the same matrix runs to completion.
-    let full = run_campaign_parallel(
-        &entries(&suites),
-        &stands,
-        &EngineOptions::with_workers(4),
-        &ExecOptions::default(),
-        None,
-    )
-    .unwrap();
-    assert_eq!(full.cells.len(), 10);
 }
 
 #[test]
 fn campaign_junit_covers_the_matrix() {
     let suites = load_suites();
-    let stand_a = TestStand::load(comptest::asset("stand_a.stand")).unwrap();
-    let stand_b = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
-    let result = run_campaign_parallel(
-        &entries(&suites),
-        &[&stand_a, &stand_b],
-        &EngineOptions::with_workers(4),
-        &ExecOptions::default(),
-        None,
-    )
-    .unwrap();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_a, &stand_b];
+    let result = Campaign::new(&entries, &stands)
+        .run(&PooledExecutor::new(4))
+        .unwrap();
     let xml = comptest::report::campaign_junit_xml(&result);
     let parsed = comptest::script::xml::parse(&xml).unwrap();
     assert_eq!(parsed.name, "testsuites");
@@ -292,4 +239,82 @@ fn campaign_junit_covers_the_matrix() {
         xml.contains("type=\"NotRunnable\""),
         "stand A misses 4 ECUs"
     );
+}
+
+/// The deprecated entry points (the only remaining callers in the repo):
+/// they are thin shims over the builder API and must keep producing
+/// byte-identical results, including the historical serial `run_campaign`.
+#[allow(deprecated)]
+mod shims {
+    use super::*;
+    use comptest::core::campaign::run_campaign;
+    use comptest::engine::{run_campaign_parallel, run_campaign_with_pool, EngineOptions};
+
+    #[test]
+    fn all_three_shims_match_the_builder_api() {
+        let suites = load_suites();
+        let entries_vec = entries(&suites);
+        let stand_a = load_stand("stand_a.stand");
+        let stand_b = load_stand("stand_b.stand");
+        let stands = [&stand_a, &stand_b];
+        let reference = Campaign::new(&entries_vec, &stands)
+            .run(&SerialExecutor)
+            .unwrap();
+
+        // The historical serial driver anchors the builder API to the seed
+        // behaviour byte-for-byte.
+        let serial = run_campaign(&entries_vec, &stands, &ExecOptions::default()).unwrap();
+        assert_eq!(serial, reference, "serial shim diverged");
+
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            let parallel = run_campaign_parallel(
+                &entries_vec,
+                &stands,
+                &EngineOptions::with_workers(4).granularity(granularity),
+                &ExecOptions::default(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(parallel, reference, "parallel shim at {granularity}");
+        }
+
+        let pool = WorkerPool::new(4);
+        let with_pool = run_campaign_with_pool(
+            &pool,
+            &entries_vec,
+            &stands,
+            &EngineOptions::default(),
+            &ExecOptions::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(with_pool, reference, "pool shim diverged");
+    }
+
+    #[test]
+    fn shims_emit_the_historical_campaign_done_event() {
+        let suites = load_suites();
+        let entries_vec = entries(&suites);
+        let stand_b = load_stand("stand_b.stand");
+        let stands = [&stand_b];
+        let (tx, rx) = std::sync::mpsc::channel();
+        let result = run_campaign_parallel(
+            &entries_vec,
+            &stands,
+            &EngineOptions::with_workers(2),
+            &ExecOptions::default(),
+            Some(&tx),
+        )
+        .unwrap();
+        drop(tx);
+        assert!(result.all_green());
+        let events: Vec<EngineEvent> = rx.into_iter().collect();
+        assert!(
+            matches!(
+                events.last(),
+                Some(EngineEvent::CampaignDone { cancelled: 0, .. })
+            ),
+            "shims keep the terminal CampaignDone marker"
+        );
+    }
 }
