@@ -1,0 +1,108 @@
+//! S7 — async event-loop executor: in-flight-run scaling.
+//!
+//! The async executor's claim is that concurrency is bounded by memory,
+//! not by threads: one shard thread admits up to the concurrency limit of
+//! resumable `TestRun`s *before stepping any of them* (the admission loop
+//! fills the sim-time wheel first), so at the 1 000- and 10 000-job points
+//! below a **single OS thread genuinely holds ≥ 1 000 test runs open at
+//! once** — a configuration the thread-per-run pooled executor cannot
+//! express at all. The sweep measures what that interleaving costs
+//! (wheel churn: one heap pop + push per executed step) against the
+//! 4-worker pooled executor draining the same matrix, at 100 / 1 000 /
+//! 10 000 in-flight runs.
+
+use std::hint::black_box;
+
+use comptest::core::campaign::CampaignEntry;
+use comptest::prelude::*;
+use comptest_bench::build_device;
+use comptest_model::PinId;
+use comptest_stand::ResourceId;
+use comptest_workload::{gen_stand, gen_workbook_text, SplitMix64, StandShape, WorkbookShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SIGNALS: usize = 4;
+
+/// One generated suite with `tests` tiny tests (2 steps each): per-run
+/// work is small, so scheduling — admission, wheel churn, merge —
+/// dominates.
+fn suite_with_tests(tests: usize) -> TestSuite {
+    let mut rng = SplitMix64::new(0xA51C);
+    let text = gen_workbook_text(
+        &mut rng,
+        &WorkbookShape {
+            signals: SIGNALS,
+            tests,
+            steps: 2,
+        },
+    );
+    let mut wb = Workbook::parse_str("inflight.cts", &text).expect("generated workbook parses");
+    wb.suite.name = format!("inflight_{tests}");
+    wb.suite
+}
+
+/// A stand serving the generated workbooks: full-density crosspoints for
+/// the input pins plus a DVM route to the output pin pair (the s6
+/// fixture's wiring).
+fn variant_stand() -> TestStand {
+    let mut rng = SplitMix64::new(7);
+    let shape = StandShape {
+        pins: SIGNALS,
+        put_resources: SIGNALS,
+        get_resources: 1,
+        density: 1.0,
+    };
+    let dvm = ResourceId::new("Dvm0").expect("valid");
+    gen_stand(&mut rng, &shape)
+        .with_connection(
+            PinId::new("XO1").expect("valid"),
+            dvm.clone(),
+            PinId::new("OUT_F").expect("valid"),
+        )
+        .with_connection(
+            PinId::new("XO2").expect("valid"),
+            dvm,
+            PinId::new("OUT_R").expect("valid"),
+        )
+}
+
+fn inflight_scaling(c: &mut Criterion) {
+    let stand = variant_stand();
+    let stands = [&stand];
+
+    let mut group = c.benchmark_group("s7/inflight_scaling");
+    group.sample_size(10);
+    for n_runs in [100usize, 1_000, 10_000] {
+        let suite = suite_with_tests(n_runs);
+        let entries = vec![CampaignEntry {
+            suite: &suite,
+            device_factory: Box::new(|| build_device("interior_light", Default::default(), None)),
+        }];
+        let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+        assert_eq!(campaign.job_count(), n_runs);
+
+        // All n jobs in flight simultaneously on ONE event-loop thread.
+        let async_one_thread = AsyncExecutor::new(n_runs);
+        group.bench_with_input(
+            BenchmarkId::new("async_1thread", n_runs),
+            &n_runs,
+            |b, _| b.iter(|| black_box(campaign.run(&async_one_thread).unwrap())),
+        );
+        // The same budget sharded over 4 event-loop threads.
+        let async_sharded = AsyncExecutor::new(n_runs).sharded(4);
+        group.bench_with_input(
+            BenchmarkId::new("async_4shards", n_runs),
+            &n_runs,
+            |b, _| b.iter(|| black_box(campaign.run(&async_sharded).unwrap())),
+        );
+        // Thread-per-job-at-a-time baseline: 4 pooled workers.
+        let pooled = PooledExecutor::new(4);
+        group.bench_with_input(BenchmarkId::new("pooled_4", n_runs), &n_runs, |b, _| {
+            b.iter(|| black_box(campaign.run(&pooled).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inflight_scaling);
+criterion_main!(benches);

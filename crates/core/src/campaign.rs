@@ -356,6 +356,23 @@ pub fn plan_test_jobs(test_counts: &[usize], stands: usize) -> Vec<TestJob> {
     jobs
 }
 
+/// Plans one generated script on a stand, mapping planning failures to the
+/// canonical not-runnable outcome string. The one error-rendering
+/// implementation shared by [`execute_script_job`] (blocking executors)
+/// and the engine's step-interleaving `AsyncExecutor`, so every executor
+/// reports the exact same `Err(reason)` bytes.
+///
+/// # Errors
+///
+/// Returns the stringified [`comptest_stand::StandError`] when the stand
+/// cannot serve the script.
+pub fn plan_script(
+    script: &comptest_script::TestScript,
+    stand: &TestStand,
+) -> Result<comptest_stand::ExecutionPlan, String> {
+    comptest_stand::plan(script, stand).map_err(|e| e.to_string())
+}
+
 /// Plans and executes one already-generated script against a device — the
 /// single-test step shared by [`run_test_job`] and the engine's worker
 /// pool, so both paths map stand planning failures to the exact same
@@ -366,9 +383,9 @@ pub fn execute_script_job(
     device: &mut Device,
     options: &ExecOptions,
 ) -> TestJobOutcome {
-    match comptest_stand::plan(script, stand) {
+    match plan_script(script, stand) {
         Ok(plan) => Ok(crate::exec::execute(&plan, device, options)),
-        Err(e) => Err(e.to_string()),
+        Err(reason) => Err(reason),
     }
 }
 

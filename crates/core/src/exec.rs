@@ -7,6 +7,14 @@
 //! the stricter ablation discussed in DESIGN.md §7 (it catches glitch/delay
 //! faults that a single end-of-step sample misses, but rejects steps that
 //! legitimately contain a transition, like the paper's step 8).
+//!
+//! Execution itself is a resumable state machine: [`TestRun`] advances one
+//! planned step per [`TestRun::step`] call, which lets an event-loop
+//! scheduler interleave thousands of runs on one thread; [`execute`] is the
+//! drive-to-completion wrapper over it.
+
+use std::borrow::{Borrow, BorrowMut};
+use std::str::FromStr;
 
 use comptest_dut::{Device, PinDrive};
 use comptest_model::{SignalKind, SimTime};
@@ -48,6 +56,359 @@ impl Default for ExecOptions {
     }
 }
 
+impl SampleMode {
+    /// The accepted `FromStr` spellings, for CLI error messages.
+    pub const ACCEPTED: [&'static str; 2] = ["end-of-step", "continuous:<interval_s>"];
+}
+
+impl FromStr for SampleMode {
+    type Err = String;
+
+    /// Parses a sample-mode name, case-insensitively: `end-of-step` or
+    /// `continuous:<interval_s>` (seconds, decimal comma or point — e.g.
+    /// `continuous:0.1`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "end-of-step" {
+            return Ok(SampleMode::EndOfStep);
+        }
+        if let Some(rest) = lower.strip_prefix("continuous:") {
+            let interval: SimTime = rest
+                .parse()
+                .map_err(|e| format!("bad continuous sampling interval {rest:?}: {e}"))?;
+            if interval.is_zero() {
+                return Err(format!(
+                    "continuous sampling interval must be positive, got {rest:?}"
+                ));
+            }
+            return Ok(SampleMode::Continuous { interval });
+        }
+        Err(format!(
+            "unknown sample mode {s:?}: expected one of {} (e.g. continuous:0.1)",
+            SampleMode::ACCEPTED.join(", ")
+        ))
+    }
+}
+
+/// What one [`TestRun::step`] call left behind.
+#[must_use = "a Finished state carries the test result"]
+#[derive(Debug)]
+pub enum RunState {
+    /// The run has more planned steps; call [`TestRun::step`] again.
+    Running,
+    /// The run is complete. The result is handed out exactly once; calling
+    /// [`TestRun::step`] again afterwards panics.
+    Finished(TestResult),
+}
+
+/// One test execution as a **resumable state machine**: each
+/// [`TestRun::step`] call advances exactly one planned step (stimuli →
+/// event-driven DUT advance → end-of-step/continuous sampling), so a
+/// scheduler can interleave thousands of runs on one thread. Driving a run
+/// to completion yields byte-for-byte the [`execute`] result — `execute`
+/// *is* the trivial drive-to-completion wrapper.
+///
+/// The plan and device parameters are generic over ownership
+/// ([`Borrow`]/[`BorrowMut`]): `execute` borrows them
+/// (`TestRun<&ExecutionPlan, &mut Device>`), while a long-lived scheduler
+/// like `comptest-engine`'s `AsyncExecutor` moves owned values in
+/// (`TestRun<ExecutionPlan, Device>`), which keeps the run `'static` and
+/// `Send` without self-referential tricks.
+///
+/// Construction resets the device and applies the plan's init stimuli; an
+/// init error latches an error-carrying result that the first `step` call
+/// delivers as [`RunState::Finished`], exactly like `execute`.
+///
+/// # Example
+///
+/// ```
+/// use comptest_core::{RunState, TestRun, ExecOptions, PAPER_STAND_A};
+/// use comptest_dut::ecus::interior_light;
+/// use comptest_script::TestScript;
+/// use comptest_stand::{plan, TestStand};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let script = TestScript::parse_xml(r#"
+/// <testscript name="t" suite="s" version="1">
+///   <signals>
+///     <signal name="ds_fl" kind="pin:DS_FL" direction="input"/>
+///     <signal name="int_ill" kind="pin:INT_ILL_F/INT_ILL_R" direction="output"/>
+///   </signals>
+///   <step nr="0" dt="0.5">
+///     <signal name="ds_fl"><put_r r="0" r_min="0" r_max="2"/></signal>
+///     <signal name="int_ill"><get_u u_max="(0.3*ubatt)" u_min="0"/></signal>
+///   </step>
+/// </testscript>"#)?;
+/// let stand = TestStand::parse_str("a.stand", PAPER_STAND_A)?;
+/// let plan = plan(&script, &stand)?;
+/// let mut dut = interior_light::device(Default::default());
+/// let mut run = TestRun::new(&plan, &mut dut, &ExecOptions::default());
+/// let result = loop {
+///     match run.step() {
+///         RunState::Running => continue,
+///         RunState::Finished(result) => break result,
+///     }
+/// };
+/// assert!(result.passed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TestRun<P, D>
+where
+    P: Borrow<ExecutionPlan>,
+    D: BorrowMut<Device>,
+{
+    plan: P,
+    device: D,
+    options: ExecOptions,
+    /// Simulated time at the start of the next step.
+    now: SimTime,
+    /// Index of the next plan step to execute.
+    next_step: usize,
+    /// Reused scratch: indices of the current step's check actions. One
+    /// buffer for the whole run instead of a fresh `Vec<&GetCheck>`
+    /// allocation per step — the per-step re-collection used to sit on the
+    /// execution hot path.
+    checks_buf: Vec<usize>,
+    /// The result under construction; taken when the run finishes.
+    result: Option<TestResult>,
+    /// Latched when the run ended before exhausting the plan (init error,
+    /// step error, `stop_on_failure`).
+    done: bool,
+}
+
+impl<P, D> TestRun<P, D>
+where
+    P: Borrow<ExecutionPlan>,
+    D: BorrowMut<Device>,
+{
+    /// Prepares a run: resets the device to simulated time zero and applies
+    /// the plan's init stimuli. An init error does not raise — it latches
+    /// the error-carrying result (no steps executed) that the first
+    /// [`TestRun::step`] call delivers.
+    pub fn new(plan: P, mut device: D, options: &ExecOptions) -> Self {
+        let now = SimTime::ZERO;
+        let mut done = false;
+        let mut result = {
+            let plan = plan.borrow();
+            let device = device.borrow_mut();
+            let mut result = TestResult {
+                test: plan.script_name.clone(),
+                stand: plan.stand_name.clone(),
+                dut: device.behavior_name().to_owned(),
+                steps: Vec::new(),
+                error: None,
+                trace: Trace::new(),
+            };
+            device.reset(now);
+            for action in &plan.init {
+                if let Err(msg) = apply_action(device, action, now, &mut result.trace) {
+                    result.error = Some(format!("init: {msg}"));
+                    done = true;
+                    break;
+                }
+            }
+            result
+        };
+        result
+            .steps
+            .reserve(if done { 0 } else { plan.borrow().steps.len() });
+        Self {
+            plan,
+            device,
+            options: *options,
+            now,
+            next_step: 0,
+            checks_buf: Vec::new(),
+            result: Some(result),
+            done,
+        }
+    }
+
+    /// Advances the run by exactly one planned step (or delivers the final
+    /// result when none remain): all of the step's stimuli atomically at
+    /// step start, the event-driven DUT advance, and the step's full
+    /// sampling schedule. The call that completes the run returns
+    /// [`RunState::Finished`]; a plan with no (remaining) steps — or a run
+    /// whose init failed — finishes on the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called again after [`RunState::Finished`] was returned.
+    pub fn step(&mut self) -> RunState {
+        assert!(
+            self.result.is_some(),
+            "TestRun::step called after the run finished"
+        );
+        if !self.done && self.next_step < self.plan.borrow().steps.len() {
+            self.execute_next_step();
+        }
+        if self.done || self.next_step >= self.plan.borrow().steps.len() {
+            return RunState::Finished(self.result.take().expect("checked above"));
+        }
+        RunState::Running
+    }
+
+    /// True once the next [`TestRun::step`] call will return (or already
+    /// returned) [`RunState::Finished`].
+    pub fn is_finished(&self) -> bool {
+        self.done || self.next_step >= self.plan.borrow().steps.len()
+    }
+
+    /// Simulated time the run has advanced to (the start of the next step).
+    pub fn sim_now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulated time the next [`TestRun::step`] call will advance to: the
+    /// end of the next planned step, or the current time when the run is
+    /// finished. This is the sim-time wheel key an event-loop scheduler
+    /// orders runs by.
+    pub fn next_deadline(&self) -> SimTime {
+        if self.done {
+            return self.now;
+        }
+        match self.plan.borrow().steps.get(self.next_step) {
+            Some(step) => self.now.saturating_add(step.dt),
+            None => self.now,
+        }
+    }
+
+    /// Executes plan step `self.next_step`. Caller guarantees it exists and
+    /// the run is not done.
+    fn execute_next_step(&mut self) {
+        let Self {
+            plan,
+            device,
+            options,
+            now,
+            next_step,
+            checks_buf,
+            result,
+            done,
+        } = self;
+        let plan: &ExecutionPlan = (*plan).borrow();
+        let device: &mut Device = (*device).borrow_mut();
+        let result = result.as_mut().expect("caller checked");
+        let step = &plan.steps[*next_step];
+        let t_start = *now;
+        let t_end = now.saturating_add(step.dt);
+
+        // Phase 1: all stimuli, atomically at step start.
+        for action in &step.actions {
+            if let Err(msg) = apply_action(device, action, t_start, &mut result.trace) {
+                result.error = Some(format!("step {}: {msg}", step.nr));
+                *done = true;
+                return;
+            }
+        }
+
+        // Phase 2: collect the checks (into the run's reused buffer) and
+        // their sample schedules.
+        checks_buf.clear();
+        checks_buf.extend(
+            step.actions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| match a {
+                    Action::Check(_) => Some(i),
+                    Action::Apply { .. } => None,
+                }),
+        );
+        let check_at = |i: usize| -> &GetCheck {
+            match &step.actions[i] {
+                Action::Check(c) => c,
+                Action::Apply { .. } => unreachable!("checks_buf holds only check indices"),
+            }
+        };
+
+        let mut step_result = StepResult {
+            nr: step.nr,
+            t_end,
+            checks: Vec::new(),
+        };
+
+        match options.sample {
+            SampleMode::EndOfStep => {
+                device.advance_to(t_end);
+                for &i in checks_buf.iter() {
+                    step_result.checks.push(sample_check(
+                        device,
+                        check_at(i),
+                        step.nr,
+                        t_start,
+                        t_end,
+                        &mut result.trace,
+                    ));
+                }
+            }
+            SampleMode::Continuous { interval } => {
+                let interval = if interval.is_zero() {
+                    SimTime::from_millis(100)
+                } else {
+                    interval
+                };
+                // Worst result per check across all samples.
+                let mut worst: Vec<Option<CheckResult>> = vec![None; checks_buf.len()];
+                let max_settle = checks_buf
+                    .iter()
+                    .map(|&i| check_at(i).settle)
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                let mut t = t_start;
+                let mut first = true;
+                loop {
+                    t = if first {
+                        first = false;
+                        // First sample: after the longest settle.
+                        t_start.saturating_add(max_settle)
+                    } else {
+                        t.saturating_add(interval)
+                    };
+                    if t >= t_end {
+                        t = t_end;
+                    }
+                    device.advance_to(t);
+                    for (slot, &i) in checks_buf.iter().enumerate() {
+                        let sampled = sample_check(
+                            device,
+                            check_at(i),
+                            step.nr,
+                            t_start,
+                            t,
+                            &mut result.trace,
+                        );
+                        let replace = match &worst[slot] {
+                            None => true,
+                            Some(prev) => sampled.verdict > prev.verdict,
+                        };
+                        if replace {
+                            worst[slot] = Some(sampled);
+                        }
+                    }
+                    if t == t_end {
+                        break;
+                    }
+                }
+                step_result.checks = worst.into_iter().flatten().collect();
+            }
+        }
+
+        result.trace.push(TraceEvent::StepEnd {
+            nr: step.nr,
+            at: t_end,
+        });
+        let failed = step_result.verdict() != Verdict::Pass;
+        result.steps.push(step_result);
+        *now = t_end;
+        *next_step += 1;
+        if failed && options.stop_on_failure {
+            *done = true;
+        }
+    }
+}
+
 /// Runs an execution plan against a device. Never panics on DUT behaviour;
 /// execution-level problems (unsupported methods, absent CAN frames) yield
 /// [`Verdict::Error`] checks or an error-carrying [`TestResult`].
@@ -81,126 +442,12 @@ impl Default for ExecOptions {
 /// # }
 /// ```
 pub fn execute(plan: &ExecutionPlan, device: &mut Device, options: &ExecOptions) -> TestResult {
-    let mut result = TestResult {
-        test: plan.script_name.clone(),
-        stand: plan.stand_name.clone(),
-        dut: device.behavior_name().to_owned(),
-        steps: Vec::new(),
-        error: None,
-        trace: Trace::new(),
-    };
-
-    let mut now = SimTime::ZERO;
-    device.reset(now);
-
-    for action in &plan.init {
-        if let Err(msg) = apply_action(device, action, now, &mut result.trace) {
-            result.error = Some(format!("init: {msg}"));
+    let mut run = TestRun::new(plan, device, options);
+    loop {
+        if let RunState::Finished(result) = run.step() {
             return result;
         }
     }
-
-    for step in &plan.steps {
-        let t_start = now;
-        let t_end = now.saturating_add(step.dt);
-
-        // Phase 1: all stimuli, atomically at step start.
-        for action in &step.actions {
-            if let Err(msg) = apply_action(device, action, t_start, &mut result.trace) {
-                result.error = Some(format!("step {}: {msg}", step.nr));
-                return result;
-            }
-        }
-
-        // Phase 2: collect the checks and their sample schedules.
-        let checks: Vec<&GetCheck> = step
-            .actions
-            .iter()
-            .filter_map(|a| match a {
-                Action::Check(c) => Some(c),
-                Action::Apply { .. } => None,
-            })
-            .collect();
-
-        let mut step_result = StepResult {
-            nr: step.nr,
-            t_end,
-            checks: Vec::new(),
-        };
-
-        match options.sample {
-            SampleMode::EndOfStep => {
-                device.advance_to(t_end);
-                for check in checks {
-                    step_result.checks.push(sample_check(
-                        device,
-                        check,
-                        step.nr,
-                        t_start,
-                        t_end,
-                        &mut result.trace,
-                    ));
-                }
-            }
-            SampleMode::Continuous { interval } => {
-                let interval = if interval.is_zero() {
-                    SimTime::from_millis(100)
-                } else {
-                    interval
-                };
-                // Worst result per check across all samples.
-                let mut worst: Vec<Option<CheckResult>> = vec![None; checks.len()];
-                let max_settle = checks
-                    .iter()
-                    .map(|c| c.settle)
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                let mut t = t_start;
-                let mut first = true;
-                loop {
-                    t = if first {
-                        first = false;
-                        // First sample: after the longest settle.
-                        t_start.saturating_add(max_settle)
-                    } else {
-                        t.saturating_add(interval)
-                    };
-                    if t >= t_end {
-                        t = t_end;
-                    }
-                    device.advance_to(t);
-                    for (i, check) in checks.iter().enumerate() {
-                        let sampled =
-                            sample_check(device, check, step.nr, t_start, t, &mut result.trace);
-                        let replace = match &worst[i] {
-                            None => true,
-                            Some(prev) => sampled.verdict > prev.verdict,
-                        };
-                        if replace {
-                            worst[i] = Some(sampled);
-                        }
-                    }
-                    if t == t_end {
-                        break;
-                    }
-                }
-                step_result.checks = worst.into_iter().flatten().collect();
-            }
-        }
-
-        result.trace.push(TraceEvent::StepEnd {
-            nr: step.nr,
-            at: t_end,
-        });
-        let failed = step_result.verdict() != Verdict::Pass;
-        result.steps.push(step_result);
-        now = t_end;
-        if failed && options.stop_on_failure {
-            break;
-        }
-    }
-
-    result
 }
 
 /// Applies a single stimulus action. Checks are ignored here.
@@ -485,6 +732,109 @@ mod tests {
         let result = execute(&plan, &mut dut, &ExecOptions::default());
         assert_eq!(result.verdict(), Verdict::Fail);
         assert!(result.failures()[0].message.contains("never transmitted"));
+    }
+
+    #[test]
+    fn stepping_a_test_run_matches_execute() {
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let reference = execute(
+            &plan,
+            &mut interior_light::device(Default::default()),
+            &ExecOptions::default(),
+        );
+
+        let mut dut = interior_light::device(Default::default());
+        let mut run = TestRun::new(&plan, &mut dut, &ExecOptions::default());
+        assert!(!run.is_finished());
+        assert_eq!(run.sim_now(), SimTime::ZERO);
+        // The wheel key before the first step: end of step 0.
+        assert_eq!(run.next_deadline(), SimTime::from_millis(500));
+        // Two planned steps: the first call runs step 0 and keeps going,
+        // the second runs step 1 and delivers the result.
+        assert!(matches!(run.step(), RunState::Running));
+        assert_eq!(run.sim_now(), SimTime::from_millis(500));
+        assert_eq!(run.next_deadline(), SimTime::from_secs(1));
+        let RunState::Finished(result) = run.step() else {
+            panic!("two-step plan finishes on the second call");
+        };
+        assert!(run.is_finished());
+        assert_eq!(result, reference, "stepping must equal execute exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "after the run finished")]
+    fn stepping_past_finished_panics() {
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let mut dut = interior_light::device(Default::default());
+        let mut run = TestRun::new(&plan, &mut dut, &ExecOptions::default());
+        loop {
+            if let RunState::Finished(_) = run.step() {
+                break;
+            }
+        }
+        let _ = run.step();
+    }
+
+    #[test]
+    fn test_run_can_own_its_plan_and_device() {
+        // The AsyncExecutor shape: owned plan + device, 'static run.
+        let stand = stand();
+        let plan = plan(&script(NIGHT_SCRIPT), &stand).unwrap();
+        let reference = execute(
+            &plan,
+            &mut interior_light::device(Default::default()),
+            &ExecOptions::default(),
+        );
+        let mut run: TestRun<_, _> = TestRun::new(
+            plan,
+            interior_light::device(Default::default()),
+            &ExecOptions::default(),
+        );
+        fn assert_send<T: Send + 'static>(_: &T) {}
+        assert_send(&run);
+        let result = loop {
+            if let RunState::Finished(result) = run.step() {
+                break result;
+            }
+        };
+        assert_eq!(result, reference);
+    }
+
+    #[test]
+    fn sample_mode_parses_and_rejects() {
+        assert_eq!(
+            "end-of-step".parse::<SampleMode>().unwrap(),
+            SampleMode::EndOfStep
+        );
+        assert_eq!(
+            "END-OF-STEP".parse::<SampleMode>().unwrap(),
+            SampleMode::EndOfStep
+        );
+        assert_eq!(
+            "continuous:0.1".parse::<SampleMode>().unwrap(),
+            SampleMode::Continuous {
+                interval: SimTime::from_millis(100)
+            }
+        );
+        // Decimal comma, as everywhere else in the sheets.
+        assert_eq!(
+            "continuous:0,25".parse::<SampleMode>().unwrap(),
+            SampleMode::Continuous {
+                interval: SimTime::from_millis(250)
+            }
+        );
+        let unknown = "hourly".parse::<SampleMode>().unwrap_err();
+        assert!(unknown.contains("\"hourly\""), "{unknown}");
+        assert!(
+            unknown.contains("end-of-step, continuous:<interval_s>"),
+            "{unknown}"
+        );
+        let zero = "continuous:0".parse::<SampleMode>().unwrap_err();
+        assert!(zero.contains("positive"), "{zero}");
+        let junk = "continuous:fast".parse::<SampleMode>().unwrap_err();
+        assert!(junk.contains("\"fast\""), "{junk}");
     }
 
     #[test]

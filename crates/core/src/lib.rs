@@ -70,7 +70,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use error::CoreError;
-pub use exec::{execute, ExecOptions, SampleMode};
+pub use exec::{execute, ExecOptions, RunState, SampleMode, TestRun};
 pub use pipeline::{run_suite, run_test};
 pub use trace::{Trace, TraceEvent};
 pub use verdict::{CheckResult, Measured, StepResult, SuiteResult, TestResult, Verdict};

@@ -1,0 +1,625 @@
+//! The event-loop [`AsyncExecutor`]: thousands of concurrent simulated
+//! stands per OS thread.
+//!
+//! Where [`PooledExecutor`](crate::PooledExecutor) needs one OS thread per
+//! in-flight run, this executor exploits what the resumable
+//! [`TestRun`] core makes possible: a run is a suspendable transition
+//! system, so one thread can interleave thousands of them. Each shard
+//! thread owns a **sim-time wheel** — a [`BinaryHeap`] keyed by every
+//! active run's next step deadline — pops the run with the earliest
+//! simulated deadline, advances it exactly one planned step, and
+//! re-inserts it. Runs thus progress in global simulated-time order, like
+//! event-driven co-simulation of that many physical stands racked side by
+//! side. No extra dependencies: the loop is a plain heap over `mpsc`
+//! channels.
+//!
+//! The executor keeps the full [`CampaignExecutor`](crate::CampaignExecutor)
+//! contract: jobs come from the same deterministic plans, outcomes merge
+//! byte-identical to [`SerialExecutor`](crate::SerialExecutor) at both
+//! granularities, and the first codegen error surfaces from launch before
+//! any job runs. Cancellation is *finer-grained* than on the other
+//! executors: the token is checked before every **step**, so a cancelled
+//! campaign stops mid-run at the next step boundary — an abandoned run
+//! reports no outcome, counts into `cancelled`, and (having never
+//! finished) emits no `TestFinished`/`JobFinished` event.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use comptest_core::campaign::{merge_test_outcomes, plan_script, CampaignCell, TestJobOutcome};
+use comptest_core::error::CoreError;
+use comptest_core::exec::{ExecOptions, RunState, TestRun};
+use comptest_core::{SuiteResult, TestResult};
+use comptest_dut::Device;
+use comptest_model::SimTime;
+use comptest_script::TestScript;
+use comptest_stand::{ExecutionPlan, TestStand};
+
+use crate::campaign::{Campaign, Granularity};
+use crate::events::{emit, EngineEvent};
+use crate::executor::{
+    check_lost, collect, fold_cell_slots, outcome_status, package_cells, package_jobs,
+    CampaignExecutor, JobMsg, PackagedCell, PackagedJob,
+};
+use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
+
+/// Executes campaigns on an event loop of resumable [`TestRun`]s: up to
+/// `concurrency` runs are open simultaneously, interleaved step by step in
+/// simulated-time order on one OS thread (optionally sharded over
+/// several). Concurrency is therefore bounded by memory, not by thread
+/// count — `AsyncExecutor::new(10_000)` is an ordinary configuration.
+///
+/// Outcomes merge byte-identical to every other executor; see the
+/// [module docs](self) for the scheduling and cancellation details.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncExecutor {
+    concurrency: usize,
+    shards: usize,
+}
+
+impl AsyncExecutor {
+    /// An executor admitting up to `concurrency` simultaneous in-flight
+    /// runs, all interleaved on a single shard thread.
+    ///
+    /// `concurrency` must be at least `1` — the same rule the CLI enforces
+    /// for `--concurrency`. Debug builds assert on `0`, release builds
+    /// clamp to `1` (which degenerates to serial execution in plan order).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on `concurrency == 0`.
+    pub fn new(concurrency: usize) -> Self {
+        debug_assert!(
+            concurrency > 0,
+            "AsyncExecutor::new(0): at least one in-flight run is required \
+             (release builds clamp to 1; the CLI rejects --concurrency 0 outright)"
+        );
+        Self {
+            concurrency: concurrency.max(1),
+            shards: 1,
+        }
+    }
+
+    /// Shards the event loop over `shards` OS threads (builder style).
+    /// Jobs are dealt round-robin across shards in plan order, the
+    /// in-flight budget is split so the shard limits sum to exactly
+    /// `concurrency` (a launch never spawns more shards than it has
+    /// budget or jobs for), and merge order is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on `shards == 0`; release builds clamp to `1`.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        debug_assert!(
+            shards > 0,
+            "AsyncExecutor::sharded(0): at least one shard thread is required \
+             (release builds clamp to 1)"
+        );
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Maximum simultaneously in-flight runs across all shards.
+    pub fn concurrency(&self) -> usize {
+        self.concurrency
+    }
+
+    /// Number of shard threads the event loop spreads over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Splits the total in-flight budget over `parts` shards so the limits sum
+/// to exactly `concurrency`: the first `concurrency % parts` shards get
+/// one extra slot. Callers cap `parts` at `concurrency`, so every shard's
+/// limit is at least 1 (a zero-limit shard would spin without admitting).
+fn shard_limits(concurrency: usize, parts: usize) -> impl Iterator<Item = usize> {
+    let base = concurrency / parts;
+    let extra = concurrency % parts;
+    (0..parts).map(move |i| base + usize::from(i < extra))
+}
+
+impl CampaignExecutor for AsyncExecutor {
+    fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
+        match campaign.granularity {
+            Granularity::Cell => launch_async_cells(self, campaign),
+            Granularity::Test => launch_async_tests(self, campaign),
+        }
+    }
+}
+
+/// Deals `items` round-robin into at most `shards` non-empty parts,
+/// preserving plan order within each part.
+fn partition<T>(items: Vec<T>, shards: usize) -> Vec<VecDeque<T>> {
+    let shards = shards.min(items.len()).max(1);
+    let mut parts: Vec<VecDeque<T>> = (0..shards).map(|_| VecDeque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        parts[i % shards].push_back(item);
+    }
+    parts
+}
+
+/// One sim-time-wheel entry: a payload keyed by (deadline, admission
+/// sequence). The ordering is *reversed* so [`BinaryHeap`] pops the
+/// earliest deadline first; the sequence breaks ties in admission order,
+/// keeping the schedule deterministic.
+struct Scheduled<T> {
+    deadline: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+    }
+}
+
+/// Test-granular async launch: the planned job list is dealt across shard
+/// threads, each interleaving its runs on a sim-time wheel; outcomes merge
+/// through [`merge_test_outcomes`] exactly like every other executor.
+fn launch_async_tests<'a>(
+    executor: &AsyncExecutor,
+    campaign: &Campaign<'a, '_>,
+) -> Result<CampaignHandle<'a>, CoreError> {
+    let jobs = package_jobs(campaign.entries, campaign.stands)?;
+    let n_jobs = jobs.len();
+    let cancel = RunCancel::new(campaign.cancel.clone());
+    let stop = campaign.stop_on_first_fail;
+    let exec = campaign.exec;
+    let (events_tx, events_rx) = mpsc::channel();
+    let (results_tx, results_rx) = mpsc::channel();
+    let parts = partition(jobs, executor.shards.min(executor.concurrency));
+    let limits = shard_limits(executor.concurrency, parts.len());
+    for (part, limit) in parts.into_iter().zip(limits) {
+        let cancel = cancel.clone();
+        let events = events_tx.clone();
+        let results = results_tx.clone();
+        std::thread::spawn(move || {
+            drive_test_shard(part, limit, &exec, &cancel, stop, &events, &results);
+        });
+    }
+    // Drop the launch-side senders so both streams end with the last shard.
+    drop(events_tx);
+    drop(results_tx);
+
+    let entries = campaign.entries;
+    let stands = campaign.stands;
+    let run_token = cancel.run_token();
+    Ok(CampaignHandle::new(
+        EventStream::new(events_rx),
+        run_token,
+        Box::new(move || {
+            let (slots, acknowledged) = collect(results_rx, n_jobs);
+            let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
+            check_lost(cancelled, acknowledged)?;
+            Ok(CampaignOutcome { result, cancelled })
+        }),
+    ))
+}
+
+/// Everything about one admitted test except its run — what the finish
+/// path needs after the state machine is consumed.
+struct TestTicket {
+    slot: usize,
+    cell: usize,
+    test: usize,
+    suite: String,
+    stand: String,
+    name: String,
+    started: Instant,
+}
+
+/// One in-flight test on the wheel.
+struct ActiveTest {
+    ticket: TestTicket,
+    run: TestRun<ExecutionPlan, Device>,
+}
+
+/// One shard's event loop at test granularity: admit until the in-flight
+/// limit is reached (so `limit` runs are genuinely open at once), then
+/// repeatedly advance the earliest-deadline run by one step.
+fn drive_test_shard(
+    mut pending: VecDeque<PackagedJob>,
+    limit: usize,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<TestJobOutcome>>,
+) {
+    let mut wheel: BinaryHeap<Scheduled<ActiveTest>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        while wheel.len() < limit {
+            let Some(job) = pending.pop_front() else {
+                break;
+            };
+            admit_test(
+                job, exec, cancel, stop, events, results, &mut wheel, &mut seq,
+            );
+        }
+        let Some(entry) = wheel.pop() else {
+            if pending.is_empty() {
+                return;
+            }
+            // Every admitted job resolved at admission (planning errors or
+            // cancellations); go admit more.
+            continue;
+        };
+        // Step-granular cancellation: abandon the popped run at its step
+        // boundary; later iterations drain the rest of the wheel the same
+        // way. The abandoned slot stays empty, which the merge counts as
+        // cancelled; acknowledging here is what keeps join() from calling
+        // it lost.
+        if cancel.is_cancelled() {
+            let _ = results.send(JobMsg::Cancelled);
+            continue;
+        }
+        let mut active = entry.payload;
+        match active.run.step() {
+            RunState::Running => {
+                wheel.push(Scheduled {
+                    deadline: active.run.next_deadline(),
+                    seq: entry.seq,
+                    payload: active,
+                });
+            }
+            RunState::Finished(result) => {
+                finish_test(active.ticket, Ok(result), stop, cancel, events, results);
+            }
+        }
+    }
+}
+
+/// Admits one packaged test: emits `TestStarted`, plans the script, and
+/// either parks the fresh [`TestRun`] on the wheel or — on a planning
+/// failure — resolves the job immediately with the same not-runnable
+/// outcome the blocking executors produce.
+#[allow(clippy::too_many_arguments)]
+fn admit_test(
+    job: PackagedJob,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<TestJobOutcome>>,
+    wheel: &mut BinaryHeap<Scheduled<ActiveTest>>,
+    seq: &mut u64,
+) {
+    if cancel.is_cancelled() {
+        let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    let PackagedJob {
+        job: slot,
+        cell,
+        test,
+        suite,
+        stand_name,
+        name,
+        script,
+        stand,
+        device,
+    } = job;
+    emit(
+        events,
+        EngineEvent::TestStarted {
+            cell,
+            test,
+            suite: suite.clone(),
+            stand: stand_name.clone(),
+            name: name.clone(),
+        },
+    );
+    let ticket = TestTicket {
+        slot,
+        cell,
+        test,
+        suite,
+        stand: stand_name,
+        name,
+        started: Instant::now(),
+    };
+    match plan_script(&script, &stand) {
+        Ok(plan) => {
+            let run = TestRun::new(plan, device, exec);
+            wheel.push(Scheduled {
+                deadline: run.next_deadline(),
+                seq: *seq,
+                payload: ActiveTest { ticket, run },
+            });
+            *seq += 1;
+        }
+        Err(reason) => finish_test(ticket, Err(reason), stop, cancel, events, results),
+    }
+}
+
+/// Completes one test job: emits `TestFinished` (wall-clock measured from
+/// admission, so interleaved runs overlap), trips `stop_on_first_fail`,
+/// and reports the outcome to the collector.
+fn finish_test(
+    ticket: TestTicket,
+    outcome: TestJobOutcome,
+    stop: bool,
+    cancel: &RunCancel,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<TestJobOutcome>>,
+) {
+    let (status, failed) = outcome_status(&outcome);
+    emit(
+        events,
+        EngineEvent::TestFinished {
+            cell: ticket.cell,
+            test: ticket.test,
+            suite: ticket.suite,
+            stand: ticket.stand,
+            name: ticket.name,
+            status,
+            failed,
+            duration: ticket.started.elapsed(),
+        },
+    );
+    if failed && stop {
+        cancel.trip();
+    }
+    let _ = results.send(JobMsg::Done(ticket.slot, outcome));
+}
+
+/// Cell-granular async launch: whole suite×stand cells interleave on the
+/// wheel, each advancing its current test one step at a time.
+fn launch_async_cells<'a>(
+    executor: &AsyncExecutor,
+    campaign: &Campaign<'a, '_>,
+) -> Result<CampaignHandle<'a>, CoreError> {
+    let cells = package_cells(campaign.entries, campaign.stands)?;
+    let n_cells = cells.len();
+    let cancel = RunCancel::new(campaign.cancel.clone());
+    let stop = campaign.stop_on_first_fail;
+    let exec = campaign.exec;
+    let (events_tx, events_rx) = mpsc::channel();
+    let (results_tx, results_rx) = mpsc::channel();
+    let parts = partition(cells, executor.shards.min(executor.concurrency));
+    let limits = shard_limits(executor.concurrency, parts.len());
+    for (part, limit) in parts.into_iter().zip(limits) {
+        let cancel = cancel.clone();
+        let events = events_tx.clone();
+        let results = results_tx.clone();
+        std::thread::spawn(move || {
+            drive_cell_shard(part, limit, &exec, &cancel, stop, &events, &results);
+        });
+    }
+    drop(events_tx);
+    drop(results_tx);
+
+    let run_token = cancel.run_token();
+    Ok(CampaignHandle::new(
+        EventStream::new(events_rx),
+        run_token,
+        Box::new(move || {
+            let (slots, acknowledged) = collect(results_rx, n_cells);
+            fold_cell_slots(slots, acknowledged)
+        }),
+    ))
+}
+
+/// Everything about one admitted cell except its current run: identity,
+/// the queue of tests not yet started and the results finished so far.
+struct CellShell {
+    slot: usize,
+    suite: String,
+    stand_name: String,
+    stand: Arc<TestStand>,
+    remaining: VecDeque<(Arc<TestScript>, Device)>,
+    results: Vec<TestResult>,
+}
+
+/// One in-flight cell on the wheel: its shell plus the current test's run.
+struct ActiveCell {
+    shell: CellShell,
+    run: TestRun<ExecutionPlan, Device>,
+}
+
+/// The next scheduling state of a cell, at admission and after every
+/// finished test: another run to park on the wheel, or the completed cell.
+enum CellStep {
+    Active(Box<ActiveCell>),
+    Done(usize, CampaignCell),
+}
+
+/// Starts the cell's next test — the single transition shared by
+/// admission and the steady-state loop, preserving the blocking
+/// executors' `execute_cell` semantics: the first planning error ends the
+/// cell as `Err(reason)`, a drained queue ends it as the suite result.
+fn start_next_test(mut shell: CellShell, exec: &ExecOptions) -> CellStep {
+    match shell.remaining.pop_front() {
+        None => CellStep::Done(
+            shell.slot,
+            CampaignCell {
+                suite: shell.suite.clone(),
+                stand: shell.stand_name,
+                outcome: Ok(SuiteResult {
+                    suite: shell.suite,
+                    results: shell.results,
+                }),
+            },
+        ),
+        Some((script, device)) => match plan_script(&script, &shell.stand) {
+            Err(reason) => CellStep::Done(
+                shell.slot,
+                CampaignCell {
+                    suite: shell.suite,
+                    stand: shell.stand_name,
+                    outcome: Err(reason),
+                },
+            ),
+            Ok(plan) => CellStep::Active(Box::new(ActiveCell {
+                run: TestRun::new(plan, device, exec),
+                shell,
+            })),
+        },
+    }
+}
+
+/// One shard's event loop at cell granularity.
+fn drive_cell_shard(
+    mut pending: VecDeque<PackagedCell>,
+    limit: usize,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<CampaignCell>>,
+) {
+    let mut wheel: BinaryHeap<Scheduled<Box<ActiveCell>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        while wheel.len() < limit {
+            let Some(cell) = pending.pop_front() else {
+                break;
+            };
+            admit_cell(
+                cell, exec, cancel, stop, events, results, &mut wheel, &mut seq,
+            );
+        }
+        let Some(entry) = wheel.pop() else {
+            if pending.is_empty() {
+                return;
+            }
+            continue;
+        };
+        // Step-granular cancellation, as on the test-granular loop: the
+        // cell is abandoned mid-test; its finished tests are discarded
+        // (the cell merges as cancelled, keeping parity with the pooled
+        // executor's all-or-nothing cell outcomes).
+        if cancel.is_cancelled() {
+            let _ = results.send(JobMsg::Cancelled);
+            continue;
+        }
+        let mut cell = entry.payload;
+        match cell.run.step() {
+            RunState::Running => {
+                wheel.push(Scheduled {
+                    deadline: cell.run.next_deadline(),
+                    seq: entry.seq,
+                    payload: cell,
+                });
+            }
+            RunState::Finished(result) => {
+                let mut shell = cell.shell;
+                shell.results.push(result);
+                match start_next_test(shell, exec) {
+                    CellStep::Active(cell) => {
+                        wheel.push(Scheduled {
+                            deadline: cell.run.next_deadline(),
+                            seq: entry.seq,
+                            payload: cell,
+                        });
+                    }
+                    CellStep::Done(slot, done) => {
+                        finish_cell(slot, done, stop, cancel, events, results);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Admits one packaged cell: emits `JobStarted` and starts its first test.
+/// A cell whose first test cannot be planned (or that has no tests)
+/// resolves immediately, exactly like the blocking executors.
+#[allow(clippy::too_many_arguments)]
+fn admit_cell(
+    cell: PackagedCell,
+    exec: &ExecOptions,
+    cancel: &RunCancel,
+    stop: bool,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<CampaignCell>>,
+    wheel: &mut BinaryHeap<Scheduled<Box<ActiveCell>>>,
+    seq: &mut u64,
+) {
+    if cancel.is_cancelled() {
+        let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    let PackagedCell {
+        cell: slot,
+        suite,
+        stand_name,
+        stand,
+        tests,
+    } = cell;
+    emit(
+        events,
+        EngineEvent::JobStarted {
+            cell: slot,
+            suite: suite.clone(),
+            stand: stand_name.clone(),
+        },
+    );
+    let shell = CellShell {
+        slot,
+        suite,
+        stand_name,
+        stand,
+        remaining: tests.into(),
+        results: Vec::new(),
+    };
+    match start_next_test(shell, exec) {
+        CellStep::Active(cell) => {
+            wheel.push(Scheduled {
+                deadline: cell.run.next_deadline(),
+                seq: *seq,
+                payload: cell,
+            });
+            *seq += 1;
+        }
+        CellStep::Done(slot, done) => finish_cell(slot, done, stop, cancel, events, results),
+    }
+}
+
+/// Completes one cell: emits `JobFinished`, trips `stop_on_first_fail`,
+/// and reports the outcome — the same event shape as the pooled executor.
+fn finish_cell(
+    slot: usize,
+    cell: CampaignCell,
+    stop: bool,
+    cancel: &RunCancel,
+    events: &Sender<EngineEvent>,
+    results: &Sender<JobMsg<CampaignCell>>,
+) {
+    let failed = !cell.passed();
+    emit(
+        events,
+        EngineEvent::JobFinished {
+            cell: slot,
+            suite: cell.suite.clone(),
+            stand: cell.stand.clone(),
+            status: cell.status(),
+            failed,
+        },
+    );
+    if failed && stop {
+        cancel.trip();
+    }
+    let _ = results.send(JobMsg::Done(slot, cell));
+}

@@ -215,7 +215,7 @@ fn serial_tests(
 /// planning-failure reason is rendered the same way cell status lines
 /// render it (`NOT RUNNABLE (<first line, truncated>)`), so live per-test
 /// progress says *why* a test could not run.
-fn outcome_status(outcome: &TestJobOutcome) -> (String, bool) {
+pub(crate) fn outcome_status(outcome: &TestJobOutcome) -> (String, bool) {
     let status = match outcome {
         Ok(result) => result.verdict().to_string(),
         Err(reason) => comptest_core::campaign::not_runnable_status(reason),
@@ -273,8 +273,12 @@ pub struct PooledExecutor {
 }
 
 impl PooledExecutor {
-    /// An executor with a fresh pool of `workers` threads (`0` is clamped
-    /// to `1`).
+    /// An executor with a fresh pool of `workers` threads.
+    ///
+    /// `workers` must be at least `1` — the same rule the CLI enforces for
+    /// `--workers`. Passing `0` is a caller bug: debug builds assert on it,
+    /// release builds clamp to `1` (a zero-thread pool would deadlock every
+    /// campaign, which is strictly worse than running serially).
     ///
     /// Exactly `workers` threads are spawned for the executor's lifetime —
     /// a persistent executor serving many campaigns is sized by its owner.
@@ -282,7 +286,16 @@ impl PooledExecutor {
     /// [`Campaign::job_count`] (`workers.min(campaign.job_count())`, as
     /// the CLI and the deprecated shims do) so excess threads are not
     /// constructed only to park on the queue.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on `workers == 0`.
     pub fn new(workers: usize) -> Self {
+        debug_assert!(
+            workers > 0,
+            "PooledExecutor::new(0): a pool needs at least one worker \
+             (release builds clamp to 1; the CLI rejects --workers 0 outright)"
+        );
         Self {
             pool: WorkerPool::new(workers),
         }
@@ -320,16 +333,17 @@ impl CampaignExecutor for WorkerPool {
 }
 
 /// What a packaged job reports back to the joining collector.
-enum JobMsg<T> {
+pub(crate) enum JobMsg<T> {
     /// Outcome of slot `usize`.
     Done(usize, T),
-    /// The job observed cancellation and never ran.
+    /// The job observed cancellation and never ran (or, on the async
+    /// executor, was abandoned at a step boundary).
     Cancelled,
 }
 
 /// Drains exactly `jobs` collector messages into merge slots, counting
 /// acknowledged cancellations.
-fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Option<T>>, usize) {
+pub(crate) fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Option<T>>, usize) {
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     let mut acknowledged = 0usize;
     for msg in results.iter().take(jobs) {
@@ -345,7 +359,7 @@ fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Option<T>>, usi
 /// slot missing *without* an acknowledgement means a worker died mid-job
 /// (a panic caught by the pool). Surface it instead of returning a
 /// silently truncated — possibly all-green — result.
-fn check_lost(cancelled: usize, acknowledged: usize) -> Result<(), CoreError> {
+pub(crate) fn check_lost(cancelled: usize, acknowledged: usize) -> Result<(), CoreError> {
     let lost = cancelled.saturating_sub(acknowledged);
     if lost > 0 {
         return Err(CoreError::JobsLost { lost });
@@ -353,17 +367,18 @@ fn check_lost(cancelled: usize, acknowledged: usize) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// One packaged test job: everything a pool worker needs, owned.
-struct PackagedJob {
-    job: usize,
-    cell: usize,
-    test: usize,
-    suite: String,
-    stand_name: String,
-    name: String,
-    script: Arc<TestScript>,
-    stand: Arc<TestStand>,
-    device: Device,
+/// One packaged test job: everything a worker (pool thread or async shard)
+/// needs, owned.
+pub(crate) struct PackagedJob {
+    pub(crate) job: usize,
+    pub(crate) cell: usize,
+    pub(crate) test: usize,
+    pub(crate) suite: String,
+    pub(crate) stand_name: String,
+    pub(crate) name: String,
+    pub(crate) script: Arc<TestScript>,
+    pub(crate) stand: Arc<TestStand>,
+    pub(crate) device: Device,
 }
 
 /// Packages the deterministic test-job list: scripts are generated once per
@@ -373,7 +388,7 @@ struct PackagedJob {
 /// `'static`). The trade-off is deliberate: all devices are live until
 /// their jobs run, which is cheap for simulated ECUs — revisit if device
 /// construction ever becomes heavy.
-fn package_jobs(
+pub(crate) fn package_jobs(
     entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
 ) -> Result<Vec<PackagedJob>, CoreError> {
@@ -510,16 +525,17 @@ fn launch_pooled_tests<'a>(
 
 /// One packaged cell job: the whole suite×stand cell, owned — scripts,
 /// stand, and one fresh device per test.
-struct PackagedCell {
-    cell: usize,
-    suite: String,
-    stand_name: String,
-    stand: Arc<TestStand>,
-    tests: Vec<(Arc<TestScript>, Device)>,
+pub(crate) struct PackagedCell {
+    pub(crate) cell: usize,
+    pub(crate) suite: String,
+    pub(crate) stand_name: String,
+    pub(crate) stand: Arc<TestStand>,
+    pub(crate) tests: Vec<(Arc<TestScript>, Device)>,
 }
 
-/// Packages the deterministic cell list for pooled cell-granular runs.
-fn package_cells(
+/// Packages the deterministic cell list for cell-granular runs (pooled or
+/// async).
+pub(crate) fn package_cells(
     entries: &[CampaignEntry<'_>],
     stands: &[&TestStand],
 ) -> Result<Vec<PackagedCell>, CoreError> {
@@ -609,16 +625,26 @@ fn launch_pooled_cells<'a>(
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_cells);
-            let mut result = CampaignResult::default();
-            let mut cancelled = 0usize;
-            for slot in slots {
-                match slot {
-                    Some(cell) => result.cells.push(cell),
-                    None => cancelled += 1,
-                }
-            }
-            check_lost(cancelled, acknowledged)?;
-            Ok(CampaignOutcome { result, cancelled })
+            fold_cell_slots(slots, acknowledged)
         }),
     ))
+}
+
+/// Folds cell-granular merge slots into the deterministic outcome (missing
+/// slots are cancelled cells), verifying every gap was an acknowledged
+/// cancellation. Shared by the pooled and async cell-granular joins.
+pub(crate) fn fold_cell_slots(
+    slots: Vec<Option<CampaignCell>>,
+    acknowledged: usize,
+) -> Result<CampaignOutcome, CoreError> {
+    let mut result = CampaignResult::default();
+    let mut cancelled = 0usize;
+    for slot in slots {
+        match slot {
+            Some(cell) => result.cells.push(cell),
+            None => cancelled += 1,
+        }
+    }
+    check_lost(cancelled, acknowledged)?;
+    Ok(CampaignOutcome { result, cancelled })
 }

@@ -13,12 +13,21 @@
 //!   an optional external [`CancelToken`] — which owns validation (empty
 //!   matrices and duplicate stand names are rejected before anything
 //!   runs);
-//! * a [`CampaignExecutor`] trait with two implementations —
+//! * a [`CampaignExecutor`] trait with three implementations —
 //!   [`SerialExecutor`] (in-order on the calling thread, the determinism
-//!   reference) and [`PooledExecutor`] (a persistent [`WorkerPool`] that
-//!   outlives campaigns and amortises thread start-up across replays) —
-//!   and a contract written so a future `AsyncExecutor` slots in without
-//!   touching callers;
+//!   reference), [`PooledExecutor`] (a persistent [`WorkerPool`] that
+//!   outlives campaigns and amortises thread start-up across replays) and
+//!   [`AsyncExecutor`] (an event loop of resumable
+//!   [`TestRun`](comptest_core::TestRun)s: thousands of concurrent
+//!   simulated stands interleave per OS thread on a sim-time wheel,
+//!   optionally sharded across several). The trait contract all three
+//!   keep: outcomes merge back in the deterministic plan order (so every
+//!   executor, at every worker count / concurrency limit, is
+//!   byte-identical to serial), launch surfaces the first codegen error
+//!   before any job runs, and cancellation is cooperative — between jobs
+//!   on the blocking executors, between *steps* on the async one (a
+//!   cancelled campaign abandons in-flight runs at the next step boundary
+//!   and counts them into `cancelled`);
 //! * a [`CampaignHandle`] returned by [`Campaign::launch`]: a typed
 //!   [`EventStream`] of [`EngineEvent`]s, cooperative cancellation via
 //!   [`CancelToken`], and a [`CampaignHandle::join`] folding every
@@ -85,12 +94,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod async_exec;
 mod campaign;
 mod events;
 mod executor;
 mod handle;
 mod pool;
 
+pub use async_exec::AsyncExecutor;
 pub use campaign::{Campaign, Granularity};
 pub use events::EngineEvent;
 pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};
@@ -615,7 +626,7 @@ step, dt,  DS_FL, NIGHT, INT_ILL
     }
 
     #[test]
-    fn zero_workers_is_clamped_everywhere() {
+    fn zero_workers_is_clamped_in_the_option_layers() {
         assert_eq!(EngineOptions::with_workers(0).workers, 1);
         // A hand-built options struct must not deadlock the engine either.
         let options = EngineOptions {
@@ -624,7 +635,43 @@ step, dt,  DS_FL, NIGHT, INT_ILL
         };
         assert_eq!(options.effective_workers(), 1);
         assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    /// `PooledExecutor::new(0)` is a caller bug, flagged the same way the
+    /// CLI rejects `--workers 0` (the silent clamp survives only as the
+    /// release-build safety net). `AsyncExecutor` follows the same policy
+    /// for its concurrency and shard counts.
+    #[cfg(debug_assertions)]
+    mod zero_sizes_debug_assert {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "at least one worker")]
+        fn pooled_executor_rejects_zero_workers() {
+            let _ = PooledExecutor::new(0);
+        }
+
+        #[test]
+        #[should_panic(expected = "at least one in-flight run")]
+        fn async_executor_rejects_zero_concurrency() {
+            let _ = AsyncExecutor::new(0);
+        }
+
+        #[test]
+        #[should_panic(expected = "at least one shard thread")]
+        fn async_executor_rejects_zero_shards() {
+            let _ = AsyncExecutor::new(4).sharded(0);
+        }
+    }
+
+    /// In release builds the constructors clamp instead of asserting, so a
+    /// zero-sized executor still cannot deadlock a campaign.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn zero_sizes_are_clamped_in_release() {
         assert_eq!(PooledExecutor::new(0).workers(), 1);
+        let executor = AsyncExecutor::new(0).sharded(0);
+        assert_eq!((executor.concurrency(), executor.shards()), (1, 1));
         let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
         let entries = entries(&suites);
         let stand = stand();
@@ -632,6 +679,126 @@ step, dt,  DS_FL, NIGHT, INT_ILL
             .run(&PooledExecutor::new(0))
             .unwrap();
         assert!(result.all_green());
+    }
+
+    #[test]
+    fn async_executor_matches_serial_at_both_granularities() {
+        let suites = suites_pass_fail();
+        let entries = entries(&suites);
+        let stand_a = stand();
+        let stand_b = stand_named("HIL-A2");
+        let stands = [&stand_a, &stand_b];
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            let campaign = Campaign::new(&entries, &stands).granularity(granularity);
+            let serial = campaign.run(&SerialExecutor).unwrap();
+            for (concurrency, shards) in [(1, 1), (2, 1), (1024, 1), (2, 2), (1024, 3)] {
+                let executor = AsyncExecutor::new(concurrency).sharded(shards);
+                assert_eq!(
+                    (executor.concurrency(), executor.shards()),
+                    (concurrency, shards)
+                );
+                let outcome = campaign.run(&executor).unwrap();
+                assert_eq!(
+                    outcome, serial,
+                    "granularity {granularity}, concurrency {concurrency}, {shards} shard(s)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_executor_streams_test_events() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let mut handle = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .launch(&AsyncExecutor::new(16))
+            .unwrap();
+        let stream = handle.events();
+        let collector = std::thread::spawn(move || stream.collect::<Vec<EngineEvent>>());
+        let outcome = handle.join().unwrap();
+        let events = collector.join().unwrap();
+        assert!(outcome.result.all_green());
+        let started = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::TestStarted { .. }))
+            .count();
+        let finished = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::TestFinished { failed: false, .. }))
+            .count();
+        assert_eq!((started, finished), (2, 2));
+    }
+
+    #[test]
+    fn async_stop_on_first_fail_truncates_like_serial_at_concurrency_one() {
+        let suites = vec![
+            Workbook::parse_str("b.cts", WB_FAIL).unwrap().suite,
+            Workbook::parse_str("a.cts", WB_PASS).unwrap().suite,
+        ];
+        let entries = entries(&suites);
+        let stand_a = stand();
+        let stand_b = stand_named("HIL-A2");
+        let stands = [&stand_a, &stand_b];
+        for granularity in [Granularity::Cell, Granularity::Test] {
+            let campaign = Campaign::new(&entries, &stands)
+                .granularity(granularity)
+                .stop_on_first_fail(true);
+            let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+            let async_one = campaign
+                .launch(&AsyncExecutor::new(1))
+                .unwrap()
+                .join()
+                .unwrap();
+            assert_eq!(
+                async_one, serial,
+                "{granularity}: 1-in-flight async must match serial truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn async_cancellation_accounts_for_every_job() {
+        // Cancel mid-flight: admitted runs are abandoned at their next step
+        // boundary, everything else is skipped — and every planned job is
+        // either in the result or counted cancelled, never lost.
+        let suites = suites_pass_fail();
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let handle = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .launch(&AsyncExecutor::new(8))
+            .unwrap();
+        handle.cancel();
+        let outcome = handle.join().unwrap();
+        let finished: usize = outcome
+            .result
+            .cells
+            .iter()
+            .map(|c| c.outcome.as_ref().map_or(1, |r| r.results.len()))
+            .sum();
+        assert_eq!(finished + outcome.cancelled, 3, "{}", outcome.result);
+    }
+
+    #[test]
+    fn async_executor_is_reusable_and_object_safe() {
+        let suites = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands = [&stand];
+        let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+        let serial = campaign.run(&SerialExecutor).unwrap();
+        let executor: Box<dyn CampaignExecutor> = Box::new(AsyncExecutor::new(64));
+        for round in 0..2 {
+            assert_eq!(
+                campaign.run(executor.as_ref()).unwrap(),
+                serial,
+                "round {round}"
+            );
+        }
     }
 
     #[test]

@@ -29,15 +29,24 @@ pub fn generate(suite: &TestSuite, test_name: &str) -> Result<TestScript, Codege
 
 /// Generates scripts for every test of the suite.
 ///
+/// The suite is validated **once**, not once per test — `generate_all` on
+/// a 10 000-test suite is linear, not quadratic. (Campaign launches
+/// generate every script of every entry up front as their codegen
+/// precheck, so this is launch-path cost.)
+///
 /// # Errors
 ///
 /// See [`generate`].
 pub fn generate_all(suite: &TestSuite) -> Result<Vec<TestScript>, CodegenError> {
     let registry = MethodRegistry::builtin();
+    let issues = suite.validate(&registry);
+    if !issues.is_empty() {
+        return Err(CodegenError::Invalid { issues });
+    }
     suite
         .tests
         .iter()
-        .map(|t| generate_with(suite, &t.name, &registry))
+        .map(|t| generate_validated(suite, t, &registry))
         .collect()
 }
 
@@ -62,7 +71,17 @@ pub fn generate_with(
             name: test_name.to_owned(),
             suite: suite.name.clone(),
         })?;
+    generate_validated(suite, test, registry)
+}
 
+/// Generates one test's script assuming the suite already validated
+/// against `registry` — the shared body of [`generate_with`] (which
+/// validates per call) and [`generate_all`] (which validates once).
+fn generate_validated(
+    suite: &TestSuite,
+    test: &TestCase,
+    registry: &MethodRegistry,
+) -> Result<TestScript, CodegenError> {
     let mut init = Vec::new();
     for sig in &suite.signals {
         if let Some(status_name) = &sig.init {

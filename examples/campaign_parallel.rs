@@ -1,8 +1,9 @@
 //! The Section-5 campaign matrix through the `Campaign` builder: every
 //! bundled ECU suite × both full stands, described once and launched on a
 //! pooled executor with live progress from the typed event stream — then
-//! the same campaign on the serial executor and at test granularity (with
-//! a replay on the same persistent pool), to show the results are
+//! the same campaign on the serial executor, at test granularity (with a
+//! replay on the same persistent pool) and on the async event-loop
+//! executor with every test in flight at once, to show the results are
 //! cell-for-cell identical whatever executes them, and finally a
 //! cancelled run via `stop_on_first_fail`.
 //!
@@ -58,16 +59,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let replay = test_campaign.run(&pool)?;
     let replay_time = t.elapsed();
 
+    // The async event loop: every test of the matrix in flight at once on
+    // a single OS thread, interleaved step by step in simulated-time
+    // order — no worker threads at all.
+    let t = Instant::now();
+    let async_result = test_campaign.run(&AsyncExecutor::new(256))?;
+    let async_time = t.elapsed();
+
     // Serial reference: same campaign, different executor.
     let t = Instant::now();
     let serial = campaign.run(&SerialExecutor)?;
     let serial_time = t.elapsed();
 
     println!("\n{}", parallel.result);
-    println!("serial          {serial_time:>10.2?}");
-    println!("4 workers/cell  {parallel_time:>10.2?}");
-    println!("4 workers/test  {test_time:>10.2?}");
-    println!("replay on pool  {replay_time:>10.2?}");
+    println!("serial           {serial_time:>10.2?}");
+    println!("4 workers/cell   {parallel_time:>10.2?}");
+    println!("4 workers/test   {test_time:>10.2?}");
+    println!("replay on pool   {replay_time:>10.2?}");
+    println!("async event loop {async_time:>10.2?}");
     assert_eq!(
         parallel.result, serial,
         "the executor merges cells in deterministic order"
@@ -77,6 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "test-granular jobs merge back test-for-test identical"
     );
     assert_eq!(replay, serial, "pool reuse changes nothing");
+    assert_eq!(
+        async_result, serial,
+        "step-interleaved runs merge back byte-identical"
+    );
     println!("executors are interchangeable: results are cell-for-cell identical ✓");
 
     // Cancellation: stand A can only run the interior light, so with

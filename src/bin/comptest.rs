@@ -5,22 +5,42 @@
 //! comptest gen <workbook.cts> <test> [out.xml]
 //! comptest run <workbook.cts> <test> <stand.stand> <ecu>
 //! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
-//! comptest campaign <stand.stand>... [--workers N] [--granularity cell|test]
+//! comptest campaign <stand.stand>... [--executor serial|pooled|async]
+//!                   [--workers N] [--concurrency N]
+//!                   [--granularity cell|test]
+//!                   [--sample end-of-step|continuous:<interval_s>]
 //!                   [--stop-on-first-fail] [--junit out.xml]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
 //!
 //! `campaign` runs every bundled ECU suite against every given stand
-//! through the engine's `Campaign` builder on a pooled executor
-//! (`--workers N` shards the matrix over N worker threads; default 1 =
-//! serial reference order), streaming live progress from the campaign
-//! handle and optionally writing a campaign JUnit report. `--granularity
-//! cell` (default) schedules one job per suite×stand cell; `--granularity
-//! test` shards down to single tests — progress is then streamed per test,
-//! and a large workbook no longer bounds wall-clock.
-//! `--stop-on-first-fail` cancels the remaining jobs as soon as one fails,
-//! keeping the deterministic finished prefix in the report.
+//! through the engine's `Campaign` builder, streaming live progress from
+//! the campaign handle and optionally writing a campaign JUnit report.
+//! Every executor produces the byte-identical result matrix:
+//!
+//! * `--executor pooled` (default): a worker pool; `--workers N` shards
+//!   the matrix over N OS threads (default 1 = serial reference order).
+//! * `--executor serial`: the in-order reference executor.
+//! * `--executor async`: the event loop — up to `--concurrency N`
+//!   (default 1024) test runs in flight *simultaneously*, interleaved
+//!   step by step on `--workers` shard threads (default 1), so
+//!   concurrency is no longer capped by thread count.
+//!
+//! A sizing flag the selected executor would ignore (`--concurrency`
+//! without `--executor async`, `--workers` with `--executor serial`) is
+//! rejected rather than silently dropped.
+//!
+//! `--granularity cell` (default) schedules one job per suite×stand cell;
+//! `--granularity test` shards down to single tests — progress is then
+//! streamed per test, and a large workbook no longer bounds wall-clock.
+//! `--sample` selects when expected-output checks are measured:
+//! `end-of-step` (default, paper semantics) or `continuous:<interval_s>`
+//! (sample the whole step window every interval — the stricter DESIGN.md
+//! §7 ablation). `--stop-on-first-fail` cancels the remaining jobs as
+//! soon as one fails, keeping the deterministic finished prefix in the
+//! report (on the async executor cancellation cuts in at *step*
+//! granularity: in-flight runs stop at their next step boundary).
 
 use std::process::ExitCode;
 
@@ -238,29 +258,87 @@ fn cmd_suite(
     })
 }
 
+/// Which [`CampaignExecutor`] the `campaign` subcommand launches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecutorKind {
+    Serial,
+    Pooled,
+    Async,
+}
+
+impl ExecutorKind {
+    /// The accepted `FromStr` spellings, for error messages.
+    const ACCEPTED: [&'static str; 3] = ["serial", "pooled", "async"];
+}
+
+impl std::str::FromStr for ExecutorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" => Ok(ExecutorKind::Serial),
+            "pooled" => Ok(ExecutorKind::Pooled),
+            "async" => Ok(ExecutorKind::Async),
+            _ => Err(format!(
+                "unknown executor {s:?}: expected one of {}",
+                ExecutorKind::ACCEPTED.join(", ")
+            )),
+        }
+    }
+}
+
 fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut stand_paths: Vec<&str> = Vec::new();
-    let mut workers = 1usize;
+    let mut executor_kind = ExecutorKind::Pooled;
+    let mut workers: Option<usize> = None;
+    let mut concurrency: Option<usize> = None;
     let mut granularity = Granularity::Cell;
+    let mut sample = SampleMode::EndOfStep;
     let mut stop_on_first_fail = false;
     let mut junit: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
+            "--executor" => {
+                let e = need(it.next().copied(), "--executor (serial|pooled|async)")?;
+                executor_kind = e.parse()?;
+            }
             "--workers" => {
                 let n = need(it.next().copied(), "--workers count")?;
-                workers = n.parse().map_err(|_| format!("bad worker count {n:?}"))?;
-                if workers == 0 {
+                let n: usize = n.parse().map_err(|_| format!("bad worker count {n:?}"))?;
+                if n == 0 {
                     return Err(
                         "--workers must be at least 1 (0 would leave the campaign with no \
                          worker threads)"
                             .into(),
                     );
                 }
+                workers = Some(n);
+            }
+            "--concurrency" => {
+                let n = need(it.next().copied(), "--concurrency count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad concurrency count {n:?}"))?;
+                if n == 0 {
+                    return Err(
+                        "--concurrency must be at least 1 (0 would leave the async executor \
+                         with no in-flight runs)"
+                            .into(),
+                    );
+                }
+                concurrency = Some(n);
             }
             "--granularity" => {
                 let g = need(it.next().copied(), "--granularity (cell|test)")?;
                 granularity = g.parse()?;
+            }
+            "--sample" => {
+                let s = need(
+                    it.next().copied(),
+                    "--sample (end-of-step|continuous:<interval_s>)",
+                )?;
+                sample = s.parse()?;
             }
             "--stop-on-first-fail" => stop_on_first_fail = true,
             "--junit" => junit = Some(need(it.next().copied(), "--junit path")?),
@@ -273,6 +351,22 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if stand_paths.is_empty() {
         return Err("campaign needs at least one stand".into());
     }
+    // A flag the selected executor would ignore is a configuration
+    // mistake; reject it instead of silently running something else.
+    if concurrency.is_some() && executor_kind != ExecutorKind::Async {
+        return Err(
+            "--concurrency only applies to --executor async (use --workers to size the \
+             pooled executor)"
+                .into(),
+        );
+    }
+    if workers.is_some() && executor_kind == ExecutorKind::Serial {
+        return Err(
+            "--workers does not apply to --executor serial (it runs in-order on one thread)".into(),
+        );
+    }
+    let workers = workers.unwrap_or(1);
+    let concurrency = concurrency.unwrap_or(1024);
 
     let stands: Vec<TestStand> = stand_paths
         .iter()
@@ -284,15 +378,26 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let suites = comptest::load_bundled_suites()?;
     let entries = comptest::bundled_entries(&suites);
 
-    // The builder API: one campaign description, launched on a pooled
+    // The builder API: one campaign description, launched on the selected
     // executor; a printer thread drains the typed event stream while the
-    // workers run, and join() folds the deterministic result. The pool is
-    // sized to the matrix — no point spawning threads no job will reach.
+    // campaign runs, and join() folds the deterministic result. The pool
+    // is sized to the matrix — no point spawning threads no job will
+    // reach; the async executor shards over --workers event-loop threads.
     let campaign = Campaign::new(&entries, &stand_refs)
+        .exec_options(ExecOptions {
+            sample,
+            ..ExecOptions::default()
+        })
         .granularity(granularity)
         .stop_on_first_fail(stop_on_first_fail);
-    let executor = PooledExecutor::new(workers.min(campaign.job_count().max(1)));
-    let mut handle = campaign.launch(&executor)?;
+    let executor: Box<dyn CampaignExecutor> = match executor_kind {
+        ExecutorKind::Serial => Box::new(SerialExecutor),
+        ExecutorKind::Pooled => Box::new(PooledExecutor::new(
+            workers.min(campaign.job_count().max(1)),
+        )),
+        ExecutorKind::Async => Box::new(AsyncExecutor::new(concurrency).sharded(workers)),
+    };
+    let mut handle = campaign.launch(executor.as_ref())?;
     let stream = handle.events();
     let printer = std::thread::spawn(move || {
         for event in stream {

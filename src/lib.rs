@@ -18,7 +18,7 @@
 //! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
 //! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
 //! | [`core`] | `comptest-core` | execution, campaign planning/merge, fault coverage |
-//! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled), cancellable handles with typed event streams |
+//! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled / async event loop), cancellable handles with typed event streams |
 //! | [`report`] | `comptest-report` | tables, markdown, JUnit, live-progress lines |
 //!
 //! # Quickstart — one test
@@ -81,6 +81,38 @@
 //! # }
 //! ```
 //!
+//! # Quickstart — thousands of concurrent stands
+//!
+//! A test run is a resumable state machine
+//! ([`TestRun`](prelude::TestRun)), so concurrency does not need threads:
+//! the event-loop [`AsyncExecutor`](prelude::AsyncExecutor) keeps up to
+//! `concurrency` runs open *simultaneously on one OS thread*, interleaving
+//! them step by step in simulated-time order — and still merges the exact
+//! bytes the serial executor produces.
+//!
+//! ```
+//! use comptest::prelude::*;
+//! use comptest::core::campaign::CampaignEntry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! # let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! # let entries = vec![CampaignEntry {
+//! #     suite: &workbook.suite,
+//! #     device_factory: Box::new(|| {
+//! #         comptest::device_for_stand("interior_light", &stand).expect("known ECU")
+//! #     }),
+//! # }];
+//! # let stands = [&stand];
+//! let outcome = Campaign::new(&entries, &stands)
+//!     .granularity(Granularity::Test)
+//!     .launch(&AsyncExecutor::new(1024))? // up to 1024 in-flight runs, one thread
+//!     .join()?;
+//! assert!(outcome.result.all_green());
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The PR-1/PR-2 free functions (`run_campaign`, `run_campaign_parallel`,
 //! `run_campaign_with_pool`) still compile as `#[deprecated]` shims over
 //! this API, reachable through [`core`] and [`engine`] (not the prelude).
@@ -102,12 +134,13 @@ pub use comptest_stand as stand;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use comptest_core::{
-        execute, run_suite, run_test, ExecOptions, SampleMode, SuiteResult, TestResult, Verdict,
+        execute, run_suite, run_test, ExecOptions, RunState, SampleMode, SuiteResult, TestResult,
+        TestRun, Verdict,
     };
     pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
     pub use comptest_engine::{
-        Campaign, CampaignExecutor, CampaignHandle, CampaignOutcome, CancelToken, EngineEvent,
-        EventStream, Granularity, PooledExecutor, SerialExecutor, WorkerPool,
+        AsyncExecutor, Campaign, CampaignExecutor, CampaignHandle, CampaignOutcome, CancelToken,
+        EngineEvent, EventStream, Granularity, PooledExecutor, SerialExecutor, WorkerPool,
     };
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};

@@ -1,9 +1,11 @@
-//! The executor abstraction's core guarantee: `SerialExecutor` and
-//! `PooledExecutor` (any worker count, both scheduling granularities)
-//! produce byte-identical `CampaignResult`s for the same `Campaign`, and a
-//! cancelled run yields the same deterministic prefix-truncation semantics
-//! at every executor — plus the deprecated shim entry points, which must
-//! keep matching the builder API they now wrap.
+//! The executor abstraction's core guarantee: `SerialExecutor`,
+//! `PooledExecutor` (any worker count) and the event-loop `AsyncExecutor`
+//! (any concurrency limit and shard count), at both scheduling
+//! granularities, produce byte-identical `CampaignResult`s for the same
+//! `Campaign`, and a cancelled run yields the same deterministic
+//! prefix-truncation semantics at every executor — plus the deprecated
+//! shim entry points, which must keep matching the builder API they now
+//! wrap.
 
 use comptest::core::campaign::CampaignEntry;
 use comptest::prelude::*;
@@ -43,6 +45,37 @@ fn serial_and_pooled_executors_are_byte_identical() {
                 pooled, serial,
                 "granularity {granularity}, workers = {workers}: \
                  ordering or outcomes diverged"
+            );
+        }
+    }
+}
+
+/// The async event loop interleaves every in-flight run step by step, yet
+/// the merged matrix must stay byte-identical to the serial reference —
+/// across granularities, concurrency limits (1 degenerates to serial
+/// order, 1024 holds the whole matrix in flight at once) and shard
+/// counts.
+#[test]
+fn async_executor_is_byte_identical_to_serial() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_a, &stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        let campaign = Campaign::new(&entries, &stands).granularity(granularity);
+        let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
+        for (concurrency, shards) in [(1, 1), (4, 1), (1024, 1), (4, 2), (1024, 4)] {
+            let outcome = campaign
+                .launch(&AsyncExecutor::new(concurrency).sharded(shards))
+                .unwrap()
+                .join()
+                .unwrap();
+            assert_eq!(
+                outcome, serial,
+                "granularity {granularity}, concurrency {concurrency}, \
+                 {shards} shard(s): ordering or outcomes diverged"
             );
         }
     }
@@ -161,6 +194,15 @@ fn cancelled_runs_truncate_deterministically_at_cell_granularity() {
         .join()
         .unwrap();
     assert_eq!(pooled, serial, "cancellation must truncate identically");
+    let async_one = campaign
+        .launch(&AsyncExecutor::new(1))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(
+        async_one, serial,
+        "1-in-flight async must match serial truncation"
+    );
 
     assert_eq!(
         serial.result.cells.len(),
@@ -203,6 +245,15 @@ fn cancelled_runs_truncate_deterministically_at_test_granularity() {
         .join()
         .unwrap();
     assert_eq!(pooled, serial, "cancellation must truncate identically");
+    let async_one = campaign
+        .launch(&AsyncExecutor::new(1))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(
+        async_one, serial,
+        "1-in-flight async must match serial truncation"
+    );
 
     assert_eq!(
         serial.result.cells.len(),

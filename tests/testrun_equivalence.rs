@@ -1,0 +1,153 @@
+//! The resumable-execution guarantee behind the async engine: driving
+//! `TestRun::step` to completion produces **exactly** the `execute()`
+//! result — steps, verdicts, traces, and error-carrying early exits — for
+//! arbitrary generated workloads and execution options.
+
+use comptest::model::{MethodName, PinId, SignalKind, SignalName, SimTime};
+use comptest::prelude::*;
+use comptest::stand::{Action, AppliedValue, ExecutionPlan, PlannedStep, ResourceId};
+use comptest_workload::{gen_stand, gen_workbook_text, SplitMix64, StandShape, WorkbookShape};
+use proptest::prelude::*;
+
+/// Drives a fresh `TestRun` to completion, counting the calls.
+fn run_stepwise(
+    plan: &ExecutionPlan,
+    device: &mut Device,
+    options: &ExecOptions,
+) -> (TestResult, usize) {
+    let mut run = TestRun::new(plan, device, options);
+    let mut calls = 0usize;
+    loop {
+        calls += 1;
+        if let RunState::Finished(result) = run.step() {
+            return (result, calls);
+        }
+    }
+}
+
+fn device() -> Device {
+    comptest::dut::ecus::device_by_name("interior_light", Default::default()).expect("bundled ECU")
+}
+
+/// A stand serving the generated 4-signal workbooks: full-density
+/// crosspoints for the input pins plus a DVM route to the output pin pair
+/// (the same wiring the s6/s7 bench fixtures use).
+fn variant_stand(rng: &mut SplitMix64, signals: usize) -> TestStand {
+    let shape = StandShape {
+        pins: signals,
+        put_resources: signals,
+        get_resources: 1,
+        density: 1.0,
+    };
+    let dvm = ResourceId::new("Dvm0").expect("valid");
+    gen_stand(rng, &shape)
+        .with_connection(
+            PinId::new("XO1").expect("valid"),
+            dvm.clone(),
+            PinId::new("OUT_F").expect("valid"),
+        )
+        .with_connection(
+            PinId::new("XO2").expect("valid"),
+            dvm,
+            PinId::new("OUT_R").expect("valid"),
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random small matrices (generated workbooks × a generated
+    /// stand × both sampling modes × both stop-on-failure settings),
+    /// stepping equals executing, byte for byte — including the trace.
+    #[test]
+    fn stepping_equals_execute_on_generated_workloads(
+        seed in 0u64..500,
+        tests in 1usize..4,
+        steps in 1usize..8,
+        continuous in any::<bool>(),
+        stop in any::<bool>(),
+    ) {
+        const SIGNALS: usize = 4;
+        let mut rng = SplitMix64::new(seed);
+        let text = gen_workbook_text(&mut rng, &WorkbookShape { signals: SIGNALS, tests, steps });
+        let wb = Workbook::parse_str("gen.cts", &text).unwrap();
+        let stand = variant_stand(&mut rng, SIGNALS);
+        let options = ExecOptions {
+            sample: if continuous {
+                SampleMode::Continuous { interval: SimTime::from_millis(100) }
+            } else {
+                SampleMode::EndOfStep
+            },
+            stop_on_failure: stop,
+        };
+        for script in generate_all(&wb.suite).unwrap() {
+            let Ok(exec_plan) = plan(&script, &stand) else {
+                continue; // not plannable on this stand: nothing to execute
+            };
+            let reference = execute(&exec_plan, &mut device(), &options);
+            let (stepped, calls) = run_stepwise(&exec_plan, &mut device(), &options);
+            prop_assert_eq!(&stepped, &reference, "stepped run diverged from execute()");
+            // One call per executed step (the last one delivers), one
+            // call total for an empty plan, and one extra call only when
+            // a stimulus error aborted a step before it was recorded.
+            prop_assert!(
+                calls == reference.steps.len().max(1)
+                    || (calls == reference.steps.len() + 1 && reference.error.is_some()),
+                "unexpected call count {} for {} executed steps",
+                calls,
+                reference.steps.len()
+            );
+        }
+    }
+}
+
+/// A hand-built plan whose stimulus uses a method the simulated stand
+/// cannot execute — the deterministic error-carrying early exit.
+fn unexecutable_plan(in_init: bool) -> ExecutionPlan {
+    let apply = Action::Apply {
+        signal: SignalName::new("s").unwrap(),
+        kind: SignalKind::Pin {
+            pins: vec![PinId::new("DS_FL").unwrap()],
+        },
+        resource: ResourceId::new("Ress1").unwrap(),
+        method: MethodName::new("put_f").unwrap(),
+        value: AppliedValue::Num(1.0),
+        settle: SimTime::ZERO,
+    };
+    let step = PlannedStep {
+        nr: 0,
+        dt: SimTime::from_millis(500),
+        actions: vec![apply.clone()],
+    };
+    ExecutionPlan {
+        script_name: "bad".into(),
+        stand_name: "HIL-A".into(),
+        init: if in_init { vec![apply] } else { Vec::new() },
+        steps: if in_init { Vec::new() } else { vec![step] },
+    }
+}
+
+#[test]
+fn init_errors_finish_on_the_first_step_call() {
+    let plan = unexecutable_plan(true);
+    let reference = execute(&plan, &mut device(), &ExecOptions::default());
+    assert!(reference.error.as_deref().unwrap().starts_with("init:"));
+    let (stepped, calls) = run_stepwise(&plan, &mut device(), &ExecOptions::default());
+    assert_eq!(stepped, reference);
+    assert_eq!(calls, 1, "an init error must finish immediately");
+    assert!(stepped.steps.is_empty());
+}
+
+#[test]
+fn step_errors_abort_identically() {
+    let plan = unexecutable_plan(false);
+    let reference = execute(&plan, &mut device(), &ExecOptions::default());
+    assert!(reference.error.as_deref().unwrap().starts_with("step 0:"));
+    let (stepped, calls) = run_stepwise(&plan, &mut device(), &ExecOptions::default());
+    assert_eq!(stepped, reference);
+    assert_eq!(calls, 1, "the erroring step's call delivers the result");
+    assert!(
+        stepped.steps.is_empty(),
+        "a step aborted by a stimulus error is not recorded"
+    );
+}
