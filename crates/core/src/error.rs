@@ -34,6 +34,21 @@ pub enum CoreError {
         /// Number of jobs with no outcome.
         lost: usize,
     },
+    /// A campaign cache could not be opened (unusable directory, not a
+    /// directory, permissions). Raised when the cache is *configured*, not
+    /// per entry — a corrupt or missing cache entry is a miss, never an
+    /// error.
+    Cache {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// `cache_verify` audit mode re-executed cached cells and at least one
+    /// cached outcome no longer matched the fresh execution — the cache is
+    /// stale or the hashing missed an input.
+    CacheMismatch {
+        /// Number of mismatching cached outcomes.
+        mismatches: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +66,12 @@ impl fmt::Display for CoreError {
                 "{lost} campaign job(s) produced no outcome without cancellation \
                  (worker died mid-job?)"
             ),
+            CoreError::Cache { message } => write!(f, "campaign cache unusable: {message}"),
+            CoreError::CacheMismatch { mismatches } => write!(
+                f,
+                "cache verification failed: {mismatches} cached outcome(s) diverged from \
+                 fresh execution (stale cache or un-keyed input?)"
+            ),
         }
     }
 }
@@ -61,7 +82,10 @@ impl Error for CoreError {
             CoreError::Codegen(e) => Some(e),
             CoreError::InvalidCampaign(e) => Some(e),
             CoreError::Stand(e) => Some(e),
-            CoreError::UnhealthyReference { .. } | CoreError::JobsLost { .. } => None,
+            CoreError::UnhealthyReference { .. }
+            | CoreError::JobsLost { .. }
+            | CoreError::Cache { .. }
+            | CoreError::CacheMismatch { .. } => None,
         }
     }
 }

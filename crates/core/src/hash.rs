@@ -1,0 +1,546 @@
+//! Stable structural hashing for campaign caching.
+//!
+//! A regression campaign re-runs the same workbook suites against the same
+//! stands over and over; most cells are byte-identical re-executions. To
+//! skip them safely, a cache must key each cell by *content*: the same
+//! suite, stand and DUT configuration must hash to the same [`CellKey`]
+//! on every run — and any structural change (a renamed test, a widened
+//! check bound, a reordered step, a re-wired matrix crosspoint) must
+//! change it. Compositional-testing theory backs exactly this notion:
+//! re-verification of a component can be skipped as long as its interface
+//! contract is unchanged.
+//!
+//! The hashes here are therefore **structural and deliberately stable**:
+//!
+//! * only the declarative content is hashed — wall-clock timestamps,
+//!   event-arrival ordering, worker counts and scheduling granularity are
+//!   all excluded, so a serial, pooled and async run of the same campaign
+//!   key identically;
+//! * the hash function is a fixed FNV-1a (no per-process randomisation, no
+//!   dependence on `std`'s hasher internals), so keys survive process
+//!   restarts and are usable as on-disk file names;
+//! * every field is tagged and strings are length-prefixed, so adjacent
+//!   fields cannot melt into each other (`("ab", "c")` ≠ `("a", "bc")`);
+//! * identifier names hash through their canonical case-insensitive
+//!   [`key()`](comptest_model::SignalName::key) form, matching how the
+//!   rest of the toolchain compares them.
+
+use std::fmt;
+
+use comptest_dut::Device;
+use comptest_model::{Env, SignalDef, SignalKind, StatusDef, TestSuite};
+use comptest_script::TestScript;
+use comptest_stand::TestStand;
+
+use crate::campaign::{CampaignEntry, DeviceFactory};
+use crate::exec::{ExecOptions, SampleMode};
+
+/// A stable streaming hasher: 64-bit FNV-1a with field tagging.
+///
+/// Unlike [`std::hash::Hasher`] implementations, the output is guaranteed
+/// stable across processes, platforms and Rust versions — it is pure
+/// arithmetic over the bytes written. Collisions are possible (64 bits),
+/// but a collision only ever *reuses* a cached outcome; `--cache-verify`
+/// exists to audit exactly that.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte (field tags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds an `f64` through its IEEE-754 bit pattern (`-0.0` is
+    /// normalised to `0.0` so the two structurally equal spellings agree).
+    pub fn write_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds an optional `f64` with a presence tag.
+    pub fn write_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(v) => {
+                self.write_u8(1);
+                self.write_f64(v);
+            }
+            None => self.write_u8(0),
+        }
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes one environment (sorted by canonical variable name, so insertion
+/// order is irrelevant — it is not part of the stand's structure).
+fn write_env(h: &mut StableHasher, env: &Env) {
+    let mut vars: Vec<(String, f64)> = env
+        .iter()
+        .map(|(name, value)| (name.to_ascii_lowercase(), value))
+        .collect();
+    vars.sort_by(|a, b| a.0.cmp(&b.0));
+    h.write_usize(vars.len());
+    for (name, value) in vars {
+        h.write_str(&name);
+        h.write_f64(value);
+    }
+}
+
+fn write_signal_kind(h: &mut StableHasher, kind: &SignalKind) {
+    match kind {
+        SignalKind::Pin { pins } => {
+            h.write_u8(1);
+            h.write_usize(pins.len());
+            for pin in pins {
+                h.write_str(&pin.key());
+            }
+        }
+        SignalKind::Can {
+            frame,
+            start_bit,
+            width,
+        } => {
+            h.write_u8(2);
+            h.write_u32(frame.0);
+            h.write_u8(*start_bit);
+            h.write_u8(*width);
+        }
+    }
+}
+
+fn write_signal_def(h: &mut StableHasher, sig: &SignalDef) {
+    h.write_str(&sig.name.key());
+    write_signal_kind(h, &sig.kind);
+    h.write_u8(match sig.direction {
+        comptest_model::SignalDirection::Input => 0,
+        comptest_model::SignalDirection::Output => 1,
+    });
+    match &sig.init {
+        Some(init) => {
+            h.write_u8(1);
+            h.write_str(&init.key());
+        }
+        None => h.write_u8(0),
+    }
+    // The free-text description is documentation, not structure: two suites
+    // differing only in prose verify the same contract.
+}
+
+fn write_status_def(h: &mut StableHasher, def: &StatusDef) {
+    h.write_str(&def.name.key());
+    h.write_str(&def.method.key());
+    h.write_str(&def.attribut.to_ascii_lowercase());
+    match &def.var {
+        Some(var) => {
+            h.write_u8(1);
+            h.write_str(&var.to_ascii_lowercase());
+        }
+        None => h.write_u8(0),
+    }
+    h.write_opt_f64(def.nom);
+    h.write_opt_f64(def.min);
+    h.write_opt_f64(def.max);
+    match def.bits {
+        Some(bits) => {
+            h.write_u8(1);
+            h.write_u64(bits.bits());
+            h.write_u8(bits.width());
+        }
+        None => h.write_u8(0),
+    }
+    h.write_opt_f64(def.d1);
+    h.write_opt_f64(def.d2);
+    h.write_opt_f64(def.d3);
+}
+
+/// Stable structural hash of a test suite: name, signal sheet, status
+/// table and every test's step sequence — everything that feeds script
+/// generation. Step *order* is structure (reordering steps changes the
+/// executed stimulus sequence) and is hashed; step remarks carry
+/// requirement tags into reports but do not alter execution, yet they are
+/// part of the exchanged sheet and are hashed too, conservatively.
+pub fn hash_suite(suite: &TestSuite) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(b'S');
+    h.write_str(&suite.name);
+    h.write_usize(suite.signals.len());
+    for sig in &suite.signals {
+        write_signal_def(&mut h, sig);
+    }
+    h.write_usize(suite.statuses.len());
+    for def in suite.statuses.iter() {
+        write_status_def(&mut h, def);
+    }
+    h.write_usize(suite.tests.len());
+    for test in &suite.tests {
+        h.write_str(&test.name);
+        h.write_usize(test.steps.len());
+        for step in &test.steps {
+            h.write_u32(step.nr);
+            h.write_u64(step.dt.as_micros());
+            h.write_usize(step.assignments.len());
+            for a in &step.assignments {
+                h.write_str(&a.signal.key());
+                h.write_str(&a.status.key());
+            }
+            h.write_str(&step.remark);
+        }
+    }
+    h.finish()
+}
+
+/// Stable structural hash of a test stand: name, environment (sorted),
+/// resources with capabilities and capacities, and the full connection
+/// matrix in declaration order.
+pub fn hash_stand(stand: &TestStand) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(b'T');
+    h.write_str(stand.name());
+    write_env(&mut h, stand.env());
+    h.write_usize(stand.resources().len());
+    for resource in stand.resources() {
+        h.write_str(&resource.id.key());
+        h.write_usize(resource.capacity);
+        h.write_usize(resource.capabilities.len());
+        for cap in &resource.capabilities {
+            h.write_str(&cap.method.key());
+            h.write_str(&cap.attribut.to_ascii_lowercase());
+            h.write_f64(cap.min);
+            h.write_f64(cap.max);
+            h.write_str(&cap.unit.to_string());
+        }
+    }
+    let connections = stand.matrix().connections();
+    h.write_usize(connections.len());
+    for c in connections {
+        h.write_str(&c.point.key());
+        h.write_str(&c.resource.key());
+        h.write_str(&c.pin.key());
+    }
+    h.finish()
+}
+
+/// Stable hash of a generated test script, over its canonical XML
+/// serialisation — the exchange format *is* the script's identity.
+pub fn hash_script(script: &TestScript) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(b'X');
+    h.write_str(&script.to_xml());
+    h.finish()
+}
+
+/// Stable hash of a freshly built DUT: its behaviour, electrical
+/// configuration, pin/CAN bindings and power-on state, via the device's
+/// structural [`Debug`] rendering at simulated time zero. Wall-clock never
+/// enters a freshly built device, so the hash is reproducible across runs;
+/// two factories building structurally identical devices key identically.
+///
+/// This makes the *derived, exhaustive* `Debug` of [`Device`] and of every
+/// [`Behavior`](comptest_dut::Behavior) implementation part of the
+/// cache-key contract: a hand-written `Debug` that elides fields (e.g. via
+/// `finish_non_exhaustive`) would let structurally different DUT configs
+/// collide on this digest and serve each other's cached outcomes —
+/// detectable only by `--cache-verify`. Keep device/behaviour `Debug`
+/// derived (or field-complete), or extend this function with explicit
+/// accessors instead.
+pub fn hash_device(device: &Device) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(b'D');
+    h.write_str(&format!("{device:?}"));
+    h.finish()
+}
+
+/// Stable hash of the per-test execution options. Sampling mode and
+/// stop-on-failure change the *content* of a test result (which samples
+/// were taken, whether later steps ran), so outcomes cached under one
+/// option set must never serve a campaign running another.
+pub fn hash_exec_options(options: &ExecOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(b'O');
+    match options.sample {
+        SampleMode::EndOfStep => h.write_u8(0),
+        SampleMode::Continuous { interval } => {
+            h.write_u8(1);
+            h.write_u64(interval.as_micros());
+        }
+    }
+    h.write_u8(u8::from(options.stop_on_failure));
+    h.finish()
+}
+
+/// The content address of one campaign cell: what ran (`suite_hash`),
+/// where (`stand_hash`), against which component (`dut_config_hash`) and
+/// under which execution options (`exec_hash`).
+///
+/// Everything that can change a cell's outcome is folded into these four
+/// digests; everything that cannot — executor choice, worker count,
+/// scheduling granularity, event ordering, wall-clock — is deliberately
+/// excluded, so a serial, pooled and async run of the same campaign hit
+/// the same cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Structural hash of the test suite ([`hash_suite`]).
+    pub suite_hash: u64,
+    /// Structural hash of the test stand ([`hash_stand`]).
+    pub stand_hash: u64,
+    /// Hash of the freshly built DUT ([`hash_device`]).
+    pub dut_config_hash: u64,
+    /// Hash of the execution options ([`hash_exec_options`]).
+    pub exec_hash: u64,
+}
+
+impl CellKey {
+    /// Computes the key for one (entry, stand) cell under `options`. Builds
+    /// one device from the entry's factory to fingerprint the DUT config.
+    pub fn for_cell(entry: &CampaignEntry<'_>, stand: &TestStand, options: &ExecOptions) -> Self {
+        Self {
+            suite_hash: hash_suite(entry.suite),
+            stand_hash: hash_stand(stand),
+            dut_config_hash: hash_device(&entry.device_factory.build()),
+            exec_hash: hash_exec_options(options),
+        }
+    }
+
+    /// Computes the key from pre-computed suite/stand digests (so a
+    /// campaign-wide key sweep hashes each suite and stand once, not once
+    /// per cell).
+    pub fn from_hashes(
+        suite_hash: u64,
+        stand_hash: u64,
+        factory: &dyn DeviceFactory,
+        options: &ExecOptions,
+    ) -> Self {
+        Self {
+            suite_hash,
+            stand_hash,
+            dut_config_hash: hash_device(&factory.build()),
+            exec_hash: hash_exec_options(options),
+        }
+    }
+}
+
+impl fmt::Display for CellKey {
+    /// Renders the key as a fixed-width, filesystem-safe name:
+    /// `<suite>-<stand>-<dut>-<exec>`, 16 lowercase hex digits each.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}-{:016x}-{:016x}-{:016x}",
+            self.suite_hash, self.stand_hash, self.dut_config_hash, self.exec_hash
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_model::SimTime;
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test night_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+
+[test day_off]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Lo
+";
+
+    fn suite() -> TestSuite {
+        Workbook::parse_str("wb.cts", WB).unwrap().suite
+    }
+
+    fn stand() -> TestStand {
+        TestStand::parse_str("a.stand", crate::PAPER_STAND_A).unwrap()
+    }
+
+    #[test]
+    fn reparsing_the_same_text_hashes_equal() {
+        assert_eq!(hash_suite(&suite()), hash_suite(&suite()));
+        assert_eq!(hash_stand(&stand()), hash_stand(&stand()));
+    }
+
+    #[test]
+    fn structural_mutations_change_the_suite_hash() {
+        let base = hash_suite(&suite());
+
+        let mut renamed = suite();
+        renamed.tests[0].name = "night_on_v2".into();
+        assert_ne!(hash_suite(&renamed), base, "renamed test");
+
+        let mut bound = suite();
+        let mut ho = bound.statuses.get_str("Ho").unwrap().clone();
+        ho.max = Some(1.2);
+        bound.statuses.insert(ho);
+        assert_ne!(hash_suite(&bound), base, "widened check bound");
+
+        let mut reordered = suite();
+        reordered.tests.swap(0, 1);
+        assert_ne!(hash_suite(&reordered), base, "reordered tests");
+
+        let mut dt = suite();
+        dt.tests[0].steps[0].dt = SimTime::from_millis(600);
+        assert_ne!(hash_suite(&dt), base, "changed step duration");
+    }
+
+    #[test]
+    fn structural_mutations_change_the_stand_hash() {
+        let base = hash_stand(&stand());
+
+        let mut env = stand();
+        env.env_mut().set("ubatt", 13.8);
+        assert_ne!(hash_stand(&env), base, "supply voltage");
+
+        let renamed =
+            TestStand::parse_str("a.stand", &crate::PAPER_STAND_A.replace("HIL-A", "HIL-Z"))
+                .unwrap();
+        assert_ne!(hash_stand(&renamed), base, "renamed stand");
+
+        let rewired = TestStand::parse_str(
+            "a.stand",
+            &crate::PAPER_STAND_A.replace("Mx1.2, Ress2,    DS_FL", "Mx1.2, Ress2,    DS_FR"),
+        )
+        .unwrap();
+        assert_ne!(hash_stand(&rewired), base, "re-wired crosspoint");
+    }
+
+    #[test]
+    fn script_hash_tracks_generated_content() {
+        let suite = suite();
+        let a = comptest_script::generate(&suite, "night_on").unwrap();
+        let b = comptest_script::generate(&suite, "day_off").unwrap();
+        assert_eq!(hash_script(&a), hash_script(&a));
+        assert_ne!(hash_script(&a), hash_script(&b));
+    }
+
+    #[test]
+    fn device_hash_distinguishes_configs() {
+        use comptest_dut::ecus::interior_light;
+        let a = interior_light::device(Default::default());
+        let b = interior_light::device(Default::default());
+        assert_eq!(hash_device(&a), hash_device(&b), "same config, same hash");
+        let cfg = comptest_dut::ElectricalConfig {
+            ubatt: 13.8,
+            ..Default::default()
+        };
+        let c = interior_light::device(cfg);
+        assert_ne!(hash_device(&a), hash_device(&c), "different supply rail");
+    }
+
+    #[test]
+    fn exec_options_hash_covers_sampling_and_stop() {
+        let base = hash_exec_options(&ExecOptions::default());
+        let continuous = hash_exec_options(&ExecOptions {
+            sample: SampleMode::Continuous {
+                interval: SimTime::from_millis(100),
+            },
+            ..ExecOptions::default()
+        });
+        let stop = hash_exec_options(&ExecOptions {
+            stop_on_failure: true,
+            ..ExecOptions::default()
+        });
+        assert_ne!(base, continuous);
+        assert_ne!(base, stop);
+        assert_ne!(continuous, stop);
+    }
+
+    #[test]
+    fn cell_key_display_is_filesystem_safe_and_fixed_width() {
+        let key = CellKey {
+            suite_hash: 1,
+            stand_hash: 0xdead_beef,
+            dut_config_hash: u64::MAX,
+            exec_hash: 0,
+        };
+        let name = key.to_string();
+        assert_eq!(name.len(), 16 * 4 + 3);
+        assert!(name
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase() || c == '-'));
+    }
+
+    #[test]
+    fn hasher_tags_separate_adjacent_fields() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut z = StableHasher::new();
+        z.write_f64(-0.0);
+        let mut p = StableHasher::new();
+        p.write_f64(0.0);
+        assert_eq!(z.finish(), p.finish(), "-0.0 normalises to 0.0");
+    }
+}

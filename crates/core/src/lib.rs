@@ -63,6 +63,7 @@ pub mod coverage;
 pub mod error;
 pub mod exec;
 pub mod faultcamp;
+pub mod hash;
 pub mod pipeline;
 pub mod portability;
 pub mod sweep;
@@ -71,6 +72,7 @@ pub mod verdict;
 
 pub use error::CoreError;
 pub use exec::{execute, ExecOptions, RunState, SampleMode, TestRun};
+pub use hash::{hash_device, hash_exec_options, hash_script, hash_stand, hash_suite, CellKey};
 pub use pipeline::{run_suite, run_test};
 pub use trace::{Trace, TraceEvent};
 pub use verdict::{CheckResult, Measured, StepResult, SuiteResult, TestResult, Verdict};

@@ -13,6 +13,12 @@
 //! side. No extra dependencies: the loop is a plain heap over `mpsc`
 //! channels.
 //!
+//! Admission is cheap by construction: plans come from the campaign's
+//! shared [`PlanSlot`](crate::executor::PlanSlot)s (resolved at most once
+//! per (entry, test, stand) triple, and reused across launches of the same
+//! campaign), and a configured campaign cache resolves hits *at
+//! admission* — a cached run never touches the wheel at all.
+//!
 //! The executor keeps the full [`CampaignExecutor`](crate::CampaignExecutor)
 //! contract: jobs come from the same deterministic plans, outcomes merge
 //! byte-identical to [`SerialExecutor`](crate::SerialExecutor) at both
@@ -29,22 +35,21 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use comptest_core::campaign::{merge_test_outcomes, plan_script, CampaignCell, TestJobOutcome};
+use comptest_core::campaign::{merge_test_outcomes, CampaignCell, TestJobOutcome};
 use comptest_core::error::CoreError;
-use comptest_core::exec::{ExecOptions, RunState, TestRun};
-use comptest_core::{SuiteResult, TestResult};
+use comptest_core::exec::{RunState, TestRun};
 use comptest_dut::Device;
 use comptest_model::SimTime;
-use comptest_script::TestScript;
 use comptest_stand::{ExecutionPlan, TestStand};
 
+use crate::cache::fold_cell;
 use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::executor::{
-    check_lost, collect, fold_cell_slots, outcome_status, package_cells, package_jobs,
-    CampaignExecutor, JobMsg, PackagedCell, PackagedJob,
+    check_lost, check_verified, collect, fold_cell_slots, outcome_status, CampaignExecutor, JobCtx,
+    JobMsg, PackagedCell, PackagedJob, PackagedTest, Prepared,
 };
-use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
+use crate::handle::{CampaignHandle, CampaignOutcome, EventStream};
 
 /// Executes campaigns on an event loop of resumable [`TestRun`]s: up to
 /// `concurrency` runs are open simultaneously, interleaved step by step in
@@ -180,21 +185,20 @@ fn launch_async_tests<'a>(
     executor: &AsyncExecutor,
     campaign: &Campaign<'a, '_>,
 ) -> Result<CampaignHandle<'a>, CoreError> {
-    let jobs = package_jobs(campaign.entries, campaign.stands)?;
+    let prepared = Prepared::new(campaign)?;
+    let jobs = prepared.package_jobs(campaign.entries);
     let n_jobs = jobs.len();
-    let cancel = RunCancel::new(campaign.cancel.clone());
-    let stop = campaign.stop_on_first_fail;
-    let exec = campaign.exec;
+    let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     let parts = partition(jobs, executor.shards.min(executor.concurrency));
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
-        let cancel = cancel.clone();
+        let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
         std::thread::spawn(move || {
-            drive_test_shard(part, limit, &exec, &cancel, stop, &events, &results);
+            drive_test_shard(part, limit, &ctx, &events, &results);
         });
     }
     // Drop the launch-side senders so both streams end with the last shard.
@@ -203,7 +207,8 @@ fn launch_async_tests<'a>(
 
     let entries = campaign.entries;
     let stands = campaign.stands;
-    let run_token = cancel.run_token();
+    let run_token = ctx.cancel.run_token();
+    let cache = ctx.cache;
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
@@ -211,6 +216,7 @@ fn launch_async_tests<'a>(
             let (slots, acknowledged) = collect(results_rx, n_jobs);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
+            check_verified(&cache)?;
             Ok(CampaignOutcome { result, cancelled })
         }),
     ))
@@ -228,10 +234,11 @@ struct TestTicket {
     started: Instant,
 }
 
-/// One in-flight test on the wheel.
+/// One in-flight test on the wheel (the plan is the campaign's shared
+/// `Arc`, so parking a run never clones the plan).
 struct ActiveTest {
     ticket: TestTicket,
-    run: TestRun<ExecutionPlan, Device>,
+    run: TestRun<Arc<ExecutionPlan>, Device>,
 }
 
 /// One shard's event loop at test granularity: admit until the in-flight
@@ -240,9 +247,7 @@ struct ActiveTest {
 fn drive_test_shard(
     mut pending: VecDeque<PackagedJob>,
     limit: usize,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop: bool,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<TestJobOutcome>>,
 ) {
@@ -253,16 +258,14 @@ fn drive_test_shard(
             let Some(job) = pending.pop_front() else {
                 break;
             };
-            admit_test(
-                job, exec, cancel, stop, events, results, &mut wheel, &mut seq,
-            );
+            admit_test(job, ctx, events, results, &mut wheel, &mut seq);
         }
         let Some(entry) = wheel.pop() else {
             if pending.is_empty() {
                 return;
             }
-            // Every admitted job resolved at admission (planning errors or
-            // cancellations); go admit more.
+            // Every admitted job resolved at admission (cache hits,
+            // planning errors or cancellations); go admit more.
             continue;
         };
         // Step-granular cancellation: abandon the popped run at its step
@@ -270,7 +273,7 @@ fn drive_test_shard(
         // way. The abandoned slot stays empty, which the merge counts as
         // cancelled; acknowledging here is what keeps join() from calling
         // it lost.
-        if cancel.is_cancelled() {
+        if ctx.cancel.is_cancelled() {
             let _ = results.send(JobMsg::Cancelled);
             continue;
         }
@@ -284,31 +287,33 @@ fn drive_test_shard(
                 });
             }
             RunState::Finished(result) => {
-                finish_test(active.ticket, Ok(result), stop, cancel, events, results);
+                finish_test(active.ticket, Ok(result), ctx, events, results);
             }
         }
     }
 }
 
-/// Admits one packaged test: emits `TestStarted`, plans the script, and
-/// either parks the fresh [`TestRun`] on the wheel or — on a planning
-/// failure — resolves the job immediately with the same not-runnable
-/// outcome the blocking executors produce.
-#[allow(clippy::too_many_arguments)]
+/// Admits one packaged test: consults the cache (a hit resolves the job
+/// without touching the wheel), emits `TestStarted`, resolves the shared
+/// plan slot, and either parks the fresh [`TestRun`] on the wheel or — on
+/// a planning failure — resolves the job immediately with the same
+/// not-runnable outcome the blocking executors produce.
 fn admit_test(
     job: PackagedJob,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop: bool,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<TestJobOutcome>>,
     wheel: &mut BinaryHeap<Scheduled<ActiveTest>>,
     seq: &mut u64,
 ) {
-    if cancel.is_cancelled() {
+    if ctx.cancel.is_cancelled() {
         let _ = results.send(JobMsg::Cancelled);
         return;
     }
+    if ctx.try_cached_test(&job, events, results) {
+        return;
+    }
+    let plan = job.resolve_plan();
     let PackagedJob {
         job: slot,
         cell,
@@ -316,9 +321,8 @@ fn admit_test(
         suite,
         stand_name,
         name,
-        script,
-        stand,
         device,
+        ..
     } = job;
     emit(
         events,
@@ -339,9 +343,9 @@ fn admit_test(
         name,
         started: Instant::now(),
     };
-    match plan_script(&script, &stand) {
+    match plan {
         Ok(plan) => {
-            let run = TestRun::new(plan, device, exec);
+            let run = TestRun::new(plan, device, &ctx.exec);
             wheel.push(Scheduled {
                 deadline: run.next_deadline(),
                 seq: *seq,
@@ -349,21 +353,24 @@ fn admit_test(
             });
             *seq += 1;
         }
-        Err(reason) => finish_test(ticket, Err(reason), stop, cancel, events, results),
+        Err(reason) => finish_test(ticket, Err(reason), ctx, events, results),
     }
 }
 
-/// Completes one test job: emits `TestFinished` (wall-clock measured from
-/// admission, so interleaved runs overlap), trips `stop_on_first_fail`,
-/// and reports the outcome to the collector.
+/// Completes one test job: feeds the cache (store + verify), emits
+/// `TestFinished` (wall-clock measured from admission, so interleaved runs
+/// overlap), trips `stop_on_first_fail`, and reports the outcome to the
+/// collector.
 fn finish_test(
     ticket: TestTicket,
     outcome: TestJobOutcome,
-    stop: bool,
-    cancel: &RunCancel,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<TestJobOutcome>>,
 ) {
+    if let Some(runtime) = &ctx.cache {
+        runtime.finish_test(ticket.cell, ticket.test, &outcome);
+    }
     let (status, failed) = outcome_status(&outcome);
     emit(
         events,
@@ -378,8 +385,8 @@ fn finish_test(
             duration: ticket.started.elapsed(),
         },
     );
-    if failed && stop {
-        cancel.trip();
+    if failed && ctx.stop {
+        ctx.cancel.trip();
     }
     let _ = results.send(JobMsg::Done(ticket.slot, outcome));
 }
@@ -390,89 +397,79 @@ fn launch_async_cells<'a>(
     executor: &AsyncExecutor,
     campaign: &Campaign<'a, '_>,
 ) -> Result<CampaignHandle<'a>, CoreError> {
-    let cells = package_cells(campaign.entries, campaign.stands)?;
+    let prepared = Prepared::new(campaign)?;
+    let cells = prepared.package_cells(campaign.entries);
     let n_cells = cells.len();
-    let cancel = RunCancel::new(campaign.cancel.clone());
-    let stop = campaign.stop_on_first_fail;
-    let exec = campaign.exec;
+    let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     let parts = partition(cells, executor.shards.min(executor.concurrency));
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
-        let cancel = cancel.clone();
+        let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
         std::thread::spawn(move || {
-            drive_cell_shard(part, limit, &exec, &cancel, stop, &events, &results);
+            drive_cell_shard(part, limit, &ctx, &events, &results);
         });
     }
     drop(events_tx);
     drop(results_tx);
 
-    let run_token = cancel.run_token();
+    let run_token = ctx.cancel.run_token();
+    let cache = ctx.cache;
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_cells);
-            fold_cell_slots(slots, acknowledged)
+            let outcome = fold_cell_slots(slots, acknowledged)?;
+            check_verified(&cache)?;
+            Ok(outcome)
         }),
     ))
 }
 
 /// Everything about one admitted cell except its current run: identity,
-/// the queue of tests not yet started and the results finished so far.
+/// the queue of tests not yet started and the per-test outcomes finished
+/// so far (what the cache records and the final fold consumes).
 struct CellShell {
     slot: usize,
     suite: String,
     stand_name: String,
     stand: Arc<TestStand>,
-    remaining: VecDeque<(Arc<TestScript>, Device)>,
-    results: Vec<TestResult>,
+    remaining: VecDeque<PackagedTest>,
+    outcomes: Vec<TestJobOutcome>,
 }
 
 /// One in-flight cell on the wheel: its shell plus the current test's run.
 struct ActiveCell {
     shell: CellShell,
-    run: TestRun<ExecutionPlan, Device>,
+    run: TestRun<Arc<ExecutionPlan>, Device>,
 }
 
 /// The next scheduling state of a cell, at admission and after every
-/// finished test: another run to park on the wheel, or the completed cell.
+/// finished test: another run to park on the wheel, or the completed
+/// shell (its `outcomes` determine the cell).
 enum CellStep {
     Active(Box<ActiveCell>),
-    Done(usize, CampaignCell),
+    Done(CellShell),
 }
 
 /// Starts the cell's next test — the single transition shared by
 /// admission and the steady-state loop, preserving the blocking
-/// executors' `execute_cell` semantics: the first planning error ends the
-/// cell as `Err(reason)`, a drained queue ends it as the suite result.
-fn start_next_test(mut shell: CellShell, exec: &ExecOptions) -> CellStep {
+/// executors' semantics: the first planning error ends the cell, a
+/// drained queue completes it.
+fn start_next_test(mut shell: CellShell, ctx: &JobCtx) -> CellStep {
     match shell.remaining.pop_front() {
-        None => CellStep::Done(
-            shell.slot,
-            CampaignCell {
-                suite: shell.suite.clone(),
-                stand: shell.stand_name,
-                outcome: Ok(SuiteResult {
-                    suite: shell.suite,
-                    results: shell.results,
-                }),
-            },
-        ),
-        Some((script, device)) => match plan_script(&script, &shell.stand) {
-            Err(reason) => CellStep::Done(
-                shell.slot,
-                CampaignCell {
-                    suite: shell.suite,
-                    stand: shell.stand_name,
-                    outcome: Err(reason),
-                },
-            ),
+        None => CellStep::Done(shell),
+        Some(test) => match test.plan.resolve(&test.script, &shell.stand) {
+            Err(reason) => {
+                shell.outcomes.push(Err(reason));
+                CellStep::Done(shell)
+            }
             Ok(plan) => CellStep::Active(Box::new(ActiveCell {
-                run: TestRun::new(plan, device, exec),
+                run: TestRun::new(plan, test.device, &ctx.exec),
                 shell,
             })),
         },
@@ -483,9 +480,7 @@ fn start_next_test(mut shell: CellShell, exec: &ExecOptions) -> CellStep {
 fn drive_cell_shard(
     mut pending: VecDeque<PackagedCell>,
     limit: usize,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop: bool,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<CampaignCell>>,
 ) {
@@ -496,9 +491,7 @@ fn drive_cell_shard(
             let Some(cell) = pending.pop_front() else {
                 break;
             };
-            admit_cell(
-                cell, exec, cancel, stop, events, results, &mut wheel, &mut seq,
-            );
+            admit_cell(cell, ctx, events, results, &mut wheel, &mut seq);
         }
         let Some(entry) = wheel.pop() else {
             if pending.is_empty() {
@@ -510,7 +503,7 @@ fn drive_cell_shard(
         // cell is abandoned mid-test; its finished tests are discarded
         // (the cell merges as cancelled, keeping parity with the pooled
         // executor's all-or-nothing cell outcomes).
-        if cancel.is_cancelled() {
+        if ctx.cancel.is_cancelled() {
             let _ = results.send(JobMsg::Cancelled);
             continue;
         }
@@ -525,8 +518,8 @@ fn drive_cell_shard(
             }
             RunState::Finished(result) => {
                 let mut shell = cell.shell;
-                shell.results.push(result);
-                match start_next_test(shell, exec) {
+                shell.outcomes.push(Ok(result));
+                match start_next_test(shell, ctx) {
                     CellStep::Active(cell) => {
                         wheel.push(Scheduled {
                             deadline: cell.run.next_deadline(),
@@ -534,8 +527,8 @@ fn drive_cell_shard(
                             payload: cell,
                         });
                     }
-                    CellStep::Done(slot, done) => {
-                        finish_cell(slot, done, stop, cancel, events, results);
+                    CellStep::Done(shell) => {
+                        finish_cell(shell, ctx, events, results);
                     }
                 }
             }
@@ -543,22 +536,23 @@ fn drive_cell_shard(
     }
 }
 
-/// Admits one packaged cell: emits `JobStarted` and starts its first test.
-/// A cell whose first test cannot be planned (or that has no tests)
-/// resolves immediately, exactly like the blocking executors.
-#[allow(clippy::too_many_arguments)]
+/// Admits one packaged cell: consults the cache (a hit resolves the whole
+/// cell without touching the wheel), emits `JobStarted` and starts its
+/// first test. A cell whose first test cannot be planned (or that has no
+/// tests) resolves immediately, exactly like the blocking executors.
 fn admit_cell(
     cell: PackagedCell,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop: bool,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<CampaignCell>>,
     wheel: &mut BinaryHeap<Scheduled<Box<ActiveCell>>>,
     seq: &mut u64,
 ) {
-    if cancel.is_cancelled() {
+    if ctx.cancel.is_cancelled() {
         let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    if ctx.try_cached_cell(&cell, events, results) {
         return;
     }
     let PackagedCell {
@@ -582,9 +576,9 @@ fn admit_cell(
         stand_name,
         stand,
         remaining: tests.into(),
-        results: Vec::new(),
+        outcomes: Vec::new(),
     };
-    match start_next_test(shell, exec) {
+    match start_next_test(shell, ctx) {
         CellStep::Active(cell) => {
             wheel.push(Scheduled {
                 deadline: cell.run.next_deadline(),
@@ -593,20 +587,31 @@ fn admit_cell(
             });
             *seq += 1;
         }
-        CellStep::Done(slot, done) => finish_cell(slot, done, stop, cancel, events, results),
+        CellStep::Done(shell) => finish_cell(shell, ctx, events, results),
     }
 }
 
-/// Completes one cell: emits `JobFinished`, trips `stop_on_first_fail`,
-/// and reports the outcome — the same event shape as the pooled executor.
+/// Completes one cell: feeds the cache with the determined per-test
+/// outcomes, folds them into the canonical cell outcome, emits
+/// `JobFinished`, trips `stop_on_first_fail`, and reports — the same
+/// event shape as the pooled executor.
 fn finish_cell(
-    slot: usize,
-    cell: CampaignCell,
-    stop: bool,
-    cancel: &RunCancel,
+    shell: CellShell,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<CampaignCell>>,
 ) {
+    let CellShell {
+        slot,
+        suite,
+        stand_name,
+        outcomes,
+        ..
+    } = shell;
+    if let Some(runtime) = &ctx.cache {
+        runtime.finish_cell(slot, &suite, &stand_name, &outcomes);
+    }
+    let cell = fold_cell(suite, stand_name, outcomes);
     let failed = !cell.passed();
     emit(
         events,
@@ -618,8 +623,8 @@ fn finish_cell(
             failed,
         },
     );
-    if failed && stop {
-        cancel.trip();
+    if failed && ctx.stop {
+        ctx.cancel.trip();
     }
     let _ = results.send(JobMsg::Done(slot, cell));
 }

@@ -1,0 +1,361 @@
+//! Encoding cell records to and from the on-disk JSON shape.
+//!
+//! The codec is exhaustive: a cached [`TestResult`] carries its full step
+//! results (including per-step simulated end times, so reports keep their
+//! deterministic sim timing) **and** its complete stimulus/measurement
+//! trace — a warm run must merge byte-identical to a cold one, and
+//! `PartialEq` on `TestResult` compares everything. Floats travel as
+//! strings (see [`super::json::f64_value`]) so `±INF` bounds and
+//! shortest-representation round-tripping both work.
+//!
+//! Any malformed input decodes to an error, which the cache layer treats
+//! as a miss.
+
+use std::collections::BTreeMap;
+
+use comptest_core::campaign::TestJobOutcome;
+use comptest_core::{CheckResult, Measured, StepResult, TestResult, Trace, TraceEvent, Verdict};
+use comptest_model::{BitPattern, MethodName, SignalName, SimTime, StatusBound};
+use comptest_stand::AppliedValue;
+
+use super::json::{f64_from, f64_value, parse, JsonError, Value};
+use super::CellRecord;
+
+/// Format version; bump on any shape change so stale files read as misses.
+const VERSION: u64 = 1;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn opt_f64_value(v: Option<f64>) -> Value {
+    match v {
+        Some(v) => f64_value(v),
+        None => Value::Null,
+    }
+}
+
+fn opt_f64_from(v: &Value) -> Result<Option<f64>, JsonError> {
+    match v {
+        Value::Null => Ok(None),
+        other => Ok(Some(f64_from(other)?)),
+    }
+}
+
+fn simtime_value(t: SimTime) -> Value {
+    Value::u64(t.as_micros())
+}
+
+fn simtime_from(v: &Value) -> Result<SimTime, JsonError> {
+    Ok(SimTime::from_micros(v.as_u64()?))
+}
+
+fn u32_from(v: &Value) -> Result<u32, JsonError> {
+    u32::try_from(v.as_u64()?).map_err(|_| JsonError("u32 out of range".into()))
+}
+
+fn signal_from(v: &Value) -> Result<SignalName, JsonError> {
+    SignalName::new(v.as_str()?).map_err(|e| JsonError(e.to_string()))
+}
+
+fn method_from(v: &Value) -> Result<MethodName, JsonError> {
+    MethodName::new(v.as_str()?).map_err(|e| JsonError(e.to_string()))
+}
+
+fn bits_value(b: BitPattern) -> Value {
+    obj(vec![
+        ("bits", Value::u64(b.bits())),
+        ("width", Value::u64(u64::from(b.width()))),
+    ])
+}
+
+fn bits_from(v: &Value) -> Result<BitPattern, JsonError> {
+    let bits = v.field("bits")?.as_u64()?;
+    let width = u8::try_from(v.field("width")?.as_u64()?)
+        .map_err(|_| JsonError("bit width out of range".into()))?;
+    BitPattern::new(bits, width).map_err(|e| JsonError(e.to_string()))
+}
+
+fn bound_value(b: &StatusBound) -> Value {
+    match b {
+        StatusBound::Numeric { nominal, lo, hi } => obj(vec![
+            ("kind", Value::str("num")),
+            ("nominal", opt_f64_value(*nominal)),
+            ("lo", f64_value(*lo)),
+            ("hi", f64_value(*hi)),
+        ]),
+        StatusBound::Bits(bits) => {
+            obj(vec![("kind", Value::str("bits")), ("v", bits_value(*bits))])
+        }
+    }
+}
+
+fn bound_from(v: &Value) -> Result<StatusBound, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "num" => Ok(StatusBound::Numeric {
+            nominal: opt_f64_from(v.field("nominal")?)?,
+            lo: f64_from(v.field("lo")?)?,
+            hi: f64_from(v.field("hi")?)?,
+        }),
+        "bits" => Ok(StatusBound::Bits(bits_from(v.field("v")?)?)),
+        other => Err(JsonError(format!("bad bound kind {other:?}"))),
+    }
+}
+
+fn measured_value(m: &Measured) -> Value {
+    match m {
+        Measured::Num(n) => obj(vec![("kind", Value::str("num")), ("v", f64_value(*n))]),
+        Measured::Bits(b) => obj(vec![("kind", Value::str("bits")), ("v", Value::u64(*b))]),
+        Measured::None => obj(vec![("kind", Value::str("none"))]),
+    }
+}
+
+fn measured_from(v: &Value) -> Result<Measured, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "num" => Ok(Measured::Num(f64_from(v.field("v")?)?)),
+        "bits" => Ok(Measured::Bits(v.field("v")?.as_u64()?)),
+        "none" => Ok(Measured::None),
+        other => Err(JsonError(format!("bad measured kind {other:?}"))),
+    }
+}
+
+fn verdict_value(v: Verdict) -> Value {
+    Value::str(match v {
+        Verdict::Pass => "pass",
+        Verdict::Fail => "fail",
+        Verdict::Error => "error",
+    })
+}
+
+fn verdict_from(v: &Value) -> Result<Verdict, JsonError> {
+    match v.as_str()? {
+        "pass" => Ok(Verdict::Pass),
+        "fail" => Ok(Verdict::Fail),
+        "error" => Ok(Verdict::Error),
+        other => Err(JsonError(format!("bad verdict {other:?}"))),
+    }
+}
+
+fn check_value(c: &CheckResult) -> Value {
+    obj(vec![
+        ("step", Value::u64(u64::from(c.step))),
+        ("at", simtime_value(c.at)),
+        ("signal", Value::str(c.signal.as_str())),
+        ("method", Value::str(c.method.as_str())),
+        ("bound", bound_value(&c.bound)),
+        ("measured", measured_value(&c.measured)),
+        ("verdict", verdict_value(c.verdict)),
+        ("message", Value::str(&c.message)),
+    ])
+}
+
+fn check_from(v: &Value) -> Result<CheckResult, JsonError> {
+    Ok(CheckResult {
+        step: u32_from(v.field("step")?)?,
+        at: simtime_from(v.field("at")?)?,
+        signal: signal_from(v.field("signal")?)?,
+        method: method_from(v.field("method")?)?,
+        bound: bound_from(v.field("bound")?)?,
+        measured: measured_from(v.field("measured")?)?,
+        verdict: verdict_from(v.field("verdict")?)?,
+        message: v.field("message")?.as_str()?.to_owned(),
+    })
+}
+
+fn applied_value(v: &AppliedValue) -> Value {
+    match v {
+        AppliedValue::Num(n) => obj(vec![("kind", Value::str("num")), ("v", f64_value(*n))]),
+        AppliedValue::Bits(b) => obj(vec![("kind", Value::str("bits")), ("v", bits_value(*b))]),
+    }
+}
+
+fn applied_from(v: &Value) -> Result<AppliedValue, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "num" => Ok(AppliedValue::Num(f64_from(v.field("v")?)?)),
+        "bits" => Ok(AppliedValue::Bits(bits_from(v.field("v")?)?)),
+        other => Err(JsonError(format!("bad applied kind {other:?}"))),
+    }
+}
+
+fn trace_event_value(e: &TraceEvent) -> Value {
+    match e {
+        TraceEvent::Applied {
+            at,
+            signal,
+            resource,
+            value,
+        } => obj(vec![
+            ("kind", Value::str("apply")),
+            ("at", simtime_value(*at)),
+            ("signal", Value::str(signal.as_str())),
+            ("resource", Value::str(resource)),
+            ("value", applied_value(value)),
+        ]),
+        TraceEvent::Measured {
+            at,
+            signal,
+            resource,
+            value,
+        } => obj(vec![
+            ("kind", Value::str("measure")),
+            ("at", simtime_value(*at)),
+            ("signal", Value::str(signal.as_str())),
+            ("resource", Value::str(resource)),
+            ("value", measured_value(value)),
+        ]),
+        TraceEvent::StepEnd { nr, at } => obj(vec![
+            ("kind", Value::str("step_end")),
+            ("nr", Value::u64(u64::from(*nr))),
+            ("at", simtime_value(*at)),
+        ]),
+    }
+}
+
+fn trace_event_from(v: &Value) -> Result<TraceEvent, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "apply" => Ok(TraceEvent::Applied {
+            at: simtime_from(v.field("at")?)?,
+            signal: signal_from(v.field("signal")?)?,
+            resource: v.field("resource")?.as_str()?.to_owned(),
+            value: applied_from(v.field("value")?)?,
+        }),
+        "measure" => Ok(TraceEvent::Measured {
+            at: simtime_from(v.field("at")?)?,
+            signal: signal_from(v.field("signal")?)?,
+            resource: v.field("resource")?.as_str()?.to_owned(),
+            value: measured_from(v.field("value")?)?,
+        }),
+        "step_end" => Ok(TraceEvent::StepEnd {
+            nr: u32_from(v.field("nr")?)?,
+            at: simtime_from(v.field("at")?)?,
+        }),
+        other => Err(JsonError(format!("bad trace kind {other:?}"))),
+    }
+}
+
+fn test_result_value(r: &TestResult) -> Value {
+    obj(vec![
+        ("test", Value::str(&r.test)),
+        ("stand", Value::str(&r.stand)),
+        ("dut", Value::str(&r.dut)),
+        (
+            "steps",
+            Value::Array(
+                r.steps
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("nr", Value::u64(u64::from(s.nr))),
+                            ("t_end", simtime_value(s.t_end)),
+                            (
+                                "checks",
+                                Value::Array(s.checks.iter().map(check_value).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "error",
+            match &r.error {
+                Some(e) => Value::str(e),
+                None => Value::Null,
+            },
+        ),
+        (
+            "trace",
+            Value::Array(r.trace.iter().map(trace_event_value).collect()),
+        ),
+    ])
+}
+
+fn test_result_from(v: &Value) -> Result<TestResult, JsonError> {
+    let steps = v
+        .field("steps")?
+        .as_array()?
+        .iter()
+        .map(|s| {
+            Ok(StepResult {
+                nr: u32_from(s.field("nr")?)?,
+                t_end: simtime_from(s.field("t_end")?)?,
+                checks: s
+                    .field("checks")?
+                    .as_array()?
+                    .iter()
+                    .map(check_from)
+                    .collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    let mut trace = Trace::new();
+    for e in v.field("trace")?.as_array()? {
+        trace.push(trace_event_from(e)?);
+    }
+    Ok(TestResult {
+        test: v.field("test")?.as_str()?.to_owned(),
+        stand: v.field("stand")?.as_str()?.to_owned(),
+        dut: v.field("dut")?.as_str()?.to_owned(),
+        steps,
+        error: match v.field("error")? {
+            Value::Null => None,
+            other => Some(other.as_str()?.to_owned()),
+        },
+        trace,
+    })
+}
+
+fn outcome_value(outcome: &TestJobOutcome) -> Value {
+    match outcome {
+        Ok(result) => obj(vec![("ok", test_result_value(result))]),
+        Err(reason) => obj(vec![("err", Value::str(reason))]),
+    }
+}
+
+fn outcome_from(v: &Value) -> Result<TestJobOutcome, JsonError> {
+    let map = v.as_object()?;
+    match (map.get("ok"), map.get("err")) {
+        (Some(ok), None) => Ok(Ok(test_result_from(ok)?)),
+        (None, Some(err)) => Ok(Err(err.as_str()?.to_owned())),
+        _ => Err(JsonError("outcome needs exactly one of ok/err".into())),
+    }
+}
+
+/// Serialises a cell record (compact JSON, deterministic field order).
+pub(crate) fn encode(record: &CellRecord) -> String {
+    obj(vec![
+        ("version", Value::u64(VERSION)),
+        ("total", Value::u64(record.total as u64)),
+        (
+            "tests",
+            Value::Array(record.tests.iter().map(outcome_value).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Parses a cell record; any malformed or truncated input is an error
+/// (which the caller treats as a cache miss).
+pub(crate) fn decode(text: &str) -> Result<CellRecord, JsonError> {
+    let doc = parse(text)?;
+    if doc.field("version")?.as_u64()? != VERSION {
+        return Err(JsonError("unknown record version".into()));
+    }
+    let total = usize::try_from(doc.field("total")?.as_u64()?)
+        .map_err(|_| JsonError("total out of range".into()))?;
+    let tests: Vec<TestJobOutcome> = doc
+        .field("tests")?
+        .as_array()?
+        .iter()
+        .map(outcome_from)
+        .collect::<Result<_, _>>()?;
+    if tests.len() > total {
+        return Err(JsonError("more outcomes than tests".into()));
+    }
+    Ok(CellRecord { total, tests })
+}

@@ -1,0 +1,495 @@
+//! A minimal, dependency-free JSON layer for on-disk cache records.
+//!
+//! The build container has no registry access, so `serde_json` is not
+//! available; this module implements exactly the subset the cell-record
+//! codec needs. Two deliberate deviations from a general-purpose library:
+//!
+//! * numbers keep their **lexeme** (`Value::Number(String)`) instead of
+//!   being parsed into `f64`, so `u64` values round-trip exactly and the
+//!   codec decides per field how to interpret digits;
+//! * the parser is hardened for *hostile* input — cache files can be
+//!   corrupted or truncated arbitrarily, and a bad entry must read as a
+//!   decode error (a cache miss), never a panic or a stack overflow
+//!   (nesting is depth-limited).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. Cache records nest a handful
+/// of levels; anything deeper is hostile input.
+const MAX_DEPTH: usize = 96;
+
+/// One JSON value. Objects use a [`BTreeMap`], which makes serialisation
+/// order deterministic (byte-identical files for equal records).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its lexeme (`"42"`, `"-1"`, `"6.5e3"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A decode problem: malformed JSON or a record with an unexpected shape.
+/// Carries a short description for diagnostics; the cache layer maps any
+/// decode error to a miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JsonError(pub(crate) String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Value {
+    /// Convenience constructor for an unsigned integer field.
+    pub(crate) fn u64(v: u64) -> Value {
+        Value::Number(v.to_string())
+    }
+
+    /// Convenience constructor for a string field.
+    pub(crate) fn str(v: impl Into<String>) -> Value {
+        Value::String(v.into())
+    }
+
+    /// The value as `u64`, if it is a plain unsigned integer number.
+    pub(crate) fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::Number(lexeme) => lexeme
+                .parse::<u64>()
+                .map_err(|_| JsonError(format!("expected unsigned integer, got {lexeme:?}"))),
+            other => err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    /// The value as `&str`.
+    pub(crate) fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => err(format!("expected string, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a slice of array elements.
+    pub(crate) fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an object map.
+    pub(crate) fn as_object(&self) -> Result<&BTreeMap<String, Value>, JsonError> {
+        match self {
+            Value::Object(map) => Ok(map),
+            other => err(format!("expected object, got {}", other.kind())),
+        }
+    }
+
+    /// A required object field.
+    pub(crate) fn field<'a>(&'a self, name: &str) -> Result<&'a Value, JsonError> {
+        self.as_object()?
+            .get(name)
+            .ok_or_else(|| JsonError(format!("missing field {name:?}")))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Serialises the value (compact, deterministic field order).
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(lexeme) => out.push_str(lexeme),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err("trailing bytes after document");
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => err(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            )),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return err("number without digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return err("decimal point without digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return err("exponent without digits");
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("non-utf8 number".into()))?;
+        Ok(Value::Number(lexeme.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError("non-utf8 \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            // Surrogates and other unassignable code points
+                            // become the replacement character: cache records
+                            // never contain them, so this only fires on
+                            // corrupt files (which decode as a miss anyway).
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 3; // +1 below
+                        }
+                        _ => return err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    // The ASCII fast path: record content is almost
+                    // entirely ASCII, and consuming it byte-wise keeps the
+                    // parser linear (validating the whole remaining input
+                    // per character would be quadratic in record size).
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Decode one multi-byte UTF-8 scalar: at most 4 bytes
+                    // need validating, never the rest of the document.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated")
+                        }
+                        Err(_) => return err("non-utf8 string content"),
+                    };
+                    let c = s.chars().next().ok_or_else(|| JsonError("empty".into()))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Encodes an `f64` as a JSON *string* whose content round-trips exactly:
+/// Rust's shortest-representation `Display` for finite values, and the
+/// spellings `f64::from_str` accepts for the specials (`inf`, `-inf`,
+/// `NaN`). JSON numbers cannot carry infinities, and execution bounds are
+/// routinely `±INF`.
+pub(crate) fn f64_value(v: f64) -> Value {
+    Value::String(format!("{v}"))
+}
+
+/// Decodes an [`f64_value`] string.
+pub(crate) fn f64_from(value: &Value) -> Result<f64, JsonError> {
+    let s = value.as_str()?;
+    s.parse::<f64>()
+        .map_err(|_| JsonError(format!("bad f64 {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_nested_document() {
+        let mut obj = BTreeMap::new();
+        obj.insert("n".to_owned(), Value::u64(42));
+        obj.insert("s".to_owned(), Value::str("a\"\\\nb\tc\u{1}"));
+        obj.insert(
+            "a".to_owned(),
+            Value::Array(vec![Value::Null, Value::Bool(true), f64_value(0.1)]),
+        );
+        let doc = Value::Object(obj);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn f64_strings_roundtrip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            0.1,
+            11.823529411764707,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e-300,
+            f64::MAX,
+        ] {
+            let round = f64_from(&f64_value(v)).unwrap();
+            assert_eq!(v.to_bits(), round.to_bits(), "{v}");
+        }
+        assert!(f64_from(&f64_value(f64::NAN)).unwrap().is_nan());
+    }
+
+    #[test]
+    fn hostile_inputs_error_without_panicking() {
+        for text in [
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\":}",
+            "nul",
+            "123abc",
+            "-",
+            "1.",
+            "1e",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"\\u12\"",
+            "\"\\q\"",
+            "[[[",
+            "{}{}",
+            "\u{0}",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail to parse");
+        }
+        // Deep nesting is rejected, not recursed into oblivion.
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn shape_accessors_report_mismatches() {
+        let v = parse("{\"n\": 3, \"s\": \"x\", \"a\": [1]}").unwrap();
+        assert_eq!(v.field("n").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(v.field("s").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.field("a").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.field("missing").is_err());
+        assert!(v.field("s").unwrap().as_u64().is_err());
+        assert!(v.field("n").unwrap().as_array().is_err());
+        assert!(parse("[-1]").unwrap().as_array().unwrap()[0]
+            .as_u64()
+            .is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! The content-addressed campaign cache: [`CampaignCache`], the in-memory
+//! [`MemoryCache`], the on-disk [`DirCache`], and the per-run
+//! [`CacheRuntime`] every executor consults.
+//!
+//! Regression campaigns re-run mostly unchanged suites on mostly unchanged
+//! stands; compositional-testing results (Kanso & Chebaro; Daca &
+//! Henzinger) justify skipping re-verification of a component whose
+//! interface contract is unchanged. A cell's contract is captured by its
+//! [`CellKey`] — stable structural hashes of suite, stand, DUT config and
+//! execution options (see [`comptest_core::hash`]) — and the cache maps
+//! that key to the cell's full per-test outcomes.
+//!
+//! Design points:
+//!
+//! * **Records are per cell, granularity-agnostic.** A [`CellRecord`]
+//!   holds per-test outcomes (full [`TestResult`]s including traces and
+//!   simulated step timing, so reports from a warm run carry the same
+//!   timing a cold run would). Because every test runs against a fresh
+//!   power-cycled DUT, a record written by a test-granular run serves a
+//!   cell-granular one and vice versa — the same independence argument
+//!   behind the engine's byte-identity guarantee.
+//! * **A record may be a prefix.** Cell-granular execution stops at the
+//!   first planning error, so tests after it are unknown; the record
+//!   stores the determined prefix. Test-granular lookups hit any stored
+//!   index; cell-granular lookups hit only when the record *determines*
+//!   the cell outcome (it ends in a planning error, or covers every test).
+//! * **Anything unreadable is a miss.** Corrupt, truncated or
+//!   wrong-version entries decode to an error and the cell simply
+//!   executes; only an unusable cache *directory* raises
+//!   [`CoreError::Cache`], at configuration time.
+//! * **Hits keep campaign semantics.** A hit resolves at the same
+//!   admission point where the job would have run: it emits
+//!   [`EngineEvent::CellCached`](crate::EngineEvent::CellCached) and a
+//!   cached failure trips the `stop_on_first_fail` latch exactly like an
+//!   executed one, so warm runs cancel the same deterministic suffix.
+//! * **`cache_verify` audits instead of skipping.** Every cell executes,
+//!   executed outcomes are compared to cached ones, and
+//!   [`CampaignHandle::join`](crate::CampaignHandle::join) raises
+//!   [`CoreError::CacheMismatch`] when any diverged — the paper-style
+//!   spot-check that the content addressing really covers every input.
+
+mod codec;
+mod json;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use comptest_core::campaign::{CampaignCell, CampaignEntry, TestJobOutcome};
+use comptest_core::error::CoreError;
+use comptest_core::exec::ExecOptions;
+use comptest_core::hash::{hash_device, hash_exec_options, hash_stand, hash_suite, CellKey};
+use comptest_core::{SuiteResult, TestResult};
+use comptest_stand::TestStand;
+
+/// The cached outcomes of one campaign cell: per-test outcomes in suite
+/// order, possibly truncated to the prefix a cell-granular run determined.
+///
+/// Invariant: `tests.len() <= total`, where `total` is the suite's test
+/// count at store time. A record *determines* the whole cell when it ends
+/// in a planning error or covers every test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Number of tests the suite had when the record was stored.
+    pub total: usize,
+    /// Per-test outcomes (full results including traces and sim timing),
+    /// a prefix of the suite's tests.
+    pub tests: Vec<TestJobOutcome>,
+}
+
+impl CellRecord {
+    /// The cached outcome of one test, if the record covers it. Each test
+    /// runs against a fresh power-cycled DUT, so any stored entry is valid
+    /// independently of the others.
+    pub fn test_outcome(&self, test: usize) -> Option<&TestJobOutcome> {
+        self.tests.get(test)
+    }
+
+    /// True when the record covers every test of the suite.
+    pub fn is_complete(&self) -> bool {
+        self.tests.len() == self.total
+    }
+
+    /// The whole-cell outcome, if the record determines it: the fold stops
+    /// at the first planning error (exactly where sequential cell
+    /// execution stops), otherwise every test must be present.
+    pub fn cell_outcome(&self, suite: &str, stand: &str) -> Option<CampaignCell> {
+        let determined = self.is_complete() || matches!(self.tests.last(), Some(Err(_)));
+        if !determined {
+            return None;
+        }
+        Some(fold_cell(
+            suite.to_owned(),
+            stand.to_owned(),
+            self.tests.iter().cloned(),
+        ))
+    }
+}
+
+/// Folds per-test outcomes into the canonical [`CampaignCell`]: results
+/// accumulate until the first planning error ends the cell as
+/// `Err(reason)` — byte-identical to sequential cell execution. The one
+/// fold shared by cache hits and every executor's cold path.
+pub(crate) fn fold_cell(
+    suite: String,
+    stand: String,
+    tests: impl IntoIterator<Item = TestJobOutcome>,
+) -> CampaignCell {
+    let mut results: Vec<TestResult> = Vec::new();
+    let mut planning_error = None;
+    for outcome in tests {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(reason) => {
+                planning_error = Some(reason);
+                break;
+            }
+        }
+    }
+    let outcome = match planning_error {
+        Some(reason) => Err(reason),
+        None => Ok(SuiteResult {
+            suite: suite.clone(),
+            results,
+        }),
+    };
+    CampaignCell {
+        suite,
+        stand,
+        outcome,
+    }
+}
+
+/// A content-addressed store of campaign cell outcomes.
+///
+/// Implementations must be safe to share across worker threads and should
+/// treat `store` as best-effort: a cache that cannot persist must not fail
+/// the campaign (the outcome it was asked to store is already merged).
+pub trait CampaignCache: fmt::Debug + Send + Sync {
+    /// Loads the record for a key; `None` for absent *or unreadable*
+    /// entries — a corrupt cache degrades to cold execution, never to an
+    /// error.
+    fn load(&self, key: &CellKey) -> Option<CellRecord>;
+
+    /// Stores (or replaces) the record for a key. Best-effort.
+    fn store(&self, key: &CellKey, record: &CellRecord);
+}
+
+/// An in-process cache: outcomes survive across launches of the same (or
+/// an equal) campaign within one process — replay loops, watch mode,
+/// benches.
+#[derive(Debug, Default)]
+pub struct MemoryCache {
+    cells: Mutex<HashMap<CellKey, CellRecord>>,
+}
+
+impl MemoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CampaignCache for MemoryCache {
+    fn load(&self, key: &CellKey) -> Option<CellRecord> {
+        self.cells.lock().expect("cache lock").get(key).cloned()
+    }
+
+    fn store(&self, key: &CellKey, record: &CellRecord) {
+        self.cells
+            .lock()
+            .expect("cache lock")
+            .insert(*key, record.clone());
+    }
+}
+
+/// An on-disk cache: one JSON file per cell key under a directory, shared
+/// across processes and campaign runs. Writes go through a temporary file
+/// in the same directory followed by an atomic rename, so concurrent
+/// runs and crashes never leave a half-written record — readers see the
+/// old record or the new one, and a torn file can only be a leftover
+/// `.tmp` no reader ever opens.
+#[derive(Debug)]
+pub struct DirCache {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl DirCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] when the directory cannot be created
+    /// or is not usable as a directory (e.g. the path names a file).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let dir = dir.into();
+        if dir.as_os_str().is_empty() {
+            return Err(CoreError::Cache {
+                message: "cache directory path is empty".into(),
+            });
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| CoreError::Cache {
+            message: format!("cannot create cache directory {}: {e}", dir.display()),
+        })?;
+        if !dir.is_dir() {
+            return Err(CoreError::Cache {
+                message: format!("{} is not a directory", dir.display()),
+            });
+        }
+        Ok(Self {
+            dir,
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// The record file path for a key.
+    pub fn entry_path(&self, key: &CellKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+}
+
+impl CampaignCache for DirCache {
+    fn load(&self, key: &CellKey) -> Option<CellRecord> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        codec::decode(&text).ok()
+    }
+
+    fn store(&self, key: &CellKey, record: &CellRecord) {
+        // Unique-per-writer temp name: process id + in-process counter.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let text = codec::encode(record);
+        // Best-effort: a cache that cannot persist (full disk, revoked
+        // permissions) degrades to a smaller cache, never a failed run —
+        // but whatever happens, the temp file must not survive (a
+        // partially written one would otherwise accumulate per attempt).
+        let ok = std::fs::write(&tmp, text).is_ok()
+            && std::fs::rename(&tmp, self.entry_path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Per-cell accumulator for test-granular runs: collects outcomes (cached
+/// and executed) until the cell is fully covered, then stores once.
+struct Collector {
+    outcomes: Vec<Option<TestJobOutcome>>,
+    filled: usize,
+    /// At least one outcome came from execution (a fully-warm cell is
+    /// never re-stored — 10k identical writes would erase the warm win).
+    executed: bool,
+    stored: bool,
+}
+
+/// The cache state of one launched campaign run, shared by every worker:
+/// pre-computed keys, pre-loaded records, per-cell store accumulators
+/// (test-granular runs only — cell-granular jobs report their whole cell
+/// at once and need no accumulation) and the `cache_verify` mismatch
+/// count.
+///
+/// Loading happens once on the launch thread (one I/O pass in
+/// deterministic cell order); workers only read records and accumulate
+/// outcomes.
+pub(crate) struct CacheRuntime {
+    cache: Arc<dyn CampaignCache>,
+    verify: bool,
+    keys: Vec<CellKey>,
+    records: Vec<Option<CellRecord>>,
+    /// Per-cell suite test count (the stored record's `total`).
+    totals: Vec<usize>,
+    /// Per-cell accumulators; empty for cell-granular runs.
+    collectors: Vec<Mutex<Collector>>,
+    mismatches: AtomicUsize,
+}
+
+impl CacheRuntime {
+    /// Computes keys (hashing each suite, stand and DUT config once, not
+    /// once per cell) and pre-loads every cell's record. `collect_tests`
+    /// is true for test-granular runs, which need the per-cell store
+    /// accumulators.
+    pub(crate) fn prepare(
+        cache: Arc<dyn CampaignCache>,
+        verify: bool,
+        collect_tests: bool,
+        entries: &[CampaignEntry<'_>],
+        stands: &[&TestStand],
+        exec: &ExecOptions,
+    ) -> Arc<Self> {
+        let exec_hash = hash_exec_options(exec);
+        let stand_hashes: Vec<u64> = stands.iter().map(|s| hash_stand(s)).collect();
+        let entry_hashes: Vec<(u64, u64)> = entries
+            .iter()
+            .map(|e| (hash_suite(e.suite), hash_device(&e.device_factory.build())))
+            .collect();
+        let mut keys = Vec::with_capacity(entries.len() * stands.len());
+        let mut records = Vec::with_capacity(keys.capacity());
+        let mut totals = Vec::with_capacity(keys.capacity());
+        let mut collectors = Vec::new();
+        for (entry, &(suite_hash, dut_config_hash)) in entries.iter().zip(&entry_hashes) {
+            for &stand_hash in &stand_hashes {
+                let key = CellKey {
+                    suite_hash,
+                    stand_hash,
+                    dut_config_hash,
+                    exec_hash,
+                };
+                records.push(cache.load(&key));
+                keys.push(key);
+                totals.push(entry.suite.tests.len());
+                if collect_tests {
+                    collectors.push(Mutex::new(Collector {
+                        outcomes: vec![None; entry.suite.tests.len()],
+                        filled: 0,
+                        executed: false,
+                        stored: false,
+                    }));
+                }
+            }
+        }
+        Arc::new(Self {
+            cache,
+            verify,
+            keys,
+            records,
+            totals,
+            collectors,
+            mismatches: AtomicUsize::new(0),
+        })
+    }
+
+    /// Test-granular admission: the cached outcome for one (cell, test)
+    /// job, or `None` (miss / verify mode — the job must execute). A hit
+    /// also feeds the cell's store accumulator so mixed warm/cold cells
+    /// can complete their record.
+    pub(crate) fn admit_test(&self, cell: usize, test: usize) -> Option<TestJobOutcome> {
+        if self.verify {
+            return None;
+        }
+        let record = self.records[cell].as_ref()?;
+        let outcome = record.test_outcome(test)?.clone();
+        // A complete record can never need re-storing, so fully-warm cells
+        // skip the accumulator entirely (a 10k-test warm run would
+        // otherwise clone every outcome twice for nothing); partial
+        // records keep feeding it so mixed warm/cold cells can finish
+        // their record.
+        if !record.is_complete() {
+            self.note(cell, test, &outcome, false);
+        }
+        Some(outcome)
+    }
+
+    /// Cell-granular admission: the determined whole-cell outcome, or
+    /// `None` (miss / undetermined record / verify mode).
+    pub(crate) fn admit_cell(&self, cell: usize, suite: &str, stand: &str) -> Option<CampaignCell> {
+        if self.verify {
+            return None;
+        }
+        self.records[cell].as_ref()?.cell_outcome(suite, stand)
+    }
+
+    /// Reports one *executed* test outcome: feeds the store accumulator
+    /// and, in verify mode, compares against the cached outcome.
+    pub(crate) fn finish_test(&self, cell: usize, test: usize, outcome: &TestJobOutcome) {
+        if self.verify {
+            if let Some(cached) = self.records[cell]
+                .as_ref()
+                .and_then(|r| r.test_outcome(test))
+            {
+                if cached != outcome {
+                    self.mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.note(cell, test, outcome, true);
+    }
+
+    /// Reports one *executed* cell's determined per-test outcomes: stores
+    /// the record and, in verify mode, compares the folded cell outcome
+    /// against the cached one.
+    pub(crate) fn finish_cell(
+        &self,
+        cell: usize,
+        suite: &str,
+        stand: &str,
+        tests: &[TestJobOutcome],
+    ) {
+        if self.verify {
+            if let Some(cached) = self.records[cell]
+                .as_ref()
+                .and_then(|r| r.cell_outcome(suite, stand))
+            {
+                let executed = fold_cell(suite.to_owned(), stand.to_owned(), tests.to_vec());
+                if cached != executed {
+                    self.mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.cache.store(
+            &self.keys[cell],
+            &CellRecord {
+                total: self.totals[cell],
+                tests: tests.to_vec(),
+            },
+        );
+    }
+
+    /// Number of cached-vs-executed divergences seen in verify mode.
+    pub(crate) fn mismatches(&self) -> usize {
+        self.mismatches.load(Ordering::Relaxed)
+    }
+
+    /// Raises [`CoreError::CacheMismatch`] if verify mode saw divergences
+    /// — called by every executor's join.
+    pub(crate) fn check_verified(&self) -> Result<(), CoreError> {
+        match self.mismatches() {
+            0 => Ok(()),
+            mismatches => Err(CoreError::CacheMismatch { mismatches }),
+        }
+    }
+
+    fn note(&self, cell: usize, test: usize, outcome: &TestJobOutcome, executed: bool) {
+        let mut c = self.collectors[cell].lock().expect("collector");
+        if c.outcomes[test].is_none() {
+            c.outcomes[test] = Some(outcome.clone());
+            c.filled += 1;
+        }
+        c.executed |= executed;
+        if c.filled == c.outcomes.len() && c.executed && !c.stored {
+            c.stored = true;
+            let tests: Vec<TestJobOutcome> = c
+                .outcomes
+                .iter()
+                .map(|o| o.clone().expect("filled"))
+                .collect();
+            let record = CellRecord {
+                total: tests.len(),
+                tests,
+            };
+            drop(c);
+            self.cache.store(&self.keys[cell], &record);
+        }
+    }
+}
+
+impl fmt::Debug for CacheRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheRuntime")
+            .field("verify", &self.verify)
+            .field("cells", &self.keys.len())
+            .field(
+                "preloaded",
+                &self.records.iter().filter(|r| r.is_some()).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_core::Trace;
+
+    fn result(test: &str) -> TestResult {
+        TestResult {
+            test: test.into(),
+            stand: "HIL-A".into(),
+            dut: "interior_light".into(),
+            steps: vec![comptest_core::StepResult {
+                nr: 0,
+                t_end: comptest_model::SimTime::from_millis(500),
+                checks: vec![],
+            }],
+            error: None,
+            trace: Trace::new(),
+        }
+    }
+
+    fn key(n: u64) -> CellKey {
+        CellKey {
+            suite_hash: n,
+            stand_hash: n ^ 1,
+            dut_config_hash: n ^ 2,
+            exec_hash: n ^ 3,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_the_codec() {
+        let record = CellRecord {
+            total: 3,
+            tests: vec![Ok(result("a")), Err("no resource supports get_u".into())],
+        };
+        let decoded = codec::decode(&codec::encode(&record)).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn partial_record_determines_cells_only_through_an_error() {
+        let with_error = CellRecord {
+            total: 3,
+            tests: vec![Ok(result("a")), Err("boom".into())],
+        };
+        assert!(with_error.cell_outcome("s", "x").is_some());
+        assert_eq!(with_error.test_outcome(0), Some(&Ok(result("a"))));
+        assert!(with_error.test_outcome(2).is_none());
+
+        let undetermined = CellRecord {
+            total: 3,
+            tests: vec![Ok(result("a")), Ok(result("b"))],
+        };
+        assert!(
+            undetermined.cell_outcome("s", "x").is_none(),
+            "missing tail"
+        );
+        assert!(
+            undetermined.test_outcome(1).is_some(),
+            "per-test still hits"
+        );
+
+        let complete = CellRecord {
+            total: 2,
+            tests: vec![Ok(result("a")), Ok(result("b"))],
+        };
+        let cell = complete.cell_outcome("s", "x").unwrap();
+        assert_eq!(cell.outcome.as_ref().unwrap().results.len(), 2);
+    }
+
+    #[test]
+    fn memory_cache_stores_and_loads() {
+        let cache = MemoryCache::new();
+        assert!(cache.is_empty());
+        let record = CellRecord {
+            total: 1,
+            tests: vec![Ok(result("a"))],
+        };
+        assert!(cache.load(&key(1)).is_none());
+        cache.store(&key(1), &record);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.load(&key(1)), Some(record));
+        assert!(cache.load(&key(2)).is_none());
+    }
+
+    #[test]
+    fn dir_cache_roundtrips_and_treats_corruption_as_a_miss() {
+        let dir = std::env::temp_dir().join(format!("comptest-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DirCache::open(&dir).unwrap();
+        let record = CellRecord {
+            total: 1,
+            tests: vec![Ok(result("a"))],
+        };
+        cache.store(&key(7), &record);
+        assert_eq!(cache.load(&key(7)), Some(record.clone()));
+
+        // Truncate the entry: unreadable -> miss, not an error.
+        let path = cache.entry_path(&key(7));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key(7)), None);
+
+        // Arbitrary garbage, wrong version, non-JSON: all misses.
+        std::fs::write(&path, "not json at all \u{0}\u{1}").unwrap();
+        assert_eq!(cache.load(&key(7)), None);
+        std::fs::write(&path, "{\"version\":999,\"total\":1,\"tests\":[]}").unwrap();
+        assert_eq!(cache.load(&key(7)), None);
+
+        // Reopening an existing directory is fine; a file path is not.
+        assert!(DirCache::open(&dir).is_ok());
+        let file = dir.join("plain-file");
+        std::fs::write(&file, "x").unwrap();
+        assert!(matches!(
+            DirCache::open(&file),
+            Err(CoreError::Cache { .. })
+        ));
+        assert!(matches!(DirCache::open(""), Err(CoreError::Cache { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

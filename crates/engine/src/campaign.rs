@@ -3,13 +3,15 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use comptest_core::campaign::{validate_campaign, CampaignEntry, CampaignResult};
 use comptest_core::error::CoreError;
 use comptest_core::exec::ExecOptions;
 use comptest_stand::TestStand;
 
-use crate::executor::CampaignExecutor;
+use crate::cache::CampaignCache;
+use crate::executor::{CampaignExecutor, PlanStore, ScriptStore};
 use crate::handle::{CampaignHandle, CancelToken};
 
 /// Scheduling granularity of a campaign.
@@ -108,6 +110,25 @@ pub struct Campaign<'a, 'b> {
     /// campaign. `stop_on_first_fail` trips a *per-run* latch instead, so
     /// one failed run never poisons a relaunch.
     pub cancel: CancelToken,
+    /// Optional content-addressed campaign cache, consulted by every
+    /// executor at job admission and fed on completion (see
+    /// [`crate::cache`]). `None` (the default) runs everything cold.
+    pub cache: Option<Arc<dyn CampaignCache>>,
+    /// Audit mode for the cache: when `true`, cache hits never
+    /// short-circuit — every cell executes anyway and
+    /// [`CampaignHandle::join`] raises
+    /// [`CoreError::CacheMismatch`] if any cached outcome diverged from
+    /// the fresh execution.
+    pub cache_verify: bool,
+    /// Per-campaign plan store: one lazily resolved execution plan per
+    /// (entry, test, stand) triple, shared across executors *and* across
+    /// launches of this campaign value — relaunching (replay loops, warm
+    /// cache runs, benches) never re-plans at admission.
+    pub(crate) plans: PlanStore,
+    /// Per-campaign script store: every entry's scripts are generated once
+    /// (the codegen precheck of the first launch) and reused by later
+    /// launches of this campaign value.
+    pub(crate) scripts: ScriptStore,
 }
 
 impl<'a, 'b> Campaign<'a, 'b> {
@@ -121,6 +142,10 @@ impl<'a, 'b> Campaign<'a, 'b> {
             granularity: Granularity::default(),
             stop_on_first_fail: false,
             cancel: CancelToken::new(),
+            cache: None,
+            cache_verify: false,
+            plans: PlanStore::default(),
+            scripts: ScriptStore::default(),
         }
     }
 
@@ -147,6 +172,26 @@ impl<'a, 'b> Campaign<'a, 'b> {
     /// started, in this and any later launch of the campaign.
     pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Installs a content-addressed campaign cache (builder style): every
+    /// executor consults it at job admission (hits emit
+    /// [`EngineEvent::CellCached`](crate::EngineEvent::CellCached) and
+    /// merge byte-identical to a cold run) and stores executed outcomes on
+    /// completion. See [`crate::cache`] for the key and record semantics.
+    pub fn cache(mut self, cache: Arc<dyn CampaignCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables cache audit mode (builder style): cached cells re-execute
+    /// anyway, executed outcomes are compared against the cached ones, and
+    /// [`CampaignHandle::join`] raises [`CoreError::CacheMismatch`] on any
+    /// divergence — the paper-style spot check that the content addressing
+    /// covers every input. No effect without [`Campaign::cache`].
+    pub fn cache_verify(mut self, verify: bool) -> Self {
+        self.cache_verify = verify;
         self
     }
 

@@ -74,6 +74,24 @@ pub enum EngineEvent {
         /// Wall-clock execution time of this test on its worker.
         duration: Duration,
     },
+    /// A job was served from the campaign cache instead of executing —
+    /// a whole suite×stand cell at cell granularity (`test: None`), a
+    /// single test at test granularity (`test: Some(index)`). Replaces the
+    /// started/finished pair for that job; a cached failure still trips
+    /// `stop_on_first_fail` exactly like an executed one.
+    CellCached {
+        /// Deterministic cell index.
+        cell: usize,
+        /// Test index within the suite for test-granular hits; `None`
+        /// when the whole cell was served at once.
+        test: Option<usize>,
+        /// Suite name.
+        suite: String,
+        /// Stand name.
+        stand: String,
+        /// The short status line of the cached outcome.
+        status: String,
+    },
     /// The campaign is complete.
     ///
     /// Only the deprecated shim entry points emit this terminal marker; in

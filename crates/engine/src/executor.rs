@@ -1,22 +1,30 @@
 //! Pluggable campaign executors: the [`CampaignExecutor`] trait, the
 //! in-order [`SerialExecutor`] reference and the [`PooledExecutor`] backed
 //! by a persistent [`WorkerPool`].
+//!
+//! All executors — serial, pooled and the async event loop — run the same
+//! *packaged* jobs produced by [`Prepared`]: scripts generated once per
+//! entry, stands cloned once, execution plans resolved lazily **once per
+//! (entry, test, stand) triple** through shared [`PlanSlot`]s that live on
+//! the [`Campaign`] value (so relaunching the same campaign — replay
+//! loops, watch mode, warm cache runs — never re-plans), and the campaign
+//! cache consulted at the exact admission point where a job would start.
 
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use comptest_core::campaign::{
-    execute_script_job, merge_test_outcomes, plan_cells, plan_test_jobs, CampaignCell,
-    CampaignEntry, CampaignResult, TestJobOutcome,
+    merge_test_outcomes, plan_cells, plan_script, plan_test_jobs, CampaignCell, CampaignEntry,
+    CampaignResult, TestJobOutcome,
 };
 use comptest_core::error::CoreError;
 use comptest_core::exec::ExecOptions;
-use comptest_core::SuiteResult;
 use comptest_dut::Device;
 use comptest_script::TestScript;
-use comptest_stand::TestStand;
+use comptest_stand::{ExecutionPlan, TestStand};
 
+use crate::cache::{fold_cell, CacheRuntime};
 use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
@@ -24,8 +32,9 @@ use crate::pool::WorkerPool;
 
 /// A strategy for executing an already-validated [`Campaign`].
 ///
-/// The contract every implementation (and the planned `AsyncExecutor`)
-/// must keep, so executors stay swappable without touching callers:
+/// The contract every implementation must keep, so executors stay
+/// swappable without touching callers (pinned by the
+/// `executor_conformance` integration suite):
 ///
 /// * jobs come from the deterministic plans ([`plan_cells`] /
 ///   [`plan_test_jobs`]) and outcomes merge back in that canonical order,
@@ -39,7 +48,12 @@ use crate::pool::WorkerPool;
 ///   always finishes — yielding the same prefix-truncation semantics at
 ///   every worker count;
 /// * events stream per cell at [`Granularity::Cell`] and per test at
-///   [`Granularity::Test`], and the stream ends when the last job reports.
+///   [`Granularity::Test`], and the stream ends when the last job reports;
+/// * a configured campaign cache is consulted at the same admission point:
+///   a hit emits [`EngineEvent::CellCached`] instead of the
+///   started/finished pair, merges byte-identical to the executed outcome,
+///   and a cached failure trips the `stop_on_first_fail` latch exactly
+///   like an executed one.
 ///
 /// [`CancelToken`]: crate::CancelToken
 pub trait CampaignExecutor {
@@ -60,6 +74,289 @@ impl<E: CampaignExecutor + ?Sized> CampaignExecutor for &E {
     }
 }
 
+/// One lazily planned (script, stand) pair: the plan is computed on first
+/// use and shared by every job of the pair — and, because the slots live
+/// on the [`Campaign`] value, by every *launch* of that campaign. The
+/// async executor therefore no longer re-plans at admission when a
+/// campaign is relaunched (replay, benches, warm cache verification), and
+/// a fully cached run never plans at all.
+#[derive(Debug, Default)]
+pub(crate) struct PlanSlot {
+    plan: OnceLock<Result<Arc<ExecutionPlan>, String>>,
+}
+
+impl PlanSlot {
+    /// The plan for `script` on `stand`, computed at most once per slot.
+    pub(crate) fn resolve(
+        &self,
+        script: &TestScript,
+        stand: &TestStand,
+    ) -> Result<Arc<ExecutionPlan>, String> {
+        self.plan
+            .get_or_init(|| plan_script(script, stand).map(Arc::new))
+            .clone()
+    }
+}
+
+/// The per-campaign plan store: one [`PlanSlot`] per (entry, test, stand)
+/// triple, allocated on first launch and reused by later launches.
+#[derive(Debug, Default)]
+pub(crate) struct PlanStore {
+    slots: OnceLock<Vec<Arc<PlanSlot>>>,
+}
+
+impl PlanStore {
+    fn slots(&self, count: usize) -> &[Arc<PlanSlot>] {
+        let slots = self
+            .slots
+            .get_or_init(|| (0..count).map(|_| Arc::new(PlanSlot::default())).collect());
+        debug_assert_eq!(slots.len(), count, "campaign shape changed under PlanStore");
+        slots
+    }
+}
+
+/// The per-campaign script store: all entries' generated scripts, produced
+/// once on the first launch (where generation doubles as the codegen
+/// precheck) and `Arc`-shared with every later launch — a campaign's
+/// entries are immutable for its lifetime, so regeneration could only
+/// ever reproduce the same scripts. A codegen *error* is cached the same
+/// way: every launch of an invalid campaign reports it.
+#[derive(Debug, Default)]
+pub(crate) struct ScriptStore {
+    scripts: OnceLock<Result<Vec<Vec<Arc<TestScript>>>, CoreError>>,
+}
+
+impl ScriptStore {
+    fn get_or_generate(
+        &self,
+        entries: &[CampaignEntry<'_>],
+    ) -> Result<Vec<Vec<Arc<TestScript>>>, CoreError> {
+        self.scripts.get_or_init(|| shared_scripts(entries)).clone()
+    }
+}
+
+/// Everything a launch shares across jobs, prepared once on the launch
+/// thread: generated scripts (the codegen precheck), owned stands, the
+/// campaign's plan slots, and the cache runtime with pre-loaded records.
+pub(crate) struct Prepared {
+    scripts: Vec<Vec<Arc<TestScript>>>,
+    stands: Vec<Arc<TestStand>>,
+    slots: Vec<Arc<PlanSlot>>,
+    /// Cumulative test counts: `offsets[e]` = tests of entries `0..e`.
+    offsets: Vec<usize>,
+    n_stands: usize,
+    pub(crate) cache: Option<Arc<CacheRuntime>>,
+}
+
+impl Prepared {
+    /// Generates all scripts (surfacing the first codegen error before any
+    /// job runs), clones stands once, binds the campaign's plan slots and
+    /// pre-loads cache records in deterministic cell order.
+    pub(crate) fn new(campaign: &Campaign<'_, '_>) -> Result<Self, CoreError> {
+        let scripts = campaign.scripts.get_or_generate(campaign.entries)?;
+        let stands: Vec<Arc<TestStand>> = campaign
+            .stands
+            .iter()
+            .map(|s| Arc::new((*s).clone()))
+            .collect();
+        let mut offsets = Vec::with_capacity(campaign.entries.len() + 1);
+        let mut total = 0usize;
+        for entry in campaign.entries {
+            offsets.push(total);
+            total += entry.suite.tests.len();
+        }
+        offsets.push(total);
+        let slots = campaign.plans.slots(total * campaign.stands.len()).to_vec();
+        let cache = campaign.cache.as_ref().map(|cache| {
+            CacheRuntime::prepare(
+                Arc::clone(cache),
+                campaign.cache_verify,
+                campaign.granularity == Granularity::Test,
+                campaign.entries,
+                campaign.stands,
+                &campaign.exec,
+            )
+        });
+        Ok(Self {
+            scripts,
+            stands,
+            slots,
+            offsets,
+            n_stands: campaign.stands.len(),
+            cache,
+        })
+    }
+
+    fn slot(&self, entry: usize, test: usize, stand: usize) -> Arc<PlanSlot> {
+        Arc::clone(&self.slots[(self.offsets[entry] + test) * self.n_stands + stand])
+    }
+
+    /// Packages the deterministic test-job list: scripts and stands are
+    /// `Arc`-shared, plan slots are shared per (entry, test, stand), and
+    /// every job gets its own freshly built device (the serial pipeline
+    /// power-cycles the DUT per test; building up front keeps worker tasks
+    /// `'static`).
+    pub(crate) fn package_jobs(&self, entries: &[CampaignEntry<'_>]) -> Vec<PackagedJob> {
+        let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
+        plan_test_jobs(&counts, self.n_stands)
+            .into_iter()
+            .map(|j| PackagedJob {
+                job: j.job,
+                cell: j.cell,
+                test: j.test,
+                suite: entries[j.entry].suite.name.clone(),
+                stand_name: self.stands[j.stand].name().to_owned(),
+                name: entries[j.entry].suite.tests[j.test].name.clone(),
+                script: Arc::clone(&self.scripts[j.entry][j.test]),
+                stand: Arc::clone(&self.stands[j.stand]),
+                plan: self.slot(j.entry, j.test, j.stand),
+                device: entries[j.entry].device_factory.build(),
+            })
+            .collect()
+    }
+
+    /// Packages the deterministic cell list for cell-granular runs.
+    pub(crate) fn package_cells(&self, entries: &[CampaignEntry<'_>]) -> Vec<PackagedCell> {
+        plan_cells(entries.len(), self.n_stands)
+            .into_iter()
+            .map(|j| PackagedCell {
+                cell: j.cell,
+                suite: entries[j.entry].suite.name.clone(),
+                stand_name: self.stands[j.stand].name().to_owned(),
+                stand: Arc::clone(&self.stands[j.stand]),
+                tests: self.scripts[j.entry]
+                    .iter()
+                    .enumerate()
+                    .map(|(t, script)| PackagedTest {
+                        script: Arc::clone(script),
+                        plan: self.slot(j.entry, t, j.stand),
+                        device: entries[j.entry].device_factory.build(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// All scripts of all entries, generated up front (the codegen precheck)
+/// and `Arc`-shared across jobs.
+fn shared_scripts(entries: &[CampaignEntry<'_>]) -> Result<Vec<Vec<Arc<TestScript>>>, CoreError> {
+    entries
+        .iter()
+        .map(|e| {
+            Ok(comptest_script::generate_all(e.suite)?
+                .into_iter()
+                .map(Arc::new)
+                .collect())
+        })
+        .collect()
+}
+
+/// The job-side context every worker shares: execution options,
+/// cancellation state, the stop-on-first-fail policy and the cache
+/// runtime. Cloning is cheap (`Arc`s and plain data).
+#[derive(Clone)]
+pub(crate) struct JobCtx {
+    pub(crate) exec: ExecOptions,
+    pub(crate) cancel: RunCancel,
+    pub(crate) stop: bool,
+    pub(crate) cache: Option<Arc<CacheRuntime>>,
+}
+
+impl JobCtx {
+    pub(crate) fn new(campaign: &Campaign<'_, '_>, prepared: &Prepared) -> Self {
+        Self {
+            exec: campaign.exec,
+            cancel: RunCancel::new(campaign.cancel.clone()),
+            stop: campaign.stop_on_first_fail,
+            cache: prepared.cache.clone(),
+        }
+    }
+
+    /// Serves one test-granular job from the cache if possible: emits
+    /// [`EngineEvent::CellCached`], trips the stop latch on a cached
+    /// failure and reports the outcome. Returns `true` when the job was
+    /// served — the one hit sequence shared by the blocking and async
+    /// admission paths, so hit semantics cannot drift between executors.
+    pub(crate) fn try_cached_test(
+        &self,
+        job: &PackagedJob,
+        events: &Sender<EngineEvent>,
+        results: &Sender<JobMsg<TestJobOutcome>>,
+    ) -> bool {
+        let Some(runtime) = &self.cache else {
+            return false;
+        };
+        let Some(outcome) = runtime.admit_test(job.cell, job.test) else {
+            return false;
+        };
+        let (status, failed) = outcome_status(&outcome);
+        emit(
+            events,
+            EngineEvent::CellCached {
+                cell: job.cell,
+                test: Some(job.test),
+                suite: job.suite.clone(),
+                stand: job.stand_name.clone(),
+                status,
+            },
+        );
+        if failed && self.stop {
+            self.cancel.trip();
+        }
+        let _ = results.send(JobMsg::Done(job.job, outcome));
+        true
+    }
+
+    /// Serves one whole-cell job from the cache if possible — the
+    /// cell-granular counterpart of [`JobCtx::try_cached_test`].
+    pub(crate) fn try_cached_cell(
+        &self,
+        cell: &PackagedCell,
+        events: &Sender<EngineEvent>,
+        results: &Sender<JobMsg<CampaignCell>>,
+    ) -> bool {
+        let Some(runtime) = &self.cache else {
+            return false;
+        };
+        let Some(cached) = runtime.admit_cell(cell.cell, &cell.suite, &cell.stand_name) else {
+            return false;
+        };
+        emit(
+            events,
+            EngineEvent::CellCached {
+                cell: cell.cell,
+                test: None,
+                suite: cached.suite.clone(),
+                stand: cached.stand.clone(),
+                status: cached.status(),
+            },
+        );
+        if !cached.passed() && self.stop {
+            self.cancel.trip();
+        }
+        let _ = results.send(JobMsg::Done(cell.cell, cached));
+        true
+    }
+}
+
+/// Resolves the shared plan slot and executes against the device — the
+/// single plan-then-run step every blocking execution path goes through
+/// (the async executor resolves the same slots but parks a [`TestRun`]
+/// instead of driving to completion).
+pub(crate) fn plan_and_execute(
+    slot: &PlanSlot,
+    script: &TestScript,
+    stand: &TestStand,
+    device: &mut Device,
+    exec: &ExecOptions,
+) -> TestJobOutcome {
+    match slot.resolve(script, stand) {
+        Ok(plan) => Ok(comptest_core::execute(&plan, device, exec)),
+        Err(reason) => Err(reason),
+    }
+}
+
 /// Runs every job in plan order on the calling thread — the reference
 /// executor for determinism checks, byte-identical to the historical
 /// serial `run_campaign`.
@@ -74,140 +371,59 @@ pub struct SerialExecutor;
 
 impl CampaignExecutor for SerialExecutor {
     fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
-        let cancel = RunCancel::new(campaign.cancel.clone());
-        let (tx, rx) = mpsc::channel();
-        let outcome = match campaign.granularity {
-            Granularity::Cell => serial_cells(campaign, &cancel, &tx),
-            Granularity::Test => serial_tests(campaign, &cancel, &tx),
-        }?;
-        drop(tx);
-        Ok(CampaignHandle::new(
-            EventStream::new(rx),
-            cancel.run_token(),
-            Box::new(move || Ok(outcome)),
-        ))
-    }
-}
-
-/// Serial cell-granular execution: one cell at a time, in plan order, from
-/// scripts generated exactly once per entry.
-fn serial_cells(
-    campaign: &Campaign<'_, '_>,
-    cancel: &RunCancel,
-    events: &Sender<EngineEvent>,
-) -> Result<CampaignOutcome, CoreError> {
-    // Generating all scripts up front is the codegen precheck.
-    let scripts = shared_scripts(campaign.entries)?;
-    let mut result = CampaignResult::default();
-    let mut cancelled = 0usize;
-    for job in plan_cells(campaign.entries.len(), campaign.stands.len()) {
-        if cancel.is_cancelled() {
-            cancelled += 1;
-            continue;
-        }
-        let entry = &campaign.entries[job.entry];
-        let stand = campaign.stands[job.stand];
-        emit(
-            events,
-            EngineEvent::JobStarted {
-                cell: job.cell,
-                suite: entry.suite.name.clone(),
-                stand: stand.name().to_owned(),
-            },
-        );
-        let cell = execute_cell(
-            entry.suite.name.clone(),
-            stand.name().to_owned(),
-            stand,
-            scripts[job.entry]
-                .iter()
-                .map(|s| (Arc::clone(s), entry.device_factory.build())),
-            &campaign.exec,
-        );
-        let failed = !cell.passed();
-        emit(
-            events,
-            EngineEvent::JobFinished {
-                cell: job.cell,
-                suite: cell.suite.clone(),
-                stand: cell.stand.clone(),
-                status: cell.status(),
-                failed,
-            },
-        );
-        result.cells.push(cell);
-        if failed && campaign.stop_on_first_fail {
-            cancel.trip();
+        let prepared = Prepared::new(campaign)?;
+        let ctx = JobCtx::new(campaign, &prepared);
+        let run_token = ctx.cancel.run_token();
+        match campaign.granularity {
+            Granularity::Cell => {
+                let (events_tx, events_rx) = mpsc::channel();
+                let (results_tx, results_rx) = mpsc::channel();
+                let cells = prepared.package_cells(campaign.entries);
+                let n_cells = cells.len();
+                for cell in cells {
+                    run_packaged_cell(cell, &ctx, &events_tx, &results_tx);
+                }
+                drop(events_tx);
+                drop(results_tx);
+                let cache = ctx.cache;
+                Ok(CampaignHandle::new(
+                    EventStream::new(events_rx),
+                    run_token,
+                    Box::new(move || {
+                        let (slots, acknowledged) = collect(results_rx, n_cells);
+                        let outcome = fold_cell_slots(slots, acknowledged)?;
+                        check_verified(&cache)?;
+                        Ok(outcome)
+                    }),
+                ))
+            }
+            Granularity::Test => {
+                let (events_tx, events_rx) = mpsc::channel();
+                let (results_tx, results_rx) = mpsc::channel();
+                let jobs = prepared.package_jobs(campaign.entries);
+                let n_jobs = jobs.len();
+                for job in jobs {
+                    run_packaged_test(job, &ctx, &events_tx, &results_tx);
+                }
+                drop(events_tx);
+                drop(results_tx);
+                let entries = campaign.entries;
+                let stands = campaign.stands;
+                let cache = ctx.cache;
+                Ok(CampaignHandle::new(
+                    EventStream::new(events_rx),
+                    run_token,
+                    Box::new(move || {
+                        let (slots, acknowledged) = collect(results_rx, n_jobs);
+                        let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
+                        check_lost(cancelled, acknowledged)?;
+                        check_verified(&cache)?;
+                        Ok(CampaignOutcome { result, cancelled })
+                    }),
+                ))
+            }
         }
     }
-    Ok(CampaignOutcome { result, cancelled })
-}
-
-/// Serial test-granular execution: one generated script per test, a fresh
-/// device per job, merged through [`merge_test_outcomes`].
-fn serial_tests(
-    campaign: &Campaign<'_, '_>,
-    cancel: &RunCancel,
-    events: &Sender<EngineEvent>,
-) -> Result<CampaignOutcome, CoreError> {
-    let scripts: Vec<Vec<TestScript>> = campaign
-        .entries
-        .iter()
-        .map(|e| Ok(comptest_script::generate_all(e.suite)?))
-        .collect::<Result<_, CoreError>>()?;
-    let counts: Vec<usize> = campaign
-        .entries
-        .iter()
-        .map(|e| e.suite.tests.len())
-        .collect();
-    let jobs = plan_test_jobs(&counts, campaign.stands.len());
-    let mut slots: Vec<Option<TestJobOutcome>> = (0..jobs.len()).map(|_| None).collect();
-    for job in &jobs {
-        if cancel.is_cancelled() {
-            continue;
-        }
-        let entry = &campaign.entries[job.entry];
-        let stand = campaign.stands[job.stand];
-        let name = entry.suite.tests[job.test].name.clone();
-        emit(
-            events,
-            EngineEvent::TestStarted {
-                cell: job.cell,
-                test: job.test,
-                suite: entry.suite.name.clone(),
-                stand: stand.name().to_owned(),
-                name: name.clone(),
-            },
-        );
-        let started = Instant::now();
-        let mut device = entry.device_factory.build();
-        let outcome = execute_script_job(
-            &scripts[job.entry][job.test],
-            stand,
-            &mut device,
-            &campaign.exec,
-        );
-        let (status, failed) = outcome_status(&outcome);
-        emit(
-            events,
-            EngineEvent::TestFinished {
-                cell: job.cell,
-                test: job.test,
-                suite: entry.suite.name.clone(),
-                stand: stand.name().to_owned(),
-                name,
-                status,
-                failed,
-                duration: started.elapsed(),
-            },
-        );
-        if failed && campaign.stop_on_first_fail {
-            cancel.trip();
-        }
-        slots[job.job] = Some(outcome);
-    }
-    let (result, cancelled) = merge_test_outcomes(campaign.entries, campaign.stands, slots);
-    Ok(CampaignOutcome { result, cancelled })
 }
 
 /// Short status line and failed flag of one test outcome — one
@@ -224,39 +440,11 @@ pub(crate) fn outcome_status(outcome: &TestJobOutcome) -> (String, bool) {
     (status, failed)
 }
 
-/// Executes one cell: the suite's tests in order, each against its own
-/// fresh device, stopping at the first planning error — the historical
-/// `run_cell` outcome byte for byte, from pre-generated scripts. The one
-/// cell-execution implementation shared by the serial and pooled paths.
-fn execute_cell(
-    suite: String,
-    stand_name: String,
-    stand: &TestStand,
-    tests: impl IntoIterator<Item = (Arc<TestScript>, Device)>,
-    exec: &ExecOptions,
-) -> CampaignCell {
-    let mut results = Vec::new();
-    let mut planning_error = None;
-    for (script, mut device) in tests {
-        match execute_script_job(&script, stand, &mut device, exec) {
-            Ok(result) => results.push(result),
-            Err(reason) => {
-                planning_error = Some(reason);
-                break;
-            }
-        }
-    }
-    let outcome = match planning_error {
-        Some(reason) => Err(reason),
-        None => Ok(SuiteResult {
-            suite: suite.clone(),
-            results,
-        }),
-    };
-    CampaignCell {
-        suite,
-        stand: stand_name,
-        outcome,
+/// Raises the verify-mode mismatch error, if a cache runtime is active.
+pub(crate) fn check_verified(cache: &Option<Arc<CacheRuntime>>) -> Result<(), CoreError> {
+    match cache {
+        Some(runtime) => runtime.check_verified(),
+        None => Ok(()),
     }
 }
 
@@ -378,109 +566,72 @@ pub(crate) struct PackagedJob {
     pub(crate) name: String,
     pub(crate) script: Arc<TestScript>,
     pub(crate) stand: Arc<TestStand>,
+    pub(crate) plan: Arc<PlanSlot>,
     pub(crate) device: Device,
 }
 
-/// Packages the deterministic test-job list: scripts are generated once per
-/// (entry, test) and shared across stands, stands are cloned once, and
-/// every job gets its own freshly built device (the serial pipeline
-/// power-cycles the DUT per test; building up front keeps worker tasks
-/// `'static`). The trade-off is deliberate: all devices are live until
-/// their jobs run, which is cheap for simulated ECUs — revisit if device
-/// construction ever becomes heavy.
-pub(crate) fn package_jobs(
-    entries: &[CampaignEntry<'_>],
-    stands: &[&TestStand],
-) -> Result<Vec<PackagedJob>, CoreError> {
-    let scripts = shared_scripts(entries)?;
-    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
-
-    let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
-    Ok(plan_test_jobs(&counts, stands.len())
-        .into_iter()
-        .map(|j| PackagedJob {
-            job: j.job,
-            cell: j.cell,
-            test: j.test,
-            suite: entries[j.entry].suite.name.clone(),
-            stand_name: stands[j.stand].name().to_owned(),
-            name: entries[j.entry].suite.tests[j.test].name.clone(),
-            script: Arc::clone(&scripts[j.entry][j.test]),
-            stand: Arc::clone(&stands_owned[j.stand]),
-            device: entries[j.entry].device_factory.build(),
-        })
-        .collect())
+impl PackagedJob {
+    /// Resolves the shared plan slot for this job's (script, stand) pair.
+    pub(crate) fn resolve_plan(&self) -> Result<Arc<ExecutionPlan>, String> {
+        self.plan.resolve(&self.script, &self.stand)
+    }
 }
 
-/// All scripts of all entries, generated up front (the codegen precheck)
-/// and `Arc`-shared across jobs.
-fn shared_scripts(entries: &[CampaignEntry<'_>]) -> Result<Vec<Vec<Arc<TestScript>>>, CoreError> {
-    entries
-        .iter()
-        .map(|e| {
-            Ok(comptest_script::generate_all(e.suite)?
-                .into_iter()
-                .map(Arc::new)
-                .collect())
-        })
-        .collect()
-}
-
-/// Executes one packaged test job (worker side): plan against the stand,
-/// run against the fresh device, stream per-test events.
-fn run_packaged_test(
-    job: PackagedJob,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop_on_first_fail: bool,
+/// Executes one packaged test job (worker side): consult the cache at
+/// admission, otherwise resolve the shared plan, run against the fresh
+/// device, stream per-test events.
+pub(crate) fn run_packaged_test(
+    mut job: PackagedJob,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<TestJobOutcome>>,
 ) {
-    let PackagedJob {
-        job,
-        cell,
-        test,
-        suite,
-        stand_name,
-        name,
-        script,
-        stand,
-        mut device,
-    } = job;
-    if cancel.is_cancelled() {
+    if ctx.cancel.is_cancelled() {
         let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    if ctx.try_cached_test(&job, events, results) {
         return;
     }
     emit(
         events,
         EngineEvent::TestStarted {
-            cell,
-            test,
-            suite: suite.clone(),
-            stand: stand_name.clone(),
-            name: name.clone(),
+            cell: job.cell,
+            test: job.test,
+            suite: job.suite.clone(),
+            stand: job.stand_name.clone(),
+            name: job.name.clone(),
         },
     );
     let started = Instant::now();
-    let outcome = execute_script_job(&script, &stand, &mut device, exec);
+    let outcome = plan_and_execute(
+        &job.plan,
+        &job.script,
+        &job.stand,
+        &mut job.device,
+        &ctx.exec,
+    );
+    if let Some(runtime) = &ctx.cache {
+        runtime.finish_test(job.cell, job.test, &outcome);
+    }
     let (status, failed) = outcome_status(&outcome);
     emit(
         events,
         EngineEvent::TestFinished {
-            cell,
-            test,
-            suite,
-            stand: stand_name,
-            name,
+            cell: job.cell,
+            test: job.test,
+            suite: job.suite,
+            stand: job.stand_name,
+            name: job.name,
             status,
             failed,
             duration: started.elapsed(),
         },
     );
-    if failed && stop_on_first_fail {
-        cancel.trip();
+    if failed && ctx.stop {
+        ctx.cancel.trip();
     }
-    let _ = results.send(JobMsg::Done(job, outcome));
+    let _ = results.send(JobMsg::Done(job.job, outcome));
 }
 
 /// Test-granular pooled launch: package every (entry, stand, test) triple,
@@ -489,19 +640,18 @@ fn launch_pooled_tests<'a>(
     pool: &WorkerPool,
     campaign: &Campaign<'a, '_>,
 ) -> Result<CampaignHandle<'a>, CoreError> {
-    let jobs = package_jobs(campaign.entries, campaign.stands)?;
+    let prepared = Prepared::new(campaign)?;
+    let jobs = prepared.package_jobs(campaign.entries);
     let n_jobs = jobs.len();
-    let cancel = RunCancel::new(campaign.cancel.clone());
-    let stop = campaign.stop_on_first_fail;
-    let exec = campaign.exec;
+    let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     for job in jobs {
-        let cancel = cancel.clone();
+        let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
         pool.submit(Box::new(move || {
-            run_packaged_test(job, &exec, &cancel, stop, &events, &results);
+            run_packaged_test(job, &ctx, &events, &results);
         }));
     }
     // Drop the launch-side senders so both streams end with the last job.
@@ -510,7 +660,8 @@ fn launch_pooled_tests<'a>(
 
     let entries = campaign.entries;
     let stands = campaign.stands;
-    let run_token = cancel.run_token();
+    let run_token = ctx.cancel.run_token();
+    let cache = ctx.cache;
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
@@ -518,56 +669,45 @@ fn launch_pooled_tests<'a>(
             let (slots, acknowledged) = collect(results_rx, n_jobs);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
+            check_verified(&cache)?;
             Ok(CampaignOutcome { result, cancelled })
         }),
     ))
 }
 
-/// One packaged cell job: the whole suite×stand cell, owned — scripts,
-/// stand, and one fresh device per test.
+/// One test of a packaged cell: script, shared plan slot and a fresh
+/// device.
+pub(crate) struct PackagedTest {
+    pub(crate) script: Arc<TestScript>,
+    pub(crate) plan: Arc<PlanSlot>,
+    pub(crate) device: Device,
+}
+
+/// One packaged cell job: the whole suite×stand cell, owned.
 pub(crate) struct PackagedCell {
     pub(crate) cell: usize,
     pub(crate) suite: String,
     pub(crate) stand_name: String,
     pub(crate) stand: Arc<TestStand>,
-    pub(crate) tests: Vec<(Arc<TestScript>, Device)>,
+    pub(crate) tests: Vec<PackagedTest>,
 }
 
-/// Packages the deterministic cell list for cell-granular runs (pooled or
-/// async).
-pub(crate) fn package_cells(
-    entries: &[CampaignEntry<'_>],
-    stands: &[&TestStand],
-) -> Result<Vec<PackagedCell>, CoreError> {
-    let scripts = shared_scripts(entries)?;
-    let stands_owned: Vec<Arc<TestStand>> = stands.iter().map(|s| Arc::new((*s).clone())).collect();
-    Ok(plan_cells(entries.len(), stands.len())
-        .into_iter()
-        .map(|j| PackagedCell {
-            cell: j.cell,
-            suite: entries[j.entry].suite.name.clone(),
-            stand_name: stands[j.stand].name().to_owned(),
-            stand: Arc::clone(&stands_owned[j.stand]),
-            tests: scripts[j.entry]
-                .iter()
-                .map(|s| (Arc::clone(s), entries[j.entry].device_factory.build()))
-                .collect(),
-        })
-        .collect())
-}
-
-/// Executes one packaged cell (worker side) through [`execute_cell`],
-/// streaming per-cell events and honouring cancellation.
-fn run_packaged_cell(
+/// Executes one packaged cell (worker side): consult the cache at
+/// admission, otherwise run the suite's tests in order — each against its
+/// own fresh device, stopping at the first planning error — and report the
+/// determined per-test outcomes to the cache before folding them into the
+/// historical cell outcome byte for byte.
+pub(crate) fn run_packaged_cell(
     cell: PackagedCell,
-    exec: &ExecOptions,
-    cancel: &RunCancel,
-    stop_on_first_fail: bool,
+    ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<CampaignCell>>,
 ) {
-    if cancel.is_cancelled() {
+    if ctx.cancel.is_cancelled() {
         let _ = results.send(JobMsg::Cancelled);
+        return;
+    }
+    if ctx.try_cached_cell(&cell, events, results) {
         return;
     }
     emit(
@@ -578,7 +718,24 @@ fn run_packaged_cell(
             stand: cell.stand_name.clone(),
         },
     );
-    let campaign_cell = execute_cell(cell.suite, cell.stand_name, &cell.stand, cell.tests, exec);
+    let mut outcomes: Vec<TestJobOutcome> = Vec::with_capacity(cell.tests.len());
+    for test in cell.tests {
+        let PackagedTest {
+            script,
+            plan,
+            mut device,
+        } = test;
+        let outcome = plan_and_execute(&plan, &script, &cell.stand, &mut device, &ctx.exec);
+        let stop_cell = outcome.is_err();
+        outcomes.push(outcome);
+        if stop_cell {
+            break;
+        }
+    }
+    if let Some(runtime) = &ctx.cache {
+        runtime.finish_cell(cell.cell, &cell.suite, &cell.stand_name, &outcomes);
+    }
+    let campaign_cell = fold_cell(cell.suite, cell.stand_name, outcomes);
     let failed = !campaign_cell.passed();
     emit(
         events,
@@ -590,8 +747,8 @@ fn run_packaged_cell(
             failed,
         },
     );
-    if failed && stop_on_first_fail {
-        cancel.trip();
+    if failed && ctx.stop {
+        ctx.cancel.trip();
     }
     let _ = results.send(JobMsg::Done(cell.cell, campaign_cell));
 }
@@ -601,38 +758,41 @@ fn launch_pooled_cells<'a>(
     pool: &WorkerPool,
     campaign: &Campaign<'a, '_>,
 ) -> Result<CampaignHandle<'a>, CoreError> {
-    let cells = package_cells(campaign.entries, campaign.stands)?;
+    let prepared = Prepared::new(campaign)?;
+    let cells = prepared.package_cells(campaign.entries);
     let n_cells = cells.len();
-    let cancel = RunCancel::new(campaign.cancel.clone());
-    let stop = campaign.stop_on_first_fail;
-    let exec = campaign.exec;
+    let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     for cell in cells {
-        let cancel = cancel.clone();
+        let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
         pool.submit(Box::new(move || {
-            run_packaged_cell(cell, &exec, &cancel, stop, &events, &results);
+            run_packaged_cell(cell, &ctx, &events, &results);
         }));
     }
     drop(events_tx);
     drop(results_tx);
 
-    let run_token = cancel.run_token();
+    let run_token = ctx.cancel.run_token();
+    let cache = ctx.cache;
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_cells);
-            fold_cell_slots(slots, acknowledged)
+            let outcome = fold_cell_slots(slots, acknowledged)?;
+            check_verified(&cache)?;
+            Ok(outcome)
         }),
     ))
 }
 
 /// Folds cell-granular merge slots into the deterministic outcome (missing
 /// slots are cancelled cells), verifying every gap was an acknowledged
-/// cancellation. Shared by the pooled and async cell-granular joins.
+/// cancellation. Shared by the serial, pooled and async cell-granular
+/// joins.
 pub(crate) fn fold_cell_slots(
     slots: Vec<Option<CampaignCell>>,
     acknowledged: usize,

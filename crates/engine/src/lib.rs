@@ -33,7 +33,24 @@
 //!   [`CancelToken`], and a [`CampaignHandle::join`] folding every
 //!   worker's outcome back **in deterministic (cell, test) order**, so an
 //!   N-worker run at either granularity is byte-identical to serial
-//!   execution.
+//!   execution;
+//! * a content-addressed campaign [`cache`]: cells keyed by stable
+//!   structural hashes of (suite, stand, DUT config, exec options) —
+//!   [`CellKey`], computed in `comptest_core::hash` — with an in-process
+//!   [`MemoryCache`] and an on-disk [`DirCache`] (atomic
+//!   write-then-rename JSON records; anything unreadable is a miss).
+//!   Installed via [`Campaign::cache`], every executor consults it at job
+//!   admission: hits emit [`EngineEvent::CellCached`], merge
+//!   byte-identical to a cold run (full results, traces and sim timing
+//!   travel in the record), and a cached failure trips
+//!   `stop_on_first_fail` exactly like an executed one.
+//!   [`Campaign::cache_verify`] is the audit mode: everything re-executes
+//!   and [`CampaignHandle::join`] errors with
+//!   [`CoreError::CacheMismatch`](comptest_core::CoreError::CacheMismatch)
+//!   if any cached outcome diverged. Execution plans are likewise reused:
+//!   each (entry, test, stand) triple is planned at most once per
+//!   campaign *value* (not per launch), so replay loops and warm runs
+//!   never re-plan at admission.
 //!
 //! The PR-1/PR-2 free functions ([`run_campaign_parallel`],
 //! [`run_campaign_with_pool`], and `comptest_core`'s serial
@@ -95,6 +112,7 @@
 #![warn(missing_docs)]
 
 mod async_exec;
+pub mod cache;
 mod campaign;
 mod events;
 mod executor;
@@ -102,6 +120,7 @@ mod handle;
 mod pool;
 
 pub use async_exec::AsyncExecutor;
+pub use cache::{CampaignCache, CellRecord, DirCache, MemoryCache};
 pub use campaign::{Campaign, Granularity};
 pub use events::EngineEvent;
 pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};
@@ -109,6 +128,7 @@ pub use handle::{CampaignHandle, CampaignOutcome, CancelToken, EventStream};
 pub use pool::WorkerPool;
 
 pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};
+pub use comptest_core::hash::CellKey;
 
 use std::sync::mpsc::Sender;
 

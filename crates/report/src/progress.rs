@@ -36,6 +36,16 @@ pub fn progress_line(event: &EngineEvent) -> String {
             duration,
             ..
         } => format!("[{cell:>2}] {suite}::{name} on {stand}: {status} ({duration:.2?})"),
+        EngineEvent::CellCached {
+            cell,
+            test,
+            suite,
+            stand,
+            status,
+        } => match test {
+            Some(test) => format!("[{cell:>2}] {suite}::#{test} on {stand}: {status} (cached)"),
+            None => format!("[{cell:>2}] {suite} on {stand}: {status} (cached)"),
+        },
         EngineEvent::CampaignDone {
             passed,
             failed,
@@ -122,6 +132,29 @@ mod tests {
         assert!(
             line.starts_with("[ 0] lamp::night_on on HIL-A: PASS ("),
             "{line}"
+        );
+
+        let cached_cell = EngineEvent::CellCached {
+            cell: 4,
+            test: None,
+            suite: "lamp".into(),
+            stand: "HIL-A".into(),
+            status: "PASS (2P/0F/0E)".into(),
+        };
+        assert_eq!(
+            progress_line(&cached_cell),
+            "[ 4] lamp on HIL-A: PASS (2P/0F/0E) (cached)"
+        );
+        let cached_test = EngineEvent::CellCached {
+            cell: 4,
+            test: Some(1),
+            suite: "lamp".into(),
+            stand: "HIL-A".into(),
+            status: "PASS".into(),
+        };
+        assert_eq!(
+            progress_line(&cached_test),
+            "[ 4] lamp::#1 on HIL-A: PASS (cached)"
         );
 
         let done = EngineEvent::CampaignDone {

@@ -10,6 +10,7 @@
 //!                   [--granularity cell|test]
 //!                   [--sample end-of-step|continuous:<interval_s>]
 //!                   [--stop-on-first-fail] [--junit out.xml]
+//!                   [--cache <dir>|memory|off] [--cache-verify]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
@@ -41,6 +42,14 @@
 //! soon as one fails, keeping the deterministic finished prefix in the
 //! report (on the async executor cancellation cuts in at *step*
 //! granularity: in-flight runs stop at their next step boundary).
+//!
+//! `--cache <dir>` keys every suite×stand×DUT cell by stable structural
+//! hashes and skips byte-identical re-executions across campaign runs
+//! (`memory` caches within this process only; `off` is the default). The
+//! summary reports how many results came from the cache, and the exit
+//! code is identical to a cold run — a cached failure still fails the
+//! campaign. `--cache-verify` is the audit mode: cached cells re-execute
+//! anyway and the run errors if any cached outcome diverges.
 
 use std::process::ExitCode;
 
@@ -287,6 +296,44 @@ impl std::str::FromStr for ExecutorKind {
     }
 }
 
+/// Where `--cache` points.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum CacheMode {
+    /// No caching (the default).
+    #[default]
+    Off,
+    /// In-process cache: useless across CLI invocations, but keeps the
+    /// flag surface symmetric with the library API.
+    Memory,
+    /// On-disk cache directory shared across runs.
+    Dir(String),
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    /// `off`, `memory`, or a directory path. To keep a typo like
+    /// `--cache of` from silently becoming a cache directory, a bare word
+    /// without any path separator or dot is rejected — spell a relative
+    /// directory `./name`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => return Ok(CacheMode::Off),
+            "memory" => return Ok(CacheMode::Memory),
+            _ => {}
+        }
+        if s.contains(['/', '\\', '.']) {
+            Ok(CacheMode::Dir(s.to_owned()))
+        } else {
+            Err(format!(
+                "unknown cache mode {s:?}: expected off, memory, or a directory path \
+                 (spell a relative directory {:?})",
+                format!("./{s}")
+            ))
+        }
+    }
+}
+
 fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut stand_paths: Vec<&str> = Vec::new();
     let mut executor_kind = ExecutorKind::Pooled;
@@ -296,6 +343,8 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut sample = SampleMode::EndOfStep;
     let mut stop_on_first_fail = false;
     let mut junit: Option<&str> = None;
+    let mut cache_mode = CacheMode::Off;
+    let mut cache_verify = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
@@ -342,6 +391,11 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             "--stop-on-first-fail" => stop_on_first_fail = true,
             "--junit" => junit = Some(need(it.next().copied(), "--junit path")?),
+            "--cache" => {
+                let c = need(it.next().copied(), "--cache (<dir>|memory|off)")?;
+                cache_mode = c.parse()?;
+            }
+            "--cache-verify" => cache_verify = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign flag {other:?}").into())
             }
@@ -365,6 +419,16 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "--workers does not apply to --executor serial (it runs in-order on one thread)".into(),
         );
     }
+    // A memory cache is born empty in every CLI invocation, so there is
+    // nothing to audit — the run would trivially "pass" verification and
+    // hand out false confidence.
+    if cache_verify && matches!(cache_mode, CacheMode::Off | CacheMode::Memory) {
+        return Err(
+            "--cache-verify needs a persistent cache to audit (pass --cache <dir>; \
+             a memory cache starts empty every invocation)"
+                .into(),
+        );
+    }
     let workers = workers.unwrap_or(1);
     let concurrency = concurrency.unwrap_or(1024);
 
@@ -383,13 +447,23 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     // campaign runs, and join() folds the deterministic result. The pool
     // is sized to the matrix — no point spawning threads no job will
     // reach; the async executor shards over --workers event-loop threads.
-    let campaign = Campaign::new(&entries, &stand_refs)
+    let mut campaign = Campaign::new(&entries, &stand_refs)
         .exec_options(ExecOptions {
             sample,
             ..ExecOptions::default()
         })
         .granularity(granularity)
-        .stop_on_first_fail(stop_on_first_fail);
+        .stop_on_first_fail(stop_on_first_fail)
+        .cache_verify(cache_verify);
+    campaign = match &cache_mode {
+        CacheMode::Off => campaign,
+        CacheMode::Memory => {
+            campaign.cache(std::sync::Arc::new(comptest::engine::MemoryCache::new()))
+        }
+        CacheMode::Dir(dir) => {
+            campaign.cache(std::sync::Arc::new(comptest::engine::DirCache::open(dir)?))
+        }
+    };
     let executor: Box<dyn CampaignExecutor> = match executor_kind {
         ExecutorKind::Serial => Box::new(SerialExecutor),
         ExecutorKind::Pooled => Box::new(PooledExecutor::new(
@@ -399,15 +473,24 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     };
     let mut handle = campaign.launch(executor.as_ref())?;
     let stream = handle.events();
+    // The printer thread also counts cache hits for the summary line.
     let printer = std::thread::spawn(move || {
+        let mut cached = 0usize;
         for event in stream {
+            if matches!(event, EngineEvent::CellCached { .. }) {
+                cached += 1;
+            }
             eprintln!("{}", comptest::report::progress_line(&event));
         }
+        cached
     });
     let outcome = handle.join();
-    printer.join().expect("printer thread");
+    let cached = printer.join().expect("printer thread");
     let outcome = outcome?;
     eprintln!("{}", comptest::report::summary_line(&outcome));
+    if cache_mode != CacheMode::Off {
+        eprintln!("cache: {cached} result(s) served from cache");
+    }
 
     print!("{}", outcome.result);
     if let Some(path) = junit {

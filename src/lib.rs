@@ -113,6 +113,48 @@
 //! # }
 //! ```
 //!
+//! # Quickstart — caching & cache-verify
+//!
+//! Regression campaigns mostly re-run unchanged cells. A content-addressed
+//! cache ([`engine::cache`]) keys every suite×stand×DUT cell by stable
+//! structural hashes ([`core::hash`]) and skips byte-identical
+//! re-executions — across executors, granularities and (with
+//! [`engine::DirCache`]) across processes. Hits merge the *exact* bytes a
+//! cold run produces, full traces and per-test sim timing included, and a
+//! cached failure still trips `stop_on_first_fail` and the exit code.
+//! `cache_verify(true)` is the audit mode: everything re-executes and the
+//! join errors if any cached outcome diverged. On the CLI:
+//! `comptest campaign … --cache <dir> [--cache-verify]`.
+//!
+//! ```
+//! use comptest::prelude::*;
+//! use comptest::core::campaign::CampaignEntry;
+//! use comptest::engine::MemoryCache;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! # let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! # let entries = vec![CampaignEntry {
+//! #     suite: &workbook.suite,
+//! #     device_factory: Box::new(|| {
+//! #         comptest::device_for_stand("interior_light", &stand).expect("known ECU")
+//! #     }),
+//! # }];
+//! # let stands = [&stand];
+//! // Use engine::DirCache::open("…")? instead to persist across processes.
+//! let cache = Arc::new(MemoryCache::new());
+//! let campaign = Campaign::new(&entries, &stands).cache(cache);
+//! let cold = campaign.run(&SerialExecutor)?;   // executes, fills the cache
+//! let warm = campaign.run(&SerialExecutor)?;   // all hits, byte-identical
+//! assert_eq!(warm, cold);
+//! // Audit mode: re-execute and cross-check every cached outcome.
+//! let audited = campaign.cache_verify(true).run(&SerialExecutor)?;
+//! assert_eq!(audited, cold);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The PR-1/PR-2 free functions (`run_campaign`, `run_campaign_parallel`,
 //! `run_campaign_with_pool`) still compile as `#[deprecated]` shims over
 //! this API, reachable through [`core`] and [`engine`] (not the prelude).

@@ -1,11 +1,13 @@
-//! The executor abstraction's core guarantee: `SerialExecutor`,
-//! `PooledExecutor` (any worker count) and the event-loop `AsyncExecutor`
-//! (any concurrency limit and shard count), at both scheduling
-//! granularities, produce byte-identical `CampaignResult`s for the same
-//! `Campaign`, and a cancelled run yields the same deterministic
-//! prefix-truncation semantics at every executor — plus the deprecated
-//! shim entry points, which must keep matching the builder API they now
-//! wrap.
+//! Engine behaviours *around* the executor contract: event-stream
+//! coverage, report generation from campaign results, executor reuse, and
+//! the deprecated shim entry points that must keep matching the builder
+//! API they wrap.
+//!
+//! The executor contract itself — byte-identity to the serial reference,
+//! cancellation prefix-truncation, stop-on-first-fail, empty-matrix
+//! rejection, `JobsLost`, and cache hit/warm-run semantics — lives in the
+//! shared battery of `tests/executor_conformance.rs`, instantiated for
+//! Serial / Pooled / Async × cache off / memory / dir.
 
 use comptest::core::campaign::CampaignEntry;
 use comptest::prelude::*;
@@ -20,65 +22,6 @@ fn entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
 
 fn load_stand(name: &str) -> TestStand {
     TestStand::load(comptest::asset(name)).unwrap()
-}
-
-#[test]
-fn serial_and_pooled_executors_are_byte_identical() {
-    let suites = load_suites();
-    let entries = entries(&suites);
-    let stand_a = load_stand("stand_a.stand");
-    let stand_b = load_stand("stand_b.stand");
-    let stands = [&stand_a, &stand_b];
-
-    for granularity in [Granularity::Cell, Granularity::Test] {
-        let campaign = Campaign::new(&entries, &stands).granularity(granularity);
-        let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
-        assert_eq!(serial.result.cells.len(), 10);
-        assert_eq!(serial.cancelled, 0);
-        for workers in [1usize, 2, 4, 8] {
-            let pooled = campaign
-                .launch(&PooledExecutor::new(workers))
-                .unwrap()
-                .join()
-                .unwrap();
-            assert_eq!(
-                pooled, serial,
-                "granularity {granularity}, workers = {workers}: \
-                 ordering or outcomes diverged"
-            );
-        }
-    }
-}
-
-/// The async event loop interleaves every in-flight run step by step, yet
-/// the merged matrix must stay byte-identical to the serial reference —
-/// across granularities, concurrency limits (1 degenerates to serial
-/// order, 1024 holds the whole matrix in flight at once) and shard
-/// counts.
-#[test]
-fn async_executor_is_byte_identical_to_serial() {
-    let suites = load_suites();
-    let entries = entries(&suites);
-    let stand_a = load_stand("stand_a.stand");
-    let stand_b = load_stand("stand_b.stand");
-    let stands = [&stand_a, &stand_b];
-
-    for granularity in [Granularity::Cell, Granularity::Test] {
-        let campaign = Campaign::new(&entries, &stands).granularity(granularity);
-        let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
-        for (concurrency, shards) in [(1, 1), (4, 1), (1024, 1), (4, 2), (1024, 4)] {
-            let outcome = campaign
-                .launch(&AsyncExecutor::new(concurrency).sharded(shards))
-                .unwrap()
-                .join()
-                .unwrap();
-            assert_eq!(
-                outcome, serial,
-                "granularity {granularity}, concurrency {concurrency}, \
-                 {shards} shard(s): ordering or outcomes diverged"
-            );
-        }
-    }
 }
 
 #[test]
@@ -128,6 +71,12 @@ fn engine_events_cover_every_cell_exactly_once() {
         .filter(|e| matches!(e, EngineEvent::JobFinished { .. }))
         .count();
     assert_eq!(finished, 5);
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CellCached { .. })),
+        "no cache configured, no cached events"
+    );
     assert_eq!(outcome.cancelled, 0);
     assert!(outcome.result.all_green(), "{}", outcome.result);
 }
@@ -172,103 +121,6 @@ fn test_granular_events_cover_every_test_exactly_once() {
         "per-cell events are a cell-granularity concept"
     );
     assert!(outcome.result.all_green(), "{}", outcome.result);
-}
-
-/// Cancellation-path determinism at cell granularity: stand MINI cannot
-/// run anything, so with a 1-worker pool and `stop_on_first_fail` the very
-/// first cell comes back NOT RUNNABLE and the other nine never run — and
-/// the serial executor truncates to the exact same prefix.
-#[test]
-fn cancelled_runs_truncate_deterministically_at_cell_granularity() {
-    let suites = load_suites();
-    let entries = entries(&suites);
-    let mini = load_stand("stand_minimal.stand");
-    let stand_b = load_stand("stand_b.stand");
-    let stands = [&mini, &stand_b];
-    let campaign = Campaign::new(&entries, &stands).stop_on_first_fail(true);
-
-    let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
-    let pooled = campaign
-        .launch(&PooledExecutor::new(1))
-        .unwrap()
-        .join()
-        .unwrap();
-    assert_eq!(pooled, serial, "cancellation must truncate identically");
-    let async_one = campaign
-        .launch(&AsyncExecutor::new(1))
-        .unwrap()
-        .join()
-        .unwrap();
-    assert_eq!(
-        async_one, serial,
-        "1-in-flight async must match serial truncation"
-    );
-
-    assert_eq!(
-        serial.result.cells.len(),
-        1,
-        "only the failing cell ran:\n{}",
-        serial.result
-    );
-    assert!(serial.result.cells[0].outcome.is_err());
-    assert!(!serial.result.all_green());
-    assert_eq!(serial.cancelled, 9, "the rest of the matrix was cancelled");
-
-    // Without the flag, the same campaign runs to completion.
-    let full = Campaign::new(&entries, &stands)
-        .run(&PooledExecutor::new(4))
-        .unwrap();
-    assert_eq!(full.cells.len(), 10);
-}
-
-/// Cancellation-path determinism at test granularity: the first *test* on
-/// stand MINI is NOT RUNNABLE, the first cell is merged as not-runnable
-/// (exactly what a full run reports for that cell), and every remaining
-/// test job is cancelled — identically on the serial executor and a
-/// 1-worker pool.
-#[test]
-fn cancelled_runs_truncate_deterministically_at_test_granularity() {
-    let suites = load_suites();
-    let total_tests: usize = suites.iter().map(|s| s.tests.len()).sum();
-    let entries = entries(&suites);
-    let mini = load_stand("stand_minimal.stand");
-    let stand_b = load_stand("stand_b.stand");
-    let stands = [&mini, &stand_b];
-    let campaign = Campaign::new(&entries, &stands)
-        .granularity(Granularity::Test)
-        .stop_on_first_fail(true);
-
-    let serial = campaign.launch(&SerialExecutor).unwrap().join().unwrap();
-    let pooled = campaign
-        .launch(&PooledExecutor::new(1))
-        .unwrap()
-        .join()
-        .unwrap();
-    assert_eq!(pooled, serial, "cancellation must truncate identically");
-    let async_one = campaign
-        .launch(&AsyncExecutor::new(1))
-        .unwrap()
-        .join()
-        .unwrap();
-    assert_eq!(
-        async_one, serial,
-        "1-in-flight async must match serial truncation"
-    );
-
-    assert_eq!(
-        serial.result.cells.len(),
-        1,
-        "only the failing cell merged:\n{}",
-        serial.result
-    );
-    assert!(serial.result.cells[0].outcome.is_err());
-    let (_, _, _, not_runnable) = serial.result.totals();
-    assert_eq!(not_runnable, 1);
-    assert_eq!(
-        serial.cancelled,
-        total_tests * 2 - 1,
-        "all test jobs after the first were cancelled"
-    );
 }
 
 #[test]

@@ -1,0 +1,631 @@
+//! The executor conformance suite: one shared contract battery that every
+//! [`CampaignExecutor`] must pass, instantiated for Serial / Pooled /
+//! Async × cache off / memory / dir.
+//!
+//! This replaces the ad-hoc per-executor duplication that used to live in
+//! `engine_equivalence.rs` — the contract is written once, and adding an
+//! executor (or a cache backend) means adding one subject row, not a new
+//! copy of every test:
+//!
+//! * **determinism** — the joined `CampaignOutcome` is byte-identical to
+//!   the `SerialExecutor` reference at both granularities, cold and warm
+//!   (a warm cache run must merge the exact bytes a cold run produces,
+//!   including per-test sim timing in JUnit/text reports);
+//! * **cancellation** — a pre-cancelled token skips every job and
+//!   accounts for all of them;
+//! * **stop-on-first-fail** — width-1 subjects truncate to the serial
+//!   prefix, and a *cached* failure trips the latch exactly like an
+//!   executed one;
+//! * **empty matrix** — rejected by validation before any executor runs;
+//! * **JobsLost** — a worker dying mid-job surfaces as an error, never as
+//!   a silently truncated (possibly all-green) result;
+//! * **cache audit** — `cache_verify` passes on a truthful cache and
+//!   raises `CacheMismatch` on a poisoned one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use comptest::core::campaign::CampaignEntry;
+use comptest::core::CoreError;
+use comptest::dut::{Behavior, Device, PinBinding, PortValue};
+use comptest::engine::{CampaignCache, DirCache, MemoryCache};
+use comptest::model::SimTime;
+use comptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Subjects and cache setups
+// ---------------------------------------------------------------------------
+
+/// One executor under test.
+struct Subject {
+    name: &'static str,
+    build: fn() -> Box<dyn CampaignExecutor>,
+    /// Runs jobs off the launch thread and reports lost jobs instead of
+    /// propagating worker panics (the serial executor runs inline, so a
+    /// panicking job panics `launch` itself).
+    catches_lost_jobs: bool,
+    /// Processes jobs strictly in plan order, so stop-on-first-fail
+    /// truncation is byte-deterministic against serial.
+    serial_order: bool,
+}
+
+fn subjects() -> Vec<Subject> {
+    vec![
+        Subject {
+            name: "serial",
+            build: || Box::new(SerialExecutor),
+            catches_lost_jobs: false,
+            serial_order: true,
+        },
+        Subject {
+            name: "pooled(1)",
+            build: || Box::new(PooledExecutor::new(1)),
+            catches_lost_jobs: true,
+            serial_order: true,
+        },
+        Subject {
+            name: "pooled(4)",
+            build: || Box::new(PooledExecutor::new(4)),
+            catches_lost_jobs: true,
+            serial_order: false,
+        },
+        Subject {
+            name: "async(1)",
+            build: || Box::new(AsyncExecutor::new(1)),
+            catches_lost_jobs: true,
+            serial_order: true,
+        },
+        Subject {
+            name: "async(256x2)",
+            build: || Box::new(AsyncExecutor::new(256).sharded(2)),
+            catches_lost_jobs: true,
+            serial_order: false,
+        },
+    ]
+}
+
+/// Cache backends the battery instantiates each subject against.
+#[derive(Clone, Copy, PartialEq)]
+enum CacheSetup {
+    Off,
+    Memory,
+    Dir,
+}
+
+const CACHES: [CacheSetup; 3] = [CacheSetup::Off, CacheSetup::Memory, CacheSetup::Dir];
+
+impl CacheSetup {
+    fn label(self) -> &'static str {
+        match self {
+            CacheSetup::Off => "cache=off",
+            CacheSetup::Memory => "cache=memory",
+            CacheSetup::Dir => "cache=dir",
+        }
+    }
+
+    /// A fresh cache instance (dir caches get a unique temp directory,
+    /// removed by `TempDir`'s drop).
+    fn build(self, scratch: &TempDir) -> Option<Arc<dyn CampaignCache>> {
+        match self {
+            CacheSetup::Off => None,
+            CacheSetup::Memory => Some(Arc::new(MemoryCache::new())),
+            CacheSetup::Dir => Some(Arc::new(
+                DirCache::open(scratch.fresh_subdir()).expect("temp cache dir"),
+            )),
+        }
+    }
+}
+
+/// Minimal scoped temp directory (no tempfile crate in the container).
+struct TempDir {
+    path: std::path::PathBuf,
+    counter: AtomicUsize,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("comptest-conformance-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir");
+        Self {
+            path,
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    fn fresh_subdir(&self) -> std::path::PathBuf {
+        self.path
+            .join(format!("c{}", self.counter.fetch_add(1, Ordering::Relaxed)))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+fn load_suites() -> Vec<TestSuite> {
+    comptest::load_bundled_suites().expect("bundled workbooks load")
+}
+
+fn entries(suites: &[TestSuite]) -> Vec<CampaignEntry<'_>> {
+    comptest::bundled_entries(suites)
+}
+
+fn load_stand(name: &str) -> TestStand {
+    TestStand::load(comptest::asset(name)).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: every subject × granularity × cache merges the serial bytes,
+// cold and warm.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_determinism_vs_serial_cold_and_warm() {
+    let scratch = TempDir::new("determinism");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_a, &stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        let reference = Campaign::new(&entries, &stands)
+            .granularity(granularity)
+            .launch(&SerialExecutor)
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(reference.result.cells.len(), 10);
+
+        for subject in subjects() {
+            for setup in CACHES {
+                let mut campaign = Campaign::new(&entries, &stands).granularity(granularity);
+                if let Some(cache) = setup.build(&scratch) {
+                    campaign = campaign.cache(cache);
+                }
+                let executor = (subject.build)();
+                // Cold run (populates the cache when one is configured).
+                let cold = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(
+                    cold,
+                    reference,
+                    "{granularity}/{}/{} cold diverged",
+                    subject.name,
+                    setup.label()
+                );
+                if setup == CacheSetup::Off {
+                    continue;
+                }
+                // Warm run: every job served from cache, still the exact
+                // serial bytes, and only CellCached events on the stream.
+                let mut handle = campaign.launch(executor.as_ref()).unwrap();
+                let events: Vec<EngineEvent> = handle.events().collect();
+                let warm = handle.join().unwrap();
+                assert_eq!(
+                    warm,
+                    reference,
+                    "{granularity}/{}/{} warm diverged",
+                    subject.name,
+                    setup.label()
+                );
+                let cached = events
+                    .iter()
+                    .filter(|e| matches!(e, EngineEvent::CellCached { .. }))
+                    .count();
+                let executed = events
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            EngineEvent::TestStarted { .. } | EngineEvent::JobStarted { .. }
+                        )
+                    })
+                    .count();
+                assert!(
+                    cached > 0 && executed == 0,
+                    "{granularity}/{}/{} warm run must be all hits ({cached} cached, \
+                     {executed} executed)",
+                    subject.name,
+                    setup.label()
+                );
+            }
+        }
+    }
+}
+
+/// A fully-cached run feeds the exact same bytes into reports as a cold
+/// one — per-test simulated timing included (the cached record carries the
+/// full step results rather than zeroing them).
+#[test]
+fn conformance_warm_reports_keep_sim_timing() {
+    let scratch = TempDir::new("timing");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    let cold = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .run(&SerialExecutor)
+        .unwrap();
+    let cold_junit = comptest::report::campaign_junit_xml(&cold);
+    assert!(
+        cold_junit.contains("time=\"3."),
+        "fixture should have nonzero per-suite sim timing:\n{cold_junit}"
+    );
+
+    for setup in [CacheSetup::Memory, CacheSetup::Dir] {
+        let campaign = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(setup.build(&scratch).unwrap());
+        let _ = campaign.run(&SerialExecutor).unwrap(); // populate
+        let warm = campaign.run(&AsyncExecutor::new(64)).unwrap();
+        assert_eq!(
+            comptest::report::campaign_junit_xml(&warm),
+            cold_junit,
+            "{}: warm JUnit must carry identical sim timing",
+            setup.label()
+        );
+        assert_eq!(
+            comptest::report::campaign_table(&warm).to_string(),
+            comptest::report::campaign_table(&cold).to_string(),
+            "{}: warm text table must match",
+            setup.label()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation: a pre-cancelled token skips everything, accountably.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_precancelled_token_skips_every_job() {
+    let scratch = TempDir::new("cancel");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            for setup in CACHES {
+                let token = CancelToken::new();
+                let mut campaign = Campaign::new(&entries, &stands)
+                    .granularity(granularity)
+                    .cancel_token(token.clone());
+                if let Some(cache) = setup.build(&scratch) {
+                    campaign = campaign.cache(cache);
+                }
+                token.cancel();
+                let executor = (subject.build)();
+                let outcome = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(
+                    (outcome.result.cells.len(), outcome.cancelled),
+                    (0, campaign.job_count()),
+                    "{granularity}/{}/{}: every job skipped and accounted",
+                    subject.name,
+                    setup.label()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stop_on_first_fail: serial-order subjects truncate byte-identically, and
+// cached failures trip the latch exactly like executed ones.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_stop_on_first_fail_truncates_like_serial() {
+    let scratch = TempDir::new("stopfail");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let mini = load_stand("stand_minimal.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&mini, &stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        let reference = Campaign::new(&entries, &stands)
+            .granularity(granularity)
+            .stop_on_first_fail(true)
+            .launch(&SerialExecutor)
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(reference.result.cells.len(), 1, "{}", reference.result);
+        assert!(!reference.result.all_green());
+        assert!(reference.cancelled > 0);
+
+        for subject in subjects().into_iter().filter(|s| s.serial_order) {
+            for setup in CACHES {
+                let mut campaign = Campaign::new(&entries, &stands)
+                    .granularity(granularity)
+                    .stop_on_first_fail(true);
+                if let Some(cache) = setup.build(&scratch) {
+                    campaign = campaign.cache(cache);
+                }
+                let executor = (subject.build)();
+                let cold = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(
+                    cold,
+                    reference,
+                    "{granularity}/{}/{} cold truncation diverged",
+                    subject.name,
+                    setup.label()
+                );
+                if setup == CacheSetup::Off {
+                    continue;
+                }
+                // Warm: the first cell's failure is served from cache and
+                // must trip the latch deterministically — same prefix, same
+                // cancelled count.
+                let warm = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(
+                    warm,
+                    reference,
+                    "{granularity}/{}/{}: cached failure must trip the latch like an \
+                     executed one",
+                    subject.name,
+                    setup.label()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Empty matrix: validation rejects before any executor sees the campaign.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_empty_matrix_is_rejected_by_every_subject() {
+    let suites = load_suites();
+    let entries_vec = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    for subject in subjects() {
+        let executor = (subject.build)();
+        let no_entries = Campaign::new(&[], &stands)
+            .launch(executor.as_ref())
+            .unwrap_err();
+        assert!(
+            matches!(no_entries, CoreError::InvalidCampaign(_)),
+            "{}: empty entries must be InvalidCampaign, got {no_entries:?}",
+            subject.name
+        );
+        let no_stands = Campaign::new(&entries_vec, &[])
+            .launch(executor.as_ref())
+            .unwrap_err();
+        assert!(
+            matches!(no_stands, CoreError::InvalidCampaign(_)),
+            "{}: empty stands must be InvalidCampaign, got {no_stands:?}",
+            subject.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JobsLost: a worker dying mid-job is an error, never a truncated result.
+// ---------------------------------------------------------------------------
+
+/// A behaviour that panics as soon as simulation time advances — the DUT
+/// model blowing up mid-execution, after the job was admitted.
+#[derive(Debug)]
+struct ExplodingBehavior;
+
+impl Behavior for ExplodingBehavior {
+    fn name(&self) -> &str {
+        "exploding"
+    }
+    fn inputs(&self) -> &[&'static str] {
+        &["sw"]
+    }
+    fn outputs(&self) -> &[&'static str] {
+        &["out"]
+    }
+    fn reset(&mut self, _now: SimTime) {}
+    fn set_input(&mut self, _port: &str, _value: PortValue, _now: SimTime) {}
+    fn advance(&mut self, now: SimTime) {
+        assert!(now.is_zero(), "DUT model bug: boom at {now}");
+    }
+    fn next_event(&self) -> Option<SimTime> {
+        None
+    }
+    fn output(&self, _port: &str) -> PortValue {
+        PortValue::Bool(false)
+    }
+}
+
+/// A one-test suite whose DUT panics mid-run.
+fn exploding_fixture() -> (TestSuite, TestStand) {
+    let wb = "\
+[suite]
+name = exploding
+
+[signals]
+name, kind,       direction, init
+SW,   pin:DS_FL,  input,     Open
+
+[status]
+status, method, attribut, var, nom, min, max
+Open,   put_r,  r,        ,    0,   0,   2
+
+[test boom]
+step, dt,  SW
+0,    0.5, Open
+";
+    let suite = Workbook::parse_str("exploding.cts", wb).unwrap().suite;
+    let stand = TestStand::parse_str("a.stand", comptest::core::PAPER_STAND_A).unwrap();
+    (suite, stand)
+}
+
+fn exploding_entries(suite: &TestSuite) -> Vec<CampaignEntry<'_>> {
+    vec![CampaignEntry {
+        suite,
+        device_factory: Box::new(|| {
+            Device::builder(Box::new(ExplodingBehavior))
+                .pin("DS_FL", PinBinding::InputActiveLow { port: "sw" })
+                .build()
+        }),
+    }]
+}
+
+#[test]
+fn conformance_dead_workers_surface_as_jobs_lost() {
+    let (suite, stand) = exploding_fixture();
+    let entries = exploding_entries(&suite);
+    let stands = [&stand];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            let campaign = Campaign::new(&entries, &stands).granularity(granularity);
+            let executor = (subject.build)();
+            if subject.catches_lost_jobs {
+                let err = campaign
+                    .launch(executor.as_ref())
+                    .unwrap()
+                    .join()
+                    .unwrap_err();
+                assert!(
+                    matches!(err, CoreError::JobsLost { lost } if lost > 0),
+                    "{granularity}/{}: expected JobsLost, got {err:?}",
+                    subject.name
+                );
+            } else {
+                // The serial executor runs jobs on the launch thread: the
+                // DUT panic propagates to the caller instead of vanishing.
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = campaign.launch(executor.as_ref());
+                }));
+                assert!(
+                    panicked.is_err(),
+                    "{granularity}/{}: inline execution must propagate the panic",
+                    subject.name
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache audit mode: truthful caches verify clean, poisoned caches error.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_cache_verify_passes_on_truth_and_catches_poison() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+    let reference = Campaign::new(&entries, &stands)
+        .run(&SerialExecutor)
+        .unwrap();
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        let cache = Arc::new(MemoryCache::new());
+        let campaign = Campaign::new(&entries, &stands)
+            .granularity(granularity)
+            .cache(cache.clone());
+        let _ = campaign.run(&SerialExecutor).unwrap(); // populate
+
+        // Truthful cache: verify re-executes everything and joins clean.
+        let verify = Campaign::new(&entries, &stands)
+            .granularity(granularity)
+            .cache(cache.clone())
+            .cache_verify(true);
+        for subject in subjects() {
+            let executor = (subject.build)();
+            let outcome = verify.launch(executor.as_ref()).unwrap().join().unwrap();
+            assert_eq!(
+                outcome.result, reference,
+                "{granularity}/{}: verify mode must produce the cold result",
+                subject.name
+            );
+        }
+
+        // Poison one record: flip the first cached test outcome into a
+        // planning error. Verify mode must now fail the join. (Each verify
+        // run re-stores the executed truth — the cache self-heals — so the
+        // poison is re-applied before every subject.)
+        let key = comptest::core::CellKey::for_cell(&entries[0], &stand_b, &ExecOptions::default());
+        let truth = cache.load(&key).expect("populated record");
+        for subject in subjects() {
+            let mut record = truth.clone();
+            record.tests[0] = Err("poisoned cache entry".into());
+            cache.store(&key, &record);
+            let executor = (subject.build)();
+            let err = verify
+                .launch(executor.as_ref())
+                .unwrap()
+                .join()
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::CacheMismatch { mismatches } if mismatches > 0),
+                "{granularity}/{}: expected CacheMismatch, got {err:?}",
+                subject.name
+            );
+        }
+        // Verify mode re-executed and re-stored the truth: the cache has
+        // self-healed, and a fresh audit passes again.
+        let healed = verify.launch(&SerialExecutor).unwrap().join().unwrap();
+        assert_eq!(healed.result, reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-executor cache interchange: a record written by one executor at one
+// granularity serves every other executor at the other granularity.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conformance_cache_records_are_executor_and_granularity_agnostic() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stands = [&stand_a];
+    let cell_ref = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Cell)
+        .run(&SerialExecutor)
+        .unwrap();
+    let test_ref = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .run(&SerialExecutor)
+        .unwrap();
+
+    // Populate at *test* granularity on the async executor...
+    let cache = Arc::new(MemoryCache::new());
+    let populate = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .cache(cache.clone());
+    let _ = populate.run(&AsyncExecutor::new(128)).unwrap();
+
+    // ...and consume at *cell* granularity on the pooled executor (and the
+    // reverse pairing), byte-identical to the cold references.
+    let consume_cells = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Cell)
+        .cache(cache.clone());
+    assert_eq!(
+        consume_cells.run(&PooledExecutor::new(4)).unwrap(),
+        cell_ref,
+        "test-granular records must serve cell-granular runs"
+    );
+    let consume_tests = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .cache(cache);
+    assert_eq!(
+        consume_tests.run(&PooledExecutor::new(4)).unwrap(),
+        test_ref,
+        "and cell-granular consumption must not have disturbed them"
+    );
+}

@@ -1,0 +1,216 @@
+//! Property tests pinning the cache-key hashing contract
+//! (`comptest_core::hash`): structurally equal suites and stands hash
+//! equal — across re-parses and irrelevant spelling differences — and
+//! every structural mutation (renamed test, changed check bound,
+//! reordered steps, re-wired matrix, changed supply) moves the key.
+//! Plus the cache-robustness half: a corrupted or truncated `DirCache`
+//! entry is a *miss* (the campaign executes cold), never an error.
+
+use std::sync::Arc;
+
+use comptest::core::campaign::CampaignEntry;
+use comptest::core::hash::{hash_stand, hash_suite};
+use comptest::engine::{CampaignCache, DirCache};
+use comptest::prelude::*;
+use comptest_workload::{gen_workbook_text, SplitMix64, WorkbookShape};
+use proptest::prelude::*;
+
+/// A generated workbook: the suite plus its source text (so equality can
+/// be checked against an independent re-parse).
+fn generated_suite(seed: u64, signals: usize, tests: usize) -> (TestSuite, String) {
+    let mut rng = SplitMix64::new(seed);
+    let text = gen_workbook_text(
+        &mut rng,
+        &WorkbookShape {
+            signals: signals.max(2),
+            tests: tests.max(1),
+            steps: 2,
+        },
+    );
+    let suite = Workbook::parse_str("gen.cts", &text)
+        .expect("generated workbook parses")
+        .suite;
+    (suite, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Re-parsing the identical sheet text yields the identical hash:
+    /// the hash is a function of structure, not of parse order, heap
+    /// addresses or wall-clock.
+    #[test]
+    fn reparsed_suites_hash_equal(seed in 0u64..1_000_000, signals in 2usize..6, tests in 1usize..8) {
+        let (a, text) = generated_suite(seed, signals, tests);
+        let b = Workbook::parse_str("again.cts", &text).unwrap().suite;
+        prop_assert_eq!(hash_suite(&a), hash_suite(&b));
+        // A clone is trivially structurally equal.
+        prop_assert_eq!(hash_suite(&a), hash_suite(&a.clone()));
+    }
+
+    /// Renaming any test changes the suite hash.
+    #[test]
+    fn renaming_a_test_changes_the_hash(seed in 0u64..1_000_000, pick in 0usize..64) {
+        let (base, _) = generated_suite(seed, 3, 4);
+        let mut mutated = base.clone();
+        let i = pick % mutated.tests.len();
+        mutated.tests[i].name = format!("{}_renamed", mutated.tests[i].name);
+        prop_assert_ne!(hash_suite(&base), hash_suite(&mutated));
+    }
+
+    /// Widening (or otherwise moving) any status bound changes the hash —
+    /// the acceptance interval is part of the verified contract.
+    #[test]
+    fn changing_a_check_bound_changes_the_hash(seed in 0u64..1_000_000, pick in 0usize..64, delta in 0.001f64..10.0) {
+        let (base, _) = generated_suite(seed, 3, 4);
+        let mut mutated = base.clone();
+        let defs: Vec<_> = mutated.statuses.iter().cloned().collect();
+        prop_assert!(!defs.is_empty());
+        let mut def = defs[pick % defs.len()].clone();
+        // `max` may be absent (bit-pattern statuses) or infinite (`INF`
+        // upper bounds, where adding a delta is a no-op) — move it to a
+        // fresh finite value in every case.
+        def.max = Some(match def.max {
+            Some(m) if m.is_finite() => m + delta,
+            _ => delta,
+        });
+        mutated.statuses.insert(def);
+        prop_assert_ne!(hash_suite(&base), hash_suite(&mutated));
+    }
+
+    /// Reordering the steps of a test changes the hash — the stimulus
+    /// sequence is structure, not presentation.
+    #[test]
+    fn reordering_steps_changes_the_hash(seed in 0u64..1_000_000, pick in 0usize..64) {
+        let (base, _) = generated_suite(seed, 3, 4);
+        let mut mutated = base.clone();
+        let i = pick % mutated.tests.len();
+        // Step rows carry their sheet number (`nr`), so reversing the
+        // sequence always changes the hashed byte stream — even for tests
+        // whose rows happen to assign identical statuses.
+        mutated.tests[i].steps.reverse();
+        prop_assert_ne!(hash_suite(&base), hash_suite(&mutated));
+    }
+
+    /// Stand mutations move the stand hash: supply voltage, resource
+    /// capability range, and matrix wiring are all part of the key.
+    #[test]
+    fn stand_mutations_change_the_hash(ubatt in 9.0f64..16.0, delta in 0.25f64..4.0) {
+        let base = TestStand::parse_str("a.stand", comptest::core::PAPER_STAND_A).unwrap();
+        let mut supply = base.clone();
+        supply.env_mut().set("ubatt", ubatt + 100.0);
+        prop_assert_ne!(hash_stand(&base), hash_stand(&supply));
+
+        let mut tweaked = base.clone();
+        tweaked.env_mut().set("extra_var", delta);
+        prop_assert_ne!(hash_stand(&base), hash_stand(&tweaked), "added env var");
+    }
+}
+
+/// Irrelevant spelling: identifier *case* is not structure (the whole
+/// toolchain compares names case-insensitively), so a case-only respelling
+/// keys identically.
+#[test]
+fn identifier_case_is_not_structure() {
+    let upper = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,       direction, init
+DS_FL,   pin:DS_FL,  input,     OPEN
+
+[status]
+status, method, attribut, var, nom, min, max
+OPEN,   put_r,  r,        ,    0,   0,   2
+
+[test smoke]
+step, dt,  DS_FL
+0,    0.5, OPEN
+";
+    let lower = upper
+        .replace(
+            "DS_FL,   pin:DS_FL,  input,     OPEN",
+            "ds_fl,   pin:ds_fl,  input,     open",
+        )
+        .replace("OPEN,   put_r", "open,   put_r")
+        .replace("step, dt,  DS_FL", "step, dt,  ds_fl")
+        .replace("0,    0.5, OPEN", "0,    0.5, open");
+    let a = Workbook::parse_str("upper.cts", upper).unwrap().suite;
+    let b = Workbook::parse_str("lower.cts", &lower).unwrap().suite;
+    assert_eq!(
+        hash_suite(&a),
+        hash_suite(&b),
+        "case-only respelling must key identically"
+    );
+}
+
+/// The robustness half of the contract: corrupting or truncating every
+/// on-disk record between two runs turns hits back into misses — the
+/// second run executes cold and still produces the byte-identical result,
+/// and the corrupt files are replaced with fresh records.
+#[test]
+fn corrupted_dir_cache_entries_are_misses_not_errors() {
+    let dir = std::env::temp_dir().join(format!("comptest-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let suites = comptest::load_bundled_suites().unwrap();
+    let entries: Vec<CampaignEntry<'_>> = comptest::bundled_entries(&suites);
+    let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+    let stands = [&stand];
+    let reference = Campaign::new(&entries, &stands)
+        .run(&SerialExecutor)
+        .unwrap();
+
+    let cache = Arc::new(DirCache::open(&dir).unwrap());
+    let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+    let _ = campaign.run(&SerialExecutor).unwrap();
+
+    // Vandalise every record differently: truncation, garbage, emptiness.
+    let mut records: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    records.sort();
+    assert_eq!(records.len(), entries.len(), "one record per cell");
+    for (i, path) in records.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                let text = std::fs::read_to_string(path).unwrap();
+                std::fs::write(path, &text[..text.len() / 3]).unwrap();
+            }
+            1 => std::fs::write(path, b"\x00\xff garbage {{{").unwrap(),
+            _ => std::fs::write(path, b"").unwrap(),
+        }
+    }
+
+    // Every load must now miss...
+    let keys: Vec<comptest::core::CellKey> = entries
+        .iter()
+        .map(|e| comptest::core::CellKey::for_cell(e, &stand, &ExecOptions::default()))
+        .collect();
+    for key in &keys {
+        assert!(
+            cache.load(key).is_none(),
+            "corrupt entry must read as a miss"
+        );
+    }
+
+    // ...and the campaign simply runs cold, byte-identical, re-storing
+    // valid records as it goes.
+    let mut handle = campaign.launch(&SerialExecutor).unwrap();
+    let events: Vec<EngineEvent> = handle.events().collect();
+    let rerun = handle.join().unwrap();
+    assert_eq!(rerun.result, reference);
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CellCached { .. })),
+        "nothing can hit a vandalised cache"
+    );
+    for key in &keys {
+        assert!(cache.load(key).is_some(), "cold run must repair the record");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,10 +1,95 @@
-//! Fuzz-style robustness: the three text parsers must never panic, whatever
-//! bytes arrive — they either produce a value or a diagnostic. Inputs are
+//! Fuzz-style robustness: the text parsers (workbooks, stands, scripts,
+//! expressions, CLI option values) must never panic, whatever bytes
+//! arrive — they either produce a value or a diagnostic. Inputs are
 //! random strings plus mutated versions of the valid bundled artifacts
 //! (mutations keep the input "almost right", where panics usually hide).
+//! The campaign cache gets the same treatment: hostile cache-directory
+//! paths yield a graceful [`comptest::core::CoreError::Cache`] (or a
+//! working cache), never a panic, and feeding a hostile store never
+//! fails a run.
 
+use comptest::core::CoreError;
+use comptest::engine::{CampaignCache, DirCache};
 use comptest::prelude::*;
 use proptest::prelude::*;
+
+/// Loads, stores, reloads — the full round a campaign would drive, on
+/// whatever directory the fuzzer produced. (Fuzzed path fragments may
+/// contain `.`/`..` components, so two cases can land on the same
+/// directory: no assumption is made about pre-existing entries, only that
+/// nothing panics.)
+fn exercise_cache(cache: &DirCache) {
+    let key = comptest::core::CellKey {
+        suite_hash: 1,
+        stand_hash: 2,
+        dut_config_hash: 3,
+        exec_hash: 4,
+    };
+    let _ = cache.load(&key);
+    let record = comptest::engine::CellRecord {
+        total: 1,
+        tests: vec![Err("fuzz".into())],
+    };
+    cache.store(&key, &record);
+    // Stores are best-effort: a load now yields the record or (if the OS
+    // rejected the write) nothing — both are fine, panics are not.
+    let _ = cache.load(&key);
+}
+
+/// The explicit hostile-path cases the fuzzer cannot reliably produce:
+/// empty path, a path naming an existing *file*, a read-only parent. All
+/// must yield `CoreError::Cache` or a working cache — never a panic — and
+/// a cache whose directory turns read-only after opening must silently
+/// drop stores rather than failing the campaign.
+#[test]
+fn dir_cache_hostile_paths_are_graceful() {
+    assert!(matches!(DirCache::open(""), Err(CoreError::Cache { .. })));
+
+    let base = std::env::temp_dir().join(format!("comptest-hostile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // A file where a directory should be.
+    let file = base.join("occupied");
+    std::fs::write(&file, "not a dir").unwrap();
+    assert!(matches!(
+        DirCache::open(&file),
+        Err(CoreError::Cache { .. })
+    ));
+    // ...and nesting *under* a file cannot create the directory either.
+    assert!(matches!(
+        DirCache::open(file.join("child")),
+        Err(CoreError::Cache { .. })
+    ));
+
+    // Deeply nested fresh path: created on demand.
+    let nested = base.join("a").join("b").join("c");
+    exercise_cache(&DirCache::open(&nested).unwrap());
+
+    // Read-only directory: opening may succeed or fail depending on
+    // privileges (root ignores mode bits); either way nothing panics and
+    // stores stay best-effort.
+    let ro = base.join("readonly");
+    std::fs::create_dir_all(&ro).unwrap();
+    let mut perms = std::fs::metadata(&ro).unwrap().permissions();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        perms.set_mode(0o555);
+    }
+    std::fs::set_permissions(&ro, perms.clone()).unwrap();
+    match DirCache::open(&ro) {
+        Ok(cache) => exercise_cache(&cache),
+        Err(e) => assert!(matches!(e, CoreError::Cache { .. })),
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        perms.set_mode(0o755);
+        let _ = std::fs::set_permissions(&ro, perms);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
 
 fn mutate(base: &str, position: usize, replacement: &str) -> String {
     let mut chars: Vec<char> = base.chars().collect();
@@ -58,5 +143,40 @@ proptest! {
     #[test]
     fn expression_parser_never_panics(input in ".{0,64}") {
         let _ = comptest::model::Expr::parse(&input);
+    }
+
+    #[test]
+    fn sample_mode_parser_never_panics(input in ".{0,48}") {
+        let _ = input.parse::<SampleMode>();
+    }
+
+    /// Near-miss sample-mode spellings: the `continuous:` prefix followed
+    /// by arbitrary bytes must parse or error, never panic.
+    #[test]
+    fn sample_mode_continuous_suffix_never_panics(suffix in "[\\x00-\\xff]{0,16}") {
+        let _ = format!("continuous:{suffix}").parse::<SampleMode>();
+        let _ = format!("END-OF-STEP{suffix}").parse::<SampleMode>();
+    }
+
+    /// Hostile cache-directory paths: empty, raw control/8-bit bytes,
+    /// deeply nested, embedded NUL-adjacent junk. `DirCache::open` must
+    /// return `Ok` (the path happened to be creatable) or a graceful
+    /// `CoreError::Cache` — and an opened cache must absorb loads and
+    /// stores without panicking, whatever the OS did to the path.
+    #[test]
+    fn dir_cache_open_never_panics(raw in "[\\x01-\\xff]{0,24}", depth in 0usize..4) {
+        let base = std::env::temp_dir().join(format!("comptest-fuzz-{}", std::process::id()));
+        let mut path = base.join(&raw);
+        for level in 0..depth {
+            path = path.join(format!("n{level}"));
+        }
+        match DirCache::open(&path) {
+            Ok(cache) => exercise_cache(&cache),
+            Err(e) => prop_assert!(
+                matches!(e, CoreError::Cache { .. }),
+                "open must fail with CoreError::Cache, got {e:?}"
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 }
