@@ -15,6 +15,8 @@
 
 use std::borrow::{Borrow, BorrowMut};
 use std::str::FromStr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use comptest_dut::{Device, PinDrive};
 use comptest_model::{SignalKind, SimTime};
@@ -88,6 +90,20 @@ impl FromStr for SampleMode {
             SampleMode::ACCEPTED.join(", ")
         ))
     }
+}
+
+/// Observer of per-step execution progress, attached with
+/// [`TestRun::with_probe`].
+///
+/// A probe is pure telemetry: it sees each executed step *after* the step
+/// completed and cannot influence the run — results stay byte-identical
+/// with or without one. Wall-clock time reaches the probe only as a
+/// duration argument; nothing wall-clock ever enters the [`TestResult`],
+/// which is what keeps results hashable and cacheable.
+pub trait StepProbe: std::fmt::Debug + Send + Sync {
+    /// Called once per executed plan step: the step's `nr`, the simulated
+    /// time the run advanced to, and the wall-clock time the step took.
+    fn step_executed(&self, nr: u32, sim_end: SimTime, wall: Duration);
 }
 
 /// What one [`TestRun::step`] call left behind.
@@ -176,6 +192,9 @@ where
     /// Latched when the run ended before exhausting the plan (init error,
     /// step error, `stop_on_failure`).
     done: bool,
+    /// Optional telemetry observer; `None` (the default) keeps the step
+    /// path free of any timing calls.
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl<P, D> TestRun<P, D>
@@ -223,7 +242,17 @@ where
             checks_buf: Vec::new(),
             result: Some(result),
             done,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe (builder style): every subsequent
+    /// [`TestRun::step`] call reports the executed step's number, simulated
+    /// end time and wall-clock duration to it. Observation only — the
+    /// run's result is byte-identical with or without a probe.
+    pub fn with_probe(mut self, probe: Arc<dyn StepProbe>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// Advances the run by exactly one planned step (or delivers the final
@@ -242,7 +271,17 @@ where
             "TestRun::step called after the run finished"
         );
         if !self.done && self.next_step < self.plan.borrow().steps.len() {
-            self.execute_next_step();
+            if self.probe.is_none() {
+                self.execute_next_step();
+            } else {
+                let nr = self.plan.borrow().steps[self.next_step].nr;
+                let begin = Instant::now();
+                self.execute_next_step();
+                let wall = begin.elapsed();
+                if let Some(probe) = &self.probe {
+                    probe.step_executed(nr, self.now, wall);
+                }
+            }
         }
         if self.done || self.next_step >= self.plan.borrow().steps.len() {
             return RunState::Finished(self.result.take().expect("checked above"));
@@ -287,6 +326,7 @@ where
             checks_buf,
             result,
             done,
+            probe: _,
         } = self;
         let plan: &ExecutionPlan = (*plan).borrow();
         let device: &mut Device = (*device).borrow_mut();

@@ -71,7 +71,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use error::CoreError;
-pub use exec::{execute, ExecOptions, RunState, SampleMode, TestRun};
+pub use exec::{execute, ExecOptions, RunState, SampleMode, StepProbe, TestRun};
 pub use hash::{hash_device, hash_exec_options, hash_script, hash_stand, hash_suite, CellKey};
 pub use pipeline::{run_suite, run_test};
 pub use trace::{Trace, TraceEvent};

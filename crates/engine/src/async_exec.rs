@@ -46,10 +46,11 @@ use crate::cache::fold_cell;
 use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::executor::{
-    check_lost, check_verified, collect, fold_cell_slots, outcome_status, CampaignExecutor, JobCtx,
-    JobMsg, PackagedCell, PackagedJob, PackagedTest, Prepared,
+    check_lost, check_verified, collect, fold_cell_slots, outcome_sim_end, outcome_status,
+    CampaignExecutor, JobCtx, JobMsg, PackagedCell, PackagedJob, PackagedTest, Prepared,
 };
 use crate::handle::{CampaignHandle, CampaignOutcome, EventStream};
+use crate::obs::{Counter, Gauge, SpanCat, SpanHandle};
 
 /// Executes campaigns on an event loop of resumable [`TestRun`]s: up to
 /// `concurrency` runs are open simultaneously, interleaved step by step in
@@ -191,7 +192,9 @@ fn launch_async_tests<'a>(
     let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
+    ctx.emit_cache_warnings(&events_tx);
     let parts = partition(jobs, executor.shards.min(executor.concurrency));
+    ctx.obs.gauge_set(Gauge::Workers, parts.len() as i64);
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
         let ctx = ctx.clone();
@@ -232,6 +235,9 @@ struct TestTicket {
     stand: String,
     name: String,
     started: Instant,
+    /// The test's trace span, closed at finish (or on abandonment, so
+    /// span-open always equals span-close even under cancellation).
+    span: SpanHandle,
 }
 
 /// One in-flight test on the wheel (the plan is the campaign's shared
@@ -253,11 +259,13 @@ fn drive_test_shard(
 ) {
     let mut wheel: BinaryHeap<Scheduled<ActiveTest>> = BinaryHeap::new();
     let mut seq = 0u64;
+    ctx.obs.gauge_add(Gauge::QueueDepth, pending.len() as i64);
     loop {
         while wheel.len() < limit {
             let Some(job) = pending.pop_front() else {
                 break;
             };
+            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
             admit_test(job, ctx, events, results, &mut wheel, &mut seq);
         }
         let Some(entry) = wheel.pop() else {
@@ -274,6 +282,9 @@ fn drive_test_shard(
         // cancelled; acknowledging here is what keeps join() from calling
         // it lost.
         if ctx.cancel.is_cancelled() {
+            ctx.obs.gauge_add(Gauge::InflightJobs, -1);
+            ctx.obs
+                .span_end(entry.payload.ticket.span, || Some("cancelled".into()));
             let _ = results.send(JobMsg::Cancelled);
             continue;
         }
@@ -287,6 +298,7 @@ fn drive_test_shard(
                 });
             }
             RunState::Finished(result) => {
+                ctx.obs.gauge_add(Gauge::InflightJobs, -1);
                 finish_test(active.ticket, Ok(result), ctx, events, results);
             }
         }
@@ -313,7 +325,7 @@ fn admit_test(
     if ctx.try_cached_test(&job, events, results) {
         return;
     }
-    let plan = job.resolve_plan();
+    let plan = job.resolve_plan(&ctx.obs);
     let PackagedJob {
         job: slot,
         cell,
@@ -334,6 +346,9 @@ fn admit_test(
             name: name.clone(),
         },
     );
+    let span = ctx
+        .obs
+        .span_begin(SpanCat::Test, || format!("{suite}::{name}"));
     let ticket = TestTicket {
         slot,
         cell,
@@ -342,10 +357,15 @@ fn admit_test(
         stand: stand_name,
         name,
         started: Instant::now(),
+        span,
     };
     match plan {
         Ok(plan) => {
-            let run = TestRun::new(plan, device, &ctx.exec);
+            let mut run = TestRun::new(plan, device, &ctx.exec);
+            if let Some(probe) = &ctx.step_probe {
+                run = run.with_probe(Arc::clone(probe));
+            }
+            ctx.obs.gauge_add(Gauge::InflightJobs, 1);
             wheel.push(Scheduled {
                 deadline: run.next_deadline(),
                 seq: *seq,
@@ -372,6 +392,11 @@ fn finish_test(
         runtime.finish_test(ticket.cell, ticket.test, &outcome);
     }
     let (status, failed) = outcome_status(&outcome);
+    let wall = ticket.started.elapsed();
+    ctx.obs.inc(Counter::JobsExecuted);
+    ctx.obs.inc(Counter::TestsExecuted);
+    ctx.obs.test_timing(wall, outcome_sim_end(&outcome));
+    ctx.obs.span_end(ticket.span, || Some(status.clone()));
     emit(
         events,
         EngineEvent::TestFinished {
@@ -382,7 +407,7 @@ fn finish_test(
             name: ticket.name,
             status,
             failed,
-            duration: ticket.started.elapsed(),
+            duration: wall,
         },
     );
     if failed && ctx.stop {
@@ -403,7 +428,9 @@ fn launch_async_cells<'a>(
     let ctx = JobCtx::new(campaign, &prepared);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
+    ctx.emit_cache_warnings(&events_tx);
     let parts = partition(cells, executor.shards.min(executor.concurrency));
+    ctx.obs.gauge_set(Gauge::Workers, parts.len() as i64);
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
         let ctx = ctx.clone();
@@ -440,6 +467,9 @@ struct CellShell {
     stand: Arc<TestStand>,
     remaining: VecDeque<PackagedTest>,
     outcomes: Vec<TestJobOutcome>,
+    /// The cell's trace span, closed at finish (or on abandonment, so
+    /// span-open always equals span-close even under cancellation).
+    span: SpanHandle,
 }
 
 /// One in-flight cell on the wheel: its shell plus the current test's run.
@@ -463,15 +493,18 @@ enum CellStep {
 fn start_next_test(mut shell: CellShell, ctx: &JobCtx) -> CellStep {
     match shell.remaining.pop_front() {
         None => CellStep::Done(shell),
-        Some(test) => match test.plan.resolve(&test.script, &shell.stand) {
+        Some(test) => match test.plan.resolve(&test.script, &shell.stand, &ctx.obs) {
             Err(reason) => {
                 shell.outcomes.push(Err(reason));
                 CellStep::Done(shell)
             }
-            Ok(plan) => CellStep::Active(Box::new(ActiveCell {
-                run: TestRun::new(plan, test.device, &ctx.exec),
-                shell,
-            })),
+            Ok(plan) => {
+                let mut run = TestRun::new(plan, test.device, &ctx.exec);
+                if let Some(probe) = &ctx.step_probe {
+                    run = run.with_probe(Arc::clone(probe));
+                }
+                CellStep::Active(Box::new(ActiveCell { run, shell }))
+            }
         },
     }
 }
@@ -486,11 +519,13 @@ fn drive_cell_shard(
 ) {
     let mut wheel: BinaryHeap<Scheduled<Box<ActiveCell>>> = BinaryHeap::new();
     let mut seq = 0u64;
+    ctx.obs.gauge_add(Gauge::QueueDepth, pending.len() as i64);
     loop {
         while wheel.len() < limit {
             let Some(cell) = pending.pop_front() else {
                 break;
             };
+            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
             admit_cell(cell, ctx, events, results, &mut wheel, &mut seq);
         }
         let Some(entry) = wheel.pop() else {
@@ -504,6 +539,9 @@ fn drive_cell_shard(
         // (the cell merges as cancelled, keeping parity with the pooled
         // executor's all-or-nothing cell outcomes).
         if ctx.cancel.is_cancelled() {
+            ctx.obs.gauge_add(Gauge::InflightJobs, -1);
+            ctx.obs
+                .span_end(entry.payload.shell.span, || Some("cancelled".into()));
             let _ = results.send(JobMsg::Cancelled);
             continue;
         }
@@ -528,6 +566,7 @@ fn drive_cell_shard(
                         });
                     }
                     CellStep::Done(shell) => {
+                        ctx.obs.gauge_add(Gauge::InflightJobs, -1);
                         finish_cell(shell, ctx, events, results);
                     }
                 }
@@ -570,6 +609,9 @@ fn admit_cell(
             stand: stand_name.clone(),
         },
     );
+    let span = ctx
+        .obs
+        .span_begin(SpanCat::Cell, || format!("{suite} on {stand_name}"));
     let shell = CellShell {
         slot,
         suite,
@@ -577,9 +619,11 @@ fn admit_cell(
         stand,
         remaining: tests.into(),
         outcomes: Vec::new(),
+        span,
     };
     match start_next_test(shell, ctx) {
         CellStep::Active(cell) => {
+            ctx.obs.gauge_add(Gauge::InflightJobs, 1);
             wheel.push(Scheduled {
                 deadline: cell.run.next_deadline(),
                 seq: *seq,
@@ -606,13 +650,17 @@ fn finish_cell(
         suite,
         stand_name,
         outcomes,
+        span,
         ..
     } = shell;
     if let Some(runtime) = &ctx.cache {
         runtime.finish_cell(slot, &suite, &stand_name, &outcomes);
     }
+    ctx.obs.inc(Counter::JobsExecuted);
+    ctx.obs.add(Counter::TestsExecuted, outcomes.len() as u64);
     let cell = fold_cell(suite, stand_name, outcomes);
     let failed = !cell.passed();
+    ctx.obs.span_end(span, || Some(cell.status()));
     emit(
         events,
         EngineEvent::JobFinished {

@@ -40,20 +40,23 @@
 //!   spot-check that the content addressing really covers every input.
 
 mod codec;
-mod json;
+pub(crate) mod json;
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 
 use comptest_core::campaign::{CampaignCell, CampaignEntry, TestJobOutcome};
 use comptest_core::error::CoreError;
-use comptest_core::exec::ExecOptions;
-use comptest_core::hash::{hash_device, hash_exec_options, hash_stand, hash_suite, CellKey};
+use comptest_core::hash::CellKey;
 use comptest_core::{SuiteResult, TestResult};
 use comptest_stand::TestStand;
+
+use crate::events::{emit, EngineEvent};
+use crate::obs::{Counter, Recorder};
 
 /// The cached outcomes of one campaign cell: per-test outcomes in suite
 /// order, possibly truncated to the prefix a cell-granular run determined.
@@ -146,6 +149,36 @@ pub trait CampaignCache: fmt::Debug + Send + Sync {
 
     /// Stores (or replaces) the record for a key. Best-effort.
     fn store(&self, key: &CellKey, record: &CellRecord);
+
+    /// Like [`CampaignCache::load`], but distinguishes an entry that does
+    /// not exist from one that exists and cannot be decoded, so the
+    /// engine can tell a cold cache from a rotting store (it emits
+    /// [`EngineEvent::CellCacheCorrupt`](crate::EngineEvent::CellCacheCorrupt)
+    /// and bumps the `cache_corrupt_entries` counter for the latter).
+    ///
+    /// The default implementation cannot see corruption and maps `load`
+    /// to `Hit`/`Miss`; stores with their own decode step (like
+    /// [`DirCache`]) should override it.
+    fn lookup(&self, key: &CellKey) -> CacheLookup {
+        match self.load(key) {
+            Some(record) => CacheLookup::Hit(record),
+            None => CacheLookup::Miss,
+        }
+    }
+}
+
+/// Outcome of a [`CampaignCache::lookup`]: a usable record, a plain
+/// absence, or an entry that exists but cannot be decoded. `Corrupt`
+/// behaves like `Miss` for execution (the cell runs cold) and exists so
+/// the condition can be surfaced instead of silently swallowed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// A decodable record was found.
+    Hit(CellRecord),
+    /// No entry exists for the key.
+    Miss,
+    /// An entry exists but is truncated, wrong-version, or garbage.
+    Corrupt,
 }
 
 /// An in-process cache: outcomes survive across launches of the same (or
@@ -239,8 +272,25 @@ impl DirCache {
 
 impl CampaignCache for DirCache {
     fn load(&self, key: &CellKey) -> Option<CellRecord> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        codec::decode(&text).ok()
+        match self.lookup(key) {
+            CacheLookup::Hit(record) => Some(record),
+            CacheLookup::Miss | CacheLookup::Corrupt => None,
+        }
+    }
+
+    fn lookup(&self, key: &CellKey) -> CacheLookup {
+        let text = match std::fs::read_to_string(self.entry_path(key)) {
+            Ok(text) => text,
+            // Absent entry: a genuinely cold cell.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            // Present but unreadable (permissions, I/O error): the store
+            // has the entry and cannot serve it — report it as rot.
+            Err(_) => return CacheLookup::Corrupt,
+        };
+        match codec::decode(&text) {
+            Ok(record) => CacheLookup::Hit(record),
+            Err(_) => CacheLookup::Corrupt,
+        }
     }
 
     fn store(&self, key: &CellKey, record: &CellRecord) {
@@ -292,42 +342,47 @@ pub(crate) struct CacheRuntime {
     totals: Vec<usize>,
     /// Per-cell accumulators; empty for cell-granular runs.
     collectors: Vec<Mutex<Collector>>,
+    /// Cells whose stored entry existed but could not be decoded:
+    /// `(cell, suite, stand)`, collected at preload so every launch path
+    /// can emit [`EngineEvent::CellCacheCorrupt`] warnings once its event
+    /// channel exists.
+    corrupt: Vec<(usize, String, String)>,
     mismatches: AtomicUsize,
 }
 
 impl CacheRuntime {
-    /// Computes keys (hashing each suite, stand and DUT config once, not
-    /// once per cell) and pre-loads every cell's record. `collect_tests`
-    /// is true for test-granular runs, which need the per-cell store
-    /// accumulators.
+    /// Pre-loads every cell's record using the campaign's precomputed
+    /// [`CellKey`]s (hashed once per campaign *value* in the `OnceLock`
+    /// key store, not once per launch). `collect_tests` is true for
+    /// test-granular runs, which need the per-cell store accumulators.
+    /// Corrupt entries are treated as misses, remembered for warning
+    /// events, and counted on `obs`.
     pub(crate) fn prepare(
         cache: Arc<dyn CampaignCache>,
         verify: bool,
         collect_tests: bool,
         entries: &[CampaignEntry<'_>],
         stands: &[&TestStand],
-        exec: &ExecOptions,
+        keys: &[CellKey],
+        obs: &Recorder,
     ) -> Arc<Self> {
-        let exec_hash = hash_exec_options(exec);
-        let stand_hashes: Vec<u64> = stands.iter().map(|s| hash_stand(s)).collect();
-        let entry_hashes: Vec<(u64, u64)> = entries
-            .iter()
-            .map(|e| (hash_suite(e.suite), hash_device(&e.device_factory.build())))
-            .collect();
-        let mut keys = Vec::with_capacity(entries.len() * stands.len());
-        let mut records = Vec::with_capacity(keys.capacity());
-        let mut totals = Vec::with_capacity(keys.capacity());
+        debug_assert_eq!(keys.len(), entries.len() * stands.len());
+        let mut records = Vec::with_capacity(keys.len());
+        let mut totals = Vec::with_capacity(keys.len());
         let mut collectors = Vec::new();
-        for (entry, &(suite_hash, dut_config_hash)) in entries.iter().zip(&entry_hashes) {
-            for &stand_hash in &stand_hashes {
-                let key = CellKey {
-                    suite_hash,
-                    stand_hash,
-                    dut_config_hash,
-                    exec_hash,
-                };
-                records.push(cache.load(&key));
-                keys.push(key);
+        let mut corrupt = Vec::new();
+        let mut cell = 0;
+        for entry in entries {
+            for stand in stands {
+                records.push(match cache.lookup(&keys[cell]) {
+                    CacheLookup::Hit(record) => Some(record),
+                    CacheLookup::Miss => None,
+                    CacheLookup::Corrupt => {
+                        obs.inc(Counter::CacheCorruptEntries);
+                        corrupt.push((cell, entry.suite.name.clone(), stand.name().to_owned()));
+                        None
+                    }
+                });
                 totals.push(entry.suite.tests.len());
                 if collect_tests {
                     collectors.push(Mutex::new(Collector {
@@ -337,17 +392,35 @@ impl CacheRuntime {
                         stored: false,
                     }));
                 }
+                cell += 1;
             }
         }
         Arc::new(Self {
             cache,
             verify,
-            keys,
+            keys: keys.to_vec(),
             records,
             totals,
             collectors,
+            corrupt,
             mismatches: AtomicUsize::new(0),
         })
+    }
+
+    /// Emits one [`EngineEvent::CellCacheCorrupt`] per rotten entry found
+    /// at preload. Every launch path calls this right after creating its
+    /// event channel, before any job runs.
+    pub(crate) fn emit_corrupt_warnings(&self, events: &Sender<EngineEvent>) {
+        for (cell, suite, stand) in &self.corrupt {
+            emit(
+                events,
+                EngineEvent::CellCacheCorrupt {
+                    cell: *cell,
+                    suite: suite.clone(),
+                    stand: stand.clone(),
+                },
+            );
+        }
     }
 
     /// Test-granular admission: the cached outcome for one (cell, test)

@@ -11,8 +11,9 @@ use comptest_core::exec::ExecOptions;
 use comptest_stand::TestStand;
 
 use crate::cache::CampaignCache;
-use crate::executor::{CampaignExecutor, PlanStore, ScriptStore};
+use crate::executor::{CampaignExecutor, KeyStore, PlanStore, ScriptStore};
 use crate::handle::{CampaignHandle, CancelToken};
+use crate::obs::{Recorder, SpanCat};
 
 /// Scheduling granularity of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +121,10 @@ pub struct Campaign<'a, 'b> {
     /// [`CoreError::CacheMismatch`] if any cached outcome diverged from
     /// the fresh execution.
     pub cache_verify: bool,
+    /// Observability recorder: disabled by default (zero cost), enabled
+    /// via [`Campaign::recorder`]. See [`crate::obs`] for the metrics and
+    /// tracing it collects.
+    pub obs: Recorder,
     /// Per-campaign plan store: one lazily resolved execution plan per
     /// (entry, test, stand) triple, shared across executors *and* across
     /// launches of this campaign value — relaunching (replay loops, warm
@@ -129,6 +134,12 @@ pub struct Campaign<'a, 'b> {
     /// (the codegen precheck of the first launch) and reused by later
     /// launches of this campaign value.
     pub(crate) scripts: ScriptStore,
+    /// Per-campaign cache-key store: every cell's [`CellKey`]
+    /// (suite/stand/DUT/exec hashes), computed once per campaign value on
+    /// the first cached launch instead of re-hashed per launch.
+    ///
+    /// [`CellKey`]: comptest_core::hash::CellKey
+    pub(crate) keys: KeyStore,
 }
 
 impl<'a, 'b> Campaign<'a, 'b> {
@@ -144,8 +155,10 @@ impl<'a, 'b> Campaign<'a, 'b> {
             cancel: CancelToken::new(),
             cache: None,
             cache_verify: false,
+            obs: Recorder::disabled(),
             plans: PlanStore::default(),
             scripts: ScriptStore::default(),
+            keys: KeyStore::default(),
         }
     }
 
@@ -195,6 +208,18 @@ impl<'a, 'b> Campaign<'a, 'b> {
         self
     }
 
+    /// Attaches an observability [`Recorder`] (builder style): every
+    /// launch of this campaign then records metrics and trace spans into
+    /// it, exportable after [`CampaignHandle::join`] via
+    /// [`Recorder::metrics`] and [`Recorder::chrome_trace_json`]. The
+    /// default is [`Recorder::disabled`] — zero recording cost, and
+    /// results are byte-identical either way. Keep a clone of the
+    /// recorder to export from.
+    pub fn recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Number of schedulable jobs at the configured granularity: whole
     /// suite×stand cells at [`Granularity::Cell`], single (entry, stand,
     /// test) triples at [`Granularity::Test`]. This is what a fresh
@@ -241,7 +266,14 @@ impl<'a, 'b> Campaign<'a, 'b> {
         executor: &E,
     ) -> Result<CampaignHandle<'a>, CoreError> {
         self.validate()?;
-        executor.launch(self)
+        let span = self.obs.span_begin(SpanCat::Campaign, || "campaign".into());
+        match executor.launch(self) {
+            Ok(handle) => Ok(handle.with_observation(self.obs.clone(), span)),
+            Err(error) => {
+                self.obs.span_end(span, || Some("launch-error".into()));
+                Err(error)
+            }
+        }
     }
 
     /// Convenience: launch on `executor`, discard events, join, and return

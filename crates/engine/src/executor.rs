@@ -19,8 +19,11 @@ use comptest_core::campaign::{
     CampaignResult, TestJobOutcome,
 };
 use comptest_core::error::CoreError;
-use comptest_core::exec::ExecOptions;
+use comptest_core::exec::{ExecOptions, RunState};
+use comptest_core::hash::{hash_device, hash_exec_options, hash_stand, hash_suite, CellKey};
+use comptest_core::{StepProbe, TestRun};
 use comptest_dut::Device;
+use comptest_model::SimTime;
 use comptest_script::TestScript;
 use comptest_stand::{ExecutionPlan, TestStand};
 
@@ -28,6 +31,7 @@ use crate::cache::{fold_cell, CacheRuntime};
 use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
+use crate::obs::{Counter, Gauge, Phase, Recorder, SpanCat};
 use crate::pool::WorkerPool;
 
 /// A strategy for executing an already-validated [`Campaign`].
@@ -87,13 +91,18 @@ pub(crate) struct PlanSlot {
 
 impl PlanSlot {
     /// The plan for `script` on `stand`, computed at most once per slot.
+    /// The actual planning work (first resolution only) is timed as the
+    /// `plan` phase on `obs`.
     pub(crate) fn resolve(
         &self,
         script: &TestScript,
         stand: &TestStand,
+        obs: &Recorder,
     ) -> Result<Arc<ExecutionPlan>, String> {
         self.plan
-            .get_or_init(|| plan_script(script, stand).map(Arc::new))
+            .get_or_init(|| {
+                obs.time_phase(Phase::Plan, || plan_script(script, stand).map(Arc::new))
+            })
             .clone()
     }
 }
@@ -135,6 +144,56 @@ impl ScriptStore {
     }
 }
 
+/// The per-campaign cache-key store: every cell's [`CellKey`], hashed
+/// once per campaign *value* on first cached launch and reused by every
+/// later launch — suites, stands, DUT configs and exec options are
+/// immutable for the campaign's lifetime, so a replay loop or warm bench
+/// re-hashing 10k tests per launch was pure waste. The hashing that does
+/// happen is timed as the `hash` phase.
+#[derive(Debug, Default)]
+pub(crate) struct KeyStore {
+    keys: OnceLock<Vec<CellKey>>,
+}
+
+impl KeyStore {
+    /// The campaign's cell keys in deterministic (entry, stand) order,
+    /// computed at most once per campaign value.
+    pub(crate) fn resolve(
+        &self,
+        entries: &[CampaignEntry<'_>],
+        stands: &[&TestStand],
+        exec: &ExecOptions,
+        obs: &Recorder,
+    ) -> &[CellKey] {
+        let keys = self.keys.get_or_init(|| {
+            obs.time_phase(Phase::Hash, || {
+                let exec_hash = hash_exec_options(exec);
+                let stand_hashes: Vec<u64> = stands.iter().map(|s| hash_stand(s)).collect();
+                let mut keys = Vec::with_capacity(entries.len() * stands.len());
+                for entry in entries {
+                    let suite_hash = hash_suite(entry.suite);
+                    let dut_config_hash = hash_device(&entry.device_factory.build());
+                    for &stand_hash in &stand_hashes {
+                        keys.push(CellKey {
+                            suite_hash,
+                            stand_hash,
+                            dut_config_hash,
+                            exec_hash,
+                        });
+                    }
+                }
+                keys
+            })
+        });
+        debug_assert_eq!(
+            keys.len(),
+            entries.len() * stands.len(),
+            "campaign shape changed under KeyStore"
+        );
+        keys
+    }
+}
+
 /// Everything a launch shares across jobs, prepared once on the launch
 /// thread: generated scripts (the codegen precheck), owned stands, the
 /// campaign's plan slots, and the cache runtime with pre-loaded records.
@@ -153,7 +212,10 @@ impl Prepared {
     /// job runs), clones stands once, binds the campaign's plan slots and
     /// pre-loads cache records in deterministic cell order.
     pub(crate) fn new(campaign: &Campaign<'_, '_>) -> Result<Self, CoreError> {
-        let scripts = campaign.scripts.get_or_generate(campaign.entries)?;
+        let obs = &campaign.obs;
+        let scripts = obs.time_phase(Phase::Codegen, || {
+            campaign.scripts.get_or_generate(campaign.entries)
+        })?;
         let stands: Vec<Arc<TestStand>> = campaign
             .stands
             .iter()
@@ -168,14 +230,21 @@ impl Prepared {
         offsets.push(total);
         let slots = campaign.plans.slots(total * campaign.stands.len()).to_vec();
         let cache = campaign.cache.as_ref().map(|cache| {
-            CacheRuntime::prepare(
-                Arc::clone(cache),
-                campaign.cache_verify,
-                campaign.granularity == Granularity::Test,
-                campaign.entries,
-                campaign.stands,
-                &campaign.exec,
-            )
+            let keys =
+                campaign
+                    .keys
+                    .resolve(campaign.entries, campaign.stands, &campaign.exec, obs);
+            obs.time_phase(Phase::CachePreload, || {
+                CacheRuntime::prepare(
+                    Arc::clone(cache),
+                    campaign.cache_verify,
+                    campaign.granularity == Granularity::Test,
+                    campaign.entries,
+                    campaign.stands,
+                    keys,
+                    obs,
+                )
+            })
         });
         Ok(Self {
             scripts,
@@ -253,23 +322,42 @@ fn shared_scripts(entries: &[CampaignEntry<'_>]) -> Result<Vec<Vec<Arc<TestScrip
 }
 
 /// The job-side context every worker shares: execution options,
-/// cancellation state, the stop-on-first-fail policy and the cache
-/// runtime. Cloning is cheap (`Arc`s and plain data).
+/// cancellation state, the stop-on-first-fail policy, the cache runtime
+/// and the observability recorder. Cloning is cheap (`Arc`s and plain
+/// data).
 #[derive(Clone)]
 pub(crate) struct JobCtx {
     pub(crate) exec: ExecOptions,
     pub(crate) cancel: RunCancel,
     pub(crate) stop: bool,
     pub(crate) cache: Option<Arc<CacheRuntime>>,
+    pub(crate) obs: Recorder,
+    /// Step probe feeding `obs`, built once per launch and `Arc`-shared
+    /// with every run; `None` when observability is disabled, keeping the
+    /// uninstrumented fast path.
+    pub(crate) step_probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl JobCtx {
     pub(crate) fn new(campaign: &Campaign<'_, '_>, prepared: &Prepared) -> Self {
+        campaign
+            .obs
+            .add(Counter::JobsPlanned, campaign.job_count() as u64);
         Self {
             exec: campaign.exec,
             cancel: RunCancel::new(campaign.cancel.clone()),
             stop: campaign.stop_on_first_fail,
             cache: prepared.cache.clone(),
+            obs: campaign.obs.clone(),
+            step_probe: campaign.obs.step_probe(),
+        }
+    }
+
+    /// Emits the cache-corruption warnings collected at preload, if any —
+    /// called by every launch path right after its event channel exists.
+    pub(crate) fn emit_cache_warnings(&self, events: &Sender<EngineEvent>) {
+        if let Some(runtime) = &self.cache {
+            runtime.emit_corrupt_warnings(events);
         }
     }
 
@@ -288,8 +376,11 @@ impl JobCtx {
             return false;
         };
         let Some(outcome) = runtime.admit_test(job.cell, job.test) else {
+            self.obs.inc(Counter::CacheMisses);
             return false;
         };
+        self.obs.inc(Counter::CacheHits);
+        self.obs.inc(Counter::JobsCached);
         let (status, failed) = outcome_status(&outcome);
         emit(
             events,
@@ -320,8 +411,11 @@ impl JobCtx {
             return false;
         };
         let Some(cached) = runtime.admit_cell(cell.cell, &cell.suite, &cell.stand_name) else {
+            self.obs.inc(Counter::CacheMisses);
             return false;
         };
+        self.obs.inc(Counter::CacheHits);
+        self.obs.inc(Counter::JobsCached);
         emit(
             events,
             EngineEvent::CellCached {
@@ -343,17 +437,40 @@ impl JobCtx {
 /// Resolves the shared plan slot and executes against the device — the
 /// single plan-then-run step every blocking execution path goes through
 /// (the async executor resolves the same slots but parks a [`TestRun`]
-/// instead of driving to completion).
+/// instead of driving to completion). With observability enabled the run
+/// is driven step by step through a probe-attached [`TestRun`], which
+/// records per-step spans and worker-utilization time; the result is
+/// byte-identical to the plain `execute` fast path either way.
 pub(crate) fn plan_and_execute(
     slot: &PlanSlot,
     script: &TestScript,
     stand: &TestStand,
     device: &mut Device,
-    exec: &ExecOptions,
+    ctx: &JobCtx,
 ) -> TestJobOutcome {
-    match slot.resolve(script, stand) {
-        Ok(plan) => Ok(comptest_core::execute(&plan, device, exec)),
+    match slot.resolve(script, stand, &ctx.obs) {
+        Ok(plan) => Ok(match &ctx.step_probe {
+            None => comptest_core::execute(&plan, device, &ctx.exec),
+            Some(probe) => {
+                let mut run =
+                    TestRun::new(plan.as_ref(), device, &ctx.exec).with_probe(Arc::clone(probe));
+                loop {
+                    if let RunState::Finished(result) = run.step() {
+                        break result;
+                    }
+                }
+            }
+        }),
         Err(reason) => Err(reason),
+    }
+}
+
+/// The simulated end time of one outcome (`0` for planning failures) —
+/// what `test_sim_micros` metrics record.
+pub(crate) fn outcome_sim_end(outcome: &TestJobOutcome) -> SimTime {
+    match outcome {
+        Ok(result) => result.sim_duration(),
+        Err(_) => SimTime::ZERO,
     }
 }
 
@@ -373,11 +490,13 @@ impl CampaignExecutor for SerialExecutor {
     fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
         let prepared = Prepared::new(campaign)?;
         let ctx = JobCtx::new(campaign, &prepared);
+        ctx.obs.gauge_set(Gauge::Workers, 1);
         let run_token = ctx.cancel.run_token();
         match campaign.granularity {
             Granularity::Cell => {
                 let (events_tx, events_rx) = mpsc::channel();
                 let (results_tx, results_rx) = mpsc::channel();
+                ctx.emit_cache_warnings(&events_tx);
                 let cells = prepared.package_cells(campaign.entries);
                 let n_cells = cells.len();
                 for cell in cells {
@@ -400,6 +519,7 @@ impl CampaignExecutor for SerialExecutor {
             Granularity::Test => {
                 let (events_tx, events_rx) = mpsc::channel();
                 let (results_tx, results_rx) = mpsc::channel();
+                ctx.emit_cache_warnings(&events_tx);
                 let jobs = prepared.package_jobs(campaign.entries);
                 let n_jobs = jobs.len();
                 for job in jobs {
@@ -572,8 +692,8 @@ pub(crate) struct PackagedJob {
 
 impl PackagedJob {
     /// Resolves the shared plan slot for this job's (script, stand) pair.
-    pub(crate) fn resolve_plan(&self) -> Result<Arc<ExecutionPlan>, String> {
-        self.plan.resolve(&self.script, &self.stand)
+    pub(crate) fn resolve_plan(&self, obs: &Recorder) -> Result<Arc<ExecutionPlan>, String> {
+        self.plan.resolve(&self.script, &self.stand, obs)
     }
 }
 
@@ -603,18 +723,22 @@ pub(crate) fn run_packaged_test(
             name: job.name.clone(),
         },
     );
+    let span = ctx
+        .obs
+        .span_begin(SpanCat::Test, || format!("{}::{}", job.suite, job.name));
+    ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let started = Instant::now();
-    let outcome = plan_and_execute(
-        &job.plan,
-        &job.script,
-        &job.stand,
-        &mut job.device,
-        &ctx.exec,
-    );
+    let outcome = plan_and_execute(&job.plan, &job.script, &job.stand, &mut job.device, ctx);
+    let wall = started.elapsed();
     if let Some(runtime) = &ctx.cache {
         runtime.finish_test(job.cell, job.test, &outcome);
     }
     let (status, failed) = outcome_status(&outcome);
+    ctx.obs.gauge_add(Gauge::InflightJobs, -1);
+    ctx.obs.inc(Counter::JobsExecuted);
+    ctx.obs.inc(Counter::TestsExecuted);
+    ctx.obs.test_timing(wall, outcome_sim_end(&outcome));
+    ctx.obs.span_end(span, || Some(status.clone()));
     emit(
         events,
         EngineEvent::TestFinished {
@@ -625,7 +749,7 @@ pub(crate) fn run_packaged_test(
             name: job.name,
             status,
             failed,
-            duration: started.elapsed(),
+            duration: wall,
         },
     );
     if failed && ctx.stop {
@@ -644,13 +768,17 @@ fn launch_pooled_tests<'a>(
     let jobs = prepared.package_jobs(campaign.entries);
     let n_jobs = jobs.len();
     let ctx = JobCtx::new(campaign, &prepared);
+    ctx.obs.gauge_set(Gauge::Workers, pool.workers() as i64);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
+    ctx.emit_cache_warnings(&events_tx);
     for job in jobs {
         let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
+        ctx.obs.gauge_add(Gauge::QueueDepth, 1);
         pool.submit(Box::new(move || {
+            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
             run_packaged_test(job, &ctx, &events, &results);
         }));
     }
@@ -718,6 +846,10 @@ pub(crate) fn run_packaged_cell(
             stand: cell.stand_name.clone(),
         },
     );
+    let cell_span = ctx.obs.span_begin(SpanCat::Cell, || {
+        format!("{} on {}", cell.suite, cell.stand_name)
+    });
+    ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let mut outcomes: Vec<TestJobOutcome> = Vec::with_capacity(cell.tests.len());
     for test in cell.tests {
         let PackagedTest {
@@ -725,7 +857,18 @@ pub(crate) fn run_packaged_cell(
             plan,
             mut device,
         } = test;
-        let outcome = plan_and_execute(&plan, &script, &cell.stand, &mut device, &ctx.exec);
+        let test_span = ctx
+            .obs
+            .span_begin(SpanCat::Test, || format!("{}::{}", cell.suite, script.name));
+        let started = Instant::now();
+        let outcome = plan_and_execute(&plan, &script, &cell.stand, &mut device, ctx);
+        if ctx.obs.is_enabled() {
+            ctx.obs.inc(Counter::TestsExecuted);
+            ctx.obs
+                .test_timing(started.elapsed(), outcome_sim_end(&outcome));
+            ctx.obs
+                .span_end(test_span, || Some(outcome_status(&outcome).0));
+        }
         let stop_cell = outcome.is_err();
         outcomes.push(outcome);
         if stop_cell {
@@ -737,6 +880,9 @@ pub(crate) fn run_packaged_cell(
     }
     let campaign_cell = fold_cell(cell.suite, cell.stand_name, outcomes);
     let failed = !campaign_cell.passed();
+    ctx.obs.gauge_add(Gauge::InflightJobs, -1);
+    ctx.obs.inc(Counter::JobsExecuted);
+    ctx.obs.span_end(cell_span, || Some(campaign_cell.status()));
     emit(
         events,
         EngineEvent::JobFinished {
@@ -762,13 +908,17 @@ fn launch_pooled_cells<'a>(
     let cells = prepared.package_cells(campaign.entries);
     let n_cells = cells.len();
     let ctx = JobCtx::new(campaign, &prepared);
+    ctx.obs.gauge_set(Gauge::Workers, pool.workers() as i64);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
+    ctx.emit_cache_warnings(&events_tx);
     for cell in cells {
         let ctx = ctx.clone();
         let events = events_tx.clone();
         let results = results_tx.clone();
+        ctx.obs.gauge_add(Gauge::QueueDepth, 1);
         pool.submit(Box::new(move || {
+            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
             run_packaged_cell(cell, &ctx, &events, &results);
         }));
     }

@@ -10,6 +10,7 @@ use comptest_core::campaign::CampaignResult;
 use comptest_core::error::CoreError;
 
 use crate::events::EngineEvent;
+use crate::obs::{Counter, Recorder, SpanHandle};
 
 /// A shared cooperative-cancellation latch.
 ///
@@ -136,6 +137,9 @@ pub struct CampaignHandle<'a> {
     events: Option<EventStream>,
     cancel: CancelToken,
     join: JoinFn<'a>,
+    /// The campaign's recorder and open campaign span, finalized at join
+    /// (attached by [`Campaign::launch`](crate::Campaign::launch)).
+    obs: Option<(Recorder, SpanHandle)>,
 }
 
 impl<'a> CampaignHandle<'a> {
@@ -144,7 +148,17 @@ impl<'a> CampaignHandle<'a> {
             events: Some(events),
             cancel,
             join,
+            obs: None,
         }
+    }
+
+    /// Attaches the campaign's recorder and open campaign span, to be
+    /// finalized (cancelled-jobs counter, campaign wall time, span close)
+    /// when the handle joins. Dropping the handle without joining leaves
+    /// the campaign span open.
+    pub(crate) fn with_observation(mut self, obs: Recorder, span: SpanHandle) -> Self {
+        self.obs = Some((obs, span));
+        self
     }
 
     /// Takes the typed event stream. The first call returns the live
@@ -177,7 +191,18 @@ impl<'a> CampaignHandle<'a> {
     /// cancellation (a worker died mid-job) — never a silently truncated
     /// result.
     pub fn join(self) -> Result<CampaignOutcome, CoreError> {
-        (self.join)()
+        let outcome = (self.join)();
+        if let Some((obs, span)) = self.obs {
+            match &outcome {
+                Ok(outcome) => {
+                    obs.add(Counter::JobsCancelled, outcome.cancelled as u64);
+                    let cancelled = outcome.cancelled;
+                    obs.span_end(span, || Some(format!("{cancelled} cancelled")));
+                }
+                Err(_) => obs.span_end(span, || Some("error".into())),
+            }
+        }
+        outcome
     }
 }
 

@@ -56,6 +56,59 @@
 //! [`run_campaign_with_pool`], and `comptest_core`'s serial
 //! `run_campaign`) survive as deprecated shims over this API.
 //!
+//! # Observability
+//!
+//! The [`obs`] module is the engine's first-class observability layer: a
+//! lock-cheap metrics registry (counters, gauges, fixed-bucket
+//! histograms, phase timings) plus span tracing with a campaign → cell →
+//! test → step hierarchy, recorded identically by all three executors at
+//! both granularities. Attach a [`Recorder`] with [`Campaign::recorder`];
+//! the default is disabled and costs nothing. Wall-clock readings are
+//! **export-only** — never folded into results, cache keys or cache
+//! records — so observed and unobserved runs are byte-identical.
+//!
+//! CLI flags (`comptest campaign`): `--trace-out <path>` writes Chrome
+//! trace-event JSON, `--metrics-out <path>` writes the metrics snapshot
+//! as JSON, `--metrics` prints the summary tables. Library users call
+//! [`Recorder::metrics`] / [`Recorder::chrome_trace_json`] after
+//! [`CampaignHandle::join`].
+//!
+//! **Trace-viewer walkthrough.** Open the `--trace-out` file in
+//! <https://ui.perfetto.dev> (or `chrome://tracing`): each worker thread
+//! is one named track. The `campaign` span brackets the whole run;
+//! `codegen`/`hash`/`cache_preload`/`plan`/`execute`/`report` phase spans
+//! show where setup time goes; cell and test spans are *async* (paired
+//! begin/end) because on the [`AsyncExecutor`] thousands of them overlap
+//! on one track; step spans are the innermost complete slices. Gaps
+//! between step spans on a track are scheduler wait — compare executors
+//! by how densely they pack the `execute` phase.
+//!
+//! **Counter glossary** (names as they appear in
+//! [`MetricsSnapshot::counters`]):
+//!
+//! | counter | meaning |
+//! |---|---|
+//! | `jobs_planned` | schedulable jobs at the configured granularity ([`Campaign::job_count`]) |
+//! | `jobs_executed` | jobs that ran to completion (cells at cell granularity, tests at test granularity) |
+//! | `jobs_cached` | jobs short-circuited by a cache hit |
+//! | `jobs_cancelled` | jobs skipped by `stop_on_first_fail` or a [`CancelToken`] |
+//! | `tests_executed` | individual tests driven to a verdict (per job at test granularity, per suite member at cell granularity) |
+//! | `steps_executed` | test steps driven through the DUT |
+//! | `cache_hits` / `cache_misses` | cache lookups by outcome |
+//! | `cache_corrupt_entries` | unreadable/undecodable cache records (also emitted as [`EngineEvent::CellCacheCorrupt`] warnings) |
+//! | `spans_opened` / `spans_closed` | trace spans begun / ended — equal once the campaign joins, even under cancellation |
+//! | `worker_busy_micros` | summed wall-clock the workers spent inside steps |
+//! | `campaign_wall_micros` | wall-clock from launch to join |
+//! | `test_wall_micros_total` / `test_sim_micros_total` | summed wall vs *simulated* test time — their ratio is the sim speed-up |
+//!
+//! Invariants a joined campaign satisfies: `jobs_executed + jobs_cached
+//! == jobs_planned` (without cancellation) and `spans_opened ==
+//! spans_closed` (always). One asymmetry to know: at cell granularity the
+//! async executor records cell and step spans but no per-test spans or
+//! per-test wall timings (tests interleave step-by-step there, so a
+//! per-test wall clock would measure scheduling, not work);
+//! `tests_executed` still counts every test.
+//!
 //! # Example
 //!
 //! ```
@@ -117,14 +170,16 @@ mod campaign;
 mod events;
 mod executor;
 mod handle;
+pub mod obs;
 mod pool;
 
 pub use async_exec::AsyncExecutor;
-pub use cache::{CampaignCache, CellRecord, DirCache, MemoryCache};
+pub use cache::{CacheLookup, CampaignCache, CellRecord, DirCache, MemoryCache};
 pub use campaign::{Campaign, Granularity};
 pub use events::EngineEvent;
 pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};
 pub use handle::{CampaignHandle, CampaignOutcome, CancelToken, EventStream};
+pub use obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, PhaseSnapshot, Recorder};
 pub use pool::WorkerPool;
 
 pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};

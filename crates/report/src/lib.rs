@@ -8,19 +8,24 @@
 //! * [`junit_xml`] — JUnit-style XML for CI systems, written with the same
 //!   XML engine that writes test scripts;
 //! * [`progress`] — shared rendering of live campaign
-//!   [`EngineEvent`](comptest_engine::EngineEvent)s.
+//!   [`EngineEvent`](comptest_engine::EngineEvent)s;
+//! * [`metrics_text`] — an observability
+//!   [`MetricsSnapshot`](comptest_engine::MetricsSnapshot) rendered as
+//!   aligned tables (the `--metrics` flag of `comptest campaign`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod junit;
+pub mod metrics;
 pub mod progress;
 pub mod table;
 pub mod text;
 
 pub use campaign::{campaign_markdown, campaign_table, portability_table};
 pub use junit::{campaign_junit_xml, junit_xml};
+pub use metrics::metrics_text;
 pub use progress::{progress_line, summary_line};
 pub use table::TextTable;
 pub use text::{step_table, suite_markdown, suite_text};

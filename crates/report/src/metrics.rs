@@ -1,0 +1,134 @@
+//! Rendering an observability [`MetricsSnapshot`] as aligned text tables —
+//! what `comptest campaign --metrics` prints and what `--metrics-out`
+//! summarizes next to the raw JSON export.
+
+use comptest_engine::MetricsSnapshot;
+
+use crate::table::TextTable;
+
+/// Renders a metrics snapshot as a sequence of aligned plain-text tables
+/// (counters, gauges, phase timings, histograms), skipping sections with
+/// nothing recorded. A disabled or untouched recorder renders all-zero
+/// counters rather than an empty string, so the section headings stay
+/// greppable in CI logs.
+pub fn metrics_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let mut counters = TextTable::new(vec!["counter", "value"]);
+    for (name, value) in &snapshot.counters {
+        counters.row(vec![(*name).to_owned(), value.to_string()]);
+    }
+    out.push_str("counters\n");
+    out.push_str(&counters.to_string());
+
+    let mut gauges = TextTable::new(vec!["gauge", "current", "max"]);
+    for (name, g) in &snapshot.gauges {
+        gauges.row(vec![
+            (*name).to_owned(),
+            g.current.to_string(),
+            g.max.to_string(),
+        ]);
+    }
+    if !gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        out.push_str(&gauges.to_string());
+    }
+
+    let mut phases = TextTable::new(vec!["phase", "total", "calls"]);
+    for (name, p) in &snapshot.phases {
+        phases.row(vec![
+            (*name).to_owned(),
+            format_micros(p.micros),
+            p.calls.to_string(),
+        ]);
+    }
+    if !phases.is_empty() {
+        out.push_str("\nphases\n");
+        out.push_str(&phases.to_string());
+    }
+
+    let mut histograms = TextTable::new(vec!["histogram", "count", "sum", "buckets (le: n)"]);
+    for (name, h) in &snapshot.histograms {
+        let buckets = h
+            .buckets
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(le, n)| match le {
+                Some(le) => format!("{}: {n}", format_micros(*le)),
+                None => format!("+inf: {n}"),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        histograms.row(vec![
+            (*name).to_owned(),
+            h.count.to_string(),
+            format_micros(h.sum_micros),
+            buckets,
+        ]);
+    }
+    if !histograms.is_empty() {
+        out.push_str("\nhistograms\n");
+        out.push_str(&histograms.to_string());
+    }
+
+    out
+}
+
+/// A microsecond quantity rendered with a human-scale unit (`950µs`,
+/// `12.50ms`, `3.21s`), mirroring how the bench harness reports timings.
+fn format_micros(micros: u64) -> String {
+    if micros >= 1_000_000 {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    } else if micros >= 1_000 {
+        format!("{:.2}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{micros}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comptest_engine::{GaugeSnapshot, HistogramSnapshot, PhaseSnapshot};
+
+    #[test]
+    fn renders_all_sections_with_units() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("jobs_planned", 8);
+        snapshot.counters.insert("jobs_executed", 6);
+        snapshot
+            .gauges
+            .insert("queue_depth", GaugeSnapshot { current: 0, max: 8 });
+        snapshot.phases.insert(
+            "execute",
+            PhaseSnapshot {
+                micros: 12_500,
+                calls: 6,
+            },
+        );
+        snapshot.histograms.insert(
+            "test_wall_micros",
+            HistogramSnapshot {
+                buckets: vec![(Some(100), 0), (Some(1_000), 4), (None, 2)],
+                count: 6,
+                sum_micros: 3_210_000,
+            },
+        );
+        let text = metrics_text(&snapshot);
+        assert!(text.contains("counters"), "{text}");
+        assert!(text.contains("jobs_planned"), "{text}");
+        assert!(text.contains("queue_depth"), "{text}");
+        assert!(text.contains("12.50ms"), "{text}");
+        assert!(text.contains("3.21s"), "{text}");
+        assert!(text.contains("1.00ms: 4, +inf: 2"), "{text}");
+        // Zero buckets are elided from the bucket column.
+        assert!(!text.contains("100µs: 0"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_still_names_the_counters_section() {
+        let text = metrics_text(&MetricsSnapshot::default());
+        assert!(text.starts_with("counters\n"), "{text}");
+        assert!(!text.contains("gauges"), "{text}");
+    }
+}

@@ -46,6 +46,9 @@ pub fn progress_line(event: &EngineEvent) -> String {
             Some(test) => format!("[{cell:>2}] {suite}::#{test} on {stand}: {status} (cached)"),
             None => format!("[{cell:>2}] {suite} on {stand}: {status} (cached)"),
         },
+        EngineEvent::CellCacheCorrupt { cell, suite, stand } => {
+            format!("[{cell:>2}] {suite} on {stand}: warning: corrupt cache entry (re-executing)")
+        }
         EngineEvent::CampaignDone {
             passed,
             failed,
@@ -155,6 +158,16 @@ mod tests {
         assert_eq!(
             progress_line(&cached_test),
             "[ 4] lamp::#1 on HIL-A: PASS (cached)"
+        );
+
+        let corrupt = EngineEvent::CellCacheCorrupt {
+            cell: 2,
+            suite: "lamp".into(),
+            stand: "HIL-A".into(),
+        };
+        assert_eq!(
+            progress_line(&corrupt),
+            "[ 2] lamp on HIL-A: warning: corrupt cache entry (re-executing)"
         );
 
         let done = EngineEvent::CampaignDone {

@@ -11,6 +11,8 @@
 //!                   [--sample end-of-step|continuous:<interval_s>]
 //!                   [--stop-on-first-fail] [--junit out.xml]
 //!                   [--cache <dir>|memory|off] [--cache-verify]
+//!                   [--trace-out trace.json] [--metrics]
+//!                   [--metrics-out metrics.json]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
 //! ```
@@ -50,6 +52,18 @@
 //! code is identical to a cold run — a cached failure still fails the
 //! campaign. `--cache-verify` is the audit mode: cached cells re-execute
 //! anyway and the run errors if any cached outcome diverges.
+//!
+//! Observability (any of the three flags enables recording; results stay
+//! byte-identical to an unobserved run — see `comptest_engine::obs`):
+//!
+//! * `--trace-out <path>` writes a Chrome trace-event JSON file after the
+//!   campaign joins — open it in a trace viewer (`chrome://tracing`,
+//!   <https://ui.perfetto.dev>) to see campaign/phase/cell/test/step spans
+//!   on per-worker tracks.
+//! * `--metrics` prints the metrics summary tables (counters, gauges,
+//!   phase timings, histograms) to stderr after the campaign summary.
+//! * `--metrics-out <path>` writes the same snapshot as deterministic
+//!   JSON for machine consumption.
 
 use std::process::ExitCode;
 
@@ -133,6 +147,31 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
 fn need<'a>(value: Option<&'a str>, what: &str) -> Result<&'a str, Box<dyn std::error::Error>> {
     value.ok_or_else(|| format!("missing argument: {what}").into())
+}
+
+/// Validates an output path taken by `flag` at parse time, so a typo
+/// fails before the campaign runs instead of after minutes of execution:
+/// the path must be non-empty, not itself a directory, and its parent
+/// directory must already exist.
+fn check_out_path(flag: &str, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    if path.is_empty() {
+        return Err(format!("{flag} needs a non-empty output path").into());
+    }
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        return Err(format!("{flag} {path:?} is a directory, expected a file path").into());
+    }
+    if let Some(parent) = p.parent().filter(|parent| !parent.as_os_str().is_empty()) {
+        if !parent.is_dir() {
+            return Err(format!(
+                "{flag} {path:?}: parent directory {parent:?} does not exist \
+                 (create it first)",
+                parent = parent.display().to_string()
+            )
+            .into());
+        }
+    }
+    Ok(())
 }
 
 fn cmd_validate(path: &str) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -345,6 +384,9 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut junit: Option<&str> = None;
     let mut cache_mode = CacheMode::Off;
     let mut cache_verify = false;
+    let mut trace_out: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
+    let mut print_metrics = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match *arg {
@@ -396,6 +438,17 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 cache_mode = c.parse()?;
             }
             "--cache-verify" => cache_verify = true,
+            "--trace-out" => {
+                let path = need(it.next().copied(), "--trace-out path")?;
+                check_out_path("--trace-out", path)?;
+                trace_out = Some(path);
+            }
+            "--metrics-out" => {
+                let path = need(it.next().copied(), "--metrics-out path")?;
+                check_out_path("--metrics-out", path)?;
+                metrics_out = Some(path);
+            }
+            "--metrics" => print_metrics = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign flag {other:?}").into())
             }
@@ -447,6 +500,14 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     // campaign runs, and join() folds the deterministic result. The pool
     // is sized to the matrix — no point spawning threads no job will
     // reach; the async executor shards over --workers event-loop threads.
+    // Any observability flag enables the recorder; keep a clone to export
+    // from after join. Disabled recording costs nothing and changes no
+    // output, so the default stays off.
+    let obs = if trace_out.is_some() || metrics_out.is_some() || print_metrics {
+        comptest::engine::Recorder::enabled()
+    } else {
+        comptest::engine::Recorder::disabled()
+    };
     let mut campaign = Campaign::new(&entries, &stand_refs)
         .exec_options(ExecOptions {
             sample,
@@ -454,7 +515,8 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         })
         .granularity(granularity)
         .stop_on_first_fail(stop_on_first_fail)
-        .cache_verify(cache_verify);
+        .cache_verify(cache_verify)
+        .recorder(obs.clone());
     campaign = match &cache_mode {
         CacheMode::Off => campaign,
         CacheMode::Memory => {
@@ -492,10 +554,31 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         eprintln!("cache: {cached} result(s) served from cache");
     }
 
-    print!("{}", outcome.result);
-    if let Some(path) = junit {
-        std::fs::write(path, comptest::report::campaign_junit_xml(&outcome.result))?;
-        println!("wrote {path}");
+    // Render reports under the `report` phase so the exported metrics
+    // account for the whole CLI run, then export the trace/metrics last
+    // (the export itself is not self-observing).
+    obs.time_report(|| -> Result<(), Box<dyn std::error::Error>> {
+        print!("{}", outcome.result);
+        if let Some(path) = junit {
+            std::fs::write(path, comptest::report::campaign_junit_xml(&outcome.result))?;
+            println!("wrote {path}");
+        }
+        Ok(())
+    })?;
+    if let Some(path) = trace_out {
+        let json = obs.chrome_trace_json().expect("recorder enabled");
+        std::fs::write(path, json)?;
+        println!("trace: wrote {path} ({} spans)", obs.span_events());
+    }
+    let snapshot = obs.metrics();
+    if let Some(path) = metrics_out {
+        let snapshot = snapshot.as_ref().expect("recorder enabled");
+        std::fs::write(path, snapshot.to_json())?;
+        println!("metrics: wrote {path}");
+    }
+    if print_metrics {
+        let snapshot = snapshot.as_ref().expect("recorder enabled");
+        eprint!("{}", comptest::report::metrics_text(snapshot));
     }
     Ok(if outcome.result.all_green() {
         ExitCode::SUCCESS

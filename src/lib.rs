@@ -155,6 +155,49 @@
 //! # }
 //! ```
 //!
+//! # Quickstart — observability
+//!
+//! Attach a [`Recorder`](prelude::Recorder) to see *where the time goes*:
+//! a metrics registry (jobs/tests/steps, cache hits, phase timings,
+//! wall-vs-sim histograms) and span tracing (campaign → cell → test →
+//! step) exportable as Chrome trace-event JSON for
+//! <https://ui.perfetto.dev>. The default recorder is disabled and free;
+//! enabling it never changes results — wall-clock readings are
+//! export-only. On the CLI: `comptest campaign … --trace-out trace.json
+//! --metrics [--metrics-out metrics.json]`. See the `comptest_engine`
+//! crate docs for the counter glossary and trace-viewer walkthrough.
+//!
+//! ```
+//! use comptest::prelude::*;
+//! use comptest::core::campaign::CampaignEntry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! # let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! # let entries = vec![CampaignEntry {
+//! #     suite: &workbook.suite,
+//! #     device_factory: Box::new(|| {
+//! #         comptest::device_for_stand("interior_light", &stand).expect("known ECU")
+//! #     }),
+//! # }];
+//! # let stands = [&stand];
+//! let obs = Recorder::enabled();
+//! let outcome = Campaign::new(&entries, &stands)
+//!     .recorder(obs.clone())
+//!     .launch(&AsyncExecutor::new(64))?
+//!     .join()?;
+//! let metrics = obs.metrics().unwrap();
+//! assert_eq!(
+//!     metrics.counter("jobs_executed") + metrics.counter("jobs_cached"),
+//!     metrics.counter("jobs_planned"),
+//! );
+//! eprint!("{}", comptest::report::metrics_text(&metrics));
+//! let trace = obs.chrome_trace_json().unwrap(); // write to a file, load in Perfetto
+//! assert!(trace.starts_with('['));
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The PR-1/PR-2 free functions (`run_campaign`, `run_campaign_parallel`,
 //! `run_campaign_with_pool`) still compile as `#[deprecated]` shims over
 //! this API, reachable through [`core`] and [`engine`] (not the prelude).
@@ -182,7 +225,8 @@ pub mod prelude {
     pub use comptest_dut::{Device, ElectricalConfig, FaultKind, FaultyBehavior};
     pub use comptest_engine::{
         AsyncExecutor, Campaign, CampaignExecutor, CampaignHandle, CampaignOutcome, CancelToken,
-        EngineEvent, EventStream, Granularity, PooledExecutor, SerialExecutor, WorkerPool,
+        EngineEvent, EventStream, Granularity, MetricsSnapshot, PooledExecutor, Recorder,
+        SerialExecutor, WorkerPool,
     };
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};

@@ -20,7 +20,14 @@
 //! * **JobsLost** — a worker dying mid-job surfaces as an error, never as
 //!   a silently truncated (possibly all-green) result;
 //! * **cache audit** — `cache_verify` passes on a truthful cache and
-//!   raises `CacheMismatch` on a poisoned one.
+//!   raises `CacheMismatch` on a poisoned one;
+//! * **observability** — enabling a `Recorder` changes no result or
+//!   report byte; counters balance (`jobs_executed + jobs_cached +
+//!   jobs_cancelled == jobs_planned`, `spans_opened == spans_closed`) on
+//!   clean runs, under cancellation, under `stop_on_first_fail`, and on
+//!   warm cache runs; corrupt cache entries surface as
+//!   `CellCacheCorrupt` warnings and a nonzero `cache_corrupt_entries`
+//!   counter instead of silent misses.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -580,6 +587,249 @@ fn conformance_cache_verify_passes_on_truth_and_catches_poison() {
         // self-healed, and a fresh audit passes again.
         let healed = verify.launch(&SerialExecutor).unwrap().join().unwrap();
         assert_eq!(healed.result, reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: recording is invisible in results and reports, and the
+// counters balance under every termination mode.
+// ---------------------------------------------------------------------------
+
+/// Asserts the counter and span invariants every joined campaign keeps:
+/// every planned job is executed, served from cache, or cancelled — and
+/// every span opened was closed.
+fn assert_obs_invariants(metrics: &comptest::engine::MetricsSnapshot, label: &str) {
+    assert_eq!(
+        metrics.counter("jobs_executed")
+            + metrics.counter("jobs_cached")
+            + metrics.counter("jobs_cancelled"),
+        metrics.counter("jobs_planned"),
+        "{label}: job accounting must balance ({:?})",
+        metrics.counters
+    );
+    assert_eq!(
+        metrics.counter("spans_opened"),
+        metrics.counter("spans_closed"),
+        "{label}: every span opened must close ({:?})",
+        metrics.counters
+    );
+}
+
+#[test]
+fn conformance_observed_runs_are_byte_identical_and_balanced() {
+    let scratch = TempDir::new("obs");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_a, &stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            for setup in CACHES {
+                let executor = (subject.build)();
+                let label = format!("{granularity}/{}/{}", subject.name, setup.label());
+
+                let mut plain = Campaign::new(&entries, &stands).granularity(granularity);
+                let mut observed = Campaign::new(&entries, &stands).granularity(granularity);
+                if let Some(cache) = setup.build(&scratch) {
+                    // One shared cache per pairing, so the observed run
+                    // sees the same hit/miss pattern as the plain one.
+                    plain = plain.cache(cache.clone());
+                    observed = observed.cache(cache);
+                }
+                let obs = Recorder::enabled();
+                let observed = observed.recorder(obs.clone());
+
+                // Cold pair: same bytes in the outcome and in every report.
+                let cold_plain = plain.launch(executor.as_ref()).unwrap().join().unwrap();
+                let obs_cold = Recorder::enabled();
+                let cold_observed = Campaign::new(&entries, &stands)
+                    .granularity(granularity)
+                    .recorder(obs_cold.clone())
+                    .launch(executor.as_ref())
+                    .unwrap()
+                    .join()
+                    .unwrap();
+                assert_eq!(cold_observed, cold_plain, "{label}: cold outcome diverged");
+                assert_eq!(
+                    comptest::report::campaign_junit_xml(&cold_observed.result),
+                    comptest::report::campaign_junit_xml(&cold_plain.result),
+                    "{label}: cold JUnit diverged"
+                );
+                assert_eq!(
+                    comptest::report::campaign_table(&cold_observed.result).to_string(),
+                    comptest::report::campaign_table(&cold_plain.result).to_string(),
+                    "{label}: cold text table diverged"
+                );
+                let cold_metrics = obs_cold.metrics().unwrap();
+                assert_obs_invariants(&cold_metrics, &label);
+                assert_eq!(
+                    cold_metrics.counter("jobs_planned"),
+                    plain.job_count() as u64,
+                    "{label}"
+                );
+                assert!(cold_metrics.counter("spans_opened") > 0, "{label}");
+                assert!(cold_metrics.counter("steps_executed") > 0, "{label}");
+
+                // Warm run on the observed campaign (its first launch, so a
+                // cache means everything comes out of it — the plain run
+                // populated it).
+                let warm = observed.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(warm, cold_plain, "{label}: warm outcome diverged");
+                let metrics = obs.metrics().unwrap();
+                assert_obs_invariants(&metrics, &label);
+                if setup != CacheSetup::Off {
+                    assert_eq!(
+                        metrics.counter("jobs_cached"),
+                        metrics.counter("jobs_planned"),
+                        "{label}: warm run must be all cache hits ({:?})",
+                        metrics.counters
+                    );
+                    assert!(metrics.counter("cache_hits") > 0, "{label}");
+                    assert_eq!(metrics.counter("cache_corrupt_entries"), 0, "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_obs_counters_balance_under_cancellation() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            let label = format!("{granularity}/{}", subject.name);
+            let token = CancelToken::new();
+            let obs = Recorder::enabled();
+            let campaign = Campaign::new(&entries, &stands)
+                .granularity(granularity)
+                .cancel_token(token.clone())
+                .recorder(obs.clone());
+            token.cancel();
+            let executor = (subject.build)();
+            let outcome = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+            let metrics = obs.metrics().unwrap();
+            assert_obs_invariants(&metrics, &label);
+            assert_eq!(
+                metrics.counter("jobs_cancelled"),
+                outcome.cancelled as u64,
+                "{label}"
+            );
+            assert_eq!(
+                metrics.counter("jobs_cancelled"),
+                campaign.job_count() as u64,
+                "{label}: a pre-cancelled token cancels every job"
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_obs_counters_balance_under_stop_on_first_fail() {
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let mini = load_stand("stand_minimal.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&mini, &stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            let label = format!("{granularity}/{}", subject.name);
+            let obs = Recorder::enabled();
+            let campaign = Campaign::new(&entries, &stands)
+                .granularity(granularity)
+                .stop_on_first_fail(true)
+                .recorder(obs.clone());
+            let executor = (subject.build)();
+            let outcome = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+            if subject.serial_order {
+                // Wide subjects may admit every job before the latch trips;
+                // only in-order ones are guaranteed a truncation.
+                assert!(outcome.cancelled > 0, "{label}: fixture must truncate");
+            }
+            let metrics = obs.metrics().unwrap();
+            assert_obs_invariants(&metrics, &label);
+            assert_eq!(
+                metrics.counter("jobs_cancelled"),
+                outcome.cancelled as u64,
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_corrupt_cache_entries_warn_count_and_reexecute() {
+    let scratch = TempDir::new("corrupt");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    let reference = Campaign::new(&entries, &stands)
+        .run(&SerialExecutor)
+        .unwrap();
+
+    let cache_dir = scratch.fresh_subdir();
+    let campaign = Campaign::new(&entries, &stands)
+        .cache(Arc::new(DirCache::open(&cache_dir).expect("cache dir")));
+    let _ = campaign.run(&SerialExecutor).unwrap(); // populate
+
+    // Truncate every record on disk mid-JSON: undecodable, not missing.
+    let mut clobbered = 0usize;
+    for entry in std::fs::read_dir(&cache_dir).expect("cache dir listing") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "json") {
+            std::fs::write(&path, "{\"version\": 1, \"tests\": [tru").expect("clobber record");
+            clobbered += 1;
+        }
+    }
+    assert!(clobbered > 0, "populate run must have written records");
+
+    for subject in subjects() {
+        let obs = Recorder::enabled();
+        let warm = Campaign::new(&entries, &stands)
+            .cache(Arc::new(DirCache::open(&cache_dir).expect("cache dir")))
+            .recorder(obs.clone());
+        let mut handle = warm.launch((subject.build)().as_ref()).unwrap();
+        let events: Vec<EngineEvent> = handle.events().collect();
+        let outcome = handle.join().unwrap();
+        // Corruption must not poison the result — every cell re-executes.
+        assert_eq!(
+            outcome.result, reference,
+            "{}: corrupt entries must fall back to execution",
+            subject.name
+        );
+        let warnings = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::CellCacheCorrupt { .. }))
+            .count();
+        assert_eq!(
+            warnings, clobbered,
+            "{}: one warning per corrupt record",
+            subject.name
+        );
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(
+            metrics.counter("cache_corrupt_entries"),
+            clobbered as u64,
+            "{}",
+            subject.name
+        );
+        assert_obs_invariants(&metrics, subject.name);
+        // The re-executed outcomes overwrite the clobbered records, so the
+        // cache self-heals; restore the corruption for the next subject.
+        for entry in std::fs::read_dir(&cache_dir).expect("cache dir listing") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "json") {
+                std::fs::write(&path, "{\"version\": 1, \"tests\": [tru").expect("clobber record");
+            }
+        }
     }
 }
 
