@@ -311,7 +311,7 @@ fn drive_test_shard(
 /// a planning failure — resolves the job immediately with the same
 /// not-runnable outcome the blocking executors produce.
 fn admit_test(
-    job: PackagedJob,
+    mut job: PackagedJob,
     ctx: &JobCtx,
     events: &Sender<EngineEvent>,
     results: &Sender<JobMsg<TestJobOutcome>>,
@@ -326,6 +326,10 @@ fn admit_test(
         return;
     }
     let plan = job.resolve_plan(&ctx.obs);
+    // Past admission the job executes, so the device packaging built for
+    // this predicted miss is really needed (a predicted hit never gets
+    // here — records are immutable for the launch).
+    let device = job.take_device();
     let PackagedJob {
         job: slot,
         cell,
@@ -333,7 +337,6 @@ fn admit_test(
         suite,
         stand_name,
         name,
-        device,
         ..
     } = job;
     emit(
@@ -493,13 +496,13 @@ enum CellStep {
 fn start_next_test(mut shell: CellShell, ctx: &JobCtx) -> CellStep {
     match shell.remaining.pop_front() {
         None => CellStep::Done(shell),
-        Some(test) => match test.plan.resolve(&test.script, &shell.stand, &ctx.obs) {
+        Some(mut test) => match test.plan.resolve(&test.script, &shell.stand, &ctx.obs) {
             Err(reason) => {
                 shell.outcomes.push(Err(reason));
                 CellStep::Done(shell)
             }
             Ok(plan) => {
-                let mut run = TestRun::new(plan, test.device, &ctx.exec);
+                let mut run = TestRun::new(plan, test.take_device(), &ctx.exec);
                 if let Some(probe) = &ctx.step_probe {
                     run = run.with_probe(Arc::clone(probe));
                 }

@@ -38,7 +38,45 @@
 //!   [`CampaignHandle::join`](crate::CampaignHandle::join) raises
 //!   [`CoreError::CacheMismatch`] when any diverged — the paper-style
 //!   spot-check that the content addressing really covers every input.
+//! * **Hits build no devices.** Records are pre-loaded before jobs are
+//!   packaged and are immutable for the launch, so admission is a
+//!   deterministic function of them; packaging asks
+//!   `CacheRuntime::will_hit_*` and skips constructing the per-job DUT
+//!   device for every predicted hit — a fully warm run builds zero
+//!   devices.
+//!
+//! # On-disk record formats
+//!
+//! [`DirCache`] stores one file per [`CellKey`] and speaks two encodings,
+//! negotiated per entry by file extension ([`RecordFormat`]):
+//!
+//! * **Binary (`<key>.bin`, the default write format).** A
+//!   length-prefixed, field-tagged layout decoded in one pass over the
+//!   single `Vec<u8>` read from disk:
+//!
+//!   ```text
+//!   magic "CCR" | version u8 | flags u8 | varint total | varint n_tests
+//!   | n_tests × ( varint len | tagged outcome body )
+//!   ```
+//!
+//!   Varint lengths are bounds-checked before use, strings are
+//!   UTF-8-validated in place, floats are raw `to_bits` LE words, and the
+//!   fixed-position header alone answers hit/miss (coverage and
+//!   determinedness) without decoding any per-test payload. The full
+//!   field-by-field layout and the versioning rules live in the
+//!   [`binary`] module docs.
+//! * **JSON (`<key>.json`).** The original hand-rolled JSON codec, still
+//!   written under `--cache-format json` and always readable: lookups fall
+//!   back to the other extension, so pre-binary caches keep hitting —
+//!   migration never turns valid entries into silent misses.
+//!
+//! Whichever format is written, `store` removes the other-format file for
+//! the key afterwards, so the latest write wins even across writers
+//! configured differently. Version bumps (either codec) make stale files
+//! decode as errors → misses; they re-execute and are rewritten in the
+//! current format.
 
+pub mod binary;
 mod codec;
 pub(crate) mod json;
 
@@ -86,12 +124,18 @@ impl CellRecord {
         self.tests.len() == self.total
     }
 
+    /// True when the record determines the whole cell: it is complete, or
+    /// it ends in a planning error (exactly where sequential cell
+    /// execution stops).
+    pub fn is_determined(&self) -> bool {
+        self.is_complete() || matches!(self.tests.last(), Some(Err(_)))
+    }
+
     /// The whole-cell outcome, if the record determines it: the fold stops
     /// at the first planning error (exactly where sequential cell
     /// execution stops), otherwise every test must be present.
     pub fn cell_outcome(&self, suite: &str, stand: &str) -> Option<CampaignCell> {
-        let determined = self.is_complete() || matches!(self.tests.last(), Some(Err(_)));
-        if !determined {
+        if !self.is_determined() {
             return None;
         }
         Some(fold_cell(
@@ -165,6 +209,74 @@ pub trait CampaignCache: fmt::Debug + Send + Sync {
             None => CacheLookup::Miss,
         }
     }
+
+    /// Like [`CampaignCache::lookup`], annotated with I/O accounting: how
+    /// many encoded bytes were read and which [`RecordFormat`] served the
+    /// entry. The engine feeds these into the `cache_bytes_read` and
+    /// per-format hit counters.
+    ///
+    /// The default implementation performs no I/O it could measure and
+    /// reports zero bytes and no format; stores that actually read
+    /// encoded records (like [`DirCache`]) should override it.
+    fn lookup_io(&self, key: &CellKey) -> LookupInfo {
+        LookupInfo {
+            lookup: self.lookup(key),
+            bytes: 0,
+            format: None,
+        }
+    }
+
+    /// Like [`CampaignCache::store`], returning the number of encoded
+    /// bytes written (`0` for in-memory stores or failed best-effort
+    /// writes). The engine feeds this into the `cache_bytes_written`
+    /// counter.
+    fn store_io(&self, key: &CellKey, record: &CellRecord) -> u64 {
+        self.store(key, record);
+        0
+    }
+}
+
+/// The on-disk record encodings a [`DirCache`] can read and write. See
+/// the [module docs](self#on-disk-record-formats) for the negotiation
+/// rules and the [`binary`] module for the binary layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFormat {
+    /// Length-prefixed, field-tagged binary records (`.bin`, default).
+    Binary,
+    /// Hand-rolled JSON records (`.json`, the pre-binary format).
+    Json,
+}
+
+impl RecordFormat {
+    fn extension(self) -> &'static str {
+        match self {
+            RecordFormat::Binary => "bin",
+            RecordFormat::Json => "json",
+        }
+    }
+
+    /// The other format — what lookups fall back to and stores clean up.
+    fn other(self) -> Self {
+        match self {
+            RecordFormat::Binary => RecordFormat::Json,
+            RecordFormat::Json => RecordFormat::Binary,
+        }
+    }
+}
+
+/// A [`CampaignCache::lookup_io`] result: the lookup outcome plus the
+/// encoded bytes read and the format that served (or failed to serve)
+/// the entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupInfo {
+    /// The lookup outcome.
+    pub lookup: CacheLookup,
+    /// Encoded bytes read from the backing store (0 when nothing was
+    /// read, e.g. a miss or an in-memory cache).
+    pub bytes: u64,
+    /// The record format involved, when the backing store distinguishes
+    /// formats (in-memory caches report `None`).
+    pub format: Option<RecordFormat>,
 }
 
 /// Outcome of a [`CampaignCache::lookup`]: a usable record, a plain
@@ -219,20 +331,26 @@ impl CampaignCache for MemoryCache {
     }
 }
 
-/// An on-disk cache: one JSON file per cell key under a directory, shared
-/// across processes and campaign runs. Writes go through a temporary file
-/// in the same directory followed by an atomic rename, so concurrent
-/// runs and crashes never leave a half-written record — readers see the
-/// old record or the new one, and a torn file can only be a leftover
-/// `.tmp` no reader ever opens.
+/// An on-disk cache: one record file per cell key under a directory,
+/// shared across processes and campaign runs. Records are binary by
+/// default ([`RecordFormat::Binary`], see the
+/// [module docs](self#on-disk-record-formats)); lookups read either
+/// format, so a cache written before the binary codec — or by a
+/// differently configured writer — keeps hitting. Writes go through a
+/// temporary file in the same directory followed by an atomic rename, so
+/// concurrent runs and crashes never leave a half-written record —
+/// readers see the old record or the new one, and a torn file can only be
+/// a leftover `.tmp` no reader ever opens.
 #[derive(Debug)]
 pub struct DirCache {
     dir: PathBuf,
+    format: RecordFormat,
     tmp_counter: AtomicU64,
 }
 
 impl DirCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory, writing
+    /// [`RecordFormat::Binary`] records.
     ///
     /// # Errors
     ///
@@ -255,8 +373,21 @@ impl DirCache {
         }
         Ok(Self {
             dir,
+            format: RecordFormat::Binary,
             tmp_counter: AtomicU64::new(0),
         })
+    }
+
+    /// Sets the format new records are written in (builder style). Reads
+    /// are unaffected: both formats always hit.
+    pub fn with_format(mut self, format: RecordFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The format new records are written in.
+    pub fn format(&self) -> RecordFormat {
+        self.format
     }
 
     /// The cache directory.
@@ -264,9 +395,14 @@ impl DirCache {
         &self.dir
     }
 
-    /// The record file path for a key.
+    /// The record file path a `store` would write for a key (lookups also
+    /// fall back to the other format's path).
     pub fn entry_path(&self, key: &CellKey) -> PathBuf {
-        self.dir.join(format!("{key}.json"))
+        self.format_path(key, self.format)
+    }
+
+    fn format_path(&self, key: &CellKey, format: RecordFormat) -> PathBuf {
+        self.dir.join(format!("{key}.{}", format.extension()))
     }
 }
 
@@ -279,37 +415,80 @@ impl CampaignCache for DirCache {
     }
 
     fn lookup(&self, key: &CellKey) -> CacheLookup {
-        let text = match std::fs::read_to_string(self.entry_path(key)) {
-            Ok(text) => text,
-            // Absent entry: a genuinely cold cell.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
-            // Present but unreadable (permissions, I/O error): the store
-            // has the entry and cannot serve it — report it as rot.
-            Err(_) => return CacheLookup::Corrupt,
-        };
-        match codec::decode(&text) {
-            Ok(record) => CacheLookup::Hit(record),
-            Err(_) => CacheLookup::Corrupt,
+        self.lookup_io(key).lookup
+    }
+
+    fn lookup_io(&self, key: &CellKey) -> LookupInfo {
+        // Prefer the write format (it is what this writer last stored),
+        // fall back to the other so entries from older caches or
+        // differently configured writers are never silent misses.
+        for format in [self.format, self.format.other()] {
+            let bytes = match std::fs::read(self.format_path(key, format)) {
+                Ok(bytes) => bytes,
+                // Absent in this format: try the other.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                // Present but unreadable (permissions, I/O error): the
+                // store has the entry and cannot serve it — report rot.
+                Err(_) => {
+                    return LookupInfo {
+                        lookup: CacheLookup::Corrupt,
+                        bytes: 0,
+                        format: Some(format),
+                    }
+                }
+            };
+            let decoded = match format {
+                RecordFormat::Binary => binary::decode(&bytes).ok(),
+                RecordFormat::Json => std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|text| codec::decode(text).ok()),
+            };
+            return LookupInfo {
+                lookup: match decoded {
+                    Some(record) => CacheLookup::Hit(record),
+                    None => CacheLookup::Corrupt,
+                },
+                bytes: bytes.len() as u64,
+                format: Some(format),
+            };
+        }
+        LookupInfo {
+            lookup: CacheLookup::Miss,
+            bytes: 0,
+            format: None,
         }
     }
 
     fn store(&self, key: &CellKey, record: &CellRecord) {
+        self.store_io(key, record);
+    }
+
+    fn store_io(&self, key: &CellKey, record: &CellRecord) -> u64 {
         // Unique-per-writer temp name: process id + in-process counter.
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let text = codec::encode(record);
+        let bytes = match self.format {
+            RecordFormat::Binary => binary::encode(record),
+            RecordFormat::Json => codec::encode(record).into_bytes(),
+        };
+        let written = bytes.len() as u64;
         // Best-effort: a cache that cannot persist (full disk, revoked
         // permissions) degrades to a smaller cache, never a failed run —
         // but whatever happens, the temp file must not survive (a
         // partially written one would otherwise accumulate per attempt).
-        let ok = std::fs::write(&tmp, text).is_ok()
+        let ok = std::fs::write(&tmp, bytes).is_ok()
             && std::fs::rename(&tmp, self.entry_path(key)).is_ok();
         if !ok {
             let _ = std::fs::remove_file(&tmp);
+            return 0;
         }
+        // Latest write wins across formats: drop the stale other-format
+        // entry so a later format switch cannot resurrect an old record.
+        let _ = std::fs::remove_file(self.format_path(key, self.format.other()));
+        written
     }
 }
 
@@ -338,6 +517,9 @@ pub(crate) struct CacheRuntime {
     verify: bool,
     keys: Vec<CellKey>,
     records: Vec<Option<CellRecord>>,
+    /// The format that served each preloaded record (`None` for misses
+    /// and format-less caches) — what the per-format hit counters report.
+    formats: Vec<Option<RecordFormat>>,
     /// Per-cell suite test count (the stored record's `total`).
     totals: Vec<usize>,
     /// Per-cell accumulators; empty for cell-granular runs.
@@ -348,6 +530,10 @@ pub(crate) struct CacheRuntime {
     /// channel exists.
     corrupt: Vec<(usize, String, String)>,
     mismatches: AtomicUsize,
+    /// Recorder for store-side accounting (`cache_bytes_written`) — reads
+    /// are accounted once in [`CacheRuntime::prepare`], stores happen on
+    /// workers throughout the run.
+    obs: Recorder,
 }
 
 impl CacheRuntime {
@@ -368,18 +554,29 @@ impl CacheRuntime {
     ) -> Arc<Self> {
         debug_assert_eq!(keys.len(), entries.len() * stands.len());
         let mut records = Vec::with_capacity(keys.len());
+        let mut formats = Vec::with_capacity(keys.len());
         let mut totals = Vec::with_capacity(keys.len());
         let mut collectors = Vec::new();
         let mut corrupt = Vec::new();
+        let mut bytes_read = 0u64;
         let mut cell = 0;
         for entry in entries {
             for stand in stands {
-                records.push(match cache.lookup(&keys[cell]) {
-                    CacheLookup::Hit(record) => Some(record),
-                    CacheLookup::Miss => None,
+                let info = cache.lookup_io(&keys[cell]);
+                bytes_read += info.bytes;
+                records.push(match info.lookup {
+                    CacheLookup::Hit(record) => {
+                        formats.push(info.format);
+                        Some(record)
+                    }
+                    CacheLookup::Miss => {
+                        formats.push(None);
+                        None
+                    }
                     CacheLookup::Corrupt => {
                         obs.inc(Counter::CacheCorruptEntries);
                         corrupt.push((cell, entry.suite.name.clone(), stand.name().to_owned()));
+                        formats.push(None);
                         None
                     }
                 });
@@ -395,15 +592,18 @@ impl CacheRuntime {
                 cell += 1;
             }
         }
+        obs.add(Counter::CacheBytesRead, bytes_read);
         Arc::new(Self {
             cache,
             verify,
             keys: keys.to_vec(),
             records,
+            formats,
             totals,
             collectors,
             corrupt,
             mismatches: AtomicUsize::new(0),
+            obs: obs.clone(),
         })
     }
 
@@ -423,6 +623,37 @@ impl CacheRuntime {
         }
     }
 
+    /// Whether [`CacheRuntime::admit_test`] will serve this (cell, test)
+    /// job from the cache. Records are pre-loaded before packaging and
+    /// immutable for the launch, so this prediction is exact — packaging
+    /// uses it to skip building DUT devices for jobs that will never run.
+    pub(crate) fn will_hit_test(&self, cell: usize, test: usize) -> bool {
+        !self.verify
+            && self.records[cell]
+                .as_ref()
+                .is_some_and(|r| r.test_outcome(test).is_some())
+    }
+
+    /// Whether [`CacheRuntime::admit_cell`] will serve this whole cell
+    /// from the cache — the cell-granular counterpart of
+    /// [`CacheRuntime::will_hit_test`].
+    pub(crate) fn will_hit_cell(&self, cell: usize) -> bool {
+        !self.verify
+            && self.records[cell]
+                .as_ref()
+                .is_some_and(CellRecord::is_determined)
+    }
+
+    /// Bumps the per-format hit counter for a cell served from a
+    /// format-aware store (format-less caches count only `cache_hits`).
+    fn count_format_hit(&self, cell: usize) {
+        match self.formats[cell] {
+            Some(RecordFormat::Binary) => self.obs.inc(Counter::CacheHitsBin),
+            Some(RecordFormat::Json) => self.obs.inc(Counter::CacheHitsJson),
+            None => {}
+        }
+    }
+
     /// Test-granular admission: the cached outcome for one (cell, test)
     /// job, or `None` (miss / verify mode — the job must execute). A hit
     /// also feeds the cell's store accumulator so mixed warm/cold cells
@@ -433,6 +664,7 @@ impl CacheRuntime {
         }
         let record = self.records[cell].as_ref()?;
         let outcome = record.test_outcome(test)?.clone();
+        self.count_format_hit(cell);
         // A complete record can never need re-storing, so fully-warm cells
         // skip the accumulator entirely (a 10k-test warm run would
         // otherwise clone every outcome twice for nothing); partial
@@ -450,7 +682,9 @@ impl CacheRuntime {
         if self.verify {
             return None;
         }
-        self.records[cell].as_ref()?.cell_outcome(suite, stand)
+        let outcome = self.records[cell].as_ref()?.cell_outcome(suite, stand)?;
+        self.count_format_hit(cell);
+        Some(outcome)
     }
 
     /// Reports one *executed* test outcome: feeds the store accumulator
@@ -490,13 +724,14 @@ impl CacheRuntime {
                 }
             }
         }
-        self.cache.store(
+        let written = self.cache.store_io(
             &self.keys[cell],
             &CellRecord {
                 total: self.totals[cell],
                 tests: tests.to_vec(),
             },
         );
+        self.obs.add(Counter::CacheBytesWritten, written);
     }
 
     /// Number of cached-vs-executed divergences seen in verify mode.
@@ -532,7 +767,8 @@ impl CacheRuntime {
                 tests,
             };
             drop(c);
-            self.cache.store(&self.keys[cell], &record);
+            let written = self.cache.store_io(&self.keys[cell], &record);
+            self.obs.add(Counter::CacheBytesWritten, written);
         }
     }
 }
@@ -640,6 +876,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("comptest-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = DirCache::open(&dir).unwrap();
+        assert_eq!(cache.format(), RecordFormat::Binary);
         let record = CellRecord {
             total: 1,
             tests: vec![Ok(result("a"))],
@@ -649,15 +886,22 @@ mod tests {
 
         // Truncate the entry: unreadable -> miss, not an error.
         let path = cache.entry_path(&key(7));
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(path.extension().unwrap(), "bin");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert_eq!(cache.load(&key(7)), None);
 
-        // Arbitrary garbage, wrong version, non-JSON: all misses.
-        std::fs::write(&path, "not json at all \u{0}\u{1}").unwrap();
+        // Arbitrary garbage and a wrong-version header: all misses.
+        std::fs::write(&path, "not a record at all \u{0}\u{1}").unwrap();
         assert_eq!(cache.load(&key(7)), None);
-        std::fs::write(&path, "{\"version\":999,\"total\":1,\"tests\":[]}").unwrap();
+        let mut wrong_version = bytes.clone();
+        wrong_version[3] = binary::VERSION + 1;
+        std::fs::write(&path, &wrong_version).unwrap();
         assert_eq!(cache.load(&key(7)), None);
+
+        // A fresh store replaces the rotten entry (self-heal).
+        cache.store(&key(7), &record);
+        assert_eq!(cache.load(&key(7)), Some(record.clone()));
 
         // Reopening an existing directory is fine; a file path is not.
         assert!(DirCache::open(&dir).is_ok());
@@ -668,6 +912,51 @@ mod tests {
             Err(CoreError::Cache { .. })
         ));
         assert!(matches!(DirCache::open(""), Err(CoreError::Cache { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_cache_reads_both_formats_and_latest_write_wins() {
+        let dir = std::env::temp_dir().join(format!(
+            "comptest-cache-fmt-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let record = CellRecord {
+            total: 2,
+            tests: vec![Ok(result("a")), Err("boom".into())],
+        };
+
+        // A JSON-written entry hits through a binary-default cache…
+        let json_cache = DirCache::open(&dir).unwrap().with_format(RecordFormat::Json);
+        assert_eq!(json_cache.entry_path(&key(1)).extension().unwrap(), "json");
+        json_cache.store(&key(1), &record);
+        let bin_cache = DirCache::open(&dir).unwrap();
+        let info = bin_cache.lookup_io(&key(1));
+        assert_eq!(info.lookup, CacheLookup::Hit(record.clone()));
+        assert_eq!(info.format, Some(RecordFormat::Json));
+        assert!(info.bytes > 0);
+
+        // …and a binary-written entry hits through a JSON-writing cache.
+        bin_cache.store(&key(2), &record);
+        let info = json_cache.lookup_io(&key(2));
+        assert_eq!(info.lookup, CacheLookup::Hit(record.clone()));
+        assert_eq!(info.format, Some(RecordFormat::Binary));
+
+        // Re-storing in the other format removes the stale file, so the
+        // latest write wins for every reader.
+        let updated = CellRecord {
+            total: 2,
+            tests: vec![Ok(result("b")), Err("boom".into())],
+        };
+        bin_cache.store(&key(1), &updated);
+        assert!(!json_cache.entry_path(&key(1)).exists(), "stale JSON gone");
+        assert_eq!(json_cache.load(&key(1)), Some(updated));
+
+        // Misses report no bytes and no format.
+        let info = bin_cache.lookup_io(&key(9));
+        assert_eq!(info.lookup, CacheLookup::Miss);
+        assert_eq!((info.bytes, info.format), (0, None));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -262,46 +262,63 @@ impl Prepared {
 
     /// Packages the deterministic test-job list: scripts and stands are
     /// `Arc`-shared, plan slots are shared per (entry, test, stand), and
-    /// every job gets its own freshly built device (the serial pipeline
-    /// power-cycles the DUT per test; building up front keeps worker tasks
-    /// `'static`).
+    /// every job that will actually *execute* gets its own freshly built
+    /// device (the serial pipeline power-cycles the DUT per test; building
+    /// up front keeps worker tasks `'static`). Records are pre-loaded and
+    /// immutable for the launch, so admission is predictable here:
+    /// predicted cache hits skip device construction entirely — a fully
+    /// warm run builds zero devices.
     pub(crate) fn package_jobs(&self, entries: &[CampaignEntry<'_>]) -> Vec<PackagedJob> {
         let counts: Vec<usize> = entries.iter().map(|e| e.suite.tests.len()).collect();
         plan_test_jobs(&counts, self.n_stands)
             .into_iter()
-            .map(|j| PackagedJob {
-                job: j.job,
-                cell: j.cell,
-                test: j.test,
-                suite: entries[j.entry].suite.name.clone(),
-                stand_name: self.stands[j.stand].name().to_owned(),
-                name: entries[j.entry].suite.tests[j.test].name.clone(),
-                script: Arc::clone(&self.scripts[j.entry][j.test]),
-                stand: Arc::clone(&self.stands[j.stand]),
-                plan: self.slot(j.entry, j.test, j.stand),
-                device: entries[j.entry].device_factory.build(),
+            .map(|j| {
+                let hit = self
+                    .cache
+                    .as_ref()
+                    .is_some_and(|c| c.will_hit_test(j.cell, j.test));
+                PackagedJob {
+                    job: j.job,
+                    cell: j.cell,
+                    test: j.test,
+                    suite: entries[j.entry].suite.name.clone(),
+                    stand_name: self.stands[j.stand].name().to_owned(),
+                    name: entries[j.entry].suite.tests[j.test].name.clone(),
+                    script: Arc::clone(&self.scripts[j.entry][j.test]),
+                    stand: Arc::clone(&self.stands[j.stand]),
+                    plan: self.slot(j.entry, j.test, j.stand),
+                    device: (!hit).then(|| entries[j.entry].device_factory.build()),
+                }
             })
             .collect()
     }
 
-    /// Packages the deterministic cell list for cell-granular runs.
+    /// Packages the deterministic cell list for cell-granular runs. As
+    /// with [`Prepared::package_jobs`], predicted whole-cell cache hits
+    /// skip device construction for every test of the cell.
     pub(crate) fn package_cells(&self, entries: &[CampaignEntry<'_>]) -> Vec<PackagedCell> {
         plan_cells(entries.len(), self.n_stands)
             .into_iter()
-            .map(|j| PackagedCell {
-                cell: j.cell,
-                suite: entries[j.entry].suite.name.clone(),
-                stand_name: self.stands[j.stand].name().to_owned(),
-                stand: Arc::clone(&self.stands[j.stand]),
-                tests: self.scripts[j.entry]
-                    .iter()
-                    .enumerate()
-                    .map(|(t, script)| PackagedTest {
-                        script: Arc::clone(script),
-                        plan: self.slot(j.entry, t, j.stand),
-                        device: entries[j.entry].device_factory.build(),
-                    })
-                    .collect(),
+            .map(|j| {
+                let hit = self
+                    .cache
+                    .as_ref()
+                    .is_some_and(|c| c.will_hit_cell(j.cell));
+                PackagedCell {
+                    cell: j.cell,
+                    suite: entries[j.entry].suite.name.clone(),
+                    stand_name: self.stands[j.stand].name().to_owned(),
+                    stand: Arc::clone(&self.stands[j.stand]),
+                    tests: self.scripts[j.entry]
+                        .iter()
+                        .enumerate()
+                        .map(|(t, script)| PackagedTest {
+                            script: Arc::clone(script),
+                            plan: self.slot(j.entry, t, j.stand),
+                            device: (!hit).then(|| entries[j.entry].device_factory.build()),
+                        })
+                        .collect(),
+                }
             })
             .collect()
     }
@@ -687,10 +704,21 @@ pub(crate) struct PackagedJob {
     pub(crate) script: Arc<TestScript>,
     pub(crate) stand: Arc<TestStand>,
     pub(crate) plan: Arc<PlanSlot>,
-    pub(crate) device: Device,
+    /// The fresh DUT — `None` when packaging predicted a cache hit (the
+    /// job resolves at admission and never needs one).
+    pub(crate) device: Option<Device>,
 }
 
 impl PackagedJob {
+    /// Takes the packaged device; the execute paths call this only after
+    /// admission missed, which packaging predicted exactly (records are
+    /// pre-loaded and immutable for the launch).
+    pub(crate) fn take_device(&mut self) -> Device {
+        self.device
+            .take()
+            .expect("cache-miss job packaged without a device")
+    }
+
     /// Resolves the shared plan slot for this job's (script, stand) pair.
     pub(crate) fn resolve_plan(&self, obs: &Recorder) -> Result<Arc<ExecutionPlan>, String> {
         self.plan.resolve(&self.script, &self.stand, obs)
@@ -728,7 +756,8 @@ pub(crate) fn run_packaged_test(
         .span_begin(SpanCat::Test, || format!("{}::{}", job.suite, job.name));
     ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let started = Instant::now();
-    let outcome = plan_and_execute(&job.plan, &job.script, &job.stand, &mut job.device, ctx);
+    let mut device = job.take_device();
+    let outcome = plan_and_execute(&job.plan, &job.script, &job.stand, &mut device, ctx);
     let wall = started.elapsed();
     if let Some(runtime) = &ctx.cache {
         runtime.finish_test(job.cell, job.test, &outcome);
@@ -804,11 +833,21 @@ fn launch_pooled_tests<'a>(
 }
 
 /// One test of a packaged cell: script, shared plan slot and a fresh
-/// device.
+/// device (`None` when the whole cell was predicted to hit the cache).
 pub(crate) struct PackagedTest {
     pub(crate) script: Arc<TestScript>,
     pub(crate) plan: Arc<PlanSlot>,
-    pub(crate) device: Device,
+    pub(crate) device: Option<Device>,
+}
+
+impl PackagedTest {
+    /// Takes the packaged device; called only on the execute path, after
+    /// whole-cell admission missed — which packaging predicted exactly.
+    pub(crate) fn take_device(&mut self) -> Device {
+        self.device
+            .take()
+            .expect("cache-miss cell packaged without devices")
+    }
 }
 
 /// One packaged cell job: the whole suite×stand cell, owned.
@@ -851,12 +890,9 @@ pub(crate) fn run_packaged_cell(
     });
     ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let mut outcomes: Vec<TestJobOutcome> = Vec::with_capacity(cell.tests.len());
-    for test in cell.tests {
-        let PackagedTest {
-            script,
-            plan,
-            mut device,
-        } = test;
+    for mut test in cell.tests {
+        let mut device = test.take_device();
+        let PackagedTest { script, plan, .. } = test;
         let test_span = ctx
             .obs
             .span_begin(SpanCat::Test, || format!("{}::{}", cell.suite, script.name));

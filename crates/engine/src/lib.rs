@@ -38,7 +38,9 @@
 //!   structural hashes of (suite, stand, DUT config, exec options) —
 //!   [`CellKey`], computed in `comptest_core::hash` — with an in-process
 //!   [`MemoryCache`] and an on-disk [`DirCache`] (atomic
-//!   write-then-rename JSON records; anything unreadable is a miss).
+//!   write-then-rename records — length-prefixed binary by default,
+//!   readable-either-way JSON for compatibility, see
+//!   [`cache::RecordFormat`]; anything unreadable is a miss).
 //!   Installed via [`Campaign::cache`], every executor consults it at job
 //!   admission: hits emit [`EngineEvent::CellCached`], merge
 //!   byte-identical to a cold run (full results, traces and sim timing
@@ -95,7 +97,9 @@
 //! | `tests_executed` | individual tests driven to a verdict (per job at test granularity, per suite member at cell granularity) |
 //! | `steps_executed` | test steps driven through the DUT |
 //! | `cache_hits` / `cache_misses` | cache lookups by outcome |
+//! | `cache_hits_bin` / `cache_hits_json` | hits by on-disk record format (subsets of `cache_hits`; in-memory hits count only the total) |
 //! | `cache_corrupt_entries` | unreadable/undecodable cache records (also emitted as [`EngineEvent::CellCacheCorrupt`] warnings) |
+//! | `cache_bytes_read` / `cache_bytes_written` | encoded record bytes moved at preload / by stores — what the `cache_preload` phase cost buys |
 //! | `spans_opened` / `spans_closed` | trace spans begun / ended — equal once the campaign joins, even under cancellation |
 //! | `worker_busy_micros` | summed wall-clock the workers spent inside steps |
 //! | `campaign_wall_micros` | wall-clock from launch to join |
@@ -174,7 +178,9 @@ pub mod obs;
 mod pool;
 
 pub use async_exec::AsyncExecutor;
-pub use cache::{CacheLookup, CampaignCache, CellRecord, DirCache, MemoryCache};
+pub use cache::{
+    CacheLookup, CampaignCache, CellRecord, DirCache, LookupInfo, MemoryCache, RecordFormat,
+};
 pub use campaign::{Campaign, Granularity};
 pub use events::EngineEvent;
 pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};

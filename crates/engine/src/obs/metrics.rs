@@ -31,11 +31,22 @@ pub(crate) enum Counter {
     StepsExecuted,
     /// Cache admissions served from a record.
     CacheHits,
+    /// Cache hits served from binary-format records (subset of
+    /// `cache_hits`; format-less caches count only the total).
+    CacheHitsBin,
+    /// Cache hits served from JSON-format records (subset of
+    /// `cache_hits`).
+    CacheHitsJson,
     /// Cache admissions that had to execute (absent, undetermined record,
     /// or verify mode).
     CacheMisses,
     /// Cache entries that existed but were corrupt/truncated/wrong-version.
     CacheCorruptEntries,
+    /// Encoded record bytes read from the cache at preload — what the
+    /// `cache_preload` phase cost buys.
+    CacheBytesRead,
+    /// Encoded record bytes written to the cache by stores.
+    CacheBytesWritten,
     /// Trace spans opened.
     SpansOpened,
     /// Trace spans closed.
@@ -51,7 +62,7 @@ pub(crate) enum Counter {
 }
 
 impl Counter {
-    pub(crate) const ALL: [Counter; 15] = [
+    pub(crate) const ALL: [Counter; 19] = [
         Counter::JobsPlanned,
         Counter::JobsExecuted,
         Counter::JobsCached,
@@ -59,8 +70,12 @@ impl Counter {
         Counter::TestsExecuted,
         Counter::StepsExecuted,
         Counter::CacheHits,
+        Counter::CacheHitsBin,
+        Counter::CacheHitsJson,
         Counter::CacheMisses,
         Counter::CacheCorruptEntries,
+        Counter::CacheBytesRead,
+        Counter::CacheBytesWritten,
         Counter::SpansOpened,
         Counter::SpansClosed,
         Counter::WorkerBusyMicros,
@@ -78,8 +93,12 @@ impl Counter {
             Counter::TestsExecuted => "tests_executed",
             Counter::StepsExecuted => "steps_executed",
             Counter::CacheHits => "cache_hits",
+            Counter::CacheHitsBin => "cache_hits_bin",
+            Counter::CacheHitsJson => "cache_hits_json",
             Counter::CacheMisses => "cache_misses",
             Counter::CacheCorruptEntries => "cache_corrupt_entries",
+            Counter::CacheBytesRead => "cache_bytes_read",
+            Counter::CacheBytesWritten => "cache_bytes_written",
             Counter::SpansOpened => "spans_opened",
             Counter::SpansClosed => "spans_closed",
             Counter::WorkerBusyMicros => "worker_busy_micros",

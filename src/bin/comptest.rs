@@ -11,6 +11,7 @@
 //!                   [--sample end-of-step|continuous:<interval_s>]
 //!                   [--stop-on-first-fail] [--junit out.xml]
 //!                   [--cache <dir>|memory|off] [--cache-verify]
+//!                   [--cache-format bin|json]
 //!                   [--trace-out trace.json] [--metrics]
 //!                   [--metrics-out metrics.json]
 //! comptest portability <workbook.cts> <stand.stand>...
@@ -373,6 +374,19 @@ impl std::str::FromStr for CacheMode {
     }
 }
 
+/// Parses `--cache-format`: the on-disk record encoding a `--cache <dir>`
+/// cache writes (reads always accept both). Anything but the two known
+/// formats is rejected at parse.
+fn parse_cache_format(s: &str) -> Result<comptest::engine::RecordFormat, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "bin" => Ok(comptest::engine::RecordFormat::Binary),
+        "json" => Ok(comptest::engine::RecordFormat::Json),
+        other => Err(format!(
+            "unknown cache format {other:?}: expected bin or json"
+        )),
+    }
+}
+
 fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut stand_paths: Vec<&str> = Vec::new();
     let mut executor_kind = ExecutorKind::Pooled;
@@ -384,6 +398,7 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut junit: Option<&str> = None;
     let mut cache_mode = CacheMode::Off;
     let mut cache_verify = false;
+    let mut cache_format: Option<comptest::engine::RecordFormat> = None;
     let mut trace_out: Option<&str> = None;
     let mut metrics_out: Option<&str> = None;
     let mut print_metrics = false;
@@ -438,6 +453,10 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 cache_mode = c.parse()?;
             }
             "--cache-verify" => cache_verify = true,
+            "--cache-format" => {
+                let f = need(it.next().copied(), "--cache-format (bin|json)")?;
+                cache_format = Some(parse_cache_format(f)?);
+            }
             "--trace-out" => {
                 let path = need(it.next().copied(), "--trace-out path")?;
                 check_out_path("--trace-out", path)?;
@@ -482,6 +501,13 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .into(),
         );
     }
+    // Record formats are an on-disk concern; on `off` or `memory` the flag
+    // would be silently ignored — reject the mistake instead.
+    if cache_format.is_some() && !matches!(cache_mode, CacheMode::Dir(_)) {
+        return Err(
+            "--cache-format only applies to an on-disk cache (pass --cache <dir>)".into(),
+        );
+    }
     let workers = workers.unwrap_or(1);
     let concurrency = concurrency.unwrap_or(1024);
 
@@ -523,7 +549,11 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             campaign.cache(std::sync::Arc::new(comptest::engine::MemoryCache::new()))
         }
         CacheMode::Dir(dir) => {
-            campaign.cache(std::sync::Arc::new(comptest::engine::DirCache::open(dir)?))
+            let mut dir_cache = comptest::engine::DirCache::open(dir)?;
+            if let Some(format) = cache_format {
+                dir_cache = dir_cache.with_format(format);
+            }
+            campaign.cache(std::sync::Arc::new(dir_cache))
         }
     };
     let executor: Box<dyn CampaignExecutor> = match executor_kind {

@@ -124,7 +124,16 @@
 //! cached failure still trips `stop_on_first_fail` and the exit code.
 //! `cache_verify(true)` is the audit mode: everything re-executes and the
 //! join errors if any cached outcome diverged. On the CLI:
-//! `comptest campaign … --cache <dir> [--cache-verify]`.
+//! `comptest campaign … --cache <dir> [--cache-verify]
+//! [--cache-format bin|json]`.
+//!
+//! On-disk records are length-prefixed binary by default (`bin`, the fast
+//! path: one read per record, no text parsing) with `json` available for
+//! humans and older tooling; either way a [`engine::DirCache`] *reads* both
+//! formats, so existing stores stay warm across the switch and
+//! `--cache-format` only chooses what gets written. See
+//! [`engine::RecordFormat`] and the [`engine::cache`] module docs for the
+//! record layout.
 //!
 //! ```
 //! use comptest::prelude::*;

@@ -763,6 +763,25 @@ fn conformance_obs_counters_balance_under_stop_on_first_fail() {
     }
 }
 
+/// Overwrites every cache record in `dir` with an undecodable body for its
+/// format — present but corrupt, not missing — and returns how many files
+/// were hit. Binary records keep a valid magic/version and truncate
+/// mid-varint; JSON records truncate mid-document.
+fn clobber_records(dir: &std::path::Path) -> usize {
+    let mut clobbered = 0usize;
+    for entry in std::fs::read_dir(dir).expect("cache dir listing") {
+        let path = entry.expect("dir entry").path();
+        let garbage: &[u8] = match path.extension().and_then(|e| e.to_str()) {
+            Some("bin") => b"CCR\x01\x00\xff\xff\xff",
+            Some("json") => b"{\"version\": 1, \"tests\": [tru",
+            _ => continue,
+        };
+        std::fs::write(&path, garbage).expect("clobber record");
+        clobbered += 1;
+    }
+    clobbered
+}
+
 #[test]
 fn conformance_corrupt_cache_entries_warn_count_and_reexecute() {
     let scratch = TempDir::new("corrupt");
@@ -780,15 +799,9 @@ fn conformance_corrupt_cache_entries_warn_count_and_reexecute() {
         .cache(Arc::new(DirCache::open(&cache_dir).expect("cache dir")));
     let _ = campaign.run(&SerialExecutor).unwrap(); // populate
 
-    // Truncate every record on disk mid-JSON: undecodable, not missing.
-    let mut clobbered = 0usize;
-    for entry in std::fs::read_dir(&cache_dir).expect("cache dir listing") {
-        let path = entry.expect("dir entry").path();
-        if path.extension().is_some_and(|e| e == "json") {
-            std::fs::write(&path, "{\"version\": 1, \"tests\": [tru").expect("clobber record");
-            clobbered += 1;
-        }
-    }
+    // Corrupt every record on disk (binary by default): undecodable, not
+    // missing.
+    let clobbered = clobber_records(&cache_dir);
     assert!(clobbered > 0, "populate run must have written records");
 
     for subject in subjects() {
@@ -824,13 +837,39 @@ fn conformance_corrupt_cache_entries_warn_count_and_reexecute() {
         assert_obs_invariants(&metrics, subject.name);
         // The re-executed outcomes overwrite the clobbered records, so the
         // cache self-heals; restore the corruption for the next subject.
-        for entry in std::fs::read_dir(&cache_dir).expect("cache dir listing") {
-            let path = entry.expect("dir entry").path();
-            if path.extension().is_some_and(|e| e == "json") {
-                std::fs::write(&path, "{\"version\": 1, \"tests\": [tru").expect("clobber record");
-            }
-        }
+        assert_eq!(
+            clobber_records(&cache_dir),
+            clobbered,
+            "{}: self-heal must have re-written every record",
+            subject.name
+        );
     }
+
+    // The JSON fallback format corrupts (and self-heals) the same way.
+    let json_dir = scratch.fresh_subdir();
+    let json_campaign = Campaign::new(&entries, &stands).cache(Arc::new(
+        DirCache::open(&json_dir)
+            .expect("cache dir")
+            .with_format(comptest::engine::RecordFormat::Json),
+    ));
+    let _ = json_campaign.run(&SerialExecutor).unwrap(); // populate
+    let json_clobbered = clobber_records(&json_dir);
+    assert_eq!(json_clobbered, clobbered, "same cells, same record count");
+    let obs = Recorder::enabled();
+    let outcome = Campaign::new(&entries, &stands)
+        .cache(Arc::new(
+            DirCache::open(&json_dir)
+                .expect("cache dir")
+                .with_format(comptest::engine::RecordFormat::Json),
+        ))
+        .recorder(obs.clone())
+        .run(&SerialExecutor)
+        .unwrap();
+    assert_eq!(outcome, reference, "json: corrupt entries must re-execute");
+    assert_eq!(
+        obs.metrics().unwrap().counter("cache_corrupt_entries"),
+        json_clobbered as u64
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -877,5 +916,197 @@ fn conformance_cache_records_are_executor_and_granularity_agnostic() {
         consume_tests.run(&PooledExecutor::new(4)).unwrap(),
         test_ref,
         "and cell-granular consumption must not have disturbed them"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-format cache interchange: a store written in either on-disk record
+// format — or a mix — serves any DirCache regardless of its write format,
+// across executors and granularities.
+// ---------------------------------------------------------------------------
+
+fn dir_cache(dir: &std::path::Path, format: comptest::engine::RecordFormat) -> Arc<DirCache> {
+    Arc::new(DirCache::open(dir).expect("cache dir").with_format(format))
+}
+
+#[test]
+fn conformance_cache_records_interchange_across_formats() {
+    use comptest::engine::RecordFormat;
+
+    let scratch = TempDir::new("formats");
+    let suites = load_suites();
+    let entries = entries(&suites);
+    let stand_a = load_stand("stand_a.stand");
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_a];
+    let cell_ref = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Cell)
+        .run(&SerialExecutor)
+        .unwrap();
+
+    // Populate at test granularity in one format, consume at cell
+    // granularity through a cache writing the *other* format: every job a
+    // hit, byte-identical, and the per-format hit counter names the format
+    // actually on disk (reads negotiate; the write format is irrelevant).
+    for (write_fmt, read_fmt, hit_counter) in [
+        (RecordFormat::Json, RecordFormat::Binary, "cache_hits_json"),
+        (RecordFormat::Binary, RecordFormat::Json, "cache_hits_bin"),
+    ] {
+        let dir = scratch.fresh_subdir();
+        let populate = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(dir_cache(&dir, write_fmt));
+        let _ = populate.run(&AsyncExecutor::new(128)).unwrap();
+
+        let obs = Recorder::enabled();
+        let consume = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Cell)
+            .cache(dir_cache(&dir, read_fmt))
+            .recorder(obs.clone());
+        assert_eq!(
+            consume.run(&PooledExecutor::new(4)).unwrap(),
+            cell_ref,
+            "{write_fmt:?}-written records must serve a {read_fmt:?}-writing cache"
+        );
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(
+            metrics.counter("jobs_cached"),
+            metrics.counter("jobs_planned"),
+            "{write_fmt:?}→{read_fmt:?}: warm run must be all hits"
+        );
+        assert_eq!(
+            metrics.counter(hit_counter),
+            metrics.counter("cache_hits"),
+            "{write_fmt:?}→{read_fmt:?}: every hit decoded the stored format"
+        );
+    }
+
+    // A mixed-format store: one stand's cells written as JSON, the other's
+    // as binary, into the same directory. A single warm run over both
+    // stands hits every record and bumps both per-format counters.
+    let both = [&stand_a, &stand_b];
+    let mixed_ref = Campaign::new(&entries, &both)
+        .granularity(Granularity::Test)
+        .run(&SerialExecutor)
+        .unwrap();
+    let dir = scratch.fresh_subdir();
+    for (stand, format) in [(&stand_a, RecordFormat::Json), (&stand_b, RecordFormat::Binary)] {
+        let one_stand = [stand];
+        let populate = Campaign::new(&entries, &one_stand)
+            .granularity(Granularity::Test)
+            .cache(dir_cache(&dir, format));
+        let _ = populate.run(&SerialExecutor).unwrap();
+    }
+    let obs = Recorder::enabled();
+    let warm = Campaign::new(&entries, &both)
+        .granularity(Granularity::Test)
+        .cache(dir_cache(&dir, RecordFormat::Binary))
+        .recorder(obs.clone());
+    assert_eq!(
+        warm.run(&AsyncExecutor::new(64)).unwrap(),
+        mixed_ref,
+        "a mixed-format store must serve a combined campaign warm"
+    );
+    let metrics = obs.metrics().unwrap();
+    assert_eq!(
+        metrics.counter("jobs_cached"),
+        metrics.counter("jobs_planned"),
+        "mixed store: warm run must be all hits"
+    );
+    assert!(
+        metrics.counter("cache_hits_bin") > 0 && metrics.counter("cache_hits_json") > 0,
+        "mixed store must hit through both formats ({:?})",
+        metrics.counters
+    );
+    assert_eq!(
+        metrics.counter("cache_hits_bin") + metrics.counter("cache_hits_json"),
+        metrics.counter("cache_hits"),
+        "per-format hit counters must partition cache_hits ({:?})",
+        metrics.counters
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Lazy device construction: a predicted cache hit never builds a DUT device.
+// ---------------------------------------------------------------------------
+
+/// The bundled entries with a device factory that counts invocations —
+/// the probe proving warm runs skip device construction entirely.
+fn counting_entries<'a>(
+    suites: &'a [TestSuite],
+    built: &Arc<AtomicUsize>,
+) -> Vec<CampaignEntry<'a>> {
+    suites
+        .iter()
+        .zip(comptest::dut::ecus::NAMES)
+        .map(|(suite, ecu)| {
+            let built = Arc::clone(built);
+            CampaignEntry {
+                suite,
+                device_factory: Box::new(move || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    comptest::dut::ecus::device_by_name(ecu, Default::default())
+                        .expect("bundled ECU")
+                }),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn conformance_cache_hits_build_no_devices() {
+    let scratch = TempDir::new("nodevice");
+    let suites = load_suites();
+    let built = Arc::new(AtomicUsize::new(0));
+    let entries = counting_entries(&suites, &built);
+    let stand_b = load_stand("stand_b.stand");
+    let stands = [&stand_b];
+
+    for granularity in [Granularity::Cell, Granularity::Test] {
+        for subject in subjects() {
+            for setup in [CacheSetup::Memory, CacheSetup::Dir] {
+                let label = format!("{granularity}/{}/{}", subject.name, setup.label());
+                let campaign = Campaign::new(&entries, &stands)
+                    .granularity(granularity)
+                    .cache(setup.build(&scratch).unwrap());
+                let executor = (subject.build)();
+
+                built.store(0, Ordering::Relaxed);
+                let cold = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert!(
+                    built.load(Ordering::Relaxed) > 0,
+                    "{label}: cold run must build devices"
+                );
+
+                built.store(0, Ordering::Relaxed);
+                let warm = campaign.launch(executor.as_ref()).unwrap().join().unwrap();
+                assert_eq!(warm, cold, "{label}: warm run diverged");
+                assert_eq!(
+                    built.load(Ordering::Relaxed),
+                    0,
+                    "{label}: cache hits must build zero devices"
+                );
+            }
+        }
+    }
+
+    // Audit mode re-executes everything, so it must build devices again —
+    // lazy construction never starves cache_verify.
+    let campaign = Campaign::new(&entries, &stands)
+        .cache(Arc::new(MemoryCache::new()))
+        .cache_verify(true);
+    built.store(0, Ordering::Relaxed);
+    let _ = campaign.run(&SerialExecutor).unwrap();
+    let cold_builds = built.load(Ordering::Relaxed);
+    // The first launch also builds one device per entry for key hashing;
+    // that hash is memoized per campaign value, so the warm audit run
+    // builds exactly the execution devices.
+    assert!(cold_builds > entries.len(), "verify cold run builds devices");
+    built.store(0, Ordering::Relaxed);
+    let _ = campaign.run(&SerialExecutor).unwrap();
+    assert_eq!(
+        built.load(Ordering::Relaxed),
+        cold_builds - entries.len(),
+        "cache_verify re-executes, so warm audit runs still build every device"
     );
 }

@@ -167,18 +167,22 @@ fn corrupted_dir_cache_entries_are_misses_not_errors() {
     let _ = campaign.run(&SerialExecutor).unwrap();
 
     // Vandalise every record differently: truncation, garbage, emptiness.
+    // (Records are binary by default; truncating bytes is format-agnostic.)
     let mut records: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|e| e == "bin" || e == "json")
+        })
         .collect();
     records.sort();
     assert_eq!(records.len(), entries.len(), "one record per cell");
     for (i, path) in records.iter().enumerate() {
         match i % 3 {
             0 => {
-                let text = std::fs::read_to_string(path).unwrap();
-                std::fs::write(path, &text[..text.len() / 3]).unwrap();
+                let bytes = std::fs::read(path).unwrap();
+                std::fs::write(path, &bytes[..bytes.len() / 3]).unwrap();
             }
             1 => std::fs::write(path, b"\x00\xff garbage {{{").unwrap(),
             _ => std::fs::write(path, b"").unwrap(),

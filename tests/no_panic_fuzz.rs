@@ -91,6 +91,78 @@ fn dir_cache_hostile_paths_are_graceful() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// A real encoded binary cache record (the bundled campaign's first cell,
+/// executed once per process) — the mutation base for codec fuzzing.
+fn valid_record_bytes() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let suites = comptest::load_bundled_suites().expect("bundled suites");
+        let entries = comptest::bundled_entries(&suites);
+        let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+        let stands = [&stand];
+        let cache = std::sync::Arc::new(comptest::engine::MemoryCache::new());
+        let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+        let _ = campaign.run(&SerialExecutor).unwrap();
+        let key = comptest::core::CellKey::for_cell(&entries[0], &stand, &ExecOptions::default());
+        let record = cache.load(&key).expect("populated record");
+        comptest::engine::cache::binary::encode(&record)
+    })
+}
+
+/// Hand-crafted hostile binary records the mutator cannot reliably
+/// produce: a wrong version byte (future format) and oversized declared
+/// counts/lengths (allocation bombs). All must decode as errors — and read
+/// as plain misses through a [`DirCache`] — never panic or allocate.
+#[test]
+fn binary_wrong_version_and_oversized_lengths_are_misses() {
+    use comptest::engine::cache::binary;
+
+    let base = std::env::temp_dir().join(format!("comptest-binfuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = DirCache::open(&base).unwrap();
+    let key = comptest::core::CellKey {
+        suite_hash: 1,
+        stand_hash: 2,
+        dut_config_hash: 3,
+        exec_hash: 4,
+    };
+    let record = comptest::engine::CellRecord {
+        total: 2,
+        tests: vec![Err("fuzz".into())],
+    };
+    cache.store(&key, &record);
+    let path = base.join(format!("{key}.bin"));
+    let good = std::fs::read(&path).unwrap();
+    assert_eq!(binary::decode(&good).unwrap(), record);
+
+    // A future version byte: an error for decode *and* probe, a miss for
+    // the cache (which then self-heals on the next store).
+    let mut wrong = good.clone();
+    wrong[3] = binary::VERSION + 1;
+    assert!(binary::decode(&wrong).is_err());
+    assert!(binary::probe(&wrong).is_err());
+    std::fs::write(&path, &wrong).unwrap();
+    assert!(cache.load(&key).is_none(), "wrong version must read as a miss");
+    cache.store(&key, &record);
+    assert_eq!(cache.load(&key), Some(record.clone()), "store self-heals");
+
+    // An outcome declaring a 2^60-byte body: the length guard must reject
+    // it against the remaining buffer before trusting (or allocating) it.
+    let mut bomb = Vec::new();
+    bomb.extend_from_slice(&binary::MAGIC);
+    bomb.push(binary::VERSION);
+    bomb.push(0); // flags: does not end in Err
+    bomb.push(1); // total = 1
+    bomb.push(1); // n_tests = 1
+    bomb.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10]); // len = 2^60
+    assert!(binary::decode(&bomb).is_err());
+    std::fs::write(&path, &bomb).unwrap();
+    assert!(cache.load(&key).is_none(), "oversized length must read as a miss");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn mutate(base: &str, position: usize, replacement: &str) -> String {
     let mut chars: Vec<char> = base.chars().collect();
     let pos = position % chars.len().max(1);
@@ -156,6 +228,36 @@ proptest! {
     fn sample_mode_continuous_suffix_never_panics(suffix in "[\\x00-\\xff]{0,16}") {
         let _ = format!("continuous:{suffix}").parse::<SampleMode>();
         let _ = format!("END-OF-STEP{suffix}").parse::<SampleMode>();
+    }
+
+    /// Every truncation of a valid binary cache record is a decode error
+    /// — never a panic, never a partial record (decode demands the full
+    /// buffer is consumed, so only the untruncated input succeeds).
+    #[test]
+    fn binary_record_truncation_never_panics(cut in 0usize..1_000_000) {
+        let bytes = valid_record_bytes();
+        let cut = cut % (bytes.len() + 1);
+        let decoded = comptest::engine::cache::binary::decode(&bytes[..cut]);
+        prop_assert_eq!(decoded.is_ok(), cut == bytes.len());
+        let _ = comptest::engine::cache::binary::probe(&bytes[..cut]);
+    }
+
+    /// Single-bit corruption anywhere in a valid binary record either
+    /// decodes (the flip hit a value byte) or errors — never panics.
+    #[test]
+    fn binary_record_bit_flips_never_panic(pos in 0usize..1_000_000, bit in 0u8..8) {
+        let mut bytes = valid_record_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = comptest::engine::cache::binary::decode(&bytes);
+        let _ = comptest::engine::cache::binary::probe(&bytes);
+    }
+
+    /// Arbitrary junk bytes never panic the binary codec.
+    #[test]
+    fn binary_record_junk_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = comptest::engine::cache::binary::decode(&junk);
+        let _ = comptest::engine::cache::binary::probe(&junk);
     }
 
     /// Hostile cache-directory paths: empty, raw control/8-bit bytes,

@@ -2,14 +2,72 @@
 //! survive every serialisation layer unchanged, and planning must be
 //! deterministic.
 
+use comptest::engine::CampaignCache;
 use comptest::prelude::*;
 use comptest_workload::{
     gen_script, gen_stand, gen_workbook_text, ScriptShape, SplitMix64, StandShape, WorkbookShape,
 };
 use proptest::prelude::*;
 
+/// Executed cache records for the bundled campaign (one per cell), built
+/// once per process — the richest record corpus we can get without
+/// hand-assembling every result type.
+fn executed_records() -> &'static [comptest::engine::CellRecord] {
+    use std::sync::{Arc, OnceLock};
+    static RECORDS: OnceLock<Vec<comptest::engine::CellRecord>> = OnceLock::new();
+    RECORDS.get_or_init(|| {
+        let suites = comptest::load_bundled_suites().expect("bundled suites");
+        let entries = comptest::bundled_entries(&suites);
+        let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
+        let stands = [&stand];
+        let cache = Arc::new(comptest::engine::MemoryCache::new());
+        let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+        let _ = campaign.run(&SerialExecutor).unwrap();
+        entries
+            .iter()
+            .map(|entry| {
+                let key =
+                    comptest::core::CellKey::for_cell(entry, &stand, &ExecOptions::default());
+                cache.load(&key).expect("populated record")
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Binary cache records roundtrip bit-exactly: decode(encode(r)) == r
+    /// and re-encoding the decoded record reproduces the same bytes, for
+    /// executed records, prefixes of them (partial cells), and prefixes
+    /// extended with a planning error — with the header probe agreeing on
+    /// coverage and determinedness throughout.
+    #[test]
+    fn binary_cache_record_roundtrip(
+        cell in 0usize..64,
+        keep in 0usize..32,
+        with_err in proptest::prelude::any::<bool>(),
+        err in "[ -~]{0,40}",
+    ) {
+        use comptest::engine::cache::binary;
+        let records = executed_records();
+        let mut record = records[cell % records.len()].clone();
+        record.tests.truncate(keep % (record.tests.len() + 1));
+        if with_err && record.tests.len() < record.total {
+            record.tests.push(Err(err));
+        }
+
+        let bytes = binary::encode(&record);
+        let decoded = binary::decode(&bytes).expect("valid encoding must decode");
+        prop_assert_eq!(&decoded, &record);
+        prop_assert_eq!(binary::encode(&decoded), bytes.clone());
+
+        let header = binary::probe(&bytes).expect("valid encoding must probe");
+        prop_assert_eq!(header.total, record.total);
+        prop_assert_eq!(header.tests, record.tests.len());
+        prop_assert_eq!(header.ends_err, matches!(record.tests.last(), Some(Err(_))));
+        prop_assert_eq!(header.determines_cell(), record.is_determined());
+    }
 
     /// Generated scripts roundtrip through XML byte-identically on reparse.
     #[test]
