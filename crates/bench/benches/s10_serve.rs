@@ -1,0 +1,197 @@
+//! S10 — `comptest serve` under multi-tenant load: N wire clients × M
+//! campaigns each, submission-to-verdict latency, warm vs cold cache.
+//!
+//! The service's claim is that residency pays: suites parse once, the
+//! worker pool and cache are shared, and a campaign's cost approaches
+//! pure execution (cold) or pure cache replay (warm) plus a thin wire
+//! tax. This bench is a load generator against a real daemon on a
+//! loopback socket — real TCP, real newline-delimited JSON frames, real
+//! event streaming — measuring what a tenant actually experiences: the
+//! wall-clock from writing the `submit` frame to receiving the terminal
+//! `result` frame.
+//!
+//! Three passes over the same N×M load, one shared server per pass:
+//!
+//! * `cache_off`  — every cell executes, no cache consulted;
+//! * `cache_cold` — caching on, store born empty (executes + fills);
+//! * `cache_warm` — caching on, store pre-filled by the cold pass —
+//!   every cell is a hit, so the p50 collapses to replay + wire cost.
+//!
+//! Reported per pass: p50 / p90 / p99 and max submission-to-verdict
+//! latency across all campaigns, plus aggregate throughput. The warm
+//! pass must beat the cold pass at the median — that delta is the
+//! resident cache's whole value proposition.
+//!
+//! Methodology notes:
+//!
+//! - Every campaign is submitted with `watch`, so the measured latency
+//!   includes streaming every engine event back over the socket — the
+//!   realistic worst case, not a fetch-poll lower bound.
+//! - Clients are OS threads with one persistent connection each,
+//!   submitting their campaigns back-to-back: the daemon sees N
+//!   concurrent tenants continuously, M deep.
+//! - `max_active` ≥ N keeps admission out of the measurement; what is
+//!   measured is the shared pool + cache + protocol, not queueing
+//!   policy (s6 benches scheduling).
+
+use std::time::{Duration, Instant};
+
+use comptest::prelude::Granularity;
+use comptest::server::{CampaignSpec, Client, ServeConfig, Server};
+
+/// Wire clients hammering the daemon concurrently.
+const CLIENTS: usize = 8;
+/// Campaigns each client submits back-to-back.
+const PER_CLIENT: usize = 4;
+/// Shared pool width (the daemon's, not the clients').
+const WORKERS: usize = 4;
+
+struct PassReport {
+    label: &'static str,
+    latencies: Vec<Duration>,
+    wall: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl PassReport {
+    fn print(&mut self) {
+        self.latencies.sort_unstable();
+        let total = self.latencies.len();
+        println!(
+            "s10/serve/{}/{CLIENTS}x{PER_CLIENT}   p50 {:?}   p90 {:?}   p99 {:?}   max {:?}   \
+             {total} campaigns in {:?} ({:.1}/s)",
+            self.label,
+            percentile(&self.latencies, 0.50),
+            percentile(&self.latencies, 0.90),
+            percentile(&self.latencies, 0.99),
+            self.latencies.last().copied().unwrap_or_default(),
+            self.wall,
+            total as f64 / self.wall.as_secs_f64(),
+        );
+    }
+
+    fn p50(&mut self) -> Duration {
+        self.latencies.sort_unstable();
+        percentile(&self.latencies, 0.50)
+    }
+}
+
+/// Writes a distinct stand set for every campaign in the load: clones
+/// of the bundled `stand_a.stand` whose stand names are unique both
+/// within a campaign (the engine rejects duplicates) and across
+/// campaigns (so the content-addressed cache cannot hit across
+/// submissions within the cold pass — cold means every cell executes).
+/// The warm pass replays the exact same 32 specs and hits on all of
+/// them. Returns `CLIENTS × PER_CLIENT` stand-path sets.
+fn cloned_stand_sets(dir: &std::path::Path, per_campaign: usize) -> Vec<Vec<String>> {
+    let template =
+        std::fs::read_to_string(comptest::asset("stand_a.stand")).expect("bundled stand");
+    (0..CLIENTS * PER_CLIENT)
+        .map(|campaign| {
+            (0..per_campaign)
+                .map(|i| {
+                    let path = dir.join(format!("bench-{campaign:02}-{i:02}.stand"));
+                    let body = template
+                        .replace("name = HIL-A", &format!("name = HIL-{campaign:02}-{i:02}"));
+                    std::fs::write(&path, body).expect("clone stand");
+                    path.display().to_string()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One load-generation pass: boots a fresh daemon over `cache_dir`,
+/// runs the full N×M burst through real sockets, drains, and returns
+/// every campaign's submission-to-verdict latency.
+fn run_pass(
+    label: &'static str,
+    stand_sets: &[Vec<String>],
+    cache_dir: Option<std::path::PathBuf>,
+) -> PassReport {
+    let mut cfg = ServeConfig::new(comptest::assets_dir());
+    cfg.workers = WORKERS;
+    cfg.max_active = CLIENTS;
+    cfg.cache_dir = cache_dir;
+    let server = Server::new(cfg).expect("server builds");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("local addr");
+    let daemon = server.clone();
+    let daemon_thread = std::thread::spawn(move || daemon.run(listener).expect("serve loop"));
+
+    let use_cache = label != "cache_off";
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let mine: Vec<Vec<String>> = stand_sets[c * PER_CLIENT..(c + 1) * PER_CLIENT].to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(PER_CLIENT);
+                for stands in mine {
+                    let spec = CampaignSpec {
+                        stands,
+                        granularity: Granularity::Cell,
+                        cache: use_cache,
+                        ..CampaignSpec::default()
+                    };
+                    let t = Instant::now();
+                    let (_, verdict) = client
+                        .submit_and_watch(&spec, |_| {})
+                        .expect("served campaign");
+                    latencies.push(t.elapsed());
+                    assert_eq!(verdict.state, "done");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(CLIENTS * PER_CLIENT);
+    for client in clients {
+        latencies.extend(client.join().expect("client thread"));
+    }
+    let wall = started.elapsed();
+
+    server.begin_shutdown();
+    daemon_thread.join().expect("daemon thread");
+    PassReport {
+        label,
+        latencies,
+        wall,
+    }
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("comptest-s10-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let cache_dir = scratch.join("cache");
+    let stand_sets = cloned_stand_sets(&scratch, 8);
+
+    let mut off = run_pass("cache_off", &stand_sets, None);
+    // The cold pass fills `cache_dir`; the warm pass replays out of it.
+    let mut cold = run_pass("cache_cold", &stand_sets, Some(cache_dir.clone()));
+    let mut warm = run_pass("cache_warm", &stand_sets, Some(cache_dir));
+
+    off.print();
+    cold.print();
+    warm.print();
+    let (cold_p50, warm_p50) = (cold.p50(), warm.p50());
+    println!(
+        "s10/serve/warm_vs_cold   p50 {:?} -> {:?}   speedup {:.2}x",
+        cold_p50,
+        warm_p50,
+        cold_p50.as_secs_f64() / warm_p50.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        warm_p50 <= cold_p50,
+        "a warm shared cache must not be slower than cold execution \
+         (cold p50 {cold_p50:?}, warm p50 {warm_p50:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

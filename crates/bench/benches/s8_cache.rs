@@ -171,10 +171,14 @@ fn cold_vs_warm(c: &mut Criterion) {
             ("warm_dir_bin", RecordFormat::Binary),
             ("warm_dir_json", RecordFormat::Json),
         ] {
-            let dir = std::env::temp_dir()
-                .join(format!("comptest-s8-{}-{n_tests}-{arm}", std::process::id()));
+            let dir = std::env::temp_dir().join(format!(
+                "comptest-s8-{}-{n_tests}-{arm}",
+                std::process::id()
+            ));
             let _ = std::fs::remove_dir_all(&dir);
-            let cache = DirCache::open(&dir).expect("bench cache dir").with_format(format);
+            let cache = DirCache::open(&dir)
+                .expect("bench cache dir")
+                .with_format(format);
             let warm_dir = Campaign::new(&entries, &stands)
                 .granularity(Granularity::Test)
                 .cache(Arc::new(cache));

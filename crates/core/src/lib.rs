@@ -66,6 +66,7 @@ pub mod faultcamp;
 pub mod hash;
 pub mod pipeline;
 pub mod portability;
+pub mod service;
 pub mod sweep;
 pub mod trace;
 pub mod verdict;

@@ -194,7 +194,10 @@ fn launch_async_tests<'a>(
     let (results_tx, results_rx) = mpsc::channel();
     ctx.emit_cache_warnings(&events_tx);
     let parts = partition(jobs, executor.shards.min(executor.concurrency));
-    ctx.obs.gauge_set(Gauge::Workers, parts.len() as i64);
+    // Additive claim (not `gauge_set`): concurrent campaigns sharing one
+    // recorder sum their shard counts, released when each joins.
+    let claimed_workers = parts.len() as i64;
+    ctx.obs.gauge_add(Gauge::Workers, claimed_workers);
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
         let ctx = ctx.clone();
@@ -212,11 +215,13 @@ fn launch_async_tests<'a>(
     let stands = campaign.stands;
     let run_token = ctx.cancel.run_token();
     let cache = ctx.cache;
+    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_jobs);
+            obs.gauge_add(Gauge::Workers, -claimed_workers);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
             check_verified(&cache)?;
@@ -433,7 +438,10 @@ fn launch_async_cells<'a>(
     let (results_tx, results_rx) = mpsc::channel();
     ctx.emit_cache_warnings(&events_tx);
     let parts = partition(cells, executor.shards.min(executor.concurrency));
-    ctx.obs.gauge_set(Gauge::Workers, parts.len() as i64);
+    // Additive claim, mirroring `launch_async_tests` (see the comment
+    // there).
+    let claimed_workers = parts.len() as i64;
+    ctx.obs.gauge_add(Gauge::Workers, claimed_workers);
     let limits = shard_limits(executor.concurrency, parts.len());
     for (part, limit) in parts.into_iter().zip(limits) {
         let ctx = ctx.clone();
@@ -448,11 +456,13 @@ fn launch_async_cells<'a>(
 
     let run_token = ctx.cancel.run_token();
     let cache = ctx.cache;
+    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_cells);
+            obs.gauge_add(Gauge::Workers, -claimed_workers);
             let outcome = fold_cell_slots(slots, acknowledged)?;
             check_verified(&cache)?;
             Ok(outcome)

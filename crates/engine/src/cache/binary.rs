@@ -188,7 +188,10 @@ impl<'a> Reader<'a> {
     fn length(&mut self) -> Result<usize, DecodeError> {
         let n = self.varint()?;
         if n > self.remaining() as u64 {
-            return err(format!("declared length {n} exceeds {} remaining bytes", self.remaining()));
+            return err(format!(
+                "declared length {n} exceeds {} remaining bytes",
+                self.remaining()
+            ));
         }
         Ok(n as usize)
     }
@@ -546,7 +549,8 @@ fn header(r: &mut Reader<'_>) -> Result<RecordHeader, DecodeError> {
         1 => true,
         flags => return err(format!("bad flags {flags:#04x}")),
     };
-    let total = usize::try_from(r.varint()?).map_err(|_| DecodeError("total out of range".into()))?;
+    let total =
+        usize::try_from(r.varint()?).map_err(|_| DecodeError("total out of range".into()))?;
     let tests = r.length()?;
     if tests > total {
         return err("more outcomes than tests");
@@ -755,6 +759,9 @@ mod tests {
         let Measured::Num(m) = result.steps[0].checks[0].measured else {
             panic!("num")
         };
-        assert!(m == 0.0 && m.is_sign_negative(), "-0.0 survives bit-exactly");
+        assert!(
+            m == 0.0 && m.is_sign_negative(),
+            "-0.0 survives bit-exactly"
+        );
     }
 }

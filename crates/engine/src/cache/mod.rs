@@ -78,7 +78,7 @@
 
 pub mod binary;
 mod codec;
-pub(crate) mod json;
+pub(crate) use crate::codec as json;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -917,10 +917,8 @@ mod tests {
 
     #[test]
     fn dir_cache_reads_both_formats_and_latest_write_wins() {
-        let dir = std::env::temp_dir().join(format!(
-            "comptest-cache-fmt-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("comptest-cache-fmt-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let record = CellRecord {
             total: 2,
@@ -928,7 +926,9 @@ mod tests {
         };
 
         // A JSON-written entry hits through a binary-default cache…
-        let json_cache = DirCache::open(&dir).unwrap().with_format(RecordFormat::Json);
+        let json_cache = DirCache::open(&dir)
+            .unwrap()
+            .with_format(RecordFormat::Json);
         assert_eq!(json_cache.entry_path(&key(1)).extension().unwrap(), "json");
         json_cache.store(&key(1), &record);
         let bin_cache = DirCache::open(&dir).unwrap();

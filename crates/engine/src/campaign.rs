@@ -125,6 +125,12 @@ pub struct Campaign<'a, 'b> {
     /// via [`Campaign::recorder`]. See [`crate::obs`] for the metrics and
     /// tracing it collects.
     pub obs: Recorder,
+    /// Fairness lane on a shared [`WorkerPool`](crate::WorkerPool)
+    /// (default `0`). Campaigns launched concurrently on one pool with
+    /// *distinct* lanes interleave round-robin instead of queueing behind
+    /// each other — the `comptest serve` daemon assigns one lane per
+    /// submitted campaign. Serial and async executors ignore it.
+    pub lane: u64,
     /// Per-campaign plan store: one lazily resolved execution plan per
     /// (entry, test, stand) triple, shared across executors *and* across
     /// launches of this campaign value — relaunching (replay loops, warm
@@ -156,6 +162,7 @@ impl<'a, 'b> Campaign<'a, 'b> {
             cache: None,
             cache_verify: false,
             obs: Recorder::disabled(),
+            lane: 0,
             plans: PlanStore::default(),
             scripts: ScriptStore::default(),
             keys: KeyStore::default(),
@@ -217,6 +224,17 @@ impl<'a, 'b> Campaign<'a, 'b> {
     /// recorder to export from.
     pub fn recorder(mut self, obs: Recorder) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the fairness lane used when this campaign launches on a
+    /// shared [`WorkerPool`](crate::WorkerPool) (builder style). Workers
+    /// drain non-empty lanes round-robin, so concurrent campaigns on
+    /// distinct lanes each make progress — a burst of tenants never
+    /// starves the last one submitted. The default lane `0` reproduces
+    /// plain FIFO behaviour for single-campaign use.
+    pub fn lane(mut self, lane: u64) -> Self {
+        self.lane = lane;
         self
     }
 

@@ -1,15 +1,20 @@
-//! A minimal, dependency-free JSON layer for on-disk cache records.
+//! A minimal, dependency-free JSON layer shared by the on-disk cache
+//! records, the metrics exports and the `comptest-server` wire protocol.
 //!
 //! The build container has no registry access, so `serde_json` is not
-//! available; this module implements exactly the subset the cell-record
-//! codec needs. Two deliberate deviations from a general-purpose library:
+//! available; this module implements exactly the subset those codecs
+//! need. It started life inside `engine::cache` and was hoisted here once
+//! the campaign service needed the same framing for its
+//! newline-delimited JSON protocol. Two deliberate deviations from a
+//! general-purpose library:
 //!
 //! * numbers keep their **lexeme** (`Value::Number(String)`) instead of
-//!   being parsed into `f64`, so `u64` values round-trip exactly and the
+//!   being parsed into `f64`, so `u64` values round-trip exactly and each
 //!   codec decides per field how to interpret digits;
 //! * the parser is hardened for *hostile* input — cache files can be
-//!   corrupted or truncated arbitrarily, and a bad entry must read as a
-//!   decode error (a cache miss), never a panic or a stack overflow
+//!   corrupted or truncated arbitrarily, and network peers can send
+//!   anything at all; a bad document must read as a decode error (a cache
+//!   miss, a protocol error frame), never a panic or a stack overflow
 //!   (nesting is depth-limited).
 
 use std::collections::BTreeMap;
@@ -22,7 +27,7 @@ const MAX_DEPTH: usize = 96;
 /// One JSON value. Objects use a [`BTreeMap`], which makes serialisation
 /// order deterministic (byte-identical files for equal records).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -41,7 +46,7 @@ pub(crate) enum Value {
 /// Carries a short description for diagnostics; the cache layer maps any
 /// decode error to a miss.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct JsonError(pub(crate) String);
+pub struct JsonError(pub String);
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -55,17 +60,17 @@ fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
 
 impl Value {
     /// Convenience constructor for an unsigned integer field.
-    pub(crate) fn u64(v: u64) -> Value {
+    pub fn u64(v: u64) -> Value {
         Value::Number(v.to_string())
     }
 
     /// Convenience constructor for a string field.
-    pub(crate) fn str(v: impl Into<String>) -> Value {
+    pub fn str(v: impl Into<String>) -> Value {
         Value::String(v.into())
     }
 
     /// The value as `u64`, if it is a plain unsigned integer number.
-    pub(crate) fn as_u64(&self) -> Result<u64, JsonError> {
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
         match self {
             Value::Number(lexeme) => lexeme
                 .parse::<u64>()
@@ -74,8 +79,16 @@ impl Value {
         }
     }
 
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+
     /// The value as `&str`.
-    pub(crate) fn as_str(&self) -> Result<&str, JsonError> {
+    pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
             Value::String(s) => Ok(s),
             other => err(format!("expected string, got {}", other.kind())),
@@ -83,7 +96,7 @@ impl Value {
     }
 
     /// The value as a slice of array elements.
-    pub(crate) fn as_array(&self) -> Result<&[Value], JsonError> {
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
         match self {
             Value::Array(items) => Ok(items),
             other => err(format!("expected array, got {}", other.kind())),
@@ -91,7 +104,7 @@ impl Value {
     }
 
     /// The value as an object map.
-    pub(crate) fn as_object(&self) -> Result<&BTreeMap<String, Value>, JsonError> {
+    pub fn as_object(&self) -> Result<&BTreeMap<String, Value>, JsonError> {
         match self {
             Value::Object(map) => Ok(map),
             other => err(format!("expected object, got {}", other.kind())),
@@ -99,7 +112,7 @@ impl Value {
     }
 
     /// A required object field.
-    pub(crate) fn field<'a>(&'a self, name: &str) -> Result<&'a Value, JsonError> {
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, JsonError> {
         self.as_object()?
             .get(name)
             .ok_or_else(|| JsonError(format!("missing field {name:?}")))
@@ -117,7 +130,7 @@ impl Value {
     }
 
     /// Serialises the value (compact, deterministic field order).
-    pub(crate) fn render(&self) -> String {
+    pub fn render(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
@@ -174,7 +187,7 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 /// Parses one JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<Value, JsonError> {
+pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -404,12 +417,12 @@ impl Parser<'_> {
 /// spellings `f64::from_str` accepts for the specials (`inf`, `-inf`,
 /// `NaN`). JSON numbers cannot carry infinities, and execution bounds are
 /// routinely `±INF`.
-pub(crate) fn f64_value(v: f64) -> Value {
+pub fn f64_value(v: f64) -> Value {
     Value::String(format!("{v}"))
 }
 
 /// Decodes an [`f64_value`] string.
-pub(crate) fn f64_from(value: &Value) -> Result<f64, JsonError> {
+pub fn f64_from(value: &Value) -> Result<f64, JsonError> {
     let s = value.as_str()?;
     s.parse::<f64>()
         .map_err(|_| JsonError(format!("bad f64 {s:?}")))

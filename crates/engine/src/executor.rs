@@ -300,10 +300,7 @@ impl Prepared {
         plan_cells(entries.len(), self.n_stands)
             .into_iter()
             .map(|j| {
-                let hit = self
-                    .cache
-                    .as_ref()
-                    .is_some_and(|c| c.will_hit_cell(j.cell));
+                let hit = self.cache.as_ref().is_some_and(|c| c.will_hit_cell(j.cell));
                 PackagedCell {
                     cell: j.cell,
                     suite: entries[j.entry].suite.name.clone(),
@@ -507,7 +504,10 @@ impl CampaignExecutor for SerialExecutor {
     fn launch<'a>(&self, campaign: &Campaign<'a, '_>) -> Result<CampaignHandle<'a>, CoreError> {
         let prepared = Prepared::new(campaign)?;
         let ctx = JobCtx::new(campaign, &prepared);
-        ctx.obs.gauge_set(Gauge::Workers, 1);
+        // Gauges are additive so concurrent campaigns sharing one
+        // recorder (the serving case) sum instead of stomping each other;
+        // the claim is released once this launch's jobs have run.
+        ctx.obs.gauge_add(Gauge::Workers, 1);
         let run_token = ctx.cancel.run_token();
         match campaign.granularity {
             Granularity::Cell => {
@@ -521,6 +521,7 @@ impl CampaignExecutor for SerialExecutor {
                 }
                 drop(events_tx);
                 drop(results_tx);
+                ctx.obs.gauge_add(Gauge::Workers, -1);
                 let cache = ctx.cache;
                 Ok(CampaignHandle::new(
                     EventStream::new(events_rx),
@@ -544,6 +545,7 @@ impl CampaignExecutor for SerialExecutor {
                 }
                 drop(events_tx);
                 drop(results_tx);
+                ctx.obs.gauge_add(Gauge::Workers, -1);
                 let entries = campaign.entries;
                 let stands = campaign.stands;
                 let cache = ctx.cache;
@@ -797,7 +799,11 @@ fn launch_pooled_tests<'a>(
     let jobs = prepared.package_jobs(campaign.entries);
     let n_jobs = jobs.len();
     let ctx = JobCtx::new(campaign, &prepared);
-    ctx.obs.gauge_set(Gauge::Workers, pool.workers() as i64);
+    // Additive claim (not `gauge_set`): concurrent campaigns sharing one
+    // recorder on one pool sum their claims and the gauge returns to zero
+    // once every one of them joins.
+    let claimed_workers = pool.workers() as i64;
+    ctx.obs.gauge_add(Gauge::Workers, claimed_workers);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     ctx.emit_cache_warnings(&events_tx);
@@ -806,10 +812,13 @@ fn launch_pooled_tests<'a>(
         let events = events_tx.clone();
         let results = results_tx.clone();
         ctx.obs.gauge_add(Gauge::QueueDepth, 1);
-        pool.submit(Box::new(move || {
-            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
-            run_packaged_test(job, &ctx, &events, &results);
-        }));
+        pool.submit_task(
+            campaign.lane,
+            Box::new(move || {
+                ctx.obs.gauge_add(Gauge::QueueDepth, -1);
+                run_packaged_test(job, &ctx, &events, &results);
+            }),
+        );
     }
     // Drop the launch-side senders so both streams end with the last job.
     drop(events_tx);
@@ -819,11 +828,13 @@ fn launch_pooled_tests<'a>(
     let stands = campaign.stands;
     let run_token = ctx.cancel.run_token();
     let cache = ctx.cache;
+    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_jobs);
+            obs.gauge_add(Gauge::Workers, -claimed_workers);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
             check_verified(&cache)?;
@@ -944,7 +955,10 @@ fn launch_pooled_cells<'a>(
     let cells = prepared.package_cells(campaign.entries);
     let n_cells = cells.len();
     let ctx = JobCtx::new(campaign, &prepared);
-    ctx.obs.gauge_set(Gauge::Workers, pool.workers() as i64);
+    // Additive claim, mirroring `launch_pooled_tests` (see the comment
+    // there).
+    let claimed_workers = pool.workers() as i64;
+    ctx.obs.gauge_add(Gauge::Workers, claimed_workers);
     let (events_tx, events_rx) = mpsc::channel();
     let (results_tx, results_rx) = mpsc::channel();
     ctx.emit_cache_warnings(&events_tx);
@@ -953,21 +967,26 @@ fn launch_pooled_cells<'a>(
         let events = events_tx.clone();
         let results = results_tx.clone();
         ctx.obs.gauge_add(Gauge::QueueDepth, 1);
-        pool.submit(Box::new(move || {
-            ctx.obs.gauge_add(Gauge::QueueDepth, -1);
-            run_packaged_cell(cell, &ctx, &events, &results);
-        }));
+        pool.submit_task(
+            campaign.lane,
+            Box::new(move || {
+                ctx.obs.gauge_add(Gauge::QueueDepth, -1);
+                run_packaged_cell(cell, &ctx, &events, &results);
+            }),
+        );
     }
     drop(events_tx);
     drop(results_tx);
 
     let run_token = ctx.cancel.run_token();
     let cache = ctx.cache;
+    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
             let (slots, acknowledged) = collect(results_rx, n_cells);
+            obs.gauge_add(Gauge::Workers, -claimed_workers);
             let outcome = fold_cell_slots(slots, acknowledged)?;
             check_verified(&cache)?;
             Ok(outcome)

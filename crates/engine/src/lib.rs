@@ -113,6 +113,45 @@
 //! per-test wall clock would measure scheduling, not work);
 //! `tests_executed` still counts every test.
 //!
+//! # Serving campaigns
+//!
+//! Everything above is per-process; the `comptest-server` crate (re-exported
+//! by the facade as `comptest::server`, CLI `comptest serve`) keeps one
+//! engine resident and multiplexes many tenants onto it: a single shared
+//! [`WorkerPool`] + [`AsyncExecutor`] + [`DirCache`], one [`Campaign`] per
+//! submission. Three engine properties make that multiplexing sound, and
+//! they are the reason the daemon needs no protocol-level result plumbing:
+//!
+//! * **byte-identity** — merged results depend only on the campaign value,
+//!   never on worker count, interleaving or cache temperature, so a served
+//!   verdict equals a local `SerialExecutor` run byte for byte;
+//! * **lane fairness** — [`Campaign::lane`] tags a campaign's jobs so the
+//!   shared pool round-robins *between* campaigns (the daemon uses the
+//!   campaign id as the lane): a 500-cell tenant cannot starve a 5-cell one;
+//! * **cooperative cancellation** — an external [`CancelToken`] held per
+//!   tenant turns a wire `cancel` frame into the same job-boundary drain a
+//!   local Ctrl-C performs, with skipped work counted in
+//!   [`CampaignOutcome`]`::cancelled`.
+//!
+//! The wire protocol is newline-delimited JSON frames (the [`codec`]
+//! module's `Value` on both sides). Requests: `submit` (a campaign spec;
+//! answers `submitted` with a stable id `c-NNNNNN`), `watch` (replay +
+//! live-stream a campaign's [`EngineEvent`]s as `event` frames, ending in
+//! `result`), `fetch` (verdict by id: `result` once terminal, `pending`
+//! while queued/running), `cancel`, `status` (all tenants), `metrics`
+//! (one tenant's [`MetricsSnapshot`] as JSON), `shutdown`, `ping`. The
+//! authoritative frame-by-frame reference with field tables lives on
+//! `comptest-server`'s `protocol` module.
+//!
+//! A served campaign walks `queued → running → {done, cancelled, failed}`.
+//! Terminal verdicts outlive connections: a watcher killed mid-stream can
+//! reconnect and `fetch`/`watch` by id — replay is gapless, so the re-read
+//! report is byte-identical to the uninterrupted stream. Each tenant gets
+//! its own enabled [`Recorder`], so the `metrics` frame answers with
+//! exactly the [`MetricsSnapshot::to_json`] shape documented above —
+//! `{"counters": {"jobs_planned": 10, "jobs_executed": 10, ...}}` — and the
+//! counter glossary and invariants apply per campaign, not per daemon.
+//!
 //! # Example
 //!
 //! ```
@@ -171,6 +210,7 @@
 mod async_exec;
 pub mod cache;
 mod campaign;
+pub mod codec;
 mod events;
 mod executor;
 mod handle;
@@ -1059,6 +1099,85 @@ step, dt,  DS_FL, NIGHT, INT_ILL
             )
             .unwrap_err();
             assert!(matches!(err, CoreError::InvalidCampaign(_)));
+        }
+    }
+
+    /// Multi-tenant behaviour: the lane-fair pool queue and the additive
+    /// gauges that the `comptest serve` daemon relies on when many
+    /// campaigns share one [`WorkerPool`] and one [`Recorder`].
+    mod multi_tenant {
+        use super::*;
+        use std::sync::{Arc, Mutex};
+
+        /// With every task queued up front on one worker, the drain order
+        /// alternates strictly between the two lanes — no lane waits for
+        /// the other to finish.
+        #[test]
+        fn pool_lanes_interleave_round_robin() {
+            let pool = WorkerPool::new(1);
+            let (gate_tx, gate_rx) = mpsc::channel::<()>();
+            // Park the only worker so the lane queues fill before any
+            // task runs.
+            pool.submit(move || {
+                let _ = gate_rx.recv();
+            });
+            let order = Arc::new(Mutex::new(Vec::new()));
+            for lane in [1u64, 1, 1, 2, 2, 2] {
+                let order = Arc::clone(&order);
+                pool.submit_to_lane(lane, move || {
+                    order.lock().unwrap().push(lane);
+                });
+            }
+            gate_tx.send(()).unwrap();
+            // Dropping the pool drains the queue and joins the worker.
+            drop(pool);
+            assert_eq!(*order.lock().unwrap(), vec![1, 2, 1, 2, 1, 2]);
+        }
+
+        /// Two campaigns launched concurrently on one shared pool and one
+        /// shared recorder: the job counters balance *summed* across both
+        /// and every gauge returns to zero after both join — the
+        /// counter-balance contract a multi-campaign `ObsCore` keeps.
+        #[test]
+        fn shared_recorder_balances_across_concurrent_campaigns() {
+            let suites_a = vec![Workbook::parse_str("a.cts", WB_PASS).unwrap().suite];
+            let suites_b = suites_pass_fail();
+            let entries_a = entries(&suites_a);
+            let entries_b = entries(&suites_b);
+            let stand_a = stand();
+            let stand_b = stand_named("HIL-B");
+            let stands_a = [&stand_a];
+            let stands_b = [&stand_b];
+
+            let pool = WorkerPool::new(2);
+            let obs = Recorder::enabled();
+            let c1 = Campaign::new(&entries_a, &stands_a)
+                .granularity(Granularity::Test)
+                .recorder(obs.clone())
+                .lane(1);
+            let c2 = Campaign::new(&entries_b, &stands_b)
+                .granularity(Granularity::Cell)
+                .recorder(obs.clone())
+                .lane(2);
+            let planned = (c1.job_count() + c2.job_count()) as u64;
+
+            let h1 = c1.launch(&pool).unwrap();
+            let h2 = c2.launch(&pool).unwrap();
+            let o1 = h1.join().unwrap();
+            let o2 = h2.join().unwrap();
+            assert!(o1.result.all_green());
+            assert!(!o2.result.all_green());
+
+            let m = obs.metrics().unwrap();
+            assert_eq!(m.counter("jobs_planned"), planned);
+            assert_eq!(
+                m.counter("jobs_executed") + m.counter("jobs_cached") + m.counter("jobs_cancelled"),
+                m.counter("jobs_planned"),
+            );
+            assert_eq!(m.counter("spans_opened"), m.counter("spans_closed"));
+            for gauge in ["queue_depth", "inflight_jobs", "workers"] {
+                assert_eq!(m.gauge(gauge), 0, "gauge {gauge} did not balance");
+            }
         }
     }
 }

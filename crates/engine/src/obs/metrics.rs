@@ -272,12 +272,6 @@ impl Registry {
         }
     }
 
-    pub(crate) fn gauge_set(&self, gauge: Gauge, value: i64) {
-        let cell = &self.gauges[gauge as usize];
-        cell.current.store(value, Ordering::Relaxed);
-        cell.max.fetch_max(value, Ordering::Relaxed);
-    }
-
     pub(crate) fn phase_add(&self, phase: Phase, wall: Duration) {
         let cell = &self.phases[phase as usize];
         cell.micros
@@ -412,6 +406,15 @@ impl MetricsSnapshot {
     /// A counter's value, `0` when the name is unknown.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current value, `0` when the name is unknown. Gauges are
+    /// additive across concurrent campaigns sharing one recorder: every
+    /// launch's claims are balanced by releases, so `queue_depth`,
+    /// `inflight_jobs` and `workers` all read `0` once every campaign
+    /// recorded here has joined.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).map(|g| g.current).unwrap_or(0)
     }
 
     /// Serialises the snapshot as deterministic, machine-readable JSON —

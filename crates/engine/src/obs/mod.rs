@@ -189,12 +189,6 @@ impl Recorder {
         }
     }
 
-    pub(crate) fn gauge_set(&self, gauge: Gauge, value: i64) {
-        if let Some(core) = &self.core {
-            core.registry.gauge_set(gauge, value);
-        }
-    }
-
     /// Times `f` under the `report` phase accumulator — the one phase
     /// whose work (rendering tables, JUnit, exports) happens outside the
     /// engine, after [`CampaignHandle::join`](crate::CampaignHandle::join).

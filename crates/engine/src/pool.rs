@@ -1,16 +1,61 @@
 //! The persistent worker pool backing [`PooledExecutor`](crate::PooledExecutor).
 
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A boxed unit of work for the [`WorkerPool`].
 pub(crate) type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 
+/// The lane queues: tasks grouped by lane id, drained round-robin. Only
+/// non-empty lanes are kept, so the rotation scan is proportional to the
+/// number of *active* lanes, not of lanes ever used.
+#[derive(Default)]
+struct LaneQueues {
+    lanes: BTreeMap<u64, VecDeque<PoolTask>>,
+    /// Round-robin cursor: the next steal serves the first non-empty lane
+    /// with id `>= next`, wrapping to the smallest id.
+    next: u64,
+    closed: bool,
+}
+
+impl LaneQueues {
+    /// Steals the next task in round-robin lane order.
+    fn steal(&mut self) -> Option<PoolTask> {
+        let lane = self
+            .lanes
+            .range(self.next..)
+            .map(|(id, _)| *id)
+            .next()
+            .or_else(|| self.lanes.keys().next().copied())?;
+        let queue = self.lanes.get_mut(&lane).expect("lane exists");
+        let task = queue.pop_front().expect("lanes hold only non-empty queues");
+        if queue.is_empty() {
+            self.lanes.remove(&lane);
+        }
+        self.next = lane.wrapping_add(1);
+        Some(task)
+    }
+}
+
+struct Shared {
+    queues: Mutex<LaneQueues>,
+    available: Condvar,
+}
+
 /// A persistent worker pool: `workers` threads constructed once, parked on
 /// a shared queue, reusable across successive campaigns (replay / watch
 /// mode pays thread start-up exactly once). Threads exit when the pool is
 /// dropped.
+///
+/// The queue is **fair across lanes**: every task belongs to a lane
+/// (default `0`), and idle workers steal round-robin over the non-empty
+/// lanes, oldest task first within a lane. A single lane therefore
+/// behaves exactly like the historical FIFO queue, while campaigns
+/// submitted to distinct lanes (see [`Campaign::lane`](crate::Campaign::lane))
+/// interleave instead of queueing behind whichever tenant submitted
+/// first — the property the `comptest serve` daemon relies on to
+/// multiplex many concurrent campaigns onto one pool.
 ///
 /// The pool executes `'static` tasks, so campaign state is packaged per
 /// job (generated script, stand, freshly built device) rather than
@@ -18,26 +63,43 @@ pub(crate) type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 /// launch without `unsafe`. A bare pool implements
 /// [`CampaignExecutor`](crate::CampaignExecutor) directly and is the
 /// backing of [`PooledExecutor`](crate::PooledExecutor).
-#[derive(Debug)]
 pub struct WorkerPool {
-    queue: Option<Sender<PoolTask>>,
+    shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl WorkerPool {
     /// Spawns a pool of `workers` threads (`0` is clamped to `1`).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (tx, rx) = mpsc::channel::<PoolTask>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(LaneQueues::default()),
+            available: Condvar::new(),
+        });
         let handles = (0..workers)
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
                 std::thread::spawn(move || loop {
                     // Hold the lock only while stealing, not while running.
-                    let task = match rx.lock().expect("pool queue lock").recv() {
-                        Ok(task) => task,
-                        Err(_) => return, // pool dropped
+                    let task = {
+                        let mut queues = shared.queues.lock().expect("pool queue lock");
+                        loop {
+                            if let Some(task) = queues.steal() {
+                                break task;
+                            }
+                            if queues.closed {
+                                return; // pool dropped and queue drained
+                            }
+                            queues = shared.available.wait(queues).expect("pool queue lock");
+                        }
                     };
                     // A panicking task must not kill the thread: the pool is
                     // persistent, and a dead worker would silently shrink
@@ -48,10 +110,7 @@ impl WorkerPool {
                 })
             })
             .collect();
-        Self {
-            queue: Some(tx),
-            handles,
-        }
+        Self { shared, handles }
     }
 
     /// Number of worker threads.
@@ -59,21 +118,36 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Enqueues one task. Tasks run in submission order (each idle worker
-    /// steals the oldest queued task).
-    pub(crate) fn submit(&self, task: PoolTask) {
-        self.queue
-            .as_ref()
-            .expect("pool queue open while pool is alive")
-            .send(task)
-            .expect("pool workers alive while pool is alive");
+    /// Enqueues one task on the default lane (`0`). Within a lane, tasks
+    /// run in submission order (each idle worker steals the oldest queued
+    /// task of the next lane in rotation).
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.submit_task(0, Box::new(task));
+    }
+
+    /// Enqueues one task on an explicit lane. Workers serve non-empty
+    /// lanes round-robin, so tasks on lane `a` never starve tasks on lane
+    /// `b`: a burst of campaigns submitted to distinct lanes makes
+    /// progress on every one of them.
+    pub fn submit_to_lane(&self, lane: u64, task: impl FnOnce() + Send + 'static) {
+        self.submit_task(lane, Box::new(task));
+    }
+
+    pub(crate) fn submit_task(&self, lane: u64, task: PoolTask) {
+        let mut queues = self.shared.queues.lock().expect("pool queue lock");
+        assert!(!queues.closed, "pool queue open while pool is alive");
+        queues.lanes.entry(lane).or_default().push_back(task);
+        drop(queues);
+        self.shared.available.notify_one();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the queue wakes every worker with `Err(Disconnected)`.
-        self.queue.take();
+        // Closing the queue wakes every worker; they drain the remaining
+        // tasks, then exit.
+        self.shared.queues.lock().expect("pool queue lock").closed = true;
+        self.shared.available.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }

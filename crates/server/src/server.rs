@@ -1,0 +1,869 @@
+//! The resident campaign service: admission queue, shared executors,
+//! per-tenant event hubs, graceful drain.
+//!
+//! One [`Server`] owns everything expensive exactly once — the bundled
+//! suites, a lane-fair [`WorkerPool`], an [`AsyncExecutor`] configuration
+//! and (optionally) a shared [`DirCache`] — and multiplexes every
+//! submitted campaign onto them. Each submission becomes a *tenant*: a
+//! stable [`CampaignId`], a private [`CancelToken`], a private enabled
+//! [`Recorder`] (so `metrics` answers per tenant, not per process) and an
+//! [`EventHub`] that replays history to late subscribers. A campaign's
+//! pool lane is its id, so concurrently running tenants interleave
+//! round-robin on the shared workers instead of convoying.
+//!
+//! Lifecycle: `submit` enqueues (`Queued`); a scheduler thread launches
+//! up to `max_active` campaigns at once (`Running`, each on its own
+//! runner thread); the runner joins into the [`ResultStore`] (`Done`) or
+//! records the error (`Failed`). A cancel on a queued tenant resolves it
+//! to `Cancelled` without ever launching; on a running tenant it trips
+//! the token and the verdict (with its cancelled-job count) still lands
+//! in the store. Clients are entirely decoupled from this: a dropped
+//! watch connection only drops a hub subscriber, never the campaign.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use comptest_core::campaign::CampaignEntry;
+use comptest_core::service::{CampaignId, CampaignState, ResultStore, StoredOutcome};
+use comptest_dut::ecus;
+use comptest_engine::codec::{self, Value};
+use comptest_engine::{
+    AsyncExecutor, Campaign, CampaignCache, CampaignOutcome, CancelToken, DirCache, EngineEvent,
+    RecordFormat, Recorder, WorkerPool,
+};
+use comptest_model::TestSuite;
+use comptest_sheets::Workbook;
+use comptest_stand::TestStand;
+
+use crate::protocol::{CampaignSpec, ExecutorChoice, Frame, ResultFrame, StatusRow};
+use crate::signals;
+
+/// How a [`Server`] is provisioned. Everything here is shared by all
+/// tenants for the process lifetime.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding the bundled `<ecu>.cts` workbooks (the facade's
+    /// `assets/` in the stock layout).
+    pub assets_dir: PathBuf,
+    /// OS threads in the shared lane-fair worker pool.
+    pub workers: usize,
+    /// In-flight run limit of the shared event-loop executor.
+    pub concurrency: usize,
+    /// Campaigns allowed to run simultaneously; further submissions wait
+    /// in the admission queue. `1` serialises campaigns (and makes
+    /// queued-cancel deterministic — the conformance suite relies on it).
+    pub max_active: usize,
+    /// Optional shared on-disk cell cache, consulted by every submission
+    /// that asks for caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Record format the shared cache writes (reads always accept both).
+    pub cache_format: Option<RecordFormat>,
+}
+
+impl ServeConfig {
+    /// A config with stock sizing: 4 workers, 64 async slots, 4 active
+    /// campaigns, no cache.
+    pub fn new(assets_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            assets_dir: assets_dir.into(),
+            workers: 4,
+            concurrency: 64,
+            max_active: 4,
+            cache_dir: None,
+            cache_format: None,
+        }
+    }
+}
+
+/// One message from a campaign's [`EventHub`] to a subscriber.
+#[derive(Debug, Clone)]
+pub enum HubMsg {
+    /// A live (or replayed) engine event.
+    Event(EngineEvent),
+    /// The terminal verdict; always the last message a subscriber sees.
+    Done(ResultFrame),
+}
+
+/// A per-campaign event fan-out with replay: subscribers joining late
+/// first receive the full history, then live events, then the terminal
+/// [`HubMsg::Done`]. Publishing never blocks on slow subscribers
+/// (channels are unbounded) and a dropped subscriber is silently
+/// retired — the campaign outlives its watchers.
+#[derive(Debug, Default)]
+pub struct EventHub {
+    inner: Mutex<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    history: Vec<EngineEvent>,
+    done: Option<ResultFrame>,
+    subs: Vec<Sender<HubMsg>>,
+}
+
+impl EventHub {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes, replaying history (and the verdict, if the campaign
+    /// already finished) before any live event. The single lock makes
+    /// replay-then-live gapless: no event can slip between the replay
+    /// and the subscription.
+    pub fn subscribe(&self) -> Receiver<HubMsg> {
+        let (tx, rx) = channel();
+        let mut inner = self.inner.lock().expect("event hub lock");
+        for event in &inner.history {
+            let _ = tx.send(HubMsg::Event(event.clone()));
+        }
+        match &inner.done {
+            Some(done) => {
+                let _ = tx.send(HubMsg::Done(done.clone()));
+            }
+            None => inner.subs.push(tx),
+        }
+        rx
+    }
+
+    fn publish(&self, event: EngineEvent) {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        inner
+            .subs
+            .retain(|sub| sub.send(HubMsg::Event(event.clone())).is_ok());
+        inner.history.push(event);
+    }
+
+    fn finish(&self, frame: ResultFrame) {
+        let mut inner = self.inner.lock().expect("event hub lock");
+        for sub in inner.subs.drain(..) {
+            let _ = sub.send(HubMsg::Done(frame.clone()));
+        }
+        inner.done = Some(frame);
+    }
+}
+
+/// A validated submission, detached from the wire spec: stands are
+/// loaded eagerly at submit time (so path errors surface to the
+/// submitting client, not into a `Failed` state later), suites resolved
+/// to indices into the server's bundled set.
+#[derive(Debug)]
+struct Submission {
+    suite_indices: Vec<usize>,
+    stands: Vec<TestStand>,
+    granularity: comptest_engine::Granularity,
+    stop_on_first_fail: bool,
+    use_cache: bool,
+    executor: ExecutorChoice,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    state: CampaignState,
+    /// Present while `Queued`; taken by the scheduler at launch.
+    job: Option<Submission>,
+    cancel: CancelToken,
+    obs: Recorder,
+    hub: Arc<EventHub>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    tenants: BTreeMap<CampaignId, Tenant>,
+    queue: VecDeque<CampaignId>,
+    active: usize,
+    next_id: u64,
+    runners: Vec<JoinHandle<()>>,
+    draining: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cfg: ServeConfig,
+    suites: Vec<TestSuite>,
+    suite_names: Vec<String>,
+    pool: WorkerPool,
+    async_exec: AsyncExecutor,
+    cache: Option<Arc<DirCache>>,
+    store: ResultStore,
+    state: Mutex<ServiceState>,
+    sched: Condvar,
+}
+
+/// The resident campaign service. Cheap to clone (connection threads
+/// each hold one); all clones share the same state. Create with
+/// [`Server::new`], serve sockets with [`Server::run`] or drive it
+/// in-process through [`submit`](Server::submit) /
+/// [`subscribe`](Server::subscribe) / [`fetch`](Server::fetch) — the
+/// conformance tests and the `s10_serve` bench do both.
+#[derive(Debug, Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+    scheduler: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Builds the service: loads every bundled suite once, opens the
+    /// shared cache (if configured) and starts the scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error if a bundled workbook fails to load or
+    /// the cache directory cannot be opened.
+    pub fn new(mut cfg: ServeConfig) -> Result<Self, String> {
+        cfg.workers = cfg.workers.max(1);
+        cfg.concurrency = cfg.concurrency.max(1);
+        cfg.max_active = cfg.max_active.max(1);
+        let mut suites = Vec::new();
+        let mut suite_names = Vec::new();
+        for ecu in ecus::NAMES {
+            let path = cfg.assets_dir.join(format!("{ecu}.cts"));
+            let workbook = Workbook::load(&path)
+                .map_err(|e| format!("loading bundled suite {}: {e}", path.display()))?;
+            suites.push(workbook.suite);
+            suite_names.push(ecu.to_owned());
+        }
+        let cache = match &cfg.cache_dir {
+            Some(dir) => {
+                let mut cache = DirCache::open(dir)
+                    .map_err(|e| format!("opening cache {}: {e}", dir.display()))?;
+                if let Some(format) = cfg.cache_format {
+                    cache = cache.with_format(format);
+                }
+                Some(Arc::new(cache))
+            }
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            pool: WorkerPool::new(cfg.workers),
+            async_exec: AsyncExecutor::new(cfg.concurrency),
+            cfg,
+            suites,
+            suite_names,
+            cache,
+            store: ResultStore::new(),
+            state: Mutex::new(ServiceState {
+                next_id: 1,
+                ..ServiceState::default()
+            }),
+            sched: Condvar::new(),
+        });
+        let sched_inner = inner.clone();
+        let scheduler = std::thread::spawn(move || scheduler_loop(sched_inner));
+        Ok(Self {
+            inner,
+            scheduler: Arc::new(Mutex::new(Some(scheduler))),
+        })
+    }
+
+    /// The config the server was built with (sizes normalised to ≥ 1).
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// The bundled suite names this server can run.
+    pub fn suite_names(&self) -> &[String] {
+        &self.inner.suite_names
+    }
+
+    /// Validates and enqueues a submission, returning its stable id.
+    /// Stand files load now (errors surface here); execution starts when
+    /// the scheduler has a free active slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error for an empty stand list, an unknown
+    /// suite name, an unloadable stand file, or a draining server.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<CampaignId, String> {
+        if spec.stands.is_empty() {
+            return Err("a submission needs at least one stand path".to_owned());
+        }
+        let suite_indices: Vec<usize> = if spec.suites.is_empty() {
+            (0..self.inner.suites.len()).collect()
+        } else {
+            spec.suites
+                .iter()
+                .map(|name| {
+                    self.inner
+                        .suite_names
+                        .iter()
+                        .position(|bundled| bundled == name)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown suite {name:?} (bundled: {})",
+                                self.inner.suite_names.join(", ")
+                            )
+                        })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let stands = spec
+            .stands
+            .iter()
+            .map(|path| TestStand::load(path).map_err(|e| format!("loading stand {path}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let job = Submission {
+            suite_indices,
+            stands,
+            granularity: spec.granularity,
+            stop_on_first_fail: spec.stop_on_first_fail,
+            use_cache: spec.cache,
+            executor: spec.executor,
+        };
+        let mut st = self.inner.state.lock().expect("service state lock");
+        if st.draining {
+            return Err("server is shutting down".to_owned());
+        }
+        let id = CampaignId(st.next_id);
+        st.next_id += 1;
+        st.tenants.insert(
+            id,
+            Tenant {
+                state: CampaignState::Queued,
+                job: Some(job),
+                cancel: CancelToken::new(),
+                obs: Recorder::enabled(),
+                hub: Arc::new(EventHub::new()),
+            },
+        );
+        st.queue.push_back(id);
+        self.inner.sched.notify_all();
+        Ok(id)
+    }
+
+    /// Subscribes to a campaign's events: full replay, then live, then
+    /// the terminal [`HubMsg::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error for an unknown id.
+    pub fn subscribe(&self, id: CampaignId) -> Result<Receiver<HubMsg>, String> {
+        let hub = {
+            let st = self.inner.state.lock().expect("service state lock");
+            st.tenants
+                .get(&id)
+                .ok_or_else(|| format!("unknown campaign id {id}"))?
+                .hub
+                .clone()
+        };
+        Ok(hub.subscribe())
+    }
+
+    /// Cancels a campaign. Queued: it resolves to `Cancelled` and never
+    /// launches. Running: its token trips and the drained verdict lands
+    /// in the store as usual. Terminal states ignore the cancel
+    /// (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error for an unknown id.
+    pub fn cancel(&self, id: CampaignId) -> Result<(), String> {
+        let finish = {
+            let mut st = self.inner.state.lock().expect("service state lock");
+            let tenant = st
+                .tenants
+                .get_mut(&id)
+                .ok_or_else(|| format!("unknown campaign id {id}"))?;
+            let mut finish = None;
+            match tenant.state {
+                CampaignState::Queued => {
+                    tenant.state = CampaignState::Cancelled;
+                    tenant.job = None;
+                    finish = Some(tenant.hub.clone());
+                }
+                CampaignState::Running => tenant.cancel.cancel(),
+                _ => {}
+            }
+            if finish.is_some() {
+                st.queue.retain(|queued| *queued != id);
+            }
+            self.inner.sched.notify_all();
+            finish
+        };
+        if let Some(hub) = finish {
+            hub.finish(cancelled_frame(id));
+        }
+        Ok(())
+    }
+
+    /// The verdict for `id` as a wire frame: `result` when terminal,
+    /// `pending` while queued/running, `error` for an unknown id. This
+    /// is what makes verdicts survive client disconnects — any client
+    /// can fetch by id for the rest of the server's life.
+    pub fn fetch(&self, id: CampaignId) -> Frame {
+        let state = {
+            let st = self.inner.state.lock().expect("service state lock");
+            st.tenants.get(&id).map(|tenant| tenant.state.clone())
+        };
+        match state {
+            None => Frame::Error {
+                message: format!("unknown campaign id {id}"),
+            },
+            Some(CampaignState::Done) => match self.inner.store.get(id) {
+                Some(stored) => Frame::Result(done_frame(id, &stored)),
+                None => Frame::Error {
+                    message: format!("campaign {id} finished but stored no verdict"),
+                },
+            },
+            Some(CampaignState::Cancelled) => Frame::Result(cancelled_frame(id)),
+            Some(CampaignState::Failed(error)) => Frame::Result(failed_frame(id, error)),
+            Some(live) => Frame::Pending {
+                id,
+                state: live.name().to_owned(),
+            },
+        }
+    }
+
+    /// Every known campaign's lifecycle state, in id (= submission)
+    /// order.
+    pub fn status_rows(&self) -> Vec<StatusRow> {
+        let st = self.inner.state.lock().expect("service state lock");
+        st.tenants
+            .iter()
+            .map(|(id, tenant)| StatusRow {
+                id: *id,
+                state: tenant.state.name().to_owned(),
+            })
+            .collect()
+    }
+
+    /// One campaign's metrics snapshot (counters, gauges, phase timers,
+    /// histograms) as a JSON value — each tenant has its own recorder,
+    /// so the numbers are per-campaign even under concurrency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error for an unknown id.
+    pub fn metrics(&self, id: CampaignId) -> Result<Value, String> {
+        let obs = {
+            let st = self.inner.state.lock().expect("service state lock");
+            st.tenants
+                .get(&id)
+                .ok_or_else(|| format!("unknown campaign id {id}"))?
+                .obs
+                .clone()
+        };
+        let snapshot = obs
+            .metrics()
+            .ok_or_else(|| format!("campaign {id} has no enabled recorder"))?;
+        codec::parse(&snapshot.to_json()).map_err(|e| e.0)
+    }
+
+    /// True once shutdown has begun (no new submissions are accepted).
+    pub fn is_draining(&self) -> bool {
+        self.inner
+            .state
+            .lock()
+            .expect("service state lock")
+            .draining
+    }
+
+    /// Begins graceful shutdown: refuses new submissions, resolves every
+    /// queued campaign to `Cancelled`, trips every running campaign's
+    /// token. Does not wait — pair with [`drain`](Server::drain).
+    pub fn begin_shutdown(&self) {
+        let cancelled = {
+            let mut st = self.inner.state.lock().expect("service state lock");
+            st.draining = true;
+            let mut cancelled = Vec::new();
+            while let Some(id) = st.queue.pop_front() {
+                if let Some(tenant) = st.tenants.get_mut(&id) {
+                    if tenant.state == CampaignState::Queued {
+                        tenant.state = CampaignState::Cancelled;
+                        tenant.job = None;
+                        cancelled.push((id, tenant.hub.clone()));
+                    }
+                }
+            }
+            for tenant in st.tenants.values() {
+                if tenant.state == CampaignState::Running {
+                    tenant.cancel.cancel();
+                }
+            }
+            self.inner.sched.notify_all();
+            cancelled
+        };
+        for (id, hub) in cancelled {
+            hub.finish(cancelled_frame(id));
+        }
+    }
+
+    /// Waits for the scheduler and every runner thread to finish. Call
+    /// after [`begin_shutdown`](Server::begin_shutdown); in-flight
+    /// campaigns drain cooperatively (their verdicts, with cancelled-job
+    /// counts, still land in the store).
+    pub fn drain(&self) {
+        if let Some(handle) = self.scheduler.lock().expect("scheduler handle lock").take() {
+            let _ = handle.join();
+        }
+        let runners =
+            std::mem::take(&mut self.inner.state.lock().expect("service state lock").runners);
+        for runner in runners {
+            let _ = runner.join();
+        }
+    }
+
+    /// [`begin_shutdown`](Server::begin_shutdown) + [`drain`](Server::drain).
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        self.drain();
+    }
+
+    /// Serves connections on `listener` until a `shutdown` frame arrives
+    /// or a SIGINT/SIGTERM is observed (see [`signals`]), then drains
+    /// and returns. Each connection gets its own thread; the listener is
+    /// polled non-blockingly so shutdown is noticed within ~20 ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the listener cannot be polled.
+    pub fn run(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if signals::triggered() {
+                self.begin_shutdown();
+            }
+            if self.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    // Small frames + request/response: without nodelay,
+                    // Nagle + delayed ACK adds ~40 ms per round-trip.
+                    let _ = stream.set_nodelay(true);
+                    let server = self.clone();
+                    std::thread::spawn(move || handle_connection(server, stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+}
+
+fn scheduler_loop(inner: Arc<Inner>) {
+    loop {
+        let next = {
+            let mut st = inner.state.lock().expect("service state lock");
+            loop {
+                if st.draining && st.queue.is_empty() {
+                    return;
+                }
+                if st.active < inner.cfg.max_active {
+                    if let Some(id) = st.queue.pop_front() {
+                        let tenant = st.tenants.get_mut(&id).expect("queued id has a tenant");
+                        if tenant.state != CampaignState::Queued {
+                            // Cancelled while waiting; already resolved.
+                            continue;
+                        }
+                        tenant.state = CampaignState::Running;
+                        let job = tenant.job.take().expect("queued tenant keeps its job");
+                        let ctx = (
+                            id,
+                            job,
+                            tenant.cancel.clone(),
+                            tenant.obs.clone(),
+                            tenant.hub.clone(),
+                        );
+                        st.active += 1;
+                        break ctx;
+                    }
+                }
+                st = inner
+                    .sched
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .expect("service state lock")
+                    .0;
+            }
+        };
+        let (id, job, cancel, obs, hub) = next;
+        let runner_inner = inner.clone();
+        let handle =
+            std::thread::spawn(move || run_campaign(runner_inner, id, job, cancel, obs, hub));
+        inner
+            .state
+            .lock()
+            .expect("service state lock")
+            .runners
+            .push(handle);
+    }
+}
+
+fn run_campaign(
+    inner: Arc<Inner>,
+    id: CampaignId,
+    job: Submission,
+    cancel: CancelToken,
+    obs: Recorder,
+    hub: Arc<EventHub>,
+) {
+    let outcome = execute_submission(&inner, id, &job, cancel, obs, &hub);
+    let (state, frame) = match outcome {
+        Ok(outcome) => {
+            let stored = StoredOutcome {
+                result: outcome.result,
+                cancelled: outcome.cancelled,
+            };
+            inner.store.insert(id, stored.clone());
+            (CampaignState::Done, done_frame(id, &stored))
+        }
+        Err(message) => (
+            CampaignState::Failed(message.clone()),
+            failed_frame(id, message),
+        ),
+    };
+    {
+        let mut st = inner.state.lock().expect("service state lock");
+        if let Some(tenant) = st.tenants.get_mut(&id) {
+            tenant.state = state;
+        }
+        st.active -= 1;
+        inner.sched.notify_all();
+    }
+    hub.finish(frame);
+}
+
+fn execute_submission(
+    inner: &Inner,
+    id: CampaignId,
+    job: &Submission,
+    cancel: CancelToken,
+    obs: Recorder,
+    hub: &EventHub,
+) -> Result<CampaignOutcome, String> {
+    let entries: Vec<CampaignEntry<'_>> = job
+        .suite_indices
+        .iter()
+        .map(|&idx| {
+            let ecu = inner.suite_names[idx].clone();
+            CampaignEntry {
+                suite: &inner.suites[idx],
+                device_factory: Box::new(move || {
+                    ecus::device_by_name(&ecu, Default::default()).expect("bundled ECU")
+                }),
+            }
+        })
+        .collect();
+    let stand_refs: Vec<&TestStand> = job.stands.iter().collect();
+    let mut campaign = Campaign::new(&entries, &stand_refs)
+        .granularity(job.granularity)
+        .stop_on_first_fail(job.stop_on_first_fail)
+        .cancel_token(cancel)
+        .recorder(obs)
+        // The pool lane is the campaign id: concurrent tenants
+        // round-robin on the shared workers.
+        .lane(id.0);
+    if job.use_cache {
+        if let Some(cache) = &inner.cache {
+            campaign = campaign.cache(cache.clone() as Arc<dyn CampaignCache>);
+        }
+    }
+    let mut handle = match job.executor {
+        ExecutorChoice::Pooled => campaign.launch(&inner.pool),
+        ExecutorChoice::Async => campaign.launch(&inner.async_exec),
+    }
+    .map_err(|e| e.to_string())?;
+    for event in handle.events() {
+        hub.publish(event);
+    }
+    handle.join().map_err(|e| e.to_string())
+}
+
+fn done_frame(id: CampaignId, stored: &StoredOutcome) -> ResultFrame {
+    let (passed, failed, errored, not_runnable) = stored.result.totals();
+    ResultFrame {
+        id,
+        state: CampaignState::Done.name().to_owned(),
+        error: None,
+        cancelled: stored.cancelled as u64,
+        all_green: stored.result.all_green(),
+        report: stored.result.to_string(),
+        passed: passed as u64,
+        failed: failed as u64,
+        errored: errored as u64,
+        not_runnable: not_runnable as u64,
+    }
+}
+
+fn cancelled_frame(id: CampaignId) -> ResultFrame {
+    ResultFrame {
+        id,
+        state: CampaignState::Cancelled.name().to_owned(),
+        error: None,
+        cancelled: 0,
+        all_green: false,
+        report: String::new(),
+        passed: 0,
+        failed: 0,
+        errored: 0,
+        not_runnable: 0,
+    }
+}
+
+fn failed_frame(id: CampaignId, error: String) -> ResultFrame {
+    ResultFrame {
+        id,
+        state: CampaignState::Failed(String::new()).name().to_owned(),
+        error: Some(error),
+        cancelled: 0,
+        all_green: false,
+        report: String::new(),
+        passed: 0,
+        failed: 0,
+        errored: 0,
+        not_runnable: 0,
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let mut line = frame.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(server: Server, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match Frame::decode(&line) {
+            Ok(frame) => frame,
+            Err(e) => {
+                let reply = Frame::Error {
+                    message: format!("bad frame: {}", e.0),
+                };
+                if write_frame(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep = match frame {
+            Frame::Submit(spec) => match server.submit(&spec) {
+                Ok(id) => {
+                    write_frame(&mut writer, &Frame::Submitted { id }).is_ok()
+                        && (!spec.watch || stream_campaign(&server, &mut writer, id))
+                }
+                Err(message) => write_frame(&mut writer, &Frame::Error { message }).is_ok(),
+            },
+            Frame::Watch { id } => stream_campaign(&server, &mut writer, id),
+            Frame::Fetch { id } => write_frame(&mut writer, &server.fetch(id)).is_ok(),
+            Frame::Cancel { id } => {
+                let reply = match server.cancel(id) {
+                    Ok(()) => Frame::Ok,
+                    Err(message) => Frame::Error { message },
+                };
+                write_frame(&mut writer, &reply).is_ok()
+            }
+            Frame::Status => write_frame(
+                &mut writer,
+                &Frame::Status2 {
+                    rows: server.status_rows(),
+                },
+            )
+            .is_ok(),
+            Frame::Metrics { id } => {
+                let reply = match server.metrics(id) {
+                    Ok(metrics) => Frame::MetricsReply { id, metrics },
+                    Err(message) => Frame::Error { message },
+                };
+                write_frame(&mut writer, &reply).is_ok()
+            }
+            Frame::Shutdown => {
+                let ok = write_frame(&mut writer, &Frame::Ok).is_ok();
+                server.begin_shutdown();
+                ok
+            }
+            Frame::Ping => write_frame(&mut writer, &Frame::Pong).is_ok(),
+            _ => write_frame(
+                &mut writer,
+                &Frame::Error {
+                    message: "unexpected response frame".to_owned(),
+                },
+            )
+            .is_ok(),
+        };
+        if !keep {
+            return;
+        }
+    }
+}
+
+/// Streams one campaign to one connection: replayed + live `event`
+/// frames, then the `result`. A write failure (client gone) just drops
+/// the subscription; the campaign keeps running.
+fn stream_campaign(server: &Server, writer: &mut TcpStream, id: CampaignId) -> bool {
+    let rx = match server.subscribe(id) {
+        Ok(rx) => rx,
+        Err(message) => return write_frame(writer, &Frame::Error { message }).is_ok(),
+    };
+    for msg in rx {
+        let ok = match msg {
+            HubMsg::Event(event) => write_frame(writer, &Frame::Event { id, event }).is_ok(),
+            HubMsg::Done(result) => return write_frame(writer, &Frame::Result(result)).is_ok(),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Socket-level coverage lives in tests/server_conformance.rs (its
+    // own process, away from the signal-flag unit test). These cover
+    // the hub's replay contract in isolation.
+
+    #[test]
+    fn hub_replays_history_and_verdict_to_late_subscribers() {
+        let hub = EventHub::new();
+        let event = EngineEvent::JobStarted {
+            cell: 0,
+            suite: "s".into(),
+            stand: "t".into(),
+        };
+        let live = hub.subscribe();
+        hub.publish(event.clone());
+        hub.finish(cancelled_frame(CampaignId(1)));
+        let late = hub.subscribe();
+        for rx in [live, late] {
+            let msgs: Vec<HubMsg> = rx.into_iter().collect();
+            assert_eq!(msgs.len(), 2);
+            assert!(matches!(&msgs[0], HubMsg::Event(e) if *e == event));
+            assert!(matches!(&msgs[1], HubMsg::Done(done) if done.state == "cancelled"));
+        }
+    }
+
+    #[test]
+    fn hub_retires_dropped_subscribers() {
+        let hub = EventHub::new();
+        drop(hub.subscribe());
+        hub.publish(EngineEvent::JobStarted {
+            cell: 0,
+            suite: "s".into(),
+            stand: "t".into(),
+        });
+        assert_eq!(hub.inner.lock().unwrap().subs.len(), 0);
+        assert_eq!(hub.inner.lock().unwrap().history.len(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! SIGINT/SIGTERM handling for graceful shutdown, without a libc crate.
+//!
+//! The build container has no registry access, so the usual `ctrlc` /
+//! `signal-hook` crates are unavailable; the process is already linked
+//! against the platform C library through `std`, so one `extern "C"`
+//! declaration of `signal(2)` is all that is needed. The handler does
+//! the only async-signal-safe thing a handler should: it stores into a
+//! static atomic flag. Everything else — draining campaigns, flushing
+//! caches — happens on normal threads that poll [`triggered`].
+//!
+//! This module is the crate's single `#[allow(unsafe_code)]` island (the
+//! crate root denies it everywhere else).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use comptest_engine::CancelToken;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent;
+/// call once near process start. After this, Ctrl-C no longer kills the
+/// process — pair it with a [`triggered`] poll (or
+/// [`cancel_on_signal`]) that drains and exits.
+pub fn install() {
+    #[allow(unsafe_code)]
+    // SAFETY: `signal` is the C standard library's handler registration;
+    // the handler only stores to a static atomic, which is
+    // async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// True once SIGINT/SIGTERM arrived (or [`trigger`] was called).
+pub fn triggered() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag programmatically — what the wire `shutdown`
+/// frame and the tests use; indistinguishable from a real signal to
+/// every poller.
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Spawns a watcher thread that trips `token` as soon as a shutdown
+/// signal arrives, then exits. This is how the one-shot
+/// `comptest campaign` gets cooperative Ctrl-C cancellation: the
+/// campaign drains at the next job boundary and the process exits
+/// through the normal reporting path instead of dying mid-write.
+///
+/// The thread polls every 50 ms and parks forever if no signal ever
+/// comes — it is a daemon thread, reaped at process exit.
+pub fn cancel_on_signal(token: CancelToken) {
+    std::thread::spawn(move || loop {
+        if triggered() {
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_trips_watched_tokens() {
+        install();
+        let token = CancelToken::new();
+        cancel_on_signal(token.clone());
+        assert!(!token.is_cancelled());
+        trigger();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() {
+            assert!(std::time::Instant::now() < deadline, "watcher never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(triggered());
+    }
+}

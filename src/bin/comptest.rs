@@ -16,6 +16,14 @@
 //!                   [--metrics-out metrics.json]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
+//! comptest serve [--addr 127.0.0.1:7171] [--workers N] [--concurrency N]
+//!                [--max-active N] [--cache <dir>] [--cache-format bin|json]
+//! comptest submit [--addr HOST:PORT] <stand.stand>... [--suite NAME]...
+//!                 [--granularity cell|test] [--executor pooled|async]
+//!                 [--stop-on-first-fail] [--no-cache] [--watch]
+//! comptest watch [--addr HOST:PORT] <campaign-id>
+//! comptest cancel [--addr HOST:PORT] <campaign-id>
+//! comptest status [--addr HOST:PORT]
 //! ```
 //!
 //! `campaign` runs every bundled ECU suite against every given stand
@@ -65,6 +73,16 @@
 //!   phase timings, histograms) to stderr after the campaign summary.
 //! * `--metrics-out <path>` writes the same snapshot as deterministic
 //!   JSON for machine consumption.
+//!
+//! `serve` runs the resident multi-tenant campaign daemon (see the
+//! `comptest_server` crate docs for the wire protocol): suites load
+//! once, submitted campaigns share one lane-fair worker pool and one
+//! on-disk cache, events stream live with replay, verdicts stay
+//! fetchable by id after the submitting client disconnects, and
+//! SIGINT/SIGTERM (or a `shutdown` frame) drains gracefully. `submit`,
+//! `watch`, `cancel` and `status` are thin wire clients. The one-shot
+//! `campaign` also handles Ctrl-C cooperatively: in-flight jobs drain
+//! at the next boundary and the partial matrix still reports.
 
 use std::process::ExitCode;
 
@@ -136,10 +154,31 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        Some("serve") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_serve(&rest)
+        }
+        Some("submit") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_submit(&rest)
+        }
+        Some("watch") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_watch(&rest)
+        }
+        Some("cancel") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_cancel(&rest)
+        }
+        Some("status") => {
+            let rest: Vec<&str> = it.collect();
+            cmd_status(&rest)
+        }
         Some(other) => Err(format!("unknown command {other:?}").into()),
         None => {
             eprintln!(
-                "usage: comptest <validate|lint|gen|run|suite|campaign|portability|stands> …"
+                "usage: comptest <validate|lint|gen|run|suite|campaign|portability|stands\
+                 |serve|submit|watch|cancel|status> …"
             );
             Ok(ExitCode::from(2))
         }
@@ -504,9 +543,7 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     // Record formats are an on-disk concern; on `off` or `memory` the flag
     // would be silently ignored — reject the mistake instead.
     if cache_format.is_some() && !matches!(cache_mode, CacheMode::Dir(_)) {
-        return Err(
-            "--cache-format only applies to an on-disk cache (pass --cache <dir>)".into(),
-        );
+        return Err("--cache-format only applies to an on-disk cache (pass --cache <dir>)".into());
     }
     let workers = workers.unwrap_or(1);
     let concurrency = concurrency.unwrap_or(1024);
@@ -564,6 +601,11 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         ExecutorKind::Async => Box::new(AsyncExecutor::new(concurrency).sharded(workers)),
     };
     let mut handle = campaign.launch(executor.as_ref())?;
+    // Cooperative Ctrl-C: trip the handle's token instead of dying
+    // mid-write — the campaign drains at the next job boundary and the
+    // partial matrix still reports through the normal path below.
+    comptest::server::signals::install();
+    comptest::server::signals::cancel_on_signal(handle.cancel_token());
     let stream = handle.events();
     // The printer thread also counts cache hits for the summary line.
     let printer = std::thread::spawn(move || {
@@ -615,6 +657,190 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Where the wire subcommands dial / `serve` listens unless `--addr`
+/// says otherwise.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
+
+fn parse_count(flag: &str, value: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("bad {flag} count {value:?}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1").into());
+    }
+    Ok(n)
+}
+
+fn cmd_serve(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::server::{ServeConfig, Server};
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut cfg = ServeConfig::new(comptest::assets_dir());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--addr" => addr = need(it.next().copied(), "--addr host:port")?.to_owned(),
+            "--workers" => {
+                cfg.workers =
+                    parse_count("--workers", need(it.next().copied(), "--workers count")?)?
+            }
+            "--concurrency" => {
+                cfg.concurrency = parse_count(
+                    "--concurrency",
+                    need(it.next().copied(), "--concurrency count")?,
+                )?
+            }
+            "--max-active" => {
+                cfg.max_active = parse_count(
+                    "--max-active",
+                    need(it.next().copied(), "--max-active count")?,
+                )?
+            }
+            "--cache" => {
+                cfg.cache_dir = Some(need(it.next().copied(), "--cache dir")?.into());
+            }
+            "--cache-format" => {
+                let f = need(it.next().copied(), "--cache-format (bin|json)")?;
+                cfg.cache_format = Some(parse_cache_format(f)?);
+            }
+            other => return Err(format!("unknown serve flag {other:?}").into()),
+        }
+    }
+    // Graceful shutdown: SIGINT/SIGTERM stop admissions, cancel queued
+    // campaigns, trip running ones and drain before the process exits.
+    comptest::server::signals::install();
+    let server = Server::new(cfg)?;
+    let listener = std::net::TcpListener::bind(addr.as_str())?;
+    {
+        // Flush eagerly: when stdout is piped (CI smoke test) the bound
+        // address must be scrapable before the daemon blocks in accept.
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        writeln!(out, "serving on {}", listener.local_addr()?)?;
+        out.flush()?;
+    }
+    server.run(listener)?;
+    eprintln!("serve: drained, exiting");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verdict_exit(verdict: &comptest::server::ResultFrame) -> ExitCode {
+    if verdict.state == "done" && verdict.all_green {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_submit(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::server::{CampaignSpec, Client};
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut spec = CampaignSpec::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--addr" => addr = need(it.next().copied(), "--addr host:port")?.to_owned(),
+            "--suite" => spec
+                .suites
+                .push(need(it.next().copied(), "--suite name")?.to_owned()),
+            "--granularity" => {
+                let g = need(it.next().copied(), "--granularity (cell|test)")?;
+                spec.granularity = g.parse()?;
+            }
+            "--executor" => {
+                let e = need(it.next().copied(), "--executor (pooled|async)")?;
+                spec.executor = e.parse()?;
+            }
+            "--stop-on-first-fail" => spec.stop_on_first_fail = true,
+            "--no-cache" => spec.cache = false,
+            "--watch" => spec.watch = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown submit flag {other:?}").into())
+            }
+            stand => spec.stands.push(stand.to_owned()),
+        }
+    }
+    if spec.stands.is_empty() {
+        return Err("submit needs at least one stand path (resolved on the server)".into());
+    }
+    let mut client = Client::connect(addr.as_str())?;
+    if spec.watch {
+        let (id, verdict) = client.submit_and_watch(&spec, |event| {
+            eprintln!("{}", comptest::report::progress_line(event));
+        })?;
+        eprintln!("{id}: {}", verdict.state);
+        print!("{}", verdict.report);
+        Ok(verdict_exit(&verdict))
+    } else {
+        let id = client.submit(&spec)?;
+        println!("{id}");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_watch(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::server::Client;
+    let (addr, ids) = wire_args(args, "watch")?;
+    let [id] = ids.as_slice() else {
+        return Err("watch needs exactly one campaign id (c-NNNNNN)".into());
+    };
+    let id: comptest::server::CampaignId = id.parse()?;
+    let mut client = Client::connect(addr.as_str())?;
+    let verdict = client.watch(id, |event| {
+        eprintln!("{}", comptest::report::progress_line(event));
+    })?;
+    eprintln!("{id}: {}", verdict.state);
+    if let Some(error) = &verdict.error {
+        eprintln!("error: {error}");
+    }
+    print!("{}", verdict.report);
+    Ok(verdict_exit(&verdict))
+}
+
+fn cmd_cancel(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::server::Client;
+    let (addr, ids) = wire_args(args, "cancel")?;
+    let [id] = ids.as_slice() else {
+        return Err("cancel needs exactly one campaign id (c-NNNNNN)".into());
+    };
+    let id: comptest::server::CampaignId = id.parse()?;
+    Client::connect(addr.as_str())?.cancel(id)?;
+    println!("cancelled {id}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use comptest::server::Client;
+    let (addr, rest) = wire_args(args, "status")?;
+    if !rest.is_empty() {
+        return Err(format!("unexpected status arguments {rest:?}").into());
+    }
+    for row in Client::connect(addr.as_str())?.status()? {
+        println!("{} {}", row.id, row.state);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses the shared wire-client argument shape: `--addr` plus
+/// positional operands.
+fn wire_args(
+    args: &[&str],
+    command: &str,
+) -> Result<(String, Vec<String>), Box<dyn std::error::Error>> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--addr" => addr = need(it.next().copied(), "--addr host:port")?.to_owned(),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown {command} flag {other:?}").into())
+            }
+            operand => rest.push(operand.to_owned()),
+        }
+    }
+    Ok((addr, rest))
 }
 
 fn cmd_portability(wb: &str, stands: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {

@@ -20,6 +20,7 @@
 //! | [`core`] | `comptest-core` | execution, campaign planning/merge, fault coverage |
 //! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled / async event loop), cancellable handles with typed event streams |
 //! | [`report`] | `comptest-report` | tables, markdown, JUnit, live-progress lines |
+//! | [`server`] | `comptest-server` | resident multi-tenant campaign daemon, wire protocol, client |
 //!
 //! # Quickstart — one test
 //!
@@ -207,6 +208,35 @@
 //! # }
 //! ```
 //!
+//! # Quickstart — serving campaigns
+//!
+//! `comptest serve` keeps everything expensive **resident**: one daemon
+//! loads the bundled suites once, owns one lane-fair worker pool, one
+//! async-executor configuration and one shared on-disk cache, and
+//! multiplexes any number of concurrently submitted campaigns onto them
+//! over a newline-delimited JSON TCP protocol. Campaigns get stable ids
+//! (`c-000001`), stream typed events to any number of watchers (late
+//! subscribers get a full replay), survive client disconnects (fetch the
+//! verdict by id later), and can be cancelled over the wire. `status`
+//! and `metrics` expose each tenant's lifecycle state and its own
+//! recorder snapshot. On the CLI:
+//!
+//! ```text
+//! comptest serve  [--addr 127.0.0.1:7171] [--workers N] [--concurrency N]
+//!                 [--max-active N] [--cache <dir>] [--cache-format bin|json]
+//! comptest submit [--addr …] <stand.stand>... [--suite NAME]...
+//!                 [--granularity cell|test] [--executor pooled|async]
+//!                 [--stop-on-first-fail] [--no-cache] [--watch]
+//! comptest watch  [--addr …] <campaign-id>
+//! comptest cancel [--addr …] <campaign-id>
+//! comptest status [--addr …]
+//! ```
+//!
+//! Served verdicts are byte-identical to local execution, and the
+//! one-shot `comptest campaign` now drains cooperatively on Ctrl-C. See
+//! the [`server`] crate docs for the frame reference, lifecycle states
+//! and an in-process quickstart.
+//!
 //! The PR-1/PR-2 free functions (`run_campaign`, `run_campaign_parallel`,
 //! `run_campaign_with_pool`) still compile as `#[deprecated]` shims over
 //! this API, reachable through [`core`] and [`engine`] (not the prelude).
@@ -222,6 +252,7 @@ pub use comptest_engine as engine;
 pub use comptest_model as model;
 pub use comptest_report as report;
 pub use comptest_script as script;
+pub use comptest_server as server;
 pub use comptest_sheets as sheets;
 pub use comptest_stand as stand;
 

@@ -990,7 +990,10 @@ fn conformance_cache_records_interchange_across_formats() {
         .run(&SerialExecutor)
         .unwrap();
     let dir = scratch.fresh_subdir();
-    for (stand, format) in [(&stand_a, RecordFormat::Json), (&stand_b, RecordFormat::Binary)] {
+    for (stand, format) in [
+        (&stand_a, RecordFormat::Json),
+        (&stand_b, RecordFormat::Binary),
+    ] {
         let one_stand = [stand];
         let populate = Campaign::new(&entries, &one_stand)
             .granularity(Granularity::Test)
@@ -1101,7 +1104,10 @@ fn conformance_cache_hits_build_no_devices() {
     // The first launch also builds one device per entry for key hashing;
     // that hash is memoized per campaign value, so the warm audit run
     // builds exactly the execution devices.
-    assert!(cold_builds > entries.len(), "verify cold run builds devices");
+    assert!(
+        cold_builds > entries.len(),
+        "verify cold run builds devices"
+    );
     built.store(0, Ordering::Relaxed);
     let _ = campaign.run(&SerialExecutor).unwrap();
     assert_eq!(

@@ -171,10 +171,7 @@ fn corrupted_dir_cache_entries_are_misses_not_errors() {
     let mut records: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .filter(|p| {
-            p.extension()
-                .is_some_and(|e| e == "bin" || e == "json")
-        })
+        .filter(|p| p.extension().is_some_and(|e| e == "bin" || e == "json"))
         .collect();
     records.sort();
     assert_eq!(records.len(), entries.len(), "one record per cell");

@@ -143,7 +143,10 @@ fn binary_wrong_version_and_oversized_lengths_are_misses() {
     assert!(binary::decode(&wrong).is_err());
     assert!(binary::probe(&wrong).is_err());
     std::fs::write(&path, &wrong).unwrap();
-    assert!(cache.load(&key).is_none(), "wrong version must read as a miss");
+    assert!(
+        cache.load(&key).is_none(),
+        "wrong version must read as a miss"
+    );
     cache.store(&key, &record);
     assert_eq!(cache.load(&key), Some(record.clone()), "store self-heals");
 
@@ -158,7 +161,10 @@ fn binary_wrong_version_and_oversized_lengths_are_misses() {
     bomb.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10]); // len = 2^60
     assert!(binary::decode(&bomb).is_err());
     std::fs::write(&path, &bomb).unwrap();
-    assert!(cache.load(&key).is_none(), "oversized length must read as a miss");
+    assert!(
+        cache.load(&key).is_none(),
+        "oversized length must read as a miss"
+    );
 
     let _ = std::fs::remove_dir_all(&base);
 }

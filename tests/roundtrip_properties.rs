@@ -26,8 +26,7 @@ fn executed_records() -> &'static [comptest::engine::CellRecord] {
         entries
             .iter()
             .map(|entry| {
-                let key =
-                    comptest::core::CellKey::for_cell(entry, &stand, &ExecOptions::default());
+                let key = comptest::core::CellKey::for_cell(entry, &stand, &ExecOptions::default());
                 cache.load(&key).expect("populated record")
             })
             .collect()
