@@ -1,0 +1,249 @@
+//! S11 — footprint-keyed invalidation: re-test only what a change touches.
+//!
+//! The scenario the footprint cache exists for: a 10 000-test regression
+//! campaign over a composite vehicle model (ten ECU blocks behind one
+//! device, one 1 000-test suite per block), where an engineer edits **one**
+//! block's fault set and re-runs warm.
+//!
+//! * Under `--cache-key full` the whole device configuration is part of
+//!   every cell's key, so the single edit invalidates all ten cells and
+//!   the warm re-run re-executes everything — cold time for a one-line
+//!   change.
+//! * Under `--cache-key footprint` each cell's key covers only the slices
+//!   of the device its plans touch, so exactly the edited block's cell
+//!   re-executes and the other nine stay hits.
+//!
+//! This bench is an *assertion*, not just a timing: the invalidated-cell
+//! count is checked against the planner's own prediction (the set of cells
+//! whose [`FootprintKey`] moved), the warm results are checked
+//! byte-identical to a cold run of the edited campaign, and the
+//! footprint-keyed re-run must be ≥ 5× faster than the full-keyed one.
+//! Medians land in `BENCH_s11.json` at the workspace root.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use comptest::core::campaign::CampaignEntry;
+use comptest::core::hash::FootprintKey;
+use comptest::dut::ElectricalConfig;
+use comptest::engine::{CacheKeying, DirCache};
+use comptest::prelude::*;
+use comptest_bench::summary::{time_median, BenchSummary};
+use comptest_model::SimTime;
+use comptest_workload::{
+    block_device, block_stand, gen_workbook_text_prefixed, BlockSpec, SplitMix64, WorkbookShape,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Ten blocks × one 1 000-test suite each = the 10k-test campaign.
+const BLOCKS: usize = 10;
+const TESTS_PER_BLOCK: usize = 1_000;
+/// Input signals per block (the suites' stimulus width).
+const SIGNALS: usize = 2;
+/// The block whose fault set the "engineer" edits.
+const EDITED: usize = 3;
+/// Internal device activity: each 2-step test simulates 0.2 s, so one
+/// execution advances the model through ~2 000 events — execution
+/// dominates, records stay check-sized (the s8 asymmetry).
+const TICK: SimTime = SimTime::from_micros(100);
+/// Timed iterations per arm (median taken).
+const ITERS: usize = 3;
+
+/// Pin-binding port names must be `'static`; ten literals beat leaking.
+const OUT_PORTS: [&str; BLOCKS] = [
+    "e0_out", "e1_out", "e2_out", "e3_out", "e4_out", "e5_out", "e6_out", "e7_out", "e8_out",
+    "e9_out",
+];
+
+const SHAPE: WorkbookShape = WorkbookShape {
+    signals: SIGNALS,
+    tests: TESTS_PER_BLOCK,
+    steps: 2,
+};
+
+/// The composite device's blocks; `edited` flips one block's fault set to
+/// its post-edit revision.
+fn specs(edited: Option<usize>) -> Vec<BlockSpec> {
+    (0..BLOCKS)
+        .map(|k| BlockSpec {
+            prefix: format!("e{k}_"),
+            out_port: OUT_PORTS[k],
+            config: if edited == Some(k) {
+                "fault_set=rev2".to_owned()
+            } else {
+                "fault_set=rev1".to_owned()
+            },
+        })
+        .collect()
+}
+
+/// One generated suite per block, disjoint pin sets.
+fn block_suites() -> Vec<TestSuite> {
+    (0..BLOCKS)
+        .map(|k| {
+            let mut rng = SplitMix64::new(0x511 + k as u64);
+            let text = gen_workbook_text_prefixed(&mut rng, &SHAPE, &format!("e{k}_"));
+            Workbook::parse_str(&format!("e{k}.cts"), &text)
+                .expect("generated workbook parses")
+                .suite
+        })
+        .collect()
+}
+
+/// Campaign entries sharing ONE composite device per build — every suite
+/// sees the whole vehicle, footprints tell the cells apart.
+fn vehicle_entries(suites: &[TestSuite], edited: Option<usize>) -> Vec<CampaignEntry<'_>> {
+    suites
+        .iter()
+        .map(|suite| {
+            let specs = specs(edited);
+            CampaignEntry {
+                suite,
+                device_factory: Box::new(move || {
+                    block_device(&specs, ElectricalConfig::default(), Some(TICK))
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Clones a pristine cache directory so each timed warm run starts from
+/// the same pre-edit store (a warm run re-stores what it re-executes).
+fn restore_cache(pristine: &Path, work: &Path) {
+    let _ = std::fs::remove_dir_all(work);
+    std::fs::create_dir_all(work).expect("cache dir");
+    for entry in std::fs::read_dir(pristine).expect("pristine cache") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), work.join(entry.file_name())).expect("copy record");
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("comptest-s11-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn invalidate(_c: &mut Criterion) {
+    let prefixes: Vec<String> = (0..BLOCKS).map(|k| format!("e{k}_")).collect();
+    let prefix_refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
+    let stand = block_stand(&prefix_refs, SIGNALS);
+    let stands = [&stand];
+    let suites = block_suites();
+    let base = vehicle_entries(&suites, None);
+    let edited = vehicle_entries(&suites, Some(EDITED));
+    let mut summary = BenchSummary::new("s11", BLOCKS * TESTS_PER_BLOCK);
+
+    // The planner's prediction: which cells' footprint keys does the edit
+    // move? Exactly the edited block's — asserted now, and asserted again
+    // below against the engine's own invalidation counter.
+    let opts = ExecOptions::default();
+    let moved: Vec<usize> = (0..BLOCKS)
+        .filter(|&k| {
+            FootprintKey::for_cell(&base[k], &stand, &opts, "")
+                != FootprintKey::for_cell(&edited[k], &stand, &opts, "")
+        })
+        .collect();
+    assert_eq!(moved, vec![EDITED], "only the edited block's key may move");
+    let predicted = moved.len();
+
+    // Ground truth for the post-edit campaign: a cold, cache-less run.
+    let reference = Campaign::new(&edited, &stands)
+        .granularity(Granularity::Test)
+        .run(&SerialExecutor)
+        .expect("cold run");
+    summary.record(
+        "cold_edited",
+        time_median(1, || {
+            black_box(
+                Campaign::new(&edited, &stands)
+                    .granularity(Granularity::Test)
+                    .run(&SerialExecutor)
+                    .unwrap(),
+            )
+        }),
+    );
+
+    for keying in [CacheKeying::Full, CacheKeying::Footprint] {
+        // Populate the pre-edit store once, cold.
+        let pristine = scratch(&format!("{keying}-pristine"));
+        let _ = Campaign::new(&base, &stands)
+            .granularity(Granularity::Test)
+            .cache_keying(keying)
+            .cache(Arc::new(DirCache::open(&pristine).expect("cache dir")))
+            .run(&SerialExecutor)
+            .expect("populate run");
+
+        // One instrumented warm run of the edited campaign: byte-identity
+        // plus the invalidation accounting.
+        let work = scratch(&format!("{keying}-work"));
+        restore_cache(&pristine, &work);
+        let obs = Recorder::enabled();
+        let warm = Campaign::new(&edited, &stands)
+            .granularity(Granularity::Test)
+            .cache_keying(keying)
+            .cache(Arc::new(DirCache::open(&work).expect("cache dir")))
+            .recorder(obs.clone())
+            .run(&SerialExecutor)
+            .expect("warm run");
+        assert_eq!(warm, reference, "{keying}: warm re-run must match cold");
+        let metrics = obs.metrics().unwrap();
+        let (expect_invalidated, expect_cached) = match keying {
+            // The edit is invisible to no cell under full keying: the
+            // whole-device hash moved, everything re-executes.
+            CacheKeying::Full => (BLOCKS, 0),
+            CacheKeying::Footprint => (predicted, (BLOCKS - predicted) * TESTS_PER_BLOCK),
+        };
+        assert_eq!(
+            metrics.counter("cells_invalidated"),
+            expect_invalidated as u64,
+            "{keying}: engine invalidation must match the planner's prediction"
+        );
+        assert_eq!(
+            metrics.counter("jobs_cached"),
+            expect_cached as u64,
+            "{keying}: untouched blocks must stay hits"
+        );
+
+        // Timed: restore the pre-edit store, re-run the edited campaign.
+        let campaign = Campaign::new(&edited, &stands)
+            .granularity(Granularity::Test)
+            .cache_keying(keying)
+            .cache(Arc::new(DirCache::open(&work).expect("cache dir")));
+        summary.record(
+            &format!("warm_{keying}"),
+            time_median(ITERS, || {
+                restore_cache(&pristine, &work);
+                black_box(campaign.run(&SerialExecutor).unwrap())
+            }),
+        );
+        summary.note(
+            &format!("cells_invalidated_{keying}"),
+            expect_invalidated as f64,
+        );
+        let _ = std::fs::remove_dir_all(&pristine);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    let full = summary.median_ms("warm_full").expect("full arm recorded");
+    let footprint = summary
+        .median_ms("warm_footprint")
+        .expect("footprint arm recorded");
+    let speedup = full / footprint;
+    summary.note("footprint_speedup", speedup);
+    summary.note("predicted_invalidated", predicted as f64);
+    let path = summary.write_at_workspace_root().expect("summary written");
+    println!(
+        "s11 summary → {} (footprint warm {speedup:.1}× faster than full warm)",
+        path.display()
+    );
+    assert!(
+        speedup >= 5.0,
+        "footprint-keyed warm re-run must be ≥ 5× faster than full-keyed \
+         (full {full:.1} ms vs footprint {footprint:.1} ms)"
+    );
+}
+
+criterion_group!(benches, invalidate);
+criterion_main!(benches);

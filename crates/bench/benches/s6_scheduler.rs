@@ -124,5 +124,47 @@ fn pool_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cell_count_scaling, pool_reuse);
+/// Linearity check: the *per-cell* cost at 16× scale must stay within a
+/// tolerance band of the small-campaign cost. A scheduler whose planning
+/// or merge step went quadratic blows far past the band (16× at O(n²));
+/// the band is wide because shared CI hosts are noisy, not because the
+/// property is soft.
+fn linearity(_c: &mut Criterion) {
+    const SMALL: usize = 8;
+    const LARGE: usize = 128;
+    let stand = variant_stand();
+    let stands = [&stand];
+    let per_cell = |n: usize| {
+        let suites = variant_suites(n);
+        let entries: Vec<CampaignEntry> = suites
+            .iter()
+            .map(|suite| CampaignEntry {
+                suite,
+                device_factory: Box::new(|| {
+                    build_device("interior_light", Default::default(), None)
+                }),
+            })
+            .collect();
+        let campaign = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+        let executor = PooledExecutor::new(4);
+        let median =
+            comptest_bench::summary::time_median(5, || black_box(campaign.run(&executor).unwrap()));
+        median.as_secs_f64() / n as f64
+    };
+    let small = per_cell(SMALL);
+    let large = per_cell(LARGE);
+    let ratio = large / small;
+    println!(
+        "s6 linearity: per-cell {:.1}µs @{SMALL} vs {:.1}µs @{LARGE} (ratio {ratio:.2})",
+        small * 1e6,
+        large * 1e6
+    );
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "per-cell cost must scale linearly: {ratio:.2}× outside the 0.2–5.0 band \
+         ({small:.6}s @{SMALL} cells vs {large:.6}s @{LARGE} cells)"
+    );
+}
+
+criterion_group!(benches, cell_count_scaling, pool_reuse, linearity);
 criterion_main!(benches);

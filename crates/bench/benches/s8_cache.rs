@@ -36,6 +36,7 @@ use comptest::core::campaign::CampaignEntry;
 use comptest::dut::{Behavior, Device, PinBinding, PortValue};
 use comptest::engine::{DirCache, MemoryCache, RecordFormat};
 use comptest::prelude::*;
+use comptest_bench::summary::time_median;
 use comptest_model::{PinId, SimTime};
 use comptest_stand::ResourceId;
 use comptest_workload::{gen_stand, gen_workbook_text, SplitMix64, StandShape, WorkbookShape};
@@ -205,5 +206,78 @@ fn cold_vs_warm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cold_vs_warm);
+/// Measures every arm once more with plain `Instant` medians and writes
+/// the machine-readable summary `BENCH_s8.json` at the workspace root —
+/// criterion's console output is for humans, this file is for CI diffs.
+fn emit_summary(_c: &mut Criterion) {
+    const N_TESTS: usize = 10_000;
+    const ITERS: usize = 3;
+    let stand = variant_stand();
+    let stands = [&stand];
+    let suite = suite_with_tests(N_TESTS);
+    let entries = vec![CampaignEntry {
+        suite: &suite,
+        device_factory: Box::new(busy_device),
+    }];
+    let mut summary = comptest_bench::summary::BenchSummary::new("s8", N_TESTS);
+
+    let cold = Campaign::new(&entries, &stands).granularity(Granularity::Test);
+    let reference = cold.run(&SerialExecutor).expect("cold run");
+    summary.record(
+        "cold",
+        time_median(ITERS, || black_box(cold.run(&SerialExecutor).unwrap())),
+    );
+
+    let warm_memory = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .cache(Arc::new(MemoryCache::new()));
+    assert_eq!(warm_memory.run(&SerialExecutor).unwrap(), reference);
+    summary.record(
+        "warm_memory",
+        time_median(ITERS, || {
+            black_box(warm_memory.run(&SerialExecutor).unwrap())
+        }),
+    );
+
+    for (arm, format) in [
+        ("warm_dir_bin", RecordFormat::Binary),
+        ("warm_dir_json", RecordFormat::Json),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("comptest-s8-sum-{arm}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DirCache::open(&dir)
+            .expect("bench cache dir")
+            .with_format(format);
+        let warm_dir = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(Arc::new(cache));
+        assert_eq!(warm_dir.run(&SerialExecutor).unwrap(), reference);
+        summary.record(
+            arm,
+            time_median(ITERS, || black_box(warm_dir.run(&SerialExecutor).unwrap())),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let verify = Campaign::new(&entries, &stands)
+        .granularity(Granularity::Test)
+        .cache(Arc::new(MemoryCache::new()))
+        .cache_verify(true);
+    assert_eq!(verify.run(&SerialExecutor).unwrap(), reference);
+    summary.record(
+        "verify",
+        time_median(ITERS, || black_box(verify.run(&SerialExecutor).unwrap())),
+    );
+
+    let speedup = summary.median_ms("cold").unwrap() / summary.median_ms("warm_dir_bin").unwrap();
+    summary.note("warm_dir_bin_speedup", speedup);
+    let path = summary.write_at_workspace_root().expect("summary written");
+    println!(
+        "s8 summary → {} (warm_dir_bin {speedup:.1}× faster)",
+        path.display()
+    );
+}
+
+criterion_group!(benches, cold_vs_warm, emit_summary);
 criterion_main!(benches);

@@ -25,12 +25,13 @@
 //!   [`key()`](comptest_model::SignalName::key) form, matching how the
 //!   rest of the toolchain compares them.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use comptest_dut::Device;
 use comptest_model::{Env, SignalDef, SignalKind, StatusDef, TestSuite};
 use comptest_script::TestScript;
-use comptest_stand::TestStand;
+use comptest_stand::{Action, ExecutionPlan, TestStand};
 
 use crate::campaign::{CampaignEntry, DeviceFactory};
 use crate::exec::{ExecOptions, SampleMode};
@@ -380,6 +381,302 @@ impl fmt::Display for CellKey {
     }
 }
 
+/// The exact dependency footprint of one campaign cell: which signals the
+/// suite reads or drives, which DUT pins and CAN frames realise them,
+/// which stand resources the planner allocated, and which behaviours
+/// (ECUs) the cell exercises — plus an author-supplied cache salt.
+///
+/// A footprint is captured from the cell's *resolved* execution plans, so
+/// it reflects what the cell will actually do on this stand, not what the
+/// stand could do in general. Two digests summarise it:
+///
+/// * [`plan_hash`](Footprint::plan_hash) — the stand slice. Execution is a
+///   pure function of the plan (plus the device and exec options), and the
+///   plan is a pure function of (script, stand): any stand edit that could
+///   change this cell's outcome changes its plans, while edits the planner
+///   never routed through this cell (an unrelated resource, a crosspoint
+///   to another ECU's pins) leave them — and the key — untouched.
+/// * [`dut_slice_hash`](Footprint::dut_slice_hash) — the DUT slice: the
+///   electrical configuration, the behaviour name, and only the pin/CAN
+///   bindings the plans touch, each refined by the behaviour's
+///   [`port_slice`](comptest_dut::Behavior::port_slice). A behaviour that
+///   does not implement `port_slice` falls back to hashing the whole
+///   device, which makes the footprint exactly as conservative as full
+///   keying on the DUT axis — never less safe.
+///
+/// The salt is folded into both digests, so bumping it (e.g. on a firmware
+/// release) invalidates every footprint-keyed record at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// Author-supplied cache salt (empty by default).
+    pub salt: String,
+    /// Canonical names of the signals the plans apply or check (sorted).
+    pub signals: Vec<String>,
+    /// Canonical DUT pin names those signals route through (sorted).
+    pub pins: Vec<String>,
+    /// CAN frame ids those signals map onto (sorted).
+    pub frames: Vec<u32>,
+    /// Canonical ids of the stand resources the planner allocated (sorted).
+    pub resources: Vec<String>,
+    /// Behaviour (ECU) names the cell exercises.
+    pub ecus: Vec<String>,
+    /// Digest of the resolved execution plans (tag `b'P'`; salt included).
+    pub plan_hash: u64,
+    /// Digest of the touched DUT slice (tag `b'F'`; salt included).
+    pub dut_slice_hash: u64,
+}
+
+impl Footprint {
+    /// The footprint-keyed content address for this cell, shaped exactly
+    /// like a [`CellKey`] so every cache backend works unchanged: the
+    /// suite and exec digests are identical to full keying, the stand axis
+    /// carries [`plan_hash`](Self::plan_hash) and the DUT axis
+    /// [`dut_slice_hash`](Self::dut_slice_hash).
+    pub fn key(&self, suite_hash: u64, exec_hash: u64) -> FootprintKey {
+        FootprintKey {
+            suite_hash,
+            plan_hash: self.plan_hash,
+            dut_slice_hash: self.dut_slice_hash,
+            exec_hash,
+        }
+    }
+
+    /// Whether the footprint names this ECU (behaviour name).
+    pub fn touches_ecu(&self, name: &str) -> bool {
+        self.ecus.iter().any(|e| e == name)
+    }
+}
+
+/// A footprint-keyed cell address: same four-digest shape as [`CellKey`],
+/// but the stand and DUT axes hash only the slices the cell touches.
+///
+/// The plan digest is tagged `b'P'` (full stand hashing uses `b'T'`) and
+/// the DUT-slice digest `b'F'` (full device hashing uses `b'D'`), so
+/// footprint and full keys live in disjoint hash domains and can never
+/// alias each other inside one cache directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FootprintKey {
+    /// Structural hash of the test suite ([`hash_suite`]).
+    pub suite_hash: u64,
+    /// Digest of the cell's resolved execution plans.
+    pub plan_hash: u64,
+    /// Digest of the DUT slice the plans touch.
+    pub dut_slice_hash: u64,
+    /// Hash of the execution options ([`hash_exec_options`]).
+    pub exec_hash: u64,
+}
+
+impl FootprintKey {
+    /// The [`CellKey`]-shaped address used by every cache backend.
+    pub fn cell_key(&self) -> CellKey {
+        CellKey {
+            suite_hash: self.suite_hash,
+            stand_hash: self.plan_hash,
+            dut_config_hash: self.dut_slice_hash,
+            exec_hash: self.exec_hash,
+        }
+    }
+
+    /// Computes the footprint key for one (entry, stand) cell under
+    /// `options`: generates the suite's scripts, plans them on the stand,
+    /// captures the footprint and keys it. Generation or planning failures
+    /// fold into the footprint conservatively (see [`footprint_for_cell`]),
+    /// so this never errors — it mirrors [`CellKey::for_cell`].
+    pub fn for_cell(
+        entry: &CampaignEntry<'_>,
+        stand: &TestStand,
+        options: &ExecOptions,
+        salt: &str,
+    ) -> Self {
+        footprint_for_cell(entry, stand, salt)
+            .key(hash_suite(entry.suite), hash_exec_options(options))
+    }
+}
+
+impl fmt::Display for FootprintKey {
+    /// Same fixed-width, filesystem-safe rendering as [`CellKey`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.cell_key().fmt(f)
+    }
+}
+
+/// Folds one plan action's dependencies into the footprint sets.
+fn collect_action(
+    action: &Action,
+    signals: &mut BTreeSet<String>,
+    pins: &mut BTreeSet<String>,
+    frames: &mut BTreeSet<u32>,
+    resources: &mut BTreeSet<String>,
+) {
+    let (signal, kind, resource) = match action {
+        Action::Apply {
+            signal,
+            kind,
+            resource,
+            ..
+        } => (signal, kind, resource),
+        Action::Check(check) => (&check.signal, &check.kind, &check.resource),
+    };
+    signals.insert(signal.key());
+    resources.insert(resource.key());
+    match kind {
+        SignalKind::Pin { pins: signal_pins } => {
+            for pin in signal_pins {
+                pins.insert(pin.key());
+            }
+        }
+        SignalKind::Can { frame, .. } => {
+            frames.insert(frame.0);
+        }
+    }
+}
+
+/// Captures the dependency footprint of one cell from its resolved
+/// execution plans (one `Result` per test, in suite order; `Err` carries
+/// the planner's error message) and a freshly built device.
+///
+/// Conservative fallbacks keep the footprint at least as safe as full
+/// keying: an errored plan hashes its error string (so the not-runnable
+/// verdict is keyed by *why*), and any errored plan or any touched port
+/// without a [`port_slice`](comptest_dut::Behavior::port_slice) makes the
+/// DUT digest fold the whole device, exactly like [`hash_device`].
+pub fn capture_footprint(
+    plans: &[Result<&ExecutionPlan, &str>],
+    device: &Device,
+    salt: &str,
+) -> Footprint {
+    let mut signals = BTreeSet::new();
+    let mut pins = BTreeSet::new();
+    let mut frames = BTreeSet::new();
+    let mut resources = BTreeSet::new();
+    let mut complete = true;
+
+    let mut plan_hasher = StableHasher::new();
+    plan_hasher.write_u8(b'P');
+    plan_hasher.write_str(salt);
+    plan_hasher.write_usize(plans.len());
+    for plan in plans {
+        match plan {
+            Ok(plan) => {
+                plan_hasher.write_u8(1);
+                plan_hasher.write_str(&format!("{plan:?}"));
+                for action in plan
+                    .init
+                    .iter()
+                    .chain(plan.steps.iter().flat_map(|s| s.actions.iter()))
+                {
+                    collect_action(action, &mut signals, &mut pins, &mut frames, &mut resources);
+                }
+            }
+            Err(message) => {
+                // A cell that cannot be planned still caches its
+                // not-runnable outcome; key it by the message and fall
+                // back to whole-device hashing below.
+                plan_hasher.write_u8(2);
+                plan_hasher.write_str(message);
+                complete = false;
+            }
+        }
+    }
+
+    let mut dut_hasher = StableHasher::new();
+    dut_hasher.write_u8(b'F');
+    dut_hasher.write_str(salt);
+    dut_hasher.write_str(&format!("{:?}", device.config()));
+    dut_hasher.write_str(device.behavior_name());
+    dut_hasher.write_usize(pins.len());
+    for pin in &pins {
+        dut_hasher.write_str(pin);
+        match device.pin_binding_debug(pin) {
+            Some((binding, port)) => {
+                dut_hasher.write_u8(1);
+                dut_hasher.write_str(&binding);
+                match port {
+                    Some(port) => match device.port_slice(port) {
+                        Some(slice) => {
+                            dut_hasher.write_u8(1);
+                            dut_hasher.write_str(&slice);
+                        }
+                        None => complete = false,
+                    },
+                    // Return rails carry no behaviour state of their own.
+                    None => dut_hasher.write_u8(0),
+                }
+            }
+            // A pin the device does not bind (stand-side stimulus only).
+            None => dut_hasher.write_u8(0),
+        }
+    }
+    dut_hasher.write_usize(frames.len());
+    for &frame in &frames {
+        dut_hasher.write_u32(frame);
+        let bindings = device.can_frame_bindings(comptest_model::CanFrameId(frame));
+        dut_hasher.write_usize(bindings.len());
+        for (start_bit, width, port, input) in bindings {
+            dut_hasher.write_u8(start_bit);
+            dut_hasher.write_u8(width);
+            dut_hasher.write_str(port);
+            dut_hasher.write_u8(u8::from(input));
+            match device.port_slice(port) {
+                Some(slice) => {
+                    dut_hasher.write_u8(1);
+                    dut_hasher.write_str(&slice);
+                }
+                None => complete = false,
+            }
+        }
+    }
+    if !complete {
+        // Conservative fallback: hash the whole device, exactly what full
+        // keying covers on the DUT axis.
+        dut_hasher.write_u8(255);
+        dut_hasher.write_str(&format!("{device:?}"));
+    }
+
+    Footprint {
+        salt: salt.to_owned(),
+        signals: signals.into_iter().collect(),
+        pins: pins.into_iter().collect(),
+        frames: frames.into_iter().collect(),
+        resources: resources.into_iter().collect(),
+        ecus: vec![device.behavior_name().to_owned()],
+        plan_hash: plan_hasher.finish(),
+        dut_slice_hash: dut_hasher.finish(),
+    }
+}
+
+/// Captures the footprint for one (entry, stand) cell from scratch:
+/// generates every test's script, plans it on the stand, builds one device
+/// from the entry's factory, and delegates to [`capture_footprint`].
+///
+/// Infallible by design: script-generation and planning failures fold into
+/// the plan digest as error strings and trigger the conservative
+/// whole-device fallback, so a footprint always exists for every cell the
+/// campaign will attempt. (The engine still surfaces codegen errors at
+/// launch, before any job runs.)
+pub fn footprint_for_cell(entry: &CampaignEntry<'_>, stand: &TestStand, salt: &str) -> Footprint {
+    let device = entry.device_factory.build();
+    let plans: Vec<Result<ExecutionPlan, String>> = entry
+        .suite
+        .tests
+        .iter()
+        .map(
+            |test| match comptest_script::generate(entry.suite, &test.name) {
+                Ok(script) => crate::campaign::plan_script(&script, stand),
+                Err(e) => Err(e.to_string()),
+            },
+        )
+        .collect();
+    let plan_refs: Vec<Result<&ExecutionPlan, &str>> = plans
+        .iter()
+        .map(|r| match r {
+            Ok(plan) => Ok(plan),
+            Err(message) => Err(message.as_str()),
+        })
+        .collect();
+    capture_footprint(&plan_refs, &device, salt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +823,92 @@ step, dt,  DS_FL, NIGHT, INT_ILL
         assert!(name
             .chars()
             .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase() || c == '-'));
+    }
+
+    fn lamp_entry(suite: &TestSuite) -> CampaignEntry<'_> {
+        CampaignEntry {
+            suite,
+            device_factory: Box::new(|| {
+                comptest_dut::ecus::interior_light::device(Default::default())
+            }),
+        }
+    }
+
+    #[test]
+    fn footprint_is_stable_and_salt_moves_it() {
+        let suite = suite();
+        let stand = stand();
+        let entry = lamp_entry(&suite);
+        let a = footprint_for_cell(&entry, &stand, "");
+        let b = footprint_for_cell(&entry, &stand, "");
+        assert_eq!(a, b, "footprints are a pure function of the cell");
+        assert!(!a.signals.is_empty() && !a.pins.is_empty() && !a.resources.is_empty());
+        assert_eq!(a.ecus, vec!["interior_light".to_owned()]);
+        assert!(a.frames.contains(&0x2A0), "CAN-mapped NIGHT signal");
+
+        let salted = footprint_for_cell(&entry, &stand, "fw-2");
+        assert_ne!(a.plan_hash, salted.plan_hash, "salt moves the plan digest");
+        assert_ne!(
+            a.dut_slice_hash, salted.dut_slice_hash,
+            "salt moves the DUT digest"
+        );
+        let options = ExecOptions::default();
+        assert_ne!(
+            FootprintKey::for_cell(&entry, &stand, &options, ""),
+            FootprintKey::for_cell(&entry, &stand, &options, "fw-2"),
+        );
+    }
+
+    #[test]
+    fn footprint_ignores_unused_stand_env_vars() {
+        let suite = suite();
+        let stand = stand();
+        let entry = lamp_entry(&suite);
+        let base = footprint_for_cell(&entry, &stand, "");
+
+        // An env var no plan evaluates is outside the footprint...
+        let mut extra = stand.clone();
+        extra.env_mut().set("unrelated_var", 42.0);
+        assert_eq!(footprint_for_cell(&entry, &extra, ""), base);
+        assert_ne!(
+            hash_stand(&stand),
+            hash_stand(&extra),
+            "full keying re-tests on the same edit"
+        );
+
+        // ...while the supply rail the get_u checks scale against is not.
+        let mut supply = stand.clone();
+        supply.env_mut().set("ubatt", 13.8);
+        assert_ne!(
+            footprint_for_cell(&entry, &supply, "").plan_hash,
+            base.plan_hash
+        );
+    }
+
+    #[test]
+    fn footprint_key_never_aliases_full_key() {
+        let suite = suite();
+        let stand = stand();
+        let entry = lamp_entry(&suite);
+        let options = ExecOptions::default();
+        let full = CellKey::for_cell(&entry, &stand, &options);
+        let footprint = FootprintKey::for_cell(&entry, &stand, &options, "");
+        assert_eq!(footprint.suite_hash, full.suite_hash);
+        assert_eq!(footprint.exec_hash, full.exec_hash);
+        assert_ne!(footprint.cell_key(), full, "disjoint hash domains");
+        assert_eq!(footprint.to_string().len(), 16 * 4 + 3);
+    }
+
+    #[test]
+    fn unplannable_cells_still_get_a_footprint() {
+        let suite = suite();
+        // A stand with no resources cannot plan anything.
+        let bare = TestStand::new("bare", Env::with_ubatt(12.0));
+        let entry = lamp_entry(&suite);
+        let a = footprint_for_cell(&entry, &bare, "");
+        let b = footprint_for_cell(&entry, &bare, "");
+        assert_eq!(a, b);
+        assert!(a.signals.is_empty(), "nothing planned, nothing touched");
     }
 
     #[test]

@@ -78,6 +78,26 @@ pub trait Behavior: fmt::Debug {
 
     /// Reads an output port. Unknown ports read `Bool(false)`.
     fn output(&self, port: &str) -> PortValue;
+
+    /// A stable rendering of the *slice* of this behaviour's configuration
+    /// and dynamics that can influence `port` — the footprint-keyed cache
+    /// hashes it instead of the whole behaviour, so edits to unrelated
+    /// sub-blocks of a composite behaviour do not invalidate cells that
+    /// never touch them.
+    ///
+    /// Contract: the returned string must cover **everything** that can
+    /// change the port's observable waveform for any input sequence —
+    /// configuration fields, timer constants, fault injections, couplings
+    /// to other ports. When two configurations render the same slice for a
+    /// port, the cache may serve one's recorded outcome for the other.
+    /// When in doubt, include more (or return `None`).
+    ///
+    /// The default returns `None`, which makes footprint keying fall back
+    /// to hashing the entire device — exactly as conservative as full
+    /// keying, never less safe.
+    fn port_slice(&self, _port: &str) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

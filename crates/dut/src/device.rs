@@ -246,6 +246,40 @@ impl Device {
         &self.bus
     }
 
+    /// Footprint accessor: the binding of the pin whose canonical
+    /// [`key`](PinId::key) is `pin`, rendered for hashing, plus the bound
+    /// behaviour port (`None` for [`PinBinding::Return`] rails). Returns
+    /// `None` for pins this device does not bind.
+    pub fn pin_binding_debug(&self, pin: &str) -> Option<(String, Option<&'static str>)> {
+        self.pins
+            .iter()
+            .find(|(id, _)| id.key() == pin)
+            .map(|(_, binding)| {
+                let port = match binding {
+                    PinBinding::InputActiveLow { port }
+                    | PinBinding::InputActiveHigh { port }
+                    | PinBinding::Output { port } => Some(*port),
+                    PinBinding::Return => None,
+                };
+                (format!("{binding:?}"), port)
+            })
+    }
+
+    /// Footprint accessor: every CAN binding touching `frame`, as
+    /// `(start_bit, width, port, input)` in declaration order.
+    pub fn can_frame_bindings(&self, frame: CanFrameId) -> Vec<(u8, u8, &'static str, bool)> {
+        self.can
+            .iter()
+            .filter(|b| b.frame == frame)
+            .map(|b| (b.start_bit, b.width, b.port, b.input))
+            .collect()
+    }
+
+    /// The behaviour's [`port_slice`](Behavior::port_slice) for `port`.
+    pub fn port_slice(&self, port: &str) -> Option<String> {
+        self.behavior.port_slice(port)
+    }
+
     /// The voltage at one pin under the current drives and outputs.
     fn voltage(&self, pin: &PinId) -> f64 {
         let mode = match self.pins.get(pin) {

@@ -16,11 +16,21 @@
 //! # Record layout
 //!
 //! ```text
-//! record  := magic "CCR" | version u8 | flags u8
-//!            | varint(total) | varint(n_tests) | outcome{n_tests}
-//! flags   := bit0 = record ends in a planning error (Err outcome)
-//! outcome := varint(len) body          -- len = exact byte length of body
-//! body    := 0x00 test_result | 0x01 string(reason)
+//! record    := magic "CCR" | version u8 | flags u8
+//!              | varint(total) | varint(n_tests)
+//!              | footprint?                      -- iff flags bit1 (v2+)
+//!              | outcome{n_tests}
+//! flags     := bit0 = record ends in a planning error (Err outcome)
+//!              bit1 = a footprint section follows the counts (v2+ only)
+//! footprint := string(salt)
+//!              | varint(n) string{n}             -- signals
+//!              | varint(n) string{n}             -- pins
+//!              | varint(n) varint{n}             -- CAN frame ids
+//!              | varint(n) string{n}             -- resources
+//!              | varint(n) string{n}             -- ECUs
+//!              | u64le(plan_hash) u64le(dut_slice_hash)
+//! outcome   := varint(len) body        -- len = exact byte length of body
+//! body      := 0x00 test_result | 0x01 string(reason)
 //! ```
 //!
 //! The fixed-position header (everything before the first outcome) is
@@ -54,18 +64,25 @@
 //!
 //! # Versioning rules
 //!
-//! * Any layout change bumps [`VERSION`]; a version mismatch is a decode
-//!   error, which the cache layer treats as a miss — stale files never
-//!   produce wrong verdicts, they just re-execute.
+//! * Any layout change bumps [`VERSION`]; versions this build does not
+//!   know are a decode error, which the cache layer treats as a miss —
+//!   stale files never produce wrong verdicts, they just re-execute.
+//! * Older versions stay *readable* where the layout allows it: a v1
+//!   record is exactly a v2 record without the footprint section (and
+//!   with flags restricted to bit0), so v1 files decode to records with
+//!   `footprint: None` and remain valid hits — a format upgrade never
+//!   cold-starts an existing cache.
 //! * Every length and count is validated against the bytes actually
 //!   remaining before it is trusted (an "oversized length" is an
 //!   immediate error, never an allocation), every tag byte must match an
 //!   arm, each outcome body must consume exactly its declared length, and
 //!   the record must consume the whole buffer — so `encode(decode(b)) ==
-//!   b` for every accepted input, and hostile input can only ever produce
-//!   an error, not a panic or a giant allocation.
+//!   b` for every accepted current-version input (older versions re-encode
+//!   as the equivalent current-version record), and hostile input can only
+//!   ever produce an error, not a panic or a giant allocation.
 
 use comptest_core::campaign::TestJobOutcome;
+use comptest_core::hash::Footprint;
 use comptest_core::{CheckResult, Measured, StepResult, TestResult, Trace, TraceEvent, Verdict};
 use comptest_model::{BitPattern, MethodName, SignalName, SimTime, StatusBound};
 use comptest_stand::AppliedValue;
@@ -75,10 +92,14 @@ use super::CellRecord;
 /// The three magic bytes opening every binary record file.
 pub const MAGIC: [u8; 3] = *b"CCR";
 
-/// Binary format version; bump on any layout change so stale files read
-/// as misses. (The JSON codec's records carry their own independent
-/// version field.)
-pub const VERSION: u8 = 1;
+/// Binary format version; bump on any layout change. Unknown versions
+/// read as misses; version 1 (pre-footprint) records remain readable —
+/// they are exactly version-2 records without the footprint section. (The
+/// JSON codec's records carry their own independent version field.)
+pub const VERSION: u8 = 2;
+
+/// The oldest version [`decode`] still accepts.
+pub const MIN_VERSION: u8 = 1;
 
 /// A failed decode: the input is truncated, tagged wrong, over-declared,
 /// or otherwise not a record this version wrote. The cache layer maps
@@ -109,6 +130,9 @@ pub struct RecordHeader {
     pub tests: usize,
     /// True when the last outcome is a planning error.
     pub ends_err: bool,
+    /// True when a footprint section follows the counts (v2+ records
+    /// stored by a footprint-keyed run).
+    pub has_footprint: bool,
 }
 
 impl RecordHeader {
@@ -208,6 +232,11 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
         u32::try_from(self.varint()?).map_err(|_| DecodeError("u32 out of range".into()))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) is 8 bytes");
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn simtime(&mut self) -> Result<SimTime, DecodeError> {
@@ -377,15 +406,48 @@ fn put_test_result(out: &mut Vec<u8>, r: &TestResult) {
     }
 }
 
+fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
+    put_varint(out, items.len() as u64);
+    for item in items {
+        put_str(out, item);
+    }
+}
+
+fn put_footprint(out: &mut Vec<u8>, fp: &Footprint) {
+    put_str(out, &fp.salt);
+    put_str_list(out, &fp.signals);
+    put_str_list(out, &fp.pins);
+    put_varint(out, fp.frames.len() as u64);
+    for frame in &fp.frames {
+        put_varint(out, u64::from(*frame));
+    }
+    put_str_list(out, &fp.resources);
+    put_str_list(out, &fp.ecus);
+    out.extend_from_slice(&fp.plan_hash.to_le_bytes());
+    out.extend_from_slice(&fp.dut_slice_hash.to_le_bytes());
+}
+
+/// The encoded size of a footprint section — what the `footprint_bytes`
+/// counter accounts per cell.
+pub(crate) fn footprint_bytes(fp: &Footprint) -> u64 {
+    let mut buf = Vec::new();
+    put_footprint(&mut buf, fp);
+    buf.len() as u64
+}
+
 /// Serialises a cell record into the binary layout (see module docs).
 pub fn encode(record: &CellRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     let ends_err = matches!(record.tests.last(), Some(Err(_)));
-    out.push(u8::from(ends_err));
+    let flags = u8::from(ends_err) | (u8::from(record.footprint.is_some()) << 1);
+    out.push(flags);
     put_varint(&mut out, record.total as u64);
     put_varint(&mut out, record.tests.len() as u64);
+    if let Some(fp) = &record.footprint {
+        put_footprint(&mut out, fp);
+    }
     let mut body = Vec::new();
     for outcome in &record.tests {
         body.clear();
@@ -541,14 +603,15 @@ fn header(r: &mut Reader<'_>) -> Result<RecordHeader, DecodeError> {
         return err("bad magic");
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return err(format!("unknown record version {version}"));
     }
-    let ends_err = match r.u8()? {
-        0 => false,
-        1 => true,
-        flags => return err(format!("bad flags {flags:#04x}")),
-    };
+    let flags = r.u8()?;
+    // v1 knew only the ends-in-error bit; the footprint bit exists since v2.
+    let known = if version >= 2 { 0b11 } else { 0b01 };
+    if flags & !known != 0 {
+        return err(format!("bad flags {flags:#04x}"));
+    }
     let total =
         usize::try_from(r.varint()?).map_err(|_| DecodeError("total out of range".into()))?;
     let tests = r.length()?;
@@ -558,7 +621,38 @@ fn header(r: &mut Reader<'_>) -> Result<RecordHeader, DecodeError> {
     Ok(RecordHeader {
         total,
         tests,
-        ends_err,
+        ends_err: flags & 0b01 != 0,
+        has_footprint: flags & 0b10 != 0,
+    })
+}
+
+fn str_list(r: &mut Reader<'_>) -> Result<Vec<String>, DecodeError> {
+    let n = r.length()?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(r.str()?.to_owned());
+    }
+    Ok(items)
+}
+
+fn footprint(r: &mut Reader<'_>) -> Result<Footprint, DecodeError> {
+    let salt = r.str()?.to_owned();
+    let signals = str_list(r)?;
+    let pins = str_list(r)?;
+    let n_frames = r.length()?;
+    let mut frames = Vec::with_capacity(n_frames);
+    for _ in 0..n_frames {
+        frames.push(r.u32()?);
+    }
+    Ok(Footprint {
+        salt,
+        signals,
+        pins,
+        frames,
+        resources: str_list(r)?,
+        ecus: str_list(r)?,
+        plan_hash: r.u64_le()?,
+        dut_slice_hash: r.u64_le()?,
     })
 }
 
@@ -568,6 +662,11 @@ fn header(r: &mut Reader<'_>) -> Result<RecordHeader, DecodeError> {
 pub fn decode(bytes: &[u8]) -> Result<CellRecord, DecodeError> {
     let mut r = Reader::new(bytes);
     let head = header(&mut r)?;
+    let footprint = if head.has_footprint {
+        Some(footprint(&mut r)?)
+    } else {
+        None
+    };
     let mut tests: Vec<TestJobOutcome> = Vec::with_capacity(head.tests);
     for _ in 0..head.tests {
         let len = r.length()?;
@@ -591,6 +690,7 @@ pub fn decode(bytes: &[u8]) -> Result<CellRecord, DecodeError> {
     Ok(CellRecord {
         total: head.total,
         tests,
+        footprint,
     })
 }
 
@@ -647,6 +747,20 @@ mod tests {
                 }),
                 Err("no resource supports set_r".into()),
             ],
+            footprint: None,
+        }
+    }
+
+    fn sample_footprint() -> Footprint {
+        Footprint {
+            salt: "fw-2026.08".into(),
+            signals: vec!["door_sw".into(), "lamp".into()],
+            pins: vec!["pin:S3".into(), "pin:X9".into()],
+            frames: vec![0x2A0, 0x7FF],
+            resources: vec!["dec0".into(), "dvm1".into()],
+            ecus: vec!["interior_light".into()],
+            plan_hash: 0xDEAD_BEEF_CAFE_F00D,
+            dut_slice_hash: 0x0123_4567_89AB_CDEF,
         }
     }
 
@@ -657,6 +771,50 @@ mod tests {
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded, record);
         assert_eq!(encode(&decoded), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn footprinted_records_roundtrip_and_probe() {
+        let mut record = sample_record();
+        record.footprint = Some(sample_footprint());
+        let bytes = encode(&record);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(encode(&decoded), bytes, "re-encode is byte-identical");
+
+        // The footprint flag is visible from the fixed-position header…
+        let head = probe(&bytes).unwrap();
+        assert!(head.has_footprint);
+        assert!(!probe(&encode(&sample_record())).unwrap().has_footprint);
+
+        // …and every truncation of a footprinted record is still an error.
+        for n in 0..bytes.len() {
+            assert!(decode(&bytes[..n]).is_err(), "prefix of {n} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn v1_records_without_footprints_remain_readable() {
+        // A v1 record is byte-for-byte a v2 record without the footprint
+        // section (and with flags restricted to bit0), so forging one is
+        // just a version-byte patch.
+        let record = sample_record();
+        let mut v1 = encode(&record);
+        assert_eq!(v1[3], VERSION);
+        v1[3] = 1;
+        let decoded = decode(&v1).expect("v1 record must stay a valid hit");
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.footprint, None);
+        let head = probe(&v1).unwrap();
+        assert!(head.ends_err && !head.has_footprint);
+
+        // The footprint bit did not exist in v1: a v1 header carrying it
+        // is hostile input, not a record any writer produced.
+        let mut record = sample_record();
+        record.footprint = Some(sample_footprint());
+        let mut forged = encode(&record);
+        forged[3] = 1;
+        assert!(decode(&forged).is_err(), "v1 cannot carry a footprint");
     }
 
     #[test]
@@ -672,6 +830,7 @@ mod tests {
         let undetermined = CellRecord {
             total: 2,
             tests: vec![Ok(sample_record().tests[0].clone().unwrap())],
+            footprint: None,
         };
         let head = probe(&encode(&undetermined)).unwrap();
         assert!(!head.determines_cell());
@@ -696,6 +855,17 @@ mod tests {
         // Flags contradicting the outcomes.
         let mut bytes = encode(&sample_record());
         bytes[4] ^= 1;
+        assert!(decode(&bytes).is_err());
+
+        // Unknown flag bits (only bits 0 and 1 are defined).
+        let mut bytes = encode(&sample_record());
+        bytes[4] |= 0b100;
+        assert!(decode(&bytes).is_err());
+
+        // A footprint flag with no footprint section: the outcome bytes
+        // cannot parse as a footprint and the record must not decode.
+        let mut bytes = encode(&sample_record());
+        bytes[4] |= 0b10;
         assert!(decode(&bytes).is_err());
 
         // Oversized declared length: header says 2^60 outcomes.
@@ -750,6 +920,7 @@ mod tests {
                 error: None,
                 trace: Trace::new(),
             })],
+            footprint: None,
         };
         let decoded = decode(&encode(&record)).unwrap();
         assert_eq!(decoded, record);

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use comptest_core::campaign::TestJobOutcome;
+use comptest_core::hash::Footprint;
 use comptest_core::{CheckResult, Measured, StepResult, TestResult, Trace, TraceEvent, Verdict};
 use comptest_model::{BitPattern, MethodName, SignalName, SimTime, StatusBound};
 use comptest_stand::AppliedValue;
@@ -21,7 +22,10 @@ use comptest_stand::AppliedValue;
 use super::json::{f64_from, f64_value, parse, JsonError, Value};
 use super::CellRecord;
 
-/// Format version; bump on any shape change so stale files read as misses.
+/// Format version; bump on any *incompatible* shape change so stale files
+/// read as misses. The optional `footprint` field is additive — readers
+/// ignore unknown keys and absent footprints decode to `None` — so it did
+/// not bump the version and pre-footprint records keep hitting.
 const VERSION: u64 = 1;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -310,6 +314,58 @@ fn test_result_from(v: &Value) -> Result<TestResult, JsonError> {
     })
 }
 
+fn str_list_value(items: &[String]) -> Value {
+    Value::Array(items.iter().map(|s| Value::str(s.as_str())).collect())
+}
+
+fn str_list_from(v: &Value) -> Result<Vec<String>, JsonError> {
+    v.as_array()?
+        .iter()
+        .map(|s| Ok(s.as_str()?.to_owned()))
+        .collect()
+}
+
+fn footprint_value(fp: &Footprint) -> Value {
+    obj(vec![
+        ("salt", Value::str(&fp.salt)),
+        ("signals", str_list_value(&fp.signals)),
+        ("pins", str_list_value(&fp.pins)),
+        (
+            "frames",
+            Value::Array(
+                fp.frames
+                    .iter()
+                    .map(|f| Value::u64(u64::from(*f)))
+                    .collect(),
+            ),
+        ),
+        ("resources", str_list_value(&fp.resources)),
+        ("ecus", str_list_value(&fp.ecus)),
+        ("plan_hash", Value::u64(fp.plan_hash)),
+        ("dut_slice_hash", Value::u64(fp.dut_slice_hash)),
+    ])
+}
+
+fn footprint_from(v: &Value) -> Result<Footprint, JsonError> {
+    Ok(Footprint {
+        salt: v.field("salt")?.as_str()?.to_owned(),
+        signals: str_list_from(v.field("signals")?)?,
+        pins: str_list_from(v.field("pins")?)?,
+        frames: v
+            .field("frames")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                u32::try_from(f.as_u64()?).map_err(|_| JsonError("frame id out of range".into()))
+            })
+            .collect::<Result<_, _>>()?,
+        resources: str_list_from(v.field("resources")?)?,
+        ecus: str_list_from(v.field("ecus")?)?,
+        plan_hash: v.field("plan_hash")?.as_u64()?,
+        dut_slice_hash: v.field("dut_slice_hash")?.as_u64()?,
+    })
+}
+
 fn outcome_value(outcome: &TestJobOutcome) -> Value {
     match outcome {
         Ok(result) => obj(vec![("ok", test_result_value(result))]),
@@ -328,15 +384,18 @@ fn outcome_from(v: &Value) -> Result<TestJobOutcome, JsonError> {
 
 /// Serialises a cell record (compact JSON, deterministic field order).
 pub(crate) fn encode(record: &CellRecord) -> String {
-    obj(vec![
+    let mut fields = vec![
         ("version", Value::u64(VERSION)),
         ("total", Value::u64(record.total as u64)),
         (
             "tests",
             Value::Array(record.tests.iter().map(outcome_value).collect()),
         ),
-    ])
-    .render()
+    ];
+    if let Some(fp) = &record.footprint {
+        fields.push(("footprint", footprint_value(fp)));
+    }
+    obj(fields).render()
 }
 
 /// Parses a cell record; any malformed or truncated input is an error
@@ -357,5 +416,13 @@ pub(crate) fn decode(text: &str) -> Result<CellRecord, JsonError> {
     if tests.len() > total {
         return Err(JsonError("more outcomes than tests".into()));
     }
-    Ok(CellRecord { total, tests })
+    let footprint = match doc.as_object()?.get("footprint") {
+        Some(v) => Some(footprint_from(v)?),
+        None => None,
+    };
+    Ok(CellRecord {
+        total,
+        tests,
+        footprint,
+    })
 }

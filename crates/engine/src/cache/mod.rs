@@ -45,6 +45,35 @@
 //!   device for every predicted hit — a fully warm run builds zero
 //!   devices.
 //!
+//! # What invalidates the cache
+//!
+//! Two keying modes decide *which* edits turn hits into misses
+//! ([`CacheKeying`], CLI `--cache-key`, footprint default):
+//!
+//! * **[`CacheKeying::Full`]** keys each cell on the whole suite, the
+//!   whole stand and the whole DUT config ([`CellKey`]). Safe and simple,
+//!   but coarse: editing one ECU's fault set on a shared DUT, or touching
+//!   any stand resource, invalidates every cell keyed against them.
+//! * **[`CacheKeying::Footprint`]** (the default) keys each cell on its
+//!   recorded dependency [`Footprint`]: the digest of the cell's
+//!   *resolved execution plans* (the exact stand slice the planner
+//!   allocated) and of the *DUT slice* its signals route through (touched
+//!   pin/CAN bindings refined by
+//!   [`Behavior::port_slice`](comptest_dut::Behavior::port_slice)). Edits
+//!   outside a cell's footprint — an unrelated stand resource, another
+//!   ECU's configuration block — leave its key, and its cached verdict,
+//!   untouched. Anything the footprint cannot prove untouched falls back
+//!   to whole-device hashing, so footprint keying is never less safe than
+//!   full keying, only more precise.
+//!
+//! Both modes fold the campaign's **cache salt**
+//! ([`Campaign::cache_salt`](crate::Campaign::cache_salt), CLI
+//! `--cache-salt`) into footprint keys; bump it (e.g. on a firmware
+//! release) to invalidate every footprint-keyed record at once. The two
+//! modes' keys live in disjoint hash domains, so one directory can hold
+//! both without aliasing; switching modes is safe but starts cold on the
+//! first run.
+//!
 //! # On-disk record formats
 //!
 //! [`DirCache`] stores one file per [`CellKey`] and speaks two encodings,
@@ -56,6 +85,7 @@
 //!
 //!   ```text
 //!   magic "CCR" | version u8 | flags u8 | varint total | varint n_tests
+//!   | [ footprint section, if flags bit 1 ]
 //!   | n_tests × ( varint len | tagged outcome body )
 //!   ```
 //!
@@ -87,14 +117,58 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 
-use comptest_core::campaign::{CampaignCell, CampaignEntry, TestJobOutcome};
+use comptest_core::campaign::{CampaignCell, TestJobOutcome};
 use comptest_core::error::CoreError;
-use comptest_core::hash::CellKey;
+use comptest_core::hash::{CellKey, Footprint};
 use comptest_core::{SuiteResult, TestResult};
-use comptest_stand::TestStand;
 
+use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
+use crate::executor::KeySet;
 use crate::obs::{Counter, Recorder};
+
+/// How campaign cells are keyed into the cache — which edits invalidate
+/// what. See the [module docs](self#what-invalidates-the-cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheKeying {
+    /// Whole-artifact keys ([`CellKey`]): any change to the suite, the
+    /// stand or the DUT config invalidates every cell keyed against it.
+    Full,
+    /// Dependency-footprint keys ([`Footprint`]): a cell is invalidated
+    /// only by changes to the stand slice its plans allocate or the DUT
+    /// slice its signals touch. The default.
+    #[default]
+    Footprint,
+}
+
+impl CacheKeying {
+    /// Accepted [`FromStr`](std::str::FromStr) spellings, for CLI help.
+    pub const ACCEPTED: [&'static str; 2] = ["full", "footprint"];
+}
+
+impl fmt::Display for CacheKeying {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheKeying::Full => write!(f, "full"),
+            CacheKeying::Footprint => write!(f, "footprint"),
+        }
+    }
+}
+
+impl std::str::FromStr for CacheKeying {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(CacheKeying::Full),
+            "footprint" => Ok(CacheKeying::Footprint),
+            _ => Err(format!(
+                "unknown cache keying {s:?}: expected one of {}",
+                Self::ACCEPTED.join(", ")
+            )),
+        }
+    }
+}
 
 /// The cached outcomes of one campaign cell: per-test outcomes in suite
 /// order, possibly truncated to the prefix a cell-granular run determined.
@@ -109,6 +183,12 @@ pub struct CellRecord {
     /// Per-test outcomes (full results including traces and sim timing),
     /// a prefix of the suite's tests.
     pub tests: Vec<TestJobOutcome>,
+    /// The dependency footprint the cell was keyed under when stored by a
+    /// footprint-keyed run ([`CacheKeying::Footprint`]); `None` for
+    /// full-keyed stores and for records written before the footprint
+    /// format revision. Informational: admission recomputes keys fresh
+    /// every run, so a missing footprint never weakens a hit.
+    pub footprint: Option<Footprint>,
 }
 
 impl CellRecord {
@@ -515,7 +595,13 @@ struct Collector {
 pub(crate) struct CacheRuntime {
     cache: Arc<dyn CampaignCache>,
     verify: bool,
+    /// The keying mode the campaign's keys were computed under — what the
+    /// `cache_hits_footprint` counter reports against.
+    keying: CacheKeying,
     keys: Vec<CellKey>,
+    /// Per-cell dependency footprints (`None` under [`CacheKeying::Full`]
+    /// or when capture was skipped) — attached to stored records.
+    footprints: Vec<Option<Footprint>>,
     records: Vec<Option<CellRecord>>,
     /// The format that served each preloaded record (`None` for misses
     /// and format-less caches) — what the per-format hit counters report.
@@ -542,26 +628,38 @@ impl CacheRuntime {
     /// key store, not once per launch). `collect_tests` is true for
     /// test-granular runs, which need the per-cell store accumulators.
     /// Corrupt entries are treated as misses, remembered for warning
-    /// events, and counted on `obs`.
+    /// events, and counted on `obs`. Every lookup that fails to produce a
+    /// usable record counts as `cells_invalidated` (the cells this run
+    /// will re-execute); per-cell footprints ride along to be attached to
+    /// stored records, their encoded size feeding `footprint_bytes`.
     pub(crate) fn prepare(
         cache: Arc<dyn CampaignCache>,
-        verify: bool,
-        collect_tests: bool,
-        entries: &[CampaignEntry<'_>],
-        stands: &[&TestStand],
-        keys: &[CellKey],
+        campaign: &Campaign<'_, '_>,
+        keyset: &KeySet,
         obs: &Recorder,
     ) -> Arc<Self> {
+        let verify = campaign.cache_verify;
+        let collect_tests = campaign.granularity == Granularity::Test;
+        let keying = campaign.cache_keying;
+        let entries = campaign.entries;
+        let stands = campaign.stands;
+        let keys = &keyset.keys;
+        let footprints = &keyset.footprints;
         debug_assert_eq!(keys.len(), entries.len() * stands.len());
+        debug_assert_eq!(footprints.len(), keys.len());
         let mut records = Vec::with_capacity(keys.len());
         let mut formats = Vec::with_capacity(keys.len());
         let mut totals = Vec::with_capacity(keys.len());
         let mut collectors = Vec::new();
         let mut corrupt = Vec::new();
         let mut bytes_read = 0u64;
+        let mut footprint_bytes = 0u64;
         let mut cell = 0;
         for entry in entries {
             for stand in stands {
+                if let Some(fp) = &footprints[cell] {
+                    footprint_bytes += binary::footprint_bytes(fp);
+                }
                 let info = cache.lookup_io(&keys[cell]);
                 bytes_read += info.bytes;
                 records.push(match info.lookup {
@@ -570,11 +668,13 @@ impl CacheRuntime {
                         Some(record)
                     }
                     CacheLookup::Miss => {
+                        obs.inc(Counter::CellsInvalidated);
                         formats.push(None);
                         None
                     }
                     CacheLookup::Corrupt => {
                         obs.inc(Counter::CacheCorruptEntries);
+                        obs.inc(Counter::CellsInvalidated);
                         corrupt.push((cell, entry.suite.name.clone(), stand.name().to_owned()));
                         formats.push(None);
                         None
@@ -593,10 +693,13 @@ impl CacheRuntime {
             }
         }
         obs.add(Counter::CacheBytesRead, bytes_read);
+        obs.add(Counter::FootprintBytes, footprint_bytes);
         Arc::new(Self {
             cache,
             verify,
+            keying,
             keys: keys.to_vec(),
+            footprints: footprints.to_vec(),
             records,
             formats,
             totals,
@@ -645,8 +748,12 @@ impl CacheRuntime {
     }
 
     /// Bumps the per-format hit counter for a cell served from a
-    /// format-aware store (format-less caches count only `cache_hits`).
+    /// format-aware store (format-less caches count only `cache_hits`),
+    /// plus `cache_hits_footprint` when the run keys by footprint.
     fn count_format_hit(&self, cell: usize) {
+        if self.keying == CacheKeying::Footprint {
+            self.obs.inc(Counter::CacheHitsFootprint);
+        }
         match self.formats[cell] {
             Some(RecordFormat::Binary) => self.obs.inc(Counter::CacheHitsBin),
             Some(RecordFormat::Json) => self.obs.inc(Counter::CacheHitsJson),
@@ -729,6 +836,7 @@ impl CacheRuntime {
             &CellRecord {
                 total: self.totals[cell],
                 tests: tests.to_vec(),
+                footprint: self.footprints[cell].clone(),
             },
         );
         self.obs.add(Counter::CacheBytesWritten, written);
@@ -765,6 +873,7 @@ impl CacheRuntime {
             let record = CellRecord {
                 total: tests.len(),
                 tests,
+                footprint: self.footprints[cell].clone(),
             };
             drop(c);
             let written = self.cache.store_io(&self.keys[cell], &record);
@@ -820,9 +929,21 @@ mod tests {
         let record = CellRecord {
             total: 3,
             tests: vec![Ok(result("a")), Err("no resource supports get_u".into())],
+            footprint: None,
         };
         let decoded = codec::decode(&codec::encode(&record)).unwrap();
         assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn cache_keying_parses_and_displays() {
+        assert_eq!(CacheKeying::default(), CacheKeying::Footprint);
+        for accepted in CacheKeying::ACCEPTED {
+            let keying: CacheKeying = accepted.parse().unwrap();
+            assert_eq!(keying.to_string(), accepted);
+        }
+        let err = "bogus".parse::<CacheKeying>().unwrap_err();
+        assert!(err.contains("full, footprint"), "{err}");
     }
 
     #[test]
@@ -830,6 +951,7 @@ mod tests {
         let with_error = CellRecord {
             total: 3,
             tests: vec![Ok(result("a")), Err("boom".into())],
+            footprint: None,
         };
         assert!(with_error.cell_outcome("s", "x").is_some());
         assert_eq!(with_error.test_outcome(0), Some(&Ok(result("a"))));
@@ -838,6 +960,7 @@ mod tests {
         let undetermined = CellRecord {
             total: 3,
             tests: vec![Ok(result("a")), Ok(result("b"))],
+            footprint: None,
         };
         assert!(
             undetermined.cell_outcome("s", "x").is_none(),
@@ -851,6 +974,7 @@ mod tests {
         let complete = CellRecord {
             total: 2,
             tests: vec![Ok(result("a")), Ok(result("b"))],
+            footprint: None,
         };
         let cell = complete.cell_outcome("s", "x").unwrap();
         assert_eq!(cell.outcome.as_ref().unwrap().results.len(), 2);
@@ -863,6 +987,7 @@ mod tests {
         let record = CellRecord {
             total: 1,
             tests: vec![Ok(result("a"))],
+            footprint: None,
         };
         assert!(cache.load(&key(1)).is_none());
         cache.store(&key(1), &record);
@@ -880,6 +1005,7 @@ mod tests {
         let record = CellRecord {
             total: 1,
             tests: vec![Ok(result("a"))],
+            footprint: None,
         };
         cache.store(&key(7), &record);
         assert_eq!(cache.load(&key(7)), Some(record.clone()));
@@ -923,6 +1049,7 @@ mod tests {
         let record = CellRecord {
             total: 2,
             tests: vec![Ok(result("a")), Err("boom".into())],
+            footprint: None,
         };
 
         // A JSON-written entry hits through a binary-default cache…
@@ -948,6 +1075,7 @@ mod tests {
         let updated = CellRecord {
             total: 2,
             tests: vec![Ok(result("b")), Err("boom".into())],
+            footprint: None,
         };
         bin_cache.store(&key(1), &updated);
         assert!(!json_cache.entry_path(&key(1)).exists(), "stale JSON gone");

@@ -20,14 +20,16 @@ use comptest_core::campaign::{
 };
 use comptest_core::error::CoreError;
 use comptest_core::exec::{ExecOptions, RunState};
-use comptest_core::hash::{hash_device, hash_exec_options, hash_stand, hash_suite, CellKey};
+use comptest_core::hash::{
+    capture_footprint, hash_device, hash_exec_options, hash_stand, hash_suite, CellKey, Footprint,
+};
 use comptest_core::{StepProbe, TestRun};
 use comptest_dut::Device;
 use comptest_model::SimTime;
 use comptest_script::TestScript;
 use comptest_stand::{ExecutionPlan, TestStand};
 
-use crate::cache::{fold_cell, CacheRuntime};
+use crate::cache::{fold_cell, CacheKeying, CacheRuntime};
 use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::handle::{CampaignHandle, CampaignOutcome, EventStream, RunCancel};
@@ -144,49 +146,105 @@ impl ScriptStore {
     }
 }
 
+/// A campaign's resolved cache keys plus, under
+/// [`CacheKeying::Footprint`], the per-cell dependency footprints the keys
+/// were derived from (attached to stored records; all `None` under
+/// [`CacheKeying::Full`]).
+#[derive(Debug)]
+pub(crate) struct KeySet {
+    pub(crate) keys: Vec<CellKey>,
+    pub(crate) footprints: Vec<Option<Footprint>>,
+}
+
 /// The per-campaign cache-key store: every cell's [`CellKey`], hashed
 /// once per campaign *value* on first cached launch and reused by every
 /// later launch — suites, stands, DUT configs and exec options are
 /// immutable for the campaign's lifetime, so a replay loop or warm bench
 /// re-hashing 10k tests per launch was pure waste. The hashing that does
 /// happen is timed as the `hash` phase.
+///
+/// Under [`CacheKeying::Footprint`] resolution also captures each cell's
+/// dependency [`Footprint`]: every test plan is resolved eagerly through
+/// the campaign's shared [`PlanSlot`]s (the same slots execution uses, so
+/// nothing plans twice) and one device per entry is built for the DUT
+/// slice — reused read-only across that entry's stands.
 #[derive(Debug, Default)]
 pub(crate) struct KeyStore {
-    keys: OnceLock<Vec<CellKey>>,
+    keys: OnceLock<KeySet>,
 }
 
 impl KeyStore {
-    /// The campaign's cell keys in deterministic (entry, stand) order,
-    /// computed at most once per campaign value.
+    /// The campaign's cell keys (and footprints) in deterministic
+    /// (entry, stand) order, computed at most once per campaign value.
+    /// `slot` maps an (entry, test, stand) triple to the campaign's shared
+    /// plan slot.
     pub(crate) fn resolve(
         &self,
-        entries: &[CampaignEntry<'_>],
-        stands: &[&TestStand],
-        exec: &ExecOptions,
+        campaign: &Campaign<'_, '_>,
+        scripts: &[Vec<Arc<TestScript>>],
+        slot: &dyn Fn(usize, usize, usize) -> Arc<PlanSlot>,
         obs: &Recorder,
-    ) -> &[CellKey] {
+    ) -> &KeySet {
+        let entries = campaign.entries;
+        let stands = campaign.stands;
         let keys = self.keys.get_or_init(|| {
             obs.time_phase(Phase::Hash, || {
-                let exec_hash = hash_exec_options(exec);
-                let stand_hashes: Vec<u64> = stands.iter().map(|s| hash_stand(s)).collect();
-                let mut keys = Vec::with_capacity(entries.len() * stands.len());
-                for entry in entries {
-                    let suite_hash = hash_suite(entry.suite);
-                    let dut_config_hash = hash_device(&entry.device_factory.build());
-                    for &stand_hash in &stand_hashes {
-                        keys.push(CellKey {
-                            suite_hash,
-                            stand_hash,
-                            dut_config_hash,
-                            exec_hash,
-                        });
+                let exec_hash = hash_exec_options(&campaign.exec);
+                let n_cells = entries.len() * stands.len();
+                match campaign.cache_keying {
+                    CacheKeying::Full => {
+                        let stand_hashes: Vec<u64> = stands.iter().map(|s| hash_stand(s)).collect();
+                        let mut keys = Vec::with_capacity(n_cells);
+                        for entry in entries {
+                            let suite_hash = hash_suite(entry.suite);
+                            let dut_config_hash = hash_device(&entry.device_factory.build());
+                            for &stand_hash in &stand_hashes {
+                                keys.push(CellKey {
+                                    suite_hash,
+                                    stand_hash,
+                                    dut_config_hash,
+                                    exec_hash,
+                                });
+                            }
+                        }
+                        KeySet {
+                            keys,
+                            footprints: vec![None; n_cells],
+                        }
+                    }
+                    CacheKeying::Footprint => {
+                        let salt = &campaign.cache_salt;
+                        let mut keys = Vec::with_capacity(n_cells);
+                        let mut footprints = Vec::with_capacity(n_cells);
+                        for (e, entry) in entries.iter().enumerate() {
+                            let suite_hash = hash_suite(entry.suite);
+                            // One device per entry: footprint capture only
+                            // reads it, so every stand shares the build.
+                            let device = entry.device_factory.build();
+                            for (s, stand) in stands.iter().enumerate() {
+                                let plans: Vec<Result<Arc<ExecutionPlan>, String>> =
+                                    (0..entry.suite.tests.len())
+                                        .map(|t| slot(e, t, s).resolve(&scripts[e][t], stand, obs))
+                                        .collect();
+                                let plan_refs: Vec<Result<&ExecutionPlan, &str>> = plans
+                                    .iter()
+                                    .map(|p| match p {
+                                        Ok(plan) => Ok(plan.as_ref()),
+                                        Err(reason) => Err(reason.as_str()),
+                                    })
+                                    .collect();
+                                let fp = capture_footprint(&plan_refs, &device, salt);
+                                keys.push(fp.key(suite_hash, exec_hash).cell_key());
+                                footprints.push(Some(fp));
+                            }
+                        }
+                        KeySet { keys, footprints }
                     }
                 }
-                keys
             })
         });
         debug_assert_eq!(
-            keys.len(),
+            keys.keys.len(),
             entries.len() * stands.len(),
             "campaign shape changed under KeyStore"
         );
@@ -228,22 +286,17 @@ impl Prepared {
             total += entry.suite.tests.len();
         }
         offsets.push(total);
-        let slots = campaign.plans.slots(total * campaign.stands.len()).to_vec();
+        let n_stands = campaign.stands.len();
+        let slots = campaign.plans.slots(total * n_stands).to_vec();
         let cache = campaign.cache.as_ref().map(|cache| {
-            let keys =
-                campaign
-                    .keys
-                    .resolve(campaign.entries, campaign.stands, &campaign.exec, obs);
+            let keyset = campaign.keys.resolve(
+                campaign,
+                &scripts,
+                &|e, t, s| Arc::clone(&slots[(offsets[e] + t) * n_stands + s]),
+                obs,
+            );
             obs.time_phase(Phase::CachePreload, || {
-                CacheRuntime::prepare(
-                    Arc::clone(cache),
-                    campaign.cache_verify,
-                    campaign.granularity == Granularity::Test,
-                    campaign.entries,
-                    campaign.stands,
-                    keys,
-                    obs,
-                )
+                CacheRuntime::prepare(Arc::clone(cache), campaign, keyset, obs)
             })
         });
         Ok(Self {

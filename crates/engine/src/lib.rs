@@ -54,6 +54,25 @@
 //!   campaign *value* (not per launch), so replay loops and warm runs
 //!   never re-plan at admission.
 //!
+//! # What invalidates the cache
+//!
+//! [`CacheKeying`] ([`Campaign::cache_keying`], CLI `--cache-key`)
+//! selects the invalidation granularity. The default,
+//! [`CacheKeying::Footprint`], keys every cell by its recorded dependency
+//! footprint — the digest of the cell's resolved execution plans (the
+//! exact stand slice the planner allocated) and of the DUT slice its
+//! signals route through — so editing one ECU's configuration, fault set
+//! or an unrelated stand resource re-executes *only the cells that touch
+//! it*; everything else keeps hitting. [`CacheKeying::Full`] restores
+//! whole-artifact keying (any change to suite, stand or DUT config
+//! invalidates every cell keyed against it). An author-supplied
+//! [`Campaign::cache_salt`] (CLI `--cache-salt`) folds into footprint
+//! keys so a firmware release can invalidate everything at once, and
+//! anything a footprint cannot prove untouched falls back to whole-device
+//! hashing — footprint keying is never less safe than full keying. The
+//! precise rules, the salt semantics and the record-format details live
+//! in [the cache module docs](cache#what-invalidates-the-cache).
+//!
 //! The PR-1/PR-2 free functions ([`run_campaign_parallel`],
 //! [`run_campaign_with_pool`], and `comptest_core`'s serial
 //! `run_campaign`) survive as deprecated shims over this API.
@@ -98,6 +117,9 @@
 //! | `steps_executed` | test steps driven through the DUT |
 //! | `cache_hits` / `cache_misses` | cache lookups by outcome |
 //! | `cache_hits_bin` / `cache_hits_json` | hits by on-disk record format (subsets of `cache_hits`; in-memory hits count only the total) |
+//! | `cache_hits_footprint` | admission hits while the campaign keys by [`CacheKeying::Footprint`] (equals `cache_hits` there; `0` under full keying) |
+//! | `cells_invalidated` | cells whose preload lookup found no usable record — exactly the cells this run re-executes |
+//! | `footprint_bytes` | summed encoded size of the campaign's captured dependency footprints |
 //! | `cache_corrupt_entries` | unreadable/undecodable cache records (also emitted as [`EngineEvent::CellCacheCorrupt`] warnings) |
 //! | `cache_bytes_read` / `cache_bytes_written` | encoded record bytes moved at preload / by stores — what the `cache_preload` phase cost buys |
 //! | `spans_opened` / `spans_closed` | trace spans begun / ended — equal once the campaign joins, even under cancellation |
@@ -219,7 +241,8 @@ mod pool;
 
 pub use async_exec::AsyncExecutor;
 pub use cache::{
-    CacheLookup, CampaignCache, CellRecord, DirCache, LookupInfo, MemoryCache, RecordFormat,
+    CacheKeying, CacheLookup, CampaignCache, CellRecord, DirCache, LookupInfo, MemoryCache,
+    RecordFormat,
 };
 pub use campaign::{Campaign, Granularity};
 pub use events::EngineEvent;
@@ -229,7 +252,7 @@ pub use obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, PhaseSnapshot, 
 pub use pool::WorkerPool;
 
 pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};
-pub use comptest_core::hash::CellKey;
+pub use comptest_core::hash::{CellKey, Footprint, FootprintKey};
 
 use std::sync::mpsc::Sender;
 

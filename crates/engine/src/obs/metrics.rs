@@ -59,10 +59,18 @@ pub(crate) enum Counter {
     TestWallMicrosTotal,
     /// Total simulated microseconds across executed tests.
     TestSimMicrosTotal,
+    /// Cache hits admitted under footprint keying (subset of `cache_hits`;
+    /// zero when the campaign keys on full hashes).
+    CacheHitsFootprint,
+    /// Cells whose preload lookup missed — the cells the campaign will
+    /// (re-)execute because no valid record matched their key.
+    CellsInvalidated,
+    /// Encoded footprint bytes attached to this campaign's cells.
+    FootprintBytes,
 }
 
 impl Counter {
-    pub(crate) const ALL: [Counter; 19] = [
+    pub(crate) const ALL: [Counter; 22] = [
         Counter::JobsPlanned,
         Counter::JobsExecuted,
         Counter::JobsCached,
@@ -82,6 +90,9 @@ impl Counter {
         Counter::CampaignWallMicros,
         Counter::TestWallMicrosTotal,
         Counter::TestSimMicrosTotal,
+        Counter::CacheHitsFootprint,
+        Counter::CellsInvalidated,
+        Counter::FootprintBytes,
     ];
 
     pub(crate) fn name(self) -> &'static str {
@@ -105,6 +116,9 @@ impl Counter {
             Counter::CampaignWallMicros => "campaign_wall_micros",
             Counter::TestWallMicrosTotal => "test_wall_micros_total",
             Counter::TestSimMicrosTotal => "test_sim_micros_total",
+            Counter::CacheHitsFootprint => "cache_hits_footprint",
+            Counter::CellsInvalidated => "cells_invalidated",
+            Counter::FootprintBytes => "footprint_bytes",
         }
     }
 }

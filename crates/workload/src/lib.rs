@@ -8,10 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dut;
 pub mod rng;
 pub mod stands;
 pub mod suites;
 
+pub use dut::{block_device, BlockEcu, BlockSpec};
 pub use rng::SplitMix64;
-pub use stands::{gen_stand, StandShape};
-pub use suites::{gen_script, gen_workbook_text, ScriptShape, WorkbookShape};
+pub use stands::{block_stand, gen_stand, StandShape};
+pub use suites::{
+    gen_script, gen_workbook_text, gen_workbook_text_prefixed, ScriptShape, WorkbookShape,
+};

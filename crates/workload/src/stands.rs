@@ -89,9 +89,86 @@ pub fn gen_stand(rng: &mut SplitMix64, shape: &StandShape) -> TestStand {
     stand
 }
 
+/// Builds the stand for the multi-block workload of
+/// [`gen_workbook_text_prefixed`](crate::suites::gen_workbook_text_prefixed)
+/// and [`block_device`](crate::dut::block_device): per block prefix, each
+/// input pin `{prefix}P{i}` gets its own decade resistor
+/// (`{prefix}Dec{i}`, 0..1 MΩ) and the output pair
+/// `{prefix}OUT_F`/`{prefix}OUT_R` its own DVM (`{prefix}Dvm`, ±60 V).
+/// Resources and crosspoints are disjoint per block, so a block's cells
+/// plan through — and footprint-key on — only that block's slice of the
+/// stand.
+pub fn block_stand(prefixes: &[&str], signals: usize) -> TestStand {
+    // The name is deliberately independent of the block/pin counts: the
+    // resolved plans embed the stand name, so keeping it fixed lets
+    // footprint tests grow or shrink the stand and observe that only the
+    // *resource* changes move (or hold) a cell's key.
+    let mut stand = TestStand::new("blocks", Env::with_ubatt(12.0));
+    let put_r = MethodName::new("put_r").expect("valid");
+    let get_u = MethodName::new("get_u").expect("valid");
+    let mut point = 0usize;
+    let crosspoint = |n: &mut usize| {
+        let pt = PinId::new(format!("X{n}")).expect("valid");
+        *n += 1;
+        pt
+    };
+    for prefix in prefixes {
+        for i in 0..signals {
+            let dec = ResourceId::new(format!("{prefix}Dec{i}")).expect("valid");
+            stand = stand
+                .with_resource(Resource::new(dec.clone()).with_capability(Capability::new(
+                    put_r.clone(),
+                    "r",
+                    0.0,
+                    1e6,
+                    Unit::Ohm,
+                )))
+                .with_connection(
+                    crosspoint(&mut point),
+                    dec,
+                    PinId::new(format!("{prefix}P{i}")).expect("valid"),
+                );
+        }
+        let dvm = ResourceId::new(format!("{prefix}Dvm")).expect("valid");
+        stand = stand
+            .with_resource(Resource::new(dvm.clone()).with_capability(Capability::new(
+                get_u.clone(),
+                "u",
+                -60.0,
+                60.0,
+                Unit::Volt,
+            )))
+            .with_connection(
+                crosspoint(&mut point),
+                dvm.clone(),
+                PinId::new(format!("{prefix}OUT_F")).expect("valid"),
+            )
+            .with_connection(
+                crosspoint(&mut point),
+                dvm,
+                PinId::new(format!("{prefix}OUT_R")).expect("valid"),
+            );
+    }
+    stand
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_stand_routes_each_block_disjointly() {
+        let stand = block_stand(&["e0_", "e1_"], 3);
+        // 2 blocks × (3 decades + 1 DVM).
+        assert_eq!(stand.resources().len(), 8);
+        for prefix in ["e0_", "e1_"] {
+            for i in 0..3 {
+                let pin = PinId::new(format!("{prefix}P{i}")).unwrap();
+                let resources = stand.matrix().resources_for_pin(&pin);
+                assert_eq!(resources.len(), 1, "one dedicated decade per pin");
+            }
+        }
+    }
 
     #[test]
     fn generated_stand_has_guaranteed_coverage() {

@@ -152,12 +152,34 @@ impl Default for WorkbookShape {
 /// The workbook always validates: statuses `On`/`Off2` on every input, a
 /// `Lit`/`Dark` check column on the output signal.
 pub fn gen_workbook_text(rng: &mut SplitMix64, shape: &WorkbookShape) -> String {
+    gen_workbook_text_prefixed(rng, shape, "")
+}
+
+/// [`gen_workbook_text`] with every signal and pin name carrying `prefix`
+/// (`{prefix}IN0` on `pin:{prefix}P0`, output `{prefix}OUT0` on
+/// `pin:{prefix}OUT_F/{prefix}OUT_R`), so many generated suites can
+/// coexist on one stand with disjoint pin sets — the multi-block workload
+/// of [`block_device`](crate::dut::block_device) and
+/// [`block_stand`](crate::stands::block_stand). An empty prefix yields
+/// exactly the classic un-prefixed workbook.
+pub fn gen_workbook_text_prefixed(
+    rng: &mut SplitMix64,
+    shape: &WorkbookShape,
+    prefix: &str,
+) -> String {
+    let suite_name = if prefix.is_empty() {
+        "synthetic".to_owned()
+    } else {
+        format!("synthetic_{}", prefix.trim_end_matches('_'))
+    };
     let mut out =
-        String::from("[suite]\nname = synthetic\n\n[signals]\nname, kind, direction, init\n");
+        format!("[suite]\nname = {suite_name}\n\n[signals]\nname, kind, direction, init\n");
     for i in 0..shape.signals {
-        out.push_str(&format!("IN{i}, pin:P{i}, input, Off2\n"));
+        out.push_str(&format!("{prefix}IN{i}, pin:{prefix}P{i}, input, Off2\n"));
     }
-    out.push_str("OUT0, pin:OUT_F/OUT_R, output,\n");
+    out.push_str(&format!(
+        "{prefix}OUT0, pin:{prefix}OUT_F/{prefix}OUT_R, output,\n"
+    ));
     out.push_str(
         "\n[status]\nstatus, method, attribut, var, nom, min, max\n\
          On,   put_r, r, ,      0,   0,    2\n\
@@ -168,9 +190,9 @@ pub fn gen_workbook_text(rng: &mut SplitMix64, shape: &WorkbookShape) -> String 
     for t in 0..shape.tests {
         out.push_str(&format!("\n[test case_{t}]\nstep, dt, "));
         for i in 0..shape.signals {
-            out.push_str(&format!("IN{i}, "));
+            out.push_str(&format!("{prefix}IN{i}, "));
         }
-        out.push_str("OUT0, remarks\n");
+        out.push_str(&format!("{prefix}OUT0, remarks\n"));
         for s in 0..shape.steps {
             out.push_str(&format!("{s}, 0.1, "));
             for _ in 0..shape.signals {
@@ -181,7 +203,14 @@ pub fn gen_workbook_text(rng: &mut SplitMix64, shape: &WorkbookShape) -> String 
                 };
                 out.push_str(&format!("{cell}, "));
             }
-            out.push_str(if rng.chance(0.5) { "Dark" } else { "" });
+            // Step 0 always checks the output, so every generated test
+            // genuinely touches its output pin (the footprint workloads
+            // rely on each cell exercising its own block).
+            out.push_str(if s == 0 || rng.chance(0.5) {
+                "Dark"
+            } else {
+                ""
+            });
             out.push_str(&format!(", REQ-SYN-{:03}\n", rng.index(50)));
         }
     }
@@ -203,6 +232,32 @@ mod tests {
         let xml = script.to_xml();
         let back = comptest_script::TestScript::parse_xml(&xml).unwrap();
         assert_eq!(back, script);
+    }
+
+    #[test]
+    fn prefixed_workbook_parses_and_empty_prefix_is_the_classic_text() {
+        let shape = WorkbookShape {
+            signals: 3,
+            tests: 2,
+            steps: 2,
+        };
+        // Same seed, same shape: the prefixed generator with "" must emit
+        // byte-identical text (hash-stable workloads depend on it).
+        let classic = gen_workbook_text(&mut SplitMix64::new(9), &shape);
+        let empty = gen_workbook_text_prefixed(&mut SplitMix64::new(9), &shape, "");
+        assert_eq!(classic, empty);
+
+        let text = gen_workbook_text_prefixed(&mut SplitMix64::new(9), &shape, "e3_");
+        let parsed = comptest_sheets::Workbook::parse_str("e3.cts", &text)
+            .unwrap_or_else(|e| panic!("prefixed workbook must parse: {e}\n{text}"));
+        let issues = parsed.suite.validate(&MethodRegistry::builtin());
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(parsed.suite.name, "synthetic_e3");
+        assert!(parsed
+            .suite
+            .signals
+            .iter()
+            .all(|s| s.name.key().starts_with("e3_")));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!                   [--stop-on-first-fail] [--junit out.xml]
 //!                   [--cache <dir>|memory|off] [--cache-verify]
 //!                   [--cache-format bin|json]
+//!                   [--cache-key full|footprint] [--cache-salt <salt>]
 //!                   [--trace-out trace.json] [--metrics]
 //!                   [--metrics-out metrics.json]
 //! comptest portability <workbook.cts> <stand.stand>...
@@ -61,6 +62,14 @@
 //! code is identical to a cold run — a cached failure still fails the
 //! campaign. `--cache-verify` is the audit mode: cached cells re-execute
 //! anyway and the run errors if any cached outcome diverges.
+//! `--cache-key` selects what a cache key covers: `footprint` (default)
+//! hashes only the slices of the stand and DUT configuration the cell
+//! actually touches, so editing one ECU's workbook or fault set
+//! invalidates only the cells that exercise it; `full` hashes the whole
+//! stand and device configuration (any change invalidates everything).
+//! `--cache-salt <salt>` folds an arbitrary author-supplied string into
+//! every footprint key — bump it to force re-execution without touching
+//! any input (firmware release, harness recalibration, …).
 //!
 //! Observability (any of the three flags enables recording; results stay
 //! byte-identical to an unobserved run — see `comptest_engine::obs`):
@@ -438,6 +447,8 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut cache_mode = CacheMode::Off;
     let mut cache_verify = false;
     let mut cache_format: Option<comptest::engine::RecordFormat> = None;
+    let mut cache_keying: Option<comptest::engine::CacheKeying> = None;
+    let mut cache_salt: Option<&str> = None;
     let mut trace_out: Option<&str> = None;
     let mut metrics_out: Option<&str> = None;
     let mut print_metrics = false;
@@ -496,6 +507,13 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 let f = need(it.next().copied(), "--cache-format (bin|json)")?;
                 cache_format = Some(parse_cache_format(f)?);
             }
+            "--cache-key" => {
+                let k = need(it.next().copied(), "--cache-key (full|footprint)")?;
+                cache_keying = Some(k.parse::<comptest::engine::CacheKeying>()?);
+            }
+            "--cache-salt" => {
+                cache_salt = Some(need(it.next().copied(), "--cache-salt value")?);
+            }
             "--trace-out" => {
                 let path = need(it.next().copied(), "--trace-out path")?;
                 check_out_path("--trace-out", path)?;
@@ -545,6 +563,14 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if cache_format.is_some() && !matches!(cache_mode, CacheMode::Dir(_)) {
         return Err("--cache-format only applies to an on-disk cache (pass --cache <dir>)".into());
     }
+    // Keying selects how cache keys are derived; without a cache there are
+    // no keys to derive and the flag would be silently ignored.
+    if cache_keying.is_some() && cache_mode == CacheMode::Off {
+        return Err("--cache-key needs a cache to key (pass --cache <dir> or memory)".into());
+    }
+    if cache_salt.is_some() && cache_mode == CacheMode::Off {
+        return Err("--cache-salt needs a cache to salt (pass --cache <dir> or memory)".into());
+    }
     let workers = workers.unwrap_or(1);
     let concurrency = concurrency.unwrap_or(1024);
 
@@ -579,6 +605,8 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         .granularity(granularity)
         .stop_on_first_fail(stop_on_first_fail)
         .cache_verify(cache_verify)
+        .cache_keying(cache_keying.unwrap_or_default())
+        .cache_salt(cache_salt.unwrap_or(""))
         .recorder(obs.clone());
     campaign = match &cache_mode {
         CacheMode::Off => campaign,

@@ -9,10 +9,15 @@
 use std::sync::Arc;
 
 use comptest::core::campaign::CampaignEntry;
-use comptest::core::hash::{hash_stand, hash_suite};
-use comptest::engine::{CampaignCache, DirCache};
+use comptest::core::hash::{hash_stand, hash_suite, FootprintKey};
+use comptest::core::CellKey;
+use comptest::dut::ElectricalConfig;
+use comptest::engine::{CacheKeying, CampaignCache, DirCache};
 use comptest::prelude::*;
-use comptest_workload::{gen_workbook_text, SplitMix64, WorkbookShape};
+use comptest_workload::{
+    block_device, block_stand, gen_workbook_text, gen_workbook_text_prefixed, BlockSpec,
+    SplitMix64, WorkbookShape,
+};
 use proptest::prelude::*;
 
 /// A generated workbook: the suite plus its source text (so equality can
@@ -107,6 +112,131 @@ proptest! {
     }
 }
 
+/// The two ECU blocks of the composite-device footprint fixture:
+/// (pin-name prefix, behaviour output port).
+const BLOCKS: [(&str, &str); 2] = [("e0_", "e0_out"), ("e1_", "e1_out")];
+
+/// One generated suite per block, each touching only its own block's pins.
+fn block_suites(seed: u64, signals: usize, tests: usize) -> Vec<TestSuite> {
+    BLOCKS
+        .iter()
+        .map(|(prefix, _)| {
+            let text = gen_workbook_text_prefixed(
+                &mut SplitMix64::new(seed),
+                &WorkbookShape {
+                    signals: signals.max(2),
+                    tests: tests.max(1),
+                    steps: 2,
+                },
+                prefix,
+            );
+            Workbook::parse_str("block.cts", &text)
+                .expect("generated workbook parses")
+                .suite
+        })
+        .collect()
+}
+
+/// Campaign entries sharing one composite device that aggregates both
+/// blocks at the given per-block configs — the workload where full and
+/// footprint keying genuinely differ.
+fn block_entries<'a>(suites: &'a [TestSuite], configs: [&str; 2]) -> Vec<CampaignEntry<'a>> {
+    let specs: Vec<BlockSpec> = BLOCKS
+        .iter()
+        .zip(configs)
+        .map(|((prefix, out_port), config)| BlockSpec {
+            prefix: (*prefix).into(),
+            out_port,
+            config: config.into(),
+        })
+        .collect();
+    suites
+        .iter()
+        .map(|suite| {
+            let specs = specs.clone();
+            CampaignEntry {
+                suite,
+                device_factory: Box::new(move || {
+                    block_device(&specs, ElectricalConfig::default(), None)
+                }),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case plans several small campaigns; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The footprint contract, end to end on a composite device: edits
+    /// outside a cell's footprint (another block's config, another block's
+    /// stand resources) leave its [`FootprintKey`] fixed, edits inside it
+    /// (its own block, its own resources, its suite, the cache salt) move
+    /// the key, and full/footprint keys never alias across distinct cells.
+    #[test]
+    fn footprint_keys_track_exactly_the_touched_slices(
+        seed in 0u64..1_000_000,
+        rev in 1u64..1_000_000,
+    ) {
+        let opts = ExecOptions::default();
+        let suites = block_suites(seed, 2, 2);
+        let stand = block_stand(&["e0_", "e1_"], 2);
+
+        let base = block_entries(&suites, ["base", "base"]);
+        let edited_cfg = format!("v{rev}");
+        let edited = block_entries(&suites, ["base", &edited_cfg]);
+        let key = |entries: &[CampaignEntry<'_>], i: usize, stand: &TestStand, salt: &str| {
+            FootprintKey::for_cell(&entries[i], stand, &opts, salt)
+        };
+
+        // Editing block 1's config is outside cell 0's footprint: its key
+        // holds — re-running the campaign would re-test only block 1...
+        prop_assert_eq!(key(&base, 0, &stand, ""), key(&edited, 0, &stand, ""));
+        prop_assert_ne!(key(&base, 1, &stand, ""), key(&edited, 1, &stand, ""));
+        // ...whereas full keying folds the whole composite device into
+        // every cell, so the same edit invalidates the untouched cell too.
+        prop_assert_ne!(
+            CellKey::for_cell(&base[0], &stand, &opts),
+            CellKey::for_cell(&edited[0], &stand, &opts)
+        );
+
+        // The author-supplied cache salt is inside every footprint.
+        let salted = format!("fw-{rev}");
+        prop_assert_ne!(key(&base, 0, &stand, ""), key(&base, 0, &stand, &salted));
+
+        // A third block's resources are outside both footprints: the full
+        // stand hash moves, the footprint keys hold.
+        let widened = block_stand(&["e0_", "e1_", "e2_"], 2);
+        prop_assert_ne!(hash_stand(&stand), hash_stand(&widened));
+        prop_assert_eq!(key(&base, 0, &stand, ""), key(&base, 0, &widened, ""));
+        prop_assert_eq!(key(&base, 1, &stand, ""), key(&base, 1, &widened, ""));
+
+        // Removing the resources a cell's plans allocate moves that cell's
+        // key (its plans fail and key by the error) — and only that one.
+        let narrowed = block_stand(&["e0_"], 2);
+        prop_assert_eq!(key(&base, 0, &stand, ""), key(&base, 0, &narrowed, ""));
+        prop_assert_ne!(key(&base, 1, &stand, ""), key(&base, 1, &narrowed, ""));
+
+        // A suite edit is always inside its own cell's footprint.
+        let mut renamed_suites = block_suites(seed, 2, 2);
+        renamed_suites[0].tests[0].name.push_str("_renamed");
+        let renamed = block_entries(&renamed_suites, ["base", "base"]);
+        prop_assert_ne!(key(&base, 0, &stand, ""), key(&renamed, 0, &stand, ""));
+
+        // Full and footprint keys live in disjoint hash domains: across
+        // every distinct cell, the 2 full + 2 footprint addresses are 4
+        // distinct cache entries.
+        let mut all: Vec<CellKey> = Vec::new();
+        for i in 0..base.len() {
+            all.push(CellKey::for_cell(&base[i], &stand, &opts));
+            all.push(key(&base, i, &stand, "").cell_key());
+        }
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), 4, "full and footprint keys must never alias");
+    }
+}
+
 /// Irrelevant spelling: identifier *case* is not structure (the whole
 /// toolchain compares names case-insensitively), so a case-only respelling
 /// keys identically.
@@ -162,8 +292,12 @@ fn corrupted_dir_cache_entries_are_misses_not_errors() {
         .run(&SerialExecutor)
         .unwrap();
 
+    // Pinned to full keying: the test predicts record addresses via
+    // `CellKey::for_cell` below.
     let cache = Arc::new(DirCache::open(&dir).unwrap());
-    let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+    let campaign = Campaign::new(&entries, &stands)
+        .cache_keying(CacheKeying::Full)
+        .cache(cache.clone());
     let _ = campaign.run(&SerialExecutor).unwrap();
 
     // Vandalise every record differently: truncation, garbage, emptiness.

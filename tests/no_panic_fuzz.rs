@@ -29,6 +29,7 @@ fn exercise_cache(cache: &DirCache) {
     let record = comptest::engine::CellRecord {
         total: 1,
         tests: vec![Err("fuzz".into())],
+        footprint: None,
     };
     cache.store(&key, &record);
     // Stores are best-effort: a load now yields the record or (if the OS
@@ -102,7 +103,11 @@ fn valid_record_bytes() -> &'static [u8] {
         let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
         let stands = [&stand];
         let cache = std::sync::Arc::new(comptest::engine::MemoryCache::new());
-        let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+        // Pinned to full keying: the record address is predicted via
+        // CellKey::for_cell below.
+        let campaign = Campaign::new(&entries, &stands)
+            .cache_keying(comptest::engine::CacheKeying::Full)
+            .cache(cache.clone());
         let _ = campaign.run(&SerialExecutor).unwrap();
         let key = comptest::core::CellKey::for_cell(&entries[0], &stand, &ExecOptions::default());
         let record = cache.load(&key).expect("populated record");
@@ -130,6 +135,7 @@ fn binary_wrong_version_and_oversized_lengths_are_misses() {
     let record = comptest::engine::CellRecord {
         total: 2,
         tests: vec![Err("fuzz".into())],
+        footprint: None,
     };
     cache.store(&key, &record);
     let path = base.join(format!("{key}.bin"));

@@ -21,7 +21,11 @@ fn executed_records() -> &'static [comptest::engine::CellRecord] {
         let stand = TestStand::load(comptest::asset("stand_b.stand")).unwrap();
         let stands = [&stand];
         let cache = Arc::new(comptest::engine::MemoryCache::new());
-        let campaign = Campaign::new(&entries, &stands).cache(cache.clone());
+        // Pinned to full keying: record addresses are predicted via
+        // CellKey::for_cell below.
+        let campaign = Campaign::new(&entries, &stands)
+            .cache_keying(comptest::engine::CacheKeying::Full)
+            .cache(cache.clone());
         let _ = campaign.run(&SerialExecutor).unwrap();
         entries
             .iter()
