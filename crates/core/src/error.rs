@@ -33,6 +33,9 @@ pub enum CoreError {
     JobsLost {
         /// Number of jobs with no outcome.
         lost: usize,
+        /// Labels (`suite::test` or `suite @ stand`) of the lost jobs when
+        /// the executor can attribute them; empty when unknown.
+        jobs: Vec<String>,
     },
     /// A campaign cache could not be opened (unusable directory, not a
     /// directory, permissions). Raised when the cache is *configured*, not
@@ -61,11 +64,21 @@ impl fmt::Display for CoreError {
                 f,
                 "reference (fault-free) run of {test} did not pass: {summary}"
             ),
-            CoreError::JobsLost { lost } => write!(
-                f,
-                "{lost} campaign job(s) produced no outcome without cancellation \
-                 (worker died mid-job?)"
-            ),
+            CoreError::JobsLost { lost, jobs } => {
+                write!(
+                    f,
+                    "{lost} campaign job(s) produced no outcome without cancellation \
+                     (worker died mid-job?)"
+                )?;
+                if !jobs.is_empty() {
+                    let shown = jobs.iter().take(4).cloned().collect::<Vec<_>>().join(", ");
+                    write!(f, ": {shown}")?;
+                    if jobs.len() > 4 {
+                        write!(f, ", …")?;
+                    }
+                }
+                Ok(())
+            }
             CoreError::Cache { message } => write!(f, "campaign cache unusable: {message}"),
             CoreError::CacheMismatch { mismatches } => write!(
                 f,
@@ -122,9 +135,17 @@ mod tests {
         assert!(e.source().is_none());
         let e: CoreError = StandError::UnknownSignal { signal: "x".into() }.into();
         assert!(e.source().is_some());
-        let e = CoreError::JobsLost { lost: 3 };
+        let e = CoreError::JobsLost {
+            lost: 3,
+            jobs: vec![],
+        };
         assert!(e.to_string().contains("3 campaign job(s)"));
         assert!(e.source().is_none());
+        let e = CoreError::JobsLost {
+            lost: 1,
+            jobs: vec!["lights::night".into()],
+        };
+        assert!(e.to_string().contains("lights::night"));
         let e: CoreError = CampaignSpecError::NoEntries.into();
         assert!(e.to_string().contains("no entries"));
         assert!(e.source().is_some());

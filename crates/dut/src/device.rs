@@ -60,6 +60,10 @@ pub struct Device {
     edges: BTreeMap<PinId, Vec<SimTime>>,
     last_levels: BTreeMap<PinId, bool>,
     now: SimTime,
+    /// True only for devices built by the named registry constructors in
+    /// [`crate::ecus`]; such devices can be respecified elsewhere from their
+    /// behaviour name alone.
+    from_registry: bool,
 }
 
 impl Device {
@@ -81,6 +85,40 @@ impl Device {
     /// The behaviour's name.
     pub fn behavior_name(&self) -> &str {
         self.behavior.name()
+    }
+
+    /// CAN frames this device ignores writes to (fault injection), in the
+    /// order they were dropped.
+    pub fn dropped_frames(&self) -> &[CanFrameId] {
+        &self.dropped_frames
+    }
+
+    /// Marks this device as a verbatim product of a registry constructor.
+    ///
+    /// Only the named `device()` constructors in [`crate::ecus`] call this;
+    /// `device_with` stays unmarked so custom or fault-wrapped behaviours
+    /// never masquerade as a stock ECU.
+    pub(crate) fn mark_registry(&mut self) {
+        self.from_registry = true;
+    }
+
+    /// A portable specification that rebuilds this device elsewhere, or
+    /// `None` when the device cannot be rebuilt from its name (custom
+    /// behaviour, fault wrapper, hand-assembled bindings).
+    ///
+    /// The captured [`ElectricalConfig`] reflects the *current* thresholds,
+    /// so [`shift_thresholds`](Self::shift_thresholds) survives the round
+    /// trip; dropped frames are replayed by
+    /// [`DeviceSpec::realize`](crate::spec::DeviceSpec::realize).
+    pub fn spec(&self) -> Option<crate::spec::DeviceSpec> {
+        if !self.from_registry {
+            return None;
+        }
+        Some(crate::spec::DeviceSpec {
+            behavior: self.behavior.name().to_string(),
+            cfg: self.cfg,
+            dropped_frames: self.dropped_frames.clone(),
+        })
     }
 
     /// Makes the device ignore writes to a CAN frame (fault injection).
@@ -424,6 +462,7 @@ impl DeviceBuilder {
             edges: BTreeMap::new(),
             last_levels: BTreeMap::new(),
             now: SimTime::ZERO,
+            from_registry: false,
         };
         device.reset(SimTime::ZERO);
         device

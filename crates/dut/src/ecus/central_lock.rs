@@ -124,7 +124,9 @@ impl Behavior for CentralLock {
 /// Builds the central-lock DUT: `CRASH_SW` (active low), actuator output
 /// `LOCK_F`/`LOCK_R`, commands on CAN `0x2F0` and status report on `0x2F8`.
 pub fn device(cfg: ElectricalConfig) -> Device {
-    device_with(cfg, Box::new(CentralLock::new()))
+    let mut device = device_with(cfg, Box::new(CentralLock::new()));
+    device.mark_registry();
+    device
 }
 
 /// Builds the device around a custom behaviour (fault injection).

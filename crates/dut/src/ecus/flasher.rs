@@ -164,7 +164,9 @@ impl Behavior for Flasher {
 /// monitor), lamp outputs `LAMP_L_F`/`LAMP_L_R` and `LAMP_R_F`/`LAMP_R_R`,
 /// stalk on CAN `0x260:0:2`.
 pub fn device(cfg: ElectricalConfig) -> Device {
-    device_with(cfg, Box::new(Flasher::new()))
+    let mut device = device_with(cfg, Box::new(Flasher::new()));
+    device.mark_registry();
+    device
 }
 
 /// Builds the device around a custom behaviour (fault injection).

@@ -130,7 +130,9 @@ impl Behavior for InteriorLight {
 /// `INT_ILL_F`/`INT_ILL_R` lamp pair, `IGN_ST` on CAN `0x130:0:4` and
 /// `NIGHT` on CAN `0x2A0:0:1`.
 pub fn device(cfg: ElectricalConfig) -> Device {
-    device_with(cfg, Box::new(InteriorLight::new()))
+    let mut device = device_with(cfg, Box::new(InteriorLight::new()));
+    device.mark_registry();
+    device
 }
 
 /// Builds the device around a custom behaviour (used for fault injection).

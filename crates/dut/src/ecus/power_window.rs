@@ -172,7 +172,9 @@ impl Behavior for PowerWindow {
 /// `PINCH_SW` (all active low), motor outputs `MOT_UP_F`/`MOT_DN_F` with a
 /// shared return `MOT_R`, position report on CAN `0x350:0:7`.
 pub fn device(cfg: ElectricalConfig) -> Device {
-    device_with(cfg, Box::new(PowerWindow::new()))
+    let mut device = device_with(cfg, Box::new(PowerWindow::new()));
+    device.mark_registry();
+    device
 }
 
 /// Builds the device around a custom behaviour (fault injection).

@@ -171,7 +171,9 @@ impl Behavior for Wiper {
 /// Builds the wiper DUT: `WASH_SW` (active low), motor outputs
 /// `MOTOR_F`/`MOTOR_R` and `FAST_F`, stalk on CAN `0x240:0:2`.
 pub fn device(cfg: ElectricalConfig) -> Device {
-    device_with(cfg, Box::new(Wiper::new()))
+    let mut device = device_with(cfg, Box::new(Wiper::new()));
+    device.mark_registry();
+    device
 }
 
 /// Builds the device around a custom behaviour (fault injection).

@@ -51,9 +51,11 @@ pub mod device;
 pub mod ecus;
 pub mod elec;
 pub mod fault;
+pub mod spec;
 
 pub use behavior::{Behavior, PortValue};
 pub use can::CanBus;
 pub use device::{Device, DeviceBuilder, PinBinding};
 pub use elec::{DigitalInput, ElectricalConfig, PinDrive};
 pub use fault::{FaultKind, FaultyBehavior};
+pub use spec::DeviceSpec;

@@ -1,0 +1,109 @@
+//! [`DeviceSpec`]: a portable recipe for rebuilding a registry device.
+//!
+//! The distributed executor ships jobs to worker processes; a `Device`
+//! itself is not serializable (it owns a boxed behaviour), but every device
+//! built by a named [`crate::ecus`] constructor can be *respecified*: its
+//! behaviour name, electrical configuration and dropped-CAN-frame fault set
+//! are enough to rebuild a bit-identical instance anywhere the same binary
+//! runs. Devices with custom behaviours (fault wrappers, test doubles)
+//! report no spec ([`Device::spec`] returns `None`) and must execute in the
+//! process that built them.
+
+use comptest_model::CanFrameId;
+
+use crate::device::Device;
+use crate::ecus;
+use crate::elec::ElectricalConfig;
+
+/// A portable specification of a registry-built [`Device`].
+///
+/// Obtained from [`Device::spec`]; turned back into a device with
+/// [`realize`](DeviceSpec::realize). The round trip preserves electrical
+/// thresholds (including [`Device::shift_thresholds`] shifts, which mutate
+/// the captured config) and replays [`Device::drop_can_frame`] faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Registry behaviour name (an entry of [`ecus::NAMES`]).
+    pub behavior: String,
+    /// Electrical configuration at capture time.
+    pub cfg: ElectricalConfig,
+    /// CAN frames the device ignores, in drop order.
+    pub dropped_frames: Vec<CanFrameId>,
+}
+
+impl DeviceSpec {
+    /// Rebuilds the device, or `None` if the behaviour name is not in the
+    /// registry (a spec deserialized from an incompatible peer).
+    pub fn realize(&self) -> Option<Device> {
+        let mut device = ecus::device_by_name(&self.behavior, self.cfg)?;
+        for frame in &self.dropped_frames {
+            device.drop_can_frame(*frame);
+        }
+        Some(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, PortValue};
+    use comptest_model::SimTime;
+
+    #[test]
+    fn registry_devices_round_trip_through_spec() {
+        for name in ecus::NAMES {
+            let mut original =
+                ecus::device_by_name(name, ElectricalConfig::default()).expect("registry name");
+            original.shift_thresholds(0.05);
+            original.drop_can_frame(CanFrameId(0x123));
+            let spec = original.spec().expect("registry device has a spec");
+            assert_eq!(spec.behavior, name);
+            let rebuilt = spec.realize().expect("spec realizes");
+            assert_eq!(rebuilt.behavior_name(), original.behavior_name());
+            assert_eq!(rebuilt.config(), original.config());
+            assert_eq!(rebuilt.dropped_frames(), original.dropped_frames());
+        }
+    }
+
+    #[derive(Debug)]
+    struct Custom;
+
+    impl Behavior for Custom {
+        fn name(&self) -> &str {
+            // Deliberately an in-registry name: provenance, not the name,
+            // must decide whether a spec exists.
+            "interior_light"
+        }
+        fn inputs(&self) -> &[&'static str] {
+            &[]
+        }
+        fn outputs(&self) -> &[&'static str] {
+            &[]
+        }
+        fn reset(&mut self, _now: SimTime) {}
+        fn set_input(&mut self, _port: &str, _value: PortValue, _now: SimTime) {}
+        fn advance(&mut self, _now: SimTime) {}
+        fn next_event(&self) -> Option<SimTime> {
+            None
+        }
+        fn output(&self, _port: &str) -> PortValue {
+            PortValue::Bool(false)
+        }
+    }
+
+    #[test]
+    fn custom_devices_have_no_spec_even_with_a_registry_name() {
+        let device = Device::builder(Box::new(Custom)).build();
+        assert!(device.spec().is_none());
+    }
+
+    #[test]
+    fn unknown_behavior_fails_to_realize() {
+        let spec = DeviceSpec {
+            behavior: "toaster".into(),
+            cfg: ElectricalConfig::default(),
+            dropped_frames: Vec::new(),
+        };
+        assert!(spec.realize().is_none());
+    }
+}

@@ -47,7 +47,8 @@ use crate::campaign::{Campaign, Granularity};
 use crate::events::{emit, EngineEvent};
 use crate::executor::{
     check_lost, check_verified, collect, fold_cell_slots, outcome_sim_end, outcome_status,
-    CampaignExecutor, JobCtx, JobMsg, PackagedCell, PackagedJob, PackagedTest, Prepared,
+    rescue_cell_strands, rescue_test_strands, CampaignExecutor, JobCtx, JobMsg, PackagedCell,
+    PackagedJob, PackagedTest, Prepared, Strand,
 };
 use crate::handle::{CampaignHandle, CampaignOutcome, EventStream};
 use crate::obs::{Counter, Gauge, SpanCat, SpanHandle};
@@ -214,17 +215,16 @@ fn launch_async_tests<'a>(
     let entries = campaign.entries;
     let stands = campaign.stands;
     let run_token = ctx.cancel.run_token();
-    let cache = ctx.cache;
-    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
-            let (slots, acknowledged) = collect(results_rx, n_jobs);
-            obs.gauge_add(Gauge::Workers, -claimed_workers);
+            let (mut slots, acknowledged, strands) = collect(results_rx, n_jobs);
+            ctx.obs.gauge_add(Gauge::Workers, -claimed_workers);
+            rescue_test_strands(strands, entries, &ctx, &mut slots);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
-            check_verified(&cache)?;
+            check_verified(&ctx.cache)?;
             Ok(CampaignOutcome { result, cancelled })
         }),
     ))
@@ -330,11 +330,14 @@ fn admit_test(
     if ctx.try_cached_test(&job, events, results) {
         return;
     }
+    // Predicted hit, actual miss, no device to run with (possible when the
+    // store is shared with other processes): strand the job back to the
+    // join, which can borrow the campaign's device factories.
+    let Some(device) = job.take_device() else {
+        let _ = results.send(JobMsg::Stranded(Strand::Test(Box::new(job))));
+        return;
+    };
     let plan = job.resolve_plan(&ctx.obs);
-    // Past admission the job executes, so the device packaging built for
-    // this predicted miss is really needed (a predicted hit never gets
-    // here — records are immutable for the launch).
-    let device = job.take_device();
     let PackagedJob {
         job: slot,
         cell,
@@ -454,17 +457,17 @@ fn launch_async_cells<'a>(
     drop(events_tx);
     drop(results_tx);
 
+    let entries = campaign.entries;
     let run_token = ctx.cancel.run_token();
-    let cache = ctx.cache;
-    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
-            let (slots, acknowledged) = collect(results_rx, n_cells);
-            obs.gauge_add(Gauge::Workers, -claimed_workers);
+            let (mut slots, acknowledged, strands) = collect(results_rx, n_cells);
+            ctx.obs.gauge_add(Gauge::Workers, -claimed_workers);
+            rescue_cell_strands(strands, entries, &ctx, &mut slots);
             let outcome = fold_cell_slots(slots, acknowledged)?;
-            check_verified(&cache)?;
+            check_verified(&ctx.cache)?;
             Ok(outcome)
         }),
     ))
@@ -511,13 +514,23 @@ fn start_next_test(mut shell: CellShell, ctx: &JobCtx) -> CellStep {
                 shell.outcomes.push(Err(reason));
                 CellStep::Done(shell)
             }
-            Ok(plan) => {
-                let mut run = TestRun::new(plan, test.take_device(), &ctx.exec);
-                if let Some(probe) = &ctx.step_probe {
-                    run = run.with_probe(Arc::clone(probe));
+            Ok(plan) => match test.take_device() {
+                // Unreachable after `admit_cell`'s pre-check; degrade to a
+                // planning failure ending the cell rather than panic.
+                None => {
+                    shell
+                        .outcomes
+                        .push(Err("internal: packaged test lost its device".into()));
+                    CellStep::Done(shell)
                 }
-                CellStep::Active(Box::new(ActiveCell { run, shell }))
-            }
+                Some(device) => {
+                    let mut run = TestRun::new(plan, device, &ctx.exec);
+                    if let Some(probe) = &ctx.step_probe {
+                        run = run.with_probe(Arc::clone(probe));
+                    }
+                    CellStep::Active(Box::new(ActiveCell { run, shell }))
+                }
+            },
         },
     }
 }
@@ -607,12 +620,20 @@ fn admit_cell(
     if ctx.try_cached_cell(&cell, events, results) {
         return;
     }
+    // Predicted hit, actual miss: the cell was packaged without devices
+    // (all-or-none per cell). Strand it back to the join before any
+    // started event leaks out.
+    if cell.tests.iter().any(|t| t.device.is_none()) {
+        let _ = results.send(JobMsg::Stranded(Strand::Cell(Box::new(cell))));
+        return;
+    }
     let PackagedCell {
         cell: slot,
         suite,
         stand_name,
         stand,
         tests,
+        ..
     } = cell;
     emit(
         events,

@@ -100,11 +100,13 @@
 //!   back to the other extension, so pre-binary caches keep hitting —
 //!   migration never turns valid entries into silent misses.
 //!
-//! Whichever format is written, `store` removes the other-format file for
-//! the key afterwards, so the latest write wins even across writers
-//! configured differently. Version bumps (either codec) make stale files
-//! decode as errors → misses; they re-execute and are rewritten in the
-//! current format.
+//! Whichever format is written, `store` removes a **pre-existing**
+//! other-format file for the key after its rename lands, so the latest
+//! write wins even across writers configured differently — while a file
+//! that appeared *during* the store (a concurrent writer in the other
+//! format) is left alone rather than deleted out from under its writer.
+//! Version bumps (either codec) make stale files decode as errors →
+//! misses; they re-execute and are rewritten in the current format.
 
 pub mod binary;
 mod codec;
@@ -425,8 +427,22 @@ impl CampaignCache for MemoryCache {
 pub struct DirCache {
     dir: PathBuf,
     format: RecordFormat,
-    tmp_counter: AtomicU64,
 }
+
+/// Temp-name disambiguator shared by every [`DirCache`] in the process:
+/// two instances opened on the same directory (different campaigns, a
+/// cache and its verify pass, the multi-tenant daemon) must never race on
+/// the same `.tmp` name, so the counter cannot live per instance.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes the publish step of [`DirCache::store`] (rename +
+/// stale-other-format cleanup) across every instance in the process.
+/// Without it two racing writers in different formats can *each* see the
+/// other's old file as stale and delete the other's *new* file after both
+/// renames land — leaving zero records for a key both just wrote. Held
+/// only around two cheap filesystem calls; record encoding and the temp
+/// write stay outside.
+static PUBLISH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 impl DirCache {
     /// Opens (creating if needed) a cache directory, writing
@@ -454,7 +470,6 @@ impl DirCache {
         Ok(Self {
             dir,
             format: RecordFormat::Binary,
-            tmp_counter: AtomicU64::new(0),
         })
     }
 
@@ -499,9 +514,72 @@ impl CampaignCache for DirCache {
     }
 
     fn lookup_io(&self, key: &CellKey) -> LookupInfo {
-        // Prefer the write format (it is what this writer last stored),
-        // fall back to the other so entries from older caches or
-        // differently configured writers are never silent misses.
+        // A concurrent store can rename its record into the format we
+        // already checked and clean up the format we are about to check —
+        // a transient false miss for a key that had a record throughout.
+        // One retry closes that window (a second store cannot land the
+        // same way twice in a row for the same reader); true misses pay
+        // two extra not-found probes, which preload noise absorbs.
+        let first = self.scan_formats(key);
+        match first.lookup {
+            CacheLookup::Miss => self.scan_formats(key),
+            _ => first,
+        }
+    }
+
+    fn store(&self, key: &CellKey, record: &CellRecord) {
+        self.store_io(key, record);
+    }
+
+    fn store_io(&self, key: &CellKey, record: &CellRecord) -> u64 {
+        // Unique-per-writer temp name: process id + process-wide counter
+        // (two DirCache instances on one directory must not collide).
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = match self.format {
+            RecordFormat::Binary => binary::encode(record),
+            RecordFormat::Json => codec::encode(record).into_bytes(),
+        };
+        let written = bytes.len() as u64;
+        // Best-effort: a cache that cannot persist (full disk, revoked
+        // permissions) degrades to a smaller cache, never a failed run —
+        // but whatever happens, the temp file must not survive (a
+        // partially written one would otherwise accumulate per attempt).
+        if std::fs::write(&tmp, bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return 0;
+        }
+        // Publish atomically with respect to other in-process writers: an
+        // other-format file observed *at rename time* is genuinely stale
+        // (its writer renamed before us), so removing it is exactly
+        // "latest write wins" — while a writer that publishes after us
+        // will see and remove ours, never the other way around. A file
+        // that only appears mid-store (no pre-existing entry) belongs to
+        // a concurrent out-of-process writer and is left alone.
+        let guard = PUBLISH_LOCK.lock().expect("cache publish lock");
+        let other = self.format_path(key, self.format.other());
+        let other_stale = other.exists();
+        if std::fs::rename(&tmp, self.entry_path(key)).is_err() {
+            drop(guard);
+            let _ = std::fs::remove_file(&tmp);
+            return 0;
+        }
+        if other_stale {
+            let _ = std::fs::remove_file(other);
+        }
+        written
+    }
+}
+
+impl DirCache {
+    /// One pass over both record formats — preferring the write format
+    /// (it is what this writer last stored), falling back to the other so
+    /// entries from older caches or differently configured writers are
+    /// never silent misses.
+    fn scan_formats(&self, key: &CellKey) -> LookupInfo {
         for format in [self.format, self.format.other()] {
             let bytes = match std::fs::read(self.format_path(key, format)) {
                 Ok(bytes) => bytes,
@@ -537,38 +615,6 @@ impl CampaignCache for DirCache {
             bytes: 0,
             format: None,
         }
-    }
-
-    fn store(&self, key: &CellKey, record: &CellRecord) {
-        self.store_io(key, record);
-    }
-
-    fn store_io(&self, key: &CellKey, record: &CellRecord) -> u64 {
-        // Unique-per-writer temp name: process id + in-process counter.
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        let bytes = match self.format {
-            RecordFormat::Binary => binary::encode(record),
-            RecordFormat::Json => codec::encode(record).into_bytes(),
-        };
-        let written = bytes.len() as u64;
-        // Best-effort: a cache that cannot persist (full disk, revoked
-        // permissions) degrades to a smaller cache, never a failed run —
-        // but whatever happens, the temp file must not survive (a
-        // partially written one would otherwise accumulate per attempt).
-        let ok = std::fs::write(&tmp, bytes).is_ok()
-            && std::fs::rename(&tmp, self.entry_path(key)).is_ok();
-        if !ok {
-            let _ = std::fs::remove_file(&tmp);
-            return 0;
-        }
-        // Latest write wins across formats: drop the stale other-format
-        // entry so a later format switch cannot resurrect an old record.
-        let _ = std::fs::remove_file(self.format_path(key, self.format.other()));
-        written
     }
 }
 
@@ -1085,6 +1131,67 @@ mod tests {
         let info = bin_cache.lookup_io(&key(9));
         assert_eq!(info.lookup, CacheLookup::Miss);
         assert_eq!((info.bytes, info.format), (0, None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Many writers — separate `DirCache` instances, mixed formats, shared
+    /// keys — may interleave freely: every key must stay loadable at every
+    /// instant (atomic rename means readers see old or new, never torn),
+    /// the slower of two racing stores must not delete the faster one's
+    /// record, and no `.tmp` files may survive.
+    #[test]
+    fn dir_cache_concurrent_writers_never_lose_the_winning_record() {
+        let dir =
+            std::env::temp_dir().join(format!("comptest-cache-hammer-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = DirCache::open(&dir).unwrap();
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        const KEYS: u64 = 4;
+        let record = CellRecord {
+            total: 1,
+            tests: vec![Ok(result("a"))],
+            footprint: None,
+        };
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let dir = &dir;
+                let record = &record;
+                scope.spawn(move || {
+                    // Each thread its own instance — the temp-name counter
+                    // must disambiguate across instances, not within one.
+                    let format = if t % 2 == 0 {
+                        RecordFormat::Binary
+                    } else {
+                        RecordFormat::Json
+                    };
+                    let cache = DirCache::open(dir).unwrap().with_format(format);
+                    for round in 0..ROUNDS {
+                        let k = key((t + round) as u64 % KEYS);
+                        cache.store(&k, record);
+                        // A concurrent reader (any format preference) must
+                        // never observe a torn or vanished record.
+                        assert_eq!(
+                            cache.load(&k),
+                            Some(record.clone()),
+                            "store raced a concurrent writer into a miss"
+                        );
+                    }
+                });
+            }
+        });
+        let reader = DirCache::open(&dir).unwrap();
+        for k in 0..KEYS {
+            assert_eq!(reader.load(&key(k)), Some(record.clone()));
+        }
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy();
+            assert!(
+                !name.starts_with(".tmp-"),
+                "leftover temp file {name} survived the hammer"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

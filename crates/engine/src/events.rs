@@ -105,6 +105,25 @@ pub enum EngineEvent {
         /// Stand name.
         stand: String,
     },
+    /// The remote executor spawned a worker process (remote executor
+    /// only). Emitted once per OS process, including respawns after a
+    /// death; `worker` is the stable slot index the process fills.
+    WorkerSpawned {
+        /// Worker slot index (`0..remote_workers`).
+        worker: usize,
+        /// OS process id of the spawned `comptest worker` child.
+        pid: u32,
+    },
+    /// A remote worker process died or became unusable (EOF, decode error,
+    /// non-zero exit) while the campaign still had work for it (remote
+    /// executor only). Any job in flight on it is retried or reported in
+    /// [`CoreError::JobsLost`](comptest_core::CoreError::JobsLost).
+    WorkerLost {
+        /// Worker slot index (`0..remote_workers`).
+        worker: usize,
+        /// OS process id of the lost child.
+        pid: u32,
+    },
     /// The campaign is complete.
     ///
     /// Only the deprecated shim entry points emit this terminal marker; in

@@ -334,6 +334,7 @@ impl Prepared {
                     job: j.job,
                     cell: j.cell,
                     test: j.test,
+                    entry: j.entry,
                     suite: entries[j.entry].suite.name.clone(),
                     stand_name: self.stands[j.stand].name().to_owned(),
                     name: entries[j.entry].suite.tests[j.test].name.clone(),
@@ -356,6 +357,7 @@ impl Prepared {
                 let hit = self.cache.as_ref().is_some_and(|c| c.will_hit_cell(j.cell));
                 PackagedCell {
                     cell: j.cell,
+                    entry: j.entry,
                     suite: entries[j.entry].suite.name.clone(),
                     stand_name: self.stands[j.stand].name().to_owned(),
                     stand: Arc::clone(&self.stands[j.stand]),
@@ -575,14 +577,15 @@ impl CampaignExecutor for SerialExecutor {
                 drop(events_tx);
                 drop(results_tx);
                 ctx.obs.gauge_add(Gauge::Workers, -1);
-                let cache = ctx.cache;
+                let entries = campaign.entries;
                 Ok(CampaignHandle::new(
                     EventStream::new(events_rx),
                     run_token,
                     Box::new(move || {
-                        let (slots, acknowledged) = collect(results_rx, n_cells);
+                        let (mut slots, acknowledged, strands) = collect(results_rx, n_cells);
+                        rescue_cell_strands(strands, entries, &ctx, &mut slots);
                         let outcome = fold_cell_slots(slots, acknowledged)?;
-                        check_verified(&cache)?;
+                        check_verified(&ctx.cache)?;
                         Ok(outcome)
                     }),
                 ))
@@ -601,15 +604,15 @@ impl CampaignExecutor for SerialExecutor {
                 ctx.obs.gauge_add(Gauge::Workers, -1);
                 let entries = campaign.entries;
                 let stands = campaign.stands;
-                let cache = ctx.cache;
                 Ok(CampaignHandle::new(
                     EventStream::new(events_rx),
                     run_token,
                     Box::new(move || {
-                        let (slots, acknowledged) = collect(results_rx, n_jobs);
+                        let (mut slots, acknowledged, strands) = collect(results_rx, n_jobs);
+                        rescue_test_strands(strands, entries, &ctx, &mut slots);
                         let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
                         check_lost(cancelled, acknowledged)?;
-                        check_verified(&cache)?;
+                        check_verified(&ctx.cache)?;
                         Ok(CampaignOutcome { result, cancelled })
                     }),
                 ))
@@ -719,20 +722,127 @@ pub(crate) enum JobMsg<T> {
     /// The job observed cancellation and never ran (or, on the async
     /// executor, was abandoned at a step boundary).
     Cancelled,
+    /// The job missed the cache at admission although packaging predicted
+    /// a hit (and therefore skipped its device build); the join rescues it
+    /// with a freshly built device.
+    Stranded(Strand),
+}
+
+/// A job handed back to the join because its predicted cache hit did not
+/// materialize at admission. Packaging skips device construction for
+/// predicted hits, and worker tasks are `'static` closures that cannot
+/// borrow the campaign's [`DeviceFactory`](comptest_core::campaign::DeviceFactory) —
+/// so the job travels back to the join thread, which *can* borrow the
+/// entries and rebuild the device there. Slower than the fast path, but
+/// the previous behaviour was a panic.
+pub(crate) enum Strand {
+    /// A test-granular job (only ever sent on test-outcome channels).
+    Test(Box<PackagedJob>),
+    /// A cell-granular job (only ever sent on cell-outcome channels).
+    Cell(Box<PackagedCell>),
 }
 
 /// Drains exactly `jobs` collector messages into merge slots, counting
-/// acknowledged cancellations.
-pub(crate) fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Option<T>>, usize) {
+/// acknowledged cancellations and gathering stranded jobs for the join's
+/// rescue pass (every job sends exactly one message, stranded or not).
+pub(crate) fn collect<T>(
+    results: Receiver<JobMsg<T>>,
+    jobs: usize,
+) -> (Vec<Option<T>>, usize, Vec<Strand>) {
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     let mut acknowledged = 0usize;
+    let mut strands = Vec::new();
     for msg in results.iter().take(jobs) {
         match msg {
             JobMsg::Done(slot, outcome) => slots[slot] = Some(outcome),
             JobMsg::Cancelled => acknowledged += 1,
+            JobMsg::Stranded(strand) => strands.push(strand),
         }
     }
-    (slots, acknowledged)
+    (slots, acknowledged, strands)
+}
+
+/// Executes stranded test jobs on the join thread: rebuild the device via
+/// the campaign's entry factory, run through the shared plan slot, feed
+/// the cache, fill the merge slot. The event stream has already closed by
+/// join time, so rescue emits no per-test events (the merged result is
+/// still byte-identical to a worker execution).
+pub(crate) fn rescue_test_strands(
+    strands: Vec<Strand>,
+    entries: &[CampaignEntry<'_>],
+    ctx: &JobCtx,
+    slots: &mut [Option<TestJobOutcome>],
+) {
+    for strand in strands {
+        let Strand::Test(mut job) = strand else {
+            // Channels are typed per granularity, so a cell strand cannot
+            // arrive here; leave the slot empty (surfaced as JobsLost)
+            // rather than panic.
+            continue;
+        };
+        let mut device = match job.device.take() {
+            Some(device) => device,
+            None => entries[job.entry].device_factory.build(),
+        };
+        let started = Instant::now();
+        let outcome = plan_and_execute(&job.plan, &job.script, &job.stand, &mut device, ctx);
+        if let Some(runtime) = &ctx.cache {
+            runtime.finish_test(job.cell, job.test, &outcome);
+        }
+        ctx.obs.inc(Counter::JobsExecuted);
+        ctx.obs.inc(Counter::TestsExecuted);
+        ctx.obs
+            .test_timing(started.elapsed(), outcome_sim_end(&outcome));
+        slots[job.job] = Some(outcome);
+    }
+}
+
+/// Cell-granular counterpart of [`rescue_test_strands`]: runs the cell's
+/// tests in order against rebuilt devices, with the same first-planning-
+/// error truncation the worker path applies.
+pub(crate) fn rescue_cell_strands(
+    strands: Vec<Strand>,
+    entries: &[CampaignEntry<'_>],
+    ctx: &JobCtx,
+    slots: &mut [Option<CampaignCell>],
+) {
+    for strand in strands {
+        let Strand::Cell(boxed) = strand else {
+            continue;
+        };
+        let PackagedCell {
+            cell: slot,
+            entry,
+            suite,
+            stand_name,
+            stand,
+            tests,
+        } = *boxed;
+        let mut outcomes: Vec<TestJobOutcome> = Vec::with_capacity(tests.len());
+        for mut test in tests {
+            let mut device = match test.device.take() {
+                Some(device) => device,
+                None => entries[entry].device_factory.build(),
+            };
+            let started = Instant::now();
+            let outcome = plan_and_execute(&test.plan, &test.script, &stand, &mut device, ctx);
+            if ctx.obs.is_enabled() {
+                ctx.obs.inc(Counter::TestsExecuted);
+                ctx.obs
+                    .test_timing(started.elapsed(), outcome_sim_end(&outcome));
+            }
+            let stop_cell = outcome.is_err();
+            outcomes.push(outcome);
+            if stop_cell {
+                break;
+            }
+        }
+        if let Some(runtime) = &ctx.cache {
+            runtime.finish_cell(slot, &suite, &stand_name, &outcomes);
+        }
+        ctx.obs.inc(Counter::JobsExecuted);
+        slots[slot] = Some(fold_cell(suite, stand_name, outcomes));
+    }
 }
 
 /// Every job either reports an outcome or acknowledges cancellation; a
@@ -742,7 +852,10 @@ pub(crate) fn collect<T>(results: Receiver<JobMsg<T>>, jobs: usize) -> (Vec<Opti
 pub(crate) fn check_lost(cancelled: usize, acknowledged: usize) -> Result<(), CoreError> {
     let lost = cancelled.saturating_sub(acknowledged);
     if lost > 0 {
-        return Err(CoreError::JobsLost { lost });
+        return Err(CoreError::JobsLost {
+            lost,
+            jobs: Vec::new(),
+        });
     }
     Ok(())
 }
@@ -753,6 +866,9 @@ pub(crate) struct PackagedJob {
     pub(crate) job: usize,
     pub(crate) cell: usize,
     pub(crate) test: usize,
+    /// Index into the campaign's entries — lets the join rebuild a device
+    /// through the entry's `DeviceFactory` when a predicted hit strands.
+    pub(crate) entry: usize,
     pub(crate) suite: String,
     pub(crate) stand_name: String,
     pub(crate) name: String,
@@ -765,13 +881,13 @@ pub(crate) struct PackagedJob {
 }
 
 impl PackagedJob {
-    /// Takes the packaged device; the execute paths call this only after
-    /// admission missed, which packaging predicted exactly (records are
-    /// pre-loaded and immutable for the launch).
-    pub(crate) fn take_device(&mut self) -> Device {
-        self.device
-            .take()
-            .expect("cache-miss job packaged without a device")
+    /// Takes the packaged device. `None` means packaging predicted a cache
+    /// hit (so skipped the device build) but admission missed anyway —
+    /// possible whenever the store is shared (another process evicted or
+    /// rewrote the record between packaging and execution). Callers strand
+    /// the job back to the join instead of panicking.
+    pub(crate) fn take_device(&mut self) -> Option<Device> {
+        self.device.take()
     }
 
     /// Resolves the shared plan slot for this job's (script, stand) pair.
@@ -796,6 +912,13 @@ pub(crate) fn run_packaged_test(
     if ctx.try_cached_test(&job, events, results) {
         return;
     }
+    // Predicted hit, actual miss, no device to run with: hand the job back
+    // to the join (which can borrow the campaign's device factories) before
+    // any started event leaks out.
+    let Some(mut device) = job.take_device() else {
+        let _ = results.send(JobMsg::Stranded(Strand::Test(Box::new(job))));
+        return;
+    };
     emit(
         events,
         EngineEvent::TestStarted {
@@ -811,7 +934,6 @@ pub(crate) fn run_packaged_test(
         .span_begin(SpanCat::Test, || format!("{}::{}", job.suite, job.name));
     ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let started = Instant::now();
-    let mut device = job.take_device();
     let outcome = plan_and_execute(&job.plan, &job.script, &job.stand, &mut device, ctx);
     let wall = started.elapsed();
     if let Some(runtime) = &ctx.cache {
@@ -880,17 +1002,16 @@ fn launch_pooled_tests<'a>(
     let entries = campaign.entries;
     let stands = campaign.stands;
     let run_token = ctx.cancel.run_token();
-    let cache = ctx.cache;
-    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
-            let (slots, acknowledged) = collect(results_rx, n_jobs);
-            obs.gauge_add(Gauge::Workers, -claimed_workers);
+            let (mut slots, acknowledged, strands) = collect(results_rx, n_jobs);
+            ctx.obs.gauge_add(Gauge::Workers, -claimed_workers);
+            rescue_test_strands(strands, entries, &ctx, &mut slots);
             let (result, cancelled) = merge_test_outcomes(entries, stands, slots);
             check_lost(cancelled, acknowledged)?;
-            check_verified(&cache)?;
+            check_verified(&ctx.cache)?;
             Ok(CampaignOutcome { result, cancelled })
         }),
     ))
@@ -905,18 +1026,20 @@ pub(crate) struct PackagedTest {
 }
 
 impl PackagedTest {
-    /// Takes the packaged device; called only on the execute path, after
-    /// whole-cell admission missed — which packaging predicted exactly.
-    pub(crate) fn take_device(&mut self) -> Device {
-        self.device
-            .take()
-            .expect("cache-miss cell packaged without devices")
+    /// Takes the packaged device; `None` when the cell was packaged for a
+    /// predicted hit that did not materialize at admission (the caller
+    /// strands the whole cell instead of panicking).
+    pub(crate) fn take_device(&mut self) -> Option<Device> {
+        self.device.take()
     }
 }
 
 /// One packaged cell job: the whole suite×stand cell, owned.
 pub(crate) struct PackagedCell {
     pub(crate) cell: usize,
+    /// Index into the campaign's entries — lets the join rebuild devices
+    /// through the entry's `DeviceFactory` when a predicted hit strands.
+    pub(crate) entry: usize,
     pub(crate) suite: String,
     pub(crate) stand_name: String,
     pub(crate) stand: Arc<TestStand>,
@@ -941,6 +1064,13 @@ pub(crate) fn run_packaged_cell(
     if ctx.try_cached_cell(&cell, events, results) {
         return;
     }
+    // Predicted hit, actual miss: the cell was packaged without devices
+    // (packaging decides per whole cell, so it is all-or-none). Strand it
+    // back to the join before any started event leaks out.
+    if cell.tests.iter().any(|t| t.device.is_none()) {
+        let _ = results.send(JobMsg::Stranded(Strand::Cell(Box::new(cell))));
+        return;
+    }
     emit(
         events,
         EngineEvent::JobStarted {
@@ -955,7 +1085,12 @@ pub(crate) fn run_packaged_cell(
     ctx.obs.gauge_add(Gauge::InflightJobs, 1);
     let mut outcomes: Vec<TestJobOutcome> = Vec::with_capacity(cell.tests.len());
     for mut test in cell.tests {
-        let mut device = test.take_device();
+        let Some(mut device) = test.take_device() else {
+            // Unreachable after the pre-loop check; degrade to a planning
+            // failure ending the cell rather than panic the worker.
+            outcomes.push(Err("internal: packaged test lost its device".into()));
+            break;
+        };
         let PackagedTest { script, plan, .. } = test;
         let test_span = ctx
             .obs
@@ -1031,17 +1166,17 @@ fn launch_pooled_cells<'a>(
     drop(events_tx);
     drop(results_tx);
 
+    let entries = campaign.entries;
     let run_token = ctx.cancel.run_token();
-    let cache = ctx.cache;
-    let obs = ctx.obs.clone();
     Ok(CampaignHandle::new(
         EventStream::new(events_rx),
         run_token,
         Box::new(move || {
-            let (slots, acknowledged) = collect(results_rx, n_cells);
-            obs.gauge_add(Gauge::Workers, -claimed_workers);
+            let (mut slots, acknowledged, strands) = collect(results_rx, n_cells);
+            ctx.obs.gauge_add(Gauge::Workers, -claimed_workers);
+            rescue_cell_strands(strands, entries, &ctx, &mut slots);
             let outcome = fold_cell_slots(slots, acknowledged)?;
-            check_verified(&cache)?;
+            check_verified(&ctx.cache)?;
             Ok(outcome)
         }),
     ))
@@ -1065,4 +1200,171 @@ pub(crate) fn fold_cell_slots(
     }
     check_lost(cancelled, acknowledged)?;
     Ok(CampaignOutcome { result, cancelled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CampaignCache, MemoryCache};
+    use comptest_sheets::Workbook;
+
+    const WB: &str = "\
+[suite]
+name = lamp
+
+[signals]
+name,    kind,                     direction, init
+DS_FL,   pin:DS_FL,                input,     Closed
+NIGHT,   can:0x2A0:0:1,            input,     0
+INT_ILL, pin:INT_ILL_F/INT_ILL_R,  output,
+
+[status]
+status, method,  attribut, var,   nom, min,  max
+Open,   put_r,   r,        ,      0,   0,    2
+Closed, put_r,   r,        ,      INF, 5000, INF
+0,      put_can, data,     ,      0B,  ,
+1,      put_can, data,     ,      1B,  ,
+Lo,     get_u,   u,        UBATT, 0,   0,    0.3
+Ho,     get_u,   u,        UBATT, 1,   0.7,  1.1
+
+[test night_on]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  1,     Ho
+
+[test day_off]
+step, dt,  DS_FL, NIGHT, INT_ILL
+0,    0.5, Open,  0,     Lo
+";
+
+    fn stand() -> TestStand {
+        TestStand::parse_str("a.stand", comptest_core::PAPER_STAND_A).unwrap()
+    }
+
+    fn entries(suites: &[comptest_model::TestSuite]) -> Vec<CampaignEntry<'_>> {
+        suites
+            .iter()
+            .map(|suite| CampaignEntry {
+                suite,
+                device_factory: Box::new(|| {
+                    comptest_dut::ecus::interior_light::device(Default::default())
+                }),
+            })
+            .collect()
+    }
+
+    /// Regression for the panic at `take_device` (`"cache-miss job packaged
+    /// without a device"`): package against a warm store (every job
+    /// predicts a hit, so no devices are built), then execute against an
+    /// empty store — the record was evicted between packaging and
+    /// admission, legal whenever the store is shared between processes.
+    /// The job must strand back to the join, get a rebuilt device from the
+    /// entry's factory, and merge byte-identical to a cold run.
+    #[test]
+    fn evicted_prediction_strands_and_rescues_test_jobs() {
+        let wb = Workbook::parse_str("a.cts", WB).unwrap();
+        let suites = vec![wb.suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands: Vec<&TestStand> = vec![&stand];
+
+        // Reference: a cold serial run without any cache.
+        let cold = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .run(&SerialExecutor)
+            .unwrap();
+
+        // Warm a store, then package against it.
+        let warm_store: Arc<dyn CampaignCache> = Arc::new(MemoryCache::new());
+        Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(Arc::clone(&warm_store))
+            .run(&SerialExecutor)
+            .unwrap();
+        let warm = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(Arc::clone(&warm_store));
+        let prepared = Prepared::new(&warm).unwrap();
+        let jobs = prepared.package_jobs(warm.entries);
+        assert!(!jobs.is_empty());
+        assert!(
+            jobs.iter().all(|j| j.device.is_none()),
+            "warm packaging must skip device builds"
+        );
+
+        // Execute the predicted-hit jobs with the record evicted.
+        let evicted = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Test)
+            .cache(Arc::new(MemoryCache::new()) as Arc<dyn CampaignCache>);
+        let prepared_evicted = Prepared::new(&evicted).unwrap();
+        let ctx = JobCtx::new(&evicted, &prepared_evicted);
+        let (events_tx, _events_rx) = mpsc::channel();
+        let (results_tx, results_rx) = mpsc::channel();
+        let n = jobs.len();
+        for job in jobs {
+            run_packaged_test(job, &ctx, &events_tx, &results_tx);
+        }
+        drop(results_tx);
+        let (mut slots, acknowledged, strands) = collect(results_rx, n);
+        assert_eq!(strands.len(), n, "every job must strand, not panic");
+        assert_eq!(acknowledged, 0);
+        rescue_test_strands(strands, evicted.entries, &ctx, &mut slots);
+        let (result, cancelled) = merge_test_outcomes(evicted.entries, evicted.stands, slots);
+        assert_eq!(cancelled, 0);
+        assert_eq!(result, cold, "rescued outcomes must match a cold run");
+    }
+
+    /// Cell-granular twin of the eviction regression: the whole packaged
+    /// cell (no devices) strands instead of panicking in the per-test
+    /// `take_device`, and the rescue reproduces the cold result.
+    #[test]
+    fn evicted_prediction_strands_and_rescues_cells() {
+        let wb = Workbook::parse_str("a.cts", WB).unwrap();
+        let suites = vec![wb.suite];
+        let entries = entries(&suites);
+        let stand = stand();
+        let stands: Vec<&TestStand> = vec![&stand];
+
+        let cold = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Cell)
+            .run(&SerialExecutor)
+            .unwrap();
+
+        let warm_store: Arc<dyn CampaignCache> = Arc::new(MemoryCache::new());
+        Campaign::new(&entries, &stands)
+            .granularity(Granularity::Cell)
+            .cache(Arc::clone(&warm_store))
+            .run(&SerialExecutor)
+            .unwrap();
+        let warm = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Cell)
+            .cache(Arc::clone(&warm_store));
+        let prepared = Prepared::new(&warm).unwrap();
+        let cells = prepared.package_cells(warm.entries);
+        assert!(!cells.is_empty());
+        assert!(
+            cells
+                .iter()
+                .all(|c| c.tests.iter().all(|t| t.device.is_none())),
+            "warm packaging must skip device builds"
+        );
+
+        let evicted = Campaign::new(&entries, &stands)
+            .granularity(Granularity::Cell)
+            .cache(Arc::new(MemoryCache::new()) as Arc<dyn CampaignCache>);
+        let prepared_evicted = Prepared::new(&evicted).unwrap();
+        let ctx = JobCtx::new(&evicted, &prepared_evicted);
+        let (events_tx, _events_rx) = mpsc::channel();
+        let (results_tx, results_rx) = mpsc::channel();
+        let n = cells.len();
+        for cell in cells {
+            run_packaged_cell(cell, &ctx, &events_tx, &results_tx);
+        }
+        drop(results_tx);
+        let (mut slots, acknowledged, strands) = collect(results_rx, n);
+        assert_eq!(strands.len(), n, "every cell must strand, not panic");
+        rescue_cell_strands(strands, evicted.entries, &ctx, &mut slots);
+        let outcome = fold_cell_slots(slots, acknowledged).unwrap();
+        assert_eq!(outcome.cancelled, 0);
+        assert_eq!(outcome.result, cold, "rescued cells must match a cold run");
+    }
 }

@@ -13,14 +13,17 @@
 //!   an optional external [`CancelToken`] — which owns validation (empty
 //!   matrices and duplicate stand names are rejected before anything
 //!   runs);
-//! * a [`CampaignExecutor`] trait with three implementations —
+//! * a [`CampaignExecutor`] trait with four implementations —
 //!   [`SerialExecutor`] (in-order on the calling thread, the determinism
 //!   reference), [`PooledExecutor`] (a persistent [`WorkerPool`] that
-//!   outlives campaigns and amortises thread start-up across replays) and
+//!   outlives campaigns and amortises thread start-up across replays),
 //!   [`AsyncExecutor`] (an event loop of resumable
 //!   [`TestRun`](comptest_core::TestRun)s: thousands of concurrent
 //!   simulated stands interleave per OS thread on a sim-time wheel,
-//!   optionally sharded across several). The trait contract all three
+//!   optionally sharded across several) and [`RemoteExecutor`] (packaged
+//!   jobs shipped to spawned `comptest worker` *processes* over a
+//!   length-prefixed stdio frame protocol — see [`remote`]). The trait
+//!   contract all four
 //!   keep: outcomes merge back in the deterministic plan order (so every
 //!   executor, at every worker count / concurrency limit, is
 //!   byte-identical to serial), launch surfaces the first codegen error
@@ -113,6 +116,7 @@
 //! | `jobs_executed` | jobs that ran to completion (cells at cell granularity, tests at test granularity) |
 //! | `jobs_cached` | jobs short-circuited by a cache hit |
 //! | `jobs_cancelled` | jobs skipped by `stop_on_first_fail` or a [`CancelToken`] |
+//! | `jobs_retried` | extra dispatch attempts after remote worker deaths ([`RemoteExecutor`] only — retries add attempts, not planned jobs, so the balance below still holds) |
 //! | `tests_executed` | individual tests driven to a verdict (per job at test granularity, per suite member at cell granularity) |
 //! | `steps_executed` | test steps driven through the DUT |
 //! | `cache_hits` / `cache_misses` | cache lookups by outcome |
@@ -134,6 +138,31 @@
 //! per-test wall timings (tests interleave step-by-step there, so a
 //! per-test wall clock would measure scheduling, not work);
 //! `tests_executed` still counts every test.
+//!
+//! # Distributed execution
+//!
+//! [`RemoteExecutor`] (CLI `--executor remote --remote-workers N`) runs
+//! jobs in spawned **worker processes** (`comptest worker`) instead of
+//! threads. The parent keeps everything stateful — planning, cache
+//! admission (only misses ship), event ordering, result merging — and
+//! sends each cache-missing job to a worker as a few length-prefixed
+//! binary frames: stand and script text interned once per worker, then a
+//! run request carrying the device *recipe*
+//! ([`DeviceSpec`](comptest_dut::DeviceSpec)). Workers execute through
+//! the same planning/execution path as every local executor and stream
+//! progress events plus a result record (the cache's binary codec) back,
+//! so merged results stay byte-identical to serial at both granularities
+//! and under every cache mode.
+//!
+//! Failure handling is part of the contract: a worker death
+//! ([`EngineEvent::WorkerLost`]) retries the in-flight job on another
+//! worker with exponential backoff (counted as `jobs_retried`; bounded by
+//! [`RemoteExecutor::retry_limit`]), exhausted retries surface as
+//! [`CoreError::JobsLost`](comptest_core::CoreError::JobsLost) *naming
+//! the lost jobs*, and campaigns degrade gracefully to in-process
+//! execution when workers cannot spawn at all or a device has no
+//! shippable recipe (custom behaviours). See the [`remote`] module docs
+//! for the frame protocol and the full robustness rules.
 //!
 //! # Serving campaigns
 //!
@@ -238,6 +267,7 @@ mod executor;
 mod handle;
 pub mod obs;
 mod pool;
+pub mod remote;
 
 pub use async_exec::AsyncExecutor;
 pub use cache::{
@@ -250,6 +280,7 @@ pub use executor::{CampaignExecutor, PooledExecutor, SerialExecutor};
 pub use handle::{CampaignHandle, CampaignOutcome, CancelToken, EventStream};
 pub use obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, PhaseSnapshot, Recorder};
 pub use pool::WorkerPool;
+pub use remote::{worker_main, RemoteExecutor, HOLD_MS_ENV};
 
 pub use comptest_core::campaign::{plan_cells, plan_test_jobs, CellJob, TestJob};
 pub use comptest_core::hash::{CellKey, Footprint, FootprintKey};

@@ -25,6 +25,11 @@ pub(crate) enum Counter {
     JobsCached,
     /// Jobs cancelled before they ran (or abandoned at a step boundary).
     JobsCancelled,
+    /// Remote jobs re-dispatched after a worker died mid-job. Each retry
+    /// re-queues the same planned job, so the invariant `jobs_executed +
+    /// jobs_cached + jobs_cancelled == jobs_planned` stays balanced —
+    /// retries are extra attempts, not extra jobs.
+    JobsRetried,
     /// Individual tests whose outcome was determined by execution.
     TestsExecuted,
     /// Plan steps executed across all runs.
@@ -70,11 +75,12 @@ pub(crate) enum Counter {
 }
 
 impl Counter {
-    pub(crate) const ALL: [Counter; 22] = [
+    pub(crate) const ALL: [Counter; 23] = [
         Counter::JobsPlanned,
         Counter::JobsExecuted,
         Counter::JobsCached,
         Counter::JobsCancelled,
+        Counter::JobsRetried,
         Counter::TestsExecuted,
         Counter::StepsExecuted,
         Counter::CacheHits,
@@ -101,6 +107,7 @@ impl Counter {
             Counter::JobsExecuted => "jobs_executed",
             Counter::JobsCached => "jobs_cached",
             Counter::JobsCancelled => "jobs_cancelled",
+            Counter::JobsRetried => "jobs_retried",
             Counter::TestsExecuted => "tests_executed",
             Counter::StepsExecuted => "steps_executed",
             Counter::CacheHits => "cache_hits",

@@ -1,0 +1,852 @@
+//! The worker wire protocol: length-prefixed frames over stdio.
+//!
+//! The parent and its `comptest worker` children speak a binary protocol
+//! built from the same primitives as the cache's record codec
+//! (`cache::binary`): a fixed magic + version in the handshake, LEB128
+//! varints for every integer, length-validated strings and byte blobs.
+//! Each frame travels as `[u32 LE payload length][payload]`; the payload
+//! is one tag byte followed by the variant's fields.
+//!
+//! Like the cache codec, the decoder is hardened for **hostile input** — a
+//! worker is an external process whose stdout could contain anything (a
+//! stray `println!`, a crashed allocator, an impostor binary). Every
+//! length is validated against the remaining bytes, varints are
+//! overflow-checked, strings are UTF-8 validated, unknown tags are
+//! errors, and frames are capped at [`MAX_FRAME`] bytes. A malformed
+//! frame must surface as a [`FrameError`] (the parent treats it as a
+//! worker death, the worker as a fatal protocol error) — never a panic or
+//! an unbounded allocation.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use comptest_core::exec::{ExecOptions, SampleMode};
+use comptest_dut::DeviceSpec;
+use comptest_dut::ElectricalConfig;
+use comptest_model::{CanFrameId, SimTime};
+
+use crate::events::EngineEvent;
+
+/// Protocol magic carried by the `Hello` handshake frame.
+pub(crate) const MAGIC: [u8; 3] = *b"CWP";
+
+/// Protocol version; bumped on any wire-layout change. A worker that sees
+/// a different version refuses the handshake with an `Error` frame, so a
+/// mixed-version parent/worker pair fails loudly instead of corrupting.
+pub(crate) const VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload, validated before allocating. Real
+/// frames are a few KiB (a stand text, a script XML, a result record); a
+/// length field beyond this is hostile or corrupt.
+pub(crate) const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// A malformed frame: truncated, oversized, bad tag, bad UTF-8, varint
+/// overflow. The parent maps this to a worker death; the worker replies
+/// with an `Error` frame and exits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError(pub(crate) String);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker frame decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FrameError> {
+    Err(FrameError(msg.into()))
+}
+
+/// Writes one `[u32 LE length][payload]` frame and flushes, so a child
+/// blocked on its next frame always sees complete bytes.
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF **at a frame boundary** (the
+/// peer closed the stream); EOF mid-frame, an oversized length or any I/O
+/// problem is an error.
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers (the cache codec's idioms, local to this
+// protocol: its `Reader` is private to `cache::binary`).
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return err(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => err(format!("bad bool byte {other}")),
+        }
+    }
+
+    /// LEB128 varint, overflow-checked (max 10 bytes for a u64).
+    fn varint(&mut self) -> Result<u64, FrameError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7f);
+            if shift >= 64 || (shift == 63 && bits > 1) {
+                return err("varint overflow");
+            }
+            out |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    fn len(&mut self) -> Result<usize, FrameError> {
+        let n = self.varint()?;
+        let n = usize::try_from(n).map_err(|_| FrameError("length exceeds usize".into()))?;
+        if n > self.remaining() {
+            return err(format!("length {n} exceeds remaining {}", self.remaining()));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError("invalid UTF-8".into()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        let raw = self.take(8)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(le)))
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return err(format!("{} trailing bytes", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn read_usize(r: &mut Reader<'_>) -> Result<usize, FrameError> {
+    usize::try_from(r.varint()?).map_err(|_| FrameError("index exceeds usize".into()))
+}
+
+// ---------------------------------------------------------------------------
+// DeviceSpec
+// ---------------------------------------------------------------------------
+
+fn put_spec(out: &mut Vec<u8>, spec: &DeviceSpec) {
+    put_str(out, &spec.behavior);
+    put_f64(out, spec.cfg.ubatt);
+    put_f64(out, spec.cfg.pull_up);
+    put_f64(out, spec.cfg.low_threshold);
+    put_f64(out, spec.cfg.high_threshold);
+    put_f64(out, spec.cfg.drive_resistance);
+    put_varint(out, spec.dropped_frames.len() as u64);
+    for frame in &spec.dropped_frames {
+        put_varint(out, u64::from(frame.0));
+    }
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<DeviceSpec, FrameError> {
+    let behavior = r.str()?;
+    let cfg = ElectricalConfig {
+        ubatt: r.f64()?,
+        pull_up: r.f64()?,
+        low_threshold: r.f64()?,
+        high_threshold: r.f64()?,
+        drive_resistance: r.f64()?,
+    };
+    let n = r.len()?;
+    let mut dropped_frames = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let id = r.varint()?;
+        let id = u32::try_from(id).map_err(|_| FrameError("CAN frame id exceeds u32".into()))?;
+        dropped_frames.push(CanFrameId(id));
+    }
+    Ok(DeviceSpec {
+        behavior,
+        cfg,
+        dropped_frames,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parent → worker frames
+// ---------------------------------------------------------------------------
+
+/// Frames the parent sends to a worker child over its stdin.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ToWorker {
+    /// Handshake: protocol magic + version and the campaign's execution
+    /// options. Always the first frame on the pipe.
+    Hello {
+        /// The campaign's execution options, applied to every job.
+        exec: ExecOptions,
+    },
+    /// Interns one test stand under `id`; later `RunTest`/`RunCell` frames
+    /// reference it by id. Sent at most once per (worker, stand).
+    Stand {
+        /// Parent-assigned intern id.
+        id: u64,
+        /// The stand's canonical text (`write_stand` round-trip).
+        text: String,
+    },
+    /// Interns one generated test script under `id` (XML round-trip).
+    Script {
+        /// Parent-assigned intern id.
+        id: u64,
+        /// The script's XML.
+        xml: String,
+        /// Source-sheet spellings of the script's signal names. The XML
+        /// writer canonicalises names to lowercase, so a worker re-parsing
+        /// `xml` would plan — and word its diagnostics — with different
+        /// bytes than the parent's in-process executors. Shipping the
+        /// original spellings lets the worker restore them after parse,
+        /// keeping remote results byte-identical to serial.
+        names: Vec<String>,
+    },
+    /// Executes one test-granular job against a fresh device realized from
+    /// `spec`.
+    RunTest {
+        /// Merge-slot index, echoed back in `TestDone`.
+        job: usize,
+        /// Deterministic cell index (event payloads).
+        cell: usize,
+        /// Test index within its suite (event payloads).
+        test: usize,
+        /// Suite name (event payloads).
+        suite: String,
+        /// Test name (event payloads).
+        name: String,
+        /// Interned script id.
+        script: u64,
+        /// Interned stand id.
+        stand: u64,
+        /// Registry device recipe for the fresh DUT.
+        spec: DeviceSpec,
+    },
+    /// Executes one whole suite×stand cell: the scripts in suite order,
+    /// each against its own fresh device realized from `spec`.
+    RunCell {
+        /// Merge-slot (cell) index, echoed back in `CellDone`.
+        cell: usize,
+        /// Suite name (event payloads).
+        suite: String,
+        /// Interned script ids in suite order.
+        scripts: Vec<u64>,
+        /// Interned stand id.
+        stand: u64,
+        /// Registry device recipe, one fresh device per test.
+        spec: DeviceSpec,
+    },
+    /// Cooperative cancel fan-out: finish nothing more, exit cleanly.
+    Shutdown,
+}
+
+impl ToWorker {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ToWorker::Hello { exec } => {
+                out.push(0);
+                out.extend_from_slice(&MAGIC);
+                out.push(VERSION);
+                match exec.sample {
+                    SampleMode::EndOfStep => out.push(0),
+                    SampleMode::Continuous { interval } => {
+                        out.push(1);
+                        put_varint(&mut out, interval.as_micros());
+                    }
+                }
+                put_bool(&mut out, exec.stop_on_failure);
+            }
+            ToWorker::Stand { id, text } => {
+                out.push(1);
+                put_varint(&mut out, *id);
+                put_str(&mut out, text);
+            }
+            ToWorker::Script { id, xml, names } => {
+                out.push(2);
+                put_varint(&mut out, *id);
+                put_str(&mut out, xml);
+                put_varint(&mut out, names.len() as u64);
+                for name in names {
+                    put_str(&mut out, name);
+                }
+            }
+            ToWorker::RunTest {
+                job,
+                cell,
+                test,
+                suite,
+                name,
+                script,
+                stand,
+                spec,
+            } => {
+                out.push(3);
+                put_varint(&mut out, *job as u64);
+                put_varint(&mut out, *cell as u64);
+                put_varint(&mut out, *test as u64);
+                put_str(&mut out, suite);
+                put_str(&mut out, name);
+                put_varint(&mut out, *script);
+                put_varint(&mut out, *stand);
+                put_spec(&mut out, spec);
+            }
+            ToWorker::RunCell {
+                cell,
+                suite,
+                scripts,
+                stand,
+                spec,
+            } => {
+                out.push(4);
+                put_varint(&mut out, *cell as u64);
+                put_str(&mut out, suite);
+                put_varint(&mut out, scripts.len() as u64);
+                for id in scripts {
+                    put_varint(&mut out, *id);
+                }
+                put_varint(&mut out, *stand);
+                put_spec(&mut out, spec);
+            }
+            ToWorker::Shutdown => out.push(5),
+        }
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        let frame = match r.u8()? {
+            0 => {
+                if r.take(3)? != MAGIC {
+                    return err("bad protocol magic");
+                }
+                let version = r.u8()?;
+                if version != VERSION {
+                    return err(format!("protocol version {version}, expected {VERSION}"));
+                }
+                let sample = match r.u8()? {
+                    0 => SampleMode::EndOfStep,
+                    1 => SampleMode::Continuous {
+                        interval: SimTime::from_micros(r.varint()?),
+                    },
+                    other => return err(format!("bad sample mode tag {other}")),
+                };
+                ToWorker::Hello {
+                    exec: ExecOptions {
+                        sample,
+                        stop_on_failure: r.bool()?,
+                    },
+                }
+            }
+            1 => ToWorker::Stand {
+                id: r.varint()?,
+                text: r.str()?,
+            },
+            2 => {
+                let id = r.varint()?;
+                let xml = r.str()?;
+                let n = r.len()?;
+                let mut names = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    names.push(r.str()?);
+                }
+                ToWorker::Script { id, xml, names }
+            }
+            3 => ToWorker::RunTest {
+                job: read_usize(&mut r)?,
+                cell: read_usize(&mut r)?,
+                test: read_usize(&mut r)?,
+                suite: r.str()?,
+                name: r.str()?,
+                script: r.varint()?,
+                stand: r.varint()?,
+                spec: read_spec(&mut r)?,
+            },
+            4 => {
+                let cell = read_usize(&mut r)?;
+                let suite = r.str()?;
+                let n = r.len()?;
+                let mut scripts = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    scripts.push(r.varint()?);
+                }
+                ToWorker::RunCell {
+                    cell,
+                    suite,
+                    scripts,
+                    stand: r.varint()?,
+                    spec: read_spec(&mut r)?,
+                }
+            }
+            5 => ToWorker::Shutdown,
+            other => return err(format!("bad parent frame tag {other}")),
+        };
+        r.done()?;
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker → parent frames
+// ---------------------------------------------------------------------------
+
+/// Frames a worker child sends to the parent over its stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FromWorker {
+    /// Handshake acknowledgement (version echoed for diagnostics).
+    Ready {
+        /// The worker's protocol version.
+        version: u8,
+    },
+    /// A live progress event from the job currently executing; the parent
+    /// forwards it verbatim into the campaign's event stream.
+    Event(EngineEvent),
+    /// Outcome of a `RunTest` frame: the `job` slot plus the outcome as an
+    /// encoded single-test cache record (`cache::binary` layout, so the
+    /// result round-trips bit-exactly — the same property the cache's
+    /// byte-identity conformance pins down).
+    TestDone {
+        /// Echoed merge-slot index.
+        job: usize,
+        /// `cache::binary`-encoded record holding the one outcome.
+        record: Vec<u8>,
+    },
+    /// Outcome of a `RunCell` frame: the per-test outcomes (possibly a
+    /// truncated prefix, exactly like local cell execution) as an encoded
+    /// cache record.
+    CellDone {
+        /// Echoed cell index.
+        cell: usize,
+        /// `cache::binary`-encoded record with the cell's outcomes.
+        record: Vec<u8>,
+    },
+    /// Fatal worker-side problem (protocol violation, unrealizable device
+    /// spec). The worker exits right after sending it.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Event tags the protocol can carry — the per-job progress variants. The
+/// worker never emits the others (`CellCached` needs a cache, worker
+/// events come from the parent).
+impl FromWorker {
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            FromWorker::Ready { version } => {
+                out.push(0);
+                out.push(*version);
+            }
+            FromWorker::Event(event) => {
+                out.push(1);
+                put_event(&mut out, event)?;
+            }
+            FromWorker::TestDone { job, record } => {
+                out.push(2);
+                put_varint(&mut out, *job as u64);
+                put_bytes(&mut out, record);
+            }
+            FromWorker::CellDone { cell, record } => {
+                out.push(3);
+                put_varint(&mut out, *cell as u64);
+                put_bytes(&mut out, record);
+            }
+            FromWorker::Error { message } => {
+                out.push(4);
+                put_str(&mut out, message);
+            }
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        let frame = match r.u8()? {
+            0 => FromWorker::Ready { version: r.u8()? },
+            1 => FromWorker::Event(read_event(&mut r)?),
+            2 => FromWorker::TestDone {
+                job: read_usize(&mut r)?,
+                record: r.bytes()?,
+            },
+            3 => FromWorker::CellDone {
+                cell: read_usize(&mut r)?,
+                record: r.bytes()?,
+            },
+            4 => FromWorker::Error { message: r.str()? },
+            other => return err(format!("bad worker frame tag {other}")),
+        };
+        r.done()?;
+        Ok(frame)
+    }
+}
+
+fn put_event(out: &mut Vec<u8>, event: &EngineEvent) -> Result<(), FrameError> {
+    match event {
+        EngineEvent::JobStarted { cell, suite, stand } => {
+            out.push(0);
+            put_varint(out, *cell as u64);
+            put_str(out, suite);
+            put_str(out, stand);
+        }
+        EngineEvent::JobFinished {
+            cell,
+            suite,
+            stand,
+            status,
+            failed,
+        } => {
+            out.push(1);
+            put_varint(out, *cell as u64);
+            put_str(out, suite);
+            put_str(out, stand);
+            put_str(out, status);
+            put_bool(out, *failed);
+        }
+        EngineEvent::TestStarted {
+            cell,
+            test,
+            suite,
+            stand,
+            name,
+        } => {
+            out.push(2);
+            put_varint(out, *cell as u64);
+            put_varint(out, *test as u64);
+            put_str(out, suite);
+            put_str(out, stand);
+            put_str(out, name);
+        }
+        EngineEvent::TestFinished {
+            cell,
+            test,
+            suite,
+            stand,
+            name,
+            status,
+            failed,
+            duration,
+        } => {
+            out.push(3);
+            put_varint(out, *cell as u64);
+            put_varint(out, *test as u64);
+            put_str(out, suite);
+            put_str(out, stand);
+            put_str(out, name);
+            put_str(out, status);
+            put_bool(out, *failed);
+            let micros = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+            put_varint(out, micros);
+        }
+        other => {
+            return err(format!(
+                "event {other:?} is not representable on the worker protocol"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<EngineEvent, FrameError> {
+    Ok(match r.u8()? {
+        0 => EngineEvent::JobStarted {
+            cell: read_usize(r)?,
+            suite: r.str()?,
+            stand: r.str()?,
+        },
+        1 => EngineEvent::JobFinished {
+            cell: read_usize(r)?,
+            suite: r.str()?,
+            stand: r.str()?,
+            status: r.str()?,
+            failed: r.bool()?,
+        },
+        2 => EngineEvent::TestStarted {
+            cell: read_usize(r)?,
+            test: read_usize(r)?,
+            suite: r.str()?,
+            stand: r.str()?,
+            name: r.str()?,
+        },
+        3 => EngineEvent::TestFinished {
+            cell: read_usize(r)?,
+            test: read_usize(r)?,
+            suite: r.str()?,
+            stand: r.str()?,
+            name: r.str()?,
+            status: r.str()?,
+            failed: r.bool()?,
+            duration: Duration::from_micros(r.varint()?),
+        },
+        other => return err(format!("bad event tag {other}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec {
+            behavior: "interior_light".into(),
+            cfg: ElectricalConfig::default(),
+            dropped_frames: vec![CanFrameId(0x2A0), CanFrameId(0x123)],
+        }
+    }
+
+    #[test]
+    fn to_worker_frames_round_trip() {
+        let frames = vec![
+            ToWorker::Hello {
+                exec: ExecOptions {
+                    sample: SampleMode::Continuous {
+                        interval: SimTime::from_micros(12_500),
+                    },
+                    stop_on_failure: true,
+                },
+            },
+            ToWorker::Stand {
+                id: 3,
+                text: "[stand]\nname = HIL-A\n".into(),
+            },
+            ToWorker::Script {
+                id: 9,
+                xml: "<testscript name=\"t\"/>".into(),
+                names: vec!["INT_ILL".into(), "Ds_Fl".into()],
+            },
+            ToWorker::RunTest {
+                job: 7,
+                cell: 2,
+                test: 1,
+                suite: "lamp".into(),
+                name: "night_on".into(),
+                script: 9,
+                stand: 3,
+                spec: spec(),
+            },
+            ToWorker::RunCell {
+                cell: 4,
+                suite: "lamp".into(),
+                scripts: vec![9, 10, 11],
+                stand: 3,
+                spec: spec(),
+            },
+            ToWorker::Shutdown,
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(ToWorker::decode(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn from_worker_frames_round_trip() {
+        let frames = vec![
+            FromWorker::Ready { version: VERSION },
+            FromWorker::Event(EngineEvent::TestStarted {
+                cell: 1,
+                test: 0,
+                suite: "lamp".into(),
+                stand: "HIL-A".into(),
+                name: "night_on".into(),
+            }),
+            FromWorker::Event(EngineEvent::TestFinished {
+                cell: 1,
+                test: 0,
+                suite: "lamp".into(),
+                stand: "HIL-A".into(),
+                name: "night_on".into(),
+                status: "PASS".into(),
+                failed: false,
+                duration: Duration::from_micros(420),
+            }),
+            FromWorker::Event(EngineEvent::JobStarted {
+                cell: 0,
+                suite: "lamp".into(),
+                stand: "HIL-A".into(),
+            }),
+            FromWorker::Event(EngineEvent::JobFinished {
+                cell: 0,
+                suite: "lamp".into(),
+                stand: "HIL-A".into(),
+                status: "PASS (2P/0F/0E)".into(),
+                failed: false,
+            }),
+            FromWorker::TestDone {
+                job: 5,
+                record: vec![1, 2, 3],
+            },
+            FromWorker::CellDone {
+                cell: 2,
+                record: vec![],
+            },
+            FromWorker::Error {
+                message: "unrealizable spec".into(),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.encode().unwrap();
+            assert_eq!(FromWorker::decode(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        // Truncations of a valid frame at every length.
+        let valid = ToWorker::RunTest {
+            job: 7,
+            cell: 2,
+            test: 1,
+            suite: "lamp".into(),
+            name: "night_on".into(),
+            script: 9,
+            stand: 3,
+            spec: spec(),
+        }
+        .encode();
+        for n in 0..valid.len() {
+            let _ = ToWorker::decode(&valid[..n]);
+            let _ = FromWorker::decode(&valid[..n]);
+        }
+        // Bad tags, overlong varints, lying lengths, bad UTF-8.
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![99],
+            vec![
+                1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+            ],
+            vec![1, 0, 0xff],
+            vec![1, 0, 2, 0xff, 0xfe],
+            vec![0, b'X', b'Y', b'Z', 1, 0, 0],
+            vec![0, b'C', b'W', b'P', 99, 0, 0],
+            vec![2, 1, 0x85],
+            vec![4, 0, 0xff, 0xff, 0x7f],
+        ];
+        for bytes in &cases {
+            let _ = ToWorker::decode(bytes);
+            let _ = FromWorker::decode(bytes);
+        }
+        // Trailing garbage after a valid frame is rejected, not ignored.
+        let mut padded = ToWorker::Shutdown.encode();
+        padded.push(0);
+        assert!(ToWorker::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected_before_allocation() {
+        let mut stream: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0, 0];
+        assert!(read_frame(&mut stream).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        let mut torn: &[u8] = &[5, 0];
+        assert!(read_frame(&mut torn).is_err());
+        let mut short_payload: &[u8] = &[5, 0, 0, 0, 1, 2];
+        assert!(read_frame(&mut short_payload).is_err());
+    }
+}

@@ -193,6 +193,13 @@ struct Inner {
     store: ResultStore,
     state: Mutex<ServiceState>,
     sched: Condvar,
+    /// Connection frames currently being handled (request dispatched, or
+    /// response not yet flushed). [`Server::run`] waits for this to reach
+    /// zero before draining on SIGTERM/SIGINT, so a submission accepted
+    /// just before the signal still gets its `submitted` response written
+    /// instead of the process exiting with the reply half-flushed.
+    admissions: Mutex<usize>,
+    admissions_cv: Condvar,
 }
 
 /// The resident campaign service. Cheap to clone (connection threads
@@ -252,6 +259,8 @@ impl Server {
                 ..ServiceState::default()
             }),
             sched: Condvar::new(),
+            admissions: Mutex::new(0),
+            admissions_cv: Condvar::new(),
         });
         let sched_inner = inner.clone();
         let scheduler = std::thread::spawn(move || scheduler_loop(sched_inner));
@@ -514,6 +523,33 @@ impl Server {
         self.drain();
     }
 
+    /// Marks one connection frame as in flight — held from decode through
+    /// the response flush, so [`Server::run`] will not tear the process
+    /// down between a dispatched `submit` and its `submitted` reply.
+    fn begin_admission(&self) -> AdmissionGuard<'_> {
+        *self.inner.admissions.lock().expect("admissions lock") += 1;
+        AdmissionGuard { inner: &self.inner }
+    }
+
+    /// Waits (bounded) for every in-flight connection frame to finish.
+    /// The bound keeps a wedged client from holding shutdown hostage.
+    fn await_admissions(&self, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut pending = self.inner.admissions.lock().expect("admissions lock");
+        while *pending > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return;
+            }
+            pending = self
+                .inner
+                .admissions_cv
+                .wait_timeout(pending, deadline - now)
+                .expect("admissions lock")
+                .0;
+        }
+    }
+
     /// Serves connections on `listener` until a `shutdown` frame arrives
     /// or a SIGINT/SIGTERM is observed (see [`signals`]), then drains
     /// and returns. Each connection gets its own thread; the listener is
@@ -547,8 +583,42 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+        // Final backlog sweep: clients that connected before the signal
+        // but were not yet accepted would otherwise see a reset when the
+        // listener drops. They get a thread like everyone else — whose
+        // submits now resolve to a clean `draining` refusal.
+        while let Ok((stream, _peer)) = listener.accept() {
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_nodelay(true);
+            let server = self.clone();
+            std::thread::spawn(move || handle_connection(server, stream));
+        }
+        // Let in-flight connection frames finish before draining: a
+        // submit dispatched just before the signal must flush its
+        // `submitted` response (and an already-admitted campaign then
+        // drains to a stored verdict like any other). The short sleep
+        // lets connection threads pick frames already in their socket
+        // buffers out and register them before the admission count is
+        // consulted.
+        std::thread::sleep(Duration::from_millis(50));
+        self.await_admissions(Duration::from_secs(5));
         self.drain();
         Ok(())
+    }
+}
+
+/// RAII for [`Server::begin_admission`].
+struct AdmissionGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.inner.admissions.lock().expect("admissions lock");
+        *pending -= 1;
+        if *pending == 0 {
+            self.inner.admissions_cv.notify_all();
+        }
     }
 }
 
@@ -755,6 +825,9 @@ fn handle_connection(server: Server, stream: TcpStream) {
                 continue;
             }
         };
+        // Held until this frame's response is flushed: a SIGTERM arriving
+        // mid-dispatch waits for the reply instead of racing it.
+        let _admission = server.begin_admission();
         let keep = match frame {
             Frame::Submit(spec) => match server.submit(&spec) {
                 Ok(id) => {

@@ -5,8 +5,8 @@
 //! comptest gen <workbook.cts> <test> [out.xml]
 //! comptest run <workbook.cts> <test> <stand.stand> <ecu>
 //! comptest suite <workbook.cts> <stand.stand> <ecu> [--junit out.xml]
-//! comptest campaign <stand.stand>... [--executor serial|pooled|async]
-//!                   [--workers N] [--concurrency N]
+//! comptest campaign <stand.stand>... [--executor serial|pooled|async|remote]
+//!                   [--workers N] [--concurrency N] [--remote-workers N]
 //!                   [--granularity cell|test]
 //!                   [--sample end-of-step|continuous:<interval_s>]
 //!                   [--stop-on-first-fail] [--junit out.xml]
@@ -17,6 +17,7 @@
 //!                   [--metrics-out metrics.json]
 //! comptest portability <workbook.cts> <stand.stand>...
 //! comptest stands <stand.stand>...
+//! comptest worker    # remote-executor child; speaks frames on stdio
 //! comptest serve [--addr 127.0.0.1:7171] [--workers N] [--concurrency N]
 //!                [--max-active N] [--cache <dir>] [--cache-format bin|json]
 //! comptest submit [--addr HOST:PORT] <stand.stand>... [--suite NAME]...
@@ -39,9 +40,15 @@
 //!   (default 1024) test runs in flight *simultaneously*, interleaved
 //!   step by step on `--workers` shard threads (default 1), so
 //!   concurrency is no longer capped by thread count.
+//! * `--executor remote`: multi-process — packaged jobs ship over stdio
+//!   frames to `--remote-workers N` (default 2) spawned `comptest worker`
+//!   children; a killed worker's jobs are retried on survivors (the
+//!   `jobs_retried` counter in `--metrics`), and the cache stays in the
+//!   parent so workers never touch disk.
 //!
 //! A sizing flag the selected executor would ignore (`--concurrency`
-//! without `--executor async`, `--workers` with `--executor serial`) is
+//! without `--executor async`, `--workers` with `--executor serial` or
+//! `remote`, `--remote-workers` without `--executor remote`) is
 //! rejected rather than silently dropped.
 //!
 //! `--granularity cell` (default) schedules one job per suite×stand cell;
@@ -163,6 +170,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        // The remote executor's child-process entry point: speaks the
+        // length-prefixed frame protocol on stdin/stdout until the parent
+        // closes the pipe or sends `shutdown`. Not meant to be run by hand.
+        Some("worker") => Ok(ExitCode::from(comptest::engine::worker_main() as u8)),
         Some("serve") => {
             let rest: Vec<&str> = it.collect();
             cmd_serve(&rest)
@@ -187,7 +198,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         None => {
             eprintln!(
                 "usage: comptest <validate|lint|gen|run|suite|campaign|portability|stands\
-                 |serve|submit|watch|cancel|status> …"
+                 |serve|submit|watch|cancel|status|worker> …"
             );
             Ok(ExitCode::from(2))
         }
@@ -361,11 +372,12 @@ enum ExecutorKind {
     Serial,
     Pooled,
     Async,
+    Remote,
 }
 
 impl ExecutorKind {
     /// The accepted `FromStr` spellings, for error messages.
-    const ACCEPTED: [&'static str; 3] = ["serial", "pooled", "async"];
+    const ACCEPTED: [&'static str; 4] = ["serial", "pooled", "async", "remote"];
 }
 
 impl std::str::FromStr for ExecutorKind {
@@ -376,6 +388,7 @@ impl std::str::FromStr for ExecutorKind {
             "serial" => Ok(ExecutorKind::Serial),
             "pooled" => Ok(ExecutorKind::Pooled),
             "async" => Ok(ExecutorKind::Async),
+            "remote" => Ok(ExecutorKind::Remote),
             _ => Err(format!(
                 "unknown executor {s:?}: expected one of {}",
                 ExecutorKind::ACCEPTED.join(", ")
@@ -440,6 +453,7 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut executor_kind = ExecutorKind::Pooled;
     let mut workers: Option<usize> = None;
     let mut concurrency: Option<usize> = None;
+    let mut remote_workers: Option<usize> = None;
     let mut granularity = Granularity::Cell;
     let mut sample = SampleMode::EndOfStep;
     let mut stop_on_first_fail = false;
@@ -456,7 +470,10 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     while let Some(arg) = it.next() {
         match *arg {
             "--executor" => {
-                let e = need(it.next().copied(), "--executor (serial|pooled|async)")?;
+                let e = need(
+                    it.next().copied(),
+                    "--executor (serial|pooled|async|remote)",
+                )?;
                 executor_kind = e.parse()?;
             }
             "--workers" => {
@@ -484,6 +501,20 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     );
                 }
                 concurrency = Some(n);
+            }
+            "--remote-workers" => {
+                let n = need(it.next().copied(), "--remote-workers count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad remote worker count {n:?}"))?;
+                if n == 0 {
+                    return Err(
+                        "--remote-workers must be at least 1 (0 would leave the campaign \
+                         with no worker processes)"
+                            .into(),
+                    );
+                }
+                remote_workers = Some(n);
             }
             "--granularity" => {
                 let g = need(it.next().copied(), "--granularity (cell|test)")?;
@@ -547,6 +578,16 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Err(
             "--workers does not apply to --executor serial (it runs in-order on one thread)".into(),
         );
+    }
+    if workers.is_some() && executor_kind == ExecutorKind::Remote {
+        return Err(
+            "--workers does not apply to --executor remote (size the worker processes \
+             with --remote-workers)"
+                .into(),
+        );
+    }
+    if remote_workers.is_some() && executor_kind != ExecutorKind::Remote {
+        return Err("--remote-workers only applies to --executor remote".into());
     }
     // A memory cache is born empty in every CLI invocation, so there is
     // nothing to audit — the run would trivially "pass" verification and
@@ -627,6 +668,12 @@ fn cmd_campaign(args: &[&str]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             workers.min(campaign.job_count().max(1)),
         )),
         ExecutorKind::Async => Box::new(AsyncExecutor::new(concurrency).sharded(workers)),
+        // The worker command defaults to this very binary re-invoked as
+        // `comptest worker` (RemoteExecutor::resolve_command), so the CLI
+        // needs no extra plumbing here.
+        ExecutorKind::Remote => Box::new(comptest::engine::RemoteExecutor::new(
+            remote_workers.unwrap_or(2),
+        )),
     };
     let mut handle = campaign.launch(executor.as_ref())?;
     // Cooperative Ctrl-C: trip the handle's token instead of dying

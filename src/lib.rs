@@ -18,7 +18,7 @@
 //! | [`stand`] | `comptest-stand` | resources, matrix, allocation, planning |
 //! | [`dut`] | `comptest-dut` | electrical model, CAN, ECUs, faults |
 //! | [`core`] | `comptest-core` | execution, campaign planning/merge, fault coverage |
-//! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled / async event loop), cancellable handles with typed event streams |
+//! | [`engine`] | `comptest-engine` | `Campaign` builder, pluggable executors (serial / pooled / async event loop / remote multi-process), cancellable handles with typed event streams |
 //! | [`report`] | `comptest-report` | tables, markdown, JUnit, live-progress lines |
 //! | [`server`] | `comptest-server` | resident multi-tenant campaign daemon, wire protocol, client |
 //!
@@ -108,6 +108,46 @@
 //! let outcome = Campaign::new(&entries, &stands)
 //!     .granularity(Granularity::Test)
 //!     .launch(&AsyncExecutor::new(1024))? // up to 1024 in-flight runs, one thread
+//!     .join()?;
+//! assert!(outcome.result.all_green());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Quickstart — distributed execution
+//!
+//! [`RemoteExecutor`](prelude::RemoteExecutor) moves job execution out of
+//! the campaign process entirely: it spawns `--remote-workers` copies of
+//! the `comptest` binary as `comptest worker` children and ships packaged
+//! jobs to them over a length-prefixed stdio frame protocol (stands and
+//! scripts are interned per worker, so each crosses the pipe once). The
+//! cache stays in the parent — workers never touch disk — and the merged
+//! matrix is byte-identical to [`SerialExecutor`](prelude::SerialExecutor).
+//! A worker that dies mid-job is reaped, its jobs retried on the survivors
+//! (the `jobs_retried` counter); only when every retry is exhausted does
+//! the join report `JobsLost` with the exact job labels. If no worker can
+//! be spawned at all, jobs degrade gracefully to in-process execution.
+//! On the CLI: `comptest campaign … --executor remote --remote-workers N`.
+//!
+//! ```no_run
+//! use comptest::prelude::*;
+//! use comptest::core::campaign::CampaignEntry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let workbook = Workbook::load(comptest::asset("interior_light.cts"))?;
+//! # let stand = TestStand::load(comptest::asset("stand_a.stand"))?;
+//! # let entries = vec![CampaignEntry {
+//! #     suite: &workbook.suite,
+//! #     device_factory: Box::new(|| {
+//! #         comptest::device_for_stand("interior_light", &stand).expect("known ECU")
+//! #     }),
+//! # }];
+//! # let stands = [&stand];
+//! // Four worker processes; the worker command defaults to re-invoking
+//! // the current executable as `comptest worker`.
+//! let outcome = Campaign::new(&entries, &stands)
+//!     .granularity(Granularity::Test)
+//!     .launch(&RemoteExecutor::new(4))?
 //!     .join()?;
 //! assert!(outcome.result.all_green());
 //! # Ok(())
@@ -322,7 +362,7 @@ pub mod prelude {
     pub use comptest_engine::{
         AsyncExecutor, Campaign, CampaignExecutor, CampaignHandle, CampaignOutcome, CancelToken,
         EngineEvent, EventStream, Granularity, MetricsSnapshot, PooledExecutor, Recorder,
-        SerialExecutor, WorkerPool,
+        RemoteExecutor, SerialExecutor, WorkerPool,
     };
     pub use comptest_model::{Env, MethodRegistry, TestSuite};
     pub use comptest_script::{generate, generate_all, TestScript};

@@ -93,7 +93,29 @@ fn subjects() -> Vec<Subject> {
             catches_lost_jobs: true,
             serial_order: false,
         },
+        Subject {
+            name: "remote(1)",
+            build: || Box::new(remote_executor(1)),
+            catches_lost_jobs: true,
+            serial_order: true,
+        },
+        Subject {
+            name: "remote(2)",
+            build: || Box::new(remote_executor(2)),
+            catches_lost_jobs: true,
+            serial_order: false,
+        },
     ]
+}
+
+/// A remote executor whose worker command is the real `comptest` binary —
+/// `current_exe()` inside a test harness is the harness itself, which has
+/// no `worker` subcommand.
+fn remote_executor(workers: usize) -> RemoteExecutor {
+    RemoteExecutor::new(workers).command(vec![
+        env!("CARGO_BIN_EXE_comptest").to_string(),
+        "worker".to_string(),
+    ])
 }
 
 /// Cache backends the battery instantiates each subject against.
@@ -656,7 +678,7 @@ fn conformance_dead_workers_surface_as_jobs_lost() {
                     .join()
                     .unwrap_err();
                 assert!(
-                    matches!(err, CoreError::JobsLost { lost } if lost > 0),
+                    matches!(err, CoreError::JobsLost { lost, .. } if lost > 0),
                     "{granularity}/{}: expected JobsLost, got {err:?}",
                     subject.name
                 );

@@ -175,6 +175,101 @@ fn binary_wrong_version_and_oversized_lengths_are_misses() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Runs `comptest worker` with `input` as its entire stdin and returns
+/// (exit code, stderr). Stdin closes after the write, so a worker waiting
+/// for more frame bytes sees EOF and can never hang the test.
+fn run_worker(input: &[u8]) -> (Option<i32>, String) {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_comptest"))
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn comptest worker");
+    // The worker may exit (and close the pipe) before the write finishes —
+    // a refused write is part of the scenario, not a test failure.
+    let _ = child.stdin.take().expect("piped stdin").write_all(input);
+    let out = child.wait_with_output().expect("worker exit");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// One length-prefixed worker frame around `payload`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// A valid `Hello` frame (tag 0, magic `CWP`, version 1, end-of-step
+/// sampling, stop-on-failure off) — hand-assembled so the hostile bytes
+/// *after* the handshake exercise the post-handshake decode path.
+fn hello_frame() -> Vec<u8> {
+    frame(&[0x00, b'C', b'W', b'P', 0x01, 0x00, 0x00])
+}
+
+/// The hostile framings random junk almost never produces: oversized and
+/// truncated length prefixes, unknown tags, and garbage arriving after a
+/// valid handshake. Every case must end in exit 0 (treated as EOF) or a
+/// refused exit 2 — never a panic, never a hang.
+#[test]
+fn worker_hostile_framings_are_refused_not_panicked() {
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty stdin", Vec::new()),
+        ("truncated length prefix", vec![0x07, 0x00]),
+        ("length prefix without payload", frame(&[])[..4].to_vec()),
+        (
+            "declared length exceeds the frame cap",
+            0xffff_ffffu32.to_le_bytes().to_vec(),
+        ),
+        (
+            "payload shorter than declared",
+            [&100u32.to_le_bytes()[..], &[0x00; 10]].concat(),
+        ),
+        ("empty payload frame", frame(&[])),
+        ("unknown frame tag", frame(&[0xee, 1, 2, 3])),
+        (
+            "bad protocol magic",
+            frame(&[0x00, b'X', b'Y', b'Z', 0x01, 0x00, 0x00]),
+        ),
+        (
+            "future protocol version",
+            frame(&[0x00, b'C', b'W', b'P', 0x7f, 0x00, 0x00]),
+        ),
+        ("garbage after a valid handshake", {
+            let mut bytes = hello_frame();
+            bytes.extend_from_slice(&frame(&[0xee, 0xff, 0x00, 0x41]));
+            bytes
+        }),
+        (
+            "duplicate handshake",
+            [hello_frame(), hello_frame()].concat(),
+        ),
+        ("run frame referencing unknown intern ids", {
+            // RunCell (tag 4): cell 0, empty suite, zero scripts, stand id
+            // 9 that was never interned — the worker must refuse, not index.
+            let mut bytes = hello_frame();
+            bytes.extend_from_slice(&frame(&[0x04, 0x00, 0x00, 0x00, 0x09]));
+            bytes
+        }),
+    ];
+    for (label, input) in cases {
+        let (code, stderr) = run_worker(&input);
+        assert!(
+            matches!(code, Some(0) | Some(2)),
+            "{label}: worker must exit cleanly, got {code:?} (stderr: {stderr})"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{label}: worker panicked: {stderr}"
+        );
+    }
+}
+
 fn mutate(base: &str, position: usize, replacement: &str) -> String {
     let mut chars: Vec<char> = base.chars().collect();
     let pos = position % chars.len().max(1);
@@ -270,6 +365,20 @@ proptest! {
     fn binary_record_junk_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = comptest::engine::cache::binary::decode(&junk);
         let _ = comptest::engine::cache::binary::probe(&junk);
+    }
+
+    /// Arbitrary junk on a worker's stdin: the frame codec behind
+    /// `comptest worker` must refuse (exit 2) or treat it as EOF (exit 0),
+    /// never panic. Each case spawns a real worker process, so the junk is
+    /// kept small — the crafted framings below cover the structured cases.
+    #[test]
+    fn worker_stdin_junk_never_panics(junk in prop::collection::vec(any::<u8>(), 0..128)) {
+        let (code, stderr) = run_worker(&junk);
+        prop_assert!(
+            matches!(code, Some(0) | Some(2)),
+            "worker must exit cleanly on junk, got {code:?} (stderr: {stderr})"
+        );
+        prop_assert!(!stderr.contains("panicked"), "worker panicked: {stderr}");
     }
 
     /// Hostile cache-directory paths: empty, raw control/8-bit bytes,

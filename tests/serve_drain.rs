@@ -1,0 +1,83 @@
+//! `comptest serve` drain conformance: a shutdown signal must not race
+//! in-flight connection frames.
+//!
+//! The regression this pins: `Server::run` used to stop the accept loop
+//! and drain the moment SIGTERM latched, so a `submit` that was already
+//! dispatched on a connection thread could lose the race — the process
+//! (whose `main` exits when `run` returns) tore down before the
+//! `submitted` response flushed, and the client never learned its
+//! campaign's id even though the campaign was admitted. `run` now waits
+//! (bounded) for every in-flight frame to finish before draining.
+//!
+//! This lives in its own integration-test binary on purpose: the signal
+//! latch ([`signals::trigger`]) is a process-global one-way flag with no
+//! reset, so the race can be staged exactly once per process.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use comptest::server::{signals, CampaignSpec, Client, Fetched, Frame, ServeConfig, Server};
+
+#[test]
+fn submit_racing_a_sigterm_still_gets_its_response_and_a_verdict() {
+    let server = Server::new(ServeConfig::new(comptest::assets_dir())).expect("server builds");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("local addr");
+    let run_server = server.clone();
+    let run_thread = std::thread::spawn(move || run_server.run(listener));
+
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = CampaignSpec {
+        stands: vec![comptest::asset("stand_a.stand").display().to_string()],
+        ..CampaignSpec::default()
+    };
+    // Stage the race: the submit frame is on the wire (or mid-dispatch on
+    // its connection thread) when the shutdown signal latches.
+    client.send(&Frame::Submit(spec)).expect("send submit");
+    signals::trigger();
+
+    // The drained server must not leave the client hanging: within the
+    // admission grace it either answers `submitted` (frame dispatched
+    // before the drain) or a clean `error` refusal — never a dead socket.
+    let id = match client.recv().expect("submit response survives the drain") {
+        Frame::Submitted { id } => Some(id),
+        Frame::Error { .. } => None,
+        other => panic!("unexpected submit response: {other:?}"),
+    };
+
+    // `run` returns once admissions and campaigns drain — and it must
+    // actually return (an unbounded admission wait would hang here).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !run_thread.is_finished() {
+        assert!(Instant::now() < deadline, "run() did not drain in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    run_thread
+        .join()
+        .expect("run thread")
+        .expect("serve loop exits cleanly");
+
+    // An admitted campaign must have drained to a stored terminal
+    // verdict: accepted-then-vanished is exactly the lost-work mode the
+    // admission gate exists to prevent. The connection thread outlives
+    // `run`, so the same socket can fetch it.
+    if let Some(id) = id {
+        match client.fetch(id).expect("fetch after drain") {
+            Fetched::Ready(verdict) => {
+                assert!(
+                    verdict.state == "done" || verdict.state == "cancelled",
+                    "admitted campaign drained to a non-terminal state {:?}",
+                    verdict.state
+                );
+            }
+            Fetched::Pending(state) => {
+                panic!("campaign still {state:?} after a full drain")
+            }
+        }
+        // And the verdict is in the store, not just on the wire.
+        assert!(
+            matches!(server.fetch(id), Frame::Result(_)),
+            "store lost the admitted campaign's verdict"
+        );
+    }
+}
